@@ -1,0 +1,162 @@
+//! Component microbenchmarks and the ablations of DESIGN.md §6:
+//! LBM kernel throughput, IBM transfer, membrane FEM, RCM locality,
+//! memory-pool churn, delta-kernel support widths, overlap detection.
+
+use apr_cells::{CellKind, CellPool, RbcTile, UniformSubgrid};
+use apr_ibm::{interpolate_velocities, spread_forces, DeltaKernel};
+use apr_lattice::Lattice;
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::rcm::{rcm_reorder, reorder_vertices};
+use apr_mesh::{biconcave_rbc_mesh, icosphere, Vec3};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_lbm_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lbm_step");
+    for edge in [32usize, 64] {
+        let mut lat = Lattice::new(edge, edge, edge, 0.9);
+        lat.periodic = [true, true, true];
+        group.throughput(criterion::Throughput::Elements((edge * edge * edge) as u64));
+        group.bench_function(format!("{edge}cubed"), |b| b.iter(|| lat.step()));
+    }
+    group.finish();
+}
+
+fn bench_ibm_transfer(c: &mut Criterion) {
+    let mut lat = Lattice::new(48, 48, 48, 0.9);
+    lat.periodic = [true, true, true];
+    let mesh = biconcave_rbc_mesh(3, 8.0); // 642 vertices — the paper's mesh
+    let positions: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + Vec3::splat(24.0)).collect();
+    let forces = vec![Vec3::new(1e-6, 0.0, 0.0); positions.len()];
+
+    let mut group = c.benchmark_group("ibm_642_vertices");
+    for kernel in [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+        group.bench_function(format!("interpolate_{kernel:?}"), |b| {
+            b.iter(|| criterion::black_box(interpolate_velocities(&lat, &positions, kernel)))
+        });
+        group.bench_function(format!("spread_{kernel:?}"), |b| {
+            b.iter(|| {
+                lat.clear_forces();
+                spread_forces(&mut lat, &positions, &forces, kernel)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_membrane_fem(c: &mut Criterion) {
+    let mesh = biconcave_rbc_mesh(3, 8.0);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    let membrane = Membrane::new(re, MembraneMaterial::rbc(1e-3, 1e-5));
+    let deformed: Vec<Vec3> = mesh
+        .vertices
+        .iter()
+        .map(|&v| Vec3::new(v.x * 1.1, v.y * 0.95, v.z))
+        .collect();
+    let mut forces = vec![Vec3::ZERO; deformed.len()];
+    c.bench_function("membrane_forces_642v", |b| {
+        b.iter(|| {
+            forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+            criterion::black_box(membrane.compute_forces(&deformed, &mut forces))
+        })
+    });
+}
+
+/// RCM ablation (§2.4.5): FEM gather over RCM-ordered vs shuffled
+/// connectivity. The workload reads all 3 vertex slots per triangle — the
+/// memory-access pattern RCM optimizes.
+fn bench_rcm_ablation(c: &mut Criterion) {
+    let base = biconcave_rbc_mesh(4, 8.0); // 2562 vertices
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut perm: Vec<u32> = (0..base.vertex_count() as u32).collect();
+    perm.shuffle(&mut rng);
+    let shuffled = reorder_vertices(&base, &perm);
+    let (rcm, _) = rcm_reorder(&shuffled);
+
+    let gather = |mesh: &apr_mesh::TriMesh| -> f64 {
+        let mut acc = 0.0;
+        for &[a, b, c] in &mesh.triangles {
+            let (pa, pb, pc) = (
+                mesh.vertices[a as usize],
+                mesh.vertices[b as usize],
+                mesh.vertices[c as usize],
+            );
+            acc += (pb - pa).cross(pc - pa).norm_sq();
+        }
+        acc
+    };
+    let mut group = c.benchmark_group("rcm_fem_gather");
+    group.bench_function("shuffled_order", |b| {
+        b.iter(|| criterion::black_box(gather(&shuffled)))
+    });
+    group.bench_function("rcm_order", |b| b.iter(|| criterion::black_box(gather(&rcm))));
+    group.finish();
+}
+
+/// Memory-pool ablation (§2.4.5): slot-reusing churn vs fresh allocation.
+fn bench_pool_churn(c: &mut Criterion) {
+    let mesh = icosphere(2, 3.0);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1e-3, 1e-5)));
+
+    let mut group = c.benchmark_group("cell_churn_100");
+    group.bench_function("pooled", |b| {
+        let mut pool = CellPool::with_capacity(128);
+        b.iter(|| {
+            let mut slots = Vec::new();
+            for _ in 0..100 {
+                let (s, _) = pool.insert_shape(
+                    CellKind::Rbc,
+                    Arc::clone(&membrane),
+                    mesh.vertices.clone(),
+                );
+                slots.push(s);
+            }
+            for s in slots {
+                pool.remove(s);
+            }
+        })
+    });
+    group.bench_function("fresh_vec", |b| {
+        b.iter(|| {
+            let mut cells = Vec::new();
+            for i in 0..100u64 {
+                cells.push(apr_cells::Cell::with_shape(
+                    i,
+                    CellKind::Rbc,
+                    Arc::clone(&membrane),
+                    mesh.vertices.clone(),
+                ));
+            }
+            criterion::black_box(cells.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_overlap_detection(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let tile = RbcTile::build(60.0, 0.25, 3.91, 2.4, 94.0, &mut rng);
+    let mesh = biconcave_rbc_mesh(1, 3.91);
+    let mut grid = UniformSubgrid::new(4.0);
+    for (i, p) in tile.placements.iter().enumerate() {
+        grid.insert_cell(i as u64, &p.realize(&mesh));
+    }
+    let candidate = tile.placements[tile.placements.len() / 2].realize(&mesh);
+    c.bench_function("overlap_test_dense_tile", |b| {
+        b.iter(|| criterion::black_box(apr_cells::test_overlap(&grid, &candidate, 0.5)))
+    });
+}
+
+criterion_group! {
+    name = comp;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lbm_kernel, bench_ibm_transfer, bench_membrane_fem,
+              bench_rcm_ablation, bench_pool_churn, bench_overlap_detection
+}
+criterion_main!(comp);

@@ -1,0 +1,39 @@
+//! Figure 5 bench: hematocrit maintenance + effective viscosity.
+//!
+//! Times one APR engine step with a cell-laden window and regenerates the
+//! Figure 5 summary at reduced scale (shorter runs; `exp_figure5` for the
+//! full series).
+
+use apr_bench::hct::{build_hct_engine, run_hct_case};
+use apr_bench::report::render_figure5;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_engine_step(c: &mut Criterion) {
+    let mut engine = build_hct_engine(0.15, 3, 7);
+    c.bench_function("f5_apr_step_with_cells", |b| {
+        b.iter(|| engine.step());
+    });
+}
+
+fn print_reduced_figure5() {
+    let results: Vec<_> = [0.10, 0.20]
+        .iter()
+        .map(|&t| run_hct_case(t, 400, 42))
+        .collect();
+    println!("\n{}", render_figure5(&results));
+    println!("(reduced scale: 500 coarse steps, two targets; `exp_figure5` for the full run)\n");
+}
+
+fn benches(c: &mut Criterion) {
+    bench_engine_step(c);
+    print_reduced_figure5();
+}
+
+criterion_group! {
+    name = f5;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(f5);

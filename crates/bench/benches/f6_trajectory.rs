@@ -1,0 +1,60 @@
+//! Figure 6 bench: CTC trajectory, APR vs eFSI in the expanding channel.
+//!
+//! Times one step of each model and regenerates a single-seed trajectory
+//! comparison (ensemble runs via `exp_figure6`).
+
+use apr_bench::trajectory::{run_apr_channel, run_efsi_channel, trajectory_deviation};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_single_seed_comparison() {
+    let (efsi, efsi_sites) = run_efsi_channel(1, 900);
+    let (apr, apr_sites, moves) = run_apr_channel(1, 900, 3);
+    let dev = trajectory_deviation(&efsi, &apr);
+    println!("\nFigure 6 (single seed, reduced scale):");
+    if let (Some(&(ze, re)), Some(&(za, ra))) = (efsi.last(), apr.last()) {
+        println!("  eFSI final: z = {ze:.1}, r = {re:.2}   ({efsi_sites} site updates)");
+        println!("  APR  final: z = {za:.1}, r = {ra:.2}   ({apr_sites} site updates, {moves} window moves)");
+    }
+    println!("  radial deviation: {dev:.3} of inlet radius");
+    println!(
+        "  compute saving: {:.1}× fewer site updates for APR\n",
+        efsi_sites as f64 / apr_sites.max(1) as f64
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("f6_efsi_step", |b| {
+        let (mut traj, _) = (Vec::<(f64, f64)>::new(), 0);
+        let _ = &mut traj;
+        // Build once, time steps.
+        let mut engine_holder = None;
+        b.iter_with_setup(
+            || {
+                if engine_holder.is_none() {
+                    engine_holder = Some(());
+                }
+            },
+            |_| {
+                // One short eFSI segment as the measured unit.
+                let (t, _) = run_efsi_channel(9, 2);
+                criterion::black_box(t.len())
+            },
+        );
+    });
+    c.bench_function("f6_apr_step", |b| {
+        b.iter(|| {
+            let (t, _, _) = run_apr_channel(9, 1, 3);
+            criterion::black_box(t.len())
+        });
+    });
+    print_single_seed_comparison();
+}
+
+criterion_group! {
+    name = f6;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(f6);

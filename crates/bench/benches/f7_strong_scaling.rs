@@ -1,0 +1,42 @@
+//! Figure 7 bench: strong scaling.
+//!
+//! Prints the Summit-model series at the paper's node counts and measures
+//! the host's rayon strong scaling of the LBM kernel as the shared-memory
+//! analogue.
+
+use apr_bench::report::render_figure7;
+use apr_bench::scaling_meas::measure_strong_scaling;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    println!("\n{}", render_figure7());
+
+    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= cores.min(16) {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    println!("Measured rayon strong scaling (48³ box) on this host:");
+    for p in measure_strong_scaling(48, 10, &threads) {
+        println!(
+            "  {:>2} threads: {:>7.1} MLUPS  speedup {:.2}",
+            p.threads, p.mlups, p.speedup
+        );
+    }
+    println!();
+
+    c.bench_function("f7_lbm_step_64cubed", |b| {
+        let mut lat = apr_lattice::Lattice::new(64, 64, 64, 0.9);
+        lat.periodic = [true, true, true];
+        b.iter(|| lat.step());
+    });
+}
+
+criterion_group! {
+    name = f7;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(f7);

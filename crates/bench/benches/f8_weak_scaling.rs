@@ -1,0 +1,41 @@
+//! Figure 8 bench: weak scaling.
+//!
+//! Prints the Summit-model series (≥90% efficiency above 8 nodes, faster
+//! 1–4 node cases) and measures the host's rayon weak scaling.
+
+use apr_bench::report::render_figure8;
+use apr_bench::scaling_meas::measure_weak_scaling;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    println!("\n{}", render_figure8());
+
+    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= cores.min(16) {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    println!("Measured rayon weak scaling (32³ per thread) on this host:");
+    for p in measure_weak_scaling(32, 6, &threads) {
+        println!(
+            "  {:>2} threads: {:>7.1} MLUPS  efficiency {:.2}",
+            p.threads, p.mlups, p.speedup
+        );
+    }
+    println!();
+
+    c.bench_function("f8_lbm_step_32cubed", |b| {
+        let mut lat = apr_lattice::Lattice::new(32, 32, 32, 0.9);
+        lat.periodic = [true, true, true];
+        b.iter(|| lat.step());
+    });
+}
+
+criterion_group! {
+    name = f8;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(f8);

@@ -1,0 +1,57 @@
+//! Table 1 / Figure 4 bench: variable-viscosity shear-flow coupling.
+//!
+//! Times one coupled coarse step per (λ, n) case and regenerates a
+//! reduced-scale Table 1 (n = 2 rows; run `exp_table1 --full` for all nine
+//! cases), including the non-equilibrium-transfer ablation of DESIGN.md §6.
+
+use apr_bench::report::render_table1;
+use apr_bench::shear::{build_shear, run_shear, ShearCase};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_coupled_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_coupled_step");
+    for (n, lambda) in [(2usize, 0.5f64), (5, 0.25)] {
+        let mut p = build_shear(ShearCase { n, lambda });
+        group.bench_function(format!("n{n}_lambda{lambda:.2}"), |b| {
+            b.iter(|| p.step());
+        });
+    }
+    group.finish();
+}
+
+fn print_reduced_table1() {
+    let mut results = Vec::new();
+    for &lambda in &[0.5, 1.0 / 3.0, 0.25] {
+        let case = ShearCase { n: 2, lambda };
+        results.push((case, run_shear(case, 4000)));
+    }
+    println!("\n{}", render_table1(&results));
+    println!("(reduced scale: n = 2 rows; `exp_table1 --full` regenerates all nine)\n");
+
+    // Ablation: equilibrium-only interface transfer.
+    let mut p = build_shear(ShearCase { n: 2, lambda: 0.5 });
+    p.map.neq_transfer = false;
+    for _ in 0..4000 {
+        p.step();
+    }
+    let ablated = p.score();
+    let full = run_shear(ShearCase { n: 2, lambda: 0.5 }, 4000);
+    println!(
+        "Ablation (λ=1/2, n=2): window L2 with neq transfer {:.4}, without {:.4}",
+        full.window_l2, ablated.window_l2
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    bench_coupled_step(c);
+    print_reduced_table1();
+}
+
+criterion_group! {
+    name = t1;
+    config = Criterion::default().sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(t1);

@@ -1,0 +1,27 @@
+//! Table 2 bench: fluid volume vs resources (upper body, APR vs eFSI).
+
+use apr_bench::report::render_table2;
+use apr_perfmodel::volume_capacity_ml;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    println!("\n{}", render_table2());
+    c.bench_function("t2_volume_capacity", |b| {
+        b.iter(|| {
+            criterion::black_box(volume_capacity_ml(
+                criterion::black_box(1536.0 * 16.0e9),
+                0.5,
+                0.40,
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = t2;
+    config = Criterion::default().sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(t2);

@@ -1,0 +1,28 @@
+//! Table 3 bench: estimated memory for the cerebral geometry.
+
+use apr_bench::report::render_table3;
+use apr_perfmodel::MemoryEstimate;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    println!("\n{}", render_table3());
+    c.bench_function("t3_memory_estimate", |b| {
+        b.iter(|| {
+            let e = MemoryEstimate::from_volume(
+                criterion::black_box(0.75),
+                criterion::black_box(6.2e12),
+                0.35,
+            );
+            criterion::black_box(e.total_bytes())
+        });
+    });
+}
+
+criterion_group! {
+    name = t3;
+    config = Criterion::default().sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(t3);

@@ -1,0 +1,58 @@
+//! Regenerate Figure 6: CTC radial trajectory in the expanding channel,
+//! APR vs eFSI, over an ensemble of RBC seeds.
+//!
+//! ```sh
+//! cargo run --release -p apr-bench --bin exp_figure6 [--seeds K] [--steps N]
+//! ```
+
+use apr_bench::trajectory::{run_apr_channel, run_efsi_channel, trajectory_deviation};
+
+fn arg(flag: &str, default: u64) -> u64 {
+    std::env::args()
+        .skip_while(|a| a != flag)
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let seeds = arg("--seeds", 4);
+    let steps = arg("--steps", 3500);
+
+    println!("Figure 6 — CTC radial trajectory, eFSI ensemble vs APR");
+    println!("seed   model   z_final   r_final   site_updates   window_moves");
+    let mut efsi_sites = 0u64;
+    let mut apr_sites = 0u64;
+    let mut deviations = Vec::new();
+    for seed in 0..seeds {
+        let (efsi, sites_e) = run_efsi_channel(seed, steps);
+        let (apr, sites_a, moves) = run_apr_channel(seed, steps, 3);
+        efsi_sites += sites_e;
+        apr_sites += sites_a;
+        if let (Some(&(ze, re)), Some(&(za, ra))) = (efsi.last(), apr.last()) {
+            println!("{seed:>4}   eFSI   {ze:>7.2}   {re:>7.3}   {sites_e:>12}   {:>6}", "-");
+            println!("{seed:>4}   APR    {za:>7.2}   {ra:>7.3}   {sites_a:>12}   {moves:>6}");
+        }
+        let dev = trajectory_deviation(&efsi, &apr);
+        deviations.push(dev);
+    }
+    let mean_dev = deviations.iter().sum::<f64>() / deviations.len().max(1) as f64;
+    println!("\nMean radial deviation APR vs eFSI (fraction of inlet radius): {mean_dev:.3}");
+    // The executed eFSI runs at the coarse spacing (so this host can afford
+    // it); the paper's eFSI resolves the WHOLE channel at the window's fine
+    // spacing. Cost parity therefore scales the measured eFSI updates by
+    // n³ (space) × n (time): that is the model the node-hour saving in §3.3
+    // compares against.
+    let n = 3u64;
+    let efsi_fine_equiv = efsi_sites * n.pow(3) * n;
+    println!(
+        "Compute proxy: fine-resolution eFSI ≈ {} site-updates vs APR {} ({:.0}× saving; executed coarse eFSI: {})",
+        efsi_fine_equiv,
+        apr_sites,
+        efsi_fine_equiv as f64 / apr_sites.max(1) as f64,
+        efsi_sites,
+    );
+    println!("\nShape targets (paper §3.3): APR recovers the eFSI trajectory band");
+    println!("(runs differ by RBC placement even within one model) at >10× fewer");
+    println!("node-hours; here the site-update ratio plays that role.");
+}

@@ -1,0 +1,38 @@
+//! Regenerate Figures 7 and 8: strong and weak scaling.
+//!
+//! Prints (a) the analytic Summit-model series at the paper's node counts
+//! and (b) a measured rayon thread-scaling analogue on this host.
+//!
+//! ```sh
+//! cargo run --release -p apr-bench --bin exp_scaling
+//! ```
+
+use apr_bench::report::{render_figure7, render_figure8};
+use apr_bench::scaling_meas::{measure_strong_scaling, measure_weak_scaling};
+
+fn main() {
+    println!("{}", render_figure7());
+    println!("Paper: >6× speedup from 32 to 512 nodes, rolling off as halo and");
+    println!("coupling traffic stop scaling with rank count.\n");
+
+    println!("{}", render_figure8());
+    println!("Paper: 1–4 node cases run faster than the 8-node baseline (not yet");
+    println!("at full communication volume); ≥90% efficiency at 8+ nodes.\n");
+
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= cores {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    println!("Measured analogue on this host ({cores} cores):");
+    println!("\nStrong scaling, 64³ LBM box:");
+    println!("threads   MLUPS   speedup");
+    for p in measure_strong_scaling(64, 20, &threads) {
+        println!("{:>7}   {:>6.1}   {:>6.2}", p.threads, p.mlups, p.speedup);
+    }
+    println!("\nWeak scaling, 40³ per thread:");
+    println!("threads   MLUPS   efficiency");
+    for p in measure_weak_scaling(40, 10, &threads) {
+        println!("{:>7}   {:>6.1}   {:>6.2}", p.threads, p.mlups, p.speedup);
+    }
+}

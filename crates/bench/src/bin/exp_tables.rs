@@ -1,0 +1,17 @@
+//! Regenerate Tables 2 and 3: resource capacity and memory estimates.
+//!
+//! ```sh
+//! cargo run --release -p apr-bench --bin exp_tables
+//! ```
+
+use apr_bench::report::{render_table2, render_table3};
+
+fn main() {
+    println!("{}", render_table2());
+    println!("Paper Table 2: APR window 4.91e-3 mL / bulk 41.0 mL / eFSI 4.98e-3 mL.");
+    println!("Shape target: 3–4 orders of magnitude more volume accessible to APR.\n");
+
+    println!("{}", render_table3());
+    println!("Paper Table 3: window 7.2 GB + 1.48 GB; bulk 64.4 GB; eFSI 6.0 PB + 3.2 PB.");
+    println!("Shape target: APR fits a single node; eFSI needs ~9.2 PB (10⁵× more).");
+}

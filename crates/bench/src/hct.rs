@@ -1,0 +1,126 @@
+//! Figure 5 harness: hematocrit maintenance and effective viscosity in a
+//! cell-resolved tube window.
+
+use apr_cells::{ContactParams, RbcTile};
+use apr_core::{tube_effective_viscosity, AprEngine, HematocritSeries};
+use apr_coupling::fine_tau;
+use apr_hemo::pries::{discharge_from_tube_hematocrit, relative_apparent_viscosity};
+use apr_lattice::{force_driven_tube, setup::effective_tube_radius, Lattice};
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::biconcave_rbc_mesh;
+use apr_window::{HematocritController, InsertionContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Result of one Figure 5 case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HctResult {
+    /// Target (tube) hematocrit.
+    pub target: f64,
+    /// Steady window hematocrit (Figure 5B's plateau).
+    pub steady_ht: f64,
+    /// Repopulation ripple (peak-to-peak).
+    pub fluctuation: f64,
+    /// Effective tube viscosity relative to the cell-free tube (paper
+    /// Eq. 12 over the same discrete domain).
+    pub mu_rel_sim: f64,
+    /// Pries Eq. 9 relative viscosity for the same tube hematocrit in the
+    /// paper's 200 µm tube (the Figure 5C reference curve).
+    pub mu_rel_pries: f64,
+}
+
+/// Tube body force used by all cases (lattice units).
+pub const TUBE_FORCE: f64 = 6e-5;
+
+/// Build the Figure 5 engine: coarse force-driven tube with a centred
+/// window refined ×`n`, populated toward `target` hematocrit.
+pub fn build_hct_engine(target: f64, n: usize, seed: u64) -> AprEngine {
+    let tau_c = 0.9;
+    let lambda = 0.3;
+    let (nx, ny, nz) = (21usize, 21usize, 48usize);
+    let coarse = force_driven_tube(nx, ny, nz, tau_c, 9.0, TUBE_FORCE);
+    let span = 8usize;
+    let dim = span * n + 1;
+    let mut fine = Lattice::new(dim, dim, dim, fine_tau(tau_c, n, lambda));
+    fine.body_force = [0.0, 0.0, TUBE_FORCE / n as f64];
+    let origin = [6.0, 6.0, 16.0];
+    let mut engine = AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        n,
+        lambda,
+        span as f64 * n as f64 * 0.22,
+        span as f64 * n as f64 * 0.12,
+        span as f64 * n as f64 * 0.14,
+        ContactParams { cutoff: 1.2, strength: 5e-4 },
+    );
+    engine.reseed_rng(seed);
+
+    let rbc_mesh = biconcave_rbc_mesh(1, 3.0);
+    let volume = rbc_mesh.enclosed_volume();
+    let reference = Arc::new(ReferenceState::build(&rbc_mesh));
+    let membrane = Arc::new(Membrane::new(reference, MembraneMaterial::rbc(6e-4, 2e-5)));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tile = RbcTile::build(40.0, target.min(0.3), 3.0, 1.8, volume, &mut rng);
+    engine.insertion = Some(InsertionContext {
+        rbc_mesh,
+        rbc_membrane: membrane,
+        tile,
+        min_gap: 0.8,
+    });
+    engine.controller = Some(HematocritController::new(target, 0.85, volume));
+    engine.maintenance_interval = 10;
+    engine.populate_window();
+    engine
+}
+
+/// Run one Figure 5 case for `steps` coarse steps.
+pub fn run_hct_case(target: f64, steps: u64, seed: u64) -> HctResult {
+    // Cell-free reference flow for the μ_rel baseline.
+    let mut reference = force_driven_tube(21, 21, 48, 0.9, 9.0, TUBE_FORCE);
+    for _ in 0..steps.min(4000) {
+        reference.step();
+    }
+    let r_eff = effective_tube_radius(&reference);
+    let mu_ref = tube_effective_viscosity(&reference, r_eff, TUBE_FORCE);
+
+    let mut engine = build_hct_engine(target, 3, seed);
+    let mut series = HematocritSeries::default();
+    for step in 0..steps {
+        engine.step();
+        if step % 10 == 0 {
+            series.record(step, engine.window_hematocrit().unwrap());
+        }
+    }
+    let mu_cells = tube_effective_viscosity(&engine.coarse, r_eff, TUBE_FORCE);
+    let steady_ht = series.steady_mean(0.4);
+    HctResult {
+        target,
+        steady_ht,
+        fluctuation: series.steady_fluctuation(0.4),
+        mu_rel_sim: mu_cells / mu_ref,
+        mu_rel_pries: relative_apparent_viscosity(
+            200.0,
+            discharge_from_tube_hematocrit(200.0, steady_ht),
+        ),
+    }
+}
+
+/// The paper's three Figure 5 hematocrit targets.
+pub fn figure5_targets() -> [f64; 3] {
+    [0.10, 0.20, 0.30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_builds_and_packs_cells() {
+        let engine = build_hct_engine(0.15, 3, 1);
+        assert!(engine.pool.live_count() > 3);
+        assert!(engine.window_hematocrit().unwrap() > 0.02);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table 1 / Figure 4 harness: variable-viscosity three-layer shear flow.
+//!
+//! Reproduces the paper's §3.1 verification at reduced scale: a coarse
+//! Couette stack with a fine window spanning the middle (λ-viscosity)
+//! layer, scored by relative L2 error against the analytic profile (Eq. 8)
+//! in both the bulk and the window.
+
+use apr_coupling::{coupled_step, fine_tau, CouplingMap};
+use apr_hemo::analytic::ThreeLayerCouette;
+use apr_hemo::error::l2_error_norm;
+use apr_lattice::{couette_channel, Lattice};
+
+/// One (λ, n) case of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShearCase {
+    /// Refinement ratio.
+    pub n: usize,
+    /// Viscosity ratio λ = μ₂/μ₁.
+    pub lambda: f64,
+}
+
+/// L2 errors for one case (the two columns of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShearResult {
+    /// Bulk-region relative L2 error.
+    pub bulk_l2: f64,
+    /// Window-region relative L2 error.
+    pub window_l2: f64,
+}
+
+/// The paper's nine Table 1 cases.
+pub fn table1_cases() -> Vec<ShearCase> {
+    let mut out = Vec::new();
+    for &n in &[2usize, 5, 10] {
+        for &lambda in &[0.5, 1.0 / 3.0, 0.25] {
+            out.push(ShearCase { n, lambda });
+        }
+    }
+    out
+}
+
+/// Assembled coupled shear problem (exposed so benches can time single
+/// coupled steps).
+pub struct ShearProblem {
+    /// Coarse Couette lattice.
+    pub coarse: Lattice,
+    /// Fine window lattice.
+    pub fine: Lattice,
+    /// Coupling map.
+    pub map: CouplingMap,
+    analytic: ThreeLayerCouette,
+    n: usize,
+}
+
+/// Build the coupled shear problem for a case. Layer heights are
+/// 7.5/8.0/8.5 coarse cells (window node-aligned on [8, 16]).
+pub fn build_shear(case: ShearCase) -> ShearProblem {
+    let (nx_c, ny_c, nz_c) = (4usize, 26usize, 4usize);
+    let u_lid = 0.02;
+    let tau_c = 1.0;
+    let mut coarse = couette_channel(nx_c, ny_c, nz_c, tau_c, u_lid);
+    let (y_lo, y_hi) = (8usize, 16usize);
+    let fine_ny = (y_hi - y_lo) * case.n + 1;
+    let mut fine = Lattice::new(
+        nx_c * case.n,
+        fine_ny,
+        nz_c * case.n,
+        fine_tau(tau_c, case.n, case.lambda),
+    );
+    fine.periodic = [true, false, true];
+    let map = CouplingMap::new(
+        &coarse,
+        &fine,
+        [0.0, y_lo as f64, 0.0],
+        case.n,
+        case.lambda,
+        1.0,
+    );
+    map.apply_window_viscosity(&mut coarse, &fine);
+    map.seed_fine_from_coarse(&coarse, &mut fine);
+    let analytic = ThreeLayerCouette::new([7.5, 8.0, 8.5], [1.0, case.lambda, 1.0], u_lid);
+    ShearProblem { coarse, fine, map, analytic, n: case.n }
+}
+
+impl ShearProblem {
+    /// Advance one coupled coarse step.
+    pub fn step(&mut self) {
+        coupled_step(&mut self.coarse, &mut self.fine, &self.map, |_, _| {});
+    }
+
+    /// Score the current state against Eq. 8.
+    pub fn score(&self) -> ShearResult {
+        let mut sim = Vec::new();
+        let mut exact = Vec::new();
+        for y in 1..self.coarse.ny - 1 {
+            if (8..=16).contains(&y) {
+                continue;
+            }
+            let node = self.coarse.idx(2, y, 2);
+            sim.push(self.coarse.velocity_at(node)[0]);
+            exact.push(self.analytic.velocity(y as f64 - 0.5));
+        }
+        let bulk_l2 = l2_error_norm(&sim, &exact);
+        let mut sim = Vec::new();
+        let mut exact = Vec::new();
+        for j in 1..self.fine.ny - 1 {
+            let node = self.fine.idx(self.fine.nx / 2, j, self.fine.nz / 2);
+            sim.push(self.fine.velocity_at(node)[0]);
+            exact.push(self.analytic.velocity(7.5 + j as f64 / self.n as f64));
+        }
+        ShearResult { bulk_l2, window_l2: l2_error_norm(&sim, &exact) }
+    }
+}
+
+/// Run one case to steady state and score it.
+pub fn run_shear(case: ShearCase, steps: usize) -> ShearResult {
+    let mut p = build_shear(case);
+    for _ in 0..steps {
+        p.step();
+    }
+    p.score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_list_matches_table1() {
+        let cases = table1_cases();
+        assert_eq!(cases.len(), 9);
+        assert!(cases.iter().any(|c| c.n == 10 && (c.lambda - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn short_run_already_beats_10_percent() {
+        // The full steady-state accuracy is covered by apr-coupling's
+        // integration tests; here just check the harness converges.
+        let r = run_shear(ShearCase { n: 2, lambda: 0.5 }, 3000);
+        assert!(r.bulk_l2 < 0.10, "bulk {}", r.bulk_l2);
+        assert!(r.window_l2 < 0.12, "window {}", r.window_l2);
+    }
+}

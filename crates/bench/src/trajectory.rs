@@ -1,0 +1,226 @@
+//! Figure 6 harness: CTC trajectory in an expanding channel, APR vs eFSI.
+//!
+//! Both models run the same physical problem — a stiff CTC carried through
+//! a 2× radial expansion with a handful of RBC neighbours — at reproduction
+//! scale. eFSI resolves the whole channel on one lattice; APR couples a
+//! moving fine window to a coarse bulk. The observable is the radial
+//! distance from the centreline versus axial position (Figure 6C/D).
+
+use apr_cells::{CellKind, ContactParams};
+use apr_core::{AprEngine, EfsiEngine};
+use apr_coupling::fine_tau;
+use apr_geom::{voxelize, ExpandingChannel};
+use apr_lattice::{Lattice, NodeClass};
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::{biconcave_rbc_mesh, icosphere, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Channel geometry shared by both models (coarse lattice units).
+pub fn channel() -> ExpandingChannel {
+    ExpandingChannel {
+        r0: 6.0,
+        r1: 11.0,
+        z_expand: 30.0,
+        taper: 12.0,
+        origin: Vec3::new(13.0, 13.0, 0.0),
+    }
+}
+
+/// Channel domain extents (coarse lattice units).
+pub const CHANNEL_DIMS: (usize, usize, usize) = (27, 27, 96);
+
+/// Driving body force (lattice units).
+pub const CHANNEL_FORCE: f64 = 1.5e-4;
+
+const TAU: f64 = 0.9;
+const CTC_RADIUS: f64 = 3.0; // coarse units
+const CTC_OFFSET: f64 = 2.0; // initial radial offset, coarse units
+
+fn ctc_membrane(scale: f64) -> (Arc<Membrane>, apr_mesh::TriMesh) {
+    let mesh = icosphere(2, CTC_RADIUS * scale);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    (
+        Arc::new(Membrane::new(re, MembraneMaterial::ctc(4e-3, 2e-4))),
+        mesh,
+    )
+}
+
+fn rbc_membrane(scale: f64) -> (Arc<Membrane>, apr_mesh::TriMesh) {
+    let mesh = biconcave_rbc_mesh(1, 2.2 * scale);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    (
+        Arc::new(Membrane::new(re, MembraneMaterial::rbc(2e-4, 1e-5))),
+        mesh,
+    )
+}
+
+/// Scatter a few RBCs around a centre, seeded deterministically — the
+/// "varying RBC positions" of the paper's 8-run ensembles.
+fn rbc_positions(seed: u64, center: Vec3, spread: f64, count: usize) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            center
+                + Vec3::new(
+                    rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                )
+        })
+        .collect()
+}
+
+/// Trajectory sample: `(axial z, radial r)` in coarse lattice units.
+pub type Trajectory = Vec<(f64, f64)>;
+
+/// Run the eFSI model: whole channel on one lattice at coarse resolution.
+pub fn run_efsi_channel(seed: u64, steps: u64) -> (Trajectory, u64) {
+    let (nx, ny, nz) = CHANNEL_DIMS;
+    let mut lat = Lattice::new(nx, ny, nz, TAU);
+    lat.periodic = [false, false, true];
+    lat.body_force = [0.0, 0.0, CHANNEL_FORCE];
+    voxelize(&mut lat, &channel(), Vec3::ZERO, 1.0);
+    let mut engine = EfsiEngine::new(lat, 32, ContactParams { cutoff: 1.0, strength: 5e-4 });
+
+    let (ctc_mem, ctc_mesh) = ctc_membrane(1.0);
+    let start = Vec3::new(13.0 + CTC_OFFSET, 13.0, 12.0);
+    let verts: Vec<Vec3> = ctc_mesh.vertices.iter().map(|&v| v + start).collect();
+    engine.add_cell(CellKind::Ctc, ctc_mem, verts);
+    let (rbc_mem, rbc_mesh) = rbc_membrane(1.0);
+    for p in rbc_positions(seed, start, 4.5, 6) {
+        let verts: Vec<Vec3> = rbc_mesh.vertices.iter().map(|&v| v + p).collect();
+        engine.add_cell(CellKind::Rbc, Arc::clone(&rbc_mem), verts);
+    }
+
+    let axis = Vec3::new(13.0, 13.0, 0.0);
+    let mut out = Vec::new();
+    for step in 0..steps {
+        engine.step();
+        if step % 20 == 0 {
+            if let Some(c) = engine.centroid_of_first(CellKind::Ctc) {
+                let rel = c - axis;
+                out.push((rel.z, (rel.x * rel.x + rel.y * rel.y).sqrt()));
+            }
+        }
+    }
+    (out, engine.site_updates())
+}
+
+/// Run the APR model: coarse bulk + moving fine window around the CTC.
+pub fn run_apr_channel(seed: u64, steps: u64, n: usize) -> (Trajectory, u64, u64) {
+    let (nx, ny, nz) = CHANNEL_DIMS;
+    let lambda = 0.3;
+    let mut coarse = Lattice::new(nx, ny, nz, TAU);
+    coarse.periodic = [false, false, true];
+    coarse.body_force = [0.0, 0.0, CHANNEL_FORCE];
+    let ch = channel();
+    voxelize(&mut coarse, &ch, Vec3::ZERO, 1.0);
+
+    let span = 8usize;
+    let dim = span * n + 1;
+    let mut fine = Lattice::new(dim, dim, dim, fine_tau(TAU, n, lambda));
+    fine.body_force = [0.0, 0.0, CHANNEL_FORCE / n as f64];
+    let origin = [11.0, 9.0, 8.0];
+    let mut engine = AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        n,
+        lambda,
+        span as f64 * n as f64 * 0.22,
+        span as f64 * n as f64 * 0.12,
+        span as f64 * n as f64 * 0.14,
+        ContactParams { cutoff: 1.2, strength: 5e-4 },
+    );
+    engine.reseed_rng(seed);
+    engine.set_fine_geometry(Box::new(move |fine, origin| {
+        for node in 0..fine.node_count() {
+            fine.set_flag(node, NodeClass::Fluid);
+        }
+        let o = Vec3::new(origin[0], origin[1], origin[2]);
+        voxelize(fine, &ch, o, 1.0 / n as f64);
+    }));
+
+    let (ctc_mem, ctc_mesh) = ctc_membrane(n as f64);
+    // CTC world start (13 + offset, 13, 12) mapped to fine coordinates.
+    let start_world = Vec3::new(13.0 + CTC_OFFSET, 13.0, 12.0);
+    let start_fine = engine.world_to_fine(start_world);
+    let verts: Vec<Vec3> = ctc_mesh.vertices.iter().map(|&v| v + start_fine).collect();
+    engine.add_ctc(ctc_mem, verts);
+    let (rbc_mem, rbc_mesh) = rbc_membrane(n as f64);
+    for p in rbc_positions(seed, start_fine, 4.5 * n as f64, 6) {
+        let verts: Vec<Vec3> = rbc_mesh.vertices.iter().map(|&v| v + p).collect();
+        engine.add_rbc(Arc::clone(&rbc_mem), verts);
+    }
+
+    let axis = Vec3::new(13.0, 13.0, 0.0);
+    for _ in 0..steps {
+        engine.step();
+        if engine.tracker.current().is_some_and(|w| w.z > (nz - 20) as f64) {
+            break;
+        }
+    }
+    let traj = engine
+        .tracker
+        .radial_profile(axis, Vec3::Z)
+        .into_iter()
+        .collect();
+    (traj, engine.site_updates(), engine.window_moves())
+}
+
+/// Maximum radial deviation between two trajectories over their common
+/// axial range, normalized by the channel inlet radius.
+pub fn trajectory_deviation(a: &Trajectory, b: &Trajectory) -> f64 {
+    let z_min = a
+        .first()
+        .map(|&(z, _)| z)
+        .unwrap_or(0.0)
+        .max(b.first().map(|&(z, _)| z).unwrap_or(0.0));
+    let z_max = a
+        .last()
+        .map(|&(z, _)| z)
+        .unwrap_or(0.0)
+        .min(b.last().map(|&(z, _)| z).unwrap_or(0.0));
+    if z_max <= z_min {
+        return f64::MAX;
+    }
+    let sample = |t: &Trajectory, z: f64| -> f64 {
+        // Linear interpolation in z.
+        for w in t.windows(2) {
+            if w[0].0 <= z && z <= w[1].0 {
+                let f = (z - w[0].0) / (w[1].0 - w[0].0).max(1e-12);
+                return w[0].1 + f * (w[1].1 - w[0].1);
+            }
+        }
+        t.last().map(|&(_, r)| r).unwrap_or(0.0)
+    };
+    let mut worst = 0.0f64;
+    for i in 0..=20 {
+        let z = z_min + (z_max - z_min) * i as f64 / 20.0;
+        worst = worst.max((sample(a, z) - sample(b, z)).abs());
+    }
+    worst / 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efsi_ctc_advects_downstream() {
+        let (traj, sites) = run_efsi_channel(3, 600);
+        assert!(traj.len() > 10);
+        let (z0, _) = traj[0];
+        let (z1, _) = *traj.last().unwrap();
+        assert!(z1 > z0, "no downstream motion: {z0} -> {z1}");
+        assert!(sites > 0);
+    }
+
+    #[test]
+    fn deviation_metric_is_zero_for_identical() {
+        let t: Trajectory = (0..10).map(|i| (i as f64, 1.0)).collect();
+        assert_eq!(trajectory_deviation(&t, &t.clone()), 0.0);
+    }
+}

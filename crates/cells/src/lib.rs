@@ -1,0 +1,25 @@
+//! Cell suspension management (paper §2.4.2 and §2.4.5).
+//!
+//! Everything between the membrane model and the window logic: cell
+//! instances with shared reference shapes ([`cell`]), pooled preallocated
+//! storage with slot reuse ([`pool`], the paper's cell memory management),
+//! the background uniform subgrid for neighbour queries ([`subgrid`]),
+//! short-range intercellular repulsion ([`contact`]), overlap detection with
+//! deterministic global-ID tie-breaking ([`overlap`]), and the pre-defined
+//! RBC tiles that seed insertion subregions ([`tile`]).
+
+pub mod cell;
+pub mod contact;
+pub mod overlap;
+pub mod pool;
+pub mod stats;
+pub mod subgrid;
+pub mod tile;
+
+pub use cell::{Cell, CellId, CellKind};
+pub use contact::{apply_contact_forces, rebuild_grid, ContactParams};
+pub use overlap::{resolve_batch, test_overlap, OverlapOutcome};
+pub use pool::{CellPool, SlotIndex};
+pub use stats::{cell_axis, deformation_index, suspension_stats, SuspensionStats};
+pub use subgrid::UniformSubgrid;
+pub use tile::{Placement, RbcTile};

@@ -1,0 +1,133 @@
+//! Overlap detection for cell insertion (paper §2.4.2).
+//!
+//! "Overlapping cells are removed using an efficient algorithm that detects
+//! overlaps by identifying nearby cells at each vertex of the tested cell,
+//! using a background uniform subgrid. The algorithm can run on multiple MPI
+//! tasks, and maintain consistency across task counts by preferentially
+//! removing overlapping cells based on global IDs."
+
+use crate::subgrid::UniformSubgrid;
+use apr_mesh::Vec3;
+
+/// Result of testing a candidate shape against the existing population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlapOutcome {
+    /// No existing vertex within the clearance of any candidate vertex.
+    Clear,
+    /// Overlaps these existing cell IDs (sorted, deduplicated).
+    Overlaps(Vec<u64>),
+}
+
+/// Test a candidate cell shape against `grid` with clearance `min_gap`.
+pub fn test_overlap(grid: &UniformSubgrid, vertices: &[Vec3], min_gap: f64) -> OverlapOutcome {
+    let mut hits: Vec<u64> = Vec::new();
+    for &p in vertices {
+        grid.for_each_neighbor(p, min_gap, u64::MAX, |e| {
+            if !hits.contains(&e.cell_id) {
+                hits.push(e.cell_id);
+            }
+        });
+    }
+    if hits.is_empty() {
+        OverlapOutcome::Clear
+    } else {
+        hits.sort_unstable();
+        OverlapOutcome::Overlaps(hits)
+    }
+}
+
+/// Deterministic conflict resolution between two overlapping cells:
+/// the one with the **larger** global ID (the later-placed cell) is removed,
+/// so results are identical regardless of how placement work was divided
+/// among tasks.
+#[inline]
+pub fn loser_of(a: u64, b: u64) -> u64 {
+    a.max(b)
+}
+
+/// Resolve a batch of freshly placed, possibly mutually overlapping cells:
+/// given `(id, vertices)` pairs, returns the IDs to **keep**, processing in
+/// global-ID order so lower IDs win their conflicts — the rank-count
+/// invariant resolution of §2.4.2.
+pub fn resolve_batch(candidates: &[(u64, Vec<Vec3>)], min_gap: f64, bin: f64) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_unstable_by_key(|&i| candidates[i].0);
+    let mut grid = UniformSubgrid::new(bin);
+    let mut kept = Vec::new();
+    for i in order {
+        let (id, verts) = &candidates[i];
+        match test_overlap(&grid, verts, min_gap) {
+            OverlapOutcome::Clear => {
+                grid.insert_cell(*id, verts);
+                kept.push(*id);
+            }
+            OverlapOutcome::Overlaps(_) => {}
+        }
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Vec3) -> Vec<Vec3> {
+        vec![
+            center,
+            center + Vec3::X * 0.5,
+            center - Vec3::X * 0.5,
+            center + Vec3::Y * 0.5,
+        ]
+    }
+
+    #[test]
+    fn clear_when_far_apart() {
+        let mut grid = UniformSubgrid::new(1.0);
+        grid.insert_cell(1, &blob(Vec3::ZERO));
+        let outcome = test_overlap(&grid, &blob(Vec3::new(10.0, 0.0, 0.0)), 0.5);
+        assert_eq!(outcome, OverlapOutcome::Clear);
+    }
+
+    #[test]
+    fn detects_overlap_and_names_cells() {
+        let mut grid = UniformSubgrid::new(1.0);
+        grid.insert_cell(3, &blob(Vec3::ZERO));
+        grid.insert_cell(8, &blob(Vec3::new(0.4, 0.0, 0.0)));
+        let outcome = test_overlap(&grid, &blob(Vec3::new(0.2, 0.0, 0.0)), 0.3);
+        match outcome {
+            OverlapOutcome::Overlaps(ids) => assert_eq!(ids, vec![3, 8]),
+            OverlapOutcome::Clear => panic!("overlap missed"),
+        }
+    }
+
+    #[test]
+    fn loser_is_higher_id() {
+        assert_eq!(loser_of(3, 8), 8);
+        assert_eq!(loser_of(8, 3), 8);
+    }
+
+    #[test]
+    fn batch_resolution_is_order_independent() {
+        // Three cells where 0 overlaps 1 and 1 overlaps 2, but 0 and 2 are
+        // clear of each other: keeping {0, 2} is the ID-ordered outcome.
+        let cells = vec![
+            (0u64, blob(Vec3::ZERO)),
+            (1u64, blob(Vec3::new(0.6, 0.0, 0.0))),
+            (2u64, blob(Vec3::new(1.8, 0.0, 0.0))),
+        ];
+        let kept = resolve_batch(&cells, 0.4, 1.0);
+        assert_eq!(kept, vec![0, 2]);
+        // Same input shuffled must keep the same set (rank-count invariance).
+        let shuffled = vec![cells[2].clone(), cells[0].clone(), cells[1].clone()];
+        assert_eq!(resolve_batch(&shuffled, 0.4, 1.0), vec![0, 2]);
+    }
+
+    #[test]
+    fn batch_keeps_everything_when_sparse() {
+        let cells: Vec<(u64, Vec<Vec3>)> = (0..5)
+            .map(|i| (i as u64, blob(Vec3::new(i as f64 * 5.0, 0.0, 0.0))))
+            .collect();
+        assert_eq!(resolve_batch(&cells, 0.5, 1.0), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Suspension statistics: the micro-structural observables that tell a
+//! physiologically deformed, equilibrated suspension (paper §2.4.2's goal)
+//! from freshly dropped-in undeformed cells.
+
+use crate::cell::CellKind;
+use crate::pool::CellPool;
+use apr_mesh::Vec3;
+
+/// Summary of one suspension snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspensionStats {
+    /// Live RBC count.
+    pub rbc_count: usize,
+    /// Mean nearest-neighbour centroid distance.
+    pub mean_nn_distance: f64,
+    /// Minimum nearest-neighbour centroid distance.
+    pub min_nn_distance: f64,
+    /// Mean deformation index (1 − V/V₀-equivalent sphericity proxy):
+    /// `1 − (36π V²)^{1/3} / A` — 0 for a sphere, larger when deformed.
+    pub mean_deformation: f64,
+    /// Orientation order parameter `⟨(3cos²θ − 1)/2⟩` of RBC symmetry axes
+    /// against `axis` — 1 when all discs align, 0 when isotropic.
+    pub orientation_order: f64,
+}
+
+/// Principal (shortest-extent) axis of a cell — for a discocyte, the disc
+/// normal. Estimated from the covariance of vertex positions.
+pub fn cell_axis(vertices: &[Vec3]) -> Vec3 {
+    let n = vertices.len() as f64;
+    let centroid: Vec3 = vertices.iter().copied().sum::<Vec3>() / n;
+    // Covariance matrix.
+    let mut c = [[0.0f64; 3]; 3];
+    for v in vertices {
+        let d = *v - centroid;
+        let da = d.to_array();
+        for i in 0..3 {
+            for j in 0..3 {
+                c[i][j] += da[i] * da[j];
+            }
+        }
+    }
+    // Smallest-eigenvalue direction by inverse power iteration on (C + εI).
+    // For robustness use power iteration on (tr(C)·I − C), whose dominant
+    // eigenvector is C's smallest.
+    let tr = c[0][0] + c[1][1] + c[2][2];
+    let m = [
+        [tr - c[0][0], -c[0][1], -c[0][2]],
+        [-c[1][0], tr - c[1][1], -c[1][2]],
+        [-c[2][0], -c[2][1], tr - c[2][2]],
+    ];
+    let mut v = Vec3::new(1.0, 0.7, 0.3);
+    for _ in 0..50 {
+        let w = Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        );
+        if let Some(u) = w.try_normalize(1e-30) {
+            v = u;
+        } else {
+            break;
+        }
+    }
+    v
+}
+
+/// Deformation index of one cell: `1 − (36π V²)^{1/3}/A` (0 for a sphere).
+pub fn deformation_index(volume: f64, area: f64) -> f64 {
+    if area <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (36.0 * std::f64::consts::PI * volume * volume).powf(1.0 / 3.0) / area
+}
+
+/// Compute suspension statistics for all RBCs in the pool.
+pub fn suspension_stats(pool: &CellPool, axis: Vec3) -> SuspensionStats {
+    let axis = axis.normalized();
+    let rbcs: Vec<_> = pool.iter().filter(|c| c.kind == CellKind::Rbc).collect();
+    let n = rbcs.len();
+    if n == 0 {
+        return SuspensionStats {
+            rbc_count: 0,
+            mean_nn_distance: 0.0,
+            min_nn_distance: 0.0,
+            mean_deformation: 0.0,
+            orientation_order: 0.0,
+        };
+    }
+    let centroids: Vec<Vec3> = rbcs.iter().map(|c| c.centroid()).collect();
+    let mut nn_sum = 0.0;
+    let mut nn_min = f64::MAX;
+    for (i, &ci) in centroids.iter().enumerate() {
+        let mut best = f64::MAX;
+        for (j, &cj) in centroids.iter().enumerate() {
+            if i != j {
+                best = best.min(ci.distance(cj));
+            }
+        }
+        if best < f64::MAX {
+            nn_sum += best;
+            nn_min = nn_min.min(best);
+        }
+    }
+    let mut deform_sum = 0.0;
+    let mut order_sum = 0.0;
+    for c in &rbcs {
+        deform_sum += deformation_index(c.volume().abs(), c.surface_area());
+        let a = cell_axis(&c.vertices);
+        let cos = a.dot(axis).abs();
+        order_sum += (3.0 * cos * cos - 1.0) / 2.0;
+    }
+    SuspensionStats {
+        rbc_count: n,
+        mean_nn_distance: if n > 1 { nn_sum / n as f64 } else { 0.0 },
+        min_nn_distance: if n > 1 { nn_min } else { 0.0 },
+        mean_deformation: deform_sum / n as f64,
+        orientation_order: order_sum / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_mesh::{biconcave_rbc_mesh, icosphere};
+    use std::sync::Arc;
+
+    #[test]
+    fn sphere_has_zero_deformation_index() {
+        let m = icosphere(3, 1.0);
+        let d = deformation_index(m.enclosed_volume(), m.surface_area());
+        assert!(d.abs() < 0.01, "d = {d}");
+    }
+
+    #[test]
+    fn biconcave_cell_is_measurably_deformed() {
+        let m = biconcave_rbc_mesh(2, 1.0);
+        let d = deformation_index(m.enclosed_volume(), m.surface_area());
+        assert!(d > 0.15, "d = {d}");
+    }
+
+    #[test]
+    fn cell_axis_of_disc_is_its_normal() {
+        let m = biconcave_rbc_mesh(2, 1.0); // disc normal along z
+        let a = cell_axis(&m.vertices);
+        assert!(a.z.abs() > 0.99, "axis = {a:?}");
+        // Rotate the disc: axis follows.
+        let mut rotated = m.clone();
+        rotated.rotate(apr_mesh::Vec3::Y, std::f64::consts::FRAC_PI_2);
+        let a = cell_axis(&rotated.vertices);
+        assert!(a.x.abs() > 0.99, "axis = {a:?}");
+    }
+
+    #[test]
+    fn aligned_suspension_has_high_order_parameter() {
+        let mesh = biconcave_rbc_mesh(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+        let mut pool = CellPool::with_capacity(16);
+        for i in 0..5 {
+            let verts = mesh
+                .vertices
+                .iter()
+                .map(|&v| v + apr_mesh::Vec3::new(i as f64 * 4.0, 0.0, 0.0))
+                .collect();
+            pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), verts);
+        }
+        let stats = suspension_stats(&pool, apr_mesh::Vec3::Z);
+        assert_eq!(stats.rbc_count, 5);
+        assert!(stats.orientation_order > 0.95, "{stats:?}");
+        assert!((stats.mean_nn_distance - 4.0).abs() < 1e-9);
+        assert!(stats.mean_deformation > 0.15);
+    }
+
+    #[test]
+    fn empty_pool_is_safe() {
+        let pool = CellPool::with_capacity(4);
+        let stats = suspension_stats(&pool, apr_mesh::Vec3::Z);
+        assert_eq!(stats.rbc_count, 0);
+    }
+}

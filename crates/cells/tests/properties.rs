@@ -1,0 +1,62 @@
+//! Property-based tests: the uniform subgrid must agree with brute force.
+
+use apr_cells::UniformSubgrid;
+use apr_mesh::Vec3;
+use proptest::prelude::*;
+
+fn points_strategy() -> impl Strategy<Value = Vec<(u64, Vec3)>> {
+    proptest::collection::vec(
+        (
+            0u64..20,
+            (-20.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64),
+        ),
+        1..60,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(id, (x, y, z))| (id, Vec3::new(x, y, z)))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Neighbour queries return exactly the brute-force answer for any
+    /// point cloud, query centre, radius and bin size.
+    #[test]
+    fn subgrid_matches_brute_force(
+        points in points_strategy(),
+        qx in -25.0..25.0f64,
+        qy in -25.0..25.0f64,
+        qz in -25.0..25.0f64,
+        radius in 0.1..10.0f64,
+        bin in 0.5..8.0f64,
+        exclude in 0u64..20,
+    ) {
+        let mut grid = UniformSubgrid::new(bin);
+        for (i, &(id, p)) in points.iter().enumerate() {
+            grid.insert(id, i as u32, p);
+        }
+        let q = Vec3::new(qx, qy, qz);
+        let got = grid.cells_near(q, radius, exclude);
+        let mut expected: Vec<u64> = points
+            .iter()
+            .filter(|&&(id, p)| id != exclude && p.distance_sq(q) <= radius * radius)
+            .map(|&(id, _)| id)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Removing a cell removes exactly its samples.
+    #[test]
+    fn remove_is_exact(points in points_strategy(), victim in 0u64..20) {
+        let mut grid = UniformSubgrid::new(2.0);
+        for (i, &(id, p)) in points.iter().enumerate() {
+            grid.insert(id, i as u32, p);
+        }
+        let victim_count = points.iter().filter(|&&(id, _)| id == victim).count();
+        grid.remove_cell(victim);
+        prop_assert_eq!(grid.len(), points.len() - victim_count);
+    }
+}

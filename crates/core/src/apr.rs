@@ -1,0 +1,364 @@
+//! The APR engine: coarse bulk fluid + moving cell-resolved window
+//! (paper §2.4, the primary contribution).
+//!
+//! Coordinate convention: **cells live in fine-lattice coordinates** and the
+//! window anatomy is centred in the fine domain. A window move shifts the
+//! fine lattice's origin within the coarse lattice by a whole number of
+//! coarse cells and translates every cell the opposite way, so the window
+//! always occupies the entire fine lattice. World positions are recovered
+//! through [`AprEngine::fine_to_world`].
+
+use crate::fsi;
+use apr_cells::{CellKind, CellPool, ContactParams, UniformSubgrid};
+use apr_coupling::CouplingMap;
+use apr_ibm::DeltaKernel;
+use apr_lattice::Lattice;
+use apr_membrane::Membrane;
+use apr_mesh::Vec3;
+use apr_window::{
+    move_window, remove_escaped_cells, repopulate, CtcTracker, HematocritController,
+    InsertionContext, InsertionReport, MoveTrigger, WindowAnatomy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Geometry callback: re-flag the fine lattice for a new window origin
+/// (coarse-lattice coordinates of fine node 0).
+pub type FineGeometry = Box<dyn Fn(&mut Lattice, [f64; 3]) + Send + Sync>;
+
+/// Report of one engine step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AprStepReport {
+    /// Did the window move this step?
+    pub moved: bool,
+    /// Insertion activity this step (if maintenance ran).
+    pub insertion: Option<InsertionReport>,
+    /// Cells removed after crossing the window boundary.
+    pub escaped: usize,
+}
+
+/// Adaptive-physics-refinement simulation: coarse bulk + fine moving window
+/// with explicit deformable cells.
+pub struct AprEngine {
+    /// Coarse (bulk, whole-blood) lattice.
+    pub coarse: Lattice,
+    /// Fine (window, plasma) lattice.
+    pub fine: Lattice,
+    /// Bulk↔window coupling.
+    pub map: CouplingMap,
+    /// Window anatomy in fine coordinates (centred in the fine domain).
+    pub anatomy: WindowAnatomy,
+    /// Live cells (fine coordinates).
+    pub pool: CellPool,
+    /// Spatial hash over cell vertices (fine coordinates).
+    pub grid: UniformSubgrid,
+    /// Intercellular repulsion.
+    pub contact: ContactParams,
+    /// IBM delta kernel.
+    pub kernel: DeltaKernel,
+    /// Hematocrit controller (None = no density maintenance).
+    pub controller: Option<HematocritController>,
+    /// Insertion machinery (None = no repopulation).
+    pub insertion: Option<InsertionContext>,
+    /// Window-move trigger.
+    pub trigger: MoveTrigger,
+    /// CTC trajectory in world (coarse-lattice) coordinates.
+    pub tracker: CtcTracker,
+    /// Steps between window-maintenance sweeps.
+    pub maintenance_interval: u64,
+    geometry: Option<FineGeometry>,
+    rng: StdRng,
+    steps: u64,
+    site_updates: u64,
+    moves: u64,
+}
+
+impl AprEngine {
+    /// Build an engine from prepared lattices.
+    ///
+    /// * `origin` — coarse coordinates of fine node 0.
+    /// * `n` — refinement ratio; `lambda` — viscosity ratio ν_f/ν_c.
+    /// * `proper_half`, `onramp`, `insertion_width` — window anatomy in
+    ///   **fine** lattice units; their sum should reach (near) the fine
+    ///   domain boundary.
+    pub fn new(
+        coarse: Lattice,
+        mut fine: Lattice,
+        origin: [f64; 3],
+        n: usize,
+        lambda: f64,
+        proper_half: f64,
+        onramp: f64,
+        insertion_width: f64,
+        contact: ContactParams,
+    ) -> Self {
+        let map = CouplingMap::new(&coarse, &fine, origin, n, lambda, 1.0);
+        map.seed_fine_from_coarse(&coarse, &mut fine);
+        let center = Vec3::new(
+            (fine.nx - 1) as f64 / 2.0,
+            (fine.ny - 1) as f64 / 2.0,
+            (fine.nz - 1) as f64 / 2.0,
+        );
+        let anatomy = WindowAnatomy::new(center, proper_half, onramp, insertion_width);
+        let grid = UniformSubgrid::new(contact.cutoff.max(2.0));
+        Self {
+            coarse,
+            fine,
+            map,
+            anatomy,
+            pool: CellPool::with_capacity(256),
+            grid,
+            contact,
+            kernel: DeltaKernel::Cosine4,
+            controller: None,
+            insertion: None,
+            trigger: MoveTrigger { trigger_distance: proper_half * 0.25 },
+            tracker: CtcTracker::new(),
+            maintenance_interval: 50,
+            geometry: None,
+            rng: StdRng::seed_from_u64(0x5eed),
+            steps: 0,
+            site_updates: 0,
+            moves: 0,
+        }
+    }
+
+    /// Install a geometry callback re-flagging the fine lattice after moves;
+    /// applies it immediately for the current origin.
+    pub fn set_fine_geometry(&mut self, geometry: FineGeometry) {
+        geometry(&mut self.fine, self.map.origin);
+        self.rebuild_coupling();
+        self.map.seed_fine_from_coarse(&self.coarse, &mut self.fine);
+        self.geometry = Some(geometry);
+    }
+
+    /// Reseed the deterministic RNG driving cell insertion.
+    pub fn reseed_rng(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// World (coarse-lattice) coordinates of a fine-coordinate point.
+    pub fn fine_to_world(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            self.map.origin[0] + p.x / self.map.n as f64,
+            self.map.origin[1] + p.y / self.map.n as f64,
+            self.map.origin[2] + p.z / self.map.n as f64,
+        )
+    }
+
+    /// Fine coordinates of a world point.
+    pub fn world_to_fine(&self, p: Vec3) -> Vec3 {
+        Vec3::new(
+            (p.x - self.map.origin[0]) * self.map.n as f64,
+            (p.y - self.map.origin[1]) * self.map.n as f64,
+            (p.z - self.map.origin[2]) * self.map.n as f64,
+        )
+    }
+
+    /// Add a CTC with explicit shape (fine coordinates); returns its ID.
+    pub fn add_ctc(&mut self, membrane: Arc<Membrane>, vertices: Vec<Vec3>) -> u64 {
+        let (_, id) = self.pool.insert_shape(CellKind::Ctc, membrane, vertices);
+        id
+    }
+
+    /// Add an RBC with explicit shape (fine coordinates); returns its ID.
+    pub fn add_rbc(&mut self, membrane: Arc<Membrane>, vertices: Vec<Vec3>) -> u64 {
+        let (_, id) = self.pool.insert_shape(CellKind::Rbc, membrane, vertices);
+        id
+    }
+
+    /// Initially pack the window interior with RBCs from the insertion
+    /// context's tile, skipping overlaps with existing cells (the paper
+    /// §3.2 packs each domain before flow starts). Returns inserted count.
+    pub fn populate_window(&mut self) -> usize {
+        let Some(ctx) = &self.insertion else { return 0 };
+        apr_cells::rebuild_grid(&mut self.grid, &self.pool);
+        let (lo, hi) = self.anatomy.bounds();
+        let edge = (hi.x - lo.x).min(ctx.tile.edge);
+        let placements = ctx.tile.sample_cube(edge, &mut self.rng);
+        let mut inserted = 0;
+        for p in placements {
+            let mut verts = p.realize(&ctx.rbc_mesh);
+            for v in &mut verts {
+                *v += lo;
+            }
+            let centroid: Vec3 = verts.iter().copied().sum::<Vec3>() / verts.len() as f64;
+            if !self.anatomy.contains(centroid) {
+                continue;
+            }
+            if let apr_cells::OverlapOutcome::Clear =
+                apr_cells::test_overlap(&self.grid, &verts, ctx.min_gap)
+            {
+                let (_, id) =
+                    self.pool
+                        .insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), verts);
+                let cell = self.pool.find_by_id(id).expect("just inserted");
+                self.grid.insert_cell(id, &cell.vertices);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Current CTC centroid in fine coordinates.
+    pub fn ctc_position(&self) -> Option<Vec3> {
+        self.pool
+            .iter()
+            .find(|c| c.kind == CellKind::Ctc)
+            .map(|c| c.centroid())
+    }
+
+    /// Window hematocrit (if a controller is installed).
+    pub fn window_hematocrit(&self) -> Option<f64> {
+        self.controller
+            .as_ref()
+            .map(|c| c.window_hematocrit(&self.pool, &self.anatomy))
+    }
+
+    /// Advance one coarse step (with `n` fine FSI substeps), plus window
+    /// maintenance and (when triggered) a window move.
+    pub fn step(&mut self) -> AprStepReport {
+        let mut report = AprStepReport::default();
+        let old = self.map.snapshot(&self.coarse, &self.fine);
+        self.coarse.step();
+        let new = self.map.snapshot(&self.coarse, &self.fine);
+        let n = self.map.n;
+        for k in 0..n {
+            let theta = (k + 1) as f64 / n as f64;
+            fsi::compute_membrane_forces(&mut self.pool);
+            fsi::compute_contact_forces(&mut self.pool, &mut self.grid, self.contact);
+            self.fine.clear_forces();
+            fsi::spread_cell_forces(&mut self.fine, &self.pool, self.kernel, |v| v, 1.0);
+            self.fine.collide_phase();
+            self.map.impose_shell(&mut self.fine, &old, &new, theta);
+            self.fine.stream_phase();
+            fsi::advect_cells(&self.fine, &mut self.pool, self.kernel, |v| v, 1.0);
+        }
+        self.map.restrict(&mut self.coarse, &self.fine);
+
+        self.steps += 1;
+        self.site_updates += self.coarse.fluid_node_count() as u64
+            + (self.fine.fluid_node_count() * n) as u64;
+
+        // Trajectory + window move.
+        if let Some(ctc) = self.ctc_position() {
+            let world = self.fine_to_world(ctc);
+            self.tracker.record(self.steps, world);
+            if self.trigger.should_move(&self.anatomy, ctc) {
+                report.moved = self.execute_window_move(ctc);
+            }
+        }
+
+        // Periodic density maintenance.
+        if self.steps % self.maintenance_interval == 0 {
+            let escaped = remove_escaped_cells(&mut self.pool, &mut self.grid, &self.anatomy);
+            report.escaped = escaped;
+            if let (Some(controller), Some(ctx)) = (&self.controller, &self.insertion) {
+                report.insertion = Some(repopulate(
+                    &mut self.pool,
+                    &mut self.grid,
+                    &self.anatomy,
+                    controller,
+                    ctx,
+                    &mut self.rng,
+                ));
+            }
+        }
+        report
+    }
+
+    /// Perform the §2.4.3 window move toward the CTC at fine position
+    /// `ctc`. Returns false if the shift rounds to zero or would leave the
+    /// coarse domain.
+    fn execute_window_move(&mut self, ctc: Vec3) -> bool {
+        let n = self.map.n as f64;
+        // Integer coarse-cell shift bringing the CTC back to centre.
+        let shift_c = Vec3::new(
+            ((ctc.x - self.anatomy.center.x) / n).round(),
+            ((ctc.y - self.anatomy.center.y) / n).round(),
+            ((ctc.z - self.anatomy.center.z) / n).round(),
+        );
+        if shift_c == Vec3::ZERO {
+            return false;
+        }
+        let new_origin = [
+            self.map.origin[0] + shift_c.x,
+            self.map.origin[1] + shift_c.y,
+            self.map.origin[2] + shift_c.z,
+        ];
+        // Keep the fine domain inside the coarse one.
+        let fine_dims = [self.fine.nx, self.fine.ny, self.fine.nz];
+        let coarse_dims = [self.coarse.nx, self.coarse.ny, self.coarse.nz];
+        for a in 0..3 {
+            if self.fine.periodic[a] {
+                continue;
+            }
+            let hi = new_origin[a] + (fine_dims[a] - 1) as f64 / n;
+            if new_origin[a] < 0.0 || hi > (coarse_dims[a] - 1) as f64 {
+                return false;
+            }
+        }
+
+        let shift_fine = shift_c * n;
+        // Capture/fill in the old frame: the window recentres on the snap
+        // target; fill copies are placed shifted by the displacement.
+        let target = self.anatomy.center + shift_fine;
+        let (_, _move_report) = move_window(
+            &self.anatomy,
+            &mut self.pool,
+            &mut self.grid,
+            target,
+            self.insertion.as_ref().map_or(1.0, |c| c.min_gap),
+        );
+        // Translate everything back so the anatomy stays domain-centred.
+        for cell in self.pool.iter_mut() {
+            cell.translate(-shift_fine);
+        }
+        apr_cells::rebuild_grid(&mut self.grid, &self.pool);
+
+        // Shift the fine lattice origin and rebuild the coupling.
+        self.map = CouplingMap::new(
+            &self.coarse,
+            &self.fine,
+            new_origin,
+            self.map.n,
+            self.map.lambda,
+            1.0,
+        );
+        if let Some(geometry) = &self.geometry {
+            geometry(&mut self.fine, new_origin);
+            self.rebuild_coupling();
+        }
+        // Fresh fine fluid from the coarse solution (paper §2.4.3).
+        self.map.seed_fine_from_coarse(&self.coarse, &mut self.fine);
+        self.moves += 1;
+        true
+    }
+
+    fn rebuild_coupling(&mut self) {
+        self.map = CouplingMap::new(
+            &self.coarse,
+            &self.fine,
+            self.map.origin,
+            self.map.n,
+            self.map.lambda,
+            1.0,
+        );
+    }
+
+    /// Steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Window moves executed.
+    pub fn window_moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Cumulative site updates (coarse + n×fine) — the APR/eFSI cost proxy.
+    pub fn site_updates(&self) -> u64 {
+        self.site_updates
+    }
+}

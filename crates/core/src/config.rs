@@ -1,0 +1,187 @@
+//! Physical-units configuration: from paper-style parameters (metres,
+//! pascal-seconds, newtons per metre) to lattice-unit engine inputs.
+//!
+//! The paper specifies every run physically — Δx in µm, plasma at 1.2 cP,
+//! whole blood at 4 cP, `G_s = 5·10⁻⁶ N/m` — and HARVEY derives lattice
+//! parameters internally. [`PhysicalConfig`] is that derivation: fix the
+//! coarse grid spacing, the coarse relaxation time and the refinement
+//! ratio, and every other lattice quantity follows.
+
+use apr_coupling::fine_tau;
+use apr_hemo::UnitConverter;
+use apr_membrane::MembraneMaterial;
+
+/// Physical description of a coupled APR problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalConfig {
+    /// Coarse lattice spacing, m.
+    pub dx_coarse: f64,
+    /// Refinement ratio n.
+    pub refinement: usize,
+    /// Coarse relaxation time (sets Δt through the blood viscosity).
+    pub tau_coarse: f64,
+    /// Whole-blood dynamic viscosity, Pa·s.
+    pub blood_viscosity: f64,
+    /// Plasma dynamic viscosity, Pa·s.
+    pub plasma_viscosity: f64,
+    /// Blood mass density, kg/m³.
+    pub density: f64,
+}
+
+impl PhysicalConfig {
+    /// The paper's default fluids (4 cP blood, 1.2 cP plasma, 1060 kg/m³).
+    pub fn paper_defaults(dx_coarse: f64, refinement: usize, tau_coarse: f64) -> Self {
+        Self {
+            dx_coarse,
+            refinement,
+            tau_coarse,
+            blood_viscosity: apr_hemo::WHOLE_BLOOD_VISCOSITY,
+            plasma_viscosity: apr_hemo::PLASMA_VISCOSITY,
+            density: 1060.0,
+        }
+    }
+
+    /// Viscosity ratio λ = ν_plasma/ν_blood (paper §2.4.1).
+    pub fn lambda(&self) -> f64 {
+        self.plasma_viscosity / self.blood_viscosity
+    }
+
+    /// Fine relaxation time via Eq. 7.
+    pub fn tau_fine(&self) -> f64 {
+        fine_tau(self.tau_coarse, self.refinement, self.lambda())
+    }
+
+    /// Unit converter for the coarse lattice (Δt from blood ν and τ_c).
+    pub fn coarse_units(&self) -> UnitConverter {
+        UnitConverter::from_viscosity(
+            self.dx_coarse,
+            self.blood_viscosity / self.density,
+            self.tau_coarse,
+            self.density,
+        )
+    }
+
+    /// Unit converter for the fine lattice (convective scaling:
+    /// Δx_f = Δx_c/n, Δt_f = Δt_c/n).
+    pub fn fine_units(&self) -> UnitConverter {
+        let c = self.coarse_units();
+        UnitConverter::new(c.dx / self.refinement as f64, c.dt / self.refinement as f64, c.rho)
+    }
+
+    /// Convert a physical body-force density (N/m³) into coarse lattice
+    /// units; the fine lattice takes this divided by n.
+    pub fn body_force_lattice(&self, f_si: f64) -> f64 {
+        self.coarse_units().body_force_to_lattice(f_si)
+    }
+
+    /// RBC membrane material in **fine-lattice units** from physical
+    /// moduli (`gs` N/m, `eb` J).
+    pub fn rbc_material(&self, gs: f64, eb: f64) -> MembraneMaterial {
+        let u = self.fine_units();
+        MembraneMaterial::rbc(
+            u.surface_modulus_to_lattice(gs),
+            u.bending_modulus_to_lattice(eb),
+        )
+    }
+
+    /// CTC membrane material in fine-lattice units.
+    pub fn ctc_material(&self, gs: f64, eb: f64) -> MembraneMaterial {
+        let u = self.fine_units();
+        MembraneMaterial::ctc(
+            u.surface_modulus_to_lattice(gs),
+            u.bending_modulus_to_lattice(eb),
+        )
+    }
+
+    /// A physical length in fine lattice units.
+    pub fn length_fine(&self, l_si: f64) -> f64 {
+        self.fine_units().length_to_lattice(l_si)
+    }
+
+    /// A physical length in coarse lattice units.
+    pub fn length_coarse(&self, l_si: f64) -> f64 {
+        self.coarse_units().length_to_lattice(l_si)
+    }
+
+    /// Physical duration of one coarse step, s.
+    pub fn coarse_dt(&self) -> f64 {
+        self.coarse_units().dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> PhysicalConfig {
+        // Figure 6 parameters: Δx_c = 2.5 µm, n = 5, τ_c = 1.
+        PhysicalConfig::paper_defaults(2.5e-6, 5, 1.0)
+    }
+
+    #[test]
+    fn lambda_matches_paper_fluids() {
+        let c = config();
+        assert!((c.lambda() - 0.3).abs() < 1e-12, "λ = {}", c.lambda());
+    }
+
+    #[test]
+    fn fine_tau_is_stable() {
+        let c = config();
+        let tau_f = c.tau_fine();
+        assert!(tau_f > 0.5 && tau_f < 2.0, "τ_f = {tau_f}");
+        // Eq. 7 by hand: 0.5 + 5·0.3·0.5 = 1.25.
+        assert!((tau_f - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convective_scaling_links_converters() {
+        let c = config();
+        let cc = c.coarse_units();
+        let fc = c.fine_units();
+        assert!((cc.dx / fc.dx - 5.0).abs() < 1e-12);
+        assert!((cc.dt / fc.dt - 5.0).abs() < 1e-12);
+        // Lattice velocities are identical across grids under convective
+        // scaling: u_lat = u_SI·dt/dx has the same value.
+        let u = 0.05;
+        assert!(
+            (cc.velocity_to_lattice(u) - fc.velocity_to_lattice(u)).abs() < 1e-15
+        );
+    }
+
+    #[test]
+    fn fine_viscosity_is_plasma() {
+        let c = config();
+        let fc = c.fine_units();
+        let nu_f = fc.viscosity_for_tau(c.tau_fine());
+        let expected = c.plasma_viscosity / c.density;
+        assert!(
+            (nu_f - expected).abs() / expected < 1e-12,
+            "ν_f = {nu_f} vs plasma {expected}"
+        );
+    }
+
+    #[test]
+    fn paper_rbc_modulus_is_numerically_reasonable() {
+        // G_s = 5e-6 N/m on the 0.5 µm fine grid: the lattice value must be
+        // usable by an explicit scheme (≪ 1) but far above round-off.
+        let c = config();
+        let m = c.rbc_material(5e-6, 2e-19);
+        assert!(
+            m.shear_modulus > 1e-6 && m.shear_modulus < 1.0,
+            "lattice G_s = {}",
+            m.shear_modulus
+        );
+        // CTC is 20× stiffer in the same units.
+        let ctc = c.ctc_material(1e-4, 2e-19);
+        assert!((ctc.shear_modulus / m.shear_modulus - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coarse_step_duration_is_physiological() {
+        // Δt = ν_lat·Δx²/ν_SI with ν_lat = 1/6 at τ=1: Δx 2.5 µm, blood
+        // ν ≈ 3.77e-6 m²/s → Δt ≈ 0.28 µs. Thousands of steps per ms: right
+        // order for cellular flow simulations.
+        let dt = config().coarse_dt();
+        assert!(dt > 1e-8 && dt < 1e-5, "Δt = {dt}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Shared fluid–structure interaction plumbing used by both engines.
+//!
+//! One FSI substep (paper §2.3): membrane + contact forces on every cell →
+//! spread onto the lattice (Eq. 6) → LBM step → interpolate velocities
+//! (Eq. 4) → advect vertices (Eq. 5).
+
+use apr_cells::{apply_contact_forces, rebuild_grid, CellPool, ContactParams, UniformSubgrid};
+use apr_ibm::{interpolate_velocity, DeltaKernel};
+use apr_lattice::Lattice;
+use apr_mesh::Vec3;
+use rayon::prelude::*;
+
+/// Zero all cell force buffers and accumulate membrane elastic forces,
+/// in parallel across cells. Returns total elastic energy.
+pub fn compute_membrane_forces(pool: &mut CellPool) -> f64 {
+    pool.par_iter_mut()
+        .map(|cell| {
+            cell.clear_forces();
+            cell.compute_membrane_forces().total()
+        })
+        .sum()
+}
+
+/// Rebuild the spatial grid and add intercellular contact forces.
+pub fn compute_contact_forces(
+    pool: &mut CellPool,
+    grid: &mut UniformSubgrid,
+    params: ContactParams,
+) -> usize {
+    rebuild_grid(grid, pool);
+    apply_contact_forces(pool, grid, params)
+}
+
+/// Spread every cell's vertex forces onto the lattice force field.
+/// Positions are mapped by `to_lattice` (world → lattice coordinates);
+/// force magnitudes are scaled by `force_scale` (world → lattice units).
+pub fn spread_cell_forces(
+    lattice: &mut Lattice,
+    pool: &CellPool,
+    kernel: DeltaKernel,
+    to_lattice: impl Fn(Vec3) -> Vec3,
+    force_scale: f64,
+) {
+    for cell in pool.iter() {
+        let positions: Vec<Vec3> = cell.vertices.iter().map(|&v| to_lattice(v)).collect();
+        let forces: Vec<Vec3> = cell.forces.iter().map(|&f| f * force_scale).collect();
+        apr_ibm::spread_forces(lattice, &positions, &forces, kernel);
+    }
+}
+
+/// Interpolate lattice velocities at every vertex and advect the cells.
+/// `to_lattice` maps world → lattice coordinates; `dt_world` converts one
+/// lattice step of displacement back into world units (for a lattice whose
+/// spacing is `1/n` world units per node, pass `1/n`).
+pub fn advect_cells(
+    lattice: &Lattice,
+    pool: &mut CellPool,
+    kernel: DeltaKernel,
+    to_lattice: impl Fn(Vec3) -> Vec3 + Sync,
+    dt_world: f64,
+) {
+    pool.par_iter_mut().for_each(|cell| {
+        let velocities: Vec<Vec3> = cell
+            .vertices
+            .iter()
+            .map(|&v| interpolate_velocity(lattice, to_lattice(v), kernel))
+            .collect();
+        cell.advect(&velocities, dt_world);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_cells::CellKind;
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_mesh::icosphere;
+    use std::sync::Arc;
+
+    fn pool_with_sphere(radius: f64, center: Vec3) -> CellPool {
+        let mesh = icosphere(2, radius);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1e-3, 1e-5)));
+        let mut pool = CellPool::with_capacity(4);
+        let verts = mesh.vertices.iter().map(|&v| v + center).collect();
+        pool.insert_shape(CellKind::Rbc, mem, verts);
+        pool
+    }
+
+    #[test]
+    fn undeformed_cell_exerts_negligible_force() {
+        let mut pool = pool_with_sphere(3.0, Vec3::splat(8.0));
+        let energy = compute_membrane_forces(&mut pool);
+        assert!(energy.abs() < 1e-12);
+        let mut lat = Lattice::new(16, 16, 16, 1.0);
+        lat.periodic = [true, true, true];
+        spread_cell_forces(&mut lat, &pool, DeltaKernel::Cosine4, |v| v, 1.0);
+        let total: f64 = lat.force.iter().map(|f| f.abs()).sum();
+        assert!(total < 1e-9, "force leak {total}");
+    }
+
+    #[test]
+    fn advection_follows_uniform_flow() {
+        let mut pool = pool_with_sphere(2.0, Vec3::splat(8.0));
+        let mut lat = Lattice::new(16, 16, 16, 1.0);
+        lat.periodic = [true, true, true];
+        lat.initialize_equilibrium(1.0, [0.02, 0.0, -0.01]);
+        let c0 = pool.iter().next().unwrap().centroid();
+        for _ in 0..10 {
+            advect_cells(&lat, &mut pool, DeltaKernel::Cosine4, |v| v, 1.0);
+        }
+        let c1 = pool.iter().next().unwrap().centroid();
+        let expected = c0 + Vec3::new(0.2, 0.0, -0.1);
+        assert!((c1 - expected).norm() < 1e-9, "{c1:?}");
+    }
+
+    #[test]
+    fn coordinate_mapping_offsets_spreading() {
+        // World coordinates offset by (−4, −4, −4) must deposit forces at
+        // the mapped lattice location.
+        let mut pool = pool_with_sphere(2.0, Vec3::splat(12.0));
+        // Deform slightly so forces exist.
+        for cell in pool.iter_mut() {
+            for v in &mut cell.vertices {
+                *v = Vec3::splat(12.0) + (*v - Vec3::splat(12.0)) * 1.05;
+            }
+        }
+        compute_membrane_forces(&mut pool);
+        let mut lat = Lattice::new(16, 16, 16, 1.0);
+        lat.periodic = [true, true, true];
+        spread_cell_forces(
+            &mut lat,
+            &pool,
+            DeltaKernel::Cosine4,
+            |v| v - Vec3::splat(4.0),
+            1.0,
+        );
+        // Forces centred near lattice (8,8,8), not (12,12,12).
+        let near = lat.idx(8, 8, 8);
+        let far = lat.idx(14, 14, 14);
+        let mag = |n: usize| {
+            (lat.force[n * 3].powi(2) + lat.force[n * 3 + 1].powi(2) + lat.force[n * 3 + 2].powi(2))
+                .sqrt()
+        };
+        // The shell of the sphere (radius 2.1 around centre 8) carries force.
+        let shell = lat.idx(10, 8, 8);
+        assert!(mag(shell) + mag(near) > 0.0);
+        assert_eq!(mag(far), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # APR-RBC: adaptive physics refinement with realistic red blood cell counts
+//!
+//! Public API of the reproduction of Roychowdhury et al., SC '23. The two
+//! entry points are:
+//!
+//! * [`EfsiEngine`] — the fully resolved fluid–structure-interaction
+//!   baseline: one fine lattice, every cell explicit (paper §3.3's
+//!   comparison model).
+//! * [`AprEngine`] — the paper's contribution: a coarse whole-blood bulk
+//!   lattice coupled to a fine plasma window that tracks a circulating
+//!   tumor cell, maintains a target hematocrit of explicitly modeled
+//!   deformable RBCs, and moves with the cell through the vasculature.
+//!
+//! Supporting modules: [`fsi`] (shared IBM/FEM plumbing), [`diagnostics`]
+//! (hematocrit series, effective viscosity — Figure 5's observables) and
+//! [`output`] (CSV/table writers for the benchmark harness).
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` at the workspace root: build a Couette
+//! channel, drop in an RBC, watch it deform and advect.
+
+pub mod apr;
+pub mod config;
+pub mod diagnostics;
+pub mod efsi;
+pub mod fsi;
+pub mod output;
+pub mod vtk;
+
+pub use apr::{AprEngine, AprStepReport, FineGeometry};
+pub use config::PhysicalConfig;
+pub use diagnostics::{
+    mean_axial_velocity, tube_effective_viscosity, tube_flow_rate, HematocritSeries,
+};
+pub use efsi::EfsiEngine;
+pub use output::{render_table, write_csv};
+pub use vtk::{cells_to_vtk, lattice_to_vtk, mesh_to_vtk, write_vtk};

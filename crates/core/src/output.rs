@@ -1,0 +1,89 @@
+//! CSV output helpers for experiment harnesses.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write a CSV file: header row plus `f64` data rows.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width mismatch");
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::File::create(path)?.write_all(out.as_bytes())
+}
+
+/// Render a fixed-width text table (for experiment stdout reports).
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trips() {
+        let dir = std::env::temp_dir().join("apr_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec![1.0, 2.0], vec![3.5, -4.0]]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n3.5,-4\n");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["n", "value"],
+            &[
+                vec!["2".into(), "0.0178".into()],
+                vec!["10".into(), "0.0183".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with("0.0178"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn csv_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("apr_csv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = write_csv(dir.join("bad.csv"), &["a", "b"], &[vec![1.0]]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Legacy-VTK output: fluid fields as structured points, cell membranes as
+//! polydata. Every figure in the paper is a visualization of exactly these
+//! two data sets (velocity streamlines + deformed cell surfaces); the ASCII
+//! legacy format keeps the reproduction free of serialization dependencies
+//! while opening the results in ParaView/VisIt.
+
+use apr_cells::CellPool;
+use apr_lattice::{Lattice, NodeClass};
+use apr_mesh::TriMesh;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::path::Path;
+
+/// Serialize a lattice's macroscopic fields as VTK structured points:
+/// density (scalars), velocity (vectors) and node class (scalars).
+/// `origin`/`spacing` place the grid in world coordinates.
+pub fn lattice_to_vtk(lat: &Lattice, origin: [f64; 3], spacing: f64) -> String {
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\napr-rbc fluid field\nASCII\n");
+    out.push_str("DATASET STRUCTURED_POINTS\n");
+    let _ = writeln!(out, "DIMENSIONS {} {} {}", lat.nx, lat.ny, lat.nz);
+    let _ = writeln!(out, "ORIGIN {} {} {}", origin[0], origin[1], origin[2]);
+    let _ = writeln!(out, "SPACING {spacing} {spacing} {spacing}");
+    let n = lat.node_count();
+    let _ = writeln!(out, "POINT_DATA {n}");
+
+    out.push_str("SCALARS density double 1\nLOOKUP_TABLE default\n");
+    for node in 0..n {
+        let _ = writeln!(out, "{}", lat.rho[node]);
+    }
+    out.push_str("VECTORS velocity double\n");
+    for node in 0..n {
+        let u = lat.velocity_at(node);
+        let _ = writeln!(out, "{} {} {}", u[0], u[1], u[2]);
+    }
+    out.push_str("SCALARS node_class int 1\nLOOKUP_TABLE default\n");
+    for node in 0..n {
+        let class = match lat.flag(node) {
+            NodeClass::Fluid => 0,
+            NodeClass::Wall => 1,
+            NodeClass::Velocity => 2,
+            NodeClass::Pressure => 3,
+            NodeClass::Exterior => 4,
+        };
+        let _ = writeln!(out, "{class}");
+    }
+    out
+}
+
+/// Serialize every cell in the pool as one VTK polydata: vertices, triangle
+/// connectivity, plus per-point cell IDs and force magnitudes (the paper's
+/// Figure 9 colors RBC surfaces by FEM force).
+pub fn cells_to_vtk(pool: &CellPool) -> String {
+    let mut points = String::new();
+    let mut polys = String::new();
+    let mut ids = String::new();
+    let mut force_mag = String::new();
+    let mut n_points = 0usize;
+    let mut n_tris = 0usize;
+    for cell in pool.iter() {
+        let base = n_points;
+        for (v, f) in cell.vertices.iter().zip(&cell.forces) {
+            let _ = writeln!(points, "{} {} {}", v.x, v.y, v.z);
+            let _ = writeln!(ids, "{}", cell.id);
+            let _ = writeln!(force_mag, "{}", f.norm());
+        }
+        for t in &cell.membrane.reference.triangles {
+            let _ = writeln!(
+                polys,
+                "3 {} {} {}",
+                base + t[0] as usize,
+                base + t[1] as usize,
+                base + t[2] as usize
+            );
+        }
+        n_points += cell.vertex_count();
+        n_tris += cell.membrane.reference.triangles.len();
+    }
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\napr-rbc cells\nASCII\n");
+    out.push_str("DATASET POLYDATA\n");
+    let _ = writeln!(out, "POINTS {n_points} double");
+    out.push_str(&points);
+    let _ = writeln!(out, "POLYGONS {n_tris} {}", n_tris * 4);
+    out.push_str(&polys);
+    let _ = writeln!(out, "POINT_DATA {n_points}");
+    out.push_str("SCALARS cell_id int 1\nLOOKUP_TABLE default\n");
+    out.push_str(&ids);
+    out.push_str("SCALARS force_magnitude double 1\nLOOKUP_TABLE default\n");
+    out.push_str(&force_mag);
+    out
+}
+
+/// Serialize a bare triangle mesh as VTK polydata (geometry previews).
+pub fn mesh_to_vtk(mesh: &TriMesh) -> String {
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\napr-rbc mesh\nASCII\n");
+    out.push_str("DATASET POLYDATA\n");
+    let _ = writeln!(out, "POINTS {} double", mesh.vertex_count());
+    for v in &mesh.vertices {
+        let _ = writeln!(out, "{} {} {}", v.x, v.y, v.z);
+    }
+    let _ = writeln!(
+        out,
+        "POLYGONS {} {}",
+        mesh.triangle_count(),
+        mesh.triangle_count() * 4
+    );
+    for t in &mesh.triangles {
+        let _ = writeln!(out, "3 {} {} {}", t[0], t[1], t[2]);
+    }
+    out
+}
+
+/// Write a VTK string to disk.
+pub fn write_vtk<P: AsRef<Path>>(content: &str, path: P) -> std::io::Result<()> {
+    std::fs::File::create(path)?.write_all(content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_cells::CellKind;
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_mesh::icosphere;
+    use std::sync::Arc;
+
+    #[test]
+    fn lattice_vtk_has_consistent_counts() {
+        let mut lat = Lattice::new(4, 3, 2, 1.0);
+        lat.set_wall(lat.idx(0, 0, 0));
+        let vtk = lattice_to_vtk(&lat, [0.0; 3], 0.5);
+        assert!(vtk.contains("DIMENSIONS 4 3 2"));
+        assert!(vtk.contains("POINT_DATA 24"));
+        // density: 24 lines; velocity: 24 lines; class: 24 lines.
+        let densities = vtk
+            .split("SCALARS density")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .skip(2) // " double 1" remnant + LOOKUP_TABLE line
+            .take_while(|l| !l.starts_with("VECTORS"))
+            .count();
+        assert_eq!(densities, 24);
+        assert!(vtk.contains("SPACING 0.5 0.5 0.5"));
+    }
+
+    #[test]
+    fn cells_vtk_round_numbers() {
+        let mesh = icosphere(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+        let mut pool = CellPool::with_capacity(4);
+        pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), mesh.vertices.clone());
+        pool.insert_shape(CellKind::Ctc, mem, mesh.vertices.clone());
+        let vtk = cells_to_vtk(&pool);
+        assert!(vtk.contains(&format!("POINTS {} double", 2 * mesh.vertex_count())));
+        assert!(vtk.contains(&format!(
+            "POLYGONS {} {}",
+            2 * mesh.triangle_count(),
+            2 * mesh.triangle_count() * 4
+        )));
+        // Second cell's triangles are offset by the first cell's vertices.
+        assert!(vtk.contains(&format!("3 {} ", mesh.vertex_count())));
+    }
+
+    #[test]
+    fn mesh_vtk_matches_mesh() {
+        let mesh = icosphere(0, 2.0);
+        let vtk = mesh_to_vtk(&mesh);
+        assert!(vtk.contains("POINTS 12 double"));
+        assert!(vtk.contains("POLYGONS 20 80"));
+    }
+
+    #[test]
+    fn vtk_writes_to_disk() {
+        let dir = std::env::temp_dir().join("apr_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.vtk");
+        write_vtk(&mesh_to_vtk(&icosphere(0, 1.0)), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# vtk DataFile"));
+    }
+}

@@ -1,0 +1,180 @@
+//! End-to-end tests of the APR engine: hematocrit maintenance in a tube
+//! (mini Figure 5) and CTC tracking with window moves (mini Figures 6/9).
+
+use apr_cells::ContactParams;
+use apr_core::{AprEngine, HematocritSeries};
+use apr_coupling::fine_tau;
+use apr_lattice::{force_driven_tube, Lattice};
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::{biconcave_rbc_mesh, icosphere, Vec3};
+use apr_window::{HematocritController, InsertionContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Build a small APR tube problem: coarse force-driven tube along z with a
+/// cubic window in the middle, refinement `n`, viscosity ratio λ = 0.3.
+fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> AprEngine {
+    let (nx, ny) = (21usize, 21usize);
+    let radius = 9.0;
+    let tau_c = 0.9;
+    let lambda = 0.3;
+    let coarse = force_driven_tube(nx, ny, nz_coarse, tau_c, radius, g);
+
+    // Window: 8 coarse cells across, centred in x/y, near the inlet in z.
+    let span = 8usize;
+    let fine_dim = span * n + 1;
+    let mut fine = Lattice::new(fine_dim, fine_dim, fine_dim, fine_tau(tau_c, n, lambda));
+    // Body force must act on the window fluid too (same pressure gradient);
+    // convective scaling: g_fine = g_coarse / n (acceleration × Δt²/Δx).
+    fine.body_force = [0.0, 0.0, g / n as f64];
+    let origin = [(nx as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+                  (ny as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+                  4.0];
+
+    let proper_half = span as f64 * n as f64 * 0.22;
+    let onramp = span as f64 * n as f64 * 0.12;
+    let insertion = span as f64 * n as f64 * 0.14;
+    AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        n,
+        lambda,
+        proper_half,
+        onramp,
+        insertion,
+        ContactParams { cutoff: 1.2, strength: 5e-4 },
+    )
+}
+
+/// RBC machinery sized for the fine lattice (radius in fine lattice units).
+fn rbc_insertion(radius: f64, gs: f64) -> (InsertionContext, HematocritController) {
+    let rbc_mesh = biconcave_rbc_mesh(1, radius);
+    let re = Arc::new(ReferenceState::build(&rbc_mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(gs, gs * 0.05)));
+    let mut rng = StdRng::seed_from_u64(99);
+    let volume = rbc_mesh.enclosed_volume();
+    let thickness = radius * 0.6;
+    let tile = RbcTileBuilder { radius, thickness, volume }.build(&mut rng);
+    let controller = HematocritController::new(0.12, 0.85, volume);
+    (
+        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.8 },
+        controller,
+    )
+}
+
+struct RbcTileBuilder {
+    radius: f64,
+    thickness: f64,
+    volume: f64,
+}
+
+impl RbcTileBuilder {
+    fn build(&self, rng: &mut StdRng) -> apr_cells::RbcTile {
+        apr_cells::RbcTile::build(
+            40.0_f64.max(self.radius * 10.0),
+            0.15,
+            self.radius,
+            self.thickness,
+            self.volume,
+            rng,
+        )
+    }
+}
+
+#[test]
+fn window_hematocrit_is_maintained_in_tube_flow() {
+    let mut eng = tube_engine(3, 48, 4e-6);
+    let (ctx, controller) = rbc_insertion(3.0, 2e-4);
+    let target = controller.target;
+    eng.insertion = Some(ctx);
+    eng.controller = Some(controller);
+    eng.maintenance_interval = 10;
+    let initial = eng.populate_window();
+    assert!(initial > 5, "initial packing placed only {initial} cells");
+
+    let mut series = HematocritSeries::default();
+    for step in 0..600u64 {
+        eng.step();
+        if step % 10 == 0 {
+            series.record(step, eng.window_hematocrit().unwrap());
+        }
+    }
+    // Cells must still be alive and sane.
+    assert!(eng.pool.live_count() > 5);
+    for cell in eng.pool.iter() {
+        assert!(cell.is_finite(), "a cell blew up");
+    }
+    // Hematocrit near target with bounded fluctuation (Figure 5B behaviour).
+    let steady = series.steady_mean(0.4);
+    assert!(
+        (steady - target).abs() < 0.6 * target,
+        "steady Ht {steady} vs target {target}"
+    );
+    // Cells flow downstream: insertion/removal churn must have happened.
+    assert!(
+        eng.pool.total_inserted() > initial as u64,
+        "no repopulation occurred"
+    );
+}
+
+#[test]
+fn ctc_is_tracked_and_window_moves_with_it() {
+    let mut eng = tube_engine(3, 96, 6e-6);
+    // Stiff CTC at the window centre.
+    let ctc_mesh = icosphere(2, 3.5);
+    let re = Arc::new(ReferenceState::build(&ctc_mesh));
+    let mem = Arc::new(Membrane::new(re, MembraneMaterial::ctc(2e-3, 1e-4)));
+    let center = eng.anatomy.center;
+    let verts: Vec<Vec3> = ctc_mesh.vertices.iter().map(|&v| v + center).collect();
+    eng.add_ctc(mem, verts);
+
+    let start_world = eng.fine_to_world(eng.ctc_position().unwrap());
+    let mut moves = 0;
+    for _ in 0..2500 {
+        let report = eng.step();
+        if report.moved {
+            moves += 1;
+        }
+        if eng.window_moves() >= 3 {
+            break;
+        }
+    }
+    assert!(moves >= 1, "window never moved");
+    let end_world = eng.tracker.current().unwrap();
+    // The CTC advanced down the tube (+z) by multiple coarse cells.
+    assert!(
+        end_world.z > start_world.z + 2.0,
+        "CTC did not travel: {start_world:?} -> {end_world:?}"
+    );
+    // The trajectory is monotone in z (Poiseuille flow, no back-flow).
+    let zs: Vec<f64> = eng.tracker.samples.iter().map(|&(_, p)| p.z).collect();
+    for w in zs.windows(2) {
+        assert!(w[1] >= w[0] - 0.05, "trajectory reversed");
+    }
+    // The CTC stayed inside the window proper after all the moves.
+    let ctc = eng.ctc_position().unwrap();
+    assert!(
+        eng.anatomy.cube_distance(ctc) <= eng.anatomy.interior_half(),
+        "CTC outside window interior"
+    );
+    // The cell survived the moves intact.
+    let cell = eng.pool.iter().find(|c| c.kind == apr_cells::CellKind::Ctc).unwrap();
+    assert!(cell.is_finite());
+}
+
+#[test]
+fn apr_site_updates_are_far_below_equivalent_efsi() {
+    // The cost proxy behind the paper's 10× node-hour saving (§3.3): the
+    // APR window + coarse bulk touches far fewer sites than a fully fine
+    // lattice over the same domain.
+    let eng = tube_engine(3, 96, 6e-6);
+    let apr_sites_per_step = eng.coarse.fluid_node_count()
+        + eng.fine.fluid_node_count() * 3;
+    // Equivalent eFSI: the whole coarse domain at fine resolution, stepped
+    // at the fine rate (n substeps per coarse step).
+    let efsi_sites_per_step = eng.coarse.fluid_node_count() * 27 * 3;
+    let saving = efsi_sites_per_step as f64 / apr_sites_per_step as f64;
+    assert!(saving > 10.0, "APR saving only {saving}×");
+}

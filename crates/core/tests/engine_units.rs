@@ -1,0 +1,118 @@
+//! Fast unit-level tests of the APR engine's bookkeeping (coordinates,
+//! population, configuration) — the physics is covered by `apr_engine.rs`.
+
+use apr_cells::{ContactParams, RbcTile};
+use apr_core::{AprEngine, PhysicalConfig};
+use apr_coupling::fine_tau;
+use apr_lattice::Lattice;
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::{biconcave_rbc_mesh, Vec3};
+use apr_window::{HematocritController, InsertionContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn small_engine(n: usize) -> AprEngine {
+    let coarse = Lattice::new(24, 24, 24, 0.9);
+    let span = 8usize;
+    let fine = Lattice::new(span * n + 1, span * n + 1, span * n + 1, fine_tau(0.9, n, 0.3));
+    AprEngine::new(
+        coarse,
+        fine,
+        [8.0, 8.0, 8.0],
+        n,
+        0.3,
+        span as f64 * n as f64 * 0.22,
+        span as f64 * n as f64 * 0.12,
+        span as f64 * n as f64 * 0.14,
+        ContactParams { cutoff: 1.0, strength: 1e-4 },
+    )
+}
+
+#[test]
+fn world_fine_coordinates_round_trip() {
+    let eng = small_engine(3);
+    for p in [
+        Vec3::new(9.0, 10.0, 11.0),
+        Vec3::new(8.0, 8.0, 8.0),
+        Vec3::new(12.3, 9.7, 15.1),
+    ] {
+        let f = eng.world_to_fine(p);
+        let back = eng.fine_to_world(f);
+        assert!((back - p).norm() < 1e-12, "{p:?} -> {f:?} -> {back:?}");
+    }
+    // Window origin maps to fine node 0.
+    let f = eng.world_to_fine(Vec3::new(8.0, 8.0, 8.0));
+    assert!(f.norm() < 1e-12);
+}
+
+#[test]
+fn anatomy_is_centred_in_fine_domain() {
+    let eng = small_engine(3);
+    let center = eng.anatomy.center;
+    assert!((center.x - (eng.fine.nx - 1) as f64 / 2.0).abs() < 1e-12);
+    // Window fits inside the fine domain.
+    let (lo, hi) = eng.anatomy.bounds();
+    assert!(lo.x >= -1e-9 && hi.x <= (eng.fine.nx - 1) as f64 + 1e-9);
+}
+
+#[test]
+fn populate_window_respects_target() {
+    let mut eng = small_engine(2);
+    let rbc_mesh = biconcave_rbc_mesh(1, 2.2);
+    let volume = rbc_mesh.enclosed_volume();
+    let re = Arc::new(ReferenceState::build(&rbc_mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1e-3, 1e-5)));
+    let mut rng = StdRng::seed_from_u64(1);
+    let tile = RbcTile::build(30.0, 0.15, 2.2, 1.3, volume, &mut rng);
+    eng.insertion = Some(InsertionContext {
+        rbc_mesh,
+        rbc_membrane: membrane,
+        tile,
+        min_gap: 0.5,
+    });
+    eng.controller = Some(HematocritController::new(0.15, 0.85, volume));
+    let inserted = eng.populate_window();
+    assert!(inserted > 3, "only {inserted} packed");
+    let ht = eng.window_hematocrit().unwrap();
+    assert!(ht > 0.02 && ht < 0.25, "Ht = {ht}");
+    // Every cell inside the window bounds.
+    for cell in eng.pool.iter() {
+        assert!(eng.anatomy.contains(cell.centroid()));
+    }
+}
+
+#[test]
+fn physical_config_drives_engine_parameters() {
+    // Build an engine from paper-style physical inputs and confirm the τs
+    // land where PhysicalConfig predicts.
+    let cfg = PhysicalConfig::paper_defaults(2.5e-6, 2, 1.0);
+    let coarse = Lattice::new(24, 24, 24, cfg.tau_coarse);
+    let fine = Lattice::new(17, 17, 17, cfg.tau_fine());
+    let eng = AprEngine::new(
+        coarse,
+        fine,
+        [8.0, 8.0, 8.0],
+        cfg.refinement,
+        cfg.lambda(),
+        4.0,
+        2.0,
+        2.0,
+        ContactParams { cutoff: 1.0, strength: 1e-4 },
+    );
+    assert!((eng.fine.tau - cfg.tau_fine()).abs() < 1e-12);
+    assert!((eng.map.lambda - 0.3).abs() < 1e-12);
+}
+
+#[test]
+fn step_without_cells_is_stable() {
+    // Fluid-only coupled stepping must hold the resting state.
+    let mut eng = small_engine(2);
+    for _ in 0..20 {
+        eng.step();
+    }
+    let (rho, u) = eng.fine.moments_at(eng.fine.idx(8, 8, 8));
+    assert!((rho - 1.0).abs() < 1e-9);
+    assert!(u.iter().all(|c| c.abs() < 1e-9));
+    assert_eq!(eng.window_moves(), 0);
+}

@@ -1,0 +1,324 @@
+//! Two-way bulk ↔ window interface exchange (paper §2.4.1, Figure 2).
+//!
+//! The fine (window) lattice is embedded in the coarse (bulk) lattice at a
+//! refinement ratio `n` with convective time scaling (`n` fine substeps per
+//! coarse step). Each coarse step:
+//!
+//! 1. snapshot coarse state at the fine boundary-shell positions,
+//! 2. advance the coarse lattice,
+//! 3. snapshot again; for each fine substep impose on the shell the
+//!    time-interpolated equilibrium + rescaled non-equilibrium state
+//!    (Dupuis–Chopard, extended with the viscosity-jump factor λ so the
+//!    viscous stress is continuous across the interface),
+//! 4. after the substeps, restrict the fine solution back onto the coarse
+//!    nodes interior to the window (inverse rescaling).
+
+use crate::interpolation::{interpolate_distributions, moments};
+use crate::refinement::{coarse_window_tau, neq_scale_coarse_to_fine, neq_scale_fine_to_coarse};
+use apr_lattice::{equilibrium_all, Lattice, NodeClass, Q};
+
+/// Geometric and physical description of one window ↔ bulk coupling.
+#[derive(Debug, Clone)]
+pub struct CouplingMap {
+    /// Refinement ratio `n` (coarse spacing / fine spacing).
+    pub n: usize,
+    /// Viscosity ratio `λ = ν_fine/ν_coarse` (plasma/whole blood < 1).
+    pub lambda: f64,
+    /// Coarse-lattice coordinates of fine node `(0, 0, 0)`.
+    pub origin: [f64; 3],
+    /// Fine boundary-shell node indices (imposed from the coarse solution).
+    pub shell: Vec<usize>,
+    /// Pairs `(coarse node, fine node)` for interior restriction.
+    pub restrict_pairs: Vec<(usize, usize)>,
+    /// Transfer the rescaled non-equilibrium part across the interface
+    /// (true = the full Dupuis–Chopard coupling). Setting false degrades to
+    /// equilibrium-only transfer — the ablation DESIGN.md §6 benchmarks.
+    pub neq_transfer: bool,
+}
+
+/// Snapshot of interpolated coarse data at every shell node.
+#[derive(Debug, Clone)]
+pub struct ShellSnapshot {
+    /// Interpolated distributions per shell node.
+    pub f: Vec<[f64; Q]>,
+    /// Local coarse relaxation time at each shell position (nearest node).
+    pub tau_c: Vec<f64>,
+}
+
+impl CouplingMap {
+    /// Build the coupling between `coarse` and `fine`.
+    ///
+    /// * `origin` — coarse coords of fine node 0 (fine node `i` sits at
+    ///   `origin + i/n`).
+    /// * `restrict_margin` — coarse cells to stay clear of the window edge
+    ///   before restriction begins (paper-style overlap buffer; 2 works).
+    ///
+    /// Shell faces on axes where the fine lattice is periodic are skipped.
+    ///
+    /// # Panics
+    /// Panics if the fine domain extends outside the coarse one.
+    pub fn new(
+        coarse: &Lattice,
+        fine: &Lattice,
+        origin: [f64; 3],
+        n: usize,
+        lambda: f64,
+        restrict_margin: f64,
+    ) -> Self {
+        assert!(n >= 1, "refinement ratio must be ≥ 1");
+        let fine_dims = [fine.nx, fine.ny, fine.nz];
+        let coarse_dims = [coarse.nx, coarse.ny, coarse.nz];
+        for a in 0..3 {
+            if fine.periodic[a] {
+                // Periodic axes must tile the same physical width so wrapped
+                // interpolation positions stay meaningful.
+                assert!(
+                    fine_dims[a] == coarse_dims[a] * n && coarse.periodic[a],
+                    "periodic axis {a}: fine width {} must equal coarse width {} × n",
+                    fine_dims[a],
+                    coarse_dims[a]
+                );
+            } else {
+                let max_c = origin[a] + (fine_dims[a] - 1) as f64 / n as f64;
+                assert!(
+                    origin[a] >= 0.0 && max_c <= (coarse_dims[a] - 1) as f64 + 1e-9,
+                    "fine domain leaves the coarse lattice on axis {a}"
+                );
+            }
+        }
+
+        // Boundary shell: outermost fine layer on non-periodic axes.
+        let mut shell = Vec::new();
+        for z in 0..fine.nz {
+            for y in 0..fine.ny {
+                for x in 0..fine.nx {
+                    let on_face = (!fine.periodic[0] && (x == 0 || x == fine.nx - 1))
+                        || (!fine.periodic[1] && (y == 0 || y == fine.ny - 1))
+                        || (!fine.periodic[2] && (z == 0 || z == fine.nz - 1));
+                    if on_face {
+                        let node = fine.idx(x, y, z);
+                        if fine.flag(node) == NodeClass::Fluid {
+                            shell.push(node);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Restriction: coarse nodes coincident with fine nodes, at least
+        // `restrict_margin` coarse cells inside the window on every
+        // non-periodic axis.
+        let mut restrict_pairs = Vec::new();
+        for z in 0..coarse.nz {
+            for y in 0..coarse.ny {
+                for x in 0..coarse.nx {
+                    let pos = [x as f64, y as f64, z as f64];
+                    let mut inside = true;
+                    let mut fine_coord = [0usize; 3];
+                    for a in 0..3 {
+                        let lo = origin[a];
+                        let hi = origin[a] + (fine_dims[a] - 1) as f64 / n as f64;
+                        let (lo_m, hi_m) = if fine.periodic[a] {
+                            (lo - 1e-9, hi + 1e-9)
+                        } else {
+                            (lo + restrict_margin - 1e-9, hi - restrict_margin + 1e-9)
+                        };
+                        if pos[a] < lo_m || pos[a] > hi_m {
+                            inside = false;
+                            break;
+                        }
+                        let rel = (pos[a] - lo) * n as f64;
+                        let idx = rel.round();
+                        if (rel - idx).abs() > 1e-6 {
+                            inside = false; // not node-coincident
+                            break;
+                        }
+                        fine_coord[a] = idx as usize;
+                    }
+                    if inside {
+                        let cnode = coarse.idx(x, y, z);
+                        let fnode = fine.idx(fine_coord[0], fine_coord[1], fine_coord[2]);
+                        if coarse.flag(cnode) == NodeClass::Fluid
+                            && fine.flag(fnode) == NodeClass::Fluid
+                        {
+                            restrict_pairs.push((cnode, fnode));
+                        }
+                    }
+                }
+            }
+        }
+
+        Self { n, lambda, origin, shell, restrict_pairs, neq_transfer: true }
+    }
+
+    /// Coarse-lattice coordinates of a fine node.
+    pub fn fine_to_coarse(&self, fine: &Lattice, node: usize) -> [f64; 3] {
+        let (x, y, z) = fine.coords(node);
+        [
+            self.origin[0] + x as f64 / self.n as f64,
+            self.origin[1] + y as f64 / self.n as f64,
+            self.origin[2] + z as f64 / self.n as f64,
+        ]
+    }
+
+    /// Capture interpolated coarse distributions (and local relaxation
+    /// times) at every shell position.
+    pub fn snapshot(&self, coarse: &Lattice, fine: &Lattice) -> ShellSnapshot {
+        let mut f = Vec::with_capacity(self.shell.len());
+        let mut tau_c = Vec::with_capacity(self.shell.len());
+        for &node in &self.shell {
+            let p = self.fine_to_coarse(fine, node);
+            f.push(interpolate_distributions(coarse, p[0], p[1], p[2]));
+            tau_c.push(coarse.tau_at(nearest_node(coarse, p)));
+        }
+        ShellSnapshot { f, tau_c }
+    }
+
+    /// Give the coarse lattice the window's physical viscosity inside the
+    /// fine-domain footprint: `τ'_c = 1/2 + λ(τ_c − 1/2)` (paper §2.4.1's
+    /// multi-viscosity treatment, applied at coarse resolution). Use for
+    /// fluid-only windows where the window fluid really is the λ-viscosity
+    /// fluid; cell-laden windows keep the bulk (whole-blood) value because
+    /// the suspension's effective viscosity is the bulk viscosity.
+    pub fn apply_window_viscosity(&self, coarse: &mut Lattice, fine: &Lattice) {
+        let tau_prime = coarse_window_tau(coarse.tau, self.lambda);
+        let fine_dims = [fine.nx, fine.ny, fine.nz];
+        for z in 0..coarse.nz {
+            for y in 0..coarse.ny {
+                for x in 0..coarse.nx {
+                    let pos = [x as f64, y as f64, z as f64];
+                    let inside = (0..3).all(|a| {
+                        fine.periodic[a]
+                            || (pos[a] >= self.origin[a] - 1e-9
+                                && pos[a]
+                                    <= self.origin[a]
+                                        + (fine_dims[a] - 1) as f64 / self.n as f64
+                                        + 1e-9)
+                    });
+                    if inside {
+                        let node = coarse.idx(x, y, z);
+                        if coarse.flag(node) == NodeClass::Fluid {
+                            coarse.set_tau_at(node, tau_prime);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Impose the coupled state on the fine boundary shell, blending the
+    /// `old` and `new` coarse snapshots at time fraction `theta ∈ [0, 1]`.
+    ///
+    /// Call **between** `collide_phase` and `stream_phase` of the fine
+    /// lattice: the imposed state plays the role of the shell's
+    /// post-collision distributions, so the rescaled non-equilibrium part
+    /// carries the post-collision factor `(1 − 1/τ_f)`.
+    pub fn impose_shell(
+        &self,
+        fine: &mut Lattice,
+        old: &ShellSnapshot,
+        new: &ShellSnapshot,
+        theta: f64,
+    ) {
+        let post = 1.0 - 1.0 / fine.tau;
+        for (s, &node) in self.shell.iter().enumerate() {
+            let kappa = if self.neq_transfer {
+                neq_scale_coarse_to_fine(new.tau_c[s], fine.tau, self.n) * post
+            } else {
+                0.0
+            };
+            let mut fi = [0.0; Q];
+            for i in 0..Q {
+                fi[i] = old.f[s][i] * (1.0 - theta) + new.f[s][i] * theta;
+            }
+            let (rho, u) = moments(&fi);
+            let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+            let mut imposed = [0.0; Q];
+            for i in 0..Q {
+                imposed[i] = feq[i] + kappa * (fi[i] - feq[i]);
+            }
+            fine.set_distributions(node, &imposed);
+            fine.rho[node] = rho;
+            fine.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
+        }
+    }
+
+    /// Restrict the fine solution onto interior coarse nodes with inverse
+    /// non-equilibrium rescaling. Call after the fine substeps, while both
+    /// lattices are in their pre-collision state.
+    pub fn restrict(&self, coarse: &mut Lattice, fine: &Lattice) {
+        for &(cnode, fnode) in &self.restrict_pairs {
+            let kappa = if self.neq_transfer {
+                neq_scale_fine_to_coarse(coarse.tau_at(cnode), fine.tau, self.n)
+            } else {
+                0.0
+            };
+            let fs = fine.distributions(fnode);
+            let mut fi = [0.0; Q];
+            fi.copy_from_slice(fs);
+            let (rho, u) = moments(&fi);
+            let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+            let mut out = [0.0; Q];
+            for i in 0..Q {
+                out[i] = feq[i] + kappa * (fi[i] - feq[i]);
+            }
+            coarse.set_distributions(cnode, &out);
+            coarse.rho[cnode] = rho;
+            coarse.vel[cnode * 3..cnode * 3 + 3].copy_from_slice(&u);
+        }
+    }
+
+    /// Seed the entire fine lattice from the coarse solution (equilibrium +
+    /// rescaled non-equilibrium at each fine node's interpolated coarse
+    /// state). Used at start-up and after window moves (paper §2.4.3).
+    pub fn seed_fine_from_coarse(&self, coarse: &Lattice, fine: &mut Lattice) {
+        for node in 0..fine.node_count() {
+            if fine.flag(node) != NodeClass::Fluid {
+                continue;
+            }
+            let p = self.fine_to_coarse(fine, node);
+            let kappa =
+                neq_scale_coarse_to_fine(coarse.tau_at(nearest_node(coarse, p)), fine.tau, self.n);
+            let fi = interpolate_distributions(coarse, p[0], p[1], p[2]);
+            let (rho, u) = moments(&fi);
+            let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+            let mut out = [0.0; Q];
+            for i in 0..Q {
+                out[i] = feq[i] + kappa * (fi[i] - feq[i]);
+            }
+            fine.set_distributions(node, &out);
+            fine.rho[node] = rho;
+            fine.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
+        }
+    }
+}
+
+/// Advance one coupled coarse step: coarse step, `n` fine substeps with
+/// shell imposition, then restriction. `fine_hook(fine, substep)` runs
+/// before each fine collision (IBM force spreading goes there).
+pub fn coupled_step<F: FnMut(&mut Lattice, usize)>(
+    coarse: &mut Lattice,
+    fine: &mut Lattice,
+    map: &CouplingMap,
+    mut fine_hook: F,
+) {
+    let old = map.snapshot(coarse, fine);
+    coarse.step();
+    let new = map.snapshot(coarse, fine);
+    for k in 0..map.n {
+        let theta = (k + 1) as f64 / map.n as f64;
+        fine_hook(fine, k);
+        fine.collide_phase();
+        map.impose_shell(fine, &old, &new, theta);
+        fine.stream_phase();
+    }
+    map.restrict(coarse, fine);
+}
+
+/// Nearest coarse node to a fractional coarse-lattice position.
+fn nearest_node(coarse: &Lattice, p: [f64; 3]) -> usize {
+    let x = (p[0].round() as usize).min(coarse.nx - 1);
+    let y = (p[1].round() as usize).min(coarse.ny - 1);
+    let z = (p[2].round() as usize).min(coarse.nz - 1);
+    coarse.idx(x, y, z)
+}

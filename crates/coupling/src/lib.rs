@@ -1,0 +1,19 @@
+//! Multi-resolution, multi-viscosity APR coupling (paper §2.4.1).
+//!
+//! "Building upon the previous APR algorithm, for modeling RBCs explicitly
+//! within the window region we consider a discontinuity in the physical
+//! kinematic viscosity ν such that ν_f = λ·ν_c" — this crate links the
+//! coarse whole-blood bulk lattice and the fine plasma window lattice:
+//! relaxation-time mapping (Eq. 7, [`refinement`]), trilinear data transfer
+//! ([`interpolation`]), and the two-way interface exchange with
+//! non-equilibrium rescaling ([`interface`]).
+
+pub mod interface;
+pub mod interpolation;
+pub mod refinement;
+
+pub use interface::{coupled_step, CouplingMap, ShellSnapshot};
+pub use interpolation::{interpolate_distributions, moments};
+pub use refinement::{
+    coarse_tau, coarse_window_tau, fine_tau, neq_scale_coarse_to_fine, neq_scale_fine_to_coarse,
+};

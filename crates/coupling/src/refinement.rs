@@ -1,0 +1,166 @@
+//! Relaxation-time mapping across resolution and viscosity (paper Eq. 7).
+//!
+//! The window lattice refines the bulk by a factor `n` in space and (with
+//! convective scaling) in time, and carries a *different physical fluid*:
+//! plasma at `ν_f = λ·ν_c` instead of whole blood. Matching both gives
+//!
+//! ```text
+//! τ_f = 1/2 + n·λ·(τ_c − 1/2)
+//! ```
+
+/// Fine-lattice relaxation time from the coarse one (paper Eq. 7).
+///
+/// ```
+/// // Figure 6 parameters: n = 5, plasma/blood λ = 0.3, τ_c = 1.
+/// let tau_f = apr_coupling::fine_tau(1.0, 5, 0.3);
+/// assert!((tau_f - 1.25).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+/// Panics for `tau_c ≤ 1/2`, zero `n`, or non-positive `lambda`.
+pub fn fine_tau(tau_c: f64, n: usize, lambda: f64) -> f64 {
+    assert!(tau_c > 0.5, "coarse tau must exceed 1/2, got {tau_c}");
+    assert!(n >= 1, "refinement ratio must be at least 1");
+    assert!(lambda > 0.0, "viscosity ratio must be positive, got {lambda}");
+    0.5 + n as f64 * lambda * (tau_c - 0.5)
+}
+
+/// Inverse of [`fine_tau`]: coarse relaxation time realizing a given fine one.
+pub fn coarse_tau(tau_f: f64, n: usize, lambda: f64) -> f64 {
+    assert!(tau_f > 0.5, "fine tau must exceed 1/2, got {tau_f}");
+    assert!(n >= 1 && lambda > 0.0);
+    0.5 + (tau_f - 0.5) / (n as f64 * lambda)
+}
+
+/// Pre-collision non-equilibrium rescaling factor, coarse → fine
+/// (Dupuis–Chopard), using the **local** coarse relaxation time.
+///
+/// From the Chapman–Enskog form `f^neq ≈ −(τ w ρ/c_s²) Q:S_lattice` with
+/// `S_lattice = S_physical·Δt` and convective scaling `Δt_f = Δt_c/n`:
+///
+/// ```text
+/// f^neq_f / f^neq_c = τ_f / (n·τ_c_local)
+/// ```
+///
+/// Viscosity contrast enters through `τ_c_local`: where the coarse lattice
+/// models the same physical fluid as the window (its footprint carries the
+/// λ-scaled relaxation time, see `CouplingMap::apply_window_viscosity`), the
+/// strain rates on both sides match and the plain refinement factor applies.
+pub fn neq_scale_coarse_to_fine(tau_c_local: f64, tau_f: f64, n: usize) -> f64 {
+    tau_f / (n as f64 * tau_c_local)
+}
+
+/// Pre-collision non-equilibrium rescaling factor, fine → coarse
+/// (inverse of [`neq_scale_coarse_to_fine`]).
+pub fn neq_scale_fine_to_coarse(tau_c_local: f64, tau_f: f64, n: usize) -> f64 {
+    1.0 / neq_scale_coarse_to_fine(tau_c_local, tau_f, n)
+}
+
+/// Relaxation time the **coarse** lattice should carry inside the window
+/// footprint when the window region physically holds the λ-viscosity fluid
+/// (fluid-only verification, paper §3.1): `τ'_c = 1/2 + λ(τ_c − 1/2)`.
+pub fn coarse_window_tau(tau_c: f64, lambda: f64) -> f64 {
+    assert!(tau_c > 0.5 && lambda > 0.0);
+    0.5 + lambda * (tau_c - 0.5)
+}
+
+/// Number of fine substeps per coarse step under convective scaling
+/// (`Δt ∝ Δx`, which keeps lattice velocities identical across grids).
+pub fn substeps(n: usize) -> usize {
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_lattice::lattice_viscosity_from_tau;
+
+    #[test]
+    fn eq7_reproduces_paper_form() {
+        // τf = 1/2 + nλ(τc − 1/2)
+        let tau_c = 1.0;
+        assert!((fine_tau(tau_c, 10, 0.5) - (0.5 + 10.0 * 0.5 * 0.5)).abs() < 1e-15);
+        assert!((fine_tau(tau_c, 2, 1.0) - 1.5).abs() < 1e-15);
+        // λ = 1, n = 1: identity.
+        assert!((fine_tau(0.93, 1, 1.0) - 0.93).abs() < 1e-15);
+    }
+
+    #[test]
+    fn round_trip_fine_coarse() {
+        for (n, lambda) in [(2, 0.5), (5, 1.0 / 3.0), (10, 0.25)] {
+            let tau_c = 1.02;
+            let tau_f = fine_tau(tau_c, n, lambda);
+            assert!((coarse_tau(tau_f, n, lambda) - tau_c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn physical_viscosity_is_consistent_across_grids() {
+        // ν_phys = ν_lat·Δx²/Δt; with Δx_f = Δx_c/n and Δt_f = Δt_c/n the
+        // fine lattice viscosity must be n·λ·ν_lat_c to represent λ·ν_phys.
+        for (n, lambda) in [(2usize, 0.5), (5, 1.0 / 3.0), (10, 0.25)] {
+            let tau_c = 0.95;
+            let tau_f = fine_tau(tau_c, n, lambda);
+            let nu_lat_c = lattice_viscosity_from_tau(tau_c);
+            let nu_lat_f = lattice_viscosity_from_tau(tau_f);
+            // ν_phys_f / ν_phys_c = (ν_lat_f/(n²·(1/n))) / ν_lat_c  — Δx²/Δt
+            // scaling contributes 1/n, so physical ratio = ν_lat_f/(n·ν_lat_c).
+            let physical_ratio = nu_lat_f / (n as f64 * nu_lat_c);
+            assert!(
+                (physical_ratio - lambda).abs() < 1e-12,
+                "n={n} λ={lambda}: ratio {physical_ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_lambda_reduces_fine_tau() {
+        // Paper §3.1: "τf will be reduced relative to single-viscosity
+        // simulations since λ < 1".
+        let tau_c = 1.0;
+        let single = fine_tau(tau_c, 10, 1.0);
+        for lambda in [0.5, 1.0 / 3.0, 0.25] {
+            assert!(fine_tau(tau_c, 10, lambda) < single);
+        }
+    }
+
+    #[test]
+    fn neq_scales_are_reciprocal() {
+        let (tau_c, n, lambda) = (1.0, 5, 1.0 / 3.0);
+        let tau_f = fine_tau(tau_c, n, lambda);
+        let tau_c_local = coarse_window_tau(tau_c, lambda);
+        let down = neq_scale_coarse_to_fine(tau_c_local, tau_f, n);
+        let up = neq_scale_fine_to_coarse(tau_c_local, tau_f, n);
+        assert!((down * up - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matched_fluids_give_unit_strain_transfer() {
+        // When the coarse footprint carries τ'_c, the lattice viscosity
+        // ratio between fine and local-coarse is exactly n (the resolution
+        // factor), so the neq factor reduces to the single-fluid
+        // Dupuis–Chopard value.
+        let (tau_c, n, lambda) = (0.9, 10, 0.25);
+        let tau_f = fine_tau(tau_c, n, lambda);
+        let tau_local = coarse_window_tau(tau_c, lambda);
+        assert!(
+            ((tau_f - 0.5) - n as f64 * (tau_local - 0.5)).abs() < 1e-12,
+            "ν_lat scaling must be n between matched grids"
+        );
+    }
+
+    #[test]
+    fn fine_tau_stays_stable_for_paper_parameters() {
+        // All nine (λ, n) pairs of Table 1 must give τ_f in BGK's stable
+        // range; λ < 1 keeps τ_f well below the single-viscosity value
+        // n(τ_c − 1/2) + 1/2 (= 5.5 at n = 10), which is exactly why the
+        // paper can afford τ_c ≈ 1 at n = 10.
+        for lambda in [0.5, 1.0 / 3.0, 0.25] {
+            for n in [2usize, 5, 10] {
+                let tau_f = fine_tau(1.0, n, lambda);
+                assert!(tau_f > 0.5 && tau_f <= 3.0, "λ={lambda} n={n}: τf={tau_f}");
+                assert!(tau_f < fine_tau(1.0, n, 1.0));
+            }
+        }
+    }
+}

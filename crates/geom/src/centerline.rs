@@ -1,0 +1,135 @@
+//! Centreline path utilities for the moving window.
+//!
+//! Figure 1's red boxes "moving along the dashed black line" are window
+//! waypoints on a vessel centreline; this module turns a polyline
+//! centreline into window-sized waypoints, arc-length parameterization and
+//! curvature estimates (sharp bends need more frequent window moves).
+
+use apr_mesh::Vec3;
+
+/// A polyline centreline with arc-length indexing.
+#[derive(Debug, Clone)]
+pub struct Centerline {
+    /// Polyline points.
+    pub points: Vec<Vec3>,
+    cumulative: Vec<f64>,
+}
+
+impl Centerline {
+    /// New centreline from at least two points.
+    pub fn new(points: Vec<Vec3>) -> Self {
+        assert!(points.len() >= 2, "centreline needs at least two points");
+        let mut cumulative = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        cumulative.push(0.0);
+        for w in points.windows(2) {
+            acc += (w[1] - w[0]).norm();
+            cumulative.push(acc);
+        }
+        Self { points, cumulative }
+    }
+
+    /// Total arc length.
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().unwrap()
+    }
+
+    /// Point at arc length `s` (clamped).
+    pub fn at(&self, s: f64) -> Vec3 {
+        let s = s.clamp(0.0, self.length());
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&s)) {
+            Ok(i) => self.points[i],
+            Err(i) => {
+                let (a, b) = (self.points[i - 1], self.points[i]);
+                let (sa, sb) = (self.cumulative[i - 1], self.cumulative[i]);
+                a + (b - a) * ((s - sa) / (sb - sa).max(1e-300))
+            }
+        }
+    }
+
+    /// Unit tangent at arc length `s` (central difference).
+    pub fn tangent(&self, s: f64) -> Vec3 {
+        let h = (self.length() * 1e-4).max(1e-9);
+        let forward = self.at((s + h).min(self.length()));
+        let backward = self.at((s - h).max(0.0));
+        (forward - backward).normalized()
+    }
+
+    /// Discrete curvature at interior waypoint `i` (inverse circumradius of
+    /// three consecutive points).
+    pub fn curvature_at(&self, i: usize) -> f64 {
+        if i == 0 || i + 1 >= self.points.len() {
+            return 0.0;
+        }
+        let (a, b, c) = (self.points[i - 1], self.points[i], self.points[i + 1]);
+        let ab = b - a;
+        let bc = c - b;
+        let ac = c - a;
+        let cross = ab.cross(bc).norm();
+        let denom = ab.norm() * bc.norm() * ac.norm();
+        if denom < 1e-300 {
+            0.0
+        } else {
+            2.0 * cross / denom
+        }
+    }
+
+    /// Window waypoints: positions spaced `spacing` apart along the path —
+    /// the window-move targets of Figure 1.
+    pub fn waypoints(&self, spacing: f64) -> Vec<Vec3> {
+        assert!(spacing > 0.0, "spacing must be positive");
+        let mut out = Vec::new();
+        let mut s = 0.0;
+        while s <= self.length() {
+            out.push(self.at(s));
+            s += spacing;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_arc_length() {
+        let c = Centerline::new(vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)]);
+        assert!((c.length() - 10.0).abs() < 1e-12);
+        assert!((c.at(5.0) - Vec3::new(5.0, 0.0, 0.0)).norm() < 1e-12);
+        assert!((c.tangent(5.0) - Vec3::X).norm() < 1e-9);
+        assert_eq!(c.curvature_at(0), 0.0);
+    }
+
+    #[test]
+    fn circle_curvature_is_inverse_radius() {
+        let r = 5.0;
+        let points: Vec<Vec3> = (0..=32)
+            .map(|i| {
+                let t = i as f64 / 32.0 * std::f64::consts::PI;
+                Vec3::new(r * t.cos(), r * t.sin(), 0.0)
+            })
+            .collect();
+        let c = Centerline::new(points);
+        let k = c.curvature_at(16);
+        assert!((k - 1.0 / r).abs() < 0.01 / r, "κ = {k}");
+        // Half-circle arc length ≈ πr.
+        assert!((c.length() - std::f64::consts::PI * r).abs() < 0.05 * r);
+    }
+
+    #[test]
+    fn waypoints_cover_the_path() {
+        let c = Centerline::new(vec![
+            Vec3::ZERO,
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(10.0, 10.0, 0.0),
+        ]);
+        let w = c.waypoints(2.5);
+        assert_eq!(w.len(), 9); // 20 / 2.5 + 1
+        assert!((w[0] - Vec3::ZERO).norm() < 1e-12);
+        // Consecutive waypoints are `spacing` apart in arc length.
+        for pair in w.windows(2) {
+            assert!((pair[1] - pair[0]).norm() <= 2.5 + 1e-9);
+        }
+    }
+}

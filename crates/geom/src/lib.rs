@@ -1,0 +1,22 @@
+//! Vascular geometry substrate.
+//!
+//! The paper's experiments run in tubes, expanding channels, cubes and
+//! patient-derived vasculatures (upper body, cerebral). This crate supplies
+//! the same domains as signed distance functions ([`sdf`]), synthetic
+//! Murray's-law arterial trees standing in for the patient geometries
+//! ([`tree`], see DESIGN.md substitutions), and the voxelizer that maps any
+//! of them onto LBM flag fields ([`voxelize`]).
+
+pub mod centerline;
+pub mod flow;
+pub mod sdf;
+pub mod surface;
+pub mod tree;
+pub mod voxelize;
+
+pub use centerline::Centerline;
+pub use sdf::{BoxLumen, Capsule, Cylinder, ExpandingChannel, Sdf, TaperedCapsule, Union};
+pub use flow::{leaf_segments, open_tree_flow, TreeFlowPorts};
+pub use surface::{merge_meshes, tree_surface, tube_surface};
+pub use tree::{Segment, TreeParams, VascularTree};
+pub use voxelize::{fluid_fraction, node_position, voxelize, world_to_lattice};

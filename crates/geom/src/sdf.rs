@@ -1,0 +1,234 @@
+//! Signed distance functions for vascular geometry.
+//!
+//! Negative inside the lumen, positive outside. The voxelizer classifies
+//! lattice nodes by SDF sign, reproducing how the paper's OFF geometries
+//! become LBM flag fields.
+
+use apr_mesh::Vec3;
+
+/// A signed distance field: negative inside the fluid lumen.
+pub trait Sdf: Send + Sync {
+    /// Signed distance at `p`.
+    fn distance(&self, p: Vec3) -> f64;
+
+    /// Is `p` inside the lumen?
+    fn contains(&self, p: Vec3) -> bool {
+        self.distance(p) < 0.0
+    }
+}
+
+/// Infinite circular cylinder along an arbitrary axis.
+#[derive(Debug, Clone, Copy)]
+pub struct Cylinder {
+    /// A point on the axis.
+    pub origin: Vec3,
+    /// Axis direction (normalized at construction).
+    pub axis: Vec3,
+    /// Lumen radius.
+    pub radius: f64,
+}
+
+impl Cylinder {
+    /// New cylinder.
+    pub fn new(origin: Vec3, axis: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        Self { origin, axis: axis.normalized(), radius }
+    }
+}
+
+impl Sdf for Cylinder {
+    fn distance(&self, p: Vec3) -> f64 {
+        let rel = p - self.origin;
+        let axial = rel.dot(self.axis);
+        let radial = (rel - self.axis * axial).norm();
+        radial - self.radius
+    }
+}
+
+/// Finite capsule (cylinder with spherical caps) — one vessel segment.
+#[derive(Debug, Clone, Copy)]
+pub struct Capsule {
+    /// Segment start.
+    pub a: Vec3,
+    /// Segment end.
+    pub b: Vec3,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl Capsule {
+    /// New capsule segment.
+    pub fn new(a: Vec3, b: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        Self { a, b, radius }
+    }
+}
+
+impl Sdf for Capsule {
+    fn distance(&self, p: Vec3) -> f64 {
+        let ab = self.b - self.a;
+        let t = ((p - self.a).dot(ab) / ab.norm_sq()).clamp(0.0, 1.0);
+        let closest = self.a + ab * t;
+        p.distance(closest) - self.radius
+    }
+}
+
+/// Tapered capsule: radius varies linearly from `ra` at `a` to `rb` at `b`
+/// (vessel taper / expansion).
+#[derive(Debug, Clone, Copy)]
+pub struct TaperedCapsule {
+    /// Segment start.
+    pub a: Vec3,
+    /// Segment end.
+    pub b: Vec3,
+    /// Radius at `a`.
+    pub ra: f64,
+    /// Radius at `b`.
+    pub rb: f64,
+}
+
+impl Sdf for TaperedCapsule {
+    fn distance(&self, p: Vec3) -> f64 {
+        let ab = self.b - self.a;
+        let t = ((p - self.a).dot(ab) / ab.norm_sq()).clamp(0.0, 1.0);
+        let closest = self.a + ab * t;
+        let r = self.ra + (self.rb - self.ra) * t;
+        p.distance(closest) - r
+    }
+}
+
+/// Axis-aligned box lumen.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxLumen {
+    /// Lower corner.
+    pub min: Vec3,
+    /// Upper corner.
+    pub max: Vec3,
+}
+
+impl Sdf for BoxLumen {
+    fn distance(&self, p: Vec3) -> f64 {
+        let center = (self.min + self.max) * 0.5;
+        let half = (self.max - self.min) * 0.5;
+        let q = (p - center).abs() - half;
+        let outside = q.max(Vec3::ZERO).norm();
+        let inside = q.max_component().min(0.0);
+        outside + inside
+    }
+}
+
+/// Union of SDFs (fluid where any member is fluid).
+pub struct Union(pub Vec<Box<dyn Sdf>>);
+
+impl Sdf for Union {
+    fn distance(&self, p: Vec3) -> f64 {
+        self.0
+            .iter()
+            .map(|s| s.distance(p))
+            .fold(f64::MAX, f64::min)
+    }
+}
+
+/// The paper's Figure 6 expanding channel: a circular tube of radius `r0`
+/// stepping up to `r1` at axial position `z_expand` (axis +z), with a
+/// smooth conical transition of length `taper`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpandingChannel {
+    /// Inlet radius.
+    pub r0: f64,
+    /// Outlet radius.
+    pub r1: f64,
+    /// Axial position where the expansion begins.
+    pub z_expand: f64,
+    /// Length of the conical transition.
+    pub taper: f64,
+    /// Channel axis origin (centreline passes through here along +z).
+    pub origin: Vec3,
+}
+
+impl Sdf for ExpandingChannel {
+    fn distance(&self, p: Vec3) -> f64 {
+        let rel = p - self.origin;
+        let z = rel.z;
+        let radial = (rel.x * rel.x + rel.y * rel.y).sqrt();
+        let r = if z <= self.z_expand {
+            self.r0
+        } else if z >= self.z_expand + self.taper {
+            self.r1
+        } else {
+            self.r0 + (self.r1 - self.r0) * (z - self.z_expand) / self.taper
+        };
+        radial - r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cylinder_distance_is_radial() {
+        let c = Cylinder::new(Vec3::ZERO, Vec3::Z, 2.0);
+        assert!(c.contains(Vec3::new(1.0, 0.0, 5.0)));
+        assert!(!c.contains(Vec3::new(3.0, 0.0, -7.0)));
+        assert!((c.distance(Vec3::new(5.0, 0.0, 100.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capsule_caps_are_round() {
+        let c = Capsule::new(Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), 1.0);
+        assert!(c.contains(Vec3::new(5.0, 0.5, 0.0)));
+        // Beyond the end, distance measured from the endpoint.
+        assert!((c.distance(Vec3::new(12.0, 0.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!(c.contains(Vec3::new(-0.5, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn tapered_capsule_interpolates_radius() {
+        let t = TaperedCapsule {
+            a: Vec3::ZERO,
+            b: Vec3::new(10.0, 0.0, 0.0),
+            ra: 1.0,
+            rb: 3.0,
+        };
+        assert!((t.distance(Vec3::new(0.0, 1.0, 0.0))).abs() < 1e-9);
+        assert!((t.distance(Vec3::new(10.0, 3.0, 0.0))).abs() < 1e-9);
+        assert!((t.distance(Vec3::new(5.0, 2.0, 0.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn box_lumen_sign_convention() {
+        let b = BoxLumen { min: Vec3::ZERO, max: Vec3::splat(4.0) };
+        assert!(b.contains(Vec3::splat(2.0)));
+        assert!(!b.contains(Vec3::splat(5.0)));
+        assert!((b.distance(Vec3::new(2.0, 2.0, 6.0)) - 2.0).abs() < 1e-12);
+        assert!((b.distance(Vec3::splat(2.0)) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_takes_minimum() {
+        let u = Union(vec![
+            Box::new(Capsule::new(Vec3::ZERO, Vec3::X, 0.5)),
+            Box::new(Capsule::new(Vec3::new(5.0, 0.0, 0.0), Vec3::new(6.0, 0.0, 0.0), 0.5)),
+        ]);
+        assert!(u.contains(Vec3::new(0.5, 0.0, 0.0)));
+        assert!(u.contains(Vec3::new(5.5, 0.0, 0.0)));
+        assert!(!u.contains(Vec3::new(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn expanding_channel_profile() {
+        let e = ExpandingChannel {
+            r0: 10.0,
+            r1: 20.0,
+            z_expand: 40.0,
+            taper: 10.0,
+            origin: Vec3::ZERO,
+        };
+        assert!(e.contains(Vec3::new(9.0, 0.0, 10.0)));
+        assert!(!e.contains(Vec3::new(11.0, 0.0, 10.0)));
+        assert!(e.contains(Vec3::new(19.0, 0.0, 80.0)));
+        // Mid-taper radius is 15.
+        assert!((e.distance(Vec3::new(15.0, 0.0, 45.0))).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Synthetic vascular trees.
+//!
+//! Stand-in for the paper's patient-derived upper-body and cerebral
+//! geometries (DESIGN.md substitution table): recursive bifurcating trees
+//! whose child radii follow Murray's law (`r₀³ = r₁³ + r₂³`), producing
+//! branching, curving lumens with a well-defined centreline for the moving
+//! window to traverse.
+
+use crate::sdf::{Sdf, TaperedCapsule, Union};
+use apr_mesh::Vec3;
+use rand::Rng;
+
+/// One vessel segment of a tree.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Start point.
+    pub a: Vec3,
+    /// End point.
+    pub b: Vec3,
+    /// Radius at the start.
+    pub ra: f64,
+    /// Radius at the end.
+    pub rb: f64,
+    /// Tree depth (root = 0).
+    pub depth: usize,
+    /// Parent segment index (root points at itself).
+    pub parent: usize,
+}
+
+/// A bifurcating vascular tree.
+#[derive(Debug, Clone)]
+pub struct VascularTree {
+    /// All segments, root first.
+    pub segments: Vec<Segment>,
+}
+
+/// Parameters for synthetic tree generation.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Root vessel radius.
+    pub root_radius: f64,
+    /// Root segment length (children shrink with radius).
+    pub root_length: f64,
+    /// Bifurcation levels.
+    pub levels: usize,
+    /// Half-angle of bifurcations, radians.
+    pub branch_angle: f64,
+    /// Murray's-law asymmetry: child radii `r·(α, β)` with
+    /// `α³ + β³ = 1`; 0.5 = symmetric.
+    pub asymmetry: f64,
+    /// Random jitter applied to branch directions (0 = deterministic).
+    pub jitter: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            root_radius: 20.0,
+            root_length: 120.0,
+            levels: 4,
+            branch_angle: 0.5,
+            asymmetry: 0.5,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl VascularTree {
+    /// Grow a tree from `root_start` along `direction`.
+    pub fn grow<R: Rng>(params: &TreeParams, root_start: Vec3, direction: Vec3, rng: &mut R) -> Self {
+        assert!(params.levels >= 1);
+        assert!((0.0..1.0).contains(&params.asymmetry) && params.asymmetry > 0.0);
+        let mut segments = Vec::new();
+        let dir = direction.normalized();
+        // Murray split factors: f³ + g³ = 1 with f/g set by asymmetry.
+        let s = params.asymmetry;
+        let f = s.powf(1.0 / 3.0) / (s + (1.0 - s)).powf(1.0 / 3.0);
+        let g = (1.0 - s).powf(1.0 / 3.0);
+        // Normalize to satisfy Murray exactly.
+        let norm = (f.powi(3) + g.powi(3)).powf(1.0 / 3.0);
+        let (f, g) = (f / norm, g / norm);
+
+        let root = Segment {
+            a: root_start,
+            b: root_start + dir * params.root_length,
+            ra: params.root_radius,
+            rb: params.root_radius,
+            depth: 0,
+            parent: 0,
+        };
+        segments.push(root);
+        let mut frontier = vec![0usize];
+        for depth in 1..params.levels {
+            let mut next = Vec::new();
+            for &pi in &frontier {
+                let p = segments[pi];
+                let axis = (p.b - p.a).normalized();
+                let side = axis.any_orthonormal();
+                for (sign, factor) in [(1.0, f), (-1.0, g)] {
+                    let jitter_angle = if params.jitter > 0.0 {
+                        rng.gen_range(-params.jitter..params.jitter)
+                    } else {
+                        0.0
+                    };
+                    let angle = sign * params.branch_angle + jitter_angle;
+                    let child_dir = axis.rotate_about(side, angle);
+                    let radius = p.rb * factor;
+                    let length = params.root_length * (radius / params.root_radius);
+                    let seg = Segment {
+                        a: p.b,
+                        b: p.b + child_dir * length,
+                        ra: radius,
+                        rb: radius,
+                        depth,
+                        parent: pi,
+                    };
+                    next.push(segments.len());
+                    segments.push(seg);
+                }
+            }
+            frontier = next;
+        }
+        Self { segments }
+    }
+
+    /// SDF of the whole tree lumen.
+    pub fn sdf(&self) -> Union {
+        Union(
+            self.segments
+                .iter()
+                .map(|s| {
+                    Box::new(TaperedCapsule { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
+                        as Box<dyn Sdf>
+                })
+                .collect(),
+        )
+    }
+
+    /// Axis-aligned bounding box (inflated by the local radii).
+    pub fn bounding_box(&self) -> (Vec3, Vec3) {
+        let mut lo = Vec3::splat(f64::MAX);
+        let mut hi = Vec3::splat(f64::MIN);
+        for s in &self.segments {
+            let r = Vec3::splat(s.ra.max(s.rb));
+            lo = lo.min(s.a - r).min(s.b - r);
+            hi = hi.max(s.a + r).max(s.b + r);
+        }
+        (lo, hi)
+    }
+
+    /// Total centreline length.
+    pub fn total_length(&self) -> f64 {
+        self.segments.iter().map(|s| (s.b - s.a).norm()).sum()
+    }
+
+    /// Approximate lumen volume (sum of conical frusta).
+    pub fn lumen_volume(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| {
+                let l = (s.b - s.a).norm();
+                std::f64::consts::PI / 3.0 * l * (s.ra * s.ra + s.ra * s.rb + s.rb * s.rb)
+            })
+            .sum()
+    }
+
+    /// A root-to-leaf centreline path (following the larger child), as a
+    /// polyline of points — the track for a moving window (Figure 1's
+    /// dashed line).
+    pub fn main_path(&self) -> Vec<Vec3> {
+        let mut path = vec![self.segments[0].a, self.segments[0].b];
+        let mut current = 0usize;
+        loop {
+            // Find the larger child of `current`.
+            let child = self
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| s.parent == current && *i != current)
+                .max_by(|(_, s1), (_, s2)| s1.ra.total_cmp(&s2.ra));
+            match child {
+                Some((i, s)) => {
+                    path.push(s.b);
+                    current = i;
+                }
+                None => break,
+            }
+        }
+        path
+    }
+
+    /// Sample a point at arc-length fraction `t ∈ [0, 1]` along a polyline.
+    pub fn sample_path(path: &[Vec3], t: f64) -> Vec3 {
+        assert!(path.len() >= 2, "path needs at least two points");
+        let total: f64 = path.windows(2).map(|w| (w[1] - w[0]).norm()).sum();
+        let mut remaining = t.clamp(0.0, 1.0) * total;
+        for w in path.windows(2) {
+            let l = (w[1] - w[0]).norm();
+            if remaining <= l {
+                return w[0] + (w[1] - w[0]) * (remaining / l);
+            }
+            remaining -= l;
+        }
+        *path.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree() -> VascularTree {
+        let mut rng = StdRng::seed_from_u64(42);
+        VascularTree::grow(&TreeParams::default(), Vec3::ZERO, Vec3::Z, &mut rng)
+    }
+
+    #[test]
+    fn segment_count_is_binary_tree() {
+        let t = tree();
+        // levels = 4: 1 + 2 + 4 + 8 = 15 segments.
+        assert_eq!(t.segments.len(), 15);
+    }
+
+    #[test]
+    fn murrays_law_holds_at_bifurcations() {
+        let t = tree();
+        for (i, parent) in t.segments.iter().enumerate() {
+            let children: Vec<_> = t
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(j, s)| s.parent == i && *j != i)
+                .map(|(_, s)| s.ra)
+                .collect();
+            if children.len() == 2 {
+                let lhs = parent.rb.powi(3);
+                let rhs = children[0].powi(3) + children[1].powi(3);
+                assert!((lhs - rhs).abs() / lhs < 1e-9, "Murray violated at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_connect_to_parents() {
+        let t = tree();
+        for (i, s) in t.segments.iter().enumerate().skip(1) {
+            let p = t.segments[s.parent];
+            assert!((s.a - p.b).norm() < 1e-12, "segment {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn sdf_contains_centerline() {
+        let t = tree();
+        let sdf = t.sdf();
+        for s in &t.segments {
+            let mid = (s.a + s.b) * 0.5;
+            assert!(sdf.contains(mid));
+        }
+        let (lo, _) = t.bounding_box();
+        assert!(!sdf.contains(lo - Vec3::splat(10.0)));
+    }
+
+    #[test]
+    fn main_path_descends_the_tree() {
+        let t = tree();
+        let path = t.main_path();
+        // Root + one segment endpoint per level.
+        assert_eq!(path.len(), 2 + 3);
+        // Path samples interpolate monotonically in arc length.
+        let p0 = VascularTree::sample_path(&path, 0.0);
+        let p1 = VascularTree::sample_path(&path, 1.0);
+        assert!((p0 - path[0]).norm() < 1e-12);
+        assert!((p1 - *path.last().unwrap()).norm() < 1e-12);
+        let mid = VascularTree::sample_path(&path, 0.5);
+        assert!(t.sdf().contains(mid), "mid-path point must be in the lumen");
+    }
+
+    #[test]
+    fn radii_shrink_with_depth() {
+        let t = tree();
+        for s in &t.segments {
+            if s.depth > 0 {
+                assert!(s.ra < t.segments[0].ra);
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Closed-form flow solutions used for verification.
+//!
+//! * [`ThreeLayerCouette`] — the stratified variable-viscosity shear flow of
+//!   paper §3.1 / Eq. 8 (Table 1, Figure 4).
+//! * [`PoiseuilleTube`] — Hagen–Poiseuille tube flow; inverting it for the
+//!   effective viscosity is paper Eq. 12 (Figure 5C).
+//! * [`PoiseuilleSlit`] — plane-channel Poiseuille flow, used for channel
+//!   verification tests.
+
+/// Steady shear (Couette) flow through three stacked fluid layers of
+/// different viscosities, driven by a moving top plate.
+///
+/// Geometry: `y ∈ [0, h1+h2+h3]`, the `y = 0` plane is stationary and the top
+/// plane moves at `u_top` in +x. Because the flow is unidirectional and
+/// inertia-free, the shear stress `σ = μ_j du/dy` is constant through the
+/// stack, which gives a piecewise-linear profile — the paper's Eq. 8 in a
+/// numerically robust form.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeLayerCouette {
+    /// Layer heights from the bottom, m (or any consistent length unit).
+    pub heights: [f64; 3],
+    /// Dynamic viscosities of the layers, bottom to top.
+    pub viscosities: [f64; 3],
+    /// Velocity of the top plate.
+    pub u_top: f64,
+}
+
+impl ThreeLayerCouette {
+    /// New stratified Couette problem.
+    ///
+    /// # Panics
+    /// Panics if any height or viscosity is not strictly positive.
+    pub fn new(heights: [f64; 3], viscosities: [f64; 3], u_top: f64) -> Self {
+        for (i, &h) in heights.iter().enumerate() {
+            assert!(h > 0.0, "layer {i} height must be positive, got {h}");
+        }
+        for (i, &mu) in viscosities.iter().enumerate() {
+            assert!(mu > 0.0, "layer {i} viscosity must be positive, got {mu}");
+        }
+        Self { heights, viscosities, u_top }
+    }
+
+    /// The paper's configuration: equal layer heights `h`, outer layers at
+    /// viscosity `mu_outer` and the middle layer at `lambda * mu_outer`
+    /// (λ = μ₂/μ₁, Figure 4).
+    pub fn paper_configuration(h: f64, mu_outer: f64, lambda: f64, u_top: f64) -> Self {
+        Self::new([h, h, h], [mu_outer, lambda * mu_outer, mu_outer], u_top)
+    }
+
+    /// Total stack height.
+    pub fn total_height(&self) -> f64 {
+        self.heights.iter().sum()
+    }
+
+    /// Constant shear stress through the stack:
+    /// `σ = U / Σ_j (h_j/μ_j)` (α in the paper's notation, Eq. 8).
+    pub fn shear_stress(&self) -> f64 {
+        let compliance: f64 = self
+            .heights
+            .iter()
+            .zip(&self.viscosities)
+            .map(|(h, mu)| h / mu)
+            .sum();
+        self.u_top / compliance
+    }
+
+    /// Index of the layer containing height `y` (clamped to `[0, 2]`).
+    pub fn layer_of(&self, y: f64) -> usize {
+        if y < self.heights[0] {
+            0
+        } else if y < self.heights[0] + self.heights[1] {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Analytical x-velocity at height `y` (clamped to the stack).
+    pub fn velocity(&self, y: f64) -> f64 {
+        let y = y.clamp(0.0, self.total_height());
+        let sigma = self.shear_stress();
+        let mut u = 0.0;
+        let mut base = 0.0;
+        for j in 0..3 {
+            let top = base + self.heights[j];
+            if y <= top || j == 2 {
+                return u + sigma * (y - base) / self.viscosities[j];
+            }
+            u += sigma * self.heights[j] / self.viscosities[j];
+            base = top;
+        }
+        u
+    }
+
+    /// Shear rate `du/dy` within the layer containing `y`.
+    pub fn shear_rate(&self, y: f64) -> f64 {
+        self.shear_stress() / self.viscosities[self.layer_of(y)]
+    }
+}
+
+/// Hagen–Poiseuille flow in a circular tube.
+#[derive(Debug, Clone, Copy)]
+pub struct PoiseuilleTube {
+    /// Tube radius.
+    pub radius: f64,
+    /// Tube length over which the pressure drop acts.
+    pub length: f64,
+    /// Dynamic viscosity of the fluid.
+    pub viscosity: f64,
+}
+
+impl PoiseuilleTube {
+    /// New tube problem.
+    ///
+    /// # Panics
+    /// Panics if radius, length or viscosity is not strictly positive.
+    pub fn new(radius: f64, length: f64, viscosity: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive, got {radius}");
+        assert!(length > 0.0, "length must be positive, got {length}");
+        assert!(viscosity > 0.0, "viscosity must be positive, got {viscosity}");
+        Self { radius, length, viscosity }
+    }
+
+    /// Axial velocity at radial position `r` given pressure drop `dp`:
+    /// `u(r) = ΔP (R² − r²) / (4 μ L)`.
+    pub fn velocity(&self, dp: f64, r: f64) -> f64 {
+        let r = r.clamp(0.0, self.radius);
+        dp * (self.radius * self.radius - r * r) / (4.0 * self.viscosity * self.length)
+    }
+
+    /// Volumetric flow rate for pressure drop `dp`:
+    /// `Q = π ΔP R⁴ / (8 μ L)`.
+    pub fn flow_rate(&self, dp: f64) -> f64 {
+        core::f64::consts::PI * dp * self.radius.powi(4) / (8.0 * self.viscosity * self.length)
+    }
+
+    /// Pressure drop required to drive flow rate `q`.
+    pub fn pressure_drop(&self, q: f64) -> f64 {
+        8.0 * self.viscosity * self.length * q / (core::f64::consts::PI * self.radius.powi(4))
+    }
+
+    /// Mean velocity for pressure drop `dp` (half the centerline velocity).
+    pub fn mean_velocity(&self, dp: f64) -> f64 {
+        self.flow_rate(dp) / (core::f64::consts::PI * self.radius * self.radius)
+    }
+
+    /// Wall shear rate magnitude for pressure drop `dp`:
+    /// `γ̇_w = ΔP R / (2 μ L) = 4 Q / (π R³)`.
+    pub fn wall_shear_rate(&self, dp: f64) -> f64 {
+        dp * self.radius / (2.0 * self.viscosity * self.length)
+    }
+
+    /// Paper Eq. 12: effective viscosity inferred from a measured pressure
+    /// drop `dp` and flow rate `q`:
+    /// `μ_eff = ΔP π R⁴ / (8 Q L)`.
+    pub fn effective_viscosity(radius: f64, length: f64, dp: f64, q: f64) -> f64 {
+        assert!(q != 0.0, "flow rate must be nonzero to infer a viscosity");
+        dp * core::f64::consts::PI * radius.powi(4) / (8.0 * q * length)
+    }
+
+    /// Equivalent body-force density (N/m³) that drives the same flow as
+    /// pressure drop `dp`: `g = ΔP / L`. Periodic force-driven tubes (how the
+    /// reproduction drives Figure 5) use this to recover `ΔP = g·L`.
+    pub fn body_force_for_pressure_drop(&self, dp: f64) -> f64 {
+        dp / self.length
+    }
+}
+
+/// Plane Poiseuille (slit) flow between parallel plates separated by `h`.
+#[derive(Debug, Clone, Copy)]
+pub struct PoiseuilleSlit {
+    /// Plate separation.
+    pub height: f64,
+    /// Channel length.
+    pub length: f64,
+    /// Dynamic viscosity.
+    pub viscosity: f64,
+}
+
+impl PoiseuilleSlit {
+    /// New slit problem; all parameters must be positive.
+    pub fn new(height: f64, length: f64, viscosity: f64) -> Self {
+        assert!(height > 0.0 && length > 0.0 && viscosity > 0.0);
+        Self { height, length, viscosity }
+    }
+
+    /// Velocity at wall-normal position `y ∈ [0, h]` for pressure drop `dp`:
+    /// `u(y) = ΔP y (h − y) / (2 μ L)`.
+    pub fn velocity(&self, dp: f64, y: f64) -> f64 {
+        let y = y.clamp(0.0, self.height);
+        dp * y * (self.height - y) / (2.0 * self.viscosity * self.length)
+    }
+
+    /// Centerline (maximum) velocity.
+    pub fn max_velocity(&self, dp: f64) -> f64 {
+        self.velocity(dp, 0.5 * self.height)
+    }
+
+    /// Flow rate per unit depth: `q = ΔP h³ / (12 μ L)`.
+    pub fn flow_rate_per_depth(&self, dp: f64) -> f64 {
+        dp * self.height.powi(3) / (12.0 * self.viscosity * self.length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn couette_uniform_viscosity_is_linear() {
+        let c = ThreeLayerCouette::new([1.0, 1.0, 1.0], [2.0, 2.0, 2.0], 3.0);
+        for y in [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0] {
+            assert!((c.velocity(y) - y).abs() < 1e-12, "y = {y}");
+        }
+    }
+
+    #[test]
+    fn couette_boundary_conditions_hold() {
+        let c = ThreeLayerCouette::paper_configuration(30e-6, 4.0e-3, 1.0 / 3.0, 0.01);
+        assert!(c.velocity(0.0).abs() < 1e-15);
+        assert!((c.velocity(c.total_height()) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn couette_velocity_is_continuous_at_interfaces() {
+        let c = ThreeLayerCouette::paper_configuration(30e-6, 4.0e-3, 0.25, 0.01);
+        for interface in [30e-6, 60e-6] {
+            let below = c.velocity(interface - 1e-12);
+            let above = c.velocity(interface + 1e-12);
+            // The ±1e-12 m probe itself moves the profile by σ·ε/μ, so allow
+            // a tolerance a few orders above that slope contribution.
+            assert!((below - above).abs() < 1e-6 * c.u_top);
+        }
+    }
+
+    #[test]
+    fn couette_stress_is_continuous_but_shear_rate_jumps() {
+        let c = ThreeLayerCouette::paper_configuration(1.0, 1.0, 0.5, 1.0);
+        let s1 = c.shear_rate(0.5) * c.viscosities[0];
+        let s2 = c.shear_rate(1.5) * c.viscosities[1];
+        let s3 = c.shear_rate(2.5) * c.viscosities[2];
+        assert!((s1 - s2).abs() < 1e-12 && (s2 - s3).abs() < 1e-12);
+        // middle layer is less viscous ⇒ it shears faster.
+        assert!(c.shear_rate(1.5) > c.shear_rate(0.5));
+    }
+
+    #[test]
+    fn couette_middle_layer_slope_scales_inversely_with_lambda() {
+        // With λ = 1/4 the middle layer takes 4/(4+1+1)... more precisely the
+        // middle layer velocity jump is σ·h/μ₂; check exact partition.
+        let c = ThreeLayerCouette::paper_configuration(1.0, 1.0, 0.25, 1.0);
+        let jump_outer = c.velocity(1.0) - c.velocity(0.0);
+        let jump_mid = c.velocity(2.0) - c.velocity(1.0);
+        assert!((jump_mid / jump_outer - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poiseuille_tube_flow_rate_consistency() {
+        let t = PoiseuilleTube::new(100e-6, 1e-3, 4.0e-3);
+        let dp = 10.0;
+        let q = t.flow_rate(dp);
+        // Invert Eq. 12 and recover the viscosity.
+        let mu = PoiseuilleTube::effective_viscosity(t.radius, t.length, dp, q);
+        assert!((mu - t.viscosity).abs() / t.viscosity < 1e-12);
+        // Round-trip the pressure drop too.
+        assert!((t.pressure_drop(q) - dp).abs() / dp < 1e-12);
+    }
+
+    #[test]
+    fn poiseuille_tube_centerline_is_twice_mean() {
+        let t = PoiseuilleTube::new(1.0, 1.0, 1.0);
+        let dp = 1.0;
+        assert!((t.velocity(dp, 0.0) - 2.0 * t.mean_velocity(dp)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_figure5_flow_parameters_are_reproduced() {
+        // Paper §3.2: D = 200 µm tube, Q = 5.7 mL/hr ⇒ "effective shear rate
+        // of 250 s⁻¹". That matches the mean-velocity-over-diameter
+        // definition γ̇_eff = Ū/D (the wall shear rate 4Q/πR³ would be ~2000).
+        let r: f64 = 100e-6;
+        let q = 5.7e-6 / 3600.0; // m³/s
+        let u_mean = q / (core::f64::consts::PI * r * r);
+        let gamma = u_mean / (2.0 * r);
+        assert!((gamma - 250.0).abs() / 250.0 < 0.05, "γ̇ = {gamma}");
+    }
+
+    #[test]
+    fn slit_profile_is_parabolic_and_symmetric() {
+        let s = PoiseuilleSlit::new(2.0, 1.0, 1.0);
+        let dp = 1.0;
+        assert!(s.velocity(dp, 0.0).abs() < 1e-15);
+        assert!(s.velocity(dp, 2.0).abs() < 1e-15);
+        assert!((s.velocity(dp, 0.5) - s.velocity(dp, 1.5)).abs() < 1e-12);
+        assert!((s.max_velocity(dp) - s.velocity(dp, 1.0)).abs() < 1e-15);
+    }
+}

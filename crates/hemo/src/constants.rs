@@ -1,0 +1,115 @@
+//! Physical constants used throughout the paper's experiments.
+//!
+//! All values are in SI units unless stated otherwise and are taken directly
+//! from the paper (Sections 3.1–3.6) or its cited references.
+
+/// Dynamic viscosity of blood plasma, Pa·s (1.2 cP, Fung 2013; paper §3.2).
+pub const PLASMA_VISCOSITY: f64 = 1.2e-3;
+
+/// Dynamic viscosity of whole blood modeled as a bulk fluid, Pa·s (4 cP,
+/// paper §3.3/§3.5).
+pub const WHOLE_BLOOD_VISCOSITY: f64 = 4.0e-3;
+
+/// Mass density of blood plasma, kg/m³.
+pub const PLASMA_DENSITY: f64 = 1025.0;
+
+/// Mass density of whole blood, kg/m³.
+pub const BLOOD_DENSITY: f64 = 1060.0;
+
+/// Kinematic viscosity of plasma, m²/s.
+pub const PLASMA_KINEMATIC_VISCOSITY: f64 = PLASMA_VISCOSITY / PLASMA_DENSITY;
+
+/// Kinematic viscosity of whole blood, m²/s.
+pub const BLOOD_KINEMATIC_VISCOSITY: f64 = WHOLE_BLOOD_VISCOSITY / BLOOD_DENSITY;
+
+/// Healthy RBC membrane shear elastic modulus, N/m (5·10⁻⁶, Skalak 1973;
+/// paper §3.2).
+pub const RBC_SHEAR_MODULUS: f64 = 5.0e-6;
+
+/// CTC membrane shear elastic modulus, N/m (1·10⁻⁴, paper §3.3) — cancer
+/// cells are markedly stiffer than RBCs.
+pub const CTC_SHEAR_MODULUS: f64 = 1.0e-4;
+
+/// Skalak area-preservation constant `C` for RBC membranes (dimensionless).
+/// Large values penalize local area dilation; 100 is the conventional choice
+/// for near-incompressible RBC membranes.
+pub const RBC_SKALAK_C: f64 = 100.0;
+
+/// RBC bending modulus, J (≈50 k_B T ≈ 2·10⁻¹⁹ J, Helfrich-type models).
+pub const RBC_BENDING_MODULUS: f64 = 2.0e-19;
+
+/// Nominal undeformed RBC diameter, m (biconcave discocyte).
+pub const RBC_DIAMETER: f64 = 7.82e-6;
+
+/// Volume of a single RBC, m³ (≈94 µm³ for a healthy discocyte).
+pub const RBC_VOLUME: f64 = 94e-18;
+
+/// Surface area of a single RBC, m² (≈135 µm²).
+pub const RBC_SURFACE_AREA: f64 = 135e-12;
+
+/// Nominal CTC diameter, m (~15 µm for typical epithelial tumor cells).
+pub const CTC_DIAMETER: f64 = 15.0e-6;
+
+/// Systemic hematocrit of healthy human blood (paper §1: blood ≈45% cells).
+pub const SYSTEMIC_HEMATOCRIT: f64 = 0.45;
+
+/// Total blood volume of an average human body, m³ (5 L, paper §1).
+pub const TOTAL_BLOOD_VOLUME: f64 = 5.0e-3;
+
+/// Total RBC count of an average human body (25·10¹², paper §1).
+pub const TOTAL_RBC_COUNT: f64 = 25.0e12;
+
+/// Bytes of storage per fluid lattice point used in the paper's memory
+/// estimates (§3.6: "a lower bound of 408 bytes of data per fluid point").
+pub const BYTES_PER_FLUID_POINT: u64 = 408;
+
+/// Bytes of storage per RBC used in the paper's memory estimates (§3.6:
+/// "51 kilobytes per RBC", 1280 elements and 642 vertices).
+pub const BYTES_PER_RBC: u64 = 51 * 1024;
+
+/// Number of surface-mesh vertices per RBC at 3 Loop-subdivision steps of an
+/// icosahedron (paper §3.6).
+pub const RBC_MESH_VERTICES: usize = 642;
+
+/// Number of surface-mesh triangles per RBC at 3 subdivision steps (§3.6).
+pub const RBC_MESH_ELEMENTS: usize = 1280;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viscosity_ratio_plasma_to_blood_is_in_paper_range() {
+        // The paper sweeps λ ∈ {1/2, 1/3, 1/4}; physical plasma:blood is 0.3.
+        let lambda = PLASMA_VISCOSITY / WHOLE_BLOOD_VISCOSITY;
+        assert!(lambda > 0.25 && lambda < 0.5, "λ = {lambda}");
+    }
+
+    #[test]
+    fn rbc_mesh_memory_matches_paper_figure() {
+        // 642 vertices and 1280 elements cost ~51 kB per cell (§3.6). A
+        // vertex carries position/velocity/force (9 f64) and each element a
+        // handful of connectivity and reference-state entries; the paper's
+        // 51 kB lower bound implies ~65 B per stored float-equivalent slot.
+        assert_eq!(RBC_MESH_VERTICES, 642);
+        assert_eq!(RBC_MESH_ELEMENTS, 1280);
+        assert_eq!(BYTES_PER_RBC, 52_224);
+    }
+
+    #[test]
+    fn euler_characteristic_of_rbc_mesh_is_spherical() {
+        // V - E + F = 2 for a closed genus-0 surface; E = 3F/2.
+        let v = RBC_MESH_VERTICES as i64;
+        let f = RBC_MESH_ELEMENTS as i64;
+        let e = 3 * f / 2;
+        assert_eq!(v - e + f, 2);
+    }
+
+    #[test]
+    fn systemic_numbers_are_consistent() {
+        // 25e12 RBCs at 94 µm³ each is ≈2.35 L ≈ 45–50% of 5 L.
+        let packed = TOTAL_RBC_COUNT * RBC_VOLUME;
+        let fraction = packed / TOTAL_BLOOD_VOLUME;
+        assert!((0.40..0.55).contains(&fraction), "fraction = {fraction}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error norms used to score simulations against analytic references
+//! (Table 1 of the paper reports relative L2 norms).
+
+/// Relative L2 error norm between `simulated` and `reference` samples:
+/// `‖u_sim − u_ref‖₂ / ‖u_ref‖₂`.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or the reference has
+/// zero norm.
+pub fn l2_error_norm(simulated: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(simulated.len(), reference.len(), "sample counts must match");
+    assert!(!simulated.is_empty(), "cannot compute a norm of zero samples");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&s, &r) in simulated.iter().zip(reference) {
+        num += (s - r) * (s - r);
+        den += r * r;
+    }
+    assert!(den > 0.0, "reference solution has zero norm");
+    (num / den).sqrt()
+}
+
+/// Relative L∞ error norm: `max|u_sim − u_ref| / max|u_ref|`.
+///
+/// # Panics
+/// Same conditions as [`l2_error_norm`].
+pub fn linf_error_norm(simulated: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(simulated.len(), reference.len(), "sample counts must match");
+    assert!(!simulated.is_empty(), "cannot compute a norm of zero samples");
+    let num = simulated
+        .iter()
+        .zip(reference)
+        .map(|(&s, &r)| (s - r).abs())
+        .fold(0.0f64, f64::max);
+    let den = reference.iter().map(|r| r.abs()).fold(0.0f64, f64::max);
+    assert!(den > 0.0, "reference solution has zero norm");
+    num / den
+}
+
+/// Mean absolute error between two sample sets.
+pub fn mean_absolute_error(simulated: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(simulated.len(), reference.len(), "sample counts must match");
+    assert!(!simulated.is_empty(), "cannot average zero samples");
+    simulated
+        .iter()
+        .zip(reference)
+        .map(|(&s, &r)| (s - r).abs())
+        .sum::<f64>()
+        / simulated.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_error() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(l2_error_norm(&a, &a), 0.0);
+        assert_eq!(linf_error_norm(&a, &a), 0.0);
+        assert_eq!(mean_absolute_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_matches_hand_computation() {
+        let sim = [1.1, 2.0];
+        let reference = [1.0, 2.0];
+        let expected = (0.01f64 / 5.0).sqrt();
+        assert!((l2_error_norm(&sim, &reference) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linf_picks_worst_sample() {
+        let sim = [1.0, 2.5, 3.0];
+        let reference = [1.0, 2.0, 3.0];
+        assert!((linf_error_norm(&sim, &reference) - 0.5 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample counts")]
+    fn mismatched_lengths_panic() {
+        let _ = l2_error_norm(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero norm")]
+    fn zero_reference_panics() {
+        let _ = l2_error_norm(&[1.0], &[0.0]);
+    }
+}

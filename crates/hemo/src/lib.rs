@@ -1,0 +1,26 @@
+//! Hemorheology substrate for the APR-RBC reproduction.
+//!
+//! Provides the physical groundwork the paper's evaluation relies on:
+//!
+//! * [`units`] — conversion between SI and lattice units for the LBM solver.
+//! * [`constants`] — blood, plasma and cell material constants from the paper.
+//! * [`pries`] — the Pries–Neuhaus–Gaehtgens in-vitro viscosity law (paper
+//!   Eq. 9–10) and the Fahraeus effect (Eq. 11) used to validate Figure 5.
+//! * [`analytic`] — closed-form solutions: the three-layer variable-viscosity
+//!   Couette profile (Eq. 8, Table 1/Figure 4) and Poiseuille relations
+//!   (Eq. 12).
+//! * [`error`] — L2/L∞ error norms used for Table 1.
+
+pub mod analytic;
+pub mod constants;
+pub mod error;
+pub mod pries;
+pub mod units;
+
+pub use analytic::{PoiseuilleTube, ThreeLayerCouette};
+pub use constants::*;
+pub use error::{l2_error_norm, linf_error_norm};
+pub use pries::{
+    discharge_from_tube_hematocrit, fahraeus_tube_hematocrit, relative_apparent_viscosity,
+};
+pub use units::UnitConverter;

@@ -1,0 +1,192 @@
+//! The Pries–Neuhaus–Gaehtgens in-vitro blood viscosity correlation and the
+//! Fahraeus effect, paper Eq. 9–11.
+//!
+//! Figure 5C of the paper validates the APR window's effective viscosity
+//! against [`relative_apparent_viscosity`]; the tube↔discharge hematocrit
+//! conversion of Eq. 11 closes the loop between what the window *contains*
+//! (tube hematocrit) and what the correlation is parameterized by (discharge
+//! hematocrit).
+
+/// Relative apparent viscosity of blood flowing in a tube of diameter
+/// `d_um` (µm) at discharge hematocrit `ht_d` (volume fraction, 0..1).
+///
+/// Paper Eq. 9 with Eq. 10 (Pries et al. 1992):
+///
+/// ```text
+/// μ_rel = 1 + (μ₄₅ − 1) · [(1 − Ht_d)^C − 1] / [(1 − 0.45)^C − 1]
+/// ```
+///
+/// Returns the viscosity relative to the suspending medium (plasma); multiply
+/// by [`crate::constants::PLASMA_VISCOSITY`] for an absolute value.
+///
+/// ```
+/// use apr_hemo::relative_apparent_viscosity;
+/// // Whole blood (45%) in a large tube is ~3× plasma viscosity.
+/// let mu = relative_apparent_viscosity(1000.0, 0.45);
+/// assert!((2.8..3.3).contains(&mu));
+/// // The Fåhræus–Lindqvist minimum: far thinner in a 10 µm capillary.
+/// assert!(relative_apparent_viscosity(10.0, 0.45) < 1.7);
+/// ```
+///
+/// # Panics
+/// Panics if `d_um` is not positive or `ht_d` is outside `[0, 1)`.
+pub fn relative_apparent_viscosity(d_um: f64, ht_d: f64) -> f64 {
+    assert!(d_um > 0.0, "tube diameter must be positive, got {d_um}");
+    assert!((0.0..1.0).contains(&ht_d), "discharge hematocrit must be in [0,1), got {ht_d}");
+    if ht_d == 0.0 {
+        return 1.0;
+    }
+    let mu45 = mu_45(d_um);
+    let c = shape_exponent(d_um);
+    let numerator = (1.0 - ht_d).powf(c) - 1.0;
+    let denominator = (1.0 - 0.45f64).powf(c) - 1.0;
+    1.0 + (mu45 - 1.0) * numerator / denominator
+}
+
+/// Relative apparent viscosity at the reference discharge hematocrit of 45%,
+/// paper Eq. 10 (first line):
+/// `μ₄₅ = 220·e^(−1.3·D) + 3.2 − 2.44·e^(−0.06·D^0.645)`.
+pub fn mu_45(d_um: f64) -> f64 {
+    220.0 * (-1.3 * d_um).exp() + 3.2 - 2.44 * (-0.06 * d_um.powf(0.645)).exp()
+}
+
+/// Hematocrit-dependence shape exponent `C`, paper Eq. 10 (second line):
+///
+/// ```text
+/// C = (0.8 + e^(−0.075·D)) · (−1 + 1/(1 + 10⁻¹¹·D¹²)) + 1/(1 + 10⁻¹¹·D¹²)
+/// ```
+pub fn shape_exponent(d_um: f64) -> f64 {
+    let damp = 1.0 / (1.0 + 1e-11 * d_um.powi(12));
+    (0.8 + (-0.075 * d_um).exp()) * (-1.0 + damp) + damp
+}
+
+/// Fahraeus effect: ratio of tube to discharge hematocrit, paper Eq. 11
+/// (Pries et al. 1990):
+///
+/// ```text
+/// Ht_t/Ht_d = Ht_d + (1 − Ht_d)·(1 + 1.7·e^(−0.415·D) − 0.6·e^(−0.011·D))
+/// ```
+///
+/// The paper manuscript's typeset exponents (−0.35 and +0.01) are OCR
+/// corruptions of the canonical Pries 1990 fit used here; the corrected form
+/// recovers the physical limits `Ht_t/Ht_d < 1` in microvessels and → 1 for
+/// large tubes.
+pub fn fahraeus_ratio(d_um: f64, ht_d: f64) -> f64 {
+    assert!(d_um > 0.0, "tube diameter must be positive, got {d_um}");
+    assert!((0.0..1.0).contains(&ht_d), "discharge hematocrit must be in [0,1), got {ht_d}");
+    ht_d + (1.0 - ht_d) * (1.0 + 1.7 * (-0.415 * d_um).exp() - 0.6 * (-0.011 * d_um).exp())
+}
+
+/// Tube hematocrit for a given discharge hematocrit in a tube of diameter
+/// `d_um` (µm), via Eq. 11.
+pub fn fahraeus_tube_hematocrit(d_um: f64, ht_d: f64) -> f64 {
+    ht_d * fahraeus_ratio(d_um, ht_d)
+}
+
+/// Invert Eq. 11: discharge hematocrit producing a given **tube** hematocrit.
+///
+/// Used when the simulation maintains a tube hematocrit inside the window
+/// (what Figure 5B plots) and we need the discharge hematocrit to feed the
+/// viscosity law of Eq. 9. Solved by bisection; Eq. 11 is monotone in
+/// `Ht_d` over the physical range.
+pub fn discharge_from_tube_hematocrit(d_um: f64, ht_t: f64) -> f64 {
+    assert!((0.0..1.0).contains(&ht_t), "tube hematocrit must be in [0,1), got {ht_t}");
+    if ht_t == 0.0 {
+        return 0.0;
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 0.999f64;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if fahraeus_tube_hematocrit(d_um, mid) < ht_t {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Absolute apparent viscosity (Pa·s) for a tube of diameter `d_um` at
+/// discharge hematocrit `ht_d`, using the plasma viscosity as the reference.
+pub fn apparent_viscosity(d_um: f64, ht_d: f64) -> f64 {
+    relative_apparent_viscosity(d_um, ht_d) * crate::constants::PLASMA_VISCOSITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hematocrit_is_plasma() {
+        assert_eq!(relative_apparent_viscosity(200.0, 0.0), 1.0);
+        assert_eq!(discharge_from_tube_hematocrit(200.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn viscosity_increases_with_hematocrit() {
+        let d = 200.0;
+        let mut prev = relative_apparent_viscosity(d, 0.0);
+        for ht in [0.1, 0.2, 0.3, 0.45, 0.6] {
+            let mu = relative_apparent_viscosity(d, ht);
+            assert!(mu > prev, "μ_rel must rise with Ht: {mu} !> {prev} at Ht={ht}");
+            prev = mu;
+        }
+    }
+
+    #[test]
+    fn reference_hematocrit_recovers_mu45() {
+        // At Ht_d = 0.45 Eq. 9 collapses to μ_rel = μ₄₅ exactly.
+        for d in [10.0, 50.0, 200.0, 500.0] {
+            let mu = relative_apparent_viscosity(d, 0.45);
+            assert!((mu - mu_45(d)).abs() < 1e-12, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn fahraeus_minimum_near_15um() {
+        // The classic Fahraeus curve has Ht_t/Ht_d < 1 with a minimum in the
+        // 10–20 µm range and recovery toward 1 in large tubes.
+        let ratio_small = fahraeus_ratio(15.0, 0.45);
+        let ratio_large = fahraeus_ratio(500.0, 0.45);
+        assert!(ratio_small < ratio_large);
+        assert!(ratio_small > 0.5 && ratio_small < 1.0, "ratio = {ratio_small}");
+        assert!(ratio_large > 0.95 && ratio_large <= 1.0, "ratio = {ratio_large}");
+    }
+
+    #[test]
+    fn discharge_inversion_round_trips() {
+        for d in [40.0, 100.0, 200.0] {
+            for ht_t in [0.05, 0.1, 0.2, 0.3, 0.4] {
+                let ht_d = discharge_from_tube_hematocrit(d, ht_t);
+                let back = fahraeus_tube_hematocrit(d, ht_d);
+                assert!((back - ht_t).abs() < 1e-9, "d={d} ht_t={ht_t}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure5_regime_values_are_plausible() {
+        // D = 200 µm tube, tube hematocrits 10/20/30% as in Figure 5.
+        // μ_rel should land between 1 (plasma) and ~3.2 (large-tube 45% blood).
+        for ht_t in [0.10, 0.20, 0.30] {
+            let ht_d = discharge_from_tube_hematocrit(200.0, ht_t);
+            let mu = relative_apparent_viscosity(200.0, ht_d);
+            assert!(mu > 1.05 && mu < 3.2, "Ht_t={ht_t}: μ_rel={mu}");
+        }
+    }
+
+    #[test]
+    fn large_tube_limit_approaches_bulk_blood() {
+        // For D → large, μ₄₅ → 3.2 − 2.44·e^(−…) ≈ 3.2; whole blood at 45%
+        // is ~3–4 cP vs plasma 1.2 cP, ratio ≈ 2.7–3.3. Consistent.
+        let mu = mu_45(1000.0);
+        assert!(mu > 2.8 && mu < 3.3, "μ₄₅(1000) = {mu}");
+    }
+
+    #[test]
+    #[should_panic(expected = "discharge hematocrit")]
+    fn rejects_unphysical_hematocrit() {
+        let _ = relative_apparent_viscosity(100.0, 1.2);
+    }
+}

@@ -1,0 +1,240 @@
+//! SI ↔ lattice unit conversion.
+//!
+//! The lattice Boltzmann solver works in lattice units where the grid spacing
+//! `Δx`, time step `Δt` and reference density `ρ₀` are all 1. A
+//! [`UnitConverter`] fixes the physical magnitudes of those three scales and
+//! derives every other conversion from them, mirroring how HARVEY-style codes
+//! parameterize a run from `(Δx, Δt or τ, ρ)`.
+
+/// Lattice speed of sound squared for the D3Q19 model, `c_s² = 1/3`.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Bidirectional converter between SI and lattice units.
+///
+/// Construct with [`UnitConverter::new`] from the physical grid spacing, time
+/// step and density, or with [`UnitConverter::from_viscosity`] to pick the
+/// time step that realizes a desired relaxation time `τ` for a given physical
+/// kinematic viscosity (the usual way LBM runs are set up).
+///
+/// ```
+/// use apr_hemo::UnitConverter;
+/// // 0.5 µm window grid carrying plasma (ν = 1.2 cP / 1025 kg·m⁻³) at τ = 1.
+/// let c = UnitConverter::from_viscosity(0.5e-6, 1.2e-3 / 1025.0, 1.0, 1025.0);
+/// // A 0.1 m/s inlet maps to a safely subsonic lattice velocity…
+/// assert!(c.velocity_to_lattice(0.1) < 0.2);
+/// // …and the RBC shear modulus lands in an explicit-scheme-friendly range.
+/// let gs = c.surface_modulus_to_lattice(5e-6);
+/// assert!(gs > 1e-6 && gs < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitConverter {
+    /// Physical length of one lattice spacing, m.
+    pub dx: f64,
+    /// Physical duration of one time step, s.
+    pub dt: f64,
+    /// Physical density of one lattice density unit, kg/m³.
+    pub rho: f64,
+}
+
+impl UnitConverter {
+    /// New converter from explicit scales. All must be positive.
+    ///
+    /// # Panics
+    /// Panics if any scale is not strictly positive and finite.
+    pub fn new(dx: f64, dt: f64, rho: f64) -> Self {
+        assert!(dx > 0.0 && dx.is_finite(), "dx must be positive, got {dx}");
+        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive, got {dt}");
+        assert!(rho > 0.0 && rho.is_finite(), "rho must be positive, got {rho}");
+        Self { dx, dt, rho }
+    }
+
+    /// Choose `Δt` so that the physical kinematic viscosity `nu_si` (m²/s)
+    /// maps onto the relaxation time `tau` at grid spacing `dx`.
+    ///
+    /// From `ν_lattice = c_s²(τ − 1/2)` and `ν_lattice = ν_SI·Δt/Δx²`.
+    ///
+    /// # Panics
+    /// Panics if `tau <= 0.5` (unphysical: non-positive viscosity).
+    pub fn from_viscosity(dx: f64, nu_si: f64, tau: f64, rho: f64) -> Self {
+        assert!(tau > 0.5, "tau must exceed 1/2 for positive viscosity, got {tau}");
+        assert!(nu_si > 0.0, "kinematic viscosity must be positive, got {nu_si}");
+        let nu_lattice = CS2 * (tau - 0.5);
+        let dt = nu_lattice * dx * dx / nu_si;
+        Self::new(dx, dt, rho)
+    }
+
+    /// Relaxation time realizing a physical kinematic viscosity on this grid.
+    pub fn tau_for_viscosity(&self, nu_si: f64) -> f64 {
+        self.viscosity_to_lattice(nu_si) / CS2 + 0.5
+    }
+
+    /// Physical kinematic viscosity (m²/s) realized by relaxation time `tau`.
+    pub fn viscosity_for_tau(&self, tau: f64) -> f64 {
+        self.viscosity_to_si(CS2 * (tau - 0.5))
+    }
+
+    // --- lengths -----------------------------------------------------------
+
+    /// SI length (m) → lattice units.
+    pub fn length_to_lattice(&self, l: f64) -> f64 {
+        l / self.dx
+    }
+
+    /// Lattice length → SI (m).
+    pub fn length_to_si(&self, l: f64) -> f64 {
+        l * self.dx
+    }
+
+    // --- times -------------------------------------------------------------
+
+    /// SI time (s) → lattice steps.
+    pub fn time_to_lattice(&self, t: f64) -> f64 {
+        t / self.dt
+    }
+
+    /// Lattice steps → SI time (s).
+    pub fn time_to_si(&self, t: f64) -> f64 {
+        t * self.dt
+    }
+
+    // --- velocity ----------------------------------------------------------
+
+    /// SI velocity (m/s) → lattice units. Keep the result well below the
+    /// lattice speed of sound (≈0.577) for accuracy; ≲0.1 is conventional.
+    pub fn velocity_to_lattice(&self, u: f64) -> f64 {
+        u * self.dt / self.dx
+    }
+
+    /// Lattice velocity → SI (m/s).
+    pub fn velocity_to_si(&self, u: f64) -> f64 {
+        u * self.dx / self.dt
+    }
+
+    // --- viscosity ---------------------------------------------------------
+
+    /// SI kinematic viscosity (m²/s) → lattice units.
+    pub fn viscosity_to_lattice(&self, nu: f64) -> f64 {
+        nu * self.dt / (self.dx * self.dx)
+    }
+
+    /// Lattice kinematic viscosity → SI (m²/s).
+    pub fn viscosity_to_si(&self, nu: f64) -> f64 {
+        nu * self.dx * self.dx / self.dt
+    }
+
+    // --- density / mass ----------------------------------------------------
+
+    /// SI density (kg/m³) → lattice units.
+    pub fn density_to_lattice(&self, r: f64) -> f64 {
+        r / self.rho
+    }
+
+    /// Lattice density → SI (kg/m³).
+    pub fn density_to_si(&self, r: f64) -> f64 {
+        r * self.rho
+    }
+
+    // --- forces ------------------------------------------------------------
+
+    /// SI force (N) → lattice units. Lattice force unit = ρ·Δx⁴/Δt².
+    pub fn force_to_lattice(&self, f: f64) -> f64 {
+        f / (self.rho * self.dx.powi(4) / (self.dt * self.dt))
+    }
+
+    /// Lattice force → SI (N).
+    pub fn force_to_si(&self, f: f64) -> f64 {
+        f * self.rho * self.dx.powi(4) / (self.dt * self.dt)
+    }
+
+    /// SI body-force density (N/m³ = kg·m⁻²·s⁻²) → lattice units
+    /// (lattice unit = ρ·Δx/Δt²).
+    pub fn body_force_to_lattice(&self, f: f64) -> f64 {
+        f * self.dt * self.dt / (self.rho * self.dx)
+    }
+
+    /// Lattice body-force density → SI (N/m³).
+    pub fn body_force_to_si(&self, f: f64) -> f64 {
+        f * self.rho * self.dx / (self.dt * self.dt)
+    }
+
+    // --- pressure / stress --------------------------------------------------
+
+    /// SI pressure (Pa) → lattice units (lattice unit = ρ·Δx²/Δt²).
+    pub fn pressure_to_lattice(&self, p: f64) -> f64 {
+        p * self.dt * self.dt / (self.rho * self.dx * self.dx)
+    }
+
+    /// Lattice pressure → SI (Pa).
+    pub fn pressure_to_si(&self, p: f64) -> f64 {
+        p * self.rho * self.dx * self.dx / (self.dt * self.dt)
+    }
+
+    // --- membrane moduli ----------------------------------------------------
+
+    /// SI surface shear modulus (N/m) → lattice units (unit = ρ·Δx³/Δt²).
+    pub fn surface_modulus_to_lattice(&self, g: f64) -> f64 {
+        g * self.dt * self.dt / (self.rho * self.dx.powi(3))
+    }
+
+    /// SI bending modulus (J = N·m) → lattice units (unit = ρ·Δx⁵/Δt²).
+    pub fn bending_modulus_to_lattice(&self, e: f64) -> f64 {
+        e * self.dt * self.dt / (self.rho * self.dx.powi(5))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn converter() -> UnitConverter {
+        // 0.5 µm grid, plasma viscosity, τ = 1.
+        UnitConverter::from_viscosity(0.5e-6, 1.2e-3 / 1025.0, 1.0, 1025.0)
+    }
+
+    #[test]
+    fn viscosity_round_trips_through_tau() {
+        let c = converter();
+        let nu = 1.2e-3 / 1025.0;
+        let tau = c.tau_for_viscosity(nu);
+        assert!((tau - 1.0).abs() < 1e-12, "tau = {tau}");
+        assert!((c.viscosity_for_tau(tau) - nu).abs() / nu < 1e-12);
+    }
+
+    #[test]
+    fn length_velocity_round_trip() {
+        let c = converter();
+        let u = 0.1; // m/s
+        let ul = c.velocity_to_lattice(u);
+        assert!((c.velocity_to_si(ul) - u).abs() < 1e-12);
+        let l = 37.5e-6;
+        assert!((c.length_to_si(c.length_to_lattice(l)) - l).abs() < 1e-18);
+    }
+
+    #[test]
+    fn derived_units_are_dimensionally_consistent() {
+        let c = converter();
+        // pressure = force / area: converting 1 N over 1 m² must agree.
+        let p = c.pressure_to_lattice(1.0);
+        let f_over_a = c.force_to_lattice(1.0) / (c.length_to_lattice(1.0).powi(2));
+        assert!((p - f_over_a).abs() / p < 1e-12);
+        // body force = force / volume.
+        let bf = c.body_force_to_lattice(1.0);
+        let f_over_v = c.force_to_lattice(1.0) / (c.length_to_lattice(1.0).powi(3));
+        assert!((bf - f_over_v).abs() / bf < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must exceed 1/2")]
+    fn rejects_unphysical_tau() {
+        let _ = UnitConverter::from_viscosity(1e-6, 1e-6, 0.5, 1000.0);
+    }
+
+    #[test]
+    fn surface_modulus_scaling_matches_manual_derivation() {
+        let c = converter();
+        // G_s [N/m] = [kg/s²]; lattice unit = rho*dx^3/dt^2.
+        let g = 5e-6;
+        let manual = g / (c.rho * c.dx.powi(3) / (c.dt * c.dt));
+        assert!((c.surface_modulus_to_lattice(g) - manual).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests of the hemorheology relations.
+
+use apr_hemo::analytic::ThreeLayerCouette;
+use apr_hemo::pries::{fahraeus_tube_hematocrit, relative_apparent_viscosity};
+use apr_hemo::units::UnitConverter;
+use proptest::prelude::*;
+
+proptest! {
+    /// The Pries law is monotone in hematocrit for any tube diameter.
+    #[test]
+    fn pries_monotone_in_hematocrit(d in 5.0..2000.0f64, h1 in 0.0..0.55f64, dh in 0.01..0.3f64) {
+        let h2 = (h1 + dh).min(0.89);
+        prop_assert!(relative_apparent_viscosity(d, h2) > relative_apparent_viscosity(d, h1));
+    }
+
+    /// μ_rel ≥ 1 always: a suspension is never thinner than plasma.
+    #[test]
+    fn pries_never_below_plasma(d in 5.0..2000.0f64, h in 0.0..0.8f64) {
+        prop_assert!(relative_apparent_viscosity(d, h) >= 1.0 - 1e-12);
+    }
+
+    /// Fahraeus: tube hematocrit never exceeds discharge hematocrit in the
+    /// microvascular regime.
+    #[test]
+    fn fahraeus_reduces_tube_hematocrit(d in 5.0..500.0f64, h in 0.05..0.6f64) {
+        let ht = fahraeus_tube_hematocrit(d, h);
+        prop_assert!(ht <= h + 1e-12, "Ht_t {ht} > Ht_d {h} at D={d}");
+        prop_assert!(ht > 0.0);
+    }
+
+    /// Couette profile: monotone from 0 to u_top for any heights and
+    /// viscosities, with stress identical in all three layers.
+    #[test]
+    fn couette_profile_properties(
+        h1 in 0.5..5.0f64,
+        h2 in 0.5..5.0f64,
+        h3 in 0.5..5.0f64,
+        mu1 in 0.1..10.0f64,
+        mu2 in 0.1..10.0f64,
+        mu3 in 0.1..10.0f64,
+        u in 0.01..10.0f64,
+    ) {
+        let c = ThreeLayerCouette::new([h1, h2, h3], [mu1, mu2, mu3], u);
+        let total = c.total_height();
+        prop_assert!(c.velocity(0.0).abs() < 1e-9 * u);
+        prop_assert!((c.velocity(total) - u).abs() < 1e-9 * u);
+        let mut prev = -1e-12;
+        for i in 0..=20 {
+            let v = c.velocity(total * i as f64 / 20.0);
+            prop_assert!(v >= prev - 1e-9 * u, "non-monotone at {i}");
+            prev = v;
+        }
+        // Stress continuity.
+        let s1 = c.shear_rate(h1 * 0.5) * mu1;
+        let s2 = c.shear_rate(h1 + h2 * 0.5) * mu2;
+        let s3 = c.shear_rate(h1 + h2 + h3 * 0.5) * mu3;
+        prop_assert!((s1 - s2).abs() < 1e-9 * s1.abs());
+        prop_assert!((s2 - s3).abs() < 1e-9 * s2.abs());
+    }
+
+    /// Unit conversions round-trip for arbitrary scales.
+    #[test]
+    fn unit_conversions_round_trip(
+        dx in 1e-8..1e-3f64,
+        dt in 1e-9..1e-3f64,
+        rho in 100.0..5000.0f64,
+        value in 1e-6..1e3f64,
+    ) {
+        let c = UnitConverter::new(dx, dt, rho);
+        prop_assert!((c.length_to_si(c.length_to_lattice(value)) - value).abs() < 1e-9 * value);
+        prop_assert!((c.velocity_to_si(c.velocity_to_lattice(value)) - value).abs() < 1e-9 * value);
+        prop_assert!((c.force_to_si(c.force_to_lattice(value)) - value).abs() < 1e-9 * value);
+        prop_assert!((c.pressure_to_si(c.pressure_to_lattice(value)) - value).abs() < 1e-9 * value);
+    }
+}

@@ -1,0 +1,154 @@
+//! Discrete Dirac delta kernels for the immersed boundary method.
+//!
+//! The paper uses "a cosine function … to approximate δ for unit spacial
+//! steps of the Eulerian grid with a four point support" (§2.3, Peskin 2002).
+//! The 2- and 3-point kernels are provided for the support-width ablation
+//! bench (DESIGN.md §6).
+
+/// Supported discrete delta kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeltaKernel {
+    /// Peskin's 4-point cosine kernel (the paper's choice):
+    /// `φ(r) = (1 + cos(πr/2))/4` for `|r| ≤ 2`.
+    #[default]
+    Cosine4,
+    /// Roma–Peskin 3-point kernel.
+    Peskin3,
+    /// Linear (tent) 2-point kernel.
+    Linear2,
+}
+
+impl DeltaKernel {
+    /// Half-width of the support in lattice spacings.
+    pub fn support(self) -> f64 {
+        match self {
+            DeltaKernel::Cosine4 => 2.0,
+            DeltaKernel::Peskin3 => 1.5,
+            DeltaKernel::Linear2 => 1.0,
+        }
+    }
+
+    /// Number of lattice points the stencil spans per axis.
+    pub fn stencil_width(self) -> usize {
+        match self {
+            DeltaKernel::Cosine4 => 4,
+            DeltaKernel::Peskin3 => 3,
+            DeltaKernel::Linear2 => 2,
+        }
+    }
+
+    /// One-dimensional kernel weight at signed offset `r` (lattice units).
+    #[inline]
+    pub fn phi(self, r: f64) -> f64 {
+        let a = r.abs();
+        match self {
+            DeltaKernel::Cosine4 => {
+                if a >= 2.0 {
+                    0.0
+                } else {
+                    0.25 * (1.0 + (std::f64::consts::FRAC_PI_2 * r).cos())
+                }
+            }
+            DeltaKernel::Peskin3 => {
+                if a >= 1.5 {
+                    0.0
+                } else if a <= 0.5 {
+                    (1.0 + (-3.0 * r * r + 1.0).sqrt()) / 3.0
+                } else {
+                    (5.0 - 3.0 * a - (-3.0 * (1.0 - a) * (1.0 - a) + 1.0).sqrt()) / 6.0
+                }
+            }
+            DeltaKernel::Linear2 => (1.0 - a).max(0.0),
+        }
+    }
+
+    /// Three-dimensional tensor-product weight at offset `(rx, ry, rz)`.
+    #[inline]
+    pub fn phi3(self, rx: f64, ry: f64, rz: f64) -> f64 {
+        self.phi(rx) * self.phi(ry) * self.phi(rz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNELS: [DeltaKernel; 3] =
+        [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2];
+
+    #[test]
+    fn partition_of_unity() {
+        // Σ_j φ(x − j) = 1 for any x — the defining moment condition.
+        for k in KERNELS {
+            for x in [0.0, 0.1, 0.25, 0.5, 0.73, 0.99] {
+                let sum: f64 = (-4..=4).map(|j| k.phi(x - j as f64)).sum();
+                assert!((sum - 1.0).abs() < 1e-12, "{k:?} at x={x}: Σ={sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_moment_vanishes_for_peskin3_and_linear2() {
+        // Σ_j (x − j)·φ(x − j) = 0 preserves interpolated momentum exactly
+        // for the Roma 3-point and tent kernels.
+        for k in [DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+            for x in [0.0, 0.2, 0.5, 0.8] {
+                let m1: f64 = (-4..=4).map(|j| (x - j as f64) * k.phi(x - j as f64)).sum();
+                assert!(m1.abs() < 1e-12, "{k:?} at x={x}: m1={m1}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_moment_is_small_for_cosine4() {
+        // The cosine kernel satisfies the moment condition only approximately
+        // (exactly at integers and half-integers); the residual stays ≲2.5%.
+        let k = DeltaKernel::Cosine4;
+        for x in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+            let m1: f64 = (-4..=4).map(|j| (x - j as f64) * k.phi(x - j as f64)).sum();
+            assert!(m1.abs() < 0.025, "at x={x}: m1={m1}");
+        }
+        // Exact at the lattice point and halfway between points.
+        for x in [0.0, 0.5, 1.0] {
+            let m1: f64 = (-4..=4).map(|j| (x - j as f64) * k.phi(x - j as f64)).sum();
+            assert!(m1.abs() < 1e-12, "at x={x}: m1={m1}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_nonnegative_and_compact() {
+        for k in KERNELS {
+            for i in -40..=40 {
+                let r = i as f64 * 0.1;
+                let v = k.phi(r);
+                assert!(v >= 0.0, "{k:?} negative at {r}");
+                if r.abs() >= k.support() {
+                    assert_eq!(v, 0.0, "{k:?} leaks outside support at {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_even() {
+        for k in KERNELS {
+            for i in 0..20 {
+                let r = i as f64 * 0.1;
+                assert!((k.phi(r) - k.phi(-r)).abs() < 1e-15, "{k:?} at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine4_peak_value() {
+        assert!((DeltaKernel::Cosine4.phi(0.0) - 0.5).abs() < 1e-15);
+        assert!((DeltaKernel::Cosine4.phi(1.0) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tensor_product_factorizes() {
+        let k = DeltaKernel::Cosine4;
+        let v = k.phi3(0.3, -0.7, 1.2);
+        assert!((v - k.phi(0.3) * k.phi(-0.7) * k.phi(1.2)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,270 @@
+//! Velocity interpolation and force spreading (paper §2.3, Eq. 4–6).
+//!
+//! Positions are expressed in the lattice's own coordinate system where the
+//! node `(x, y, z)` sits at position `(x, y, z)`; callers embedding a window
+//! lattice in a global frame translate positions before calling.
+
+use crate::delta::DeltaKernel;
+use apr_lattice::{Lattice, NodeClass};
+use apr_mesh::Vec3;
+use rayon::prelude::*;
+
+/// Stencil description around a Lagrangian point for a given kernel.
+struct Stencil {
+    base: [i64; 3],
+    width: usize,
+}
+
+#[inline]
+fn stencil(kernel: DeltaKernel, p: Vec3) -> Stencil {
+    // Leftmost lattice point inside the support [p − s, p + s] on each axis.
+    let s = kernel.support();
+    Stencil {
+        base: [
+            (p.x - s).ceil() as i64,
+            (p.y - s).ceil() as i64,
+            (p.z - s).ceil() as i64,
+        ],
+        width: kernel.stencil_width() + 1,
+    }
+}
+
+#[inline]
+fn wrap(v: i64, n: usize, periodic: bool) -> Option<usize> {
+    let n = n as i64;
+    if v >= 0 && v < n {
+        Some(v as usize)
+    } else if periodic {
+        Some(((v % n + n) % n) as usize)
+    } else {
+        None
+    }
+}
+
+/// Interpolate the Eulerian velocity field onto Lagrangian points (Eq. 4):
+/// `V(X) = Σ_x v(x)·δ(x − X)`.
+///
+/// Reads the lattice's stored (collision-time, force-corrected) velocities.
+/// Points whose support sticks out of a non-periodic boundary simply miss
+/// those weights — consistent with cells being removed once they cross the
+/// window boundary (paper §2.4.2).
+pub fn interpolate_velocities(
+    lattice: &Lattice,
+    positions: &[Vec3],
+    kernel: DeltaKernel,
+) -> Vec<Vec3> {
+    positions
+        .par_iter()
+        .map(|&p| interpolate_velocity(lattice, p, kernel))
+        .collect()
+}
+
+/// Interpolate the velocity at a single Lagrangian point.
+pub fn interpolate_velocity(lattice: &Lattice, p: Vec3, kernel: DeltaKernel) -> Vec3 {
+    let s = stencil(kernel, p);
+    let mut v = Vec3::ZERO;
+    for dz in 0..s.width {
+        let gz = s.base[2] + dz as i64;
+        let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else { continue };
+        let wz = kernel.phi(p.z - gz as f64);
+        if wz == 0.0 {
+            continue;
+        }
+        for dy in 0..s.width {
+            let gy = s.base[1] + dy as i64;
+            let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else { continue };
+            let wyz = wz * kernel.phi(p.y - gy as f64);
+            if wyz == 0.0 {
+                continue;
+            }
+            for dx in 0..s.width {
+                let gx = s.base[0] + dx as i64;
+                let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else { continue };
+                let w = wyz * kernel.phi(p.x - gx as f64);
+                if w == 0.0 {
+                    continue;
+                }
+                let node = lattice.idx(x, y, z);
+                let u = lattice.velocity_at(node);
+                v += Vec3::new(u[0], u[1], u[2]) * w;
+            }
+        }
+    }
+    v
+}
+
+/// Spread Lagrangian forces onto the Eulerian force field (Eq. 6):
+/// `g(x) = Σ_X G(X)·δ(x − X)`.
+///
+/// Forces landing on wall/exterior nodes are dropped (the wall absorbs
+/// them); total fluid-side force therefore equals the spread weight actually
+/// covering fluid, which [`spread_forces`] returns for diagnostics.
+///
+/// # Panics
+/// Panics if `positions` and `forces` differ in length.
+pub fn spread_forces(
+    lattice: &mut Lattice,
+    positions: &[Vec3],
+    forces: &[Vec3],
+    kernel: DeltaKernel,
+) -> f64 {
+    assert_eq!(positions.len(), forces.len(), "positions/forces mismatch");
+    let mut covered_weight = 0.0;
+    for (&p, &g) in positions.iter().zip(forces) {
+        let s = stencil(kernel, p);
+        for dz in 0..s.width {
+            let gz = s.base[2] + dz as i64;
+            let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else { continue };
+            let wz = kernel.phi(p.z - gz as f64);
+            if wz == 0.0 {
+                continue;
+            }
+            for dy in 0..s.width {
+                let gy = s.base[1] + dy as i64;
+                let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else { continue };
+                let wyz = wz * kernel.phi(p.y - gy as f64);
+                if wyz == 0.0 {
+                    continue;
+                }
+                for dx in 0..s.width {
+                    let gx = s.base[0] + dx as i64;
+                    let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else { continue };
+                    let w = wyz * kernel.phi(p.x - gx as f64);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let node = lattice.idx(x, y, z);
+                    if lattice.flag(node) == NodeClass::Fluid {
+                        lattice.add_force(node, [g.x * w, g.y * w, g.z * w]);
+                        covered_weight += w;
+                    }
+                }
+            }
+        }
+    }
+    if positions.is_empty() {
+        0.0
+    } else {
+        covered_weight / positions.len() as f64
+    }
+}
+
+/// Advance Lagrangian points by interpolated velocity over one unit time
+/// step (Eq. 5, forward Euler no-slip update): `X(t+1) = X(t) + V(t)·Δt`.
+pub fn advect_points(lattice: &Lattice, positions: &mut [Vec3], kernel: DeltaKernel) {
+    positions.par_iter_mut().for_each(|p| {
+        let v = interpolate_velocity(lattice, *p, kernel);
+        *p += v;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_lattice::Lattice;
+
+    fn uniform_lattice(u: [f64; 3]) -> Lattice {
+        let mut lat = Lattice::new(12, 12, 12, 1.0);
+        lat.periodic = [true, true, true];
+        lat.initialize_equilibrium(1.0, u);
+        lat
+    }
+
+    #[test]
+    fn interpolation_recovers_uniform_field() {
+        let lat = uniform_lattice([0.03, -0.01, 0.02]);
+        for p in [
+            Vec3::new(5.0, 5.0, 5.0),
+            Vec3::new(5.3, 4.7, 6.1),
+            Vec3::new(0.2, 11.8, 3.5), // near periodic boundary
+        ] {
+            let v = interpolate_velocity(&lat, p, DeltaKernel::Cosine4);
+            assert!((v - Vec3::new(0.03, -0.01, 0.02)).norm() < 1e-12, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_fields() {
+        // Kernels with vanishing first moment reproduce linear velocity
+        // profiles exactly — the property behind IBM's second-order accuracy.
+        let mut lat = Lattice::new(16, 16, 16, 1.0);
+        lat.periodic = [false, false, false];
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..16 {
+                    let node = lat.idx(x, y, z);
+                    lat.initialize_node_equilibrium(node, 1.0, [0.001 * y as f64, 0.0, 0.0]);
+                }
+            }
+        }
+        // Exact for kernels with a vanishing first moment…
+        for kernel in [DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+            let p = Vec3::new(8.0, 7.4, 8.0);
+            let v = interpolate_velocity(&lat, p, kernel);
+            assert!((v.x - 0.001 * 7.4).abs() < 1e-12, "{kernel:?}: {v:?}");
+        }
+        // …and within a small residual for the cosine kernel.
+        let v = interpolate_velocity(&lat, Vec3::new(8.0, 7.4, 8.0), DeltaKernel::Cosine4);
+        assert!((v.x - 0.001 * 7.4).abs() < 2.5e-5, "Cosine4: {v:?}");
+    }
+
+    #[test]
+    fn spreading_conserves_total_force() {
+        let mut lat = uniform_lattice([0.0; 3]);
+        let positions = [Vec3::new(6.2, 5.9, 6.4), Vec3::new(3.1, 3.3, 3.7)];
+        let forces = [Vec3::new(1e-4, -2e-4, 5e-5), Vec3::new(-3e-5, 1e-5, 2e-5)];
+        spread_forces(&mut lat, &positions, &forces, DeltaKernel::Cosine4);
+        let mut total = Vec3::ZERO;
+        for n in 0..lat.node_count() {
+            total += Vec3::new(lat.force[n * 3], lat.force[n * 3 + 1], lat.force[n * 3 + 2]);
+        }
+        let expected: Vec3 = forces.iter().copied().sum();
+        assert!((total - expected).norm() < 1e-15);
+    }
+
+    #[test]
+    fn spread_then_interpolate_peaks_at_source() {
+        // The force field after spreading is maximal at the node nearest to
+        // the Lagrangian point.
+        let mut lat = uniform_lattice([0.0; 3]);
+        let p = Vec3::new(6.1, 6.0, 5.9);
+        spread_forces(&mut lat, &[p], &[Vec3::new(1.0, 0.0, 0.0)], DeltaKernel::Cosine4);
+        let peak_node = lat.idx(6, 6, 6);
+        let peak = lat.force[peak_node * 3];
+        for n in 0..lat.node_count() {
+            assert!(lat.force[n * 3] <= peak + 1e-15);
+        }
+        assert!(peak > 0.05);
+    }
+
+    #[test]
+    fn advection_follows_uniform_flow() {
+        let lat = uniform_lattice([0.01, 0.02, -0.005]);
+        let mut pts = vec![Vec3::new(5.0, 5.0, 5.0)];
+        for _ in 0..10 {
+            advect_points(&lat, &mut pts, DeltaKernel::Cosine4);
+        }
+        let expected = Vec3::new(5.0 + 0.1, 5.0 + 0.2, 5.0 - 0.05);
+        assert!((pts[0] - expected).norm() < 1e-9);
+    }
+
+    #[test]
+    fn all_kernels_spread_to_their_stencil_size() {
+        for kernel in [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+            let mut lat = uniform_lattice([0.0; 3]);
+            // Offset from the node so even-width stencils engage fully.
+            let p = Vec3::new(6.3, 6.3, 6.3);
+            spread_forces(&mut lat, &[p], &[Vec3::new(1.0, 0.0, 0.0)], kernel);
+            let touched = (0..lat.node_count())
+                .filter(|&n| lat.force[n * 3] != 0.0)
+                .count();
+            let w = kernel.stencil_width();
+            assert!(
+                touched <= w * w * w,
+                "{kernel:?}: touched {touched} > {}",
+                w * w * w
+            );
+            assert!(touched >= (w - 1).max(1).pow(3), "{kernel:?}: touched {touched}");
+        }
+    }
+}

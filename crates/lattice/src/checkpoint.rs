@@ -1,0 +1,171 @@
+//! Lattice state checkpointing.
+//!
+//! Long CTC-transport runs (the paper's Figure 9 campaign ran for days)
+//! need restartable state. The format is a plain little-endian binary dump
+//! of dimensions, flags-independent state (distributions, force field, body
+//! force, τ) with a magic header and version byte — no external
+//! serialization dependencies.
+
+use crate::solver::Lattice;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 8] = b"APRLBM01";
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible checkpoint data.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_f64s<W: Write>(w: &mut W, data: &[f64]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    w.write_all(&buf)
+}
+
+fn read_f64s<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, CheckpointError> {
+    let mut buf = vec![0u8; n * 8];
+    r.read_exact(&mut buf)?;
+    Ok(buf
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Write the fluid state of `lat` (distributions + macroscopic fields +
+/// force field) to `w`. Geometry/flags are **not** stored: a restart
+/// rebuilds the same domain from its generator, then loads the state —
+/// mirroring how the paper's runs restore from geometry + field dumps.
+pub fn save_state<W: Write>(lat: &Lattice, mut w: W) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    for d in [lat.nx as u64, lat.ny as u64, lat.nz as u64, lat.steps_taken()] {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    write_f64s(&mut w, &[lat.tau, lat.body_force[0], lat.body_force[1], lat.body_force[2]])?;
+    let n = lat.node_count();
+    let mut f = Vec::with_capacity(n * crate::Q);
+    for node in 0..n {
+        f.extend_from_slice(lat.distributions(node));
+    }
+    write_f64s(&mut w, &f)?;
+    write_f64s(&mut w, &lat.rho)?;
+    write_f64s(&mut w, &lat.vel)?;
+    write_f64s(&mut w, &lat.force)?;
+    Ok(())
+}
+
+/// Restore fluid state saved by [`save_state`] into `lat`, which must have
+/// identical dimensions (its flags/geometry are kept as-is).
+pub fn load_state<R: Read>(lat: &mut Lattice, mut r: R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic header".into()));
+    }
+    let mut u64s = [0u64; 4];
+    for v in &mut u64s {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        *v = u64::from_le_bytes(b);
+    }
+    let [nx, ny, nz, _steps] = u64s;
+    if nx as usize != lat.nx || ny as usize != lat.ny || nz as usize != lat.nz {
+        return Err(CheckpointError::Format(format!(
+            "dimension mismatch: checkpoint {nx}×{ny}×{nz} vs lattice {}×{}×{}",
+            lat.nx, lat.ny, lat.nz
+        )));
+    }
+    let header = read_f64s(&mut r, 4)?;
+    lat.tau = header[0];
+    lat.body_force = [header[1], header[2], header[3]];
+    let n = lat.node_count();
+    let f = read_f64s(&mut r, n * crate::Q)?;
+    for node in 0..n {
+        let mut arr = [0.0; crate::Q];
+        arr.copy_from_slice(&f[node * crate::Q..(node + 1) * crate::Q]);
+        lat.set_distributions(node, &arr);
+    }
+    lat.rho = read_f64s(&mut r, n)?;
+    lat.vel = read_f64s(&mut r, n * 3)?;
+    lat.force = read_f64s(&mut r, n * 3)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::couette_channel;
+
+    #[test]
+    fn round_trip_resumes_identically() {
+        // Run A: 200 steps, checkpoint at 100.
+        let mut a = couette_channel(6, 12, 6, 0.9, 0.03);
+        for _ in 0..100 {
+            a.step();
+        }
+        let mut blob = Vec::new();
+        save_state(&a, &mut blob).unwrap();
+        for _ in 0..100 {
+            a.step();
+        }
+
+        // Run B: fresh lattice, same geometry, restored at step 100.
+        let mut b = couette_channel(6, 12, 6, 0.9, 0.03);
+        load_state(&mut b, &blob[..]).unwrap();
+        for _ in 0..100 {
+            b.step();
+        }
+
+        for node in 0..a.node_count() {
+            let fa = a.distributions(node);
+            let fb = b.distributions(node);
+            for i in 0..crate::Q {
+                assert!(
+                    (fa[i] - fb[i]).abs() < 1e-14,
+                    "node {node} dir {i}: {} vs {}",
+                    fa[i],
+                    fb[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = couette_channel(6, 12, 6, 0.9, 0.03);
+        let mut blob = Vec::new();
+        save_state(&a, &mut blob).unwrap();
+        let mut b = couette_channel(8, 12, 6, 0.9, 0.03);
+        let err = load_state(&mut b, &blob[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let mut b = couette_channel(6, 12, 6, 0.9, 0.03);
+        let err = load_state(&mut b, &b"NOTMAGIC"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)));
+    }
+}

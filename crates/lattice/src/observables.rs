@@ -1,0 +1,194 @@
+//! Derived flow observables: strain rate, shear stress, vorticity,
+//! dimensionless numbers, profile extraction.
+//!
+//! The strain-rate tensor comes directly from the non-equilibrium moments
+//! (Chapman–Enskog): `S_αβ = −(Σᵢ f^neq_i c_iα c_iβ) / (2 ρ c_s² τ)` — no
+//! finite differences needed, and exactly the quantity the APR coupling's
+//! stress-continuity argument is about.
+
+use crate::d3q19::{equilibrium_all, C, CS2, Q};
+use crate::solver::{Lattice, NodeClass};
+
+/// Symmetric 3×3 tensor stored as `[xx, yy, zz, xy, xz, yz]`.
+pub type SymTensor = [f64; 6];
+
+/// Strain-rate tensor at `node` from the non-equilibrium distributions.
+pub fn strain_rate(lat: &Lattice, node: usize) -> SymTensor {
+    let fs = lat.distributions(node);
+    let (rho, u) = lat.moments_at(node);
+    let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+    let mut pi = [0.0f64; 6];
+    for i in 0..Q {
+        let fneq = fs[i] - feq[i];
+        let (cx, cy, cz) = (C[i][0] as f64, C[i][1] as f64, C[i][2] as f64);
+        pi[0] += fneq * cx * cx;
+        pi[1] += fneq * cy * cy;
+        pi[2] += fneq * cz * cz;
+        pi[3] += fneq * cx * cy;
+        pi[4] += fneq * cx * cz;
+        pi[5] += fneq * cy * cz;
+    }
+    let tau = lat.tau_at(node);
+    let scale = -1.0 / (2.0 * rho * CS2 * tau);
+    pi.map(|p| p * scale)
+}
+
+/// Deviatoric viscous stress tensor at `node` (lattice units):
+/// `σ = 2 ρ ν S`.
+pub fn viscous_stress(lat: &Lattice, node: usize) -> SymTensor {
+    let s = strain_rate(lat, node);
+    let (rho, _) = lat.moments_at(node);
+    let nu = CS2 * (lat.tau_at(node) - 0.5);
+    s.map(|v| 2.0 * rho * nu * v)
+}
+
+/// Shear-rate magnitude `γ̇ = √(2 S:S)` at `node`.
+pub fn shear_rate_magnitude(lat: &Lattice, node: usize) -> f64 {
+    let s = strain_rate(lat, node);
+    let ss = s[0] * s[0] + s[1] * s[1] + s[2] * s[2]
+        + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]);
+    (2.0 * ss).sqrt()
+}
+
+/// Vorticity vector at an interior node by central differences of the
+/// stored velocity field. Returns `None` on domain edges or next to
+/// non-fluid nodes.
+pub fn vorticity(lat: &Lattice, x: usize, y: usize, z: usize) -> Option<[f64; 3]> {
+    if x == 0 || y == 0 || z == 0 || x + 1 >= lat.nx || y + 1 >= lat.ny || z + 1 >= lat.nz {
+        return None;
+    }
+    let v = |x: usize, y: usize, z: usize| -> Option<[f64; 3]> {
+        let n = lat.idx(x, y, z);
+        (lat.flag(n) == NodeClass::Fluid).then(|| lat.velocity_at(n))
+    };
+    let (xp, xm) = (v(x + 1, y, z)?, v(x - 1, y, z)?);
+    let (yp, ym) = (v(x, y + 1, z)?, v(x, y - 1, z)?);
+    let (zp, zm) = (v(x, y, z + 1)?, v(x, y, z - 1)?);
+    let d = |p: [f64; 3], m: [f64; 3], a: usize| (p[a] - m[a]) / 2.0;
+    Some([
+        d(yp, ym, 2) - d(zp, zm, 1), // ∂w/∂y − ∂v/∂z
+        d(zp, zm, 0) - d(xp, xm, 2), // ∂u/∂z − ∂w/∂x
+        d(xp, xm, 1) - d(yp, ym, 0), // ∂v/∂x − ∂u/∂y
+    ])
+}
+
+/// Maximum lattice Mach number over fluid nodes (stability diagnostic;
+/// should stay ≲ 0.3, ideally ≲ 0.1).
+pub fn max_mach(lat: &Lattice) -> f64 {
+    let cs = CS2.sqrt();
+    let mut max = 0.0f64;
+    for node in 0..lat.node_count() {
+        if lat.flag(node) == NodeClass::Fluid {
+            let u = lat.velocity_at(node);
+            let speed = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
+            max = max.max(speed / cs);
+        }
+    }
+    max
+}
+
+/// Reynolds number for a characteristic length `l` (lattice units) and the
+/// current maximum fluid speed.
+pub fn reynolds_number(lat: &Lattice, l: f64) -> f64 {
+    let cs = CS2.sqrt();
+    max_mach(lat) * cs * l / lat.lattice_viscosity()
+}
+
+/// Velocity component `axis` along a grid line: fixes the two coordinates
+/// in `fixed` and sweeps the remaining one. Returns `(position, value)` for
+/// fluid nodes only.
+pub fn velocity_profile(
+    lat: &Lattice,
+    sweep_axis: usize,
+    fixed: [usize; 2],
+    component: usize,
+) -> Vec<(f64, f64)> {
+    let len = [lat.nx, lat.ny, lat.nz][sweep_axis];
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (x, y, z) = match sweep_axis {
+            0 => (i, fixed[0], fixed[1]),
+            1 => (fixed[0], i, fixed[1]),
+            2 => (fixed[0], fixed[1], i),
+            _ => panic!("axis out of range"),
+        };
+        let node = lat.idx(x, y, z);
+        if lat.flag(node) == NodeClass::Fluid {
+            out.push((i as f64, lat.velocity_at(node)[component]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::couette_channel;
+
+    fn steady_couette(u_lid: f64) -> Lattice {
+        let mut lat = couette_channel(4, 18, 4, 0.9, u_lid);
+        for _ in 0..6000 {
+            lat.step();
+        }
+        lat
+    }
+
+    #[test]
+    fn couette_strain_rate_matches_analytic() {
+        let u_lid = 0.04;
+        let lat = steady_couette(u_lid);
+        // γ̇ = du/dy = u_lid / H with H = ny − 2 = 16.
+        let expected = u_lid / 16.0;
+        let node = lat.idx(2, 9, 2);
+        let s = strain_rate(&lat, node);
+        // Only S_xy is nonzero; S_xy = γ̇/2.
+        assert!((s[3] - expected / 2.0).abs() < 0.02 * expected, "S_xy = {}", s[3]);
+        assert!(s[0].abs() < 0.05 * expected);
+        assert!(s[1].abs() < 0.05 * expected);
+        let mag = shear_rate_magnitude(&lat, node);
+        assert!((mag - expected).abs() < 0.03 * expected, "γ̇ = {mag}");
+    }
+
+    #[test]
+    fn couette_stress_is_uniform_across_channel() {
+        let lat = steady_couette(0.04);
+        let mid = viscous_stress(&lat, lat.idx(2, 9, 2))[3];
+        let near_wall = viscous_stress(&lat, lat.idx(2, 2, 2))[3];
+        assert!(
+            (mid - near_wall).abs() < 0.05 * mid.abs(),
+            "stress not uniform: {mid} vs {near_wall}"
+        );
+    }
+
+    #[test]
+    fn couette_vorticity_is_minus_shear() {
+        let u_lid = 0.04;
+        let lat = steady_couette(u_lid);
+        let w = vorticity(&lat, 2, 9, 2).unwrap();
+        // u = (γ̇·y, 0, 0): ω_z = −∂u/∂y = −γ̇.
+        let expected = -u_lid / 16.0;
+        assert!((w[2] - expected).abs() < 0.05 * expected.abs(), "ω_z = {}", w[2]);
+        assert!(w[0].abs() < 1e-6 && w[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn mach_number_reflects_lid_speed() {
+        let lat = steady_couette(0.04);
+        let mach = max_mach(&lat);
+        let expected = 0.04 / CS2.sqrt();
+        assert!((mach - expected).abs() < 0.1 * expected, "Ma = {mach}");
+        assert!(reynolds_number(&lat, 16.0) > 0.0);
+    }
+
+    #[test]
+    fn profile_extraction_skips_walls() {
+        let lat = steady_couette(0.04);
+        let profile = velocity_profile(&lat, 1, [2, 2], 0);
+        // 18 nodes minus 2 wall rows.
+        assert_eq!(profile.len(), 16);
+        // Monotone increasing toward the lid.
+        for w in profile.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+}

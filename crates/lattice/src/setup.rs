@@ -1,0 +1,123 @@
+//! Convenience constructors for common flow domains.
+//!
+//! These encode the boundary layouts used by the paper's verification
+//! problems: plane Couette stacks (Figure 4), force-driven tubes (Figure 5)
+//! and channels (Figure 6).
+
+use crate::solver::{Lattice, NodeClass};
+
+/// Plane Couette channel: walls at the y extremes (bottom stationary, top
+/// moving at `u_lid` in +x), periodic in x and z.
+///
+/// Fluid nodes occupy `y ∈ [1, ny−2]`; with halfway bounce-back the physical
+/// walls sit at `y = 0.5` and `y = ny − 1.5`, so the channel height is
+/// `ny − 2` lattice spacings.
+pub fn couette_channel(nx: usize, ny: usize, nz: usize, tau: f64, u_lid: f64) -> Lattice {
+    assert!(ny >= 4, "need at least two fluid rows, got ny = {ny}");
+    let mut lat = Lattice::new(nx, ny, nz, tau);
+    lat.periodic = [true, false, true];
+    for z in 0..nz {
+        for x in 0..nx {
+            let bottom = lat.idx(x, 0, z);
+            lat.set_wall(bottom);
+            let top = lat.idx(x, ny - 1, z);
+            lat.set_moving_wall(top, [u_lid, 0.0, 0.0]);
+        }
+    }
+    lat
+}
+
+/// Physical channel height of a [`couette_channel`] in lattice units.
+pub fn couette_height(ny: usize) -> f64 {
+    (ny - 2) as f64
+}
+
+/// Wall-normal position of fluid row `y` measured from the bottom wall
+/// plane, in lattice units (halfway bounce-back places walls between nodes).
+pub fn couette_y_position(y: usize) -> f64 {
+    y as f64 - 0.5
+}
+
+/// Plane Poiseuille channel: stationary walls at the y extremes, periodic in
+/// x and z, driven by body force `g` along +x.
+pub fn poiseuille_slit(nx: usize, ny: usize, nz: usize, tau: f64, g: f64) -> Lattice {
+    assert!(ny >= 4, "need at least two fluid rows, got ny = {ny}");
+    let mut lat = Lattice::new(nx, ny, nz, tau);
+    lat.periodic = [true, false, true];
+    lat.body_force = [g, 0.0, 0.0];
+    for z in 0..nz {
+        for x in 0..nx {
+            let bottom = lat.idx(x, 0, z);
+            lat.set_wall(bottom);
+            let top = lat.idx(x, ny - 1, z);
+            lat.set_wall(top);
+        }
+    }
+    lat
+}
+
+/// Circular tube along z of radius `radius` (lattice units, measured from
+/// the domain center in x/y), periodic in z, driven by body force `g`
+/// along +z. Nodes at or beyond the radius become walls.
+pub fn force_driven_tube(nx: usize, ny: usize, nz: usize, tau: f64, radius: f64, g: f64) -> Lattice {
+    let mut lat = Lattice::new(nx, ny, nz, tau);
+    lat.periodic = [false, false, true];
+    lat.body_force = [0.0, 0.0, g];
+    let cx = (nx as f64 - 1.0) / 2.0;
+    let cy = (ny as f64 - 1.0) / 2.0;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let r = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                if r >= radius {
+                    let node = lat.idx(x, y, z);
+                    lat.set_wall(node);
+                }
+            }
+        }
+    }
+    lat
+}
+
+/// Count fluid nodes in a cross-section (z = 0 plane); used to convert the
+/// discrete tube into an effective radius for analytic comparison.
+pub fn cross_section_fluid_count(lat: &Lattice) -> usize {
+    let mut count = 0;
+    for y in 0..lat.ny {
+        for x in 0..lat.nx {
+            if lat.flag(lat.idx(x, y, 0)) == NodeClass::Fluid {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Effective tube radius from the voxelized cross-section area.
+pub fn effective_tube_radius(lat: &Lattice) -> f64 {
+    (cross_section_fluid_count(lat) as f64 / std::f64::consts::PI).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn couette_flags_walls_correctly() {
+        let lat = couette_channel(4, 8, 4, 1.0, 0.05);
+        assert_eq!(lat.flag(lat.idx(2, 0, 2)), NodeClass::Wall);
+        assert_eq!(lat.flag(lat.idx(2, 7, 2)), NodeClass::Wall);
+        assert_eq!(lat.flag(lat.idx(2, 3, 2)), NodeClass::Fluid);
+        assert_eq!(lat.fluid_node_count(), 4 * 6 * 4);
+    }
+
+    #[test]
+    fn tube_cross_section_is_round() {
+        let lat = force_driven_tube(21, 21, 4, 1.0, 8.0, 1e-6);
+        let r_eff = effective_tube_radius(&lat);
+        assert!((r_eff - 8.0).abs() < 0.5, "r_eff = {r_eff}");
+        // Center is fluid; corner is wall.
+        assert_eq!(lat.flag(lat.idx(10, 10, 0)), NodeClass::Fluid);
+        assert_eq!(lat.flag(lat.idx(0, 0, 0)), NodeClass::Wall);
+    }
+}

@@ -1,0 +1,520 @@
+//! The lattice Boltzmann solver: storage, collision, streaming, boundaries.
+//!
+//! Implements paper §2.1: D3Q19 BGK with an external force field (Guo
+//! forcing) and halfway bounce-back walls, plus velocity/pressure boundaries
+//! via non-equilibrium extrapolation. Distributions are stored
+//! array-of-structures (19 contiguous values per node) so collision touches
+//! one cache line pair per node; both passes are rayon-parallel over z-slabs.
+
+use crate::d3q19::{
+    equilibrium_all, guo_force_term, lattice_viscosity_from_tau, C, OPPOSITE, Q, W,
+};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Classification of a lattice node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeClass {
+    /// Interior fluid: collides and streams.
+    Fluid = 0,
+    /// Solid wall: neighbours bounce back off it (optionally moving).
+    Wall = 1,
+    /// Prescribed-velocity boundary (non-equilibrium extrapolation).
+    Velocity = 2,
+    /// Prescribed-density (pressure) boundary.
+    Pressure = 3,
+    /// Outside the simulated geometry; behaves as a stationary wall but is
+    /// excluded from fluid-point counts (memory accounting, §3.6).
+    Exterior = 4,
+}
+
+/// A D3Q19 lattice Boltzmann fluid domain.
+#[derive(Debug, Clone)]
+pub struct Lattice {
+    /// Grid extent in x.
+    pub nx: usize,
+    /// Grid extent in y.
+    pub ny: usize,
+    /// Grid extent in z.
+    pub nz: usize,
+    /// Per-axis periodicity.
+    pub periodic: [bool; 3],
+    /// BGK relaxation time (global default; see [`Self::set_tau_at`]).
+    pub tau: f64,
+    /// Uniform body-force density applied to every fluid node.
+    pub body_force: [f64; 3],
+    /// Per-node relaxation times; allocated lazily on the first
+    /// [`Self::set_tau_at`] call. Models space-dependent viscosity (e.g. a
+    /// coarse bulk lattice whose window footprint is plasma, not blood).
+    tau_field: Option<Vec<f64>>,
+    flags: Vec<NodeClass>,
+    /// Distributions, `node*19 + i`.
+    f: Vec<f64>,
+    f_tmp: Vec<f64>,
+    /// Densities per node (updated at collision).
+    pub rho: Vec<f64>,
+    /// Velocities per node, `node*3 + axis` (updated at collision, includes
+    /// the half-force correction).
+    pub vel: Vec<f64>,
+    /// External force field per node, `node*3 + axis` (IBM spreading target).
+    pub force: Vec<f64>,
+    wall_velocity: HashMap<usize, [f64; 3]>,
+    velocity_bc: Vec<BcNode<[f64; 3]>>,
+    pressure_bc: Vec<BcNode<f64>>,
+    steps_taken: u64,
+}
+
+#[derive(Debug, Clone)]
+struct BcNode<T> {
+    node: usize,
+    value: T,
+    neighbor: Option<usize>,
+}
+
+impl Lattice {
+    /// New all-fluid lattice at rest (ρ = 1, u = 0) with relaxation time
+    /// `tau` and no periodic axes.
+    ///
+    /// # Panics
+    /// Panics for empty dimensions or `tau ≤ 0.5`.
+    pub fn new(nx: usize, ny: usize, nz: usize, tau: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "empty lattice {nx}x{ny}x{nz}");
+        assert!(tau > 0.5, "tau must exceed 1/2, got {tau}");
+        let n = nx * ny * nz;
+        let mut f = vec![0.0; n * Q];
+        let feq = equilibrium_all(1.0, 0.0, 0.0, 0.0);
+        for node in 0..n {
+            f[node * Q..node * Q + Q].copy_from_slice(&feq);
+        }
+        Self {
+            nx,
+            ny,
+            nz,
+            periodic: [false; 3],
+            tau,
+            body_force: [0.0; 3],
+            tau_field: None,
+            flags: vec![NodeClass::Fluid; n],
+            f_tmp: f.clone(),
+            f,
+            rho: vec![1.0; n],
+            vel: vec![0.0; n * 3],
+            force: vec![0.0; n * 3],
+            wall_velocity: HashMap::new(),
+            velocity_bc: Vec::new(),
+            pressure_bc: Vec::new(),
+            steps_taken: 0,
+        }
+    }
+
+    /// Total node count.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flat index of `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Coordinates of flat index `node`.
+    #[inline]
+    pub fn coords(&self, node: usize) -> (usize, usize, usize) {
+        let x = node % self.nx;
+        let y = (node / self.nx) % self.ny;
+        let z = node / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// Node classification at `node`.
+    #[inline]
+    pub fn flag(&self, node: usize) -> NodeClass {
+        self.flags[node]
+    }
+
+    /// Set a node classification. Prefer the dedicated `set_wall` /
+    /// `set_velocity_bc` / `set_pressure_bc` helpers which also register
+    /// auxiliary data.
+    pub fn set_flag(&mut self, node: usize, class: NodeClass) {
+        self.flags[node] = class;
+    }
+
+    /// Mark `node` as a stationary wall.
+    pub fn set_wall(&mut self, node: usize) {
+        self.flags[node] = NodeClass::Wall;
+    }
+
+    /// Mark `node` as a wall moving with velocity `u` (lattice units).
+    pub fn set_moving_wall(&mut self, node: usize, u: [f64; 3]) {
+        self.flags[node] = NodeClass::Wall;
+        self.wall_velocity.insert(node, u);
+    }
+
+    /// Mark `node` as a prescribed-velocity boundary.
+    pub fn set_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
+        self.flags[node] = NodeClass::Velocity;
+        self.velocity_bc.push(BcNode { node, value: u, neighbor: None });
+    }
+
+    /// Mark `node` as a prescribed-density (pressure) boundary.
+    pub fn set_pressure_bc(&mut self, node: usize, rho: f64) {
+        self.flags[node] = NodeClass::Pressure;
+        self.pressure_bc.push(BcNode { node, value: rho, neighbor: None });
+    }
+
+    /// Update the target velocity of an existing velocity-boundary node.
+    pub fn update_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
+        if let Some(bc) = self.velocity_bc.iter_mut().find(|b| b.node == node) {
+            bc.value = u;
+        }
+    }
+
+    /// Number of fluid nodes.
+    pub fn fluid_node_count(&self) -> usize {
+        self.flags.iter().filter(|&&c| c == NodeClass::Fluid).count()
+    }
+
+    /// Set every node's distributions to equilibrium at `(rho, u)`.
+    pub fn initialize_equilibrium(&mut self, rho: f64, u: [f64; 3]) {
+        let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+        for node in 0..self.node_count() {
+            self.f[node * Q..node * Q + Q].copy_from_slice(&feq);
+            self.rho[node] = rho;
+            self.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
+        }
+    }
+
+    /// Set one node's distributions to equilibrium at `(rho, u)`.
+    pub fn initialize_node_equilibrium(&mut self, node: usize, rho: f64, u: [f64; 3]) {
+        let feq = equilibrium_all(rho, u[0], u[1], u[2]);
+        self.f[node * Q..node * Q + Q].copy_from_slice(&feq);
+        self.rho[node] = rho;
+        self.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
+    }
+
+    /// Raw distribution `f_i` at `node`.
+    #[inline]
+    pub fn distribution(&self, node: usize, i: usize) -> f64 {
+        self.f[node * Q + i]
+    }
+
+    /// All 19 distributions at `node`.
+    #[inline]
+    pub fn distributions(&self, node: usize) -> &[f64] {
+        &self.f[node * Q..node * Q + Q]
+    }
+
+    /// Overwrite all 19 distributions at `node`.
+    pub fn set_distributions(&mut self, node: usize, values: &[f64; Q]) {
+        self.f[node * Q..node * Q + Q].copy_from_slice(values);
+    }
+
+    /// Density and velocity computed directly from the current
+    /// distributions at `node` (no force correction).
+    pub fn moments_at(&self, node: usize) -> (f64, [f64; 3]) {
+        let fs = &self.f[node * Q..node * Q + Q];
+        let mut rho = 0.0;
+        let mut m = [0.0; 3];
+        for i in 0..Q {
+            rho += fs[i];
+            m[0] += fs[i] * C[i][0] as f64;
+            m[1] += fs[i] * C[i][1] as f64;
+            m[2] += fs[i] * C[i][2] as f64;
+        }
+        (rho, [m[0] / rho, m[1] / rho, m[2] / rho])
+    }
+
+    /// Stored (collision-time) velocity at `node`.
+    #[inline]
+    pub fn velocity_at(&self, node: usize) -> [f64; 3] {
+        [self.vel[node * 3], self.vel[node * 3 + 1], self.vel[node * 3 + 2]]
+    }
+
+    /// Zero the external force field (call after each IBM cycle).
+    pub fn clear_forces(&mut self) {
+        self.force.fill(0.0);
+    }
+
+    /// Add `g` to the external force at `node`.
+    #[inline]
+    pub fn add_force(&mut self, node: usize, g: [f64; 3]) {
+        self.force[node * 3] += g[0];
+        self.force[node * 3 + 1] += g[1];
+        self.force[node * 3 + 2] += g[2];
+    }
+
+    /// Total mass over all fluid nodes.
+    pub fn total_mass(&self) -> f64 {
+        (0..self.node_count())
+            .filter(|&n| self.flags[n] == NodeClass::Fluid)
+            .map(|n| self.f[n * Q..n * Q + Q].iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Steps taken since construction.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Lattice kinematic viscosity implied by `tau`.
+    pub fn lattice_viscosity(&self) -> f64 {
+        lattice_viscosity_from_tau(self.tau)
+    }
+
+    /// Relaxation time at `node` (per-node value if set, else the global).
+    #[inline]
+    pub fn tau_at(&self, node: usize) -> f64 {
+        match &self.tau_field {
+            Some(f) => f[node],
+            None => self.tau,
+        }
+    }
+
+    /// Set the relaxation time of a single node (allocates the per-node
+    /// field on first use).
+    pub fn set_tau_at(&mut self, node: usize, tau: f64) {
+        assert!(tau > 0.5, "tau must exceed 1/2, got {tau}");
+        let field = self
+            .tau_field
+            .get_or_insert_with(|| vec![self.tau; self.nx * self.ny * self.nz]);
+        field[node] = tau;
+    }
+
+    /// Neighbour flat index of `node` displaced by `c_i`, respecting
+    /// periodicity; `None` if it leaves a non-periodic domain.
+    #[inline]
+    pub fn neighbor(&self, x: usize, y: usize, z: usize, i: usize) -> Option<usize> {
+        let dims = [self.nx as i64, self.ny as i64, self.nz as i64];
+        let mut p = [x as i64 + C[i][0] as i64, y as i64 + C[i][1] as i64, z as i64 + C[i][2] as i64];
+        for a in 0..3 {
+            if p[a] < 0 || p[a] >= dims[a] {
+                if self.periodic[a] {
+                    p[a] = (p[a] + dims[a]) % dims[a];
+                } else {
+                    return None;
+                }
+            }
+        }
+        Some((p[0] + dims[0] * (p[1] + dims[1] * p[2])) as usize)
+    }
+
+    /// Advance one time step: collide (fluid), stream (fluid, with halfway
+    /// bounce-back off walls), then refresh boundary-condition nodes.
+    pub fn step(&mut self) {
+        self.collide();
+        self.stream();
+        self.apply_bc_nodes();
+        self.steps_taken += 1;
+    }
+
+    /// Collision phase only. Exposed so the APR coupling can impose
+    /// post-collision states on window-boundary nodes between collision and
+    /// streaming (Dupuis–Chopard style grid refinement).
+    pub fn collide_phase(&mut self) {
+        self.collide();
+    }
+
+    /// Streaming + boundary-node phase only (pairs with [`Self::collide_phase`]).
+    pub fn stream_phase(&mut self) {
+        self.stream();
+        self.apply_bc_nodes();
+        self.steps_taken += 1;
+    }
+
+    /// BGK collision with Guo forcing on every fluid node; updates stored
+    /// `rho` and `vel` (velocity includes the half-force correction).
+    fn collide(&mut self) {
+        let global_tau = self.tau;
+        let bf = self.body_force;
+        let flags = &self.flags;
+        let tau_field = self.tau_field.as_deref();
+        self.f
+            .par_chunks_mut(Q)
+            .zip(self.rho.par_iter_mut())
+            .zip(self.vel.par_chunks_mut(3))
+            .zip(self.force.par_chunks(3))
+            .zip(flags.par_iter())
+            .enumerate()
+            .for_each(|(node, ((((fs, rho), vel), g), &flag))| {
+                if flag != NodeClass::Fluid {
+                    return;
+                }
+                let tau = match tau_field {
+                    Some(f) => f[node],
+                    None => global_tau,
+                };
+                let omega = 1.0 / tau;
+                let force_scale = 1.0 - 0.5 * omega;
+                let mut r = 0.0;
+                let mut m = [0.0f64; 3];
+                for i in 0..Q {
+                    r += fs[i];
+                    m[0] += fs[i] * C[i][0] as f64;
+                    m[1] += fs[i] * C[i][1] as f64;
+                    m[2] += fs[i] * C[i][2] as f64;
+                }
+                let gx = g[0] + bf[0];
+                let gy = g[1] + bf[1];
+                let gz = g[2] + bf[2];
+                let ux = (m[0] + 0.5 * gx) / r;
+                let uy = (m[1] + 0.5 * gy) / r;
+                let uz = (m[2] + 0.5 * gz) / r;
+                *rho = r;
+                vel[0] = ux;
+                vel[1] = uy;
+                vel[2] = uz;
+                let feq = equilibrium_all(r, ux, uy, uz);
+                for i in 0..Q {
+                    let forcing = guo_force_term(i, ux, uy, uz, gx, gy, gz);
+                    fs[i] += omega * (feq[i] - fs[i]) + force_scale * forcing;
+                }
+            });
+    }
+
+    /// Pull-streaming with halfway bounce-back (optionally moving walls).
+    fn stream(&mut self) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let plane = nx * ny;
+        let f = &self.f;
+        let flags = &self.flags;
+        let wall_velocity = &self.wall_velocity;
+        let rho = &self.rho;
+        let periodic = self.periodic;
+        let neighbor = move |x: usize, y: usize, z: usize, i: usize| -> Option<usize> {
+            let dims = [nx as i64, ny as i64, nz as i64];
+            let mut p = [
+                x as i64 + C[i][0] as i64,
+                y as i64 + C[i][1] as i64,
+                z as i64 + C[i][2] as i64,
+            ];
+            for a in 0..3 {
+                if p[a] < 0 || p[a] >= dims[a] {
+                    if periodic[a] {
+                        p[a] = (p[a] + dims[a]) % dims[a];
+                    } else {
+                        return None;
+                    }
+                }
+            }
+            Some((p[0] + dims[0] * (p[1] + dims[1] * p[2])) as usize)
+        };
+        self.f_tmp
+            .par_chunks_mut(plane * Q)
+            .enumerate()
+            .for_each(|(z, slab)| {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let node = x + nx * (y + ny * z);
+                        let local = (x + nx * y) * Q;
+                        match flags[node] {
+                            NodeClass::Fluid => {
+                                for i in 0..Q {
+                                    // Pull from the node the population left.
+                                    let o = OPPOSITE[i];
+                                    let pulled = match neighbor(x, y, z, o) {
+                                        Some(src)
+                                            if matches!(
+                                                flags[src],
+                                                NodeClass::Fluid
+                                                    | NodeClass::Velocity
+                                                    | NodeClass::Pressure
+                                            ) =>
+                                        {
+                                            f[src * Q + i]
+                                        }
+                                        Some(src) => {
+                                            // Wall / exterior: halfway bounce-back,
+                                            // with moving-wall momentum term.
+                                            let mut v = f[node * Q + o];
+                                            if let Some(uw) = wall_velocity.get(&src) {
+                                                let cu = C[i][0] as f64 * uw[0]
+                                                    + C[i][1] as f64 * uw[1]
+                                                    + C[i][2] as f64 * uw[2];
+                                                v += 6.0 * W[i] * rho[node] * cu;
+                                            }
+                                            v
+                                        }
+                                        None => f[node * Q + o],
+                                    };
+                                    slab[local + i] = pulled;
+                                }
+                            }
+                            _ => {
+                                // Non-fluid nodes carry their distributions
+                                // forward; BC nodes are rebuilt right after.
+                                slab[local..local + Q].copy_from_slice(&f[node * Q..node * Q + Q]);
+                            }
+                        }
+                    }
+                }
+            });
+        std::mem::swap(&mut self.f, &mut self.f_tmp);
+    }
+
+    /// Rebuild velocity/pressure boundary nodes by non-equilibrium
+    /// extrapolation (Guo et al. 2002): `f = f^eq(ρ_b, u_b) + f^neq(nb)`.
+    fn apply_bc_nodes(&mut self) {
+        // Resolve interior neighbours lazily on first use.
+        let resolve = |this: &Lattice, node: usize| -> Option<usize> {
+            let (x, y, z) = this.coords(node);
+            (1..Q).find_map(|i| {
+                this.neighbor(x, y, z, i)
+                    .filter(|&nb| this.flags[nb] == NodeClass::Fluid)
+            })
+        };
+
+        let mut velocity_bc = std::mem::take(&mut self.velocity_bc);
+        for bc in &mut velocity_bc {
+            if bc.neighbor.is_none() {
+                bc.neighbor = resolve(self, bc.node);
+            }
+            let u = bc.value;
+            let new_f = match bc.neighbor {
+                Some(nb) => {
+                    let (rho_nb, u_nb) = self.moments_at(nb);
+                    let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
+                    let feq_b = equilibrium_all(rho_nb, u[0], u[1], u[2]);
+                    let mut out = [0.0; Q];
+                    for i in 0..Q {
+                        out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+                    }
+                    out
+                }
+                None => equilibrium_all(1.0, u[0], u[1], u[2]),
+            };
+            self.set_distributions(bc.node, &new_f);
+            self.rho[bc.node] = new_f.iter().sum();
+            self.vel[bc.node * 3..bc.node * 3 + 3].copy_from_slice(&u);
+        }
+        self.velocity_bc = velocity_bc;
+
+        let mut pressure_bc = std::mem::take(&mut self.pressure_bc);
+        for bc in &mut pressure_bc {
+            if bc.neighbor.is_none() {
+                bc.neighbor = resolve(self, bc.node);
+            }
+            let rho_b = bc.value;
+            let new_f = match bc.neighbor {
+                Some(nb) => {
+                    let (rho_nb, u_nb) = self.moments_at(nb);
+                    let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
+                    let feq_b = equilibrium_all(rho_b, u_nb[0], u_nb[1], u_nb[2]);
+                    let mut out = [0.0; Q];
+                    for i in 0..Q {
+                        out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+                    }
+                    self.vel[bc.node * 3..bc.node * 3 + 3].copy_from_slice(&u_nb);
+                    out
+                }
+                None => equilibrium_all(rho_b, 0.0, 0.0, 0.0),
+            };
+            self.set_distributions(bc.node, &new_f);
+            self.rho[bc.node] = rho_b;
+        }
+        self.pressure_bc = pressure_bc;
+    }
+}

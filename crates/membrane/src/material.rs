@@ -1,0 +1,78 @@
+//! Membrane material parameters.
+
+/// Elastic parameters of a cell membrane, in whatever unit system the caller
+/// works in (engines pass lattice units via `apr_hemo::UnitConverter`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembraneMaterial {
+    /// Skalak shear elastic modulus `G_s` (force/length).
+    pub shear_modulus: f64,
+    /// Skalak area-preservation constant `C` (dimensionless, paper Eq. 2).
+    pub skalak_c: f64,
+    /// Bending modulus `E_b` (energy units, paper Eq. 3).
+    pub bending_modulus: f64,
+    /// Global surface-area penalty coefficient (energy/area).
+    pub global_area_k: f64,
+    /// Enclosed-volume penalty coefficient (energy/volume).
+    pub volume_k: f64,
+}
+
+impl MembraneMaterial {
+    /// A healthy RBC membrane with moduli expressed in the caller's units.
+    ///
+    /// `gs` is the shear modulus (paper: 5·10⁻⁶ N/m) and `eb` the bending
+    /// modulus; the constraint coefficients default to values that hold area
+    /// within ~1% and volume within ~0.1% under physiological shear.
+    pub fn rbc(gs: f64, eb: f64) -> Self {
+        Self {
+            shear_modulus: gs,
+            skalak_c: 100.0,
+            bending_modulus: eb,
+            global_area_k: 50.0 * gs,
+            volume_k: 500.0 * gs,
+        }
+    }
+
+    /// A circulating tumor cell: stiffer by the paper's factor (§3.3 uses
+    /// `G_s = 1·10⁻⁴ N/m`, 20× the RBC value) and closer to spherical, so a
+    /// smaller Skalak C suffices.
+    pub fn ctc(gs: f64, eb: f64) -> Self {
+        Self {
+            shear_modulus: gs,
+            skalak_c: 10.0,
+            bending_modulus: eb,
+            global_area_k: 50.0 * gs,
+            volume_k: 500.0 * gs,
+        }
+    }
+
+    /// Scale all moduli by `s` (unit conversions).
+    pub fn scaled(self, s: f64) -> Self {
+        Self {
+            shear_modulus: self.shear_modulus * s,
+            skalak_c: self.skalak_c,
+            bending_modulus: self.bending_modulus * s,
+            global_area_k: self.global_area_k * s,
+            volume_k: self.volume_k * s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctc_is_stiffer_than_rbc() {
+        let rbc = MembraneMaterial::rbc(5e-6, 2e-19);
+        let ctc = MembraneMaterial::ctc(1e-4, 2e-19);
+        assert!(ctc.shear_modulus > 10.0 * rbc.shear_modulus);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_moduli_only() {
+        let m = MembraneMaterial::rbc(5e-6, 2e-19).scaled(2.0);
+        assert_eq!(m.shear_modulus, 1e-5);
+        assert_eq!(m.skalak_c, 100.0);
+        assert_eq!(m.bending_modulus, 4e-19);
+    }
+}

@@ -1,0 +1,136 @@
+//! Neo-Hookean in-plane membrane law — the alternative constitutive model
+//! the paper's own reference [18] (Pepona, Gounley & Randles 2023,
+//! "Effect of constitutive law on the erythrocyte membrane response to
+//! large strains") compares against Skalak.
+//!
+//! Two-dimensional incompressible Neo-Hookean membrane energy density in
+//! terms of the Skalak strain invariants:
+//!
+//! ```text
+//! W_NH = G_s/2 · (I₁ + 1/(I₂ + 1) − 1... )
+//! ```
+//!
+//! concretely, with `J² = I₂ + 1 = (λ₁λ₂)²`:
+//! `W = G_s/2 (λ₁² + λ₂² + 1/(λ₁λ₂)² − 3)` — strain-hardening-free shear
+//! response with volumetric (areal) stiffening from the `1/J²` term.
+
+use crate::reference::ReferenceState;
+use apr_mesh::Vec3;
+
+/// Neo-Hookean energy density per undeformed area at invariants `(i1, i2)`
+/// (Skalak convention: `I₁ = λ₁² + λ₂² − 2`, `I₂ = λ₁²λ₂² − 1`).
+#[inline]
+pub fn neohookean_energy_density(gs: f64, i1: f64, i2: f64) -> f64 {
+    let j2 = i2 + 1.0; // (λ₁λ₂)²
+    gs / 2.0 * (i1 + 2.0 + 1.0 / j2 - 3.0)
+}
+
+/// Partial derivatives `(∂W/∂I₁, ∂W/∂I₂)`.
+#[inline]
+pub fn neohookean_energy_gradient(gs: f64, _i1: f64, i2: f64) -> (f64, f64) {
+    let j2 = i2 + 1.0;
+    (gs / 2.0, -gs / (2.0 * j2 * j2))
+}
+
+/// Add Neo-Hookean in-plane forces for every triangle; returns the total
+/// elastic energy. Drop-in alternative to
+/// [`crate::skalak::add_skalak_forces`].
+pub fn add_neohookean_forces(
+    reference: &ReferenceState,
+    gs: f64,
+    vertices: &[Vec3],
+    forces: &mut [Vec3],
+) -> f64 {
+    crate::skalak::add_inplane_forces_with(
+        reference,
+        vertices,
+        forces,
+        |i1, i2| neohookean_energy_density(gs, i1, i2),
+        |i1, i2| neohookean_energy_gradient(gs, i1, i2),
+    )
+}
+
+/// Total Neo-Hookean energy without force evaluation.
+pub fn neohookean_energy(reference: &ReferenceState, gs: f64, vertices: &[Vec3]) -> f64 {
+    crate::skalak::inplane_energy_with(reference, vertices, |i1, i2| {
+        neohookean_energy_density(gs, i1, i2)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_mesh::icosphere;
+
+    #[test]
+    fn reference_state_has_zero_energy() {
+        // λ₁ = λ₂ = 1 ⇒ I₁ = 0, I₂ = 0 ⇒ W = 0.
+        assert!(neohookean_energy_density(1.0, 0.0, 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_is_positive_off_reference() {
+        for (l1, l2) in [(1.2, 1.0), (0.8, 0.9), (1.5, 0.7), (2.0, 2.0)] {
+            let (l1, l2): (f64, f64) = (l1, l2);
+            let i1 = l1 * l1 + l2 * l2 - 2.0;
+            let i2 = l1 * l1 * l2 * l2 - 1.0;
+            let w = neohookean_energy_density(1.0, i1, i2);
+            assert!(w > 0.0, "W({l1},{l2}) = {w}");
+        }
+    }
+
+    #[test]
+    fn forces_match_finite_difference() {
+        let mesh = icosphere(1, 1.0);
+        let re = ReferenceState::build(&mesh);
+        let gs = 1.7;
+        let mut verts: Vec<Vec3> = mesh
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * (1.0 + 0.05 * ((i * 5 % 9) as f64 / 9.0 - 0.4)))
+            .collect();
+        let mut forces = vec![Vec3::ZERO; verts.len()];
+        add_neohookean_forces(&re, gs, &verts, &mut forces);
+        let h = 1e-6;
+        for vi in [0usize, 8, 23, 40] {
+            for axis in 0..3 {
+                let orig = verts[vi][axis];
+                verts[vi][axis] = orig + h;
+                let ep = neohookean_energy(&re, gs, &verts);
+                verts[vi][axis] = orig - h;
+                let em = neohookean_energy(&re, gs, &verts);
+                verts[vi][axis] = orig;
+                let fd = -(ep - em) / (2.0 * h);
+                let an = forces[vi][axis];
+                assert!(
+                    (fd - an).abs() < 1e-5 * (1.0 + an.abs()),
+                    "vertex {vi} axis {axis}: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softer_than_skalak_under_area_dilation() {
+        // Reference [18]'s headline: Skalak (with large C) strain-hardens
+        // against area change much harder than Neo-Hookean.
+        let s = 1.3f64;
+        let i1 = 2.0 * s * s - 2.0;
+        let i2 = s.powi(4) - 1.0;
+        let w_nh = neohookean_energy_density(1.0, i1, i2);
+        let w_sk = crate::skalak::skalak_energy_density(1.0, 100.0, i1, i2);
+        assert!(w_sk > 10.0 * w_nh, "Skalak {w_sk} vs NH {w_nh}");
+    }
+
+    #[test]
+    fn total_force_vanishes() {
+        let mesh = icosphere(2, 1.0);
+        let re = ReferenceState::build(&mesh);
+        let verts: Vec<Vec3> = mesh.vertices.iter().map(|&v| v * 1.15).collect();
+        let mut forces = vec![Vec3::ZERO; verts.len()];
+        add_neohookean_forces(&re, 1.0, &verts, &mut forces);
+        let total: Vec3 = forces.iter().copied().sum();
+        assert!(total.norm() < 1e-10, "net force {total:?}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Precomputed reference (undeformed) state of a membrane mesh.
+//!
+//! Built once per cell *shape*; shared by every instance of that shape, so a
+//! window full of thousands of identical RBCs stores one copy (part of the
+//! paper's cell-memory frugality, §2.4.5/§3.6).
+
+use apr_mesh::topology::EdgeTopology;
+use apr_mesh::{TriMesh, Vec3};
+
+/// Per-triangle reference data for the in-plane FEM.
+#[derive(Debug, Clone, Copy)]
+pub struct TriangleRef {
+    /// Inverse of the 2×2 reference edge matrix `[A1 A2]` (columns are the
+    /// two edge vectors expressed in the reference triangle's local frame).
+    pub inv_ref: [[f64; 2]; 2],
+    /// Undeformed triangle area.
+    pub area: f64,
+}
+
+/// Per-interior-edge reference data for bending.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeRef {
+    /// Edge endpoint vertex indices.
+    pub v: [u32; 2],
+    /// Opposite vertices of the two adjacent triangles.
+    pub opposite: [u32; 2],
+    /// Spontaneous (reference) dihedral angle, radians; 0 = flat.
+    pub theta0: f64,
+}
+
+/// Complete reference state of a membrane mesh.
+#[derive(Debug, Clone)]
+pub struct ReferenceState {
+    /// Triangle connectivity (copied from the reference mesh).
+    pub triangles: Vec<[u32; 3]>,
+    /// Per-triangle FEM reference data.
+    pub tri_refs: Vec<TriangleRef>,
+    /// Per-interior-edge bending reference data.
+    pub edge_refs: Vec<EdgeRef>,
+    /// Undeformed total surface area.
+    pub area0: f64,
+    /// Undeformed enclosed volume.
+    pub volume0: f64,
+    /// Number of vertices in the mesh.
+    pub vertex_count: usize,
+}
+
+/// Project triangle edges into a local orthonormal frame:
+/// returns the 2×2 matrix columns `(A1, A2)` for edges `(b−a, c−a)`.
+#[inline]
+pub fn local_edge_matrix(a: Vec3, b: Vec3, c: Vec3) -> [[f64; 2]; 2] {
+    let e1 = b - a;
+    let e2 = c - a;
+    let u = e1.normalized();
+    let n = e1.cross(e2);
+    let v = n.cross(e1).normalized();
+    // Columns: [A1 A2] with A1 = (|e1|, 0), A2 = (e2·u, e2·v).
+    [[e1.norm(), e2.dot(u)], [0.0, e2.dot(v)]]
+}
+
+/// Signed dihedral angle across the edge shared by triangles `(e0, e1, o0)`
+/// and `(e1, e0, o1)`; 0 when coplanar, positive when the surface is locally
+/// convex with respect to the triangle normals.
+#[inline]
+pub fn dihedral_angle(e0: Vec3, e1: Vec3, o0: Vec3, o1: Vec3) -> f64 {
+    let e = e1 - e0;
+    let n1 = (e1 - e0).cross(o0 - e0);
+    let n2 = (o1 - e0).cross(e1 - e0);
+    let n1n = n1.norm();
+    let n2n = n2.norm();
+    if n1n < 1e-300 || n2n < 1e-300 {
+        return 0.0;
+    }
+    let cos = (n1.dot(n2) / (n1n * n2n)).clamp(-1.0, 1.0);
+    let sin = n1.cross(n2).dot(e) / (n1n * n2n * e.norm().max(1e-300));
+    sin.atan2(cos)
+}
+
+impl ReferenceState {
+    /// Build the reference state from an undeformed mesh.
+    ///
+    /// # Panics
+    /// Panics on open meshes (cell membranes are closed) or degenerate
+    /// reference triangles.
+    pub fn build(mesh: &TriMesh) -> Self {
+        let topo = EdgeTopology::build(mesh);
+        assert!(topo.is_closed(), "membrane meshes must be closed");
+        let tri_refs = mesh
+            .triangles
+            .iter()
+            .enumerate()
+            .map(|(t, &[a, b, c])| {
+                let m = local_edge_matrix(
+                    mesh.vertices[a as usize],
+                    mesh.vertices[b as usize],
+                    mesh.vertices[c as usize],
+                );
+                let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+                assert!(
+                    det.abs() > 1e-300,
+                    "degenerate reference triangle {t}"
+                );
+                let inv = [
+                    [m[1][1] / det, -m[0][1] / det],
+                    [-m[1][0] / det, m[0][0] / det],
+                ];
+                TriangleRef { inv_ref: inv, area: mesh.triangle_area(t) }
+            })
+            .collect();
+        let edge_refs = topo
+            .edges
+            .iter()
+            .map(|e| {
+                let theta0 = dihedral_angle(
+                    mesh.vertices[e.v[0] as usize],
+                    mesh.vertices[e.v[1] as usize],
+                    mesh.vertices[e.opposite[0] as usize],
+                    mesh.vertices[e.opposite[1] as usize],
+                );
+                EdgeRef { v: e.v, opposite: e.opposite, theta0 }
+            })
+            .collect();
+        Self {
+            triangles: mesh.triangles.clone(),
+            tri_refs,
+            edge_refs,
+            area0: mesh.surface_area(),
+            volume0: mesh.enclosed_volume(),
+            vertex_count: mesh.vertex_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_mesh::icosphere;
+
+    #[test]
+    fn sphere_reference_is_consistent() {
+        let mesh = icosphere(2, 1.0);
+        let re = ReferenceState::build(&mesh);
+        assert_eq!(re.tri_refs.len(), mesh.triangle_count());
+        assert!((re.area0 - mesh.surface_area()).abs() < 1e-12);
+        assert!((re.volume0 - mesh.enclosed_volume()).abs() < 1e-12);
+        // Every edge of a convex mesh is genuinely folded; magnitudes on an
+        // icosphere cluster tightly. (Signs depend on the stored edge
+        // ordering and are only consistent per edge, which is all the
+        // bending energy requires.)
+        let mags: Vec<f64> = re.edge_refs.iter().map(|e| e.theta0.abs()).collect();
+        let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+        assert!(mean > 0.05, "sphere edges should be folded, mean |θ₀| = {mean}");
+        for m in &mags {
+            assert!((m - mean).abs() < 0.6 * mean, "outlier dihedral {m} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn dihedral_angle_is_zero_for_coplanar() {
+        let t = dihedral_angle(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.5, 1.0, 0.0),
+            Vec3::new(0.5, -1.0, 0.0),
+        );
+        assert!(t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn dihedral_angle_is_antisymmetric_under_fold_direction() {
+        let up = dihedral_angle(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.5, 1.0, 0.2),
+            Vec3::new(0.5, -1.0, 0.2),
+        );
+        let down = dihedral_angle(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.5, 1.0, -0.2),
+            Vec3::new(0.5, -1.0, -0.2),
+        );
+        assert!((up + down).abs() < 1e-12);
+        assert!(up.abs() > 0.1);
+    }
+
+    #[test]
+    fn local_edge_matrix_preserves_lengths_and_area() {
+        let (a, b, c) = (
+            Vec3::new(0.3, -0.2, 0.9),
+            Vec3::new(1.1, 0.4, 0.7),
+            Vec3::new(0.5, 1.2, 1.4),
+        );
+        let m = local_edge_matrix(a, b, c);
+        // First column length = |b−a|.
+        let l1 = (m[0][0] * m[0][0] + m[1][0] * m[1][0]).sqrt();
+        assert!((l1 - (b - a).norm()).abs() < 1e-12);
+        // Determinant / 2 = triangle area.
+        let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+        let area = 0.5 * (b - a).cross(c - a).norm();
+        assert!((det.abs() / 2.0 - area).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed")]
+    fn open_mesh_rejected() {
+        let open = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            vec![[0, 1, 2]],
+        );
+        let _ = ReferenceState::build(&open);
+    }
+}

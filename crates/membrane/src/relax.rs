@@ -1,0 +1,153 @@
+//! Quasi-static membrane relaxation.
+//!
+//! Gradient descent with backtracking line search on the total membrane
+//! energy. Used to pre-equilibrate cell shapes — the paper stresses that
+//! "simply dropping in undeformed cells near the CTC would almost certainly
+//! have an unphysical effect" (§1), so shapes inserted near sensitive
+//! regions are first relaxed to their elastic equilibrium, and deformed
+//! shapes recycled on window moves can be sanitized the same way.
+
+use crate::forces::Membrane;
+use apr_mesh::Vec3;
+
+/// Outcome of a relaxation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxReport {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Energy before relaxation.
+    pub initial_energy: f64,
+    /// Energy after relaxation.
+    pub final_energy: f64,
+    /// Maximum force magnitude at exit.
+    pub residual_force: f64,
+    /// True if the force residual dropped below the requested tolerance.
+    pub converged: bool,
+}
+
+/// Relaxation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelaxParams {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Stop once the max vertex force falls below this.
+    pub force_tolerance: f64,
+    /// Initial trial displacement of the most-loaded vertex per iteration.
+    pub step: f64,
+}
+
+impl Default for RelaxParams {
+    fn default() -> Self {
+        Self { max_iterations: 500, force_tolerance: 1e-8, step: 0.01 }
+    }
+}
+
+/// Relax `vertices` toward the membrane's elastic equilibrium in place.
+pub fn relax(membrane: &Membrane, vertices: &mut [Vec3], params: RelaxParams) -> RelaxReport {
+    assert_eq!(vertices.len(), membrane.vertex_count(), "vertex count mismatch");
+    let mut forces = vec![Vec3::ZERO; vertices.len()];
+    let mut energy = membrane.energy(vertices).total();
+    let initial_energy = energy;
+    let mut residual = f64::MAX;
+    let mut iterations = 0;
+    let mut scratch: Vec<Vec3> = vertices.to_vec();
+
+    for it in 0..params.max_iterations {
+        iterations = it + 1;
+        forces.iter_mut().for_each(|f| *f = Vec3::ZERO);
+        membrane.compute_forces(vertices, &mut forces);
+        residual = forces.iter().map(|f| f.norm()).fold(0.0f64, f64::max);
+        if residual < params.force_tolerance {
+            return RelaxReport {
+                iterations,
+                initial_energy,
+                final_energy: energy,
+                residual_force: residual,
+                converged: true,
+            };
+        }
+        // Backtracking line search along the (descent) force direction.
+        let mut step = params.step / residual;
+        scratch.copy_from_slice(vertices);
+        loop {
+            for ((v, s), f) in vertices.iter_mut().zip(&scratch).zip(&forces) {
+                *v = *s + *f * step;
+            }
+            let e = membrane.energy(vertices).total();
+            if e <= energy {
+                energy = e;
+                break;
+            }
+            step *= 0.5;
+            if step * residual < 1e-15 {
+                // Cannot descend further (numerical floor): restore and stop.
+                vertices.copy_from_slice(&scratch);
+                return RelaxReport {
+                    iterations,
+                    initial_energy,
+                    final_energy: energy,
+                    residual_force: residual,
+                    converged: residual < params.force_tolerance,
+                };
+            }
+        }
+    }
+    RelaxReport {
+        iterations,
+        initial_energy,
+        final_energy: energy,
+        residual_force: residual,
+        converged: residual < params.force_tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::material::MembraneMaterial;
+    use crate::reference::ReferenceState;
+    use apr_mesh::icosphere;
+    use std::sync::Arc;
+
+    fn membrane() -> (Membrane, Vec<Vec3>) {
+        let mesh = icosphere(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        (
+            Membrane::new(re, MembraneMaterial::rbc(1.0, 0.02)),
+            mesh.vertices,
+        )
+    }
+
+    #[test]
+    fn relaxation_recovers_reference_shape() {
+        let (mem, reference) = membrane();
+        let mut verts: Vec<Vec3> = reference
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * (1.0 + 0.08 * ((i * 7 % 11) as f64 / 11.0 - 0.5)))
+            .collect();
+        let report = relax(&mem, &mut verts, RelaxParams { max_iterations: 2000, ..Default::default() });
+        assert!(report.final_energy < 0.01 * report.initial_energy, "{report:?}");
+        // Vertices return close to the unit sphere.
+        for v in &verts {
+            assert!((v.norm() - 1.0).abs() < 0.05, "radius {}", v.norm());
+        }
+    }
+
+    #[test]
+    fn already_relaxed_shape_converges_immediately() {
+        let (mem, reference) = membrane();
+        let mut verts = reference.clone();
+        let report = relax(&mem, &mut verts, RelaxParams::default());
+        assert!(report.converged);
+        assert!(report.iterations <= 2, "{report:?}");
+    }
+
+    #[test]
+    fn energy_never_increases() {
+        let (mem, reference) = membrane();
+        let mut verts: Vec<Vec3> = reference.iter().map(|&v| v * 1.15).collect();
+        let report = relax(&mem, &mut verts, RelaxParams { max_iterations: 50, ..Default::default() });
+        assert!(report.final_energy <= report.initial_energy);
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests of membrane energetics.
+
+use apr_membrane::skalak::skalak_energy_density;
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::{icosphere, Vec3};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// The Skalak energy density is non-negative for any physical
+    /// principal-stretch pair (it vanishes only at λ₁ = λ₂ = 1).
+    #[test]
+    fn skalak_density_nonnegative(
+        l1 in 0.2..3.0f64,
+        l2 in 0.2..3.0f64,
+        c in 1.0..200.0f64,
+    ) {
+        let i1 = l1 * l1 + l2 * l2 - 2.0;
+        let i2 = l1 * l1 * l2 * l2 - 1.0;
+        let w = skalak_energy_density(1.0, c, i1, i2);
+        prop_assert!(w >= -1e-12, "W({l1},{l2}) = {w}");
+    }
+
+    /// Energy is invariant under rigid translation and rotation for
+    /// arbitrary transforms.
+    #[test]
+    fn energy_is_frame_invariant(
+        tx in -5.0..5.0f64,
+        ty in -5.0..5.0f64,
+        tz in -5.0..5.0f64,
+        angle in -3.0..3.0f64,
+        stretch in 0.9..1.1f64,
+    ) {
+        let mesh = icosphere(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Membrane::new(re, MembraneMaterial::rbc(1.0, 0.1));
+        // Deform, measure, then rigidly move and re-measure.
+        let deformed: Vec<Vec3> = mesh.vertices.iter().map(|&v| v * stretch).collect();
+        let e0 = mem.energy(&deformed).total();
+        let axis = Vec3::new(0.3, -0.5, 0.8);
+        let moved: Vec<Vec3> = deformed
+            .iter()
+            .map(|&v| v.rotate_about(axis, angle) + Vec3::new(tx, ty, tz))
+            .collect();
+        let e1 = mem.energy(&moved).total();
+        prop_assert!((e0 - e1).abs() <= 1e-9 * (1.0 + e0), "{e0} vs {e1}");
+    }
+
+    /// The reference configuration is the unique energy minimum along
+    /// uniform dilations: any scale ≠ 1 raises the energy.
+    #[test]
+    fn reference_is_dilation_minimum(scale in 0.7..1.3f64) {
+        let mesh = icosphere(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Membrane::new(re, MembraneMaterial::rbc(1.0, 0.1));
+        let scaled: Vec<Vec3> = mesh.vertices.iter().map(|&v| v * scale).collect();
+        let e = mem.energy(&scaled).total();
+        prop_assert!(e >= -1e-12, "negative energy {e}");
+        if (scale - 1.0).abs() > 0.01 {
+            prop_assert!(e > 1e-6, "scale {scale}: energy {e}");
+        }
+        // Quadratic growth bound near the minimum (all penalty terms are
+        // quadratic in the dilation with O(10³) stiffness here).
+        prop_assert!(
+            e <= 1e5 * (scale - 1.0) * (scale - 1.0) + 1e-12,
+            "scale {scale}: energy {e} grows faster than quadratic bound"
+        );
+    }
+}

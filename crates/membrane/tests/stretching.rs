@@ -1,0 +1,122 @@
+//! Quasi-static RBC stretching — the optical-tweezer benchmark every RBC
+//! membrane model is validated against (Mills et al. 2004; used by the
+//! HARVEY lineage the paper builds on).
+//!
+//! Opposite forces pull on small patches at the cell's diametral ends; the
+//! axial diameter grows, the transverse diameter shrinks, monotonically in
+//! the applied force and sublinearly at large forces (strain hardening from
+//! the Skalak I₂ term).
+
+use apr_membrane::{relax, Membrane, MembraneMaterial, RelaxParams, ReferenceState};
+use apr_mesh::{biconcave_rbc_mesh, Vec3};
+use std::sync::Arc;
+
+/// Stretch the cell with total force `f` (split over end patches) and
+/// return (axial diameter, transverse diameter) at elastic equilibrium.
+fn stretch(membrane: &Membrane, base: &[Vec3], f: f64) -> (f64, f64) {
+    // End patches: the 5% of vertices with extreme x.
+    let n = base.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| base[a].x.total_cmp(&base[b].x));
+    let k = (n / 20).max(3);
+    let left: Vec<usize> = order[..k].to_vec();
+    let right: Vec<usize> = order[n - k..].to_vec();
+
+    let mut verts = base.to_vec();
+    let mut forces = vec![Vec3::ZERO; n];
+    // Quasi-static: alternate force application and membrane relaxation by
+    // explicit damped iteration (gradient flow with the external load).
+    let per_vertex = f / k as f64;
+    for _ in 0..4000 {
+        forces.iter_mut().for_each(|x| *x = Vec3::ZERO);
+        membrane.compute_forces(&verts, &mut forces);
+        for &i in &left {
+            forces[i].x -= per_vertex;
+        }
+        for &i in &right {
+            forces[i].x += per_vertex;
+        }
+        let fmax = forces.iter().map(|v| v.norm()).fold(0.0f64, f64::max);
+        if fmax < 1e-9 {
+            break;
+        }
+        let step = 0.02 / fmax.max(1e-12);
+        for (v, g) in verts.iter_mut().zip(&forces) {
+            *v += *g * step.min(0.05);
+        }
+    }
+    let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+    let (mut ymin, mut ymax) = (f64::MAX, f64::MIN);
+    for v in &verts {
+        xmin = xmin.min(v.x);
+        xmax = xmax.max(v.x);
+        ymin = ymin.min(v.y);
+        ymax = ymax.max(v.y);
+    }
+    (xmax - xmin, ymax - ymin)
+}
+
+#[test]
+fn stretching_response_matches_tweezer_phenomenology() {
+    let mesh = biconcave_rbc_mesh(2, 1.0);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    let membrane = Membrane::new(re, MembraneMaterial::rbc(1.0, 0.005));
+
+    // Relax the discretized reference first (FEM equilibrium ≈ input shape).
+    let mut base = mesh.vertices.clone();
+    relax(&membrane, &mut base, RelaxParams { max_iterations: 200, ..Default::default() });
+    let (d_axial0, d_trans0) = stretch(&membrane, &base, 0.0);
+
+    let mut prev_axial = d_axial0;
+    let mut prev_trans = d_trans0;
+    let mut stiffness = Vec::new();
+    for force in [0.2, 0.5, 1.0] {
+        let (da, dt) = stretch(&membrane, &base, force);
+        // Axial diameter grows, transverse shrinks — monotonically.
+        assert!(da > prev_axial - 1e-6, "axial shrank at f={force}: {da} < {prev_axial}");
+        assert!(dt < prev_trans + 1e-6, "transverse grew at f={force}: {dt} > {prev_trans}");
+        stiffness.push((da - d_axial0) / force);
+        prev_axial = da;
+        prev_trans = dt;
+    }
+    // Meaningful deformation at the top force (tweezer stretches reach
+    // ~50% axial strain at 200 pN; we just require a clearly elastic range).
+    let strain = (prev_axial - d_axial0) / d_axial0;
+    assert!(strain > 0.05, "top-force axial strain only {strain}");
+    // The response stays in a bounded elastic band: compliance may rise
+    // modestly while the dimple unfolds (the soft geometric mode the real
+    // tweezer curve also shows at low force) but must not run away.
+    let (min_c, max_c) = stiffness
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+    assert!(
+        max_c < 2.0 * min_c,
+        "compliance not bounded: {stiffness:?}"
+    );
+    // And the cell visibly necks: transverse diameter shrank.
+    assert!(
+        prev_trans < d_trans0 - 1e-3,
+        "no transverse necking: {prev_trans} vs {d_trans0}"
+    );
+}
+
+#[test]
+fn stiffer_membrane_stretches_less() {
+    let mesh = biconcave_rbc_mesh(1, 1.0);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    let soft = Membrane::new(Arc::clone(&re), MembraneMaterial::rbc(1.0, 0.005));
+    let stiff = Membrane::new(re, MembraneMaterial::rbc(5.0, 0.025));
+
+    let mut base = mesh.vertices.clone();
+    relax(&soft, &mut base, RelaxParams { max_iterations: 100, ..Default::default() });
+    let f = 0.1;
+    let (da_soft, _) = stretch(&soft, &base, f);
+    let (da_stiff, _) = stretch(&stiff, &base, f);
+    let (da0, _) = stretch(&soft, &base, 0.0);
+    let ext_soft = da_soft - da0;
+    let ext_stiff = da_stiff - da0;
+    assert!(
+        ext_stiff < 0.5 * ext_soft,
+        "5× modulus should stretch ≪: soft {ext_soft}, stiff {ext_stiff}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Biconcave discocyte (red blood cell) shape.
+//!
+//! Maps a unit icosphere onto the Evans–Fung biconcave surface
+//!
+//! ```text
+//! z(ρ) = ±(R/2)·√(1 − ρ²)·(c₀ + c₁ρ² + c₂ρ⁴),   ρ = r/R
+//! ```
+//!
+//! with the classic healthy-RBC coefficients c₀ = 0.207, c₁ = 2.003,
+//! c₂ = −1.123, giving the undeformed shape whose deformation the Skalak +
+//! bending membrane model resolves (paper §2.2).
+
+use crate::icosphere::icosphere;
+use crate::tri_mesh::TriMesh;
+use crate::vec3::Vec3;
+
+/// Parameters of the Evans–Fung biconcave profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiconcaveShape {
+    /// Cell radius `R` (half the maximum diameter).
+    pub radius: f64,
+    /// Profile coefficients `c₀, c₁, c₂`.
+    pub coefficients: [f64; 3],
+}
+
+impl BiconcaveShape {
+    /// Healthy human RBC: Evans–Fung 1972 coefficients at radius `radius`.
+    pub fn healthy(radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive, got {radius}");
+        Self { radius, coefficients: [0.207, 2.003, -1.123] }
+    }
+
+    /// Half-thickness of the shape at normalized radial position `rho ∈ [0,1]`.
+    pub fn half_thickness(&self, rho: f64) -> f64 {
+        let rho = rho.clamp(0.0, 1.0);
+        let r2 = rho * rho;
+        let [c0, c1, c2] = self.coefficients;
+        0.5 * self.radius * (1.0 - r2).max(0.0).sqrt() * (c0 + c1 * r2 + c2 * r2 * r2)
+    }
+
+    /// Dimple-to-rim thickness ratio (healthy cells are thinnest at the
+    /// center: ratio < 1).
+    pub fn dimple_ratio(&self) -> f64 {
+        let rim = (0..=100)
+            .map(|i| self.half_thickness(i as f64 / 100.0))
+            .fold(0.0f64, f64::max);
+        self.half_thickness(0.0) / rim
+    }
+
+    /// Map a point from the unit sphere onto the biconcave surface. The
+    /// equatorial direction is preserved; the axial (z) coordinate is
+    /// compressed to the profile.
+    pub fn map_from_unit_sphere(&self, p: Vec3) -> Vec3 {
+        let rho = (p.x * p.x + p.y * p.y).sqrt().min(1.0);
+        let z = self.half_thickness(rho);
+        Vec3::new(self.radius * p.x, self.radius * p.y, z * p.z.signum() * scale_z(p, z))
+    }
+}
+
+/// Axial scaling: vertices at |z| = max for the given ρ ring map to the full
+/// profile height; intermediate ones interpolate so the surface stays smooth
+/// near the rim where the sphere's rings converge.
+fn scale_z(p: Vec3, _z: f64) -> f64 {
+    // On the unit sphere z = ±√(1−ρ²); normalize so the extreme ring maps to 1.
+    let rho2 = p.x * p.x + p.y * p.y;
+    let z_max = (1.0 - rho2).max(0.0).sqrt();
+    if z_max < 1e-12 {
+        1.0
+    } else {
+        (p.z.abs() / z_max).clamp(0.0, 1.0)
+    }
+}
+
+/// Triangulated healthy RBC mesh of radius `radius` from an icosphere with
+/// `subdivisions` refinement steps (3 reproduces the paper's 642/1280 mesh).
+pub fn biconcave_rbc_mesh(subdivisions: u32, radius: f64) -> TriMesh {
+    let shape = BiconcaveShape::healthy(radius);
+    let mut mesh = icosphere(subdivisions, 1.0);
+    for v in &mut mesh.vertices {
+        *v = shape.map_from_unit_sphere(*v);
+    }
+    mesh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 3.91e-6; // healthy RBC radius, m
+
+    #[test]
+    fn profile_is_biconcave() {
+        let s = BiconcaveShape::healthy(R);
+        // Thinner at the dimple than at the rim.
+        assert!(s.dimple_ratio() < 0.5, "ratio = {}", s.dimple_ratio());
+        // Thickness vanishes at the rim edge.
+        assert!(s.half_thickness(1.0).abs() < 1e-12);
+        // Positive everywhere inside.
+        for i in 0..100 {
+            assert!(s.half_thickness(i as f64 / 100.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn classic_dimensions_recovered() {
+        let s = BiconcaveShape::healthy(R);
+        // Max thickness ≈ 2.0–2.6 µm for a 7.8 µm cell.
+        let max_half = (0..=1000)
+            .map(|i| s.half_thickness(i as f64 / 1000.0))
+            .fold(0.0f64, f64::max);
+        let thickness = 2.0 * max_half;
+        assert!(
+            (1.8e-6..3.0e-6).contains(&thickness),
+            "max thickness = {thickness}"
+        );
+        // Dimple thickness ≈ 0.8–1 µm.
+        let dimple = 2.0 * s.half_thickness(0.0);
+        assert!((0.5e-6..1.2e-6).contains(&dimple), "dimple = {dimple}");
+    }
+
+    #[test]
+    fn mesh_volume_and_area_match_physiology() {
+        let m = biconcave_rbc_mesh(3, R);
+        let volume = m.enclosed_volume();
+        let area = m.surface_area();
+        // Healthy RBC: V ≈ 94 µm³, A ≈ 135 µm² — accept the model range.
+        assert!(
+            (60e-18..120e-18).contains(&volume),
+            "volume = {} µm³",
+            volume * 1e18
+        );
+        assert!((100e-12..160e-12).contains(&area), "area = {} µm²", area * 1e12);
+        // Reduced volume well below 1 (a sphere of the same area).
+        let r_sphere = (area / (4.0 * std::f64::consts::PI)).sqrt();
+        let v_sphere = 4.0 / 3.0 * std::f64::consts::PI * r_sphere.powi(3);
+        let reduced = volume / v_sphere;
+        assert!((0.4..0.85).contains(&reduced), "reduced volume = {reduced}");
+    }
+
+    #[test]
+    fn mesh_is_closed_and_finite() {
+        let m = biconcave_rbc_mesh(3, R);
+        assert!(m.is_finite());
+        assert!(crate::topology::EdgeTopology::build(&m).is_closed());
+        assert_eq!(m.vertex_count(), 642);
+        assert_eq!(m.triangle_count(), 1280);
+    }
+
+    #[test]
+    fn mesh_is_symmetric_under_z_flip() {
+        let m = biconcave_rbc_mesh(2, R);
+        let vol_top: f64 = m.vertices.iter().filter(|v| v.z > 0.0).count() as f64;
+        let vol_bot: f64 = m.vertices.iter().filter(|v| v.z < 0.0).count() as f64;
+        assert!((vol_top - vol_bot).abs() <= 2.0, "z symmetry broken");
+        // Extent in x and y equals the diameter; z much thinner.
+        let (lo, hi) = m.bounding_box();
+        assert!((hi.x - lo.x - 2.0 * R).abs() < 0.05 * R);
+        assert!(hi.z - lo.z < 0.5 * (hi.x - lo.x));
+    }
+}

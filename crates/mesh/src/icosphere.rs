@@ -1,0 +1,199 @@
+//! Icosahedron and icosphere generation.
+//!
+//! The paper's RBC meshes are "3 subdivision steps of an initially
+//! icosahedral mesh, leading to 1280 elements and 642 vertices" (§3.6).
+
+use crate::tri_mesh::TriMesh;
+use crate::vec3::Vec3;
+use std::collections::HashMap;
+
+/// Regular icosahedron with unit circumradius, centered at the origin.
+pub fn icosahedron() -> TriMesh {
+    let phi = (1.0 + 5f64.sqrt()) / 2.0;
+    let inv = 1.0 / (1.0 + phi * phi).sqrt();
+    let a = inv;
+    let b = phi * inv;
+    let vertices = vec![
+        Vec3::new(-a, b, 0.0),
+        Vec3::new(a, b, 0.0),
+        Vec3::new(-a, -b, 0.0),
+        Vec3::new(a, -b, 0.0),
+        Vec3::new(0.0, -a, b),
+        Vec3::new(0.0, a, b),
+        Vec3::new(0.0, -a, -b),
+        Vec3::new(0.0, a, -b),
+        Vec3::new(b, 0.0, -a),
+        Vec3::new(b, 0.0, a),
+        Vec3::new(-b, 0.0, -a),
+        Vec3::new(-b, 0.0, a),
+    ];
+    let triangles = vec![
+        [0, 11, 5],
+        [0, 5, 1],
+        [0, 1, 7],
+        [0, 7, 10],
+        [0, 10, 11],
+        [1, 5, 9],
+        [5, 11, 4],
+        [11, 10, 2],
+        [10, 7, 6],
+        [7, 1, 8],
+        [3, 9, 4],
+        [3, 4, 2],
+        [3, 2, 6],
+        [3, 6, 8],
+        [3, 8, 9],
+        [4, 9, 5],
+        [2, 4, 11],
+        [6, 2, 10],
+        [8, 6, 7],
+        [9, 8, 1],
+    ];
+    TriMesh::new(vertices, triangles)
+}
+
+/// Split every triangle of `mesh` into four, placing new vertices at edge
+/// midpoints. Purely combinatorial: no smoothing or projection.
+pub fn subdivide_midpoint(mesh: &TriMesh) -> TriMesh {
+    let mut vertices = mesh.vertices.clone();
+    let mut midpoint: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut triangles = Vec::with_capacity(mesh.triangle_count() * 4);
+    let mut mid = |a: u32, b: u32, vertices: &mut Vec<Vec3>| -> u32 {
+        let key = (a.min(b), a.max(b));
+        *midpoint.entry(key).or_insert_with(|| {
+            let p = (vertices[a as usize] + vertices[b as usize]) * 0.5;
+            vertices.push(p);
+            (vertices.len() - 1) as u32
+        })
+    };
+    for &[a, b, c] in &mesh.triangles {
+        let ab = mid(a, b, &mut vertices);
+        let bc = mid(b, c, &mut vertices);
+        let ca = mid(c, a, &mut vertices);
+        triangles.push([a, ab, ca]);
+        triangles.push([ab, b, bc]);
+        triangles.push([ca, bc, c]);
+        triangles.push([ab, bc, ca]);
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+/// Icosphere of radius `radius`: `subdivisions` midpoint splits of an
+/// icosahedron with every vertex projected back onto the sphere.
+///
+/// `subdivisions = 3` gives the paper's 642-vertex / 1280-triangle cell mesh.
+///
+/// ```
+/// let m = apr_mesh::icosphere(3, 1.0);
+/// assert_eq!(m.vertex_count(), 642);
+/// assert_eq!(m.triangle_count(), 1280);
+/// // Volume within 1% of the true sphere.
+/// let v = 4.0 / 3.0 * std::f64::consts::PI;
+/// assert!((m.enclosed_volume() - v).abs() / v < 0.01);
+/// ```
+pub fn icosphere(subdivisions: u32, radius: f64) -> TriMesh {
+    assert!(radius > 0.0, "radius must be positive, got {radius}");
+    let mut mesh = icosahedron();
+    for _ in 0..subdivisions {
+        mesh = subdivide_midpoint(&mesh);
+        for v in &mut mesh.vertices {
+            *v = v.normalized();
+        }
+    }
+    for v in &mut mesh.vertices {
+        *v *= radius;
+    }
+    mesh
+}
+
+/// Sphere mesh sized for FSI: radius in lattice/physical units, with enough
+/// subdivisions that the mean edge length is at most `target_edge`.
+///
+/// Used to mesh CTCs: the paper prescribes submicron resolution where "the
+/// window resolution is an order of magnitude smaller than the length scale
+/// of an individual RBC" (§3.6), so meshes follow the fluid grid.
+pub fn sphere_mesh(radius: f64, target_edge: f64) -> TriMesh {
+    assert!(radius > 0.0 && target_edge > 0.0);
+    // Icosahedron edge ≈ 1.05·R; each split halves the edge length.
+    let mut subdivisions = 0u32;
+    let mut edge = 1.0514622 * radius;
+    while edge > target_edge && subdivisions < 7 {
+        subdivisions += 1;
+        edge *= 0.5;
+    }
+    icosphere(subdivisions, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn icosahedron_has_12_vertices_20_faces() {
+        let m = icosahedron();
+        assert_eq!(m.vertex_count(), 12);
+        assert_eq!(m.triangle_count(), 20);
+        for v in &m.vertices {
+            assert!((v.norm() - 1.0).abs() < 1e-12, "vertices on unit sphere");
+        }
+    }
+
+    #[test]
+    fn icosahedron_winding_is_outward() {
+        let m = icosahedron();
+        assert!(m.enclosed_volume() > 0.0);
+        for t in 0..m.triangle_count() {
+            let outward = m.triangle_normal(t).dot(m.triangle_centroid(t));
+            assert!(outward > 0.0, "triangle {t} wound inward");
+        }
+    }
+
+    #[test]
+    fn subdivision_counts_match_paper() {
+        // 3 subdivisions: 642 vertices, 1280 triangles (paper §3.6).
+        let m = icosphere(3, 1.0);
+        assert_eq!(m.vertex_count(), 642);
+        assert_eq!(m.triangle_count(), 1280);
+    }
+
+    #[test]
+    fn icosphere_converges_to_sphere_metrics() {
+        let r = 2.5;
+        let m = icosphere(4, r);
+        let area_exact = 4.0 * PI * r * r;
+        let vol_exact = 4.0 / 3.0 * PI * r * r * r;
+        assert!((m.surface_area() - area_exact).abs() / area_exact < 0.01);
+        assert!((m.enclosed_volume() - vol_exact).abs() / vol_exact < 0.01);
+    }
+
+    #[test]
+    fn icosphere_vertices_lie_on_sphere() {
+        let m = icosphere(3, 4.0);
+        for v in &m.vertices {
+            assert!((v.norm() - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sphere_mesh_meets_edge_target() {
+        let m = sphere_mesh(4.0, 1.0);
+        let topo = crate::topology::EdgeTopology::build(&m);
+        let mean_edge: f64 = topo
+            .edges
+            .iter()
+            .map(|e| m.vertices[e.v[0] as usize].distance(m.vertices[e.v[1] as usize]))
+            .sum::<f64>()
+            / topo.edges.len() as f64;
+        assert!(mean_edge <= 1.05, "mean edge {mean_edge} exceeds target");
+    }
+
+    #[test]
+    fn midpoint_subdivision_preserves_closedness() {
+        let m = subdivide_midpoint(&icosahedron());
+        let topo = crate::topology::EdgeTopology::build(&m);
+        assert!(topo.is_closed());
+        assert_eq!(m.triangle_count(), 80);
+        assert_eq!(m.vertex_count(), 42);
+    }
+}

@@ -1,0 +1,35 @@
+//! Triangulated surface meshes for deformable cells.
+//!
+//! The paper models every cell as "a fluid-filled membrane represented by a
+//! Lagrangian surface mesh composed of triangular elements" (§2.2), built by
+//! subdividing an icosahedron three times (642 vertices, 1280 triangles,
+//! §3.6) and reordered with reverse Cuthill–McKee for FEM memory locality
+//! (§2.4.5). This crate provides that substrate:
+//!
+//! * [`vec3`] — minimal 3-vector math used across the workspace.
+//! * [`tri_mesh`] — indexed triangle mesh with areas/normals/volume.
+//! * [`topology`] — edge and dihedral connectivity extraction.
+//! * [`icosphere`] — icosahedron generation and spherical subdivision.
+//! * [`subdivision`] — Loop subdivision (the paper's FEM basis, §2.2).
+//! * [`biconcave`] — Evans–Fung biconcave discocyte mapping for RBCs.
+//! * [`rcm`] — reverse Cuthill–McKee vertex reordering (§2.4.5).
+//! * [`off_io`] — OFF geometry file reader/writer (the paper's artifact
+//!   geometry format).
+//! * [`quality`] — mesh-quality metrics used by tests and diagnostics.
+
+pub mod biconcave;
+pub mod icosphere;
+pub mod off_io;
+pub mod quality;
+pub mod rcm;
+pub mod subdivision;
+pub mod topology;
+pub mod tri_mesh;
+pub mod vec3;
+
+pub use biconcave::{biconcave_rbc_mesh, BiconcaveShape};
+pub use icosphere::{icosahedron, icosphere, sphere_mesh};
+pub use rcm::{bandwidth, rcm_order, reorder_vertices};
+pub use topology::{EdgeTopology, MeshTopology};
+pub use tri_mesh::TriMesh;
+pub use vec3::Vec3;

@@ -1,0 +1,183 @@
+//! OFF (Object File Format) reader/writer.
+//!
+//! The paper's artifacts specify simulation domains "using a geometry in the
+//! form of an OFF file" (Appendix). We support the ASCII triangle subset that
+//! vascular geometry pipelines produce: optional comments, the `OFF` header,
+//! counts line, vertex lines, and polygonal faces (triangulated on load via
+//! fan decomposition).
+
+use crate::tri_mesh::TriMesh;
+use crate::vec3::Vec3;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by OFF parsing.
+#[derive(Debug)]
+pub enum OffError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable description.
+    Parse(String),
+}
+
+impl std::fmt::Display for OffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffError::Io(e) => write!(f, "OFF I/O error: {e}"),
+            OffError::Parse(msg) => write!(f, "OFF parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OffError {}
+
+impl From<std::io::Error> for OffError {
+    fn from(e: std::io::Error) -> Self {
+        OffError::Io(e)
+    }
+}
+
+/// Parse an OFF mesh from a reader.
+pub fn read_off<R: Read>(reader: R) -> Result<TriMesh, OffError> {
+    let buf = BufReader::new(reader);
+    let mut tokens: Vec<String> = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("");
+        tokens.extend(content.split_whitespace().map(str::to_owned));
+    }
+    let mut it = tokens.into_iter();
+    let header = it
+        .next()
+        .ok_or_else(|| OffError::Parse("empty file".into()))?;
+    if header != "OFF" {
+        return Err(OffError::Parse(format!("expected OFF header, got {header:?}")));
+    }
+    let next_usize = |what: &str, it: &mut dyn Iterator<Item = String>| -> Result<usize, OffError> {
+        it.next()
+            .ok_or_else(|| OffError::Parse(format!("missing {what}")))?
+            .parse()
+            .map_err(|e| OffError::Parse(format!("bad {what}: {e}")))
+    };
+    let nv = next_usize("vertex count", &mut it)?;
+    let nf = next_usize("face count", &mut it)?;
+    let _ne = next_usize("edge count", &mut it)?;
+
+    let next_f64 = |what: &str, it: &mut dyn Iterator<Item = String>| -> Result<f64, OffError> {
+        it.next()
+            .ok_or_else(|| OffError::Parse(format!("missing {what}")))?
+            .parse()
+            .map_err(|e| OffError::Parse(format!("bad {what}: {e}")))
+    };
+
+    let mut vertices = Vec::with_capacity(nv);
+    for i in 0..nv {
+        let x = next_f64(&format!("vertex {i} x"), &mut it)?;
+        let y = next_f64(&format!("vertex {i} y"), &mut it)?;
+        let z = next_f64(&format!("vertex {i} z"), &mut it)?;
+        vertices.push(Vec3::new(x, y, z));
+    }
+
+    let mut triangles = Vec::with_capacity(nf);
+    for f in 0..nf {
+        let k = next_usize(&format!("face {f} arity"), &mut it)?;
+        if k < 3 {
+            return Err(OffError::Parse(format!("face {f} has fewer than 3 vertices")));
+        }
+        let mut poly = Vec::with_capacity(k);
+        for j in 0..k {
+            let v = next_usize(&format!("face {f} vertex {j}"), &mut it)?;
+            if v >= nv {
+                return Err(OffError::Parse(format!(
+                    "face {f} references vertex {v} beyond count {nv}"
+                )));
+            }
+            poly.push(v as u32);
+        }
+        // Fan-triangulate polygons.
+        for j in 1..k - 1 {
+            triangles.push([poly[0], poly[j], poly[j + 1]]);
+        }
+    }
+    Ok(TriMesh::new(vertices, triangles))
+}
+
+/// Read an OFF file from disk.
+pub fn read_off_file<P: AsRef<Path>>(path: P) -> Result<TriMesh, OffError> {
+    read_off(std::fs::File::open(path)?)
+}
+
+/// Serialize a mesh to ASCII OFF.
+pub fn write_off<W: Write>(mesh: &TriMesh, mut writer: W) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("OFF\n");
+    let _ = writeln!(
+        out,
+        "{} {} {}",
+        mesh.vertex_count(),
+        mesh.triangle_count(),
+        0
+    );
+    for v in &mesh.vertices {
+        let _ = writeln!(out, "{} {} {}", v.x, v.y, v.z);
+    }
+    for t in &mesh.triangles {
+        let _ = writeln!(out, "3 {} {} {}", t[0], t[1], t[2]);
+    }
+    writer.write_all(out.as_bytes())
+}
+
+/// Write a mesh to an OFF file on disk.
+pub fn write_off_file<P: AsRef<Path>>(mesh: &TriMesh, path: P) -> std::io::Result<()> {
+    write_off(mesh, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icosphere::icosphere;
+
+    #[test]
+    fn round_trip_preserves_mesh() {
+        let mesh = icosphere(2, 1.5);
+        let mut buf = Vec::new();
+        write_off(&mesh, &mut buf).unwrap();
+        let back = read_off(&buf[..]).unwrap();
+        assert_eq!(back.vertex_count(), mesh.vertex_count());
+        assert_eq!(back.triangles, mesh.triangles);
+        for (a, b) in back.vertices.iter().zip(&mesh.vertices) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_quads() {
+        let text = "# a comment\nOFF\n4 1 0\n0 0 0\n1 0 0 # inline comment\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+        let mesh = read_off(text.as_bytes()).unwrap();
+        assert_eq!(mesh.vertex_count(), 4);
+        // Quad fan-triangulated into two triangles.
+        assert_eq!(mesh.triangle_count(), 2);
+        assert!((mesh.surface_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = read_off("3 1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, OffError::Parse(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_face() {
+        let text = "OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 1 5\n";
+        let err = read_off(text.as_bytes()).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("beyond count"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_truncated_vertices() {
+        let text = "OFF\n3 1 0\n0 0 0\n1 0 0\n";
+        assert!(read_off(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Mesh-quality metrics used by tests, diagnostics and the insertion
+//! pipeline (deformed-cell sanity checks before re-use, paper §2.4.3).
+
+use crate::tri_mesh::TriMesh;
+
+/// Summary statistics of mesh triangle quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Minimum triangle aspect quality over the mesh (1 = equilateral, → 0
+    /// degenerate), computed as `4√3·A / Σl²`.
+    pub min_triangle_quality: f64,
+    /// Mean triangle quality.
+    pub mean_triangle_quality: f64,
+    /// Ratio of longest to shortest edge over the whole mesh.
+    pub edge_length_ratio: f64,
+    /// Mean edge length.
+    pub mean_edge_length: f64,
+}
+
+/// Aspect quality of a single triangle: `4√3·A / (l₀² + l₁² + l₂²)`,
+/// normalized so an equilateral triangle scores exactly 1.
+pub fn triangle_quality(mesh: &TriMesh, t: usize) -> f64 {
+    let [a, b, c] = mesh.triangle_vertices(t);
+    let l2 = (b - a).norm_sq() + (c - b).norm_sq() + (a - c).norm_sq();
+    if l2 == 0.0 {
+        return 0.0;
+    }
+    4.0 * 3f64.sqrt() * mesh.triangle_area(t) / l2
+}
+
+/// Compute a [`QualityReport`] for a mesh.
+///
+/// # Panics
+/// Panics on an empty mesh.
+pub fn quality_report(mesh: &TriMesh) -> QualityReport {
+    assert!(mesh.triangle_count() > 0, "mesh has no triangles");
+    let mut min_q = f64::MAX;
+    let mut sum_q = 0.0;
+    let mut min_edge = f64::MAX;
+    let mut max_edge = 0.0f64;
+    let mut sum_edge = 0.0;
+    let mut n_edges = 0usize;
+    for t in 0..mesh.triangle_count() {
+        let q = triangle_quality(mesh, t);
+        min_q = min_q.min(q);
+        sum_q += q;
+        let [a, b, c] = mesh.triangle_vertices(t);
+        for l in [(b - a).norm(), (c - b).norm(), (a - c).norm()] {
+            min_edge = min_edge.min(l);
+            max_edge = max_edge.max(l);
+            sum_edge += l;
+            n_edges += 1;
+        }
+    }
+    QualityReport {
+        min_triangle_quality: min_q,
+        mean_triangle_quality: sum_q / mesh.triangle_count() as f64,
+        edge_length_ratio: max_edge / min_edge,
+        mean_edge_length: sum_edge / n_edges as f64,
+    }
+}
+
+/// Check that a deformed mesh is still physically sane: finite coordinates,
+/// no inverted volume relative to the reference sign, and triangle quality
+/// above `min_quality`. Used before re-using deformed RBC shapes on window
+/// moves (paper §2.4.3: "optimally re-use deformed RBC shapes").
+pub fn is_sane_deformation(mesh: &TriMesh, reference_volume: f64, min_quality: f64) -> bool {
+    if !mesh.is_finite() {
+        return false;
+    }
+    let v = mesh.enclosed_volume();
+    if v.signum() != reference_volume.signum() {
+        return false;
+    }
+    // Volume should remain within a generous physiologic band: RBC interiors
+    // are incompressible, so a halving or doubling signals mesh breakage.
+    let ratio = v / reference_volume;
+    if !(0.5..2.0).contains(&ratio) {
+        return false;
+    }
+    (0..mesh.triangle_count()).all(|t| triangle_quality(mesh, t) >= min_quality)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biconcave::biconcave_rbc_mesh;
+    use crate::icosphere::icosphere;
+    use crate::vec3::Vec3;
+
+    #[test]
+    fn equilateral_triangle_scores_one() {
+        let m = TriMesh::new(
+            vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.5, 3f64.sqrt() / 2.0, 0.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        assert!((triangle_quality(&m, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliver_scores_poorly() {
+        let m = TriMesh::new(
+            vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.5, 1e-4, 0.0),
+            ],
+            vec![[0, 1, 2]],
+        );
+        assert!(triangle_quality(&m, 0) < 1e-3);
+    }
+
+    #[test]
+    fn icosphere_quality_is_high() {
+        let r = quality_report(&icosphere(3, 1.0));
+        assert!(r.min_triangle_quality > 0.6, "{r:?}");
+        assert!(r.mean_triangle_quality > 0.8, "{r:?}");
+        assert!(r.edge_length_ratio < 2.0, "{r:?}");
+    }
+
+    #[test]
+    fn biconcave_mesh_is_usable_for_fem() {
+        let r = quality_report(&biconcave_rbc_mesh(3, 1.0));
+        // The dimple squeezes triangles but must not produce slivers.
+        assert!(r.min_triangle_quality > 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn sane_deformation_detects_blowup() {
+        let m = icosphere(2, 1.0);
+        let v0 = m.enclosed_volume();
+        assert!(is_sane_deformation(&m, v0, 0.3));
+        let mut blown = m.clone();
+        blown.vertices[0] *= 50.0;
+        assert!(!is_sane_deformation(&blown, v0, 0.3));
+        let mut nan = m.clone();
+        nan.vertices[0].x = f64::NAN;
+        assert!(!is_sane_deformation(&nan, v0, 0.3));
+        let mut shrunk = m;
+        shrunk.scale(0.5); // volume drops 8x
+        assert!(!is_sane_deformation(&shrunk, v0, 0.3));
+    }
+}

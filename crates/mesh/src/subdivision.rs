@@ -1,0 +1,156 @@
+//! Loop subdivision surfaces.
+//!
+//! The paper's membrane FEM uses the Loop-subdivision basis (Cirak et al.,
+//! §2.2 "For the FEM membrane force calculations, Loop subdivision approach
+//! is applied"). The force model in `apr-membrane` uses linear elements (see
+//! DESIGN.md substitution table), but mesh *generation* still offers true
+//! Loop subdivision so refined cell meshes inherit its C² smoothness away
+//! from irregular vertices.
+
+use crate::topology::MeshTopology;
+use crate::tri_mesh::TriMesh;
+use crate::vec3::Vec3;
+use std::collections::HashMap;
+
+/// Loop's β weight for a vertex of valence `n` (Warren's simplified form for
+/// `n > 3`, 3/16 for `n = 3`).
+pub fn loop_beta(n: usize) -> f64 {
+    assert!(n >= 3, "closed triangle meshes have valence ≥ 3, got {n}");
+    if n == 3 {
+        3.0 / 16.0
+    } else {
+        3.0 / (8.0 * n as f64)
+    }
+}
+
+/// One step of Loop subdivision on a **closed** triangle mesh.
+///
+/// Old vertices are repositioned by the valence-weighted one-ring average;
+/// new edge vertices use the 3/8–3/8–1/8–1/8 stencil. Face count quadruples.
+///
+/// # Panics
+/// Panics if the mesh has boundary edges (cell membranes are closed).
+pub fn loop_subdivide(mesh: &TriMesh) -> TriMesh {
+    let topo = MeshTopology::build(mesh);
+    assert!(
+        topo.edges.is_closed(),
+        "loop_subdivide requires a closed mesh (no boundary edges)"
+    );
+
+    // Reposition original vertices.
+    let mut vertices: Vec<Vec3> = Vec::with_capacity(mesh.vertex_count() + topo.edges.edges.len());
+    for v in 0..mesh.vertex_count() {
+        let neighbors = topo.neighbors(v);
+        let n = neighbors.len();
+        let beta = loop_beta(n);
+        let ring: Vec3 = neighbors.iter().map(|&w| mesh.vertices[w as usize]).sum();
+        vertices.push(mesh.vertices[v] * (1.0 - n as f64 * beta) + ring * beta);
+    }
+
+    // New edge vertices.
+    let mut edge_vertex: HashMap<(u32, u32), u32> = HashMap::with_capacity(topo.edges.edges.len());
+    for e in &topo.edges.edges {
+        let (a, b) = (e.v[0], e.v[1]);
+        let (oa, ob) = (e.opposite[0], e.opposite[1]);
+        let p = (mesh.vertices[a as usize] + mesh.vertices[b as usize]) * (3.0 / 8.0)
+            + (mesh.vertices[oa as usize] + mesh.vertices[ob as usize]) * (1.0 / 8.0);
+        edge_vertex.insert((a, b), vertices.len() as u32);
+        vertices.push(p);
+    }
+
+    // Re-triangulate: 1 → 4.
+    let ev = |a: u32, b: u32| -> u32 { edge_vertex[&(a.min(b), a.max(b))] };
+    let mut triangles = Vec::with_capacity(mesh.triangle_count() * 4);
+    for &[a, b, c] in &mesh.triangles {
+        let ab = ev(a, b);
+        let bc = ev(b, c);
+        let ca = ev(c, a);
+        triangles.push([a, ab, ca]);
+        triangles.push([ab, b, bc]);
+        triangles.push([ca, bc, c]);
+        triangles.push([ab, bc, ca]);
+    }
+    TriMesh::new(vertices, triangles)
+}
+
+/// Apply `steps` rounds of Loop subdivision.
+pub fn loop_subdivide_n(mesh: &TriMesh, steps: u32) -> TriMesh {
+    let mut m = mesh.clone();
+    for _ in 0..steps {
+        m = loop_subdivide(&m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icosphere::{icosahedron, icosphere};
+    use crate::topology::EdgeTopology;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn counts_quadruple() {
+        let m0 = icosahedron();
+        let m1 = loop_subdivide(&m0);
+        assert_eq!(m1.triangle_count(), 80);
+        assert_eq!(m1.vertex_count(), 42);
+        assert!(EdgeTopology::build(&m1).is_closed());
+    }
+
+    #[test]
+    fn beta_weights_are_convex() {
+        for n in 3..12 {
+            let beta = loop_beta(n);
+            assert!(beta > 0.0);
+            assert!(1.0 - n as f64 * beta > 0.0, "central weight positive, n={n}");
+        }
+    }
+
+    #[test]
+    fn limit_surface_shrinks_inside_control_sphere() {
+        // Loop subdivision is approximating: the limit of a convex control
+        // mesh lies strictly inside it.
+        let m0 = icosphere(1, 1.0);
+        let m1 = loop_subdivide(&m0);
+        let max_r = m1.vertices.iter().map(|v| v.norm()).fold(0.0f64, f64::max);
+        assert!(max_r < 1.0 + 1e-12);
+        let min_r = m1.vertices.iter().map(|v| v.norm()).fold(f64::MAX, f64::min);
+        assert!(min_r > 0.8, "should not collapse, min radius {min_r}");
+    }
+
+    #[test]
+    fn repeated_subdivision_converges_to_smooth_surface() {
+        // Volume ratio between successive subdivisions approaches 1 — each
+        // further step shrinks the surface less than the previous one.
+        let m1 = loop_subdivide_n(&icosahedron(), 2);
+        let m2 = loop_subdivide(&m1);
+        let m3 = loop_subdivide(&m2);
+        let r12 = m2.enclosed_volume() / m1.enclosed_volume();
+        let r23 = m3.enclosed_volume() / m2.enclosed_volume();
+        assert!((r12 - 1.0).abs() < 0.05, "r12 = {r12}");
+        assert!((r23 - 1.0).abs() < (r12 - 1.0).abs(), "r23 = {r23} vs r12 = {r12}");
+    }
+
+    #[test]
+    fn sphere_control_mesh_stays_spherical() {
+        // Subdividing a fine sphere keeps near-uniform radius (smoothness).
+        let m = loop_subdivide(&icosphere(3, 1.0));
+        let radii: Vec<f64> = m.vertices.iter().map(|v| v.norm()).collect();
+        let mean = radii.iter().sum::<f64>() / radii.len() as f64;
+        let spread = radii.iter().map(|r| (r - mean).abs()).fold(0.0f64, f64::max);
+        assert!(spread / mean < 0.01, "radius spread {spread}");
+        // Surface area close to a sphere of the mean radius.
+        let area = m.surface_area();
+        let expected = 4.0 * PI * mean * mean;
+        assert!((area - expected).abs() / expected < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed mesh")]
+    fn open_meshes_are_rejected() {
+        use crate::vec3::Vec3;
+        let open = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
+        let _ = loop_subdivide(&open);
+    }
+}

@@ -1,0 +1,232 @@
+//! Edge / dihedral / adjacency extraction for triangle meshes.
+//!
+//! The bending model needs, for every interior edge, the two opposite
+//! vertices of the adjacent triangle pair; the Skalak FEM needs per-triangle
+//! reference data; RCM needs the vertex adjacency graph. All of that is
+//! derived once here and reused.
+
+use crate::tri_mesh::TriMesh;
+use std::collections::HashMap;
+
+/// A mesh edge shared by one or two triangles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Endpoint vertex indices, `v0 < v1`.
+    pub v: [u32; 2],
+    /// Adjacent triangle indices; `t[1] == u32::MAX` for boundary edges.
+    pub t: [u32; 2],
+    /// Vertex of `t[0]` / `t[1]` opposite this edge (`u32::MAX` if absent).
+    pub opposite: [u32; 2],
+}
+
+impl Edge {
+    /// Is this edge on an open boundary (only one incident triangle)?
+    pub fn is_boundary(&self) -> bool {
+        self.t[1] == u32::MAX
+    }
+}
+
+/// Edge table of a triangle mesh.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeTopology {
+    /// All unique edges.
+    pub edges: Vec<Edge>,
+}
+
+impl EdgeTopology {
+    /// Build the edge table.
+    ///
+    /// # Panics
+    /// Panics if an edge is shared by more than two triangles
+    /// (non-manifold mesh).
+    pub fn build(mesh: &TriMesh) -> Self {
+        let mut map: HashMap<(u32, u32), usize> = HashMap::with_capacity(mesh.triangle_count() * 3 / 2);
+        let mut edges: Vec<Edge> = Vec::with_capacity(mesh.triangle_count() * 3 / 2);
+        for (t, &[a, b, c]) in mesh.triangles.iter().enumerate() {
+            for (u, v, w) in [(a, b, c), (b, c, a), (c, a, b)] {
+                let key = (u.min(v), u.max(v));
+                match map.get(&key) {
+                    None => {
+                        map.insert(key, edges.len());
+                        edges.push(Edge {
+                            v: [key.0, key.1],
+                            t: [t as u32, u32::MAX],
+                            opposite: [w, u32::MAX],
+                        });
+                    }
+                    Some(&e) => {
+                        let edge = &mut edges[e];
+                        assert!(
+                            edge.t[1] == u32::MAX,
+                            "non-manifold edge {key:?}: more than two incident triangles"
+                        );
+                        edge.t[1] = t as u32;
+                        edge.opposite[1] = w;
+                    }
+                }
+            }
+        }
+        Self { edges }
+    }
+
+    /// Count of interior (two-triangle) edges.
+    pub fn interior_count(&self) -> usize {
+        self.edges.iter().filter(|e| !e.is_boundary()).count()
+    }
+
+    /// Is the mesh closed (no boundary edges)?
+    pub fn is_closed(&self) -> bool {
+        self.edges.iter().all(|e| !e.is_boundary())
+    }
+}
+
+/// Full mesh topology: edges plus vertex adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct MeshTopology {
+    /// Unique edge table.
+    pub edges: EdgeTopology,
+    /// CSR-style vertex adjacency: neighbours of vertex `v` are
+    /// `adjacency[offsets[v]..offsets[v+1]]`.
+    pub offsets: Vec<u32>,
+    /// Flattened neighbour lists.
+    pub adjacency: Vec<u32>,
+}
+
+impl MeshTopology {
+    /// Build edges and vertex adjacency for `mesh`.
+    pub fn build(mesh: &TriMesh) -> Self {
+        let edges = EdgeTopology::build(mesh);
+        let n = mesh.vertex_count();
+        let mut degree = vec![0u32; n];
+        for e in &edges.edges {
+            degree[e.v[0] as usize] += 1;
+            degree[e.v[1] as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut adjacency = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for e in &edges.edges {
+            let (a, b) = (e.v[0] as usize, e.v[1] as usize);
+            adjacency[cursor[a] as usize] = e.v[1];
+            cursor[a] += 1;
+            adjacency[cursor[b] as usize] = e.v[0];
+            cursor[b] += 1;
+        }
+        Self { edges, offsets, adjacency }
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjacency[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icosphere::icosphere;
+    use crate::vec3::Vec3;
+
+    fn tetra() -> TriMesh {
+        TriMesh::new(
+            vec![
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            ],
+            vec![[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]],
+        )
+    }
+
+    #[test]
+    fn tetrahedron_has_six_interior_edges() {
+        let topo = EdgeTopology::build(&tetra());
+        assert_eq!(topo.edges.len(), 6);
+        assert!(topo.is_closed());
+        assert_eq!(topo.interior_count(), 6);
+    }
+
+    #[test]
+    fn open_mesh_has_boundary_edges() {
+        let single = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
+            vec![[0, 1, 2]],
+        );
+        let topo = EdgeTopology::build(&single);
+        assert_eq!(topo.edges.len(), 3);
+        assert!(!topo.is_closed());
+        assert_eq!(topo.interior_count(), 0);
+    }
+
+    #[test]
+    fn opposite_vertices_are_correct_for_tetrahedron() {
+        let topo = EdgeTopology::build(&tetra());
+        for e in &topo.edges {
+            // Opposite vertices must not be edge endpoints.
+            for o in e.opposite {
+                assert!(o != e.v[0] && o != e.v[1]);
+            }
+            // In a tetrahedron the two opposites plus the edge cover all 4.
+            let mut all = vec![e.v[0], e.v[1], e.opposite[0], e.opposite[1]];
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mesh = icosphere(2, 1.0);
+        let topo = MeshTopology::build(&mesh);
+        for v in 0..topo.vertex_count() {
+            for &w in topo.neighbors(v) {
+                assert!(
+                    topo.neighbors(w as usize).contains(&(v as u32)),
+                    "edge {v}-{w} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euler_characteristic_of_icosphere() {
+        let mesh = icosphere(3, 1.0);
+        let topo = EdgeTopology::build(&mesh);
+        let (v, e, f) = (
+            mesh.vertex_count() as i64,
+            topo.edges.len() as i64,
+            mesh.triangle_count() as i64,
+        );
+        assert_eq!(v - e + f, 2, "V - E + F must be 2 on a sphere");
+        assert!(topo.is_closed());
+    }
+
+    #[test]
+    fn icosphere_vertex_degrees_are_5_or_6() {
+        let mesh = icosphere(2, 1.0);
+        let topo = MeshTopology::build(&mesh);
+        let mut fives = 0;
+        for v in 0..topo.vertex_count() {
+            match topo.degree(v) {
+                5 => fives += 1,
+                6 => {}
+                d => panic!("unexpected degree {d} at vertex {v}"),
+            }
+        }
+        // Exactly the 12 original icosahedron vertices keep degree 5.
+        assert_eq!(fives, 12);
+    }
+}

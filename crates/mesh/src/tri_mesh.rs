@@ -1,0 +1,291 @@
+//! Indexed triangle surface mesh.
+
+use crate::vec3::Vec3;
+
+/// An indexed triangle mesh describing a closed (or open) surface.
+///
+/// Triangles are stored as vertex-index triples with counter-clockwise
+/// winding producing outward normals for closed surfaces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangles as CCW vertex-index triples.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// New mesh from raw parts, validating indices.
+    ///
+    /// # Panics
+    /// Panics if a triangle references a missing vertex or repeats a vertex.
+    pub fn new(vertices: Vec<Vec3>, triangles: Vec<[u32; 3]>) -> Self {
+        let n = vertices.len() as u32;
+        for (t, tri) in triangles.iter().enumerate() {
+            assert!(
+                tri.iter().all(|&v| v < n),
+                "triangle {t} references vertex beyond {n}: {tri:?}"
+            );
+            assert!(
+                tri[0] != tri[1] && tri[1] != tri[2] && tri[0] != tri[2],
+                "triangle {t} is degenerate: {tri:?}"
+            );
+        }
+        Self { vertices, triangles }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of triangles.
+    pub fn triangle_count(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Positions of a triangle's corners.
+    #[inline]
+    pub fn triangle_vertices(&self, t: usize) -> [Vec3; 3] {
+        let [a, b, c] = self.triangles[t];
+        [
+            self.vertices[a as usize],
+            self.vertices[b as usize],
+            self.vertices[c as usize],
+        ]
+    }
+
+    /// Area of triangle `t`.
+    #[inline]
+    pub fn triangle_area(&self, t: usize) -> f64 {
+        let [a, b, c] = self.triangle_vertices(t);
+        0.5 * (b - a).cross(c - a).norm()
+    }
+
+    /// Unit normal of triangle `t` (CCW outward for closed meshes).
+    #[inline]
+    pub fn triangle_normal(&self, t: usize) -> Vec3 {
+        let [a, b, c] = self.triangle_vertices(t);
+        (b - a).cross(c - a).normalized()
+    }
+
+    /// Centroid of triangle `t`.
+    #[inline]
+    pub fn triangle_centroid(&self, t: usize) -> Vec3 {
+        let [a, b, c] = self.triangle_vertices(t);
+        (a + b + c) / 3.0
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        (0..self.triangle_count()).map(|t| self.triangle_area(t)).sum()
+    }
+
+    /// Signed enclosed volume by the divergence theorem
+    /// (`V = Σ (a · (b × c)) / 6`); positive for outward-wound closed meshes.
+    pub fn enclosed_volume(&self) -> f64 {
+        self.triangles
+            .iter()
+            .map(|&[a, b, c]| {
+                let (a, b, c) = (
+                    self.vertices[a as usize],
+                    self.vertices[b as usize],
+                    self.vertices[c as usize],
+                );
+                a.dot(b.cross(c)) / 6.0
+            })
+            .sum()
+    }
+
+    /// Mean of all vertex positions.
+    pub fn vertex_centroid(&self) -> Vec3 {
+        assert!(!self.vertices.is_empty(), "mesh has no vertices");
+        self.vertices.iter().copied().sum::<Vec3>() / self.vertices.len() as f64
+    }
+
+    /// Volume-weighted centroid of the enclosed solid.
+    pub fn volume_centroid(&self) -> Vec3 {
+        let mut vol = 0.0;
+        let mut c = Vec3::ZERO;
+        for &[a, b, c_ix] in &self.triangles {
+            let (a, b, cc) = (
+                self.vertices[a as usize],
+                self.vertices[b as usize],
+                self.vertices[c_ix as usize],
+            );
+            let v = a.dot(b.cross(cc)) / 6.0;
+            vol += v;
+            c += (a + b + cc) * (v / 4.0);
+        }
+        assert!(vol.abs() > 0.0, "mesh encloses no volume");
+        c / vol
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn bounding_box(&self) -> (Vec3, Vec3) {
+        assert!(!self.vertices.is_empty(), "mesh has no vertices");
+        let mut lo = self.vertices[0];
+        let mut hi = self.vertices[0];
+        for &v in &self.vertices[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Translate every vertex by `d`.
+    pub fn translate(&mut self, d: Vec3) {
+        for v in &mut self.vertices {
+            *v += d;
+        }
+    }
+
+    /// Uniformly scale about the origin.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.vertices {
+            *v *= s;
+        }
+    }
+
+    /// Rotate every vertex about the origin around `axis` by `angle` rad.
+    pub fn rotate(&mut self, axis: Vec3, angle: f64) {
+        for v in &mut self.vertices {
+            *v = v.rotate_about(axis, angle);
+        }
+    }
+
+    /// Area-weighted vertex normals (unit length).
+    pub fn vertex_normals(&self) -> Vec<Vec3> {
+        let mut normals = vec![Vec3::ZERO; self.vertex_count()];
+        for &[a, b, c] in &self.triangles {
+            let (pa, pb, pc) = (
+                self.vertices[a as usize],
+                self.vertices[b as usize],
+                self.vertices[c as usize],
+            );
+            // Cross product magnitude is 2×area: area weighting for free.
+            let n = (pb - pa).cross(pc - pa);
+            normals[a as usize] += n;
+            normals[b as usize] += n;
+            normals[c as usize] += n;
+        }
+        for n in &mut normals {
+            if let Some(u) = n.try_normalize(1e-300) {
+                *n = u;
+            }
+        }
+        normals
+    }
+
+    /// One-ring vertex areas (one third of each incident triangle's area) —
+    /// the barycentric lumped mass used by membrane FEM.
+    pub fn vertex_areas(&self) -> Vec<f64> {
+        let mut areas = vec![0.0; self.vertex_count()];
+        for (t, &[a, b, c]) in self.triangles.iter().enumerate() {
+            let third = self.triangle_area(t) / 3.0;
+            areas[a as usize] += third;
+            areas[b as usize] += third;
+            areas[c as usize] += third;
+        }
+        areas
+    }
+
+    /// Flip the winding (and thus normals) of every triangle.
+    pub fn flip_winding(&mut self) {
+        for tri in &mut self.triangles {
+            tri.swap(1, 2);
+        }
+    }
+
+    /// True if every vertex coordinate is finite.
+    pub fn is_finite(&self) -> bool {
+        self.vertices.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Unit-ish tetrahedron with outward winding.
+    pub(crate) fn tetrahedron() -> TriMesh {
+        let v = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        // Outward-facing winding for each face.
+        let t = vec![[0u32, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]];
+        TriMesh::new(v, t)
+    }
+
+    #[test]
+    fn tetrahedron_volume_and_area() {
+        let m = tetrahedron();
+        assert!((m.enclosed_volume() - 1.0 / 6.0).abs() < 1e-12);
+        // 3 right triangles of area 1/2 plus the oblique face √3/2.
+        let expected = 1.5 + 3f64.sqrt() / 2.0;
+        assert!((m.surface_area() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flipping_winding_negates_volume() {
+        let mut m = tetrahedron();
+        let v = m.enclosed_volume();
+        m.flip_winding();
+        assert!((m.enclosed_volume() + v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_preserves_volume_and_area() {
+        let mut m = tetrahedron();
+        let (v0, a0) = (m.enclosed_volume(), m.surface_area());
+        m.translate(Vec3::new(5.0, -3.0, 2.0));
+        assert!((m.enclosed_volume() - v0).abs() < 1e-9);
+        assert!((m.surface_area() - a0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_scales_volume_cubically() {
+        let mut m = tetrahedron();
+        let v0 = m.enclosed_volume();
+        m.scale(2.0);
+        assert!((m.enclosed_volume() - 8.0 * v0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_metrics() {
+        let mut m = tetrahedron();
+        let (v0, a0) = (m.enclosed_volume(), m.surface_area());
+        m.rotate(Vec3::new(1.0, 1.0, 0.3), 1.234);
+        assert!((m.enclosed_volume() - v0).abs() < 1e-9);
+        assert!((m.surface_area() - a0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vertex_areas_sum_to_surface_area() {
+        let m = tetrahedron();
+        let sum: f64 = m.vertex_areas().iter().sum();
+        assert!((sum - m.surface_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volume_centroid_of_tetrahedron() {
+        let m = tetrahedron();
+        let c = m.volume_centroid();
+        assert!((c - Vec3::splat(0.25)).norm() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_triangle_rejected() {
+        let _ = TriMesh::new(vec![Vec3::ZERO, Vec3::X], vec![[0, 0, 1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "references vertex")]
+    fn out_of_range_index_rejected() {
+        let _ = TriMesh::new(vec![Vec3::ZERO, Vec3::X], vec![[0, 1, 2]]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Minimal 3-component vector used throughout the workspace.
+//!
+//! Deliberately plain: `#[repr(C)]` over three `f64`s so slices of vertices
+//! can be viewed as flat scalar arrays by the solvers, with only the
+//! operations the physics needs.
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-vector of `f64` components.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// All-zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Self { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm (no sqrt).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics (debug) on a zero vector; use [`Vec3::try_normalize`] when the
+    /// input may vanish.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize the zero vector");
+        self / n
+    }
+
+    /// Unit vector, or `None` if the norm is below `eps`.
+    #[inline]
+    pub fn try_normalize(self, eps: f64) -> Option<Vec3> {
+        let n = self.norm();
+        (n > eps).then(|| self / n)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_sq(self, o: Vec3) -> f64 {
+        (self - o).norm_sq()
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Linear interpolation `self + t (o − self)`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// All components finite?
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Components as an array.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Any orthogonal unit vector (used to seed local frames).
+    pub fn any_orthonormal(self) -> Vec3 {
+        let n = self.normalized();
+        let trial = if n.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+        (trial - n * trial.dot(n)).normalized()
+    }
+
+    /// Rotate about a unit `axis` by `angle` radians (Rodrigues' formula).
+    pub fn rotate_about(self, axis: Vec3, angle: f64) -> Vec3 {
+        let k = axis.normalized();
+        let (s, c) = angle.sin_cos();
+        self * c + k.cross(self) * s + k * (k.dot(self) * (1.0 - c))
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl std::iter::Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cross_product_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angle() {
+        let v = Vec3::new(1.0, 2.0, -0.5);
+        let r = v.rotate_about(Vec3::Z, std::f64::consts::FRAC_PI_2);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+        // Rotating x̂ by 90° about ẑ gives ŷ.
+        let e = Vec3::X.rotate_about(Vec3::Z, std::f64::consts::FRAC_PI_2);
+        assert!((e - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn any_orthonormal_is_orthogonal_unit() {
+        for v in [Vec3::X, Vec3::Y, Vec3::Z, Vec3::new(0.3, -0.4, 0.5)] {
+            let o = v.any_orthonormal();
+            assert!(o.dot(v.normalized()).abs() < 1e-12);
+            assert!((o.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn indexing_matches_fields() {
+        let v = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(v[0], 4.0);
+        assert_eq!(v[1], 5.0);
+        assert_eq!(v[2], 6.0);
+    }
+
+    proptest! {
+        #[test]
+        fn lerp_endpoints(ax in -1e3..1e3f64, ay in -1e3..1e3f64, az in -1e3..1e3f64,
+                          bx in -1e3..1e3f64, by in -1e3..1e3f64, bz in -1e3..1e3f64) {
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            prop_assert!((a.lerp(b, 0.0) - a).norm() < 1e-9);
+            prop_assert!((a.lerp(b, 1.0) - b).norm() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -1e3..1e3f64, ay in -1e3..1e3f64, az in -1e3..1e3f64,
+                               bx in -1e3..1e3f64, by in -1e3..1e3f64, bz in -1e3..1e3f64) {
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+        }
+
+        #[test]
+        fn lagrange_identity(ax in -10.0..10.0f64, ay in -10.0..10.0f64, az in -10.0..10.0f64,
+                             bx in -10.0..10.0f64, by in -10.0..10.0f64, bz in -10.0..10.0f64) {
+            // |a×b|² + (a·b)² = |a|²|b|²
+            let a = Vec3::new(ax, ay, az);
+            let b = Vec3::new(bx, by, bz);
+            let lhs = a.cross(b).norm_sq() + a.dot(b) * a.dot(b);
+            let rhs = a.norm_sq() * b.norm_sq();
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+        }
+    }
+}

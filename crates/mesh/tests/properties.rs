@@ -1,0 +1,59 @@
+//! Property-based tests of mesh invariants.
+
+use apr_mesh::icosphere;
+use apr_mesh::quality::triangle_quality;
+use apr_mesh::rcm::{rcm_order, reorder_vertices};
+use apr_mesh::topology::{EdgeTopology, MeshTopology};
+use apr_mesh::Vec3;
+use proptest::prelude::*;
+
+proptest! {
+    /// Triangle quality is bounded in [0, 1] for arbitrary triangles.
+    #[test]
+    fn quality_bounded(
+        ax in -10.0..10.0f64, ay in -10.0..10.0f64, az in -10.0..10.0f64,
+        bx in -10.0..10.0f64, by in -10.0..10.0f64, bz in -10.0..10.0f64,
+        cx in -10.0..10.0f64, cy in -10.0..10.0f64, cz in -10.0..10.0f64,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        let c = Vec3::new(cx, cy, cz);
+        prop_assume!((b - a).cross(c - a).norm() > 1e-9);
+        let m = apr_mesh::TriMesh::new(vec![a, b, c], vec![[0, 1, 2]]);
+        let q = triangle_quality(&m, 0);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&q), "q = {q}");
+    }
+
+    /// Rigid motions preserve volume, area and closedness of the icosphere
+    /// at any subdivision level.
+    #[test]
+    fn rigid_motion_preserves_metrics(
+        level in 0u32..3,
+        angle in -3.0..3.0f64,
+        tx in -5.0..5.0f64,
+    ) {
+        let mut m = icosphere(level, 1.0);
+        let (v0, a0) = (m.enclosed_volume(), m.surface_area());
+        m.rotate(Vec3::new(1.0, 0.7, -0.3), angle);
+        m.translate(Vec3::new(tx, -tx, 0.5 * tx));
+        prop_assert!((m.enclosed_volume() - v0).abs() < 1e-9);
+        prop_assert!((m.surface_area() - a0).abs() < 1e-9);
+        prop_assert!(EdgeTopology::build(&m).is_closed());
+    }
+
+    /// RCM yields a valid permutation whose reordered mesh preserves the
+    /// geometry exactly, for any subdivision level.
+    #[test]
+    fn rcm_preserves_geometry(level in 0u32..3) {
+        let m = icosphere(level, 1.0);
+        let topo = MeshTopology::build(&m);
+        let order = rcm_order(&topo);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..m.vertex_count() as u32).collect();
+        prop_assert_eq!(sorted, expected);
+        let r = reorder_vertices(&m, &order);
+        prop_assert!((r.enclosed_volume() - m.enclosed_volume()).abs() < 1e-12);
+        prop_assert!((r.surface_area() - m.surface_area()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,305 @@
+//! Block domain decomposition.
+//!
+//! Splits a cuboid lattice into a 3D grid of near-equal blocks — the task
+//! layout the paper uses for both the bulk (CPU ranks) and window (GPU
+//! ranks) domains. Halo geometry derived here also feeds the performance
+//! model's communication-volume terms (Figures 7–8).
+
+/// One task's sub-block of the global domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Inclusive lower corner (global lattice coordinates).
+    pub lo: [usize; 3],
+    /// Exclusive upper corner.
+    pub hi: [usize; 3],
+}
+
+impl Block {
+    /// Extent along each axis.
+    pub fn extent(&self) -> [usize; 3] {
+        [
+            self.hi[0] - self.lo[0],
+            self.hi[1] - self.lo[1],
+            self.hi[2] - self.lo[2],
+        ]
+    }
+
+    /// Number of lattice nodes in the block.
+    pub fn volume(&self) -> usize {
+        let e = self.extent();
+        e[0] * e[1] * e[2]
+    }
+
+    /// Surface area in lattice faces (halo volume per exchanged layer).
+    pub fn surface_area(&self) -> usize {
+        let e = self.extent();
+        2 * (e[0] * e[1] + e[1] * e[2] + e[0] * e[2])
+    }
+
+    /// Does the block contain global coordinate `p`?
+    pub fn contains(&self, p: [usize; 3]) -> bool {
+        (0..3).all(|a| p[a] >= self.lo[a] && p[a] < self.hi[a])
+    }
+}
+
+/// A 3D grid decomposition of a global domain into tasks.
+#[derive(Debug, Clone)]
+pub struct BlockDecomposition {
+    /// Global domain size.
+    pub dims: [usize; 3],
+    /// Task grid shape (blocks per axis).
+    pub grid: [usize; 3],
+    /// Blocks in lexicographic task order.
+    pub blocks: Vec<Block>,
+}
+
+impl BlockDecomposition {
+    /// Decompose `dims` into exactly `tasks` blocks using the most cubic
+    /// factorization of the task count (minimizes total halo surface).
+    ///
+    /// # Panics
+    /// Panics if `tasks` is zero or exceeds the node count.
+    pub fn new(dims: [usize; 3], tasks: usize) -> Self {
+        assert!(tasks > 0, "need at least one task");
+        assert!(
+            tasks <= dims[0] * dims[1] * dims[2],
+            "more tasks ({tasks}) than lattice nodes"
+        );
+        let grid = best_grid(dims, tasks);
+        let mut blocks = Vec::with_capacity(tasks);
+        for kz in 0..grid[2] {
+            for ky in 0..grid[1] {
+                for kx in 0..grid[0] {
+                    let k = [kx, ky, kz];
+                    let mut lo = [0; 3];
+                    let mut hi = [0; 3];
+                    for a in 0..3 {
+                        lo[a] = dims[a] * k[a] / grid[a];
+                        hi[a] = dims[a] * (k[a] + 1) / grid[a];
+                    }
+                    blocks.push(Block { lo, hi });
+                }
+            }
+        }
+        Self { dims, grid, blocks }
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Task index of grid cell `(kx, ky, kz)`.
+    pub fn task_at(&self, k: [usize; 3]) -> usize {
+        k[0] + self.grid[0] * (k[1] + self.grid[1] * k[2])
+    }
+
+    /// Grid cell of task `t`.
+    pub fn grid_coords(&self, t: usize) -> [usize; 3] {
+        [
+            t % self.grid[0],
+            (t / self.grid[0]) % self.grid[1],
+            t / (self.grid[0] * self.grid[1]),
+        ]
+    }
+
+    /// Task owning global lattice coordinate `p`.
+    pub fn owner_of(&self, p: [usize; 3]) -> usize {
+        let mut k = [0; 3];
+        for a in 0..3 {
+            debug_assert!(p[a] < self.dims[a]);
+            // Inverse of the block-boundary formula.
+            k[a] = ((p[a] + 1) * self.grid[a]).div_ceil(self.dims[a]) - 1;
+            while self.dims[a] * k[a] / self.grid[a] > p[a] {
+                k[a] -= 1;
+            }
+            while self.dims[a] * (k[a] + 1) / self.grid[a] <= p[a] {
+                k[a] += 1;
+            }
+        }
+        self.task_at(k)
+    }
+
+    /// Neighbouring task indices of task `t` (face neighbours only — the
+    /// dominant halo traffic; diagonal volumes are edge/corner sized).
+    pub fn face_neighbors(&self, t: usize) -> Vec<usize> {
+        let k = self.grid_coords(t);
+        let mut out = Vec::with_capacity(6);
+        for a in 0..3 {
+            if k[a] > 0 {
+                let mut kk = k;
+                kk[a] -= 1;
+                out.push(self.task_at(kk));
+            }
+            if k[a] + 1 < self.grid[a] {
+                let mut kk = k;
+                kk[a] += 1;
+                out.push(self.task_at(kk));
+            }
+        }
+        out
+    }
+
+    /// Total halo nodes exchanged per step for halo width `w` (sum over all
+    /// interior faces, counting both directions).
+    pub fn total_halo_volume(&self, w: usize) -> usize {
+        let mut total = 0;
+        for t in 0..self.task_count() {
+            let k = self.grid_coords(t);
+            let e = self.blocks[t].extent();
+            for a in 0..3 {
+                if k[a] + 1 < self.grid[a] {
+                    let face = e[(a + 1) % 3] * e[(a + 2) % 3];
+                    total += 2 * face * w; // both directions
+                }
+            }
+        }
+        total
+    }
+
+    /// Maximum block volume (the load-imbalance bound).
+    pub fn max_block_volume(&self) -> usize {
+        self.blocks.iter().map(Block::volume).max().unwrap_or(0)
+    }
+}
+
+/// Most cubic grid `g` with `g[0]·g[1]·g[2] == tasks`, biased so longer
+/// domain axes receive more cuts.
+fn best_grid(dims: [usize; 3], tasks: usize) -> [usize; 3] {
+    let mut best = [tasks, 1, 1];
+    let mut best_cost = f64::MAX;
+    let mut f1 = 1;
+    while f1 * f1 * f1 <= tasks {
+        if tasks % f1 != 0 {
+            f1 += 1;
+            continue;
+        }
+        let rem = tasks / f1;
+        let mut f2 = f1;
+        while f2 * f2 <= rem {
+            if rem % f2 != 0 {
+                f2 += 1;
+                continue;
+            }
+            let f3 = rem / f2;
+            // Try all axis assignments of (f1, f2, f3).
+            for perm in permutations([f1, f2, f3]) {
+                if perm[0] > dims[0] || perm[1] > dims[1] || perm[2] > dims[2] {
+                    continue;
+                }
+                // Cost: total surface area of one block.
+                let b = [
+                    dims[0] as f64 / perm[0] as f64,
+                    dims[1] as f64 / perm[1] as f64,
+                    dims[2] as f64 / perm[2] as f64,
+                ];
+                let cost = b[0] * b[1] + b[1] * b[2] + b[0] * b[2];
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = perm;
+                }
+            }
+            f2 += 1;
+        }
+        f1 += 1;
+    }
+    best
+}
+
+fn permutations(v: [usize; 3]) -> [[usize; 3]; 6] {
+    [
+        [v[0], v[1], v[2]],
+        [v[0], v[2], v[1]],
+        [v[1], v[0], v[2]],
+        [v[1], v[2], v[0]],
+        [v[2], v[0], v[1]],
+        [v[2], v[1], v[0]],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_the_domain() {
+        let d = BlockDecomposition::new([30, 20, 10], 12);
+        assert_eq!(d.task_count(), 12);
+        let total: usize = d.blocks.iter().map(Block::volume).sum();
+        assert_eq!(total, 30 * 20 * 10);
+    }
+
+    #[test]
+    fn owner_of_matches_contains() {
+        let d = BlockDecomposition::new([17, 13, 9], 8);
+        for p in [[0, 0, 0], [16, 12, 8], [5, 7, 3], [9, 6, 4]] {
+            let t = d.owner_of(p);
+            assert!(d.blocks[t].contains(p), "point {p:?} owner {t}");
+        }
+    }
+
+    #[test]
+    fn every_node_has_exactly_one_owner() {
+        let d = BlockDecomposition::new([12, 10, 8], 6);
+        for x in 0..12 {
+            for y in 0..10 {
+                for z in 0..8 {
+                    let owners = d
+                        .blocks
+                        .iter()
+                        .filter(|b| b.contains([x, y, z]))
+                        .count();
+                    assert_eq!(owners, 1, "node ({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cubic_counts_give_cubic_grids() {
+        let d = BlockDecomposition::new([64, 64, 64], 8);
+        assert_eq!(d.grid, [2, 2, 2]);
+        let d = BlockDecomposition::new([64, 64, 64], 27);
+        assert_eq!(d.grid, [3, 3, 3]);
+    }
+
+    #[test]
+    fn elongated_domains_get_cut_along_long_axis() {
+        let d = BlockDecomposition::new([100, 10, 10], 4);
+        assert_eq!(d.grid, [4, 1, 1]);
+    }
+
+    #[test]
+    fn face_neighbors_are_symmetric() {
+        let d = BlockDecomposition::new([24, 24, 24], 8);
+        for t in 0..8 {
+            for &n in &d.face_neighbors(t) {
+                assert!(d.face_neighbors(n).contains(&t));
+            }
+        }
+        // Corner block of a 2×2×2 grid has exactly 3 face neighbours.
+        assert_eq!(d.face_neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn halo_volume_grows_with_task_count() {
+        let dims = [60, 60, 60];
+        let h8 = BlockDecomposition::new(dims, 8).total_halo_volume(1);
+        let h64 = BlockDecomposition::new(dims, 64).total_halo_volume(1);
+        assert!(h64 > 2 * h8, "h8={h8}, h64={h64}");
+    }
+
+    #[test]
+    fn surface_to_volume_rises_as_blocks_shrink() {
+        // The strong-scaling rolloff mechanism (paper §3.4): per-task halo
+        // grows relative to per-task volume as tasks increase.
+        let dims = [120, 120, 120];
+        let ratio = |tasks: usize| {
+            let d = BlockDecomposition::new(dims, tasks);
+            let b = &d.blocks[0];
+            b.surface_area() as f64 / b.volume() as f64
+        };
+        assert!(ratio(8) < ratio(64));
+        assert!(ratio(64) < ratio(512));
+    }
+}

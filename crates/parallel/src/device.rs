@@ -1,0 +1,79 @@
+//! Task and device model standing in for Summit's heterogeneous ranks.
+//!
+//! Paper §2.4.4: "all 42 cores across the dual sockets of POWER9 CPUs on
+//! Summit were used, with 42 tasks per node, 36 assigned to the bulk fluid
+//! and 6 to the window region" (one per V100 GPU). Here a [`Task`] is a
+//! worker with an assigned device class and sub-block; execution happens on
+//! host threads, but the *assignment topology* — what the paper's algorithms
+//! actually depend on — is identical.
+
+use crate::decomp::Block;
+
+/// Compute device class a task is pinned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// POWER9-style CPU core group handling bulk fluid.
+    Cpu,
+    /// V100-style GPU handling the cell-resolved window.
+    Gpu,
+}
+
+/// Hardware shape of one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeConfig {
+    /// Bulk-fluid (CPU) tasks per node.
+    pub cpu_tasks: usize,
+    /// Window (GPU) tasks per node.
+    pub gpu_tasks: usize,
+}
+
+impl NodeConfig {
+    /// Summit's layout from the paper: 36 CPU + 6 GPU tasks per node.
+    pub const SUMMIT: NodeConfig = NodeConfig { cpu_tasks: 36, gpu_tasks: 6 };
+
+    /// The paper's AWS p3-style instance (§3.6): 48 CPUs + 8 V100s, tasks
+    /// "distributed in a 6:1 ratio among the CPUs and GPUs".
+    pub const AWS_P3: NodeConfig = NodeConfig { cpu_tasks: 48, gpu_tasks: 8 };
+
+    /// Total tasks per node.
+    pub fn tasks_per_node(&self) -> usize {
+        self.cpu_tasks + self.gpu_tasks
+    }
+
+    /// Bulk:window task ratio.
+    pub fn ratio(&self) -> f64 {
+        self.cpu_tasks as f64 / self.gpu_tasks as f64
+    }
+}
+
+/// One simulated rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Global task id.
+    pub id: usize,
+    /// Node index hosting this task.
+    pub node: usize,
+    /// Device class.
+    pub device: Device,
+    /// Owned sub-block of the relevant domain (bulk or window).
+    pub block: Block,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_layout_matches_paper() {
+        let n = NodeConfig::SUMMIT;
+        assert_eq!(n.tasks_per_node(), 42);
+        assert_eq!(n.ratio(), 6.0);
+    }
+
+    #[test]
+    fn aws_layout_matches_paper() {
+        let n = NodeConfig::AWS_P3;
+        assert_eq!(n.tasks_per_node(), 56);
+        assert_eq!(n.ratio(), 6.0);
+    }
+}

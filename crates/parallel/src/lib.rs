@@ -1,0 +1,28 @@
+//! Parallel execution substrate standing in for Summit's MPI ranks
+//! (paper §2.4.4–2.4.5).
+//!
+//! The paper's algorithms care about the *topology* of parallelism — which
+//! task owns which block, what halo traffic each step generates, how cells
+//! migrate between tasks, and how bulk (CPU) and window (GPU) work share a
+//! node 36:6 — not about the transport. This crate reproduces that topology
+//! in shared memory: block decompositions ([`decomp`]), device-tagged task
+//! schedules ([`device`], [`schedule`]), channel-based halo exchange
+//! ([`halo`]), and centroid-ownership cell migration ([`migrate`]). The
+//! performance model in `apr-perfmodel` consumes the same geometry to
+//! regenerate the paper's scaling figures.
+
+pub mod decomp;
+pub mod device;
+pub mod distributed_lbm;
+pub mod halo;
+pub mod migrate;
+pub mod schedule;
+pub mod timeline;
+
+pub use decomp::{Block, BlockDecomposition};
+pub use device::{Device, NodeConfig, Task};
+pub use distributed_lbm::SlabLattice;
+pub use halo::{GhostField, HaloExchanger};
+pub use migrate::{churn_stats, plan_migrations, ChurnStats, Migration};
+pub use schedule::Schedule;
+pub use timeline::{simulate_step, Timeline, WorkRates};

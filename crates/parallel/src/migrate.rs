@@ -1,0 +1,108 @@
+//! Cell migration between tasks.
+//!
+//! As cells move, ownership follows the centroid (paper §2.4.5: "cells
+//! continuously enter and exit neighboring computational tasks"). This
+//! module computes migration plans — which cells leave which task for which
+//! neighbour — and tracks the traffic the memory-pool design avoids paying
+//! allocation costs for.
+
+use crate::decomp::BlockDecomposition;
+
+/// A planned cell transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// Global cell ID.
+    pub cell_id: u64,
+    /// Current owner task.
+    pub from: usize,
+    /// New owner task.
+    pub to: usize,
+}
+
+/// Compute the migration plan for a set of `(cell_id, owner, centroid)`
+/// entries against a decomposition. Centroids are in global lattice
+/// coordinates; cells outside the domain are clamped to it (the window
+/// logic removes true leavers before migration runs).
+pub fn plan_migrations(
+    decomp: &BlockDecomposition,
+    cells: &[(u64, usize, [f64; 3])],
+) -> Vec<Migration> {
+    let mut out = Vec::new();
+    for &(cell_id, from, c) in cells {
+        let p = [
+            (c[0].max(0.0) as usize).min(decomp.dims[0] - 1),
+            (c[1].max(0.0) as usize).min(decomp.dims[1] - 1),
+            (c[2].max(0.0) as usize).min(decomp.dims[2] - 1),
+        ];
+        let to = decomp.owner_of(p);
+        if to != from {
+            out.push(Migration { cell_id, from, to });
+        }
+    }
+    out
+}
+
+/// Per-task churn statistics from a migration plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChurnStats {
+    /// Cells leaving each task.
+    pub outgoing: Vec<usize>,
+    /// Cells arriving at each task.
+    pub incoming: Vec<usize>,
+}
+
+/// Summarize a migration plan over `tasks` tasks.
+pub fn churn_stats(tasks: usize, plan: &[Migration]) -> ChurnStats {
+    let mut s = ChurnStats { outgoing: vec![0; tasks], incoming: vec![0; tasks] };
+    for m in plan {
+        s.outgoing[m.from] += 1;
+        s.incoming[m.to] += 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_cells_do_not_migrate() {
+        let d = BlockDecomposition::new([16, 16, 16], 8);
+        let cells = vec![(1u64, d.owner_of([2, 2, 2]), [2.0, 2.0, 2.0])];
+        assert!(plan_migrations(&d, &cells).is_empty());
+    }
+
+    #[test]
+    fn crossing_cells_migrate_to_new_owner() {
+        let d = BlockDecomposition::new([16, 16, 16], 8);
+        let from = d.owner_of([2, 2, 2]);
+        let to = d.owner_of([12, 2, 2]);
+        assert_ne!(from, to);
+        let cells = vec![(7u64, from, [12.0, 2.0, 2.0])];
+        let plan = plan_migrations(&d, &cells);
+        assert_eq!(plan, vec![Migration { cell_id: 7, from, to }]);
+    }
+
+    #[test]
+    fn out_of_domain_centroids_are_clamped() {
+        let d = BlockDecomposition::new([16, 16, 16], 8);
+        let from = d.owner_of([2, 2, 2]);
+        let cells = vec![(1u64, from, [-3.0, 2.0, 2.0])];
+        // Clamps to x = 0, same owner: no migration.
+        assert!(plan_migrations(&d, &cells).is_empty());
+    }
+
+    #[test]
+    fn churn_stats_balance() {
+        let d = BlockDecomposition::new([16, 16, 16], 8);
+        let from = d.owner_of([2, 2, 2]);
+        let cells: Vec<(u64, usize, [f64; 3])> = (0..10)
+            .map(|i| (i as u64, from, [12.0, 12.0, 12.0]))
+            .collect();
+        let plan = plan_migrations(&d, &cells);
+        let stats = churn_stats(d.task_count(), &plan);
+        assert_eq!(stats.outgoing.iter().sum::<usize>(), 10);
+        assert_eq!(stats.incoming.iter().sum::<usize>(), 10);
+        assert_eq!(stats.outgoing[from], 10);
+    }
+}

@@ -1,0 +1,139 @@
+//! Task scheduling across nodes (paper §2.4.4).
+//!
+//! Builds the full rank layout for a run: bulk blocks onto CPU tasks and
+//! window blocks onto GPU tasks, each task pinned to a node in round-robin
+//! node order so every node carries its 36:6 share of both domains.
+
+use crate::decomp::BlockDecomposition;
+use crate::device::{Device, NodeConfig, Task};
+
+/// Complete task schedule for a coupled bulk/window run.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Node hardware shape.
+    pub config: NodeConfig,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Bulk-domain (CPU) tasks.
+    pub bulk_tasks: Vec<Task>,
+    /// Window-domain (GPU) tasks.
+    pub window_tasks: Vec<Task>,
+    /// Bulk decomposition used.
+    pub bulk_decomp: BlockDecomposition,
+    /// Window decomposition used.
+    pub window_decomp: BlockDecomposition,
+}
+
+impl Schedule {
+    /// Schedule a run over `nodes` nodes: the bulk lattice `bulk_dims` on
+    /// `nodes·cpu_tasks` CPU ranks and the window lattice `window_dims` on
+    /// `nodes·gpu_tasks` GPU ranks.
+    pub fn build(
+        config: NodeConfig,
+        nodes: usize,
+        bulk_dims: [usize; 3],
+        window_dims: [usize; 3],
+    ) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let bulk_decomp = BlockDecomposition::new(bulk_dims, nodes * config.cpu_tasks);
+        let window_decomp = BlockDecomposition::new(window_dims, nodes * config.gpu_tasks);
+        let bulk_tasks = bulk_decomp
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &block)| Task {
+                id: i,
+                node: i % nodes,
+                device: Device::Cpu,
+                block,
+            })
+            .collect();
+        let offset = bulk_decomp.task_count();
+        let window_tasks = window_decomp
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, &block)| Task {
+                id: offset + i,
+                node: i % nodes,
+                device: Device::Gpu,
+                block,
+            })
+            .collect();
+        Self { config, nodes, bulk_tasks, window_tasks, bulk_decomp, window_decomp }
+    }
+
+    /// Total task count.
+    pub fn task_count(&self) -> usize {
+        self.bulk_tasks.len() + self.window_tasks.len()
+    }
+
+    /// Tasks hosted on a given node.
+    pub fn tasks_on_node(&self, node: usize) -> Vec<&Task> {
+        self.bulk_tasks
+            .iter()
+            .chain(&self.window_tasks)
+            .filter(|t| t.node == node)
+            .collect()
+    }
+
+    /// Maximum bulk nodes owned by any single CPU task (load bound).
+    pub fn max_bulk_load(&self) -> usize {
+        self.bulk_decomp.max_block_volume()
+    }
+
+    /// Maximum window nodes owned by any single GPU task.
+    pub fn max_window_load(&self) -> usize {
+        self.window_decomp.max_block_volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_schedule_has_paper_rank_counts() {
+        // Paper §3.5: 256 nodes → "1536 v100 GPUs and 10752 Power9 CPUs".
+        // 10752 counts CPU *cores* (42/node); ranks split 36 bulk + 6 GPU.
+        let s = Schedule::build(NodeConfig::SUMMIT, 256, [512, 512, 512], [128, 128, 128]);
+        assert_eq!(s.bulk_tasks.len(), 256 * 36);
+        assert_eq!(s.window_tasks.len(), 1_536);
+        assert_eq!(s.task_count(), 10_752);
+    }
+
+    #[test]
+    fn every_node_hosts_its_share() {
+        let s = Schedule::build(NodeConfig::SUMMIT, 4, [64, 64, 64], [32, 32, 32]);
+        for node in 0..4 {
+            let tasks = s.tasks_on_node(node);
+            let cpus = tasks.iter().filter(|t| t.device == Device::Cpu).count();
+            let gpus = tasks.iter().filter(|t| t.device == Device::Gpu).count();
+            assert_eq!(cpus, 36, "node {node}");
+            assert_eq!(gpus, 6, "node {node}");
+        }
+    }
+
+    #[test]
+    fn task_ids_are_globally_unique() {
+        let s = Schedule::build(NodeConfig::SUMMIT, 2, [48, 48, 48], [24, 24, 24]);
+        let mut ids: Vec<usize> = s
+            .bulk_tasks
+            .iter()
+            .chain(&s.window_tasks)
+            .map(|t| t.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), s.task_count());
+    }
+
+    #[test]
+    fn blocks_cover_domains() {
+        let s = Schedule::build(NodeConfig::SUMMIT, 1, [40, 40, 40], [20, 20, 20]);
+        let bulk: usize = s.bulk_tasks.iter().map(|t| t.block.volume()).sum();
+        let window: usize = s.window_tasks.iter().map(|t| t.block.volume()).sum();
+        assert_eq!(bulk, 40 * 40 * 40);
+        assert_eq!(window, 20 * 20 * 20);
+    }
+}

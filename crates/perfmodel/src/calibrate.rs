@@ -1,0 +1,88 @@
+//! Calibration of machine-model rates from measured kernel throughput.
+//!
+//! The Summit specs in [`crate::machine`] use published HARVEY-class
+//! figures. When running the reproduction's own kernels, measured MLUPS can
+//! be folded back into a [`MachineSpec`] so model predictions and host
+//! measurements share one rate base — closing the loop between the analytic
+//! Figures 7–8 and the measured thread-scaling analogue.
+
+use crate::machine::MachineSpec;
+
+/// A throughput measurement of the real LBM kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelMeasurement {
+    /// Threads used.
+    pub threads: usize,
+    /// Million lattice-site updates per second achieved.
+    pub mlups: f64,
+}
+
+/// Build a "this host" machine spec from measured kernel throughput:
+/// per-task CPU rate = measured single-thread rate; the GPU rate keeps the
+/// Summit CPU:GPU ratio (we have no GPU to measure); network terms keep the
+/// shared-memory effective values.
+pub fn calibrate_host(
+    single_thread: KernelMeasurement,
+    cores: usize,
+) -> MachineSpec {
+    assert!(single_thread.threads == 1, "calibrate from a 1-thread measurement");
+    assert!(single_thread.mlups > 0.0);
+    let cpu_rate = single_thread.mlups * 1.0e6;
+    let summit = MachineSpec::SUMMIT;
+    let gpu_ratio = summit.gpu_site_rate / summit.cpu_site_rate;
+    MachineSpec {
+        name: "calibrated-host",
+        cpu_tasks_per_node: cores.saturating_sub(cores / 7).max(1),
+        gpu_tasks_per_node: (cores / 7).max(1),
+        cpu_site_rate: cpu_rate,
+        gpu_site_rate: cpu_rate * gpu_ratio,
+        gpu_vertex_rate: cpu_rate * (summit.gpu_vertex_rate / summit.cpu_site_rate),
+        // Shared-memory "network": memcpy-class bandwidth, negligible latency.
+        network_bandwidth: 20.0e9,
+        network_latency: 1.0e-7,
+        gpu_memory: summit.gpu_memory,
+        host_memory: summit.host_memory,
+    }
+}
+
+/// Parallel efficiency implied by a measurement series: measured speedup at
+/// the top thread count over the ideal.
+pub fn measured_efficiency(series: &[KernelMeasurement]) -> f64 {
+    assert!(series.len() >= 2, "need at least two measurements");
+    let base = &series[0];
+    let top = series.last().unwrap();
+    let speedup = top.mlups / base.mlups;
+    let ideal = top.threads as f64 / base.threads as f64;
+    speedup / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_preserves_device_ratio() {
+        let m = calibrate_host(KernelMeasurement { threads: 1, mlups: 12.0 }, 14);
+        assert_eq!(m.cpu_site_rate, 12.0e6);
+        let summit = MachineSpec::SUMMIT;
+        let want = summit.gpu_site_rate / summit.cpu_site_rate;
+        assert!((m.gpu_site_rate / m.cpu_site_rate - want).abs() < 1e-9);
+        // 6:1-ish split like the paper's node layout.
+        assert!(m.cpu_tasks_per_node >= 5 * m.gpu_tasks_per_node);
+    }
+
+    #[test]
+    fn efficiency_of_perfect_scaling_is_one() {
+        let series = [
+            KernelMeasurement { threads: 1, mlups: 10.0 },
+            KernelMeasurement { threads: 4, mlups: 40.0 },
+        ];
+        assert!((measured_efficiency(&series) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-thread")]
+    fn calibration_requires_single_thread_baseline() {
+        let _ = calibrate_host(KernelMeasurement { threads: 4, mlups: 40.0 }, 8);
+    }
+}

@@ -1,0 +1,21 @@
+//! Performance and memory models for the paper's Summit/AWS results.
+//!
+//! The scaling figures (7–8) and resource tables (2–3) depend on machine
+//! properties this reproduction cannot measure directly (repro band 2/5 —
+//! no Summit, no V100s). This crate rebuilds them from first principles:
+//! machine specs from the paper's artifact description ([`machine`]), a
+//! per-step cost model derived from the algorithm's compute/halo/coupling
+//! traffic ([`cost`]), scaling-series predictors ([`scaling`]), and the
+//! exact 408 B/point + 51 kB/RBC memory arithmetic of §3.6 ([`memory`]).
+
+pub mod calibrate;
+pub mod cost;
+pub mod machine;
+pub mod memory;
+pub mod scaling;
+
+pub use calibrate::{calibrate_host, measured_efficiency, KernelMeasurement};
+pub use cost::{neighbor_fraction, step_cost, ProblemSpec, StepCost};
+pub use machine::MachineSpec;
+pub use memory::{table3_rows, volume_capacity_ml, MemoryEstimate};
+pub use scaling::{strong_scaling, weak_scaling, ScalingPoint};

@@ -1,0 +1,96 @@
+//! Machine descriptions (paper §2.4.4 and the artifact appendix).
+
+/// Hardware description of one machine used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Bulk-fluid (CPU) tasks per node.
+    pub cpu_tasks_per_node: usize,
+    /// Window (GPU) tasks per node.
+    pub gpu_tasks_per_node: usize,
+    /// Sustained LBM site updates per second per CPU task.
+    pub cpu_site_rate: f64,
+    /// Sustained LBM site updates per second per GPU task.
+    pub gpu_site_rate: f64,
+    /// Sustained membrane-vertex updates per second per GPU task (FEM +
+    /// IBM work for deformable cells).
+    pub gpu_vertex_rate: f64,
+    /// Inter-node network bandwidth per node, bytes/s.
+    pub network_bandwidth: f64,
+    /// Per-message network latency, seconds.
+    pub network_latency: f64,
+    /// GPU memory per GPU, bytes.
+    pub gpu_memory: u64,
+    /// Host memory per node, bytes.
+    pub host_memory: u64,
+}
+
+impl MachineSpec {
+    /// ORNL Summit: 2×22-core POWER9 + 6×16 GB V100 per node, NVLink
+    /// 25 GB/s (paper artifact description), dual-rail EDR InfiniBand.
+    /// Throughput rates are calibrated to published HARVEY-class LBM/FSI
+    /// performance (GPU ≈ 5·10⁸ fused site-updates/s on V100; CPU task ≈
+    /// 7·10⁶ on one POWER9 core).
+    pub const SUMMIT: MachineSpec = MachineSpec {
+        name: "Summit",
+        cpu_tasks_per_node: 36,
+        gpu_tasks_per_node: 6,
+        cpu_site_rate: 7.0e6,
+        gpu_site_rate: 5.0e8,
+        gpu_vertex_rate: 3.0e7,
+        network_bandwidth: 25.0e9,
+        network_latency: 1.5e-6,
+        gpu_memory: 16 * 1024 * 1024 * 1024,
+        host_memory: 512 * 1024 * 1024 * 1024,
+    };
+
+    /// The paper's AWS instance (§3.6): 8×16 GB V100 + 48 Xeon vCPUs,
+    /// 100 Gb/s network, 768 GB host + 256 GB GPU memory.
+    pub const AWS_P3: MachineSpec = MachineSpec {
+        name: "AWS p3dn-class",
+        cpu_tasks_per_node: 48,
+        gpu_tasks_per_node: 8,
+        cpu_site_rate: 6.0e6,
+        gpu_site_rate: 5.0e8,
+        gpu_vertex_rate: 3.0e7,
+        network_bandwidth: 12.5e9,
+        network_latency: 3.0e-6,
+        gpu_memory: 32 * 1024 * 1024 * 1024,
+        host_memory: 768 * 1024 * 1024 * 1024,
+    };
+
+    /// Tasks per node.
+    pub fn tasks_per_node(&self) -> usize {
+        self.cpu_tasks_per_node + self.gpu_tasks_per_node
+    }
+
+    /// Total GPU memory per node, bytes.
+    pub fn gpu_memory_per_node(&self) -> u64 {
+        self.gpu_memory * self.gpu_tasks_per_node as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_matches_paper_description() {
+        let m = MachineSpec::SUMMIT;
+        assert_eq!(m.tasks_per_node(), 42);
+        assert_eq!(m.gpu_tasks_per_node, 6);
+        // 6 × 16 GB = 96 GB GPU memory per node.
+        assert_eq!(m.gpu_memory_per_node(), 96 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn aws_matches_paper_description() {
+        let m = MachineSpec::AWS_P3;
+        assert_eq!(m.cpu_tasks_per_node, 48);
+        assert_eq!(m.gpu_tasks_per_node, 8);
+        // Paper: "256 GB of GPU memory and 768 GB of CPU memory".
+        assert_eq!(m.gpu_memory_per_node(), 256 * 1024 * 1024 * 1024);
+        assert_eq!(m.host_memory, 768 * 1024 * 1024 * 1024);
+    }
+}

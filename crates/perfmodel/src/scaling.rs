@@ -1,0 +1,126 @@
+//! Strong and weak scaling predictions (paper Figures 7 and 8).
+
+use crate::cost::{step_cost, ProblemSpec};
+use crate::machine::MachineSpec;
+
+/// One point on a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Node count.
+    pub nodes: usize,
+    /// Predicted wall time per coarse step, s.
+    pub step_time: f64,
+    /// Speedup relative to the series baseline (strong scaling) or
+    /// efficiency relative to it (weak scaling).
+    pub relative: f64,
+}
+
+/// Strong scaling: fixed problem, growing node counts. `relative` is the
+/// speedup versus the first entry of `node_counts`.
+pub fn strong_scaling(
+    machine: &MachineSpec,
+    problem: &ProblemSpec,
+    node_counts: &[usize],
+) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let base = step_cost(machine, node_counts[0], problem).total();
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let t = step_cost(machine, nodes, problem).total();
+            ScalingPoint { nodes, step_time: t, relative: base / t }
+        })
+        .collect()
+}
+
+/// Weak scaling: problem grows with node count via `problem_for(nodes)`.
+/// `relative` is parallel efficiency versus the step time at
+/// `baseline_nodes` (the paper uses 8 nodes, §3.4).
+pub fn weak_scaling<F: Fn(usize) -> ProblemSpec>(
+    machine: &MachineSpec,
+    problem_for: F,
+    node_counts: &[usize],
+    baseline_nodes: usize,
+) -> Vec<ScalingPoint> {
+    assert!(!node_counts.is_empty());
+    let base = step_cost(machine, baseline_nodes, &problem_for(baseline_nodes)).total();
+    node_counts
+        .iter()
+        .map(|&nodes| {
+            let t = step_cost(machine, nodes, &problem_for(nodes)).total();
+            ScalingPoint { nodes, step_time: t, relative: base / t }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_strong_scaling_shape() {
+        // Paper: "moving from 32 nodes to 512 nodes showed a speedup of
+        // over 6x" with the rolloff blamed on halo growth.
+        let pts = strong_scaling(
+            &MachineSpec::SUMMIT,
+            &ProblemSpec::figure7(),
+            &[32, 64, 128, 256, 512],
+        );
+        let s512 = pts.last().unwrap().relative;
+        assert!(
+            (4.0..10.0).contains(&s512),
+            "32→512 speedup {s512}, expected ~6×"
+        );
+        // Monotone but sub-ideal at every point.
+        for (i, p) in pts.iter().enumerate() {
+            let ideal = p.nodes as f64 / pts[0].nodes as f64;
+            assert!(p.relative < ideal + 1e-9, "node {} beats ideal", p.nodes);
+            if i > 0 {
+                let marginal = p.relative / pts[i - 1].relative;
+                assert!(marginal > 1.0, "speedup must grow");
+                assert!(marginal <= 2.0, "cannot beat ideal doubling");
+            }
+        }
+    }
+
+    #[test]
+    fn figure8_weak_scaling_shape() {
+        // Paper: ≥90% efficiency for all cases above 8 nodes; 1–4 node runs
+        // faster than the 8-node baseline (not yet at full communication).
+        let counts = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+        let pts = weak_scaling(&MachineSpec::SUMMIT, ProblemSpec::figure8, &counts, 8);
+        for p in &pts {
+            if p.nodes < 8 {
+                assert!(
+                    p.relative > 1.0,
+                    "{} nodes should beat the 8-node baseline: {}",
+                    p.nodes,
+                    p.relative
+                );
+            } else {
+                assert!(
+                    p.relative > 0.88,
+                    "{} nodes efficiency {} below 88%",
+                    p.nodes,
+                    p.relative
+                );
+            }
+        }
+        // Efficiency declines gently with node count beyond the baseline.
+        let e16 = pts.iter().find(|p| p.nodes == 16).unwrap().relative;
+        let e256 = pts.iter().find(|p| p.nodes == 256).unwrap().relative;
+        assert!(e256 <= e16 + 1e-9);
+    }
+
+    #[test]
+    fn strong_scaling_times_decrease() {
+        let pts = strong_scaling(
+            &MachineSpec::SUMMIT,
+            &ProblemSpec::figure7(),
+            &[32, 64, 128, 256, 512],
+        );
+        for w in pts.windows(2) {
+            assert!(w[1].step_time < w[0].step_time);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Hematocrit monitoring and control (paper §2.4.2, Figure 5B).
+//!
+//! "Throughout the simulation, the density of cells in each injection
+//! subregion is monitored by tracking the number of RBCs in that subregion
+//! based on their centroid. If the number of cells falls below a predefined
+//! threshold, new undeformed RBCs are added."
+
+use crate::regions::{SubregionBox, WindowAnatomy};
+use apr_cells::{CellKind, CellPool};
+
+/// Hematocrit controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HematocritController {
+    /// Target volume fraction of RBCs in the window.
+    pub target: f64,
+    /// Refill trigger: repopulate a subregion when its count falls below
+    /// `threshold × target count` (minimizes injection frequency, §3.2).
+    pub threshold: f64,
+    /// Volume of one undeformed RBC (world units³).
+    pub cell_volume: f64,
+}
+
+impl HematocritController {
+    /// New controller.
+    ///
+    /// # Panics
+    /// Panics for targets outside `[0, 0.6]` or a non-positive cell volume.
+    pub fn new(target: f64, threshold: f64, cell_volume: f64) -> Self {
+        assert!((0.0..=0.6).contains(&target), "unphysiological target {target}");
+        assert!((0.0..=1.0).contains(&threshold));
+        assert!(cell_volume > 0.0);
+        Self { target, threshold, cell_volume }
+    }
+
+    /// Window hematocrit: total RBC volume of cells whose centroid lies in
+    /// the window, over the window volume.
+    pub fn window_hematocrit(&self, pool: &CellPool, anatomy: &WindowAnatomy) -> f64 {
+        let cell_volume: f64 = pool
+            .iter()
+            .filter(|c| c.kind == CellKind::Rbc && anatomy.contains(c.centroid()))
+            .map(|c| c.volume())
+            .sum();
+        cell_volume / anatomy.volume()
+    }
+
+    /// RBC count per subregion by centroid membership.
+    pub fn subregion_counts(&self, pool: &CellPool, subregions: &[SubregionBox]) -> Vec<usize> {
+        let mut counts = vec![0usize; subregions.len()];
+        for cell in pool.iter() {
+            if cell.kind != CellKind::Rbc {
+                continue;
+            }
+            let c = cell.centroid();
+            if let Some(i) = subregions.iter().position(|s| s.contains(c)) {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Target RBC count for one subregion.
+    pub fn target_count(&self, sub: &SubregionBox) -> f64 {
+        self.target * sub.volume() / self.cell_volume
+    }
+
+    /// Number of cells to add to a subregion currently holding `count`
+    /// cells: zero unless the count is below `threshold × target`.
+    pub fn deficit(&self, sub: &SubregionBox, count: usize) -> usize {
+        let target = self.target_count(sub);
+        if (count as f64) < self.threshold * target {
+            (target - count as f64).ceil().max(0.0) as usize
+        } else {
+            0
+        }
+    }
+
+    /// Subregions that currently need repopulation: `(index, deficit)`.
+    pub fn needy_subregions(
+        &self,
+        pool: &CellPool,
+        subregions: &[SubregionBox],
+    ) -> Vec<(usize, usize)> {
+        self.subregion_counts(pool, subregions)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, count)| {
+                let d = self.deficit(&subregions[i], count);
+                (d > 0).then_some((i, d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_mesh::Vec3;
+
+    fn sub(min: Vec3, edge: f64) -> SubregionBox {
+        SubregionBox { min, edge }
+    }
+
+    #[test]
+    fn deficit_respects_threshold() {
+        // Target 0.3, cell volume 10, subregion 10³ → target count 30.
+        let ctl = HematocritController::new(0.3, 0.9, 10.0);
+        let s = sub(Vec3::ZERO, 10.0);
+        assert!((ctl.target_count(&s) - 30.0).abs() < 1e-12);
+        // 28 ≥ 0.9·30 = 27 → no refill.
+        assert_eq!(ctl.deficit(&s, 28), 0);
+        assert_eq!(ctl.deficit(&s, 27), 0);
+        // 26 < 27 → fill back to target.
+        assert_eq!(ctl.deficit(&s, 26), 4);
+        assert_eq!(ctl.deficit(&s, 0), 30);
+    }
+
+    #[test]
+    fn zero_target_never_asks_for_cells() {
+        let ctl = HematocritController::new(0.0, 0.9, 10.0);
+        let s = sub(Vec3::ZERO, 10.0);
+        assert_eq!(ctl.deficit(&s, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unphysiological")]
+    fn rejects_extreme_target() {
+        let _ = HematocritController::new(0.8, 0.9, 10.0);
+    }
+}

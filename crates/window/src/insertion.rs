@@ -1,0 +1,227 @@
+//! Cell repopulation of insertion subregions (paper §2.4.2).
+//!
+//! "Re-populating an injection subregion is similar to the initial placement
+//! of cells, except that no new cells are added if they overlap with
+//! existing cells in the simulation."
+
+use crate::hematocrit::HematocritController;
+use crate::regions::WindowAnatomy;
+use apr_cells::{test_overlap, CellKind, CellPool, OverlapOutcome, RbcTile, UniformSubgrid};
+use apr_membrane::Membrane;
+use apr_mesh::TriMesh;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Everything needed to materialize new RBCs in the window.
+pub struct InsertionContext {
+    /// Undeformed RBC reference mesh (defines the inserted shape).
+    pub rbc_mesh: TriMesh,
+    /// Shared RBC membrane model.
+    pub rbc_membrane: Arc<Membrane>,
+    /// Pre-built RBC tile to sample placements from.
+    pub tile: RbcTile,
+    /// Minimum vertex clearance against existing cells.
+    pub min_gap: f64,
+}
+
+/// Result of one repopulation sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InsertionReport {
+    /// Subregions that were below threshold.
+    pub needy_subregions: usize,
+    /// Cells successfully inserted.
+    pub inserted: usize,
+    /// Candidate placements rejected for overlap.
+    pub rejected_overlap: usize,
+    /// Candidates rejected for leaving the insertion region/window.
+    pub rejected_outside: usize,
+}
+
+/// Repopulate all needy insertion subregions. `grid` must hold the current
+/// vertex samples of every live cell and is updated with each insertion.
+pub fn repopulate<R: Rng>(
+    pool: &mut CellPool,
+    grid: &mut UniformSubgrid,
+    anatomy: &WindowAnatomy,
+    controller: &HematocritController,
+    ctx: &InsertionContext,
+    rng: &mut R,
+) -> InsertionReport {
+    let mut report = InsertionReport::default();
+    // Global gate: never push the window hematocrit above target. Without
+    // it, sub-cell-sized subregions overshoot through deficit quantization
+    // (each "needs" a whole cell even when the fractional target is < 1).
+    let window_volume = anatomy.volume();
+    let mut ht = controller.window_hematocrit(pool, anatomy);
+    if ht >= controller.target {
+        return report;
+    }
+    let subregions = anatomy.insertion_subregions();
+    let needy = controller.needy_subregions(pool, &subregions);
+    report.needy_subregions = needy.len();
+    'outer: for (sub_idx, deficit) in needy {
+        let sub = subregions[sub_idx];
+        // One randomly shifted/oriented tile cube per subregion draw.
+        let placements = ctx.tile.sample_cube(sub.edge, rng);
+        let mut added = 0usize;
+        for p in placements {
+            if added >= deficit {
+                break;
+            }
+            if ht >= controller.target {
+                break 'outer;
+            }
+            let world = p.center + sub.min;
+            // Centroid must land in this subregion's insertion territory.
+            if !sub.contains(world) || !anatomy.contains(world) {
+                report.rejected_outside += 1;
+                continue;
+            }
+            let mut verts = p.realize(&ctx.rbc_mesh);
+            for v in &mut verts {
+                *v += sub.min;
+            }
+            match test_overlap(grid, &verts, ctx.min_gap) {
+                OverlapOutcome::Clear => {
+                    let (_, id) =
+                        pool.insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), verts);
+                    // Register the new cell's samples so later candidates in
+                    // this same sweep see it.
+                    let cell = pool.find_by_id(id).expect("just inserted");
+                    grid.insert_cell(id, &cell.vertices);
+                    ht += cell.volume() / window_volume;
+                    added += 1;
+                    report.inserted += 1;
+                }
+                OverlapOutcome::Overlaps(_) => report.rejected_overlap += 1,
+            }
+        }
+    }
+    report
+}
+
+/// Remove cells that have left the window entirely (paper: "Cells that
+/// leave the window are removed once they cross the outer boundary").
+/// Returns the removed count. The CTC is never removed.
+pub fn remove_escaped_cells(
+    pool: &mut CellPool,
+    grid: &mut UniformSubgrid,
+    anatomy: &WindowAnatomy,
+) -> usize {
+    let removed = pool.remove_where(|c| {
+        c.kind == CellKind::Rbc && !anatomy.contains(c.centroid())
+    });
+    for cell in &removed {
+        grid.remove_cell(cell.id);
+    }
+    removed.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_membrane::{MembraneMaterial, ReferenceState};
+    use apr_mesh::{biconcave_rbc_mesh, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn context() -> InsertionContext {
+        // World units: µm. RBC radius 3.91 µm.
+        let rbc_mesh = biconcave_rbc_mesh(1, 3.91);
+        let re = Arc::new(ReferenceState::build(&rbc_mesh));
+        let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+        let mut rng = StdRng::seed_from_u64(11);
+        let tile = RbcTile::build(40.0, 0.25, 3.91, 2.4, 94.0, &mut rng);
+        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.5 }
+    }
+
+    #[test]
+    fn empty_window_gets_populated() {
+        let ctx = context();
+        let anatomy = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 10.0, 10.0);
+        let controller = HematocritController::new(0.2, 0.9, 94.0);
+        let mut pool = CellPool::with_capacity(512);
+        let mut grid = UniformSubgrid::new(4.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
+        assert!(report.inserted > 20, "{report:?}");
+        assert_eq!(pool.live_count(), report.inserted);
+        // Every inserted cell's centroid is in the insertion shell.
+        for cell in pool.iter() {
+            assert_eq!(
+                anatomy.region_of(cell.centroid()),
+                crate::regions::Region::Insertion,
+                "cell at {:?}",
+                cell.centroid()
+            );
+        }
+    }
+
+    #[test]
+    fn repopulation_is_idempotent_once_filled() {
+        let ctx = context();
+        let anatomy = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 10.0, 10.0);
+        let controller = HematocritController::new(0.15, 0.9, 94.0);
+        let mut pool = CellPool::with_capacity(512);
+        let mut grid = UniformSubgrid::new(4.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Each sweep draws fresh tile cubes, so filling converges over a few
+        // sweeps: insertions must taper off and the global hematocrit gate
+        // must hold the window at/below target.
+        let first = repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
+        let mut last = first.inserted;
+        for _ in 0..4 {
+            last = repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng).inserted;
+        }
+        assert!(
+            last <= first.inserted / 5,
+            "sweeps not converging: first {} still inserting {}",
+            first.inserted,
+            last
+        );
+        let ht = controller.window_hematocrit(&pool, &anatomy);
+        assert!(
+            ht <= controller.target * 1.02,
+            "gate breached: Ht {ht} > target {}",
+            controller.target
+        );
+    }
+
+    #[test]
+    fn inserted_cells_do_not_overlap() {
+        let ctx = context();
+        let anatomy = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 10.0, 10.0);
+        let controller = HematocritController::new(0.25, 0.9, 94.0);
+        let mut pool = CellPool::with_capacity(512);
+        let mut grid = UniformSubgrid::new(4.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
+        // Pairwise centroid distance above the cell thickness.
+        let cells: Vec<_> = pool.iter().collect();
+        for (i, a) in cells.iter().enumerate() {
+            for b in cells.iter().skip(i + 1) {
+                let d = a.centroid().distance(b.centroid());
+                assert!(d > 1.5, "cells {i} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaped_cells_are_removed() {
+        let ctx = context();
+        let anatomy = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 10.0, 10.0);
+        let mut pool = CellPool::with_capacity(16);
+        let mut grid = UniformSubgrid::new(4.0);
+        // One cell inside, one far outside.
+        let inside = ctx.rbc_mesh.vertices.iter().map(|&v| v + Vec3::splat(50.0)).collect();
+        let outside = ctx.rbc_mesh.vertices.iter().map(|&v| v + Vec3::splat(500.0)).collect();
+        let (_, id_in) = pool.insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), inside);
+        let (_, id_out) = pool.insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), outside);
+        grid.insert_cell(id_in, &pool.find_by_id(id_in).unwrap().vertices.clone());
+        grid.insert_cell(id_out, &pool.find_by_id(id_out).unwrap().vertices.clone());
+        let removed = remove_escaped_cells(&mut pool, &mut grid, &anatomy);
+        assert_eq!(removed, 1);
+        assert!(pool.find_by_id(id_in).is_some());
+        assert!(pool.find_by_id(id_out).is_none());
+    }
+}

@@ -1,0 +1,22 @@
+//! The APR moving window (paper §2.4.2–2.4.3, Figure 3).
+//!
+//! Maintains a realistic RBC environment around a tracked CTC: the window
+//! anatomy of insertion / on-ramp / window-proper regions ([`regions`]),
+//! the hematocrit monitor and controller ([`hematocrit`]), tile-based
+//! repopulation of insertion subregions ([`insertion`]), the capture/fill
+//! window-move algorithm ([`mover`]), and CTC trajectory recording
+//! ([`tracker`]).
+
+pub mod hematocrit;
+pub mod insertion;
+pub mod metrics;
+pub mod mover;
+pub mod regions;
+pub mod tracker;
+
+pub use hematocrit::HematocritController;
+pub use insertion::{remove_escaped_cells, repopulate, InsertionContext, InsertionReport};
+pub use metrics::{region_occupancy, FluxTracker, RegionFlux, RegionOccupancy};
+pub use mover::{move_window, MoveReport, MoveTrigger};
+pub use regions::{Region, SubregionBox, WindowAnatomy};
+pub use tracker::CtcTracker;

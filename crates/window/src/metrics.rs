@@ -1,0 +1,170 @@
+//! Window-level diagnostics: per-region occupancy and cell flux.
+//!
+//! Figure 3's picture of the window — cells entering through the insertion
+//! shell, equilibrating on the on-ramp, interacting in the window proper —
+//! becomes measurable here: region occupancy histograms and per-step
+//! region-crossing counts.
+
+use crate::regions::{Region, WindowAnatomy};
+use apr_cells::{CellId, CellKind, CellPool};
+use std::collections::HashMap;
+
+/// Cell counts per region.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionOccupancy {
+    /// RBCs in the window proper.
+    pub proper: usize,
+    /// RBCs on the on-ramp.
+    pub onramp: usize,
+    /// RBCs in the insertion shell.
+    pub insertion: usize,
+    /// RBCs tracked but outside the window (about to be removed).
+    pub outside: usize,
+}
+
+impl RegionOccupancy {
+    /// Total tracked RBCs.
+    pub fn total(&self) -> usize {
+        self.proper + self.onramp + self.insertion + self.outside
+    }
+}
+
+/// Count RBCs per region by centroid.
+pub fn region_occupancy(pool: &CellPool, anatomy: &WindowAnatomy) -> RegionOccupancy {
+    let mut occ = RegionOccupancy::default();
+    for cell in pool.iter() {
+        if cell.kind != CellKind::Rbc {
+            continue;
+        }
+        match anatomy.region_of(cell.centroid()) {
+            Region::Proper => occ.proper += 1,
+            Region::OnRamp => occ.onramp += 1,
+            Region::Insertion => occ.insertion += 1,
+            Region::Outside => occ.outside += 1,
+        }
+    }
+    occ
+}
+
+/// Region-crossing counters between two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionFlux {
+    /// Cells that moved inward (insertion→on-ramp or on-ramp→proper).
+    pub inward: usize,
+    /// Cells that moved outward.
+    pub outward: usize,
+    /// Cells that left the window entirely.
+    pub exited: usize,
+    /// Cells that appeared (inserted) since the last snapshot.
+    pub appeared: usize,
+}
+
+/// Tracks per-cell regions across steps to measure flux.
+#[derive(Debug, Clone, Default)]
+pub struct FluxTracker {
+    last: HashMap<CellId, Region>,
+}
+
+fn rank(r: Region) -> i32 {
+    match r {
+        Region::Proper => 0,
+        Region::OnRamp => 1,
+        Region::Insertion => 2,
+        Region::Outside => 3,
+    }
+}
+
+impl FluxTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Update with the current pool state; returns the flux since the last
+    /// call.
+    pub fn update(&mut self, pool: &CellPool, anatomy: &WindowAnatomy) -> RegionFlux {
+        let mut flux = RegionFlux::default();
+        let mut current: HashMap<CellId, Region> = HashMap::new();
+        for cell in pool.iter() {
+            if cell.kind != CellKind::Rbc {
+                continue;
+            }
+            let region = anatomy.region_of(cell.centroid());
+            current.insert(cell.id, region);
+            match self.last.get(&cell.id) {
+                None => flux.appeared += 1,
+                Some(&prev) => {
+                    let d = rank(region) - rank(prev);
+                    if d < 0 {
+                        flux.inward += 1;
+                    } else if d > 0 {
+                        flux.outward += 1;
+                    }
+                }
+            }
+        }
+        // Cells present before but gone now have exited (removed).
+        for id in self.last.keys() {
+            if !current.contains_key(id) {
+                flux.exited += 1;
+            }
+        }
+        self.last = current;
+        flux
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_mesh::{icosphere, Vec3};
+    use std::sync::Arc;
+
+    fn pool_with_cell_at(p: Vec3) -> (CellPool, apr_cells::SlotIndex) {
+        let mesh = icosphere(1, 1.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+        let mut pool = CellPool::with_capacity(8);
+        let verts = mesh.vertices.iter().map(|&v| v + p).collect();
+        let (slot, _) = pool.insert_shape(CellKind::Rbc, mem, verts);
+        (pool, slot)
+    }
+
+    #[test]
+    fn occupancy_classifies_by_centroid() {
+        let anatomy = WindowAnatomy::new(Vec3::ZERO, 10.0, 5.0, 5.0);
+        let (pool, _) = pool_with_cell_at(Vec3::new(3.0, 0.0, 0.0));
+        let occ = region_occupancy(&pool, &anatomy);
+        assert_eq!(occ.proper, 1);
+        assert_eq!(occ.total(), 1);
+    }
+
+    #[test]
+    fn flux_tracks_inward_motion() {
+        let anatomy = WindowAnatomy::new(Vec3::ZERO, 10.0, 5.0, 5.0);
+        let (mut pool, slot) = pool_with_cell_at(Vec3::new(17.0, 0.0, 0.0)); // insertion
+        let mut tracker = FluxTracker::new();
+        let first = tracker.update(&pool, &anatomy);
+        assert_eq!(first.appeared, 1);
+        // Move to the on-ramp, then the proper region.
+        pool.get_mut(slot).unwrap().translate(Vec3::new(-5.0, 0.0, 0.0));
+        let f = tracker.update(&pool, &anatomy);
+        assert_eq!(f.inward, 1);
+        pool.get_mut(slot).unwrap().translate(Vec3::new(-5.0, 0.0, 0.0));
+        let f = tracker.update(&pool, &anatomy);
+        assert_eq!(f.inward, 1);
+        assert_eq!(f.outward, 0);
+    }
+
+    #[test]
+    fn flux_tracks_exit_and_removal() {
+        let anatomy = WindowAnatomy::new(Vec3::ZERO, 10.0, 5.0, 5.0);
+        let (mut pool, slot) = pool_with_cell_at(Vec3::new(3.0, 0.0, 0.0));
+        let mut tracker = FluxTracker::new();
+        tracker.update(&pool, &anatomy);
+        pool.remove(slot);
+        let f = tracker.update(&pool, &anatomy);
+        assert_eq!(f.exited, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Moving the window with its cells (paper §2.4.3, Figure 3B).
+//!
+//! When the CTC approaches the window-proper boundary the window recentres
+//! on it. Cells in the **capture** region around the CTC keep their world
+//! positions (preserving the equilibrated micro-environment); the **fill**
+//! region — the rest of the new interior — is populated with deep copies of
+//! existing deformed cells shifted by the window displacement (re-using
+//! deformed shapes instead of inserting undeformed ones); the insertion
+//! shell is then repopulated by the normal §2.4.2 machinery.
+
+use crate::regions::{Region, WindowAnatomy};
+use apr_cells::{test_overlap, CellKind, CellPool, OverlapOutcome, UniformSubgrid};
+use apr_mesh::Vec3;
+
+/// Window-move trigger policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveTrigger {
+    /// Move when the CTC is within this distance of the window-proper
+    /// boundary.
+    pub trigger_distance: f64,
+}
+
+impl MoveTrigger {
+    /// Should the window move for a CTC at `ctc`?
+    pub fn should_move(&self, anatomy: &WindowAnatomy, ctc: Vec3) -> bool {
+        anatomy.distance_to_proper_boundary(ctc) <= self.trigger_distance
+    }
+}
+
+/// Outcome of one window move.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MoveReport {
+    /// Displacement applied to the window centre.
+    pub shift: Vec3,
+    /// Cells kept in place (capture region).
+    pub captured: usize,
+    /// Cells removed (left the new window).
+    pub removed: usize,
+    /// Deformed deep copies placed into the fill region.
+    pub copied: usize,
+    /// Copy candidates rejected (overlap or outside fill region).
+    pub rejected: usize,
+}
+
+/// Execute a window move: recentre `anatomy` on the CTC position and
+/// restructure the RBC population per Figure 3B. Returns the new anatomy
+/// and a report. `grid` is rebuilt to match the surviving population.
+///
+/// The caller is responsible for re-seeding the fine lattice from the
+/// coarse solution afterwards and for running insertion-region
+/// repopulation.
+pub fn move_window(
+    anatomy: &WindowAnatomy,
+    pool: &mut CellPool,
+    grid: &mut UniformSubgrid,
+    ctc: Vec3,
+    min_gap: f64,
+) -> (WindowAnatomy, MoveReport) {
+    let new_anatomy = anatomy.recentered(ctc);
+    let shift = new_anatomy.center - anatomy.center;
+    let mut report = MoveReport { shift, ..Default::default() };
+
+    // 1. Remove RBCs that fall outside the new window entirely.
+    let removed = pool.remove_where(|c| {
+        c.kind == CellKind::Rbc && !new_anatomy.contains(c.centroid())
+    });
+    report.removed = removed.len();
+
+    // 2. Capture region: surviving RBCs in the new interior keep their
+    //    world positions. (Everything still inside counts; those in the new
+    //    insertion shell participate in density bookkeeping as usual.)
+    report.captured = pool
+        .iter()
+        .filter(|c| {
+            c.kind == CellKind::Rbc
+                && matches!(
+                    new_anatomy.region_of(c.centroid()),
+                    Region::Proper | Region::OnRamp
+                )
+        })
+        .count();
+
+    // Rebuild the spatial grid from survivors.
+    apr_cells::rebuild_grid(grid, pool);
+
+    // 3. Fill region: deep-copy existing deformed RBCs, shifted by the
+    //    window displacement, into interior space not already occupied.
+    let candidates: Vec<(Vec<Vec3>, std::sync::Arc<apr_membrane::Membrane>)> = pool
+        .iter()
+        .filter(|c| c.kind == CellKind::Rbc)
+        .map(|c| (c.vertices.clone(), std::sync::Arc::clone(&c.membrane)))
+        .collect();
+    for (verts, membrane) in candidates {
+        let shifted: Vec<Vec3> = verts.iter().map(|&v| v + shift).collect();
+        let centroid = shifted.iter().copied().sum::<Vec3>() / shifted.len() as f64;
+        let in_fill = matches!(
+            new_anatomy.region_of(centroid),
+            Region::Proper | Region::OnRamp
+        );
+        if !in_fill {
+            report.rejected += 1;
+            continue;
+        }
+        match test_overlap(grid, &shifted, min_gap) {
+            OverlapOutcome::Clear => {
+                let (_, id) = pool.insert_cell(apr_cells::Cell::with_shape(
+                    0, // replaced by the pool
+                    CellKind::Rbc,
+                    membrane,
+                    shifted,
+                ));
+                let cell = pool.find_by_id(id).expect("just inserted");
+                grid.insert_cell(id, &cell.vertices);
+                report.copied += 1;
+            }
+            OverlapOutcome::Overlaps(_) => report.rejected += 1,
+        }
+    }
+
+    (new_anatomy, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_mesh::biconcave_rbc_mesh;
+    use std::sync::Arc;
+
+    fn setup(anatomy: &WindowAnatomy, spacing: f64) -> (CellPool, UniformSubgrid) {
+        // Fill the window interior with a regular grid of RBCs.
+        let mesh = biconcave_rbc_mesh(1, 3.0);
+        let re = Arc::new(ReferenceState::build(&mesh));
+        let mem = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+        let mut pool = CellPool::with_capacity(1024);
+        let (lo, hi) = anatomy.bounds();
+        let mut p = lo + Vec3::splat(spacing / 2.0);
+        while p.z < hi.z {
+            while p.y < hi.y {
+                while p.x < hi.x {
+                    let verts = mesh.vertices.iter().map(|&v| v + p).collect();
+                    pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), verts);
+                    p.x += spacing;
+                }
+                p.x = lo.x + spacing / 2.0;
+                p.y += spacing;
+            }
+            p.y = lo.y + spacing / 2.0;
+            p.z += spacing;
+        }
+        let mut grid = UniformSubgrid::new(3.0);
+        apr_cells::rebuild_grid(&mut grid, &pool);
+        (pool, grid)
+    }
+
+    #[test]
+    fn trigger_fires_near_boundary() {
+        let w = WindowAnatomy::new(Vec3::splat(50.0), 20.0, 5.0, 5.0);
+        let t = MoveTrigger { trigger_distance: 4.0 };
+        assert!(!t.should_move(&w, w.center));
+        assert!(t.should_move(&w, w.center + Vec3::new(17.0, 0.0, 0.0)));
+        assert!(t.should_move(&w, w.center + Vec3::new(25.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn move_keeps_captured_cells_in_place() {
+        let w = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 5.0, 5.0);
+        let (mut pool, mut grid) = setup(&w, 9.0);
+        let before: Vec<(u64, Vec3)> =
+            pool.iter().map(|c| (c.id, c.centroid())).collect();
+        let ctc = w.center + Vec3::new(12.0, 0.0, 0.0);
+        let (new_w, report) = move_window(&w, &mut pool, &mut grid, ctc, 0.5);
+        assert_eq!(new_w.center, ctc);
+        assert!(report.captured > 0, "{report:?}");
+        // Every surviving original cell is exactly where it was.
+        for (id, pos) in before {
+            if let Some(cell) = pool.find_by_id(id) {
+                assert!((cell.centroid() - pos).norm() < 1e-12, "cell {id} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn move_removes_cells_left_behind() {
+        let w = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 5.0, 5.0);
+        let (mut pool, mut grid) = setup(&w, 9.0);
+        let live0 = pool.live_count();
+        // Large jump: most old cells end up outside the new window.
+        let ctc = w.center + Vec3::new(40.0, 0.0, 0.0);
+        let (new_w, report) = move_window(&w, &mut pool, &mut grid, ctc, 0.5);
+        assert!(report.removed > live0 / 2, "{report:?}");
+        for c in pool.iter() {
+            assert!(new_w.contains(c.centroid()));
+        }
+    }
+
+    #[test]
+    fn fill_copies_are_shifted_replicas() {
+        let w = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 5.0, 5.0);
+        let (mut pool, mut grid) = setup(&w, 9.0);
+        // Shift by a multiple of the packing pitch so copies land on the
+        // vacated lattice sites of the fill region rather than inside
+        // surviving cells (the paper's fill copies likewise target space
+        // opened by the move).
+        let ctc = w.center + Vec3::new(18.0, 0.0, 0.0);
+        let (new_w, report) = move_window(&w, &mut pool, &mut grid, ctc, 0.5);
+        assert!(report.copied > 0, "{report:?}");
+        // All copies land in the new interior.
+        for c in pool.iter() {
+            assert!(new_w.contains(c.centroid()));
+        }
+        // Population roughly conserved in the interior: captured + copied
+        // should be within 2x of the pre-move interior population.
+        let interior_before = (2.0 * w.interior_half()).powi(3) / 9.0f64.powi(3);
+        let after = report.captured + report.copied;
+        assert!(
+            (after as f64) > 0.4 * interior_before,
+            "after {after}, before ≈ {interior_before}"
+        );
+    }
+
+    #[test]
+    fn copies_do_not_overlap_existing_cells() {
+        let w = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 5.0, 5.0);
+        let (mut pool, mut grid) = setup(&w, 9.0);
+        let ctc = w.center + Vec3::new(12.0, 3.0, -2.0);
+        let (_, _) = move_window(&w, &mut pool, &mut grid, ctc, 0.5);
+        let cells: Vec<_> = pool.iter().collect();
+        for (i, a) in cells.iter().enumerate() {
+            for b in cells.iter().skip(i + 1) {
+                let d = a.centroid().distance(b.centroid());
+                assert!(d > 1.0, "cells too close after move: {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Window anatomy: insertion, on-ramp and window-proper regions
+//! (paper §2.4.2, Figure 3A).
+//!
+//! The window is a cube centred on the tracked CTC. From the inside out:
+//! the **window proper** where cells interact with the CTC, the **on-ramp**
+//! where freshly inserted cells equilibrate with the flow, and the
+//! **insertion** shell where undeformed RBCs are injected to hold the
+//! target hematocrit. All coordinates are "world" units (the engine maps
+//! them onto lattice coordinates).
+
+use apr_mesh::Vec3;
+
+/// Which region of the window a point falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Innermost region around the CTC.
+    Proper,
+    /// Equilibration layer between insertion and proper.
+    OnRamp,
+    /// Outermost layer where new cells are injected.
+    Insertion,
+    /// Outside the window entirely.
+    Outside,
+}
+
+/// Geometry of one window instance.
+///
+/// ```
+/// use apr_window::{Region, WindowAnatomy};
+/// use apr_mesh::Vec3;
+/// // The paper's Figure 6 window: 120 µm edge = 40 proper + 2×20 on-ramp
+/// // + 2×20 insertion.
+/// let w = WindowAnatomy::new(Vec3::ZERO, 20.0, 20.0, 20.0);
+/// assert_eq!(w.full_half(), 60.0);
+/// assert_eq!(w.region_of(Vec3::new(55.0, 0.0, 0.0)), Region::Insertion);
+/// assert_eq!(w.region_of(Vec3::new(30.0, 0.0, 0.0)), Region::OnRamp);
+/// assert_eq!(w.region_of(Vec3::ZERO), Region::Proper);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAnatomy {
+    /// Window centre.
+    pub center: Vec3,
+    /// Half edge length of the window-proper cube.
+    pub proper_half: f64,
+    /// Thickness of the on-ramp layer.
+    pub onramp: f64,
+    /// Thickness of the insertion layer.
+    pub insertion: f64,
+}
+
+impl WindowAnatomy {
+    /// New anatomy; all extents must be positive (insertion/on-ramp may be
+    /// zero for windows that don't maintain cells).
+    pub fn new(center: Vec3, proper_half: f64, onramp: f64, insertion: f64) -> Self {
+        assert!(proper_half > 0.0, "window proper must have extent");
+        assert!(onramp >= 0.0 && insertion >= 0.0);
+        Self { center, proper_half, onramp, insertion }
+    }
+
+    /// The paper's Figure 6 window: 120 µm edge = 40 µm proper + 2×20 µm
+    /// on-ramp + 2×20 µm insertion per side, scaled by `scale`.
+    pub fn paper_figure6(center: Vec3, scale: f64) -> Self {
+        Self::new(center, 20.0 * scale, 20.0 * scale, 20.0 * scale)
+    }
+
+    /// Half edge of the full window (through the insertion shell).
+    pub fn full_half(&self) -> f64 {
+        self.proper_half + self.onramp + self.insertion
+    }
+
+    /// Half edge of the interior (proper + on-ramp, i.e. the insertion
+    /// shell's inner boundary).
+    pub fn interior_half(&self) -> f64 {
+        self.proper_half + self.onramp
+    }
+
+    /// Full window bounds `(min, max)`.
+    pub fn bounds(&self) -> (Vec3, Vec3) {
+        let h = Vec3::splat(self.full_half());
+        (self.center - h, self.center + h)
+    }
+
+    /// Chebyshev (cube) distance of `p` from the centre.
+    pub fn cube_distance(&self, p: Vec3) -> f64 {
+        (p - self.center).abs().max_component()
+    }
+
+    /// Classify a point.
+    pub fn region_of(&self, p: Vec3) -> Region {
+        let d = self.cube_distance(p);
+        if d <= self.proper_half {
+            Region::Proper
+        } else if d <= self.interior_half() {
+            Region::OnRamp
+        } else if d <= self.full_half() {
+            Region::Insertion
+        } else {
+            Region::Outside
+        }
+    }
+
+    /// Is `p` anywhere inside the window?
+    pub fn contains(&self, p: Vec3) -> bool {
+        self.cube_distance(p) <= self.full_half()
+    }
+
+    /// Volume of the full window cube.
+    pub fn volume(&self) -> f64 {
+        (2.0 * self.full_half()).powi(3)
+    }
+
+    /// Volume of the interior (inside the insertion shell).
+    pub fn interior_volume(&self) -> f64 {
+        (2.0 * self.interior_half()).powi(3)
+    }
+
+    /// Distance from `p` to the window-proper boundary (positive inside).
+    pub fn distance_to_proper_boundary(&self, p: Vec3) -> f64 {
+        self.proper_half - self.cube_distance(p)
+    }
+
+    /// Recentre the window (a window move).
+    pub fn recentered(&self, new_center: Vec3) -> Self {
+        Self { center: new_center, ..*self }
+    }
+
+    /// Cubic insertion subregions: the full window is gridded into cubes of
+    /// edge ≈ `insertion` thickness; cells of the grid whose centres fall in
+    /// the insertion shell are subregions (paper: "the domain is divided
+    /// into cubic subregions", Figure 3A dashed cubes).
+    pub fn insertion_subregions(&self) -> Vec<SubregionBox> {
+        if self.insertion == 0.0 {
+            return Vec::new();
+        }
+        let full = 2.0 * self.full_half();
+        let k = (full / self.insertion).round().max(1.0) as usize;
+        let edge = full / k as f64;
+        let (lo, _) = self.bounds();
+        let mut out = Vec::new();
+        for iz in 0..k {
+            for iy in 0..k {
+                for ix in 0..k {
+                    let min = lo + Vec3::new(ix as f64, iy as f64, iz as f64) * edge;
+                    let center = min + Vec3::splat(edge / 2.0);
+                    if self.region_of(center) == Region::Insertion {
+                        out.push(SubregionBox { min, edge });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cubic insertion subregion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubregionBox {
+    /// Lower corner.
+    pub min: Vec3,
+    /// Edge length.
+    pub edge: f64,
+}
+
+impl SubregionBox {
+    /// Does the box contain `p`?
+    pub fn contains(&self, p: Vec3) -> bool {
+        (0..3).all(|a| p[a] >= self.min[a] && p[a] < self.min[a] + self.edge)
+    }
+
+    /// Box volume.
+    pub fn volume(&self) -> f64 {
+        self.edge.powi(3)
+    }
+
+    /// Box centre.
+    pub fn center(&self) -> Vec3 {
+        self.min + Vec3::splat(self.edge / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anatomy() -> WindowAnatomy {
+        WindowAnatomy::new(Vec3::new(100.0, 50.0, 50.0), 20.0, 10.0, 10.0)
+    }
+
+    #[test]
+    fn regions_nest_correctly() {
+        let w = anatomy();
+        let c = w.center;
+        assert_eq!(w.region_of(c), Region::Proper);
+        assert_eq!(w.region_of(c + Vec3::new(19.9, 0.0, 0.0)), Region::Proper);
+        assert_eq!(w.region_of(c + Vec3::new(25.0, 0.0, 0.0)), Region::OnRamp);
+        assert_eq!(w.region_of(c + Vec3::new(35.0, 0.0, 0.0)), Region::Insertion);
+        assert_eq!(w.region_of(c + Vec3::new(41.0, 0.0, 0.0)), Region::Outside);
+        // Cube metric: diagonal point inside the proper cube.
+        assert_eq!(w.region_of(c + Vec3::splat(19.0)), Region::Proper);
+    }
+
+    #[test]
+    fn figure6_dimensions() {
+        // 120 µm edge: 40 proper, 20+20 on-ramp, 20+20 insertion.
+        let w = WindowAnatomy::paper_figure6(Vec3::ZERO, 1.0);
+        assert!((w.full_half() - 60.0).abs() < 1e-12);
+        assert!((w.interior_half() - 40.0).abs() < 1e-12);
+        assert!((w.volume() - 120.0f64.powi(3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn subregions_tile_the_insertion_shell() {
+        let w = anatomy();
+        let subs = w.insertion_subregions();
+        assert!(!subs.is_empty());
+        // Full window edge 80, insertion 10 → 8³ grid, shell = all but the
+        // interior 6³ cells: 512 − 216 = 296.
+        assert_eq!(subs.len(), 296);
+        // Every subregion centre is in the insertion region.
+        for s in &subs {
+            assert_eq!(w.region_of(s.center()), Region::Insertion);
+        }
+        // Total subregion volume approximates the shell volume.
+        let shell = w.volume() - w.interior_volume();
+        let total: f64 = subs.iter().map(SubregionBox::volume).sum();
+        assert!((total - shell).abs() / shell < 0.05, "total {total} vs shell {shell}");
+    }
+
+    #[test]
+    fn distance_to_proper_boundary_signs() {
+        let w = anatomy();
+        assert!(w.distance_to_proper_boundary(w.center) > 0.0);
+        let near_edge = w.center + Vec3::new(18.0, 0.0, 0.0);
+        let d = w.distance_to_proper_boundary(near_edge);
+        assert!((d - 2.0).abs() < 1e-12);
+        let outside = w.center + Vec3::new(30.0, 0.0, 0.0);
+        assert!(w.distance_to_proper_boundary(outside) < 0.0);
+    }
+
+    #[test]
+    fn recentering_preserves_shape() {
+        let w = anatomy();
+        let moved = w.recentered(Vec3::ZERO);
+        assert_eq!(moved.proper_half, w.proper_half);
+        assert_eq!(moved.full_half(), w.full_half());
+        assert_eq!(moved.center, Vec3::ZERO);
+    }
+}

@@ -1,0 +1,115 @@
+//! CTC trajectory tracking (paper §3.3, Figure 6).
+
+use apr_mesh::Vec3;
+
+/// Recorded CTC trajectory with radial-displacement analysis helpers.
+#[derive(Debug, Clone, Default)]
+pub struct CtcTracker {
+    /// `(step, centroid)` samples.
+    pub samples: Vec<(u64, Vec3)>,
+}
+
+impl CtcTracker {
+    /// New empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sample.
+    pub fn record(&mut self, step: u64, position: Vec3) {
+        self.samples.push((step, position));
+    }
+
+    /// Latest recorded position.
+    pub fn current(&self) -> Option<Vec3> {
+        self.samples.last().map(|&(_, p)| p)
+    }
+
+    /// Total path length travelled.
+    pub fn path_length(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1].1 - w[0].1).norm())
+            .sum()
+    }
+
+    /// Net displacement from the first to the last sample.
+    pub fn net_displacement(&self) -> f64 {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(&(_, a)), Some(&(_, b))) => (b - a).norm(),
+            _ => 0.0,
+        }
+    }
+
+    /// Radial distance from a channel centreline along `axis` through
+    /// `origin` for each sample: `(axial position, radial displacement)` —
+    /// the quantity Figure 6C/D plots.
+    pub fn radial_profile(&self, origin: Vec3, axis: Vec3) -> Vec<(f64, f64)> {
+        let a = axis.normalized();
+        self.samples
+            .iter()
+            .map(|&(_, p)| {
+                let rel = p - origin;
+                let axial = rel.dot(a);
+                let radial = (rel - a * axial).norm();
+                (axial, radial)
+            })
+            .collect()
+    }
+
+    /// Mean speed in world units per step between consecutive samples.
+    pub fn mean_speed(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let steps = self.samples.last().unwrap().0 - self.samples.first().unwrap().0;
+        if steps == 0 {
+            return 0.0;
+        }
+        self.path_length() / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_path_metrics() {
+        let mut t = CtcTracker::new();
+        for i in 0..=10u64 {
+            t.record(i, Vec3::new(i as f64, 0.0, 0.0));
+        }
+        assert!((t.path_length() - 10.0).abs() < 1e-12);
+        assert!((t.net_displacement() - 10.0).abs() < 1e-12);
+        assert!((t.mean_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radial_profile_separates_axial_and_radial() {
+        let mut t = CtcTracker::new();
+        t.record(0, Vec3::new(5.0, 3.0, 4.0));
+        let profile = t.radial_profile(Vec3::ZERO, Vec3::X);
+        assert_eq!(profile.len(), 1);
+        let (axial, radial) = profile[0];
+        assert!((axial - 5.0).abs() < 1e-12);
+        assert!((radial - 5.0).abs() < 1e-12); // √(3² + 4²)
+    }
+
+    #[test]
+    fn zigzag_path_exceeds_net_displacement() {
+        let mut t = CtcTracker::new();
+        t.record(0, Vec3::ZERO);
+        t.record(1, Vec3::new(1.0, 1.0, 0.0));
+        t.record(2, Vec3::new(2.0, 0.0, 0.0));
+        assert!(t.path_length() > t.net_displacement() + 0.5);
+    }
+
+    #[test]
+    fn empty_tracker_is_safe() {
+        let t = CtcTracker::new();
+        assert_eq!(t.current(), None);
+        assert_eq!(t.path_length(), 0.0);
+        assert_eq!(t.mean_speed(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! CTC transport through a synthetic cerebral vasculature — the Figure 9
+//! scenario on laptop resources.
+//!
+//! A Murray's-law arterial tree stands in for the paper's patient-derived
+//! cerebral geometry (see DESIGN.md substitutions). The bulk flow fills the
+//! tree; the cell-resolved window rides the main branch with the CTC. The
+//! program reports the transit distance and the APR-vs-eFSI memory budget
+//! of Table 3 for this domain.
+//!
+//! ```sh
+//! cargo run --release --example cerebral_transport
+//! ```
+
+use apr_suite::cells::ContactParams;
+use apr_suite::core::AprEngine;
+use apr_suite::coupling::fine_tau;
+use apr_suite::geom::{open_tree_flow, voxelize, TreeParams, VascularTree};
+use apr_suite::lattice::{Lattice, NodeClass};
+use apr_suite::membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_suite::mesh::{icosphere, Vec3};
+use apr_suite::perfmodel::MemoryEstimate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // Synthetic "cerebral" tree: root radius 7 coarse cells, 3 levels.
+    let mut rng = StdRng::seed_from_u64(7);
+    let params = TreeParams {
+        root_radius: 7.0,
+        root_length: 60.0,
+        levels: 3,
+        branch_angle: 0.45,
+        asymmetry: 0.6,
+        jitter: 0.05,
+    };
+    let tree = VascularTree::grow(&params, Vec3::new(30.0, 30.0, 2.0), Vec3::Z, &mut rng);
+    let sdf = tree.sdf();
+    let (lo, hi) = tree.bounding_box();
+    println!(
+        "Synthetic cerebral tree: {} segments, {:.0} lattice-units of centreline, bbox {:.0}×{:.0}×{:.0}",
+        tree.segments.len(),
+        tree.total_length(),
+        hi.x - lo.x,
+        hi.y - lo.y,
+        hi.z - lo.z,
+    );
+
+    // Coarse lattice over the tree, force-driven along the root axis.
+    let tau_c = 0.9;
+    let (nx, ny, nz) = (60usize, 60usize, 150usize);
+    let mut coarse = Lattice::new(nx, ny, nz, tau_c);
+    voxelize(&mut coarse, &sdf, Vec3::ZERO, 1.0);
+    // A sealed tree carries no steady flow under a body force; open it with
+    // a root inlet and leaf outlets instead.
+    let ports = open_tree_flow(&mut coarse, &tree, Vec3::ZERO, 1.0, 0.02);
+    println!(
+        "Flow ports: {} inlet nodes, {} outlet nodes across {} leaves",
+        ports.inlet_nodes, ports.outlet_nodes, ports.outlets
+    );
+    println!(
+        "Bulk lattice: {}×{}×{} nodes, {} in the lumen",
+        nx, ny, nz,
+        coarse.fluid_node_count()
+    );
+
+    // Window on the root segment.
+    let n = 3usize;
+    let lambda = 0.3;
+    let span = 8usize;
+    let dim = span * n + 1;
+    let fine = Lattice::new(dim, dim, dim, fine_tau(tau_c, n, lambda));
+    let path = tree.main_path();
+    let start = VascularTree::sample_path(&path, 0.12);
+    let origin = [
+        (start.x - span as f64 / 2.0).round(),
+        (start.y - span as f64 / 2.0).round(),
+        (start.z - span as f64 / 2.0).round(),
+    ];
+
+    let mut engine = AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        n,
+        lambda,
+        span as f64 * n as f64 * 0.22,
+        span as f64 * n as f64 * 0.12,
+        span as f64 * n as f64 * 0.14,
+        ContactParams { cutoff: 1.2, strength: 5e-4 },
+    );
+    let tree_sdf = tree.sdf();
+    engine.set_fine_geometry(Box::new(move |fine, origin| {
+        for node in 0..fine.node_count() {
+            fine.set_flag(node, NodeClass::Fluid);
+        }
+        let o = Vec3::new(origin[0], origin[1], origin[2]);
+        voxelize(fine, &tree_sdf, o, 1.0 / 3.0);
+    }));
+
+    // The CTC.
+    let ctc_mesh = icosphere(2, 3.0);
+    let reference = Arc::new(ReferenceState::build(&ctc_mesh));
+    let membrane = Arc::new(Membrane::new(reference, MembraneMaterial::ctc(4e-3, 2e-4)));
+    let center = engine.anatomy.center;
+    let verts: Vec<Vec3> = ctc_mesh.vertices.iter().map(|&v| v + center).collect();
+    engine.add_ctc(membrane, verts);
+
+    println!("\nstep    world_z   path_len   window_moves");
+    for step in 0..3000u64 {
+        engine.step();
+        if step % 250 == 0 {
+            if let Some(w) = engine.tracker.current() {
+                println!(
+                    "{step:>5}   {:>7.2}   {:>8.2}   {:>6}",
+                    w.z,
+                    engine.tracker.path_length(),
+                    engine.window_moves()
+                );
+            }
+        }
+        if engine.window_moves() >= 4 {
+            break;
+        }
+    }
+    println!(
+        "\nCTC travelled {:.1} coarse cells along the tree with {} window moves.",
+        engine.tracker.net_displacement(),
+        engine.window_moves()
+    );
+
+    // Table 3-style memory report for this domain at the paper's spacings.
+    // Treat one coarse cell as 15 µm (the paper's bulk resolution).
+    let lumen_um3 = tree.lumen_volume() * 15.0f64.powi(3);
+    let apr_window = MemoryEstimate::from_volume(0.75, (span as f64 * 15.0).powi(3), 0.35);
+    let apr_bulk = MemoryEstimate::from_volume(15.0, lumen_um3, 0.0);
+    let efsi = MemoryEstimate::from_volume(0.75, lumen_um3, 0.35);
+    println!("\nMemory budget at paper resolutions (0.75 µm window / 15 µm bulk):");
+    println!(
+        "  APR window: {:>10.2} GB   APR bulk: {:>8.2} GB   eFSI: {:>10.2} GB",
+        apr_window.total_bytes() / 1e9,
+        apr_bulk.total_bytes() / 1e9,
+        efsi.total_bytes() / 1e9
+    );
+    println!(
+        "  APR/eFSI memory ratio: 1:{:.0}",
+        efsi.total_bytes() / (apr_window.total_bytes() + apr_bulk.total_bytes())
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: a single red blood cell deforming in shear flow.
+//!
+//! Builds a plane Couette channel with the eFSI engine, drops in one
+//! biconcave RBC, runs a few hundred fully coupled FSI steps and reports
+//! how the cell deformed and advected.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use apr_suite::cells::{CellKind, ContactParams};
+use apr_suite::core::EfsiEngine;
+use apr_suite::lattice::couette_channel;
+use apr_suite::membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_suite::mesh::{biconcave_rbc_mesh, Vec3};
+use std::sync::Arc;
+
+fn main() {
+    // Channel: 32×20×20 lattice nodes, lid speed 0.05 (lattice units).
+    let u_lid = 0.05;
+    let lattice = couette_channel(32, 20, 20, 1.0, u_lid);
+    let mut engine = EfsiEngine::new(
+        lattice,
+        8,
+        ContactParams { cutoff: 1.0, strength: 1e-4 },
+    );
+
+    // One healthy RBC, 4 lattice units in radius, at the channel centre.
+    let mesh = biconcave_rbc_mesh(2, 4.0);
+    let reference = Arc::new(ReferenceState::build(&mesh));
+    let membrane = Arc::new(Membrane::new(
+        reference,
+        MembraneMaterial::rbc(1e-3, 1e-5),
+    ));
+    let center = Vec3::new(12.0, 10.0, 10.0);
+    let vertices: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + center).collect();
+    engine.add_cell(CellKind::Rbc, membrane, vertices);
+
+    let cell_volume0 = engine.pool.iter().next().unwrap().volume();
+    println!("step   centroid_x  centroid_y   volume_err   max_stretch");
+    for step in 0..=600 {
+        if step % 100 == 0 {
+            let cell = engine.pool.iter().next().unwrap();
+            let c = cell.centroid();
+            let vol_err = (cell.volume() - cell_volume0).abs() / cell_volume0;
+            // Largest distance of any vertex from the centroid, relative to
+            // the undeformed radius: >1 means the shear is stretching it.
+            let max_r = cell
+                .vertices
+                .iter()
+                .map(|v| v.distance(c))
+                .fold(0.0f64, f64::max);
+            println!(
+                "{step:>4}   {:>9.3}  {:>9.3}   {:>9.2e}   {:>9.3}",
+                c.x,
+                c.y,
+                vol_err,
+                max_r / 4.0
+            );
+        }
+        engine.step();
+    }
+
+    let cell = engine.pool.iter().next().unwrap();
+    println!(
+        "\nAfter {} steps: the RBC advected {:.1} lattice units downstream,",
+        engine.steps(),
+        cell.centroid().x - 12.0
+    );
+    println!(
+        "its volume drifted {:.3}% (membrane incompressibility), and it tank-treads in the shear.",
+        (cell.volume() - cell_volume0).abs() / cell_volume0 * 100.0
+    );
+    println!("Site updates performed: {}", engine.site_updates());
+}

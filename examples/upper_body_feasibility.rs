@@ -1,0 +1,93 @@
+//! Upper-body feasibility demonstration — the Figure 1 / Table 2 argument.
+//!
+//! Shows what the paper's headline image quantifies: at equal compute
+//! resources, a fully resolved eFSI model is confined to a millimetre-scale
+//! stationary box, while the APR moving window opens the entire vascular
+//! volume to cellular resolution. Uses the Summit machine model and a
+//! synthetic upper-body-scale arterial tree.
+//!
+//! ```sh
+//! cargo run --release --example upper_body_feasibility
+//! ```
+
+use apr_suite::core::render_table;
+use apr_suite::geom::{TreeParams, VascularTree};
+use apr_suite::mesh::Vec3;
+use apr_suite::perfmodel::{volume_capacity_ml, MachineSpec, MemoryEstimate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let machine = MachineSpec::SUMMIT;
+    let nodes = 256usize;
+    let gpus = nodes * machine.gpu_tasks_per_node;
+    let cpus = nodes * machine.cpu_tasks_per_node;
+    println!(
+        "Resources: {nodes} Summit nodes = {gpus} V100 GPUs + {cpus} CPU tasks\n"
+    );
+
+    // eFSI capacity: every µm³ costs fine fluid points + meshed RBCs, and
+    // it all has to fit in GPU memory (Table 2, paper: 4.98·10⁻³ mL).
+    let gpu_mem = gpus as f64 * machine.gpu_memory as f64;
+    let efsi_ml = volume_capacity_ml(gpu_mem, 0.5, 0.40);
+
+    // APR: the window has the same fine-resolution capacity, but the bulk
+    // (15 µm, no explicit cells) opens the whole geometry. The paper's
+    // upper-body volume is 41 mL; our synthetic tree scales similarly.
+    let mut rng = StdRng::seed_from_u64(1);
+    let params = TreeParams {
+        root_radius: 12_000.0, // 12 mm aorta-scale root, µm
+        root_length: 250_000.0,
+        levels: 6,
+        branch_angle: 0.5,
+        asymmetry: 0.55,
+        jitter: 0.08,
+    };
+    let tree = VascularTree::grow(&params, Vec3::ZERO, Vec3::Z, &mut rng);
+    let tree_ml = tree.lumen_volume() / 1.0e12;
+    let bulk = MemoryEstimate::from_volume(15.0, tree.lumen_volume(), 0.0);
+
+    let rows = vec![
+        vec![
+            "APR (window)".to_string(),
+            "0.5".to_string(),
+            format!("{gpus} GPUs"),
+            format!("{:.2e} mL", efsi_ml),
+        ],
+        vec![
+            "APR (bulk)".to_string(),
+            "15".to_string(),
+            format!("{cpus} CPUs"),
+            format!("{tree_ml:.1} mL"),
+        ],
+        vec![
+            "eFSI".to_string(),
+            "0.5".to_string(),
+            format!("{nodes} nodes"),
+            format!("{:.2e} mL", efsi_ml),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["Model", "Δx (µm)", "Resources", "Fluid volume"], &rows)
+    );
+
+    println!(
+        "Synthetic tree: {} segments, {:.2} m of vessel centreline, bulk memory {:.1} GB",
+        tree.segments.len(),
+        tree.total_length() / 1.0e6,
+        bulk.total_bytes() / 1e9,
+    );
+    println!(
+        "\nVolume accessible to cellular resolution: APR opens {:.0}× more fluid",
+        tree_ml / efsi_ml
+    );
+    println!(
+        "than eFSI at identical resources — the paper's \"4 orders of magnitude\""
+    );
+    println!(
+        "(Table 2: 41.0 mL vs 4.98·10⁻³ mL). The moving window turns a {:.1} mm",
+        (efsi_ml * 1.0e12).powf(1.0 / 3.0) / 1.0e3
+    );
+    println!("stationary box into metres of traversable vasculature.");
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the APR-RBC reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `apr_core` for the main simulation API.
+
+pub use apr_cells as cells;
+pub use apr_core as core;
+pub use apr_coupling as coupling;
+pub use apr_geom as geom;
+pub use apr_hemo as hemo;
+pub use apr_ibm as ibm;
+pub use apr_lattice as lattice;
+pub use apr_membrane as membrane;
+pub use apr_mesh as mesh;
+pub use apr_parallel as parallel;
+pub use apr_perfmodel as perfmodel;
+pub use apr_window as window;

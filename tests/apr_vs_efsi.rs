@@ -1,0 +1,108 @@
+//! APR vs eFSI head-to-head on the same physical problem — the trust
+//! argument behind the paper's Figure 6, reduced to a cheap, deterministic
+//! case: one stiff CTC advected down a force-driven tube.
+//!
+//! eFSI resolves the whole tube at the fine resolution; APR couples a
+//! coarse tube to a fine moving window. Both simulate the *same physical
+//! fluid* (λ = 1: the paper's viscosity contrast exists only when RBCs fill
+//! the window and homogenize to whole blood in the bulk — a cell-free
+//! contrast would make the two models different physical problems), so the
+//! CTC's transport speed must agree.
+
+use apr_suite::cells::{CellKind, ContactParams};
+use apr_suite::core::{AprEngine, EfsiEngine};
+use apr_suite::coupling::fine_tau;
+use apr_suite::lattice::force_driven_tube;
+use apr_suite::lattice::Lattice;
+use apr_suite::membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_suite::mesh::{icosphere, Vec3};
+use std::sync::Arc;
+
+const N: usize = 2; // refinement ratio
+const TAU_C: f64 = 0.9;
+const G: f64 = 8e-5; // coarse-lattice body force
+const LAMBDA: f64 = 1.0; // single-fluid head-to-head (see module docs)
+const RADIUS_C: f64 = 8.0; // tube radius in coarse units
+
+fn ctc_membrane(radius: f64) -> (Arc<Membrane>, apr_suite::mesh::TriMesh) {
+    let mesh = icosphere(2, radius);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    // Stiff CTC; moduli scale with resolution so physics match: G_s in
+    // lattice units scales as dt²/dx³ ∝ 1/n (convective scaling), handled
+    // by the caller passing the right value.
+    (
+        Arc::new(Membrane::new(re, MembraneMaterial::ctc(4e-3, 2e-4))),
+        mesh,
+    )
+}
+
+/// eFSI: the whole tube at fine resolution (coarse dims × n), fine time
+/// step. Body force scales by 1/n (acceleration in lattice units ∝ dt²/dx).
+fn run_efsi(coarse_steps: u64) -> f64 {
+    let (nx, ny, nz) = (17usize * N, 17 * N, 40 * N);
+    let tau_f = fine_tau(TAU_C, N, LAMBDA);
+    let mut lat = force_driven_tube(nx, ny, nz, tau_f, RADIUS_C * N as f64, G / N as f64);
+    lat.periodic = [false, false, true];
+    let mut engine = EfsiEngine::new(lat, 4, ContactParams { cutoff: 1.0, strength: 5e-4 });
+    let (mem, mesh) = ctc_membrane(2.5 * N as f64);
+    let start = Vec3::new(
+        (nx as f64 - 1.0) / 2.0,
+        (ny as f64 - 1.0) / 2.0,
+        8.0 * N as f64,
+    );
+    let verts: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + start).collect();
+    engine.add_cell(CellKind::Ctc, mem, verts);
+    for _ in 0..coarse_steps * N as u64 {
+        engine.step();
+    }
+    let end = engine.centroid_of_first(CellKind::Ctc).unwrap();
+    // Return displacement in coarse units.
+    (end.z - start.z) / N as f64
+}
+
+/// APR: coarse tube + fine moving window around the CTC.
+fn run_apr(coarse_steps: u64) -> (f64, u64) {
+    let (nx, ny, nz) = (17usize, 17, 40);
+    let coarse = force_driven_tube(nx, ny, nz, TAU_C, RADIUS_C, G);
+    let span = 10usize;
+    let dim = span * N + 1;
+    let mut fine = Lattice::new(dim, dim, dim, fine_tau(TAU_C, N, LAMBDA));
+    fine.body_force = [0.0, 0.0, G / N as f64];
+    let origin = [3.0, 3.0, 3.0];
+    let mut engine = AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        N,
+        LAMBDA,
+        span as f64 * N as f64 * 0.28,
+        span as f64 * N as f64 * 0.11,
+        span as f64 * N as f64 * 0.11,
+        ContactParams { cutoff: 1.0, strength: 5e-4 },
+    );
+    let (mem, mesh) = ctc_membrane(2.5 * N as f64);
+    // Same world start: tube centre, z = 8 coarse.
+    let start_world = Vec3::new(8.0, 8.0, 8.0);
+    let start_fine = engine.world_to_fine(start_world);
+    let verts: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + start_fine).collect();
+    engine.add_ctc(mem, verts);
+    for _ in 0..coarse_steps {
+        engine.step();
+    }
+    let end = engine.tracker.current().unwrap();
+    (end.z - start_world.z, engine.window_moves())
+}
+
+#[test]
+fn apr_recovers_efsi_transport_speed() {
+    let steps = 400u64;
+    let efsi_dz = run_efsi(steps);
+    let (apr_dz, moves) = run_apr(steps);
+    assert!(efsi_dz > 1.0, "eFSI CTC barely moved: {efsi_dz}");
+    assert!(apr_dz > 1.0, "APR CTC barely moved: {apr_dz}");
+    let ratio = apr_dz / efsi_dz;
+    assert!(
+        (0.75..1.35).contains(&ratio),
+        "transport mismatch: eFSI Δz = {efsi_dz:.2}, APR Δz = {apr_dz:.2} (ratio {ratio:.2}, {moves} moves)"
+    );
+}

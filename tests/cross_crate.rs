@@ -1,0 +1,127 @@
+//! Cross-crate integration: units flow correctly from physical constants
+//! through the unit converter into lattice/membrane parameters, geometry
+//! voxelizes into working lattices, and the perf model agrees with the real
+//! decomposition geometry.
+
+use apr_suite::geom::{voxelize, Cylinder, TreeParams, VascularTree};
+use apr_suite::hemo::{
+    UnitConverter, PLASMA_DENSITY, PLASMA_KINEMATIC_VISCOSITY, RBC_DIAMETER, RBC_SHEAR_MODULUS,
+    WHOLE_BLOOD_VISCOSITY,
+};
+use apr_suite::lattice::{Lattice, NodeClass};
+use apr_suite::mesh::Vec3;
+use apr_suite::parallel::BlockDecomposition;
+use apr_suite::perfmodel::neighbor_fraction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn paper_figure6_unit_chain_is_stable() {
+    // Paper §3.3: Δx_f = 0.5 µm window at plasma viscosity with τ_f from
+    // Eq. 7. Choose τ_c = 1 on the 2.5 µm bulk grid and check the whole
+    // chain gives a stable fine lattice and sane lattice parameters.
+    let n = 5usize;
+    let lambda = PLASMA_KINEMATIC_VISCOSITY
+        / (WHOLE_BLOOD_VISCOSITY / 1060.0);
+    let tau_c = 1.0;
+    let tau_f = apr_suite::coupling::fine_tau(tau_c, n, lambda);
+    assert!(tau_f > 0.5 && tau_f < 2.5, "τ_f = {tau_f}");
+
+    // The coarse unit converter fixes Δt; inlet velocity 0.1 m/s must map
+    // to a low-Mach lattice velocity on the coarse grid.
+    let conv = UnitConverter::from_viscosity(
+        2.5e-6,
+        WHOLE_BLOOD_VISCOSITY / 1060.0,
+        tau_c,
+        1060.0,
+    );
+    let u_lat = conv.velocity_to_lattice(0.1);
+    assert!(u_lat < 0.15, "lattice velocity {u_lat} too compressible");
+
+    // RBC shear modulus in fine-lattice units is small but nonzero.
+    let fine_conv = UnitConverter::new(conv.dx / n as f64, conv.dt / n as f64, PLASMA_DENSITY);
+    let gs_lat = fine_conv.surface_modulus_to_lattice(RBC_SHEAR_MODULUS);
+    assert!(gs_lat > 1e-8 && gs_lat < 10.0, "G_s lattice = {gs_lat}");
+
+    // The RBC spans ~16 fine lattice nodes, matching the paper's "order of
+    // magnitude smaller than the length scale of an individual RBC".
+    let d_lat = fine_conv.length_to_lattice(RBC_DIAMETER);
+    assert!(d_lat > 8.0 && d_lat < 40.0, "RBC diameter {d_lat} fine nodes");
+}
+
+#[test]
+fn voxelized_tree_carries_flow() {
+    // Grow a small tree, voxelize, open it to flow (inlet + leaf outlets —
+    // a body force alone in a *sealed* tree correctly produces zero net
+    // flow), and confirm the lumen flows while walls hold.
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = TreeParams {
+        root_radius: 5.0,
+        root_length: 30.0,
+        levels: 2,
+        branch_angle: 0.4,
+        asymmetry: 0.5,
+        jitter: 0.0,
+    };
+    let tree = VascularTree::grow(&params, Vec3::new(16.0, 16.0, 2.0), Vec3::Z, &mut rng);
+    let mut lat = Lattice::new(32, 32, 64, 0.9);
+    voxelize(&mut lat, &tree.sdf(), Vec3::ZERO, 1.0);
+    let fluid0 = lat.fluid_node_count();
+    assert!(fluid0 > 1000, "lumen too small: {fluid0}");
+    let ports = apr_suite::geom::open_tree_flow(&mut lat, &tree, Vec3::ZERO, 1.0, 0.02);
+    assert!(ports.outlets >= 2, "{ports:?}");
+    for _ in 0..600 {
+        lat.step();
+    }
+    let root_mid = lat.idx(16, 16, 12);
+    let rho_mid = lat.moments_at(root_mid).0;
+    for _ in 0..200 {
+        lat.step();
+    }
+    // Flow developed inside the root lumen.
+    assert_eq!(lat.flag(root_mid), NodeClass::Fluid);
+    let u = lat.velocity_at(root_mid)[2];
+    assert!(u > 1e-3, "no flow in the lumen: {u}");
+    // Steady pressure head, not a mass leak.
+    let (rho, _) = lat.moments_at(root_mid);
+    assert!((rho - rho_mid).abs() < 0.01, "density drifting: {rho_mid} -> {rho}");
+}
+
+#[test]
+fn perfmodel_neighbor_fraction_matches_real_decomposition() {
+    // The cost model's neighbour-fraction approximation must track the true
+    // interior-face fraction of real block decompositions.
+    for tasks in [8usize, 64, 512] {
+        let d = BlockDecomposition::new([64, 64, 64], tasks);
+        let total_faces = 6.0 * tasks as f64;
+        let interior_faces: usize = (0..tasks).map(|t| d.face_neighbors(t).len()).sum();
+        let real = interior_faces as f64 / total_faces;
+        let model = neighbor_fraction(tasks);
+        assert!(
+            (real - model).abs() < 0.15,
+            "tasks {tasks}: real {real} vs model {model}"
+        );
+    }
+}
+
+#[test]
+fn cylinder_tube_flow_matches_across_apis() {
+    // The geom voxelizer and the lattice's built-in tube helper must agree
+    // on the resulting flow field.
+    let radius = 7.0;
+    let g = 1e-6;
+    let mut a = apr_suite::lattice::force_driven_tube(17, 17, 4, 0.9, radius, g);
+    let mut b = Lattice::new(17, 17, 4, 0.9);
+    b.periodic = [false, false, true];
+    b.body_force = [0.0, 0.0, g];
+    let sdf = Cylinder::new(Vec3::new(8.0, 8.0, 0.0), Vec3::Z, radius);
+    voxelize(&mut b, &sdf, Vec3::ZERO, 1.0);
+    for _ in 0..3000 {
+        a.step();
+        b.step();
+    }
+    let ua = a.velocity_at(a.idx(8, 8, 2))[2];
+    let ub = b.velocity_at(b.idx(8, 8, 2))[2];
+    assert!(ua > 0.0 && ub > 0.0);
+    assert!((ua - ub).abs() / ua < 0.05, "centerline {ua} vs {ub}");
+}

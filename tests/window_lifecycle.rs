@@ -1,0 +1,125 @@
+//! Figure 3 lifecycle test: window anatomy → initial packing → density
+//! monitoring → window move (capture/fill) → repopulation, exercising the
+//! whole cell-side pipeline without fluid (fast, deterministic).
+
+use apr_suite::cells::{rebuild_grid, CellPool, RbcTile, UniformSubgrid};
+use apr_suite::membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_suite::mesh::{biconcave_rbc_mesh, Vec3};
+use apr_suite::window::{
+    move_window, remove_escaped_cells, repopulate, HematocritController, InsertionContext,
+    MoveTrigger, Region, WindowAnatomy,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn machinery() -> (InsertionContext, HematocritController) {
+    let rbc_mesh = biconcave_rbc_mesh(1, 3.91);
+    let volume = rbc_mesh.enclosed_volume();
+    let re = Arc::new(ReferenceState::build(&rbc_mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
+    let mut rng = StdRng::seed_from_u64(17);
+    let tile = RbcTile::build(50.0, 0.25, 3.91, 2.4, volume, &mut rng);
+    (
+        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.6 },
+        HematocritController::new(0.18, 0.85, volume),
+    )
+}
+
+#[test]
+fn full_window_lifecycle() {
+    let (ctx, controller) = machinery();
+    let mut anatomy = WindowAnatomy::new(Vec3::splat(60.0), 18.0, 8.0, 9.0);
+    let mut pool = CellPool::with_capacity(1024);
+    let mut grid = UniformSubgrid::new(4.0);
+    let mut rng = StdRng::seed_from_u64(23);
+
+    // Phase 1: fill the insertion shell to target.
+    let mut total_inserted = 0;
+    for _ in 0..6 {
+        total_inserted +=
+            repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng).inserted;
+    }
+    assert!(total_inserted > 30, "only {total_inserted} inserted");
+    let ht = controller.window_hematocrit(&pool, &anatomy);
+    assert!(ht > 0.5 * controller.target && ht <= controller.target * 1.02, "Ht {ht}");
+
+    // Phase 2: simulate advection — drift every cell +x and prune leavers.
+    for _ in 0..5 {
+        for cell in pool.iter_mut() {
+            cell.translate(Vec3::new(4.0, 0.0, 0.0));
+        }
+        let _ = remove_escaped_cells(&mut pool, &mut grid, &anatomy);
+        rebuild_grid(&mut grid, &pool);
+        repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
+    }
+    assert!(pool.total_removed() > 0, "drift never pushed cells out");
+    assert!(pool.total_inserted() > total_inserted as u64, "no refills during drift");
+
+    // Phase 3: window move triggered by a synthetic CTC near the boundary.
+    let trigger = MoveTrigger { trigger_distance: 4.0 };
+    let ctc = anatomy.center + Vec3::new(15.0, 2.0, -1.0);
+    assert!(trigger.should_move(&anatomy, ctc));
+    let live_before = pool.live_count();
+    let (new_anatomy, report) = move_window(&anatomy, &mut pool, &mut grid, ctc, ctx.min_gap);
+    anatomy = new_anatomy;
+    assert_eq!(anatomy.center, ctc);
+    assert!(report.captured > 0, "{report:?}");
+    // Everything alive sits inside the new window.
+    for cell in pool.iter() {
+        assert!(anatomy.contains(cell.centroid()));
+    }
+    assert!(pool.live_count() > live_before / 3, "move lost too many cells");
+
+    // Phase 4: post-move repopulation tops the shell back up.
+    let report = repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
+    let ht = controller.window_hematocrit(&pool, &anatomy);
+    assert!(
+        ht <= controller.target * 1.02,
+        "post-move Ht {ht} breached target ({report:?})"
+    );
+
+    // Invariant: no two cells interpenetrate badly anywhere in the pipeline.
+    let cells: Vec<_> = pool.iter().collect();
+    for (i, a) in cells.iter().enumerate() {
+        for b in cells.iter().skip(i + 1) {
+            let d = a.centroid().distance(b.centroid());
+            assert!(d > 1.2, "cells {} and {} at distance {d}", a.id, b.id);
+        }
+    }
+}
+
+#[test]
+fn regions_route_cells_through_onramp() {
+    // Cells entering through insertion must pass OnRamp before Proper —
+    // geometric invariant of the anatomy (Figure 3A).
+    let anatomy = WindowAnatomy::new(Vec3::ZERO, 10.0, 5.0, 5.0);
+    let path: Vec<Region> = (0..40)
+        .map(|i| anatomy.region_of(Vec3::new(19.0 - i as f64, 0.0, 0.0)))
+        .collect();
+    let first_onramp = path.iter().position(|&r| r == Region::OnRamp).unwrap();
+    let first_proper = path.iter().position(|&r| r == Region::Proper).unwrap();
+    let first_insertion = path.iter().position(|&r| r == Region::Insertion).unwrap();
+    assert!(first_insertion < first_onramp && first_onramp < first_proper);
+}
+
+#[test]
+fn overlap_resolution_is_task_count_invariant() {
+    // The paper's §2.4.2 determinism claim: resolving a batch of candidate
+    // placements yields the same survivors regardless of processing order
+    // (standing in for MPI task counts).
+    let (ctx, _) = machinery();
+    let mut rng = StdRng::seed_from_u64(31);
+    let placements = ctx.tile.sample_cube(30.0, &mut rng);
+    let candidates: Vec<(u64, Vec<apr_suite::mesh::Vec3>)> = placements
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i as u64, p.realize(&ctx.rbc_mesh)))
+        .collect();
+    let kept_forward = apr_suite::cells::resolve_batch(&candidates, 0.4, 4.0);
+    let mut reversed = candidates.clone();
+    reversed.reverse();
+    let kept_reverse = apr_suite::cells::resolve_batch(&reversed, 0.4, 4.0);
+    assert_eq!(kept_forward, kept_reverse);
+    assert!(!kept_forward.is_empty());
+}
