@@ -29,11 +29,19 @@ fn bench_ibm_transfer(c: &mut Criterion) {
     let mut lat = Lattice::new(48, 48, 48, 0.9);
     lat.periodic = [true, true, true];
     let mesh = biconcave_rbc_mesh(3, 8.0); // 642 vertices — the paper's mesh
-    let positions: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + Vec3::splat(24.0)).collect();
+    let positions: Vec<Vec3> = mesh
+        .vertices
+        .iter()
+        .map(|&v| v + Vec3::splat(24.0))
+        .collect();
     let forces = vec![Vec3::new(1e-6, 0.0, 0.0); positions.len()];
 
     let mut group = c.benchmark_group("ibm_642_vertices");
-    for kernel in [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+    for kernel in [
+        DeltaKernel::Cosine4,
+        DeltaKernel::Peskin3,
+        DeltaKernel::Linear2,
+    ] {
         group.bench_function(format!("interpolate_{kernel:?}"), |b| {
             b.iter(|| criterion::black_box(interpolate_velocities(&lat, &positions, kernel)))
         });
@@ -92,7 +100,9 @@ fn bench_rcm_ablation(c: &mut Criterion) {
     group.bench_function("shuffled_order", |b| {
         b.iter(|| criterion::black_box(gather(&shuffled)))
     });
-    group.bench_function("rcm_order", |b| b.iter(|| criterion::black_box(gather(&rcm))));
+    group.bench_function("rcm_order", |b| {
+        b.iter(|| criterion::black_box(gather(&rcm)))
+    });
     group.finish();
 }
 
@@ -108,11 +118,8 @@ fn bench_pool_churn(c: &mut Criterion) {
         b.iter(|| {
             let mut slots = Vec::new();
             for _ in 0..100 {
-                let (s, _) = pool.insert_shape(
-                    CellKind::Rbc,
-                    Arc::clone(&membrane),
-                    mesh.vertices.clone(),
-                );
+                let (s, _) =
+                    pool.insert_shape(CellKind::Rbc, Arc::clone(&membrane), mesh.vertices.clone());
                 slots.push(s);
             }
             for s in slots {

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn benches(c: &mut Criterion) {
     println!("\n{}", render_figure7());
 
-    let cores = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= cores.min(16) {
         threads.push(threads.last().unwrap() * 2);

@@ -38,7 +38,11 @@ fn ablate_delta_kernel() {
     println!("(paper uses the 4-point cosine; narrower kernels are cheaper but");
     println!(" couple the membrane to fewer fluid nodes)\n");
     println!("kernel     steps   window_Ht    cells_finite");
-    for kernel in [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+    for kernel in [
+        DeltaKernel::Cosine4,
+        DeltaKernel::Peskin3,
+        DeltaKernel::Linear2,
+    ] {
         let mut engine = build_hct_engine(0.15, 3, 3);
         engine.kernel = kernel;
         for _ in 0..300 {
@@ -62,9 +66,7 @@ fn ablate_onramp_width() {
         // buys at a mean flow speed.
         let span_fine = 24.0; // 8 coarse × n=3
         let path = onramp_frac * span_fine;
-        println!(
-            "  on-ramp {label:<10}: {path:.1} fine cells of equilibration path"
-        );
+        println!("  on-ramp {label:<10}: {path:.1} fine cells of equilibration path");
     }
     println!("\n(Trajectory sensitivity to on-ramp width requires the full Figure 6");
     println!(" ensemble; run `exp_figure6` with modified window anatomy for that.)");

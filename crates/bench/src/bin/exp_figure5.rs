@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(1200);
     let mut results = Vec::new();
     for target in figure5_targets() {
-        eprintln!("running Ht target {:.0}% ({steps} coarse steps)…", target * 100.0);
+        eprintln!(
+            "running Ht target {:.0}% ({steps} coarse steps)…",
+            target * 100.0
+        );
         results.push(run_hct_case(target, steps, 42));
     }
     println!("{}", render_figure5(&results));

@@ -30,7 +30,10 @@ fn main() {
         efsi_sites += sites_e;
         apr_sites += sites_a;
         if let (Some(&(ze, re)), Some(&(za, ra))) = (efsi.last(), apr.last()) {
-            println!("{seed:>4}   eFSI   {ze:>7.2}   {re:>7.3}   {sites_e:>12}   {:>6}", "-");
+            println!(
+                "{seed:>4}   eFSI   {ze:>7.2}   {re:>7.3}   {sites_e:>12}   {:>6}",
+                "-"
+            );
             println!("{seed:>4}   APR    {za:>7.2}   {ra:>7.3}   {sites_a:>12}   {moves:>6}");
         }
         let dev = trajectory_deviation(&efsi, &apr);

@@ -19,7 +19,9 @@ fn main() {
     println!("Paper: 1–4 node cases run faster than the 8-node baseline (not yet");
     println!("at full communication volume); ≥90% efficiency at 8+ nodes.\n");
 
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
     let mut threads = vec![1usize];
     while *threads.last().unwrap() * 2 <= cores {
         threads.push(threads.last().unwrap() * 2);

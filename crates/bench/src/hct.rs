@@ -54,7 +54,10 @@ pub fn build_hct_engine(target: f64, n: usize, seed: u64) -> AprEngine {
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     );
     engine.reseed_rng(seed);
 
@@ -95,11 +98,11 @@ pub fn run_hct_case(target: f64, steps: u64, seed: u64) -> HctResult {
         }
     }
     let mu_cells = tube_effective_viscosity(&engine.coarse, r_eff, TUBE_FORCE);
-    let steady_ht = series.steady_mean(0.4);
+    let steady_ht = series.steady_mean(0.4).expect("series has samples");
     HctResult {
         target,
         steady_ht,
-        fluctuation: series.steady_fluctuation(0.4),
+        fluctuation: series.steady_fluctuation(0.4).expect("series has samples"),
         mu_rel_sim: mu_cells / mu_ref,
         mu_rel_pries: relative_apparent_viscosity(
             200.0,

@@ -45,7 +45,13 @@ pub fn render_figure5(results: &[HctResult]) -> String {
     format!(
         "Figure 5 — hematocrit maintenance and effective viscosity\n{}",
         render_table(
-            &["target", "steady_Ht", "ripple", "mu_rel(sim)", "mu_rel(Pries)"],
+            &[
+                "target",
+                "steady_Ht",
+                "ripple",
+                "mu_rel(sim)",
+                "mu_rel(Pries)"
+            ],
             &rows
         )
     )
@@ -140,7 +146,14 @@ pub fn render_table3() -> String {
     format!(
         "Table 3 — estimated memory, cerebral geometry\n{}",
         render_table(
-            &["Model", "dx (um)", "Fluid Pts", "Fluid Mem", "Num RBCs", "RBC Mem"],
+            &[
+                "Model",
+                "dx (um)",
+                "Fluid Pts",
+                "Fluid Mem",
+                "Num RBCs",
+                "RBC Mem"
+            ],
             &rows
         )
     )

@@ -45,10 +45,18 @@ fn time_box(threads: usize, edge: usize, steps: usize) -> f64 {
 /// Strong-scaling measurement: fixed `edge³` box over growing thread counts.
 pub fn measure_strong_scaling(edge: usize, steps: usize, threads: &[usize]) -> Vec<MeasuredPoint> {
     let base = time_box(threads[0], edge, steps);
-    let mut out = vec![MeasuredPoint { threads: threads[0], mlups: base, speedup: 1.0 }];
+    let mut out = vec![MeasuredPoint {
+        threads: threads[0],
+        mlups: base,
+        speedup: 1.0,
+    }];
     for &t in &threads[1..] {
         let mlups = time_box(t, edge, steps);
-        out.push(MeasuredPoint { threads: t, mlups, speedup: mlups / base });
+        out.push(MeasuredPoint {
+            threads: t,
+            mlups,
+            speedup: mlups / base,
+        });
     }
     out
 }
@@ -69,7 +77,11 @@ pub fn measure_weak_scaling(
         if base_per_thread == 0.0 {
             base_per_thread = per_thread;
         }
-        out.push(MeasuredPoint { threads: t, mlups, speedup: per_thread / base_per_thread });
+        out.push(MeasuredPoint {
+            threads: t,
+            mlups,
+            speedup: per_thread / base_per_thread,
+        });
     }
     out
 }
@@ -80,7 +92,9 @@ mod tests {
 
     #[test]
     fn multithreading_speeds_up_the_kernel() {
-        let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
         if cores < 4 {
             return; // nothing to measure on tiny CI boxes
         }

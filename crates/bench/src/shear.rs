@@ -79,7 +79,13 @@ pub fn build_shear(case: ShearCase) -> ShearProblem {
     map.apply_window_viscosity(&mut coarse, &fine);
     map.seed_fine_from_coarse(&coarse, &mut fine);
     let analytic = ThreeLayerCouette::new([7.5, 8.0, 8.5], [1.0, case.lambda, 1.0], u_lid);
-    ShearProblem { coarse, fine, map, analytic, n: case.n }
+    ShearProblem {
+        coarse,
+        fine,
+        map,
+        analytic,
+        n: case.n,
+    }
 }
 
 impl ShearProblem {
@@ -108,7 +114,10 @@ impl ShearProblem {
             sim.push(self.fine.velocity_at(node)[0]);
             exact.push(self.analytic.velocity(7.5 + j as f64 / self.n as f64));
         }
-        ShearResult { bulk_l2, window_l2: l2_error_norm(&sim, &exact) }
+        ShearResult {
+            bulk_l2,
+            window_l2: l2_error_norm(&sim, &exact),
+        }
     }
 }
 
@@ -129,7 +138,9 @@ mod tests {
     fn case_list_matches_table1() {
         let cases = table1_cases();
         assert_eq!(cases.len(), 9);
-        assert!(cases.iter().any(|c| c.n == 10 && (c.lambda - 0.25).abs() < 1e-12));
+        assert!(cases
+            .iter()
+            .any(|c| c.n == 10 && (c.lambda - 0.25).abs() < 1e-12));
     }
 
     #[test]

@@ -82,7 +82,14 @@ pub fn run_efsi_channel(seed: u64, steps: u64) -> (Trajectory, u64) {
     lat.periodic = [false, false, true];
     lat.body_force = [0.0, 0.0, CHANNEL_FORCE];
     voxelize(&mut lat, &channel(), Vec3::ZERO, 1.0);
-    let mut engine = EfsiEngine::new(lat, 32, ContactParams { cutoff: 1.0, strength: 5e-4 });
+    let mut engine = EfsiEngine::new(
+        lat,
+        32,
+        ContactParams {
+            cutoff: 1.0,
+            strength: 5e-4,
+        },
+    );
 
     let (ctc_mem, ctc_mesh) = ctc_membrane(1.0);
     let start = Vec3::new(13.0 + CTC_OFFSET, 13.0, 12.0);
@@ -132,7 +139,10 @@ pub fn run_apr_channel(seed: u64, steps: u64, n: usize) -> (Trajectory, u64, u64
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     );
     engine.reseed_rng(seed);
     engine.set_fine_geometry(Box::new(move |fine, origin| {
@@ -158,7 +168,11 @@ pub fn run_apr_channel(seed: u64, steps: u64, n: usize) -> (Trajectory, u64, u64
     let axis = Vec3::new(13.0, 13.0, 0.0);
     for _ in 0..steps {
         engine.step();
-        if engine.tracker.current().is_some_and(|w| w.z > (nz - 20) as f64) {
+        if engine
+            .tracker
+            .current()
+            .is_some_and(|w| w.z > (nz - 20) as f64)
+        {
             break;
         }
     }

@@ -82,6 +82,35 @@ impl Cell {
         }
     }
 
+    /// Reassemble a cell from checkpointed per-vertex state, preserving its
+    /// original global ID (unlike [`Cell::with_shape`], which is for new
+    /// cells). Velocities and forces are restored verbatim so a resumed
+    /// run's first FSI substep sees exactly the pre-checkpoint state.
+    pub fn from_parts(
+        id: CellId,
+        kind: CellKind,
+        membrane: Arc<Membrane>,
+        vertices: Vec<Vec3>,
+        velocities: Vec<Vec3>,
+        forces: Vec<Vec3>,
+    ) -> Self {
+        assert_eq!(
+            vertices.len(),
+            membrane.reference.vertex_count,
+            "shape does not match membrane reference"
+        );
+        assert_eq!(velocities.len(), vertices.len(), "velocity count mismatch");
+        assert_eq!(forces.len(), vertices.len(), "force count mismatch");
+        Self {
+            id,
+            kind,
+            membrane,
+            vertices,
+            velocities,
+            forces,
+        }
+    }
+
     /// Number of mesh vertices.
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
@@ -128,7 +157,8 @@ impl Cell {
 
     /// Accumulate membrane elastic forces; returns the energy breakdown.
     pub fn compute_membrane_forces(&mut self) -> EnergyBreakdown {
-        self.membrane.compute_forces(&self.vertices, &mut self.forces)
+        self.membrane
+            .compute_forces(&self.vertices, &mut self.forces)
     }
 
     /// Apply a vertex-velocity update: `x += v·dt`, storing `v`.

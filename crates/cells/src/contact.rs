@@ -94,14 +94,21 @@ mod tests {
         let mut pool = CellPool::with_capacity(4);
         let (s0, _) = pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), mesh.vertices.clone());
         let (s1, _) = pool.insert_shape(CellKind::Rbc, mem, mesh.vertices.clone());
-        pool.get_mut(s0).unwrap().translate(Vec3::new(-(1.0 + gap / 2.0), 0.0, 0.0));
-        pool.get_mut(s1).unwrap().translate(Vec3::new(1.0 + gap / 2.0, 0.0, 0.0));
+        pool.get_mut(s0)
+            .unwrap()
+            .translate(Vec3::new(-(1.0 + gap / 2.0), 0.0, 0.0));
+        pool.get_mut(s1)
+            .unwrap()
+            .translate(Vec3::new(1.0 + gap / 2.0, 0.0, 0.0));
         pool
     }
 
     #[test]
     fn magnitude_vanishes_at_cutoff() {
-        let p = ContactParams { cutoff: 0.5, strength: 2.0 };
+        let p = ContactParams {
+            cutoff: 0.5,
+            strength: 2.0,
+        };
         assert_eq!(p.magnitude(0.5), 0.0);
         assert_eq!(p.magnitude(0.6), 0.0);
         assert!((p.magnitude(0.0) - 2.0).abs() < 1e-15);
@@ -113,9 +120,15 @@ mod tests {
         let mut pool = pool_with_two_spheres(0.05);
         let mut grid = UniformSubgrid::new(0.3);
         rebuild_grid(&mut grid, &pool);
-        let params = ContactParams { cutoff: 0.2, strength: 1.0 };
+        let params = ContactParams {
+            cutoff: 0.2,
+            strength: 1.0,
+        };
         let pairs = apply_contact_forces(&mut pool, &grid, params);
-        assert!(pairs > 0, "cells at 0.05 gap must interact under 0.2 cutoff");
+        assert!(
+            pairs > 0,
+            "cells at 0.05 gap must interact under 0.2 cutoff"
+        );
         let mut it = pool.iter();
         let a = it.next().unwrap();
         let b = it.next().unwrap();
@@ -133,7 +146,10 @@ mod tests {
         let mut pool = pool_with_two_spheres(1.0);
         let mut grid = UniformSubgrid::new(0.3);
         rebuild_grid(&mut grid, &pool);
-        let params = ContactParams { cutoff: 0.2, strength: 1.0 };
+        let params = ContactParams {
+            cutoff: 0.2,
+            strength: 1.0,
+        };
         let pairs = apply_contact_forces(&mut pool, &grid, params);
         assert_eq!(pairs, 0);
         for c in pool.iter() {
@@ -152,7 +168,10 @@ mod tests {
         pool.insert_shape(CellKind::Rbc, mem, mesh.vertices);
         let mut grid = UniformSubgrid::new(0.5);
         rebuild_grid(&mut grid, &pool);
-        let params = ContactParams { cutoff: 0.4, strength: 1.0 };
+        let params = ContactParams {
+            cutoff: 0.4,
+            strength: 1.0,
+        };
         let pairs = apply_contact_forces(&mut pool, &grid, params);
         assert_eq!(pairs, 0);
     }

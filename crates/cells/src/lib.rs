@@ -18,7 +18,7 @@ pub mod tile;
 
 pub use cell::{Cell, CellId, CellKind};
 pub use contact::{apply_contact_forces, rebuild_grid, ContactParams};
-pub use overlap::{resolve_batch, test_overlap, OverlapOutcome};
+pub use overlap::{centroid_conflict, resolve_batch, test_overlap, OverlapOutcome};
 pub use pool::{CellPool, SlotIndex};
 pub use stats::{cell_axis, deformation_index, suspension_stats, SuspensionStats};
 pub use subgrid::UniformSubgrid;

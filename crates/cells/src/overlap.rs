@@ -6,6 +6,7 @@
 //! tasks, and maintain consistency across task counts by preferentially
 //! removing overlapping cells based on global IDs."
 
+use crate::pool::CellPool;
 use crate::subgrid::UniformSubgrid;
 use apr_mesh::Vec3;
 
@@ -34,6 +35,22 @@ pub fn test_overlap(grid: &UniformSubgrid, vertices: &[Vec3], min_gap: f64) -> O
         hits.sort_unstable();
         OverlapOutcome::Overlaps(hits)
     }
+}
+
+/// Does a candidate centroid sit within `min_centroid_gap` of any live
+/// cell's centroid?
+///
+/// [`test_overlap`] samples **surface vertices** only, so at coarse mesh
+/// resolutions two nearly concentric cells can slip below its radar: every
+/// vertex-to-vertex distance exceeds `min_gap` even though the surfaces
+/// interpenetrate heavily. Same-species cells whose centroids nearly
+/// coincide always overlap regardless of mesh resolution, so insertion
+/// paths pair the vertex test with this centroid floor (conventionally
+/// `2 × min_gap`).
+pub fn centroid_conflict(pool: &CellPool, centroid: Vec3, min_centroid_gap: f64) -> bool {
+    let gap2 = min_centroid_gap * min_centroid_gap;
+    pool.iter()
+        .any(|c| (c.centroid() - centroid).norm_sq() < gap2)
 }
 
 /// Deterministic conflict resolution between two overlapping cells:

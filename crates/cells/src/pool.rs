@@ -182,6 +182,69 @@ impl CellPool {
     pub fn total_cell_volume(&self) -> f64 {
         self.iter().map(|c| c.volume()).sum()
     }
+
+    // --- checkpoint support -------------------------------------------------
+    //
+    // The free list is a stack: its exact order decides which slot the next
+    // insertion lands in, which decides cell iteration order, which decides
+    // floating-point summation order in force spreading. A bit-identical
+    // resume therefore has to restore the free list verbatim, not merely a
+    // set-equivalent one.
+
+    /// The free-slot stack, top last (checkpoint serialization).
+    pub fn free_slots(&self) -> &[SlotIndex] {
+        &self.free
+    }
+
+    /// Next global ID to be assigned (checkpoint serialization).
+    pub fn next_id(&self) -> CellId {
+        self.next_id
+    }
+
+    /// Rebuild a pool from checkpointed layout: slots (dead ones `None`),
+    /// the free stack in its exact saved order, and all counters.
+    ///
+    /// # Panics
+    /// Panics if the free list is inconsistent with the slot occupancy or
+    /// `next_id` does not exceed every live ID — a corrupted layout must
+    /// not produce a silently wrong pool.
+    pub fn from_raw_parts(
+        slots: Vec<Option<Cell>>,
+        free: Vec<SlotIndex>,
+        next_id: CellId,
+        peak_live: usize,
+        total_inserted: u64,
+        total_removed: u64,
+    ) -> Self {
+        let mut seen = vec![false; slots.len()];
+        for &slot in &free {
+            assert!(slot < slots.len(), "free slot {slot} out of range");
+            assert!(slots[slot].is_none(), "free slot {slot} is occupied");
+            assert!(!seen[slot], "free slot {slot} listed twice");
+            seen[slot] = true;
+        }
+        let empty = slots.iter().filter(|s| s.is_none()).count();
+        assert_eq!(
+            free.len(),
+            empty,
+            "free list does not cover every empty slot"
+        );
+        for cell in slots.iter().flatten() {
+            assert!(
+                cell.id < next_id,
+                "live id {} >= next_id {next_id}",
+                cell.id
+            );
+        }
+        Self {
+            slots,
+            free,
+            next_id,
+            peak_live,
+            total_inserted,
+            total_removed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +332,41 @@ mod tests {
         let (_, id) = pool.insert_shape(CellKind::Ctc, mem, verts);
         assert!(pool.find_by_id(id).is_some());
         assert!(pool.find_by_id(id + 1).is_none());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_layout() {
+        let (mem, verts) = membrane();
+        let mut pool = CellPool::with_capacity(4);
+        let (s0, _) = pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), verts.clone());
+        let (_, _) = pool.insert_shape(CellKind::Ctc, Arc::clone(&mem), verts.clone());
+        pool.remove(s0); // free list now ends with s0: next insert reuses it
+        let slots: Vec<Option<Cell>> = (0..pool.capacity()).map(|s| pool.get(s).cloned()).collect();
+        let mut rebuilt = CellPool::from_raw_parts(
+            slots,
+            pool.free_slots().to_vec(),
+            pool.next_id(),
+            pool.peak_live(),
+            pool.total_inserted(),
+            pool.total_removed(),
+        );
+        assert_eq!(rebuilt.live_count(), pool.live_count());
+        assert_eq!(rebuilt.next_id(), pool.next_id());
+        assert_eq!(rebuilt.total_removed(), 1);
+        // The next insertion must claim the same slot and ID as the
+        // original pool would.
+        let (slot_a, id_a) = pool.insert_shape(CellKind::Rbc, Arc::clone(&mem), verts.clone());
+        let (slot_b, id_b) = rebuilt.insert_shape(CellKind::Rbc, mem, verts);
+        assert_eq!((slot_a, id_a), (slot_b, id_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "free list does not cover")]
+    fn inconsistent_raw_parts_rejected() {
+        let pool = CellPool::with_capacity(2);
+        let slots: Vec<Option<Cell>> = (0..2).map(|_| None).collect();
+        // Claims only one free slot for two empty slots.
+        let _ = CellPool::from_raw_parts(slots, vec![0], pool.next_id(), 0, 0, 0);
     }
 
     #[test]

@@ -32,7 +32,11 @@ impl UniformSubgrid {
     /// touch at most 27 bins.
     pub fn new(bin_size: f64) -> Self {
         assert!(bin_size > 0.0, "bin size must be positive, got {bin_size}");
-        Self { bin_size, bins: HashMap::new(), len: 0 }
+        Self {
+            bin_size,
+            bins: HashMap::new(),
+            len: 0,
+        }
     }
 
     #[inline]
@@ -59,7 +63,11 @@ impl UniformSubgrid {
         self.bins
             .entry(self.key(position))
             .or_default()
-            .push(GridEntry { cell_id, vertex, position });
+            .push(GridEntry {
+                cell_id,
+                vertex,
+                position,
+            });
         self.len += 1;
     }
 
@@ -103,7 +111,9 @@ impl UniformSubgrid {
         for bx in lo.0..=hi.0 {
             for by in lo.1..=hi.1 {
                 for bz in lo.2..=hi.2 {
-                    let Some(bin) = self.bins.get(&(bx, by, bz)) else { continue };
+                    let Some(bin) = self.bins.get(&(bx, by, bz)) else {
+                        continue;
+                    };
                     for e in bin {
                         if e.cell_id != exclude_cell && e.position.distance_sq(p) <= r2 {
                             visit(e);

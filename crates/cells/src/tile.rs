@@ -114,7 +114,11 @@ impl RbcTile {
                 }
             }
         }
-        Self { edge, placements, cell_volume }
+        Self {
+            edge,
+            placements,
+            cell_volume,
+        }
     }
 
     /// Achieved hematocrit of the tile.
@@ -164,7 +168,11 @@ impl RbcTile {
                 let rotated = (c - half).rotate_about(axis, angle) + half;
                 // Compose the cube rotation with the cell's own orientation.
                 let cell_axis = p.axis.rotate_about(axis, angle);
-                out.push(Placement { center: rotated, axis: cell_axis, angle: p.angle });
+                out.push(Placement {
+                    center: rotated,
+                    axis: cell_axis,
+                    angle: p.angle,
+                });
             }
         }
         out

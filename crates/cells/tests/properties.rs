@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 fn points_strategy() -> impl Strategy<Value = Vec<(u64, Vec3)>> {
     proptest::collection::vec(
-        (
-            0u64..20,
-            (-20.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64),
-        ),
+        (0u64..20, (-20.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64)),
         1..60,
     )
     .prop_map(|v| {

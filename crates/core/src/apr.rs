@@ -67,11 +67,11 @@ pub struct AprEngine {
     pub tracker: CtcTracker,
     /// Steps between window-maintenance sweeps.
     pub maintenance_interval: u64,
-    geometry: Option<FineGeometry>,
-    rng: StdRng,
-    steps: u64,
-    site_updates: u64,
-    moves: u64,
+    pub(crate) geometry: Option<FineGeometry>,
+    pub(crate) rng: StdRng,
+    pub(crate) steps: u64,
+    pub(crate) site_updates: u64,
+    pub(crate) moves: u64,
 }
 
 impl AprEngine {
@@ -82,6 +82,7 @@ impl AprEngine {
     /// * `proper_half`, `onramp`, `insertion_width` — window anatomy in
     ///   **fine** lattice units; their sum should reach (near) the fine
     ///   domain boundary.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         coarse: Lattice,
         mut fine: Lattice,
@@ -113,7 +114,9 @@ impl AprEngine {
             kernel: DeltaKernel::Cosine4,
             controller: None,
             insertion: None,
-            trigger: MoveTrigger { trigger_distance: proper_half * 0.25 },
+            trigger: MoveTrigger {
+                trigger_distance: proper_half * 0.25,
+            },
             tracker: CtcTracker::new(),
             maintenance_interval: 50,
             geometry: None,
@@ -187,6 +190,9 @@ impl AprEngine {
             if !self.anatomy.contains(centroid) {
                 continue;
             }
+            if apr_cells::centroid_conflict(&self.pool, centroid, 2.0 * ctx.min_gap) {
+                continue;
+            }
             if let apr_cells::OverlapOutcome::Clear =
                 apr_cells::test_overlap(&self.grid, &verts, ctx.min_gap)
             {
@@ -238,8 +244,8 @@ impl AprEngine {
         self.map.restrict(&mut self.coarse, &self.fine);
 
         self.steps += 1;
-        self.site_updates += self.coarse.fluid_node_count() as u64
-            + (self.fine.fluid_node_count() * n) as u64;
+        self.site_updates +=
+            self.coarse.fluid_node_count() as u64 + (self.fine.fluid_node_count() * n) as u64;
 
         // Trajectory + window move.
         if let Some(ctc) = self.ctc_position() {
@@ -251,7 +257,7 @@ impl AprEngine {
         }
 
         // Periodic density maintenance.
-        if self.steps % self.maintenance_interval == 0 {
+        if self.steps.is_multiple_of(self.maintenance_interval) {
             let escaped = remove_escaped_cells(&mut self.pool, &mut self.grid, &self.anatomy);
             report.escaped = escaped;
             if let (Some(controller), Some(ctx)) = (&self.controller, &self.insertion) {

@@ -65,7 +65,11 @@ impl PhysicalConfig {
     /// Δx_f = Δx_c/n, Δt_f = Δt_c/n).
     pub fn fine_units(&self) -> UnitConverter {
         let c = self.coarse_units();
-        UnitConverter::new(c.dx / self.refinement as f64, c.dt / self.refinement as f64, c.rho)
+        UnitConverter::new(
+            c.dx / self.refinement as f64,
+            c.dt / self.refinement as f64,
+            c.rho,
+        )
     }
 
     /// Convert a physical body-force density (N/m³) into coarse lattice
@@ -143,9 +147,7 @@ mod tests {
         // Lattice velocities are identical across grids under convective
         // scaling: u_lat = u_SI·dt/dx has the same value.
         let u = 0.05;
-        assert!(
-            (cc.velocity_to_lattice(u) - fc.velocity_to_lattice(u)).abs() < 1e-15
-        );
+        assert!((cc.velocity_to_lattice(u) - fc.velocity_to_lattice(u)).abs() < 1e-15);
     }
 
     #[test]

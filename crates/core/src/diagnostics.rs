@@ -16,22 +16,30 @@ impl HematocritSeries {
         self.samples.push((step, ht));
     }
 
-    /// Mean over the final `fraction` of samples (steady-state estimate).
-    pub fn steady_mean(&self, fraction: f64) -> f64 {
-        assert!(!self.samples.is_empty(), "no samples");
+    /// The final `fraction` of samples, or `None` when the series is empty.
+    fn steady_tail(&self, fraction: f64) -> Option<&[(u64, f64)]> {
+        if self.samples.is_empty() {
+            return None;
+        }
         let start = ((1.0 - fraction.clamp(0.0, 1.0)) * self.samples.len() as f64) as usize;
-        let tail = &self.samples[start.min(self.samples.len() - 1)..];
-        tail.iter().map(|&(_, h)| h).sum::<f64>() / tail.len() as f64
+        Some(&self.samples[start.min(self.samples.len() - 1)..])
+    }
+
+    /// Mean over the final `fraction` of samples (steady-state estimate).
+    /// `None` when no samples have been recorded yet.
+    pub fn steady_mean(&self, fraction: f64) -> Option<f64> {
+        let tail = self.steady_tail(fraction)?;
+        Some(tail.iter().map(|&(_, h)| h).sum::<f64>() / tail.len() as f64)
     }
 
     /// Peak-to-peak fluctuation over the final `fraction` of samples.
-    pub fn steady_fluctuation(&self, fraction: f64) -> f64 {
-        assert!(!self.samples.is_empty(), "no samples");
-        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * self.samples.len() as f64) as usize;
-        let tail = &self.samples[start.min(self.samples.len() - 1)..];
+    /// `None` when no samples have been recorded yet; `Some(0.0)` for a
+    /// single sample.
+    pub fn steady_fluctuation(&self, fraction: f64) -> Option<f64> {
+        let tail = self.steady_tail(fraction)?;
         let hi = tail.iter().map(|&(_, h)| h).fold(f64::MIN, f64::max);
         let lo = tail.iter().map(|&(_, h)| h).fold(f64::MAX, f64::min);
-        hi - lo
+        Some(hi - lo)
     }
 }
 
@@ -82,13 +90,38 @@ mod tests {
         let mut s = HematocritSeries::default();
         for i in 0..100u64 {
             // Settles to 0.3 with a ±0.01 ripple.
-            let h = if i < 50 { 0.5 - 0.004 * i as f64 } else { 0.3 + 0.01 * ((i % 2) as f64 * 2.0 - 1.0) };
+            let h = if i < 50 {
+                0.5 - 0.004 * i as f64
+            } else {
+                0.3 + 0.01 * ((i % 2) as f64 * 2.0 - 1.0)
+            };
             s.record(i, h);
         }
-        let mean = s.steady_mean(0.3);
+        let mean = s.steady_mean(0.3).unwrap();
         assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
-        let fluct = s.steady_fluctuation(0.3);
+        let fluct = s.steady_fluctuation(0.3).unwrap();
         assert!(fluct <= 0.021, "fluctuation {fluct}");
+    }
+
+    #[test]
+    fn empty_and_short_series_are_guarded() {
+        let empty = HematocritSeries::default();
+        assert_eq!(empty.steady_mean(0.4), None);
+        assert_eq!(empty.steady_fluctuation(0.4), None);
+
+        let mut one = HematocritSeries::default();
+        one.record(0, 0.25);
+        assert_eq!(one.steady_mean(0.4), Some(0.25));
+        assert_eq!(one.steady_fluctuation(0.4), Some(0.0));
+
+        // fraction = 0 still averages at least the final sample.
+        let mut two = HematocritSeries::default();
+        two.record(0, 0.25);
+        two.record(1, 0.75);
+        assert_eq!(two.steady_mean(0.0), Some(0.75));
+        // fraction = 1 covers everything (0.25 and 0.75 are exact binary).
+        assert_eq!(two.steady_mean(1.0), Some(0.5));
+        assert_eq!(two.steady_fluctuation(1.0), Some(0.5));
     }
 
     #[test]
@@ -101,8 +134,8 @@ mod tests {
             lat.step();
         }
         let mu_fluid = lat.lattice_viscosity(); // ρ = 1
-        // Effective radius from the voxelized cross-section (the discrete
-        // tube is slightly smaller than nominal).
+                                                // Effective radius from the voxelized cross-section (the discrete
+                                                // tube is slightly smaller than nominal).
         let r_eff = apr_lattice::setup::effective_tube_radius(&lat);
         let mu_eff = tube_effective_viscosity(&lat, r_eff, g);
         assert!(

@@ -47,8 +47,8 @@ pub struct EfsiEngine {
     pub contact: ContactParams,
     /// IBM delta kernel.
     pub kernel: DeltaKernel,
-    steps: u64,
-    site_updates: u64,
+    pub(crate) steps: u64,
+    pub(crate) site_updates: u64,
 }
 
 impl EfsiEngine {
@@ -68,7 +68,12 @@ impl EfsiEngine {
 
     /// Add a cell with explicit shape vertices (lattice coordinates);
     /// returns its global ID.
-    pub fn add_cell(&mut self, kind: CellKind, membrane: Arc<Membrane>, vertices: Vec<Vec3>) -> u64 {
+    pub fn add_cell(
+        &mut self,
+        kind: CellKind,
+        membrane: Arc<Membrane>,
+        vertices: Vec<Vec3>,
+    ) -> u64 {
         let (_, id) = self.pool.insert_shape(kind, membrane, vertices);
         id
     }
@@ -98,7 +103,10 @@ impl EfsiEngine {
 
     /// Centroid of the first cell of `kind` (e.g. the CTC).
     pub fn centroid_of_first(&self, kind: CellKind) -> Option<Vec3> {
-        self.pool.iter().find(|c| c.kind == kind).map(|c| c.centroid())
+        self.pool
+            .iter()
+            .find(|c| c.kind == kind)
+            .map(|c| c.centroid())
     }
 }
 
@@ -123,7 +131,14 @@ mod tests {
         // A soft sphere in Couette flow must translate downstream with the
         // local fluid velocity without blowing up.
         let lat = couette_channel(24, 18, 16, 1.0, 0.04);
-        let mut eng = EfsiEngine::new(lat, 4, ContactParams { cutoff: 1.0, strength: 1e-4 });
+        let mut eng = EfsiEngine::new(
+            lat,
+            4,
+            ContactParams {
+                cutoff: 1.0,
+                strength: 1e-4,
+            },
+        );
         let (mem, mesh) = sphere_membrane(3.0, 5e-4);
         let verts: Vec<Vec3> = mesh
             .vertices
@@ -157,7 +172,14 @@ mod tests {
     #[test]
     fn volume_is_conserved_through_fsi() {
         let lat = couette_channel(20, 16, 16, 1.0, 0.03);
-        let mut eng = EfsiEngine::new(lat, 4, ContactParams { cutoff: 1.0, strength: 1e-4 });
+        let mut eng = EfsiEngine::new(
+            lat,
+            4,
+            ContactParams {
+                cutoff: 1.0,
+                strength: 1e-4,
+            },
+        );
         let (mem, mesh) = sphere_membrane(3.0, 1e-3);
         let verts: Vec<Vec3> = mesh
             .vertices
@@ -170,9 +192,6 @@ mod tests {
             eng.step();
         }
         let v1 = eng.pool.iter().next().unwrap().volume();
-        assert!(
-            (v1 - v0).abs() / v0 < 0.05,
-            "volume drifted {v0} -> {v1}"
-        );
+        assert!((v1 - v0).abs() / v0 < 0.05, "volume drifted {v0} -> {v1}");
     }
 }

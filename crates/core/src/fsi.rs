@@ -8,7 +8,6 @@ use apr_cells::{apply_contact_forces, rebuild_grid, CellPool, ContactParams, Uni
 use apr_ibm::{interpolate_velocity, DeltaKernel};
 use apr_lattice::Lattice;
 use apr_mesh::Vec3;
-use rayon::prelude::*;
 
 /// Zero all cell force buffers and accumulate membrane elastic forces,
 /// in parallel across cells. Returns total elastic energy.

@@ -12,8 +12,10 @@
 //!   deformable RBCs, and moves with the cell through the vasculature.
 //!
 //! Supporting modules: [`fsi`] (shared IBM/FEM plumbing), [`diagnostics`]
-//! (hematocrit series, effective viscosity — Figure 5's observables) and
-//! [`output`] (CSV/table writers for the benchmark harness).
+//! (hematocrit series, effective viscosity — Figure 5's observables),
+//! [`output`] (CSV/table writers for the benchmark harness) and
+//! [`guardian`] (divergence sentinel, full-engine checkpoint/rollback —
+//! the robustness layer for multi-day campaigns).
 //!
 //! ## Quickstart
 //!
@@ -25,6 +27,7 @@ pub mod config;
 pub mod diagnostics;
 pub mod efsi;
 pub mod fsi;
+pub mod guardian;
 pub mod output;
 pub mod vtk;
 
@@ -34,5 +37,9 @@ pub use diagnostics::{
     mean_axial_velocity, tube_effective_viscosity, tube_flow_rate, HematocritSeries,
 };
 pub use efsi::EfsiEngine;
+pub use guardian::{
+    restore_efsi, restore_engine, restore_engine_from_file, save_efsi, save_engine,
+    save_engine_to_file, GuardedStep, Guardian,
+};
 pub use output::{render_table, write_csv};
 pub use vtk::{cells_to_vtk, lattice_to_vtk, mesh_to_vtk, write_vtk};

@@ -28,9 +28,11 @@ fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> AprEngine {
     // Body force must act on the window fluid too (same pressure gradient);
     // convective scaling: g_fine = g_coarse / n (acceleration × Δt²/Δx).
     fine.body_force = [0.0, 0.0, g / n as f64];
-    let origin = [(nx as f64 - 1.0) / 2.0 - span as f64 / 2.0,
-                  (ny as f64 - 1.0) / 2.0 - span as f64 / 2.0,
-                  4.0];
+    let origin = [
+        (nx as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        (ny as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        4.0,
+    ];
 
     let proper_half = span as f64 * n as f64 * 0.22;
     let onramp = span as f64 * n as f64 * 0.12;
@@ -44,7 +46,10 @@ fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> AprEngine {
         proper_half,
         onramp,
         insertion,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     )
 }
 
@@ -56,10 +61,20 @@ fn rbc_insertion(radius: f64, gs: f64) -> (InsertionContext, HematocritControlle
     let mut rng = StdRng::seed_from_u64(99);
     let volume = rbc_mesh.enclosed_volume();
     let thickness = radius * 0.6;
-    let tile = RbcTileBuilder { radius, thickness, volume }.build(&mut rng);
+    let tile = RbcTileBuilder {
+        radius,
+        thickness,
+        volume,
+    }
+    .build(&mut rng);
     let controller = HematocritController::new(0.12, 0.85, volume);
     (
-        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.8 },
+        InsertionContext {
+            rbc_mesh,
+            rbc_membrane: membrane,
+            tile,
+            min_gap: 0.8,
+        },
         controller,
     )
 }
@@ -107,7 +122,7 @@ fn window_hematocrit_is_maintained_in_tube_flow() {
         assert!(cell.is_finite(), "a cell blew up");
     }
     // Hematocrit near target with bounded fluctuation (Figure 5B behaviour).
-    let steady = series.steady_mean(0.4);
+    let steady = series.steady_mean(0.4).expect("series has samples");
     assert!(
         (steady - target).abs() < 0.6 * target,
         "steady Ht {steady} vs target {target}"
@@ -160,7 +175,11 @@ fn ctc_is_tracked_and_window_moves_with_it() {
         "CTC outside window interior"
     );
     // The cell survived the moves intact.
-    let cell = eng.pool.iter().find(|c| c.kind == apr_cells::CellKind::Ctc).unwrap();
+    let cell = eng
+        .pool
+        .iter()
+        .find(|c| c.kind == apr_cells::CellKind::Ctc)
+        .unwrap();
     assert!(cell.is_finite());
 }
 
@@ -170,8 +189,7 @@ fn apr_site_updates_are_far_below_equivalent_efsi() {
     // APR window + coarse bulk touches far fewer sites than a fully fine
     // lattice over the same domain.
     let eng = tube_engine(3, 96, 6e-6);
-    let apr_sites_per_step = eng.coarse.fluid_node_count()
-        + eng.fine.fluid_node_count() * 3;
+    let apr_sites_per_step = eng.coarse.fluid_node_count() + eng.fine.fluid_node_count() * 3;
     // Equivalent eFSI: the whole coarse domain at fine resolution, stepped
     // at the fine rate (n substeps per coarse step).
     let efsi_sites_per_step = eng.coarse.fluid_node_count() * 27 * 3;

@@ -15,7 +15,12 @@ use std::sync::Arc;
 fn small_engine(n: usize) -> AprEngine {
     let coarse = Lattice::new(24, 24, 24, 0.9);
     let span = 8usize;
-    let fine = Lattice::new(span * n + 1, span * n + 1, span * n + 1, fine_tau(0.9, n, 0.3));
+    let fine = Lattice::new(
+        span * n + 1,
+        span * n + 1,
+        span * n + 1,
+        fine_tau(0.9, n, 0.3),
+    );
     AprEngine::new(
         coarse,
         fine,
@@ -25,7 +30,10 @@ fn small_engine(n: usize) -> AprEngine {
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.0, strength: 1e-4 },
+        ContactParams {
+            cutoff: 1.0,
+            strength: 1e-4,
+        },
     )
 }
 
@@ -98,7 +106,10 @@ fn physical_config_drives_engine_parameters() {
         4.0,
         2.0,
         2.0,
-        ContactParams { cutoff: 1.0, strength: 1e-4 },
+        ContactParams {
+            cutoff: 1.0,
+            strength: 1e-4,
+        },
     );
     assert!((eng.fine.tau - cfg.tau_fine()).abs() < 1e-12);
     assert!((eng.map.lambda - 0.3).abs() < 1e-12);

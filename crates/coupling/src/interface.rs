@@ -148,7 +148,14 @@ impl CouplingMap {
             }
         }
 
-        Self { n, lambda, origin, shell, restrict_pairs, neq_transfer: true }
+        Self {
+            n,
+            lambda,
+            origin,
+            shell,
+            restrict_pairs,
+            neq_transfer: true,
+        }
     }
 
     /// Coarse-lattice coordinates of a fine node.
@@ -228,8 +235,8 @@ impl CouplingMap {
                 0.0
             };
             let mut fi = [0.0; Q];
-            for i in 0..Q {
-                fi[i] = old.f[s][i] * (1.0 - theta) + new.f[s][i] * theta;
+            for (i, f) in fi.iter_mut().enumerate() {
+                *f = old.f[s][i] * (1.0 - theta) + new.f[s][i] * theta;
             }
             let (rho, u) = moments(&fi);
             let feq = equilibrium_all(rho, u[0], u[1], u[2]);

@@ -21,7 +21,10 @@
 pub fn fine_tau(tau_c: f64, n: usize, lambda: f64) -> f64 {
     assert!(tau_c > 0.5, "coarse tau must exceed 1/2, got {tau_c}");
     assert!(n >= 1, "refinement ratio must be at least 1");
-    assert!(lambda > 0.0, "viscosity ratio must be positive, got {lambda}");
+    assert!(
+        lambda > 0.0,
+        "viscosity ratio must be positive, got {lambda}"
+    );
     0.5 + n as f64 * lambda * (tau_c - 0.5)
 }
 

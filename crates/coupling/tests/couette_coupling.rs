@@ -35,21 +35,20 @@ fn build(n: usize, lambda: f64) -> CoupledCouette {
     fine.periodic = [true, false, true];
 
     let mut coarse = coarse;
-    let map = CouplingMap::new(
-        &coarse,
-        &fine,
-        [0.0, y_lo as f64, 0.0],
-        n,
-        lambda,
-        1.0,
-    );
+    let map = CouplingMap::new(&coarse, &fine, [0.0, y_lo as f64, 0.0], n, lambda, 1.0);
     // Fluid-only window: the window region physically holds the λ-viscosity
     // fluid, so the coarse footprint carries the λ-scaled relaxation time.
     map.apply_window_viscosity(&mut coarse, &fine);
     map.seed_fine_from_coarse(&coarse, &mut fine);
 
     let analytic = ThreeLayerCouette::new([7.5, 8.0, 8.5], [1.0, lambda, 1.0], u_lid);
-    CoupledCouette { coarse, fine, map, u_lid, analytic }
+    CoupledCouette {
+        coarse,
+        fine,
+        map,
+        u_lid,
+        analytic,
+    }
 }
 
 /// Run the coupled problem to steady state and return (bulk L2, window L2)
@@ -132,7 +131,7 @@ fn window_shear_rate_is_amplified_by_viscosity_contrast() {
     let u_hi = sys.fine.velocity_at(sys.fine.idx(2, mid + 2, 2))[0];
     let u_lo = sys.fine.velocity_at(sys.fine.idx(2, mid - 2, 2))[0];
     let window_rate = (u_hi - u_lo) / (4.0 / n); // per coarse spacing
-    // Shear rate in region 1 (coarse).
+                                                 // Shear rate in region 1 (coarse).
     let u4 = sys.coarse.velocity_at(sys.coarse.idx(2, 4, 2))[0];
     let u2 = sys.coarse.velocity_at(sys.coarse.idx(2, 2, 2))[0];
     let bulk_rate = (u4 - u2) / 2.0;

@@ -126,8 +126,15 @@ pub fn open_tree_flow(
             |lat, node| lat.set_pressure_bc(node, 1.0),
         );
     }
-    assert!(outlet_nodes > 0, "no outlet nodes stamped — check origin/dx");
-    TreeFlowPorts { inlet_nodes, outlet_nodes, outlets: leaves.len() }
+    assert!(
+        outlet_nodes > 0,
+        "no outlet nodes stamped — check origin/dx"
+    );
+    TreeFlowPorts {
+        inlet_nodes,
+        outlet_nodes,
+        outlets: leaves.len(),
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +149,10 @@ mod tests {
     fn leaves_of_a_three_level_tree() {
         let mut rng = StdRng::seed_from_u64(1);
         let tree = VascularTree::grow(
-            &TreeParams { levels: 3, ..Default::default() },
+            &TreeParams {
+                levels: 3,
+                ..Default::default()
+            },
             Vec3::ZERO,
             Vec3::Z,
             &mut rng,

@@ -32,7 +32,11 @@ impl Cylinder {
     /// New cylinder.
     pub fn new(origin: Vec3, axis: Vec3, radius: f64) -> Self {
         assert!(radius > 0.0, "radius must be positive");
-        Self { origin, axis: axis.normalized(), radius }
+        Self {
+            origin,
+            axis: axis.normalized(),
+            radius,
+        }
     }
 }
 
@@ -198,7 +202,10 @@ mod tests {
 
     #[test]
     fn box_lumen_sign_convention() {
-        let b = BoxLumen { min: Vec3::ZERO, max: Vec3::splat(4.0) };
+        let b = BoxLumen {
+            min: Vec3::ZERO,
+            max: Vec3::splat(4.0),
+        };
         assert!(b.contains(Vec3::splat(2.0)));
         assert!(!b.contains(Vec3::splat(5.0)));
         assert!((b.distance(Vec3::new(2.0, 2.0, 6.0)) - 2.0).abs() < 1e-12);
@@ -209,7 +216,11 @@ mod tests {
     fn union_takes_minimum() {
         let u = Union(vec![
             Box::new(Capsule::new(Vec3::ZERO, Vec3::X, 0.5)),
-            Box::new(Capsule::new(Vec3::new(5.0, 0.0, 0.0), Vec3::new(6.0, 0.0, 0.0), 0.5)),
+            Box::new(Capsule::new(
+                Vec3::new(5.0, 0.0, 0.0),
+                Vec3::new(6.0, 0.0, 0.0),
+                0.5,
+            )),
         ]);
         assert!(u.contains(Vec3::new(0.5, 0.0, 0.0)));
         assert!(u.contains(Vec3::new(5.5, 0.0, 0.0)));

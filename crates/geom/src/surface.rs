@@ -55,7 +55,11 @@ pub fn merge_meshes(a: &TriMesh, b: &TriMesh) -> TriMesh {
     let mut vertices = a.vertices.clone();
     vertices.extend_from_slice(&b.vertices);
     let mut triangles = a.triangles.clone();
-    triangles.extend(b.triangles.iter().map(|t| [t[0] + offset, t[1] + offset, t[2] + offset]));
+    triangles.extend(
+        b.triangles
+            .iter()
+            .map(|t| [t[0] + offset, t[1] + offset, t[2] + offset]),
+    );
     TriMesh::new(vertices, triangles)
 }
 
@@ -118,7 +122,10 @@ mod tests {
     fn tree_surface_round_trips_through_off() {
         let mut rng = StdRng::seed_from_u64(2);
         let tree = VascularTree::grow(
-            &TreeParams { levels: 2, ..Default::default() },
+            &TreeParams {
+                levels: 2,
+                ..Default::default()
+            },
             Vec3::ZERO,
             Vec3::Z,
             &mut rng,
@@ -136,7 +143,11 @@ mod tests {
     fn surface_vertices_lie_on_sdf_zero_set() {
         let mut rng = StdRng::seed_from_u64(3);
         let tree = VascularTree::grow(
-            &TreeParams { levels: 2, jitter: 0.0, ..Default::default() },
+            &TreeParams {
+                levels: 2,
+                jitter: 0.0,
+                ..Default::default()
+            },
             Vec3::ZERO,
             Vec3::Z,
             &mut rng,

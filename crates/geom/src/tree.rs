@@ -67,7 +67,12 @@ impl Default for TreeParams {
 
 impl VascularTree {
     /// Grow a tree from `root_start` along `direction`.
-    pub fn grow<R: Rng>(params: &TreeParams, root_start: Vec3, direction: Vec3, rng: &mut R) -> Self {
+    pub fn grow<R: Rng>(
+        params: &TreeParams,
+        root_start: Vec3,
+        direction: Vec3,
+        rng: &mut R,
+    ) -> Self {
         assert!(params.levels >= 1);
         assert!((0.0..1.0).contains(&params.asymmetry) && params.asymmetry > 0.0);
         let mut segments = Vec::new();
@@ -129,8 +134,12 @@ impl VascularTree {
             self.segments
                 .iter()
                 .map(|s| {
-                    Box::new(TaperedCapsule { a: s.a, b: s.b, ra: s.ra, rb: s.rb })
-                        as Box<dyn Sdf>
+                    Box::new(TaperedCapsule {
+                        a: s.a,
+                        b: s.b,
+                        ra: s.ra,
+                        rb: s.rb,
+                    }) as Box<dyn Sdf>
                 })
                 .collect(),
         )

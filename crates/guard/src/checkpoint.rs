@@ -1,0 +1,241 @@
+//! Versioned, CRC-protected checkpoint container.
+//!
+//! A checkpoint is a set of named binary sections behind a magic/version
+//! header. Each section carries its own CRC32 so corruption is localized
+//! to a section name in the error message, and writes to disk go through a
+//! temp-file + rename so a crash mid-write can never destroy the previous
+//! good checkpoint.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! "APRGUARD"  magic, 8 bytes
+//! version     u32
+//! count       u32
+//! count × [ name_len u8 | name | payload_len u64 | payload | crc32 u32 ]
+//! ```
+
+use crate::codec::{crc32, ByteReader, ByteWriter};
+use crate::error::GuardError;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"APRGUARD";
+
+/// Current container format version.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Builder for a multi-section checkpoint blob.
+#[derive(Debug, Default)]
+pub struct CheckpointWriter {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl CheckpointWriter {
+    /// New empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named section. Names must be unique and at most 255 bytes.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) -> &mut Self {
+        debug_assert!(name.len() <= u8::MAX as usize, "section name too long");
+        debug_assert!(
+            self.sections.iter().all(|(n, _)| n != name),
+            "duplicate section {name}"
+        );
+        self.sections.push((name.to_string(), payload));
+        self
+    }
+
+    /// Serialize the container to bytes.
+    pub fn finish(self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u32(FORMAT_VERSION);
+        w.u32(self.sections.len() as u32);
+        for (name, payload) in &self.sections {
+            w.u8(name.len() as u8);
+            w.bytes(name.as_bytes());
+            w.u64(payload.len() as u64);
+            w.bytes(payload);
+            w.u32(crc32(payload));
+        }
+        w.into_bytes()
+    }
+}
+
+/// Parsed checkpoint with CRC-verified sections.
+#[derive(Debug)]
+pub struct CheckpointReader<'a> {
+    version: u32,
+    sections: Vec<(String, &'a [u8])>,
+}
+
+impl<'a> CheckpointReader<'a> {
+    /// Parse and verify a checkpoint blob. Every section's CRC is checked
+    /// up front; corruption yields [`GuardError::Crc`] naming the section.
+    pub fn parse(data: &'a [u8]) -> Result<Self, GuardError> {
+        let mut r = ByteReader::new(data);
+        let magic = r.bytes(8)?;
+        if magic != MAGIC {
+            return Err(GuardError::Format("bad magic header".into()));
+        }
+        let version = r.u32()?;
+        if version > FORMAT_VERSION {
+            return Err(GuardError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = r.u32()?;
+        let mut sections = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let name_len = r.u8()? as usize;
+            let name = std::str::from_utf8(r.bytes(name_len)?)
+                .map_err(|e| GuardError::Format(format!("section name not UTF-8: {e}")))?
+                .to_string();
+            let payload_len = r.usize()?;
+            let payload = r.bytes(payload_len)?;
+            let expected = r.u32()?;
+            let actual = crc32(payload);
+            if actual != expected {
+                return Err(GuardError::Crc {
+                    section: name,
+                    expected,
+                    actual,
+                });
+            }
+            sections.push((name, payload));
+        }
+        Ok(Self { version, sections })
+    }
+
+    /// Format version the blob was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Section names in file order.
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Payload of an optional section.
+    pub fn get(&self, name: &str) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, p)| p)
+    }
+
+    /// Payload of a required section, as a reader.
+    pub fn require(&self, name: &str) -> Result<ByteReader<'a>, GuardError> {
+        self.get(name)
+            .map(ByteReader::new)
+            .ok_or_else(|| GuardError::MissingSection(name.to_string()))
+    }
+}
+
+/// Atomically write `bytes` to `path`: write to `<path>.tmp` in the same
+/// directory, fsync, then rename over the target. A crash mid-write leaves
+/// the previous checkpoint untouched.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), GuardError> {
+    let tmp = path.with_extension("tmp");
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a checkpoint file fully into memory.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, GuardError> {
+    Ok(std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut w = CheckpointWriter::new();
+        w.section("meta", vec![1, 2, 3]);
+        w.section("fields", (0..64).collect());
+        w.finish()
+    }
+
+    #[test]
+    fn sections_round_trip() {
+        let blob = sample();
+        let r = CheckpointReader::parse(&blob).unwrap();
+        assert_eq!(r.version(), FORMAT_VERSION);
+        assert_eq!(r.section_names().collect::<Vec<_>>(), ["meta", "fields"]);
+        assert_eq!(r.get("meta").unwrap(), &[1, 2, 3]);
+        assert_eq!(r.get("fields").unwrap().len(), 64);
+        assert!(r.get("nope").is_none());
+        assert!(matches!(
+            r.require("nope"),
+            Err(GuardError::MissingSection(n)) if n == "nope"
+        ));
+    }
+
+    #[test]
+    fn bit_flip_is_reported_as_crc_error_with_section_name() {
+        let mut blob = sample();
+        // Flip a bit inside the "fields" payload (tail of the blob, before
+        // its trailing CRC).
+        let idx = blob.len() - 10;
+        blob[idx] ^= 0x40;
+        match CheckpointReader::parse(&blob) {
+            Err(GuardError::Crc {
+                section,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(section, "fields");
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected Crc error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut blob = sample();
+        // Version field sits right after the 8-byte magic.
+        blob[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            CheckpointReader::parse(&blob),
+            Err(GuardError::Version { found, .. }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn truncated_blob_is_a_format_error() {
+        let blob = sample();
+        let cut = &blob[..blob.len() - 7];
+        assert!(matches!(
+            CheckpointReader::parse(cut),
+            Err(GuardError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_replaces() {
+        let dir = std::env::temp_dir().join("apr-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.bin");
+        write_atomic(&path, &[9, 9, 9]).unwrap();
+        write_atomic(&path, &sample()).unwrap();
+        let back = read_file(&path).unwrap();
+        assert!(CheckpointReader::parse(&back).is_ok());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed errors for checkpointing and recovery.
+
+use std::fmt;
+
+/// Everything that can go wrong while guarding a simulation: checkpoint
+/// I/O and format problems, integrity failures, and exhausted retry
+/// budgets. Corruption is always reported as a value, never a panic, so a
+/// campaign driver can fall back to an older checkpoint.
+#[derive(Debug)]
+pub enum GuardError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or truncated checkpoint data.
+    Format(String),
+    /// A section's payload failed its CRC32 integrity check.
+    Crc {
+        /// Section whose payload was corrupted.
+        section: String,
+        /// Checksum recorded at save time.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// The checkpoint was written by an unsupported format version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// A required section is absent from the container.
+    MissingSection(String),
+    /// Rollback-and-retry gave up after the configured attempt budget.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Step at which recovery was abandoned.
+        step: u64,
+    },
+    /// Engine state needed for restore is unavailable (e.g. no membrane
+    /// model to rebuild a stored cell with).
+    MissingContext(String),
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            GuardError::Format(m) => write!(f, "checkpoint format error: {m}"),
+            GuardError::Crc { section, expected, actual } => write!(
+                f,
+                "checkpoint section '{section}' corrupted: crc {actual:#010x} != recorded {expected:#010x}"
+            ),
+            GuardError::Version { found, supported } => write!(
+                f,
+                "checkpoint version {found} not supported (this build reads <= {supported})"
+            ),
+            GuardError::MissingSection(name) => {
+                write!(f, "checkpoint is missing required section '{name}'")
+            }
+            GuardError::RetriesExhausted { attempts, step } => write!(
+                f,
+                "recovery abandoned at step {step} after {attempts} rollback attempts"
+            ),
+            GuardError::MissingContext(m) => write!(f, "restore context missing: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GuardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GuardError {
+    fn from(e: std::io::Error) -> Self {
+        GuardError::Io(e)
+    }
+}

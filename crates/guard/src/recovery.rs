@@ -1,0 +1,209 @@
+//! Rollback-and-retry policy and the structured recovery log.
+//!
+//! When the sentinel trips, the engine restores its last good checkpoint
+//! and perturbs the retry so the same trajectory isn't replayed into the
+//! same blow-up: the insertion RNG is reseeded and, optionally, the fine
+//! relaxation time is tightened toward stability (raising τ raises the
+//! lattice viscosity `ν = c_s²(τ − 1/2)`, paper Eq. 7, damping the
+//! oscillations that caused the trip).
+
+use crate::health::HealthReport;
+
+/// Knobs for the rollback-and-retry loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Rollbacks allowed per incident before giving up. Progress (a
+    /// healthy sentinel pass) resets the budget.
+    pub max_retries: u32,
+    /// Base for deriving fresh RNG seeds on retry; attempt `k` uses
+    /// `reseed_base + k` so each retry explores a different insertion
+    /// stream.
+    pub reseed_base: u64,
+    /// Multiply the fine lattice's τ excess over 1/2 by this factor on
+    /// each retry (`None` = leave τ alone). Values > 1 raise viscosity
+    /// and damp instabilities; 1.25 is a gentle default.
+    pub tau_tighten: Option<f64>,
+    /// Upper bound on τ when tightening (BGK accuracy degrades past ~2).
+    pub tau_max: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            reseed_base: 0x9E37_79B9,
+            tau_tighten: None,
+            tau_max: 1.9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Seed for retry attempt `k` (1-based).
+    pub fn seed_for_attempt(&self, attempt: u32) -> u64 {
+        self.reseed_base.wrapping_add(attempt as u64)
+    }
+
+    /// Tightened τ for a retry, clamped to `tau_max`. Identity when
+    /// tightening is disabled.
+    pub fn tighten_tau(&self, tau: f64) -> f64 {
+        match self.tau_tighten {
+            Some(factor) => (0.5 + (tau - 0.5) * factor).min(self.tau_max),
+            None => tau,
+        }
+    }
+}
+
+/// What the guardian did about an unhealthy report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// State restored from the last good checkpoint; RNG reseeded with the
+    /// recorded seed; τ possibly tightened.
+    RolledBack {
+        /// Step the engine was rolled back to.
+        restored_step: u64,
+        /// New insertion-RNG seed.
+        new_seed: u64,
+        /// Fine-lattice τ after tightening (equal to before when
+        /// tightening is off).
+        fine_tau: f64,
+    },
+    /// Retry budget exhausted; the incident was fatal.
+    GaveUp,
+}
+
+/// One recovery incident: the report that tripped and what was done.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Step at which the sentinel tripped.
+    pub step: u64,
+    /// Retry attempt number within the current incident (1-based).
+    pub attempt: u32,
+    /// The failing health report.
+    pub report: HealthReport,
+    /// Action taken.
+    pub action: RecoveryAction,
+}
+
+/// Append-only log of recovery incidents for post-mortem analysis.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryLog {
+    /// Events in chronological order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryLog {
+    /// New empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, event: RecoveryEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of rollbacks performed over the whole run.
+    pub fn rollback_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.action, RecoveryAction::RolledBack { .. }))
+            .count()
+    }
+
+    /// Human-readable one-line-per-event summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            match &e.action {
+                RecoveryAction::RolledBack {
+                    restored_step,
+                    new_seed,
+                    fine_tau,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "step {}: {} issue(s), attempt {} -> rolled back to step {} (seed {:#x}, fine tau {:.4})",
+                        e.step,
+                        e.report.issues.len(),
+                        e.attempt,
+                        restored_step,
+                        new_seed,
+                        fine_tau
+                    );
+                }
+                RecoveryAction::GaveUp => {
+                    let _ = writeln!(
+                        out,
+                        "step {}: {} issue(s), attempt {} -> gave up",
+                        e.step,
+                        e.report.issues.len(),
+                        e.attempt
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthIssue;
+
+    #[test]
+    fn tau_tightening_raises_and_clamps() {
+        let p = RetryPolicy {
+            tau_tighten: Some(2.0),
+            tau_max: 1.5,
+            ..RetryPolicy::default()
+        };
+        // 0.6 -> 0.5 + 0.1*2 = 0.7
+        assert!((p.tighten_tau(0.6) - 0.7).abs() < 1e-12);
+        // clamp at tau_max
+        assert_eq!(p.tighten_tau(1.4), 1.5);
+        // disabled => identity
+        let off = RetryPolicy {
+            tau_tighten: None,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(off.tighten_tau(0.6), 0.6);
+    }
+
+    #[test]
+    fn seeds_differ_per_attempt() {
+        let p = RetryPolicy::default();
+        assert_ne!(p.seed_for_attempt(1), p.seed_for_attempt(2));
+    }
+
+    #[test]
+    fn log_counts_and_summarizes() {
+        let mut log = RecoveryLog::new();
+        let report = HealthReport {
+            step: 120,
+            issues: vec![HealthIssue::CellNonFinite { cell_id: 7 }],
+        };
+        log.record(RecoveryEvent {
+            step: 120,
+            attempt: 1,
+            report: report.clone(),
+            action: RecoveryAction::RolledBack {
+                restored_step: 100,
+                new_seed: 42,
+                fine_tau: 0.8,
+            },
+        });
+        log.record(RecoveryEvent {
+            step: 140,
+            attempt: 4,
+            report,
+            action: RecoveryAction::GaveUp,
+        });
+        assert_eq!(log.rollback_count(), 1);
+        let s = log.summary();
+        assert!(s.contains("rolled back to step 100"), "{s}");
+        assert!(s.contains("gave up"), "{s}");
+    }
+}

@@ -37,7 +37,11 @@ impl ThreeLayerCouette {
         for (i, &mu) in viscosities.iter().enumerate() {
             assert!(mu > 0.0, "layer {i} viscosity must be positive, got {mu}");
         }
-        Self { heights, viscosities, u_top }
+        Self {
+            heights,
+            viscosities,
+            u_top,
+        }
     }
 
     /// The paper's configuration: equal layer heights `h`, outer layers at
@@ -117,8 +121,15 @@ impl PoiseuilleTube {
     pub fn new(radius: f64, length: f64, viscosity: f64) -> Self {
         assert!(radius > 0.0, "radius must be positive, got {radius}");
         assert!(length > 0.0, "length must be positive, got {length}");
-        assert!(viscosity > 0.0, "viscosity must be positive, got {viscosity}");
-        Self { radius, length, viscosity }
+        assert!(
+            viscosity > 0.0,
+            "viscosity must be positive, got {viscosity}"
+        );
+        Self {
+            radius,
+            length,
+            viscosity,
+        }
     }
 
     /// Axial velocity at radial position `r` given pressure drop `dp`:
@@ -181,7 +192,11 @@ impl PoiseuilleSlit {
     /// New slit problem; all parameters must be positive.
     pub fn new(height: f64, length: f64, viscosity: f64) -> Self {
         assert!(height > 0.0 && length > 0.0 && viscosity > 0.0);
-        Self { height, length, viscosity }
+        Self {
+            height,
+            length,
+            viscosity,
+        }
     }
 
     /// Velocity at wall-normal position `y ∈ [0, h]` for pressure drop `dp`:

@@ -1,5 +1,62 @@
 //! Error norms used to score simulations against analytic references
-//! (Table 1 of the paper reports relative L2 norms).
+//! (Table 1 of the paper reports relative L2 norms), plus the typed
+//! configuration error returned by fallible constructors.
+
+use std::fmt;
+
+/// A physically invalid configuration parameter, reported instead of a
+/// panic by the `try_*` constructors ([`crate::UnitConverter::try_new`],
+/// [`crate::UnitConverter::try_from_viscosity`], and downstream users such
+/// as the hematocrit controller).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A scale that must be strictly positive and finite was not.
+    NonPositive {
+        /// Parameter name, e.g. `"dx"`.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A parameter fell outside its physical range `[min, max]`.
+    OutOfRange {
+        /// Parameter name, e.g. `"target hematocrit"`.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Relaxation time τ ≤ 1/2 implies non-positive viscosity.
+    UnphysicalTau {
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { name, value } => {
+                write!(f, "{name} must be positive and finite, got {value}")
+            }
+            ConfigError::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => {
+                write!(f, "{name} = {value} outside [{min}, {max}]")
+            }
+            ConfigError::UnphysicalTau { value } => {
+                write!(f, "tau must exceed 1/2 for positive viscosity, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Relative L2 error norm between `simulated` and `reference` samples:
 /// `‖u_sim − u_ref‖₂ / ‖u_ref‖₂`.
@@ -9,7 +66,10 @@
 /// zero norm.
 pub fn l2_error_norm(simulated: &[f64], reference: &[f64]) -> f64 {
     assert_eq!(simulated.len(), reference.len(), "sample counts must match");
-    assert!(!simulated.is_empty(), "cannot compute a norm of zero samples");
+    assert!(
+        !simulated.is_empty(),
+        "cannot compute a norm of zero samples"
+    );
     let mut num = 0.0;
     let mut den = 0.0;
     for (&s, &r) in simulated.iter().zip(reference) {
@@ -26,7 +86,10 @@ pub fn l2_error_norm(simulated: &[f64], reference: &[f64]) -> f64 {
 /// Same conditions as [`l2_error_norm`].
 pub fn linf_error_norm(simulated: &[f64], reference: &[f64]) -> f64 {
     assert_eq!(simulated.len(), reference.len(), "sample counts must match");
-    assert!(!simulated.is_empty(), "cannot compute a norm of zero samples");
+    assert!(
+        !simulated.is_empty(),
+        "cannot compute a norm of zero samples"
+    );
     let num = simulated
         .iter()
         .zip(reference)

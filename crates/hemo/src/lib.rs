@@ -19,7 +19,7 @@ pub mod units;
 
 pub use analytic::{PoiseuilleTube, ThreeLayerCouette};
 pub use constants::*;
-pub use error::{l2_error_norm, linf_error_norm};
+pub use error::{l2_error_norm, linf_error_norm, ConfigError};
 pub use pries::{
     discharge_from_tube_hematocrit, fahraeus_tube_hematocrit, relative_apparent_viscosity,
 };

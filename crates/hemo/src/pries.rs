@@ -32,7 +32,10 @@
 /// Panics if `d_um` is not positive or `ht_d` is outside `[0, 1)`.
 pub fn relative_apparent_viscosity(d_um: f64, ht_d: f64) -> f64 {
     assert!(d_um > 0.0, "tube diameter must be positive, got {d_um}");
-    assert!((0.0..1.0).contains(&ht_d), "discharge hematocrit must be in [0,1), got {ht_d}");
+    assert!(
+        (0.0..1.0).contains(&ht_d),
+        "discharge hematocrit must be in [0,1), got {ht_d}"
+    );
     if ht_d == 0.0 {
         return 1.0;
     }
@@ -73,7 +76,10 @@ pub fn shape_exponent(d_um: f64) -> f64 {
 /// large tubes.
 pub fn fahraeus_ratio(d_um: f64, ht_d: f64) -> f64 {
     assert!(d_um > 0.0, "tube diameter must be positive, got {d_um}");
-    assert!((0.0..1.0).contains(&ht_d), "discharge hematocrit must be in [0,1), got {ht_d}");
+    assert!(
+        (0.0..1.0).contains(&ht_d),
+        "discharge hematocrit must be in [0,1), got {ht_d}"
+    );
     ht_d + (1.0 - ht_d) * (1.0 + 1.7 * (-0.415 * d_um).exp() - 0.6 * (-0.011 * d_um).exp())
 }
 
@@ -90,7 +96,10 @@ pub fn fahraeus_tube_hematocrit(d_um: f64, ht_d: f64) -> f64 {
 /// viscosity law of Eq. 9. Solved by bisection; Eq. 11 is monotone in
 /// `Ht_d` over the physical range.
 pub fn discharge_from_tube_hematocrit(d_um: f64, ht_t: f64) -> f64 {
-    assert!((0.0..1.0).contains(&ht_t), "tube hematocrit must be in [0,1), got {ht_t}");
+    assert!(
+        (0.0..1.0).contains(&ht_t),
+        "tube hematocrit must be in [0,1), got {ht_t}"
+    );
     if ht_t == 0.0 {
         return 0.0;
     }
@@ -129,7 +138,10 @@ mod tests {
         let mut prev = relative_apparent_viscosity(d, 0.0);
         for ht in [0.1, 0.2, 0.3, 0.45, 0.6] {
             let mu = relative_apparent_viscosity(d, ht);
-            assert!(mu > prev, "μ_rel must rise with Ht: {mu} !> {prev} at Ht={ht}");
+            assert!(
+                mu > prev,
+                "μ_rel must rise with Ht: {mu} !> {prev} at Ht={ht}"
+            );
             prev = mu;
         }
     }
@@ -150,8 +162,14 @@ mod tests {
         let ratio_small = fahraeus_ratio(15.0, 0.45);
         let ratio_large = fahraeus_ratio(500.0, 0.45);
         assert!(ratio_small < ratio_large);
-        assert!(ratio_small > 0.5 && ratio_small < 1.0, "ratio = {ratio_small}");
-        assert!(ratio_large > 0.95 && ratio_large <= 1.0, "ratio = {ratio_large}");
+        assert!(
+            ratio_small > 0.5 && ratio_small < 1.0,
+            "ratio = {ratio_small}"
+        );
+        assert!(
+            ratio_large > 0.95 && ratio_large <= 1.0,
+            "ratio = {ratio_large}"
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! derives every other conversion from them, mirroring how HARVEY-style codes
 //! parameterize a run from `(Δx, Δt or τ, ρ)`.
 
+use crate::error::ConfigError;
+
 /// Lattice speed of sound squared for the D3Q19 model, `c_s² = 1/3`.
 pub const CS2: f64 = 1.0 / 3.0;
 
@@ -37,15 +39,46 @@ pub struct UnitConverter {
 }
 
 impl UnitConverter {
+    /// New converter from explicit scales. All must be positive and finite;
+    /// invalid scales are reported as a [`ConfigError`] rather than a panic
+    /// so driver code can surface them to the operator.
+    pub fn try_new(dx: f64, dt: f64, rho: f64) -> Result<Self, ConfigError> {
+        for (name, value) in [("dx", dx), ("dt", dt), ("rho", rho)] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(ConfigError::NonPositive { name, value });
+            }
+        }
+        Ok(Self { dx, dt, rho })
+    }
+
     /// New converter from explicit scales. All must be positive.
     ///
     /// # Panics
-    /// Panics if any scale is not strictly positive and finite.
+    /// Panics if any scale is not strictly positive and finite. Use
+    /// [`UnitConverter::try_new`] to handle the error instead.
     pub fn new(dx: f64, dt: f64, rho: f64) -> Self {
-        assert!(dx > 0.0 && dx.is_finite(), "dx must be positive, got {dx}");
-        assert!(dt > 0.0 && dt.is_finite(), "dt must be positive, got {dt}");
-        assert!(rho > 0.0 && rho.is_finite(), "rho must be positive, got {rho}");
-        Self { dx, dt, rho }
+        Self::try_new(dx, dt, rho).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`UnitConverter::from_viscosity`].
+    pub fn try_from_viscosity(
+        dx: f64,
+        nu_si: f64,
+        tau: f64,
+        rho: f64,
+    ) -> Result<Self, ConfigError> {
+        if tau.is_nan() || tau <= 0.5 {
+            return Err(ConfigError::UnphysicalTau { value: tau });
+        }
+        if !(nu_si.is_finite() && nu_si > 0.0) {
+            return Err(ConfigError::NonPositive {
+                name: "kinematic viscosity",
+                value: nu_si,
+            });
+        }
+        let nu_lattice = CS2 * (tau - 0.5);
+        let dt = nu_lattice * dx * dx / nu_si;
+        Self::try_new(dx, dt, rho)
     }
 
     /// Choose `Δt` so that the physical kinematic viscosity `nu_si` (m²/s)
@@ -54,13 +87,10 @@ impl UnitConverter {
     /// From `ν_lattice = c_s²(τ − 1/2)` and `ν_lattice = ν_SI·Δt/Δx²`.
     ///
     /// # Panics
-    /// Panics if `tau <= 0.5` (unphysical: non-positive viscosity).
+    /// Panics if `tau <= 0.5` (unphysical: non-positive viscosity). Use
+    /// [`UnitConverter::try_from_viscosity`] to handle the error instead.
     pub fn from_viscosity(dx: f64, nu_si: f64, tau: f64, rho: f64) -> Self {
-        assert!(tau > 0.5, "tau must exceed 1/2 for positive viscosity, got {tau}");
-        assert!(nu_si > 0.0, "kinematic viscosity must be positive, got {nu_si}");
-        let nu_lattice = CS2 * (tau - 0.5);
-        let dt = nu_lattice * dx * dx / nu_si;
-        Self::new(dx, dt, rho)
+        Self::try_from_viscosity(dx, nu_si, tau, rho).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Relaxation time realizing a physical kinematic viscosity on this grid.
@@ -227,6 +257,37 @@ mod tests {
     #[should_panic(expected = "tau must exceed 1/2")]
     fn rejects_unphysical_tau() {
         let _ = UnitConverter::from_viscosity(1e-6, 1e-6, 0.5, 1000.0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        use crate::error::ConfigError;
+        assert_eq!(
+            UnitConverter::try_new(0.0, 1.0, 1.0),
+            Err(ConfigError::NonPositive {
+                name: "dx",
+                value: 0.0
+            })
+        );
+        // NaN compares unequal to itself, so match on the variant here.
+        assert!(matches!(
+            UnitConverter::try_new(1.0, f64::NAN, 1.0).unwrap_err(),
+            ConfigError::NonPositive { name: "dt", value } if value.is_nan()
+        ));
+        assert_eq!(
+            UnitConverter::try_from_viscosity(1e-6, 1e-6, 0.5, 1000.0),
+            Err(ConfigError::UnphysicalTau { value: 0.5 })
+        );
+        assert_eq!(
+            UnitConverter::try_from_viscosity(1e-6, -1.0, 1.0, 1000.0),
+            Err(ConfigError::NonPositive {
+                name: "kinematic viscosity",
+                value: -1.0
+            })
+        );
+        // The happy path agrees with the panicking constructor.
+        let a = UnitConverter::try_from_viscosity(0.5e-6, 1.2e-3 / 1025.0, 1.0, 1025.0).unwrap();
+        assert_eq!(a, converter());
     }
 
     #[test]

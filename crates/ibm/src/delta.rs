@@ -73,8 +73,11 @@ impl DeltaKernel {
 mod tests {
     use super::*;
 
-    const KERNELS: [DeltaKernel; 3] =
-        [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2];
+    const KERNELS: [DeltaKernel; 3] = [
+        DeltaKernel::Cosine4,
+        DeltaKernel::Peskin3,
+        DeltaKernel::Linear2,
+    ];
 
     #[test]
     fn partition_of_unity() {

@@ -65,21 +65,27 @@ pub fn interpolate_velocity(lattice: &Lattice, p: Vec3, kernel: DeltaKernel) -> 
     let mut v = Vec3::ZERO;
     for dz in 0..s.width {
         let gz = s.base[2] + dz as i64;
-        let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else { continue };
+        let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else {
+            continue;
+        };
         let wz = kernel.phi(p.z - gz as f64);
         if wz == 0.0 {
             continue;
         }
         for dy in 0..s.width {
             let gy = s.base[1] + dy as i64;
-            let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else { continue };
+            let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else {
+                continue;
+            };
             let wyz = wz * kernel.phi(p.y - gy as f64);
             if wyz == 0.0 {
                 continue;
             }
             for dx in 0..s.width {
                 let gx = s.base[0] + dx as i64;
-                let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else { continue };
+                let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else {
+                    continue;
+                };
                 let w = wyz * kernel.phi(p.x - gx as f64);
                 if w == 0.0 {
                     continue;
@@ -114,21 +120,27 @@ pub fn spread_forces(
         let s = stencil(kernel, p);
         for dz in 0..s.width {
             let gz = s.base[2] + dz as i64;
-            let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else { continue };
+            let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else {
+                continue;
+            };
             let wz = kernel.phi(p.z - gz as f64);
             if wz == 0.0 {
                 continue;
             }
             for dy in 0..s.width {
                 let gy = s.base[1] + dy as i64;
-                let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else { continue };
+                let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else {
+                    continue;
+                };
                 let wyz = wz * kernel.phi(p.y - gy as f64);
                 if wyz == 0.0 {
                     continue;
                 }
                 for dx in 0..s.width {
                     let gx = s.base[0] + dx as i64;
-                    let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else { continue };
+                    let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else {
+                        continue;
+                    };
                     let w = wyz * kernel.phi(p.x - gx as f64);
                     if w == 0.0 {
                         continue;
@@ -228,7 +240,12 @@ mod tests {
         // the Lagrangian point.
         let mut lat = uniform_lattice([0.0; 3]);
         let p = Vec3::new(6.1, 6.0, 5.9);
-        spread_forces(&mut lat, &[p], &[Vec3::new(1.0, 0.0, 0.0)], DeltaKernel::Cosine4);
+        spread_forces(
+            &mut lat,
+            &[p],
+            &[Vec3::new(1.0, 0.0, 0.0)],
+            DeltaKernel::Cosine4,
+        );
         let peak_node = lat.idx(6, 6, 6);
         let peak = lat.force[peak_node * 3];
         for n in 0..lat.node_count() {
@@ -250,7 +267,11 @@ mod tests {
 
     #[test]
     fn all_kernels_spread_to_their_stencil_size() {
-        for kernel in [DeltaKernel::Cosine4, DeltaKernel::Peskin3, DeltaKernel::Linear2] {
+        for kernel in [
+            DeltaKernel::Cosine4,
+            DeltaKernel::Peskin3,
+            DeltaKernel::Linear2,
+        ] {
             let mut lat = uniform_lattice([0.0; 3]);
             // Offset from the node so even-width stencils engage fully.
             let p = Vec3::new(6.3, 6.3, 6.3);
@@ -264,7 +285,10 @@ mod tests {
                 "{kernel:?}: touched {touched} > {}",
                 w * w * w
             );
-            assert!(touched >= (w - 1).max(1).pow(3), "{kernel:?}: touched {touched}");
+            assert!(
+                touched >= (w - 1).max(1).pow(3),
+                "{kernel:?}: touched {touched}"
+            );
         }
     }
 }

@@ -60,10 +60,23 @@ fn read_f64s<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, CheckpointError> 
 /// mirroring how the paper's runs restore from geometry + field dumps.
 pub fn save_state<W: Write>(lat: &Lattice, mut w: W) -> Result<(), CheckpointError> {
     w.write_all(MAGIC)?;
-    for d in [lat.nx as u64, lat.ny as u64, lat.nz as u64, lat.steps_taken()] {
+    for d in [
+        lat.nx as u64,
+        lat.ny as u64,
+        lat.nz as u64,
+        lat.steps_taken(),
+    ] {
         w.write_all(&d.to_le_bytes())?;
     }
-    write_f64s(&mut w, &[lat.tau, lat.body_force[0], lat.body_force[1], lat.body_force[2]])?;
+    write_f64s(
+        &mut w,
+        &[
+            lat.tau,
+            lat.body_force[0],
+            lat.body_force[1],
+            lat.body_force[2],
+        ],
+    )?;
     let n = lat.node_count();
     let mut f = Vec::with_capacity(n * crate::Q);
     for node in 0..n {

@@ -119,6 +119,8 @@ pub fn lattice_viscosity_from_tau(tau: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Index loops here mirror the tensor notation of the moment identities.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
 
@@ -170,9 +172,15 @@ mod tests {
                             })
                             .sum();
                         let kron = |x: usize, y: usize| if x == y { 1.0 } else { 0.0 };
-                        let expected =
-                            CS2 * CS2 * (kron(a, b) * kron(g, d) + kron(a, g) * kron(b, d) + kron(a, d) * kron(b, g));
-                        assert!((m4 - expected).abs() < 1e-14, "{a}{b}{g}{d}: {m4} vs {expected}");
+                        let expected = CS2
+                            * CS2
+                            * (kron(a, b) * kron(g, d)
+                                + kron(a, g) * kron(b, d)
+                                + kron(a, d) * kron(b, g));
+                        assert!(
+                            (m4 - expected).abs() < 1e-14,
+                            "{a}{b}{g}{d}: {m4} vs {expected}"
+                        );
                     }
                 }
             }

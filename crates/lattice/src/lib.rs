@@ -16,17 +16,17 @@ pub mod observables;
 pub mod setup;
 pub mod solver;
 
+pub use checkpoint::{load_state, save_state, CheckpointError};
 pub use d3q19::{
     equilibrium, equilibrium_all, lattice_viscosity_from_tau, tau_from_lattice_viscosity, C, CS2,
     OPPOSITE, Q, W,
 };
-pub use setup::{
-    couette_channel, couette_height, couette_y_position, force_driven_tube, poiseuille_slit,
-};
+pub use mrt::{MrtBasis, MrtRates};
 pub use observables::{
     max_mach, reynolds_number, shear_rate_magnitude, strain_rate, velocity_profile, viscous_stress,
     vorticity,
 };
-pub use checkpoint::{load_state, save_state, CheckpointError};
-pub use mrt::{MrtBasis, MrtRates};
+pub use setup::{
+    couette_channel, couette_height, couette_y_position, force_driven_tube, poiseuille_slit,
+};
 pub use solver::{Lattice, NodeClass};

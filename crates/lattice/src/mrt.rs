@@ -32,13 +32,21 @@ impl MrtRates {
     /// BGK-equivalent rates: everything at `1/τ`.
     pub fn bgk(tau: f64) -> Self {
         let s = 1.0 / tau;
-        Self { shear: s, bulk: s, ghost: s }
+        Self {
+            shear: s,
+            bulk: s,
+            ghost: s,
+        }
     }
 
     /// Stability-tuned rates: shear from `τ` (physics), bulk and ghost
     /// modes damped at fixed robust values.
     pub fn tuned(tau: f64) -> Self {
-        Self { shear: 1.0 / tau, bulk: 1.1, ghost: 1.1 }
+        Self {
+            shear: 1.0 / tau,
+            bulk: 1.1,
+            ghost: 1.1,
+        }
     }
 }
 
@@ -79,17 +87,21 @@ impl MrtBasis {
         let cx = |i: usize| C[i][0] as f64;
         let cy = |i: usize| C[i][1] as f64;
         let cz = |i: usize| C[i][2] as f64;
-        let polys: Vec<(Box<dyn Fn(usize) -> f64>, MomentKind)> = vec![
-            (Box::new(|_| 1.0), MomentKind::Conserved),                      // ρ
-            (Box::new(move |i| c2(i)), MomentKind::Bulk),                    // e
-            (Box::new(move |i| c2(i) * c2(i)), MomentKind::Ghost),           // ε
-            (Box::new(cx), MomentKind::Conserved),                           // j_x
-            (Box::new(move |i| c2(i) * cx(i)), MomentKind::Ghost),           // q_x
-            (Box::new(cy), MomentKind::Conserved),                           // j_y
-            (Box::new(move |i| c2(i) * cy(i)), MomentKind::Ghost),           // q_y
-            (Box::new(cz), MomentKind::Conserved),                           // j_z
-            (Box::new(move |i| c2(i) * cz(i)), MomentKind::Ghost),           // q_z
-            (Box::new(move |i| 3.0 * cx(i) * cx(i) - c2(i)), MomentKind::Shear), // p_xx
+        type MomentPoly = Box<dyn Fn(usize) -> f64>;
+        let polys: Vec<(MomentPoly, MomentKind)> = vec![
+            (Box::new(|_| 1.0), MomentKind::Conserved),            // ρ
+            (Box::new(c2), MomentKind::Bulk),                      // e
+            (Box::new(move |i| c2(i) * c2(i)), MomentKind::Ghost), // ε
+            (Box::new(cx), MomentKind::Conserved),                 // j_x
+            (Box::new(move |i| c2(i) * cx(i)), MomentKind::Ghost), // q_x
+            (Box::new(cy), MomentKind::Conserved),                 // j_y
+            (Box::new(move |i| c2(i) * cy(i)), MomentKind::Ghost), // q_y
+            (Box::new(cz), MomentKind::Conserved),                 // j_z
+            (Box::new(move |i| c2(i) * cz(i)), MomentKind::Ghost), // q_z
+            (
+                Box::new(move |i| 3.0 * cx(i) * cx(i) - c2(i)),
+                MomentKind::Shear,
+            ), // p_xx
             (
                 Box::new(move |i| c2(i) * (3.0 * cx(i) * cx(i) - c2(i))),
                 MomentKind::Ghost,
@@ -102,9 +114,9 @@ impl MrtBasis {
                 Box::new(move |i| c2(i) * (cy(i) * cy(i) - cz(i) * cz(i))),
                 MomentKind::Ghost,
             ), // π_ww
-            (Box::new(move |i| cx(i) * cy(i)), MomentKind::Shear),           // p_xy
-            (Box::new(move |i| cy(i) * cz(i)), MomentKind::Shear),           // p_yz
-            (Box::new(move |i| cx(i) * cz(i)), MomentKind::Shear),           // p_xz
+            (Box::new(move |i| cx(i) * cy(i)), MomentKind::Shear), // p_xy
+            (Box::new(move |i| cy(i) * cz(i)), MomentKind::Shear), // p_yz
+            (Box::new(move |i| cx(i) * cz(i)), MomentKind::Shear), // p_xz
             (
                 Box::new(move |i| (cy(i) * cy(i) - cz(i) * cz(i)) * cx(i)),
                 MomentKind::Ghost,
@@ -298,9 +310,9 @@ mod tests {
         // Inject pure ghost-mode noise: build it in moment space so none of
         // it leaks into conserved/shear moments.
         let mut noise_m = [0.0; Q];
-        for k in 0..Q {
-            if b.kinds[k] == MomentKind::Ghost {
-                noise_m[k] = 0.01;
+        for (m, kind) in noise_m.iter_mut().zip(&b.kinds) {
+            if *kind == MomentKind::Ghost {
+                *m = 0.01;
             }
         }
         let noise_f = b.from_moments(&noise_m);

@@ -45,8 +45,8 @@ pub fn viscous_stress(lat: &Lattice, node: usize) -> SymTensor {
 /// Shear-rate magnitude `γ̇ = √(2 S:S)` at `node`.
 pub fn shear_rate_magnitude(lat: &Lattice, node: usize) -> f64 {
     let s = strain_rate(lat, node);
-    let ss = s[0] * s[0] + s[1] * s[1] + s[2] * s[2]
-        + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]);
+    let ss =
+        s[0] * s[0] + s[1] * s[1] + s[2] * s[2] + 2.0 * (s[3] * s[3] + s[4] * s[4] + s[5] * s[5]);
     (2.0 * ss).sqrt()
 }
 
@@ -142,7 +142,11 @@ mod tests {
         let node = lat.idx(2, 9, 2);
         let s = strain_rate(&lat, node);
         // Only S_xy is nonzero; S_xy = γ̇/2.
-        assert!((s[3] - expected / 2.0).abs() < 0.02 * expected, "S_xy = {}", s[3]);
+        assert!(
+            (s[3] - expected / 2.0).abs() < 0.02 * expected,
+            "S_xy = {}",
+            s[3]
+        );
         assert!(s[0].abs() < 0.05 * expected);
         assert!(s[1].abs() < 0.05 * expected);
         let mag = shear_rate_magnitude(&lat, node);
@@ -167,7 +171,11 @@ mod tests {
         let w = vorticity(&lat, 2, 9, 2).unwrap();
         // u = (γ̇·y, 0, 0): ω_z = −∂u/∂y = −γ̇.
         let expected = -u_lid / 16.0;
-        assert!((w[2] - expected).abs() < 0.05 * expected.abs(), "ω_z = {}", w[2]);
+        assert!(
+            (w[2] - expected).abs() < 0.05 * expected.abs(),
+            "ω_z = {}",
+            w[2]
+        );
         assert!(w[0].abs() < 1e-6 && w[1].abs() < 1e-6);
     }
 

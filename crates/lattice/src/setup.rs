@@ -59,7 +59,14 @@ pub fn poiseuille_slit(nx: usize, ny: usize, nz: usize, tau: f64, g: f64) -> Lat
 /// Circular tube along z of radius `radius` (lattice units, measured from
 /// the domain center in x/y), periodic in z, driven by body force `g`
 /// along +z. Nodes at or beyond the radius become walls.
-pub fn force_driven_tube(nx: usize, ny: usize, nz: usize, tau: f64, radius: f64, g: f64) -> Lattice {
+pub fn force_driven_tube(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    tau: f64,
+    radius: f64,
+    g: f64,
+) -> Lattice {
     let mut lat = Lattice::new(nx, ny, nz, tau);
     lat.periodic = [false, false, true];
     lat.body_force = [0.0, 0.0, g];

@@ -157,13 +157,21 @@ impl Lattice {
     /// Mark `node` as a prescribed-velocity boundary.
     pub fn set_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
         self.flags[node] = NodeClass::Velocity;
-        self.velocity_bc.push(BcNode { node, value: u, neighbor: None });
+        self.velocity_bc.push(BcNode {
+            node,
+            value: u,
+            neighbor: None,
+        });
     }
 
     /// Mark `node` as a prescribed-density (pressure) boundary.
     pub fn set_pressure_bc(&mut self, node: usize, rho: f64) {
         self.flags[node] = NodeClass::Pressure;
-        self.pressure_bc.push(BcNode { node, value: rho, neighbor: None });
+        self.pressure_bc.push(BcNode {
+            node,
+            value: rho,
+            neighbor: None,
+        });
     }
 
     /// Update the target velocity of an existing velocity-boundary node.
@@ -175,7 +183,10 @@ impl Lattice {
 
     /// Number of fluid nodes.
     pub fn fluid_node_count(&self) -> usize {
-        self.flags.iter().filter(|&&c| c == NodeClass::Fluid).count()
+        self.flags
+            .iter()
+            .filter(|&&c| c == NodeClass::Fluid)
+            .count()
     }
 
     /// Set every node's distributions to equilibrium at `(rho, u)`.
@@ -231,7 +242,11 @@ impl Lattice {
     /// Stored (collision-time) velocity at `node`.
     #[inline]
     pub fn velocity_at(&self, node: usize) -> [f64; 3] {
-        [self.vel[node * 3], self.vel[node * 3 + 1], self.vel[node * 3 + 2]]
+        [
+            self.vel[node * 3],
+            self.vel[node * 3 + 1],
+            self.vel[node * 3 + 2],
+        ]
     }
 
     /// Zero the external force field (call after each IBM cycle).
@@ -258,6 +273,29 @@ impl Lattice {
     /// Steps taken since construction.
     pub fn steps_taken(&self) -> u64 {
         self.steps_taken
+    }
+
+    /// Overwrite the step counter (checkpoint restore only).
+    pub fn set_steps_taken(&mut self, steps: u64) {
+        self.steps_taken = steps;
+    }
+
+    /// The per-node relaxation-time field, if one has been installed.
+    pub fn tau_field(&self) -> Option<&[f64]> {
+        self.tau_field.as_deref()
+    }
+
+    /// Install or clear the per-node τ field wholesale (checkpoint
+    /// restore). A provided field must cover every node.
+    pub fn set_tau_field(&mut self, field: Option<Vec<f64>>) {
+        if let Some(f) = &field {
+            assert_eq!(
+                f.len(),
+                self.node_count(),
+                "tau field must cover every node"
+            );
+        }
+        self.tau_field = field;
     }
 
     /// Lattice kinematic viscosity implied by `tau`.
@@ -289,7 +327,11 @@ impl Lattice {
     #[inline]
     pub fn neighbor(&self, x: usize, y: usize, z: usize, i: usize) -> Option<usize> {
         let dims = [self.nx as i64, self.ny as i64, self.nz as i64];
-        let mut p = [x as i64 + C[i][0] as i64, y as i64 + C[i][1] as i64, z as i64 + C[i][2] as i64];
+        let mut p = [
+            x as i64 + C[i][0] as i64,
+            y as i64 + C[i][1] as i64,
+            z as i64 + C[i][2] as i64,
+        ];
         for a in 0..3 {
             if p[a] < 0 || p[a] >= dims[a] {
                 if self.periodic[a] {

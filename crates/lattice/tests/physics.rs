@@ -113,13 +113,9 @@ fn tube_poiseuille_profile() {
         }
     }
     let u_max = g * r_wall * r_wall / (4.0 * nu);
-    let rms: f64 = (samples
-        .iter()
-        .map(|(u, e)| (u - e) * (u - e))
-        .sum::<f64>()
-        / samples.len() as f64)
-        .sqrt()
-        / u_max;
+    let rms: f64 =
+        (samples.iter().map(|(u, e)| (u - e) * (u - e)).sum::<f64>() / samples.len() as f64).sqrt()
+            / u_max;
     assert!(rms < 0.08, "tube profile RMS error {rms}");
 }
 

@@ -40,7 +40,11 @@ pub fn add_bending_forces(
     vertices: &[Vec3],
     forces: &mut [Vec3],
 ) -> f64 {
-    assert_eq!(vertices.len(), reference.vertex_count, "vertex count mismatch");
+    assert_eq!(
+        vertices.len(),
+        reference.vertex_count,
+        "vertex count mismatch"
+    );
     let mut energy = 0.0;
     for er in &reference.edge_refs {
         let x0 = vertices[er.v[0] as usize];
@@ -144,9 +148,7 @@ mod tests {
             .vertices
             .iter()
             .enumerate()
-            .map(|(i, &v)| {
-                v * (1.0 + 0.05 * ((i * 11 % 17) as f64 / 17.0 - 0.5))
-            })
+            .map(|(i, &v)| v * (1.0 + 0.05 * ((i * 11 % 17) as f64 / 17.0 - 0.5)))
             .collect();
         let mut forces = vec![Vec3::ZERO; verts.len()];
         add_bending_forces(&re, eb, &verts, &mut forces);

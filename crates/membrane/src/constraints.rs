@@ -33,9 +33,7 @@ pub fn enclosed_volume(reference: &ReferenceState, vertices: &[Vec3]) -> f64 {
         .triangles
         .iter()
         .map(|&[a, b, c]| {
-            vertices[a as usize]
-                .dot(vertices[b as usize].cross(vertices[c as usize]))
-                / 6.0
+            vertices[a as usize].dot(vertices[b as usize].cross(vertices[c as usize])) / 6.0
         })
         .sum()
 }
@@ -48,7 +46,11 @@ pub fn add_constraint_forces(
     vertices: &[Vec3],
     forces: &mut [Vec3],
 ) -> f64 {
-    assert_eq!(vertices.len(), reference.vertex_count, "vertex count mismatch");
+    assert_eq!(
+        vertices.len(),
+        reference.vertex_count,
+        "vertex count mismatch"
+    );
     let a = surface_area(reference, vertices);
     let v = enclosed_volume(reference, vertices);
     let (a0, v0) = (reference.area0, reference.volume0);

@@ -42,7 +42,10 @@ impl EnergyBreakdown {
 impl Membrane {
     /// New membrane model from an undeformed mesh and material.
     pub fn new(reference: Arc<ReferenceState>, material: MembraneMaterial) -> Self {
-        Self { reference, material }
+        Self {
+            reference,
+            material,
+        }
     }
 
     /// Compute all membrane forces into `forces` (accumulated, not reset)
@@ -74,12 +77,7 @@ impl Membrane {
         EnergyBreakdown {
             skalak: skalak_energy(&self.reference, m.shear_modulus, m.skalak_c, vertices),
             bending: bending_energy(&self.reference, m.bending_modulus, vertices),
-            constraint: constraint_energy(
-                &self.reference,
-                m.global_area_k,
-                m.volume_k,
-                vertices,
-            ),
+            constraint: constraint_energy(&self.reference, m.global_area_k, m.volume_k, vertices),
         }
     }
 

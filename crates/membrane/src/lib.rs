@@ -20,6 +20,6 @@ pub mod skalak;
 
 pub use forces::{EnergyBreakdown, Membrane};
 pub use material::MembraneMaterial;
-pub use reference::{dihedral_angle, ReferenceState};
 pub use neohookean::{add_neohookean_forces, neohookean_energy, neohookean_energy_density};
+pub use reference::{dihedral_angle, ReferenceState};
 pub use relax::{relax, RelaxParams, RelaxReport};

@@ -96,15 +96,15 @@ impl ReferenceState {
                     mesh.vertices[c as usize],
                 );
                 let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
-                assert!(
-                    det.abs() > 1e-300,
-                    "degenerate reference triangle {t}"
-                );
+                assert!(det.abs() > 1e-300, "degenerate reference triangle {t}");
                 let inv = [
                     [m[1][1] / det, -m[0][1] / det],
                     [-m[1][0] / det, m[0][0] / det],
                 ];
-                TriangleRef { inv_ref: inv, area: mesh.triangle_area(t) }
+                TriangleRef {
+                    inv_ref: inv,
+                    area: mesh.triangle_area(t),
+                }
             })
             .collect();
         let edge_refs = topo
@@ -117,7 +117,11 @@ impl ReferenceState {
                     mesh.vertices[e.opposite[0] as usize],
                     mesh.vertices[e.opposite[1] as usize],
                 );
-                EdgeRef { v: e.v, opposite: e.opposite, theta0 }
+                EdgeRef {
+                    v: e.v,
+                    opposite: e.opposite,
+                    theta0,
+                }
             })
             .collect();
         Self {
@@ -149,9 +153,15 @@ mod tests {
         // bending energy requires.)
         let mags: Vec<f64> = re.edge_refs.iter().map(|e| e.theta0.abs()).collect();
         let mean = mags.iter().sum::<f64>() / mags.len() as f64;
-        assert!(mean > 0.05, "sphere edges should be folded, mean |θ₀| = {mean}");
+        assert!(
+            mean > 0.05,
+            "sphere edges should be folded, mean |θ₀| = {mean}"
+        );
         for m in &mags {
-            assert!((m - mean).abs() < 0.6 * mean, "outlier dihedral {m} vs mean {mean}");
+            assert!(
+                (m - mean).abs() < 0.6 * mean,
+                "outlier dihedral {m} vs mean {mean}"
+            );
         }
     }
 
@@ -204,10 +214,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "closed")]
     fn open_mesh_rejected() {
-        let open = TriMesh::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        );
+        let open = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
         let _ = ReferenceState::build(&open);
     }
 }

@@ -38,13 +38,21 @@ pub struct RelaxParams {
 
 impl Default for RelaxParams {
     fn default() -> Self {
-        Self { max_iterations: 500, force_tolerance: 1e-8, step: 0.01 }
+        Self {
+            max_iterations: 500,
+            force_tolerance: 1e-8,
+            step: 0.01,
+        }
     }
 }
 
 /// Relax `vertices` toward the membrane's elastic equilibrium in place.
 pub fn relax(membrane: &Membrane, vertices: &mut [Vec3], params: RelaxParams) -> RelaxReport {
-    assert_eq!(vertices.len(), membrane.vertex_count(), "vertex count mismatch");
+    assert_eq!(
+        vertices.len(),
+        membrane.vertex_count(),
+        "vertex count mismatch"
+    );
     let mut forces = vec![Vec3::ZERO; vertices.len()];
     let mut energy = membrane.energy(vertices).total();
     let initial_energy = energy;
@@ -126,8 +134,18 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| v * (1.0 + 0.08 * ((i * 7 % 11) as f64 / 11.0 - 0.5)))
             .collect();
-        let report = relax(&mem, &mut verts, RelaxParams { max_iterations: 2000, ..Default::default() });
-        assert!(report.final_energy < 0.01 * report.initial_energy, "{report:?}");
+        let report = relax(
+            &mem,
+            &mut verts,
+            RelaxParams {
+                max_iterations: 2000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            report.final_energy < 0.01 * report.initial_energy,
+            "{report:?}"
+        );
         // Vertices return close to the unit sphere.
         for v in &verts {
             assert!((v.norm() - 1.0).abs() < 0.05, "radius {}", v.norm());
@@ -147,7 +165,14 @@ mod tests {
     fn energy_never_increases() {
         let (mem, reference) = membrane();
         let mut verts: Vec<Vec3> = reference.iter().map(|&v| v * 1.15).collect();
-        let report = relax(&mem, &mut verts, RelaxParams { max_iterations: 50, ..Default::default() });
+        let report = relax(
+            &mem,
+            &mut verts,
+            RelaxParams {
+                max_iterations: 50,
+                ..Default::default()
+            },
+        );
         assert!(report.final_energy <= report.initial_energy);
     }
 }

@@ -40,7 +40,12 @@ pub fn triangle_invariants(tri: &TriangleRef, a: Vec3, b: Vec3, c: Vec3) -> (f64
 
 /// Deformation gradient `D = B·M⁻¹` plus the current local frame `(u, v)`.
 #[inline]
-fn deformation_gradient(tri: &TriangleRef, a: Vec3, b: Vec3, c: Vec3) -> ([[f64; 2]; 2], Vec3, Vec3) {
+fn deformation_gradient(
+    tri: &TriangleRef,
+    a: Vec3,
+    b: Vec3,
+    c: Vec3,
+) -> ([[f64; 2]; 2], Vec3, Vec3) {
     let bmat = local_edge_matrix(a, b, c);
     let e1 = (b - a).normalized();
     let n = (b - a).cross(c - a);
@@ -85,7 +90,11 @@ pub fn add_inplane_forces_with(
     energy_density: impl Fn(f64, f64) -> f64,
     energy_gradient: impl Fn(f64, f64) -> (f64, f64),
 ) -> f64 {
-    assert_eq!(vertices.len(), reference.vertex_count, "vertex count mismatch");
+    assert_eq!(
+        vertices.len(),
+        reference.vertex_count,
+        "vertex count mismatch"
+    );
     assert_eq!(forces.len(), vertices.len(), "force buffer mismatch");
     let mut energy = 0.0;
     for (t, &[ia, ib, ic]) in reference.triangles.iter().enumerate() {
@@ -265,11 +274,7 @@ mod tests {
         add_skalak_forces(&re, 1.0, 20.0, &verts, &mut forces);
         let total: Vec3 = forces.iter().copied().sum();
         assert!(total.norm() < 1e-10, "net force {total:?}");
-        let torque: Vec3 = verts
-            .iter()
-            .zip(&forces)
-            .map(|(&x, &f)| x.cross(f))
-            .sum();
+        let torque: Vec3 = verts.iter().zip(&forces).map(|(&x, &f)| x.cross(f)).sum();
         assert!(torque.norm() < 1e-10, "net torque {torque:?}");
     }
 

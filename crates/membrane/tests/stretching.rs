@@ -7,7 +7,7 @@
 //! the applied force and sublinearly at large forces (strain hardening from
 //! the Skalak I₂ term).
 
-use apr_membrane::{relax, Membrane, MembraneMaterial, RelaxParams, ReferenceState};
+use apr_membrane::{relax, Membrane, MembraneMaterial, ReferenceState, RelaxParams};
 use apr_mesh::{biconcave_rbc_mesh, Vec3};
 use std::sync::Arc;
 
@@ -64,7 +64,14 @@ fn stretching_response_matches_tweezer_phenomenology() {
 
     // Relax the discretized reference first (FEM equilibrium ≈ input shape).
     let mut base = mesh.vertices.clone();
-    relax(&membrane, &mut base, RelaxParams { max_iterations: 200, ..Default::default() });
+    relax(
+        &membrane,
+        &mut base,
+        RelaxParams {
+            max_iterations: 200,
+            ..Default::default()
+        },
+    );
     let (d_axial0, d_trans0) = stretch(&membrane, &base, 0.0);
 
     let mut prev_axial = d_axial0;
@@ -73,8 +80,14 @@ fn stretching_response_matches_tweezer_phenomenology() {
     for force in [0.2, 0.5, 1.0] {
         let (da, dt) = stretch(&membrane, &base, force);
         // Axial diameter grows, transverse shrinks — monotonically.
-        assert!(da > prev_axial - 1e-6, "axial shrank at f={force}: {da} < {prev_axial}");
-        assert!(dt < prev_trans + 1e-6, "transverse grew at f={force}: {dt} > {prev_trans}");
+        assert!(
+            da > prev_axial - 1e-6,
+            "axial shrank at f={force}: {da} < {prev_axial}"
+        );
+        assert!(
+            dt < prev_trans + 1e-6,
+            "transverse grew at f={force}: {dt} > {prev_trans}"
+        );
         stiffness.push((da - d_axial0) / force);
         prev_axial = da;
         prev_trans = dt;
@@ -89,10 +102,7 @@ fn stretching_response_matches_tweezer_phenomenology() {
     let (min_c, max_c) = stiffness
         .iter()
         .fold((f64::MAX, f64::MIN), |(lo, hi), &c| (lo.min(c), hi.max(c)));
-    assert!(
-        max_c < 2.0 * min_c,
-        "compliance not bounded: {stiffness:?}"
-    );
+    assert!(max_c < 2.0 * min_c, "compliance not bounded: {stiffness:?}");
     // And the cell visibly necks: transverse diameter shrank.
     assert!(
         prev_trans < d_trans0 - 1e-3,
@@ -108,7 +118,14 @@ fn stiffer_membrane_stretches_less() {
     let stiff = Membrane::new(re, MembraneMaterial::rbc(5.0, 0.025));
 
     let mut base = mesh.vertices.clone();
-    relax(&soft, &mut base, RelaxParams { max_iterations: 100, ..Default::default() });
+    relax(
+        &soft,
+        &mut base,
+        RelaxParams {
+            max_iterations: 100,
+            ..Default::default()
+        },
+    );
     let f = 0.1;
     let (da_soft, _) = stretch(&soft, &base, f);
     let (da_stiff, _) = stretch(&stiff, &base, f);

@@ -27,7 +27,10 @@ impl BiconcaveShape {
     /// Healthy human RBC: Evans–Fung 1972 coefficients at radius `radius`.
     pub fn healthy(radius: f64) -> Self {
         assert!(radius > 0.0, "radius must be positive, got {radius}");
-        Self { radius, coefficients: [0.207, 2.003, -1.123] }
+        Self {
+            radius,
+            coefficients: [0.207, 2.003, -1.123],
+        }
     }
 
     /// Half-thickness of the shape at normalized radial position `rho ∈ [0,1]`.
@@ -53,7 +56,11 @@ impl BiconcaveShape {
     pub fn map_from_unit_sphere(&self, p: Vec3) -> Vec3 {
         let rho = (p.x * p.x + p.y * p.y).sqrt().min(1.0);
         let z = self.half_thickness(rho);
-        Vec3::new(self.radius * p.x, self.radius * p.y, z * p.z.signum() * scale_z(p, z))
+        Vec3::new(
+            self.radius * p.x,
+            self.radius * p.y,
+            z * p.z.signum() * scale_z(p, z),
+        )
     }
 }
 
@@ -129,7 +136,11 @@ mod tests {
             "volume = {} µm³",
             volume * 1e18
         );
-        assert!((100e-12..160e-12).contains(&area), "area = {} µm²", area * 1e12);
+        assert!(
+            (100e-12..160e-12).contains(&area),
+            "area = {} µm²",
+            area * 1e12
+        );
         // Reduced volume well below 1 (a sphere of the same area).
         let r_sphere = (area / (4.0 * std::f64::consts::PI)).sqrt();
         let v_sphere = 4.0 / 3.0 * std::f64::consts::PI * r_sphere.powi(3);

@@ -52,14 +52,17 @@ pub fn read_off<R: Read>(reader: R) -> Result<TriMesh, OffError> {
         .next()
         .ok_or_else(|| OffError::Parse("empty file".into()))?;
     if header != "OFF" {
-        return Err(OffError::Parse(format!("expected OFF header, got {header:?}")));
+        return Err(OffError::Parse(format!(
+            "expected OFF header, got {header:?}"
+        )));
     }
-    let next_usize = |what: &str, it: &mut dyn Iterator<Item = String>| -> Result<usize, OffError> {
-        it.next()
-            .ok_or_else(|| OffError::Parse(format!("missing {what}")))?
-            .parse()
-            .map_err(|e| OffError::Parse(format!("bad {what}: {e}")))
-    };
+    let next_usize =
+        |what: &str, it: &mut dyn Iterator<Item = String>| -> Result<usize, OffError> {
+            it.next()
+                .ok_or_else(|| OffError::Parse(format!("missing {what}")))?
+                .parse()
+                .map_err(|e| OffError::Parse(format!("bad {what}: {e}")))
+        };
     let nv = next_usize("vertex count", &mut it)?;
     let nf = next_usize("face count", &mut it)?;
     let _ne = next_usize("edge count", &mut it)?;
@@ -83,7 +86,9 @@ pub fn read_off<R: Read>(reader: R) -> Result<TriMesh, OffError> {
     for f in 0..nf {
         let k = next_usize(&format!("face {f} arity"), &mut it)?;
         if k < 3 {
-            return Err(OffError::Parse(format!("face {f} has fewer than 3 vertices")));
+            return Err(OffError::Parse(format!(
+                "face {f} has fewer than 3 vertices"
+            )));
         }
         let mut poly = Vec::with_capacity(k);
         for j in 0..k {
@@ -153,7 +158,8 @@ mod tests {
 
     #[test]
     fn parses_comments_and_quads() {
-        let text = "# a comment\nOFF\n4 1 0\n0 0 0\n1 0 0 # inline comment\n1 1 0\n0 1 0\n4 0 1 2 3\n";
+        let text =
+            "# a comment\nOFF\n4 1 0\n0 0 0\n1 0 0 # inline comment\n1 1 0\n0 1 0\n4 0 1 2 3\n";
         let mesh = read_off(text.as_bytes()).unwrap();
         assert_eq!(mesh.vertex_count(), 4);
         // Quad fan-triangulated into two triangles.

@@ -92,7 +92,10 @@ pub fn reorder_vertices(mesh: &TriMesh, order: &[u32]) -> TriMesh {
         );
         new_of_old[old as usize] = new as u32;
     }
-    let vertices = order.iter().map(|&old| mesh.vertices[old as usize]).collect();
+    let vertices = order
+        .iter()
+        .map(|&old| mesh.vertices[old as usize])
+        .collect();
     let triangles = mesh
         .triangles
         .iter()

@@ -103,7 +103,10 @@ mod tests {
         for n in 3..12 {
             let beta = loop_beta(n);
             assert!(beta > 0.0);
-            assert!(1.0 - n as f64 * beta > 0.0, "central weight positive, n={n}");
+            assert!(
+                1.0 - n as f64 * beta > 0.0,
+                "central weight positive, n={n}"
+            );
         }
     }
 
@@ -115,7 +118,11 @@ mod tests {
         let m1 = loop_subdivide(&m0);
         let max_r = m1.vertices.iter().map(|v| v.norm()).fold(0.0f64, f64::max);
         assert!(max_r < 1.0 + 1e-12);
-        let min_r = m1.vertices.iter().map(|v| v.norm()).fold(f64::MAX, f64::min);
+        let min_r = m1
+            .vertices
+            .iter()
+            .map(|v| v.norm())
+            .fold(f64::MAX, f64::min);
         assert!(min_r > 0.8, "should not collapse, min radius {min_r}");
     }
 
@@ -129,7 +136,10 @@ mod tests {
         let r12 = m2.enclosed_volume() / m1.enclosed_volume();
         let r23 = m3.enclosed_volume() / m2.enclosed_volume();
         assert!((r12 - 1.0).abs() < 0.05, "r12 = {r12}");
-        assert!((r23 - 1.0).abs() < (r12 - 1.0).abs(), "r23 = {r23} vs r12 = {r12}");
+        assert!(
+            (r23 - 1.0).abs() < (r12 - 1.0).abs(),
+            "r23 = {r23} vs r12 = {r12}"
+        );
     }
 
     #[test]
@@ -138,7 +148,10 @@ mod tests {
         let m = loop_subdivide(&icosphere(3, 1.0));
         let radii: Vec<f64> = m.vertices.iter().map(|v| v.norm()).collect();
         let mean = radii.iter().sum::<f64>() / radii.len() as f64;
-        let spread = radii.iter().map(|r| (r - mean).abs()).fold(0.0f64, f64::max);
+        let spread = radii
+            .iter()
+            .map(|r| (r - mean).abs())
+            .fold(0.0f64, f64::max);
         assert!(spread / mean < 0.01, "radius spread {spread}");
         // Surface area close to a sphere of the mean radius.
         let area = m.surface_area();

@@ -40,7 +40,8 @@ impl EdgeTopology {
     /// Panics if an edge is shared by more than two triangles
     /// (non-manifold mesh).
     pub fn build(mesh: &TriMesh) -> Self {
-        let mut map: HashMap<(u32, u32), usize> = HashMap::with_capacity(mesh.triangle_count() * 3 / 2);
+        let mut map: HashMap<(u32, u32), usize> =
+            HashMap::with_capacity(mesh.triangle_count() * 3 / 2);
         let mut edges: Vec<Edge> = Vec::with_capacity(mesh.triangle_count() * 3 / 2);
         for (t, &[a, b, c]) in mesh.triangles.iter().enumerate() {
             for (u, v, w) in [(a, b, c), (b, c, a), (c, a, b)] {
@@ -115,7 +116,11 @@ impl MeshTopology {
             adjacency[cursor[b] as usize] = e.v[0];
             cursor[b] += 1;
         }
-        Self { edges, offsets, adjacency }
+        Self {
+            edges,
+            offsets,
+            adjacency,
+        }
     }
 
     /// Neighbours of vertex `v`.
@@ -162,10 +167,7 @@ mod tests {
 
     #[test]
     fn open_mesh_has_boundary_edges() {
-        let single = TriMesh::new(
-            vec![Vec3::ZERO, Vec3::X, Vec3::Y],
-            vec![[0, 1, 2]],
-        );
+        let single = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 2]]);
         let topo = EdgeTopology::build(&single);
         assert_eq!(topo.edges.len(), 3);
         assert!(!topo.is_closed());

@@ -31,7 +31,10 @@ impl TriMesh {
                 "triangle {t} is degenerate: {tri:?}"
             );
         }
-        Self { vertices, triangles }
+        Self {
+            vertices,
+            triangles,
+        }
     }
 
     /// Number of vertices.
@@ -78,7 +81,9 @@ impl TriMesh {
 
     /// Total surface area.
     pub fn surface_area(&self) -> f64 {
-        (0..self.triangle_count()).map(|t| self.triangle_area(t)).sum()
+        (0..self.triangle_count())
+            .map(|t| self.triangle_area(t))
+            .sum()
     }
 
     /// Signed enclosed volume by the divergence theorem

@@ -170,14 +170,14 @@ fn best_grid(dims: [usize; 3], tasks: usize) -> [usize; 3] {
     let mut best_cost = f64::MAX;
     let mut f1 = 1;
     while f1 * f1 * f1 <= tasks {
-        if tasks % f1 != 0 {
+        if !tasks.is_multiple_of(f1) {
             f1 += 1;
             continue;
         }
         let rem = tasks / f1;
         let mut f2 = f1;
         while f2 * f2 <= rem {
-            if rem % f2 != 0 {
+            if !rem.is_multiple_of(f2) {
                 f2 += 1;
                 continue;
             }
@@ -244,11 +244,7 @@ mod tests {
         for x in 0..12 {
             for y in 0..10 {
                 for z in 0..8 {
-                    let owners = d
-                        .blocks
-                        .iter()
-                        .filter(|b| b.contains([x, y, z]))
-                        .count();
+                    let owners = d.blocks.iter().filter(|b| b.contains([x, y, z])).count();
                     assert_eq!(owners, 1, "node ({x},{y},{z})");
                 }
             }

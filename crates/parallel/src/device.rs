@@ -29,11 +29,17 @@ pub struct NodeConfig {
 
 impl NodeConfig {
     /// Summit's layout from the paper: 36 CPU + 6 GPU tasks per node.
-    pub const SUMMIT: NodeConfig = NodeConfig { cpu_tasks: 36, gpu_tasks: 6 };
+    pub const SUMMIT: NodeConfig = NodeConfig {
+        cpu_tasks: 36,
+        gpu_tasks: 6,
+    };
 
     /// The paper's AWS p3-style instance (§3.6): 48 CPUs + 8 V100s, tasks
     /// "distributed in a 6:1 ratio among the CPUs and GPUs".
-    pub const AWS_P3: NodeConfig = NodeConfig { cpu_tasks: 48, gpu_tasks: 8 };
+    pub const AWS_P3: NodeConfig = NodeConfig {
+        cpu_tasks: 48,
+        gpu_tasks: 8,
+    };
 
     /// Total tasks per node.
     pub fn tasks_per_node(&self) -> usize {

@@ -12,6 +12,10 @@ use crate::decomp::BlockDecomposition;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 
+/// Per-task halo endpoints, keyed by face `(axis, direction)`.
+type FaceSenders = HashMap<(usize, i64), Sender<Vec<f64>>>;
+type FaceReceivers = HashMap<(usize, i64), Receiver<Vec<f64>>>;
+
 /// A task-local field: the owned block plus a 1-layer ghost shell.
 #[derive(Debug, Clone)]
 pub struct GhostField {
@@ -25,7 +29,10 @@ impl GhostField {
     /// New zero field for a block of `extent`.
     pub fn new(extent: [usize; 3]) -> Self {
         let n = (extent[0] + 2) * (extent[1] + 2) * (extent[2] + 2);
-        Self { extent, data: vec![0.0; n] }
+        Self {
+            extent,
+            data: vec![0.0; n],
+        }
     }
 
     /// Index into the ghosted array; `(-1..=extent)` per axis.
@@ -88,20 +95,23 @@ impl GhostField {
 
 /// Message routing for one decomposition's halo exchange.
 pub struct HaloExchanger {
-    senders: Vec<HashMap<(usize, i64), Sender<Vec<f64>>>>,
-    receivers: Vec<HashMap<(usize, i64), Receiver<Vec<f64>>>>,
+    senders: Vec<FaceSenders>,
+    receivers: Vec<FaceReceivers>,
     /// Bytes moved in the last exchange (diagnostics for the perf model).
     pub last_exchange_bytes: usize,
+    exchanges: u64,
+    #[cfg(feature = "fault-injection")]
+    drop_plan: Vec<(u64, usize)>,
+    #[cfg(feature = "fault-injection")]
+    starved_receives: std::sync::atomic::AtomicUsize,
 }
 
 impl HaloExchanger {
     /// Build channels for every interior face of `decomp`.
     pub fn new(decomp: &BlockDecomposition) -> Self {
         let t = decomp.task_count();
-        let mut senders: Vec<HashMap<(usize, i64), Sender<Vec<f64>>>> =
-            (0..t).map(|_| HashMap::new()).collect();
-        let mut receivers: Vec<HashMap<(usize, i64), Receiver<Vec<f64>>>> =
-            (0..t).map(|_| HashMap::new()).collect();
+        let mut senders: Vec<FaceSenders> = (0..t).map(|_| HashMap::new()).collect();
+        let mut receivers: Vec<FaceReceivers> = (0..t).map(|_| HashMap::new()).collect();
         for task in 0..t {
             let k = decomp.grid_coords(task);
             for axis in 0..3 {
@@ -119,7 +129,38 @@ impl HaloExchanger {
                 }
             }
         }
-        Self { senders, receivers, last_exchange_bytes: 0 }
+        Self {
+            senders,
+            receivers,
+            last_exchange_bytes: 0,
+            exchanges: 0,
+            #[cfg(feature = "fault-injection")]
+            drop_plan: Vec::new(),
+            #[cfg(feature = "fault-injection")]
+            starved_receives: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of completed [`exchange`](Self::exchange) calls.
+    pub fn exchange_count(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Schedule every send from `task` to be silently dropped during the
+    /// `exchange`-th exchange (0-based). One-shot: the entry is consumed
+    /// when it fires, so a retried exchange proceeds clean — models a
+    /// transiently lost MPI message.
+    #[cfg(feature = "fault-injection")]
+    pub fn schedule_halo_drop(&mut self, exchange: u64, task: usize) {
+        self.drop_plan.push((exchange, task));
+    }
+
+    /// Receives starved by dropped sends so far (the affected ghost slab
+    /// keeps its previous, stale contents).
+    #[cfg(feature = "fault-injection")]
+    pub fn starved_receives(&self) -> usize {
+        self.starved_receives
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Exchange all face halos: every field sends its boundary slabs and
@@ -132,7 +173,25 @@ impl HaloExchanger {
     /// the same reason MPI codes pre-post their halo sends.
     pub fn exchange(&mut self, fields: &mut [GhostField]) {
         use rayon::prelude::*;
-        assert_eq!(fields.len(), self.senders.len(), "field/task count mismatch");
+        assert_eq!(
+            fields.len(),
+            self.senders.len(),
+            "field/task count mismatch"
+        );
+        #[cfg(feature = "fault-injection")]
+        let muted: Vec<usize> = {
+            let round = self.exchanges;
+            let mut muted = Vec::new();
+            self.drop_plan.retain(|&(ex, task)| {
+                if ex == round {
+                    muted.push(task);
+                    false
+                } else {
+                    true
+                }
+            });
+            muted
+        };
         let senders = &self.senders;
         let receivers = &self.receivers;
         // Phase 1: post every send (unbounded channels never block).
@@ -140,6 +199,10 @@ impl HaloExchanger {
             .par_iter()
             .enumerate()
             .map(|(task, field)| {
+                #[cfg(feature = "fault-injection")]
+                if muted.contains(&task) {
+                    return 0;
+                }
                 let mut sent = 0;
                 for (&(axis, dir), tx) in &senders[task] {
                     let slab = field.boundary_slab(axis, dir);
@@ -149,14 +212,31 @@ impl HaloExchanger {
                 sent
             })
             .sum();
-        // Phase 2: drain; every message is already queued.
+        // Phase 2: drain; every surviving message is already queued, so a
+        // non-blocking receive is exact — an empty channel can only mean
+        // the paired send was dropped, and the ghost slab stays stale.
+        #[cfg(feature = "fault-injection")]
+        let starved = &self.starved_receives;
         fields.par_iter_mut().enumerate().for_each(|(task, field)| {
             for (&(axis, dir), rx) in &receivers[task] {
-                let slab = rx.recv().expect("halo sender dropped");
-                field.fill_ghost_slab(axis, dir, &slab);
+                #[cfg(feature = "fault-injection")]
+                {
+                    match rx.try_recv() {
+                        Ok(slab) => field.fill_ghost_slab(axis, dir, &slab),
+                        Err(_) => {
+                            starved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+                #[cfg(not(feature = "fault-injection"))]
+                {
+                    let slab = rx.recv().expect("halo sender dropped");
+                    field.fill_ghost_slab(axis, dir, &slab);
+                }
             }
         });
         self.last_exchange_bytes = bytes;
+        self.exchanges += 1;
     }
 }
 
@@ -235,8 +315,7 @@ mod tests {
                 for z in 0..f.extent[2] {
                     for y in 0..f.extent[1] {
                         for x in 0..f.extent[0] {
-                            let g =
-                                (b.lo[0] + x) + d[0] * ((b.lo[1] + y) + d[1] * (b.lo[2] + z));
+                            let g = (b.lo[0] + x) + d[0] * ((b.lo[1] + y) + d[1] * (b.lo[2] + z));
                             f.set(x as i64, y as i64, z as i64, global[g]);
                         }
                     }
@@ -246,9 +325,9 @@ mod tests {
             .collect()
     }
 
-    fn serial_jacobi_step(dims: [usize; 3], data: &mut Vec<f64>) {
+    fn serial_jacobi_step(dims: [usize; 3], data: &mut [f64]) {
         let idx = |x: usize, y: usize, z: usize| x + dims[0] * (y + dims[1] * z);
-        let old = data.clone();
+        let old = data.to_vec();
         for z in 1..dims[2] - 1 {
             for y in 1..dims[1] - 1 {
                 for x in 1..dims[0] - 1 {
@@ -323,5 +402,39 @@ mod tests {
         assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
         // Task 1's −x ghost layer holds task 0's id.
         assert_eq!(fields[1].get(-1, 0, 0), 1.0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn dropped_halo_leaves_ghosts_stale_then_recovers() {
+        let decomp = BlockDecomposition::new([4, 2, 2], 2);
+        let mut fields: Vec<GhostField> = decomp
+            .blocks
+            .iter()
+            .map(|b| GhostField::new(b.extent()))
+            .collect();
+        for (t, f) in fields.iter_mut().enumerate() {
+            for z in 0..f.extent[2] as i64 {
+                for y in 0..f.extent[1] as i64 {
+                    for x in 0..f.extent[0] as i64 {
+                        f.set(x, y, z, t as f64 + 1.0);
+                    }
+                }
+            }
+        }
+        let mut ex = HaloExchanger::new(&decomp);
+        // Task 1 loses all its sends during the first exchange.
+        ex.schedule_halo_drop(0, 1);
+        ex.exchange(&mut fields);
+        // Task 0's +x ghost was starved: still the initial zero.
+        assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 0.0);
+        // The reverse direction was unaffected.
+        assert_eq!(fields[1].get(-1, 0, 0), 1.0);
+        assert_eq!(ex.starved_receives(), 1);
+        // The drop is one-shot: the next exchange heals the ghost.
+        ex.exchange(&mut fields);
+        assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
+        assert_eq!(ex.starved_receives(), 1);
+        assert_eq!(ex.exchange_count(), 2);
     }
 }

@@ -53,7 +53,10 @@ pub struct ChurnStats {
 
 /// Summarize a migration plan over `tasks` tasks.
 pub fn churn_stats(tasks: usize, plan: &[Migration]) -> ChurnStats {
-    let mut s = ChurnStats { outgoing: vec![0; tasks], incoming: vec![0; tasks] };
+    let mut s = ChurnStats {
+        outgoing: vec![0; tasks],
+        incoming: vec![0; tasks],
+    };
     for m in plan {
         s.outgoing[m.from] += 1;
         s.incoming[m.to] += 1;
@@ -80,7 +83,14 @@ mod tests {
         assert_ne!(from, to);
         let cells = vec![(7u64, from, [12.0, 2.0, 2.0])];
         let plan = plan_migrations(&d, &cells);
-        assert_eq!(plan, vec![Migration { cell_id: 7, from, to }]);
+        assert_eq!(
+            plan,
+            vec![Migration {
+                cell_id: 7,
+                from,
+                to
+            }]
+        );
     }
 
     #[test]

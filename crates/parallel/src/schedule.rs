@@ -60,7 +60,14 @@ impl Schedule {
                 block,
             })
             .collect();
-        Self { config, nodes, bulk_tasks, window_tasks, bulk_decomp, window_decomp }
+        Self {
+            config,
+            nodes,
+            bulk_tasks,
+            window_tasks,
+            bulk_decomp,
+            window_decomp,
+        }
     }
 
     /// Total task count.

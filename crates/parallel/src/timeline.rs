@@ -80,7 +80,14 @@ pub fn simulate_step(schedule: &Schedule, rates: WorkRates) -> Timeline {
         comm_busy += comm;
     }
     let wall_time = task_busy.iter().copied().fold(0.0f64, f64::max);
-    Timeline { task_busy, task_device, wall_time, cpu_busy, gpu_busy, comm_busy }
+    Timeline {
+        task_busy,
+        task_device,
+        wall_time,
+        cpu_busy,
+        gpu_busy,
+        comm_busy,
+    }
 }
 
 #[cfg(test)]
@@ -94,7 +101,11 @@ mod tests {
         let schedule = Schedule::build(NodeConfig::SUMMIT, 1, [48, 48, 48], [36, 36, 36]);
         simulate_step(
             &schedule,
-            WorkRates { cpu_per_node: 1e-7, gpu_per_node: 4e-7, comm_per_site: 1e-8 },
+            WorkRates {
+                cpu_per_node: 1e-7,
+                gpu_per_node: 4e-7,
+                comm_per_site: 1e-8,
+            },
         )
     }
 
@@ -119,7 +130,11 @@ mod tests {
         let schedule = Schedule::build(NodeConfig::SUMMIT, 2, [60, 60, 60], [40, 40, 40]);
         let t = simulate_step(
             &schedule,
-            WorkRates { cpu_per_node: 1e-7, gpu_per_node: 1.1e-7, comm_per_site: 0.0 },
+            WorkRates {
+                cpu_per_node: 1e-7,
+                gpu_per_node: 1.1e-7,
+                comm_per_site: 0.0,
+            },
         );
         assert!(t.utilization() > 0.5, "utilization {}", t.utilization());
     }

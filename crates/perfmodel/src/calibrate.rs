@@ -21,11 +21,11 @@ pub struct KernelMeasurement {
 /// per-task CPU rate = measured single-thread rate; the GPU rate keeps the
 /// Summit CPU:GPU ratio (we have no GPU to measure); network terms keep the
 /// shared-memory effective values.
-pub fn calibrate_host(
-    single_thread: KernelMeasurement,
-    cores: usize,
-) -> MachineSpec {
-    assert!(single_thread.threads == 1, "calibrate from a 1-thread measurement");
+pub fn calibrate_host(single_thread: KernelMeasurement, cores: usize) -> MachineSpec {
+    assert!(
+        single_thread.threads == 1,
+        "calibrate from a 1-thread measurement"
+    );
     assert!(single_thread.mlups > 0.0);
     let cpu_rate = single_thread.mlups * 1.0e6;
     let summit = MachineSpec::SUMMIT;
@@ -62,7 +62,13 @@ mod tests {
 
     #[test]
     fn calibration_preserves_device_ratio() {
-        let m = calibrate_host(KernelMeasurement { threads: 1, mlups: 12.0 }, 14);
+        let m = calibrate_host(
+            KernelMeasurement {
+                threads: 1,
+                mlups: 12.0,
+            },
+            14,
+        );
         assert_eq!(m.cpu_site_rate, 12.0e6);
         let summit = MachineSpec::SUMMIT;
         let want = summit.gpu_site_rate / summit.cpu_site_rate;
@@ -74,8 +80,14 @@ mod tests {
     #[test]
     fn efficiency_of_perfect_scaling_is_one() {
         let series = [
-            KernelMeasurement { threads: 1, mlups: 10.0 },
-            KernelMeasurement { threads: 4, mlups: 40.0 },
+            KernelMeasurement {
+                threads: 1,
+                mlups: 10.0,
+            },
+            KernelMeasurement {
+                threads: 4,
+                mlups: 40.0,
+            },
         ];
         assert!((measured_efficiency(&series) - 1.0).abs() < 1e-12);
     }
@@ -83,6 +95,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "1-thread")]
     fn calibration_requires_single_thread_baseline() {
-        let _ = calibrate_host(KernelMeasurement { threads: 4, mlups: 40.0 }, 8);
+        let _ = calibrate_host(
+            KernelMeasurement {
+                threads: 4,
+                mlups: 40.0,
+            },
+            8,
+        );
     }
 }

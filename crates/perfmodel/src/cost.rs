@@ -121,8 +121,7 @@ pub fn step_cost(machine: &MachineSpec, nodes: usize, problem: &ProblemSpec) -> 
     let footprint = problem.window_footprint();
     let bulk_per_task = problem.bulk_points / cpu_tasks;
     let overlap_tasks = (footprint / bulk_per_task).max(1.0);
-    let coupling =
-        COUPLING_WORK_FACTOR * footprint / (overlap_tasks * machine.cpu_site_rate);
+    let coupling = COUPLING_WORK_FACTOR * footprint / (overlap_tasks * machine.cpu_site_rate);
 
     // Halo: per-task face area × width × bytes, once per bulk step and n
     // times per window substep; each node pushes its tasks' halos through
@@ -139,7 +138,12 @@ pub fn step_cost(machine: &MachineSpec, nodes: usize, problem: &ProblemSpec) -> 
     let halo = halo_bytes_per_node / machine.network_bandwidth
         + nf * 6.0 * (1.0 + n) * machine.network_latency;
 
-    StepCost { cpu, gpu, halo, coupling }
+    StepCost {
+        cpu,
+        gpu,
+        halo,
+        coupling,
+    }
 }
 
 #[cfg(test)]
@@ -190,9 +194,19 @@ mod tests {
 
     #[test]
     fn total_overlaps_cpu_with_gpu() {
-        let c = StepCost { cpu: 1.0, gpu: 3.0, halo: 0.5, coupling: 0.2 };
+        let c = StepCost {
+            cpu: 1.0,
+            gpu: 3.0,
+            halo: 0.5,
+            coupling: 0.2,
+        };
         assert!((c.total() - 3.5).abs() < 1e-12);
-        let c2 = StepCost { cpu: 3.0, gpu: 1.0, halo: 0.5, coupling: 0.2 };
+        let c2 = StepCost {
+            cpu: 3.0,
+            gpu: 1.0,
+            halo: 0.5,
+            coupling: 0.2,
+        };
         assert!((c2.total() - 3.7).abs() < 1e-12);
     }
 

@@ -73,8 +73,7 @@ impl MemoryEstimate {
 /// hematocrit `ht` of explicitly meshed RBCs — the capacity calculation
 /// behind Table 2's volume-vs-resources comparison.
 pub fn volume_capacity_ml(memory_bytes: f64, dx_um: f64, ht: f64) -> f64 {
-    let bytes_per_um3 =
-        BYTES_PER_FLUID_POINT / dx_um.powi(3) + ht * BYTES_PER_RBC / RBC_VOLUME_UM3;
+    let bytes_per_um3 = BYTES_PER_FLUID_POINT / dx_um.powi(3) + ht * BYTES_PER_RBC / RBC_VOLUME_UM3;
     memory_bytes / bytes_per_um3 / 1.0e12
 }
 
@@ -86,10 +85,7 @@ pub fn table3_rows() -> [(&'static str, MemoryEstimate); 3] {
             MemoryEstimate::from_counts(0.75, 1.76e7, 2.9e4),
         ),
         ("APR (bulk)", MemoryEstimate::from_counts(15.0, 1.58e8, 0.0)),
-        (
-            "eFSI",
-            MemoryEstimate::from_counts(0.75, 1.47e13, 6.3e10),
-        ),
+        ("eFSI", MemoryEstimate::from_counts(0.75, 1.47e13, 6.3e10)),
     ]
 }
 
@@ -105,15 +101,27 @@ mod tests {
     fn table3_window_row_matches_paper() {
         // Paper: 1.76·10⁷ points → 7.2 GB; 2.9·10⁴ RBCs → 1.48 GB.
         let (_, w) = &table3_rows()[0];
-        assert!((w.fluid_bytes / GB - 7.2).abs() < 0.2, "{}", w.fluid_bytes / GB);
-        assert!((w.rbc_bytes / GB - 1.48).abs() < 0.05, "{}", w.rbc_bytes / GB);
+        assert!(
+            (w.fluid_bytes / GB - 7.2).abs() < 0.2,
+            "{}",
+            w.fluid_bytes / GB
+        );
+        assert!(
+            (w.rbc_bytes / GB - 1.48).abs() < 0.05,
+            "{}",
+            w.rbc_bytes / GB
+        );
     }
 
     #[test]
     fn table3_bulk_row_matches_paper() {
         // Paper: 1.58·10⁸ points → 64.4 GB, no explicit RBCs.
         let (_, b) = &table3_rows()[1];
-        assert!((b.fluid_bytes / GB - 64.4).abs() < 3.0, "{}", b.fluid_bytes / GB);
+        assert!(
+            (b.fluid_bytes / GB - 64.4).abs() < 3.0,
+            "{}",
+            b.fluid_bytes / GB
+        );
         assert_eq!(b.rbc_bytes, 0.0);
     }
 
@@ -121,7 +129,11 @@ mod tests {
     fn table3_efsi_row_matches_paper() {
         // Paper: 1.47·10¹³ points → 6.0 PB; 6.3·10¹⁰ RBCs → 3.2 PB.
         let (_, e) = &table3_rows()[2];
-        assert!((e.fluid_bytes / PB - 6.0).abs() < 0.6, "{}", e.fluid_bytes / PB);
+        assert!(
+            (e.fluid_bytes / PB - 6.0).abs() < 0.6,
+            "{}",
+            e.fluid_bytes / PB
+        );
         assert!((e.rbc_bytes / PB - 3.2).abs() < 0.3, "{}", e.rbc_bytes / PB);
         // Total ≈ 9.2 PB.
         assert!((e.total_bytes() / PB - 9.2).abs() < 0.9);
@@ -157,7 +169,11 @@ mod tests {
             "eFSI capacity {efsi_ml} mL"
         );
         let apr_bulk_ml = 41.0;
-        assert!(apr_bulk_ml / efsi_ml > 1.0e3, "gain {}", apr_bulk_ml / efsi_ml);
+        assert!(
+            apr_bulk_ml / efsi_ml > 1.0e3,
+            "gain {}",
+            apr_bulk_ml / efsi_ml
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub fn strong_scaling(
         .iter()
         .map(|&nodes| {
             let t = step_cost(machine, nodes, problem).total();
-            ScalingPoint { nodes, step_time: t, relative: base / t }
+            ScalingPoint {
+                nodes,
+                step_time: t,
+                relative: base / t,
+            }
         })
         .collect()
 }
@@ -48,7 +52,11 @@ pub fn weak_scaling<F: Fn(usize) -> ProblemSpec>(
         .iter()
         .map(|&nodes| {
             let t = step_cost(machine, nodes, &problem_for(nodes)).total();
-            ScalingPoint { nodes, step_time: t, relative: base / t }
+            ScalingPoint {
+                nodes,
+                step_time: t,
+                relative: base / t,
+            }
         })
         .collect()
 }

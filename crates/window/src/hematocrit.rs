@@ -7,6 +7,7 @@
 
 use crate::regions::{SubregionBox, WindowAnatomy};
 use apr_cells::{CellKind, CellPool};
+use apr_hemo::ConfigError;
 
 /// Hematocrit controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,15 +22,46 @@ pub struct HematocritController {
 }
 
 impl HematocritController {
+    /// Fallible constructor: validates the target against the physiological
+    /// range, the threshold against `[0, 1]`, and the cell volume for
+    /// positivity, returning a typed error instead of panicking.
+    pub fn try_new(target: f64, threshold: f64, cell_volume: f64) -> Result<Self, ConfigError> {
+        if !(0.0..=0.6).contains(&target) {
+            return Err(ConfigError::OutOfRange {
+                name: "unphysiological target hematocrit",
+                value: target,
+                min: 0.0,
+                max: 0.6,
+            });
+        }
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(ConfigError::OutOfRange {
+                name: "refill threshold",
+                value: threshold,
+                min: 0.0,
+                max: 1.0,
+            });
+        }
+        if !(cell_volume > 0.0 && cell_volume.is_finite()) {
+            return Err(ConfigError::NonPositive {
+                name: "cell volume",
+                value: cell_volume,
+            });
+        }
+        Ok(Self {
+            target,
+            threshold,
+            cell_volume,
+        })
+    }
+
     /// New controller.
     ///
     /// # Panics
     /// Panics for targets outside `[0, 0.6]` or a non-positive cell volume.
+    /// Use [`HematocritController::try_new`] to handle the error instead.
     pub fn new(target: f64, threshold: f64, cell_volume: f64) -> Self {
-        assert!((0.0..=0.6).contains(&target), "unphysiological target {target}");
-        assert!((0.0..=1.0).contains(&threshold));
-        assert!(cell_volume > 0.0);
-        Self { target, threshold, cell_volume }
+        Self::try_new(target, threshold, cell_volume).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Window hematocrit: total RBC volume of cells whose centroid lies in
@@ -125,5 +157,28 @@ mod tests {
     #[should_panic(expected = "unphysiological")]
     fn rejects_extreme_target() {
         let _ = HematocritController::new(0.8, 0.9, 10.0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert!(matches!(
+            HematocritController::try_new(0.8, 0.9, 10.0),
+            Err(ConfigError::OutOfRange { value, .. }) if value == 0.8
+        ));
+        assert!(matches!(
+            HematocritController::try_new(0.3, 1.5, 10.0),
+            Err(ConfigError::OutOfRange {
+                name: "refill threshold",
+                ..
+            })
+        ));
+        assert!(matches!(
+            HematocritController::try_new(0.3, 0.9, 0.0),
+            Err(ConfigError::NonPositive {
+                name: "cell volume",
+                ..
+            })
+        ));
+        assert!(HematocritController::try_new(0.3, 0.9, 10.0).is_ok());
     }
 }

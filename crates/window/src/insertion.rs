@@ -81,6 +81,12 @@ pub fn repopulate<R: Rng>(
             for v in &mut verts {
                 *v += sub.min;
             }
+            // Coarse meshes can pass the vertex test while interpenetrating
+            // near-concentrically; enforce a centroid floor as well.
+            if apr_cells::centroid_conflict(pool, world, 2.0 * ctx.min_gap) {
+                report.rejected_overlap += 1;
+                continue;
+            }
             match test_overlap(grid, &verts, ctx.min_gap) {
                 OverlapOutcome::Clear => {
                     let (_, id) =
@@ -108,9 +114,7 @@ pub fn remove_escaped_cells(
     grid: &mut UniformSubgrid,
     anatomy: &WindowAnatomy,
 ) -> usize {
-    let removed = pool.remove_where(|c| {
-        c.kind == CellKind::Rbc && !anatomy.contains(c.centroid())
-    });
+    let removed = pool.remove_where(|c| c.kind == CellKind::Rbc && !anatomy.contains(c.centroid()));
     for cell in &removed {
         grid.remove_cell(cell.id);
     }
@@ -132,7 +136,12 @@ mod tests {
         let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(1.0, 0.01)));
         let mut rng = StdRng::seed_from_u64(11);
         let tile = RbcTile::build(40.0, 0.25, 3.91, 2.4, 94.0, &mut rng);
-        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.5 }
+        InsertionContext {
+            rbc_mesh,
+            rbc_membrane: membrane,
+            tile,
+            min_gap: 0.5,
+        }
     }
 
     #[test]
@@ -213,8 +222,18 @@ mod tests {
         let mut pool = CellPool::with_capacity(16);
         let mut grid = UniformSubgrid::new(4.0);
         // One cell inside, one far outside.
-        let inside = ctx.rbc_mesh.vertices.iter().map(|&v| v + Vec3::splat(50.0)).collect();
-        let outside = ctx.rbc_mesh.vertices.iter().map(|&v| v + Vec3::splat(500.0)).collect();
+        let inside = ctx
+            .rbc_mesh
+            .vertices
+            .iter()
+            .map(|&v| v + Vec3::splat(50.0))
+            .collect();
+        let outside = ctx
+            .rbc_mesh
+            .vertices
+            .iter()
+            .map(|&v| v + Vec3::splat(500.0))
+            .collect();
         let (_, id_in) = pool.insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), inside);
         let (_, id_out) = pool.insert_shape(CellKind::Rbc, Arc::clone(&ctx.rbc_membrane), outside);
         grid.insert_cell(id_in, &pool.find_by_id(id_in).unwrap().vertices.clone());

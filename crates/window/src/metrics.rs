@@ -148,10 +148,14 @@ mod tests {
         let first = tracker.update(&pool, &anatomy);
         assert_eq!(first.appeared, 1);
         // Move to the on-ramp, then the proper region.
-        pool.get_mut(slot).unwrap().translate(Vec3::new(-5.0, 0.0, 0.0));
+        pool.get_mut(slot)
+            .unwrap()
+            .translate(Vec3::new(-5.0, 0.0, 0.0));
         let f = tracker.update(&pool, &anatomy);
         assert_eq!(f.inward, 1);
-        pool.get_mut(slot).unwrap().translate(Vec3::new(-5.0, 0.0, 0.0));
+        pool.get_mut(slot)
+            .unwrap()
+            .translate(Vec3::new(-5.0, 0.0, 0.0));
         let f = tracker.update(&pool, &anatomy);
         assert_eq!(f.inward, 1);
         assert_eq!(f.outward, 0);

@@ -58,12 +58,14 @@ pub fn move_window(
 ) -> (WindowAnatomy, MoveReport) {
     let new_anatomy = anatomy.recentered(ctc);
     let shift = new_anatomy.center - anatomy.center;
-    let mut report = MoveReport { shift, ..Default::default() };
+    let mut report = MoveReport {
+        shift,
+        ..Default::default()
+    };
 
     // 1. Remove RBCs that fall outside the new window entirely.
-    let removed = pool.remove_where(|c| {
-        c.kind == CellKind::Rbc && !new_anatomy.contains(c.centroid())
-    });
+    let removed =
+        pool.remove_where(|c| c.kind == CellKind::Rbc && !new_anatomy.contains(c.centroid()));
     report.removed = removed.len();
 
     // 2. Capture region: surviving RBCs in the new interior keep their
@@ -98,6 +100,10 @@ pub fn move_window(
             Region::Proper | Region::OnRamp
         );
         if !in_fill {
+            report.rejected += 1;
+            continue;
+        }
+        if apr_cells::centroid_conflict(pool, centroid, 2.0 * min_gap) {
             report.rejected += 1;
             continue;
         }
@@ -156,7 +162,9 @@ mod tests {
     #[test]
     fn trigger_fires_near_boundary() {
         let w = WindowAnatomy::new(Vec3::splat(50.0), 20.0, 5.0, 5.0);
-        let t = MoveTrigger { trigger_distance: 4.0 };
+        let t = MoveTrigger {
+            trigger_distance: 4.0,
+        };
         assert!(!t.should_move(&w, w.center));
         assert!(t.should_move(&w, w.center + Vec3::new(17.0, 0.0, 0.0)));
         assert!(t.should_move(&w, w.center + Vec3::new(25.0, 0.0, 0.0)));
@@ -166,8 +174,7 @@ mod tests {
     fn move_keeps_captured_cells_in_place() {
         let w = WindowAnatomy::new(Vec3::splat(50.0), 15.0, 5.0, 5.0);
         let (mut pool, mut grid) = setup(&w, 9.0);
-        let before: Vec<(u64, Vec3)> =
-            pool.iter().map(|c| (c.id, c.centroid())).collect();
+        let before: Vec<(u64, Vec3)> = pool.iter().map(|c| (c.id, c.centroid())).collect();
         let ctc = w.center + Vec3::new(12.0, 0.0, 0.0);
         let (new_w, report) = move_window(&w, &mut pool, &mut grid, ctc, 0.5);
         assert_eq!(new_w.center, ctc);

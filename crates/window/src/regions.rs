@@ -54,7 +54,12 @@ impl WindowAnatomy {
     pub fn new(center: Vec3, proper_half: f64, onramp: f64, insertion: f64) -> Self {
         assert!(proper_half > 0.0, "window proper must have extent");
         assert!(onramp >= 0.0 && insertion >= 0.0);
-        Self { center, proper_half, onramp, insertion }
+        Self {
+            center,
+            proper_half,
+            onramp,
+            insertion,
+        }
     }
 
     /// The paper's Figure 6 window: 120 µm edge = 40 µm proper + 2×20 µm
@@ -121,7 +126,10 @@ impl WindowAnatomy {
 
     /// Recentre the window (a window move).
     pub fn recentered(&self, new_center: Vec3) -> Self {
-        Self { center: new_center, ..*self }
+        Self {
+            center: new_center,
+            ..*self
+        }
     }
 
     /// Cubic insertion subregions: the full window is gridded into cubes of
@@ -193,7 +201,10 @@ mod tests {
         assert_eq!(w.region_of(c), Region::Proper);
         assert_eq!(w.region_of(c + Vec3::new(19.9, 0.0, 0.0)), Region::Proper);
         assert_eq!(w.region_of(c + Vec3::new(25.0, 0.0, 0.0)), Region::OnRamp);
-        assert_eq!(w.region_of(c + Vec3::new(35.0, 0.0, 0.0)), Region::Insertion);
+        assert_eq!(
+            w.region_of(c + Vec3::new(35.0, 0.0, 0.0)),
+            Region::Insertion
+        );
         assert_eq!(w.region_of(c + Vec3::new(41.0, 0.0, 0.0)), Region::Outside);
         // Cube metric: diagonal point inside the proper cube.
         assert_eq!(w.region_of(c + Vec3::splat(19.0)), Region::Proper);
@@ -223,7 +234,10 @@ mod tests {
         // Total subregion volume approximates the shell volume.
         let shell = w.volume() - w.interior_volume();
         let total: f64 = subs.iter().map(SubregionBox::volume).sum();
-        assert!((total - shell).abs() / shell < 0.05, "total {total} vs shell {shell}");
+        assert!(
+            (total - shell).abs() / shell < 0.05,
+            "total {total} vs shell {shell}"
+        );
     }
 
     #[test]

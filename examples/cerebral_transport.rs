@@ -9,10 +9,13 @@
 //!
 //! ```sh
 //! cargo run --release --example cerebral_transport
+//! # long campaigns: checkpoint every 500 steps, resume after a crash
+//! cargo run --release --example cerebral_transport -- --checkpoint-every 500
+//! cargo run --release --example cerebral_transport -- --resume cerebral.ckpt
 //! ```
 
 use apr_suite::cells::ContactParams;
-use apr_suite::core::AprEngine;
+use apr_suite::core::{restore_engine_from_file, save_engine_to_file, AprEngine};
 use apr_suite::coupling::fine_tau;
 use apr_suite::geom::{open_tree_flow, voxelize, TreeParams, VascularTree};
 use apr_suite::lattice::{Lattice, NodeClass};
@@ -23,7 +26,41 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
+/// Checkpointing knobs from the command line; everything else in this
+/// scenario is fixed so a resumed run rebuilds the identical recipe.
+struct CkptOpts {
+    every: Option<u64>,
+    resume: Option<std::path::PathBuf>,
+    path: std::path::PathBuf,
+}
+
+fn parse_opts() -> CkptOpts {
+    let mut opts = CkptOpts {
+        every: None,
+        resume: None,
+        path: "cerebral.ckpt".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-every" => {
+                let v = args.next().expect("--checkpoint-every needs a step count");
+                opts.every = Some(v.parse().expect("invalid step count"));
+            }
+            "--checkpoint-path" => {
+                opts.path = args.next().expect("--checkpoint-path needs a path").into();
+            }
+            "--resume" => {
+                opts.resume = Some(args.next().expect("--resume needs a path").into());
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    opts
+}
+
 fn main() {
+    let opts = parse_opts();
     // Synthetic "cerebral" tree: root radius 7 coarse cells, 3 levels.
     let mut rng = StdRng::seed_from_u64(7);
     let params = TreeParams {
@@ -60,7 +97,9 @@ fn main() {
     );
     println!(
         "Bulk lattice: {}×{}×{} nodes, {} in the lumen",
-        nx, ny, nz,
+        nx,
+        ny,
+        nz,
         coarse.fluid_node_count()
     );
 
@@ -87,7 +126,10 @@ fn main() {
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     );
     let tree_sdf = tree.sdf();
     engine.set_fine_geometry(Box::new(move |fine, origin| {
@@ -104,11 +146,34 @@ fn main() {
     let membrane = Arc::new(Membrane::new(reference, MembraneMaterial::ctc(4e-3, 2e-4)));
     let center = engine.anatomy.center;
     let verts: Vec<Vec3> = ctc_mesh.vertices.iter().map(|&v| v + center).collect();
-    engine.add_ctc(membrane, verts);
+    engine.add_ctc(Arc::clone(&membrane), verts);
+
+    if let Some(resume) = &opts.resume {
+        restore_engine_from_file(&mut engine, resume, Some(&membrane))
+            .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", resume.display()));
+        println!(
+            "Resumed from {} at step {} ({} window moves so far)",
+            resume.display(),
+            engine.steps(),
+            engine.window_moves()
+        );
+    }
 
     println!("\nstep    world_z   path_len   window_moves");
-    for step in 0..3000u64 {
+    let first = engine.steps();
+    for step in first..first + 3000u64 {
         engine.step();
+        if let Some(every) = opts.every {
+            if engine.steps().is_multiple_of(every) {
+                save_engine_to_file(&engine, &opts.path)
+                    .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+                println!(
+                    "checkpoint -> {} (step {})",
+                    opts.path.display(),
+                    engine.steps()
+                );
+            }
+        }
         if step % 250 == 0 {
             if let Some(w) = engine.tracker.current() {
                 println!(
@@ -122,6 +187,17 @@ fn main() {
         if engine.window_moves() >= 4 {
             break;
         }
+    }
+    // A campaign can end between periodic saves (or before the first one);
+    // leave a final checkpoint so the run is always resumable.
+    if opts.every.is_some() {
+        save_engine_to_file(&engine, &opts.path)
+            .unwrap_or_else(|e| panic!("checkpoint failed: {e}"));
+        println!(
+            "checkpoint -> {} (step {})",
+            opts.path.display(),
+            engine.steps()
+        );
     }
     println!(
         "\nCTC travelled {:.1} coarse cells along the tree with {} window moves.",

@@ -55,7 +55,10 @@ fn main() {
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     );
     // The window geometry callback keeps channel walls flagged in the fine
     // lattice as the window moves.
@@ -99,7 +102,12 @@ fn main() {
     }
 
     println!("\nRadial profile (axial z, radial r) — the Figure 6D observable:");
-    for (z, r) in engine.tracker.radial_profile(axis_origin, Vec3::Z).iter().step_by(200) {
+    for (z, r) in engine
+        .tracker
+        .radial_profile(axis_origin, Vec3::Z)
+        .iter()
+        .step_by(200)
+    {
         println!("  z = {z:>7.2}   r = {r:>6.3}");
     }
     println!(

@@ -22,16 +22,16 @@ fn main() {
     let mut engine = EfsiEngine::new(
         lattice,
         8,
-        ContactParams { cutoff: 1.0, strength: 1e-4 },
+        ContactParams {
+            cutoff: 1.0,
+            strength: 1e-4,
+        },
     );
 
     // One healthy RBC, 4 lattice units in radius, at the channel centre.
     let mesh = biconcave_rbc_mesh(2, 4.0);
     let reference = Arc::new(ReferenceState::build(&mesh));
-    let membrane = Arc::new(Membrane::new(
-        reference,
-        MembraneMaterial::rbc(1e-3, 1e-5),
-    ));
+    let membrane = Arc::new(Membrane::new(reference, MembraneMaterial::rbc(1e-3, 1e-5)));
     let center = Vec3::new(12.0, 10.0, 10.0);
     let vertices: Vec<Vec3> = mesh.vertices.iter().map(|&v| v + center).collect();
     engine.add_cell(CellKind::Rbc, membrane, vertices);

@@ -50,7 +50,10 @@ fn main() {
         span as f64 * n as f64 * 0.22,
         span as f64 * n as f64 * 0.12,
         span as f64 * n as f64 * 0.14,
-        ContactParams { cutoff: 1.2, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
     );
 
     // RBC machinery: radius 3 fine units.
@@ -87,11 +90,11 @@ fn main() {
         }
     }
 
-    let steady = series.steady_mean(0.4);
+    let steady = series.steady_mean(0.4).expect("series has samples");
     println!("\nSteady window hematocrit: {steady:.4} (target {target_ht})");
     println!(
         "Fluctuation (repopulation ripple): ±{:.4}",
-        series.steady_fluctuation(0.4) / 2.0
+        series.steady_fluctuation(0.4).expect("series has samples") / 2.0
     );
 
     // Figure 5C comparison: the Pries correlation for this Ht in a 200 µm

@@ -22,9 +22,7 @@ fn main() {
     let nodes = 256usize;
     let gpus = nodes * machine.gpu_tasks_per_node;
     let cpus = nodes * machine.cpu_tasks_per_node;
-    println!(
-        "Resources: {nodes} Summit nodes = {gpus} V100 GPUs + {cpus} CPU tasks\n"
-    );
+    println!("Resources: {nodes} Summit nodes = {gpus} V100 GPUs + {cpus} CPU tasks\n");
 
     // eFSI capacity: every µm³ costs fine fluid points + meshed RBCs, and
     // it all has to fit in GPU memory (Table 2, paper: 4.98·10⁻³ mL).
@@ -82,9 +80,7 @@ fn main() {
         "\nVolume accessible to cellular resolution: APR opens {:.0}× more fluid",
         tree_ml / efsi_ml
     );
-    println!(
-        "than eFSI at identical resources — the paper's \"4 orders of magnitude\""
-    );
+    println!("than eFSI at identical resources — the paper's \"4 orders of magnitude\"");
     println!(
         "(Table 2: 41.0 mL vs 4.98·10⁻³ mL). The moving window turns a {:.1} mm",
         (efsi_ml * 1.0e12).powf(1.0 / 3.0) / 1.0e3

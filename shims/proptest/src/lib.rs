@@ -1,0 +1,369 @@
+//! Offline stand-in for [proptest](https://docs.rs/proptest) covering the
+//! subset this workspace uses: the `proptest!` macro with `arg in strategy`
+//! bindings, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and
+//! tuple strategies, `Strategy::prop_map`, and `collection::vec`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! seed and case index instead of a minimized input), and sampling uses the
+//! workspace's deterministic xoshiro `StdRng`, so failures are reproducible
+//! run-to-run. Case count defaults to 96 and can be raised with the
+//! `PROPTEST_CASES` environment variable.
+
+use rand::Rng;
+
+/// The RNG driving every sample.
+pub type TestRng = rand::rngs::StdRng;
+
+/// A source of random values of one type (subset of `proptest::Strategy`).
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only samples for which `pred` holds (rejection sampling; panics
+    /// after 1000 consecutive rejections).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive samples: {}",
+            self.whence
+        );
+    }
+}
+
+/// Strategy yielding one fixed value (subset of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length bounds for generated collections (half-open).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each case draws a length then that many elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Case driver used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use super::TestRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the whole test with this message.
+        Fail(String),
+        /// `prop_assume!` rejection — the case is skipped, not failed.
+        Reject,
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES` env override).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96)
+    }
+
+    /// Run `case` repeatedly with a deterministic per-test RNG.
+    pub fn run<F>(test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut hasher = DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        let seed = hasher.finish() ^ 0xA55A_5AA5_55AA_AA55;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let cases = case_count();
+        let mut executed = 0usize;
+        let mut rejected = 0usize;
+        while executed < cases {
+            match case(&mut rng) {
+                Ok(()) => executed += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < 64 * cases,
+                        "{test_name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{test_name}: case {executed} failed (rng seed {seed:#x}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Property test block: `proptest! { #[test] fn f(x in strat, ...) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    stringify!($name),
+                    |__proptest_rng: &mut $crate::test_runner::TestRng|
+                        -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(let $arg = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts with seed context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bind first so the negation is on a plain bool (clippy
+        // neg_cmp_op_on_partial_ord fires on `!(a > b)` for floats).
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            __l, __r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        let __cond: bool = $cond;
+        if !__cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in -2.0..3.0f64, n in 1u32..10, m in 0..=5i32) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((0..=5).contains(&m));
+        }
+
+        /// Tuple + vec + prop_map compose.
+        #[test]
+        fn composite_strategies(
+            v in crate::collection::vec((0u64..4, (0.0..1.0f64, 0.0..1.0f64)), 2..9)
+                .prop_map(|v| v.into_iter().map(|(id, (a, b))| (id, a + b)).collect::<Vec<_>>()),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "len {}", v.len());
+            for (id, s) in &v {
+                prop_assert!(*id < 4);
+                prop_assert!((0.0..2.0).contains(s));
+            }
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_skips(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0 failed")]
+    fn failing_property_panics_with_context() {
+        crate::test_runner::run("failing_property", |rng| {
+            let x = crate::Strategy::sample(&(0.0..1.0f64), rng);
+            crate::prop_assert!(x > 2.0, "x was {x}");
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon) covering the subset
+//! of its API this workspace uses.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real rayon cannot be fetched. This shim executes everything
+//! **sequentially** on the calling thread: `par_iter` family methods return
+//! ordinary `std` iterators, and [`join`] runs its closures back to back.
+//! Because every "parallel" iterator here *is* a `std::iter::Iterator`, the
+//! full std combinator set (`map`, `sum`, `for_each`, …) is available, which
+//! is exactly how call sites use rayon's `ParallelIterator`.
+//!
+//! Determinism note: sequential execution makes reductions bit-reproducible,
+//! which the checkpoint/rollback tests rely on. If the real rayon is ever
+//! restored, those tests must switch to tolerance-based comparison.
+
+/// Parallel iterator traits. [`iter::ParallelIterator`] is a blanket alias
+/// for `Iterator` so `impl ParallelIterator<Item = T>` return types work.
+pub mod iter {
+    /// Sequential stand-in: every `Iterator` is a `ParallelIterator`.
+    pub trait ParallelIterator: Iterator {}
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+/// Run two closures "in parallel" (sequentially here), returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    let ra = a();
+    let rb = b();
+    (ra, rb)
+}
+
+/// Error from building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]; thread count is recorded but ignored —
+/// everything runs on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a worker count (recorded for introspection only).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Sequential stand-in for rayon's thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` "inside" the pool (directly on the calling thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Number of threads in the (implicit) global pool — always 1 here.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The traits rayon's prelude exports, implemented over std iterators.
+pub mod prelude {
+    pub use crate::iter::ParallelIterator;
+
+    /// `collection.into_par_iter()` — sequential `into_iter`.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `collection.par_iter()` — sequential `iter`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `collection.par_iter_mut()` — sequential `iter_mut`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'data;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `slice.par_chunks(n)` — sequential `chunks`.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `slice.par_chunks_mut(n)` — sequential `chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+        let c: Vec<i32> = vec![5, 6].into_par_iter().collect();
+        assert_eq!(c, vec![5, 6]);
+    }
+
+    #[test]
+    fn chunks_and_join() {
+        let v = [1, 2, 3, 4, 5];
+        assert_eq!(v.par_chunks(2).count(), 3);
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+}

@@ -43,7 +43,14 @@ fn run_efsi(coarse_steps: u64) -> f64 {
     let tau_f = fine_tau(TAU_C, N, LAMBDA);
     let mut lat = force_driven_tube(nx, ny, nz, tau_f, RADIUS_C * N as f64, G / N as f64);
     lat.periodic = [false, false, true];
-    let mut engine = EfsiEngine::new(lat, 4, ContactParams { cutoff: 1.0, strength: 5e-4 });
+    let mut engine = EfsiEngine::new(
+        lat,
+        4,
+        ContactParams {
+            cutoff: 1.0,
+            strength: 5e-4,
+        },
+    );
     let (mem, mesh) = ctc_membrane(2.5 * N as f64);
     let start = Vec3::new(
         (nx as f64 - 1.0) / 2.0,
@@ -78,7 +85,10 @@ fn run_apr(coarse_steps: u64) -> (f64, u64) {
         span as f64 * N as f64 * 0.28,
         span as f64 * N as f64 * 0.11,
         span as f64 * N as f64 * 0.11,
-        ContactParams { cutoff: 1.0, strength: 5e-4 },
+        ContactParams {
+            cutoff: 1.0,
+            strength: 5e-4,
+        },
     );
     let (mem, mesh) = ctc_membrane(2.5 * N as f64);
     // Same world start: tube centre, z = 8 coarse.

@@ -21,20 +21,14 @@ fn paper_figure6_unit_chain_is_stable() {
     // Eq. 7. Choose τ_c = 1 on the 2.5 µm bulk grid and check the whole
     // chain gives a stable fine lattice and sane lattice parameters.
     let n = 5usize;
-    let lambda = PLASMA_KINEMATIC_VISCOSITY
-        / (WHOLE_BLOOD_VISCOSITY / 1060.0);
+    let lambda = PLASMA_KINEMATIC_VISCOSITY / (WHOLE_BLOOD_VISCOSITY / 1060.0);
     let tau_c = 1.0;
     let tau_f = apr_suite::coupling::fine_tau(tau_c, n, lambda);
     assert!(tau_f > 0.5 && tau_f < 2.5, "τ_f = {tau_f}");
 
     // The coarse unit converter fixes Δt; inlet velocity 0.1 m/s must map
     // to a low-Mach lattice velocity on the coarse grid.
-    let conv = UnitConverter::from_viscosity(
-        2.5e-6,
-        WHOLE_BLOOD_VISCOSITY / 1060.0,
-        tau_c,
-        1060.0,
-    );
+    let conv = UnitConverter::from_viscosity(2.5e-6, WHOLE_BLOOD_VISCOSITY / 1060.0, tau_c, 1060.0);
     let u_lat = conv.velocity_to_lattice(0.1);
     assert!(u_lat < 0.15, "lattice velocity {u_lat} too compressible");
 
@@ -46,7 +40,10 @@ fn paper_figure6_unit_chain_is_stable() {
     // The RBC spans ~16 fine lattice nodes, matching the paper's "order of
     // magnitude smaller than the length scale of an individual RBC".
     let d_lat = fine_conv.length_to_lattice(RBC_DIAMETER);
-    assert!(d_lat > 8.0 && d_lat < 40.0, "RBC diameter {d_lat} fine nodes");
+    assert!(
+        d_lat > 8.0 && d_lat < 40.0,
+        "RBC diameter {d_lat} fine nodes"
+    );
 }
 
 #[test]
@@ -84,7 +81,10 @@ fn voxelized_tree_carries_flow() {
     assert!(u > 1e-3, "no flow in the lumen: {u}");
     // Steady pressure head, not a mass leak.
     let (rho, _) = lat.moments_at(root_mid);
-    assert!((rho - rho_mid).abs() < 0.01, "density drifting: {rho_mid} -> {rho}");
+    assert!(
+        (rho - rho_mid).abs() < 0.01,
+        "density drifting: {rho_mid} -> {rho}"
+    );
 }
 
 #[test]

@@ -21,7 +21,12 @@ fn machinery() -> (InsertionContext, HematocritController) {
     let mut rng = StdRng::seed_from_u64(17);
     let tile = RbcTile::build(50.0, 0.25, 3.91, 2.4, volume, &mut rng);
     (
-        InsertionContext { rbc_mesh, rbc_membrane: membrane, tile, min_gap: 0.6 },
+        InsertionContext {
+            rbc_mesh,
+            rbc_membrane: membrane,
+            tile,
+            min_gap: 0.6,
+        },
         HematocritController::new(0.18, 0.85, volume),
     )
 }
@@ -42,7 +47,10 @@ fn full_window_lifecycle() {
     }
     assert!(total_inserted > 30, "only {total_inserted} inserted");
     let ht = controller.window_hematocrit(&pool, &anatomy);
-    assert!(ht > 0.5 * controller.target && ht <= controller.target * 1.02, "Ht {ht}");
+    assert!(
+        ht > 0.5 * controller.target && ht <= controller.target * 1.02,
+        "Ht {ht}"
+    );
 
     // Phase 2: simulate advection — drift every cell +x and prune leavers.
     for _ in 0..5 {
@@ -54,10 +62,15 @@ fn full_window_lifecycle() {
         repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
     }
     assert!(pool.total_removed() > 0, "drift never pushed cells out");
-    assert!(pool.total_inserted() > total_inserted as u64, "no refills during drift");
+    assert!(
+        pool.total_inserted() > total_inserted as u64,
+        "no refills during drift"
+    );
 
     // Phase 3: window move triggered by a synthetic CTC near the boundary.
-    let trigger = MoveTrigger { trigger_distance: 4.0 };
+    let trigger = MoveTrigger {
+        trigger_distance: 4.0,
+    };
     let ctc = anatomy.center + Vec3::new(15.0, 2.0, -1.0);
     assert!(trigger.should_move(&anatomy, ctc));
     let live_before = pool.live_count();
@@ -69,7 +82,10 @@ fn full_window_lifecycle() {
     for cell in pool.iter() {
         assert!(anatomy.contains(cell.centroid()));
     }
-    assert!(pool.live_count() > live_before / 3, "move lost too many cells");
+    assert!(
+        pool.live_count() > live_before / 3,
+        "move lost too many cells"
+    );
 
     // Phase 4: post-move repopulation tops the shell back up.
     let report = repopulate(&mut pool, &mut grid, &anatomy, &controller, &ctx, &mut rng);
