@@ -4,13 +4,26 @@
 //! and (b) a measured rayon thread-scaling analogue on this host.
 //!
 //! ```sh
-//! cargo run --release -p apr-bench --bin exp_scaling
+//! cargo run --release -p apr-bench --bin exp_scaling [-- --trace-out trace.json]
 //! ```
+//!
+//! With `--trace-out`, every timed kernel box is also recorded as a
+//! `bench.lbm_box` telemetry span and the run writes a Chrome-trace JSON
+//! viewable in Perfetto / about://tracing.
 
 use apr_bench::report::{render_figure7, render_figure8};
 use apr_bench::scaling_meas::{measure_strong_scaling, measure_weak_scaling};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if trace_out.is_some() {
+        apr_telemetry::enable();
+    }
     println!("{}", render_figure7());
     println!("Paper: >6× speedup from 32 to 512 nodes, rolling off as halo and");
     println!("coupling traffic stop scaling with rank count.\n");
@@ -36,5 +49,16 @@ fn main() {
     println!("threads   MLUPS   efficiency");
     for p in measure_weak_scaling(40, 10, &threads) {
         println!("{:>7}   {:>6.1}   {:>6.2}", p.threads, p.mlups, p.speedup);
+    }
+
+    if let Some(path) = trace_out {
+        let rec = apr_telemetry::global();
+        println!(
+            "\n{}",
+            apr_telemetry::render_phase_table(&rec.phase_stats())
+        );
+        rec.write_chrome_trace(std::path::Path::new(&path))
+            .expect("write trace");
+        println!("wrote Chrome trace to {path} (open in Perfetto)");
     }
 }

@@ -6,7 +6,6 @@
 //! surface-to-volume story at shared-memory scale.
 
 use apr_lattice::Lattice;
-use std::time::Instant;
 
 /// One measured scaling point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,11 +32,14 @@ fn time_box(threads: usize, edge: usize, steps: usize) -> f64 {
         for _ in 0..3 {
             lat.step();
         }
-        let t0 = Instant::now();
-        for _ in 0..steps {
-            lat.step();
-        }
-        let dt = t0.elapsed().as_secs_f64();
+        // One clock path for the whole suite: the telemetry clock times the
+        // measurement and, when tracing is enabled, records it as a span.
+        let (_, elapsed_ns) = apr_telemetry::time("bench.lbm_box", || {
+            for _ in 0..steps {
+                lat.step();
+            }
+        });
+        let dt = elapsed_ns as f64 / 1.0e9;
         (edge * edge * edge * steps) as f64 / dt / 1.0e6
     })
 }

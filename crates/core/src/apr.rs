@@ -225,53 +225,121 @@ impl AprEngine {
     /// Advance one coarse step (with `n` fine FSI substeps), plus window
     /// maintenance and (when triggered) a window move.
     pub fn step(&mut self) -> AprStepReport {
+        let _step_span = apr_telemetry::span("apr.step");
         let mut report = AprStepReport::default();
-        let old = self.map.snapshot(&self.coarse, &self.fine);
-        self.coarse.step();
-        let new = self.map.snapshot(&self.coarse, &self.fine);
+        let old = {
+            let _s = apr_telemetry::span("coupling.snapshot");
+            self.map.snapshot(&self.coarse, &self.fine)
+        };
+        {
+            let _s = apr_telemetry::span("apr.coarse");
+            self.coarse.step();
+        }
+        let new = {
+            let _s = apr_telemetry::span("coupling.snapshot");
+            self.map.snapshot(&self.coarse, &self.fine)
+        };
         let n = self.map.n;
         for k in 0..n {
             let theta = (k + 1) as f64 / n as f64;
-            fsi::compute_membrane_forces(&mut self.pool);
-            fsi::compute_contact_forces(&mut self.pool, &mut self.grid, self.contact);
-            self.fine.clear_forces();
-            fsi::spread_cell_forces(&mut self.fine, &self.pool, self.kernel, |v| v, 1.0);
-            self.fine.collide_phase();
-            self.map.impose_shell(&mut self.fine, &old, &new, theta);
-            self.fine.stream_phase();
-            fsi::advect_cells(&self.fine, &mut self.pool, self.kernel, |v| v, 1.0);
+            {
+                let _s = apr_telemetry::span("fsi.membrane_forces");
+                fsi::compute_membrane_forces(&mut self.pool);
+            }
+            {
+                let _s = apr_telemetry::span("fsi.contact_forces");
+                fsi::compute_contact_forces(&mut self.pool, &mut self.grid, self.contact);
+            }
+            {
+                let _s = apr_telemetry::span("fsi.spread");
+                self.fine.clear_forces();
+                fsi::spread_cell_forces(&mut self.fine, &self.pool, self.kernel, |v| v, 1.0);
+            }
+            {
+                let _s = apr_telemetry::span("apr.fine.collide");
+                self.fine.collide_phase();
+            }
+            {
+                let _s = apr_telemetry::span("coupling.impose_shell");
+                self.map.impose_shell(&mut self.fine, &old, &new, theta);
+            }
+            {
+                let _s = apr_telemetry::span("apr.fine.stream");
+                self.fine.stream_phase();
+            }
+            {
+                let _s = apr_telemetry::span("fsi.interpolate");
+                fsi::advect_cells(&self.fine, &mut self.pool, self.kernel, |v| v, 1.0);
+            }
         }
-        self.map.restrict(&mut self.coarse, &self.fine);
+        {
+            let _s = apr_telemetry::span("coupling.restrict");
+            self.map.restrict(&mut self.coarse, &self.fine);
+        }
 
         self.steps += 1;
-        self.site_updates +=
+        let step_sites =
             self.coarse.fluid_node_count() as u64 + (self.fine.fluid_node_count() * n) as u64;
+        self.site_updates += step_sites;
+        apr_telemetry::counter_add("apr.site_updates", step_sites);
 
         // Trajectory + window move.
         if let Some(ctc) = self.ctc_position() {
             let world = self.fine_to_world(ctc);
             self.tracker.record(self.steps, world);
             if self.trigger.should_move(&self.anatomy, ctc) {
+                let _s = apr_telemetry::span("apr.window_move");
                 report.moved = self.execute_window_move(ctc);
             }
         }
 
         // Periodic density maintenance.
         if self.steps.is_multiple_of(self.maintenance_interval) {
+            let _s = apr_telemetry::span("window.maintenance");
             let escaped = remove_escaped_cells(&mut self.pool, &mut self.grid, &self.anatomy);
             report.escaped = escaped;
+            if escaped > 0 {
+                apr_telemetry::emit(apr_telemetry::TelemetryEvent::EscapedCells {
+                    step: self.steps,
+                    count: escaped as u32,
+                });
+            }
             if let (Some(controller), Some(ctx)) = (&self.controller, &self.insertion) {
-                report.insertion = Some(repopulate(
+                let ins = repopulate(
                     &mut self.pool,
                     &mut self.grid,
                     &self.anatomy,
                     controller,
                     ctx,
                     &mut self.rng,
-                ));
+                );
+                apr_telemetry::emit(apr_telemetry::TelemetryEvent::Repopulation {
+                    step: self.steps,
+                    needy_subregions: ins.needy_subregions as u32,
+                    inserted: ins.inserted as u32,
+                    rejected: (ins.rejected_overlap + ins.rejected_outside) as u32,
+                });
+                report.insertion = Some(ins);
             }
         }
+
+        self.publish_gauges();
         report
+    }
+
+    /// Per-step observability: region occupancy and window hematocrit
+    /// gauges. Skipped entirely (including the pool scan) when telemetry
+    /// is disabled.
+    fn publish_gauges(&self) {
+        if !apr_telemetry::is_enabled() {
+            return;
+        }
+        let occ = apr_window::region_occupancy(&self.pool, &self.anatomy);
+        apr_window::publish_occupancy(&occ);
+        if let Some(ht) = self.window_hematocrit() {
+            apr_telemetry::gauge_set("window.hematocrit", ht);
+        }
+        apr_telemetry::gauge_set("apr.window_moves", self.moves as f64);
     }
 
     /// Perform the §2.4.3 window move toward the CTC at fine position
@@ -310,7 +378,7 @@ impl AprEngine {
         // Capture/fill in the old frame: the window recentres on the snap
         // target; fill copies are placed shifted by the displacement.
         let target = self.anatomy.center + shift_fine;
-        let (_, _move_report) = move_window(
+        let (_, move_report) = move_window(
             &self.anatomy,
             &mut self.pool,
             &mut self.grid,
@@ -339,6 +407,13 @@ impl AprEngine {
         // Fresh fine fluid from the coarse solution (paper §2.4.3).
         self.map.seed_fine_from_coarse(&self.coarse, &mut self.fine);
         self.moves += 1;
+        apr_telemetry::emit(apr_telemetry::TelemetryEvent::WindowMove {
+            step: self.steps,
+            shift: [shift_c.x, shift_c.y, shift_c.z],
+            captured: move_report.captured as u32,
+            copied: move_report.copied as u32,
+            removed: move_report.removed as u32,
+        });
         true
     }
 

@@ -346,7 +346,12 @@ impl Guardian {
     /// [`GuardError::RetriesExhausted`] is returned.
     pub fn step(&mut self, engine: &mut AprEngine) -> Result<GuardedStep, GuardError> {
         if self.last_good.is_none() {
-            self.last_good = Some(save_engine(engine));
+            let blob = save_engine(engine);
+            apr_telemetry::emit(apr_telemetry::TelemetryEvent::CheckpointSaved {
+                step: engine.steps(),
+                bytes: blob.len() as u64,
+            });
+            self.last_good = Some(blob);
         }
         #[cfg(feature = "fault-injection")]
         self.apply_faults(engine);
@@ -363,9 +368,20 @@ impl Guardian {
                         rolled_back: false,
                     });
                 }
-                let health = self.inspect(engine);
+                let health = {
+                    let _s = apr_telemetry::span("guard.inspect");
+                    self.inspect(engine)
+                };
                 if health.is_healthy() {
-                    self.last_good = Some(save_engine(engine));
+                    let blob = {
+                        let _s = apr_telemetry::span("guard.checkpoint");
+                        save_engine(engine)
+                    };
+                    apr_telemetry::emit(apr_telemetry::TelemetryEvent::CheckpointSaved {
+                        step: engine.steps(),
+                        bytes: blob.len() as u64,
+                    });
+                    self.last_good = Some(blob);
                     self.attempts = 0;
                     return Ok(GuardedStep {
                         report,
@@ -388,6 +404,11 @@ impl Guardian {
         };
 
         let step = engine.steps();
+        apr_telemetry::emit(apr_telemetry::TelemetryEvent::SentinelTrip {
+            step,
+            issues: health.issues.len() as u32,
+            first_kind: health.issues.first().map_or("none", |i| i.kind()),
+        });
         self.attempts += 1;
         if self.attempts > self.policy.max_retries {
             self.log.record(RecoveryEvent {
@@ -395,6 +416,10 @@ impl Guardian {
                 attempt: self.attempts,
                 report: health,
                 action: RecoveryAction::GaveUp,
+            });
+            apr_telemetry::emit(apr_telemetry::TelemetryEvent::RetriesExhausted {
+                step,
+                attempts: self.attempts,
             });
             return Err(GuardError::RetriesExhausted {
                 attempts: self.attempts,
@@ -406,7 +431,10 @@ impl Guardian {
             .last_good
             .clone()
             .expect("checkpoint taken before stepping");
-        restore_engine(engine, &blob, self.ctc_membrane.as_ref())?;
+        {
+            let _s = apr_telemetry::span("guard.rollback");
+            restore_engine(engine, &blob, self.ctc_membrane.as_ref())?;
+        }
         let new_seed = self.policy.seed_for_attempt(self.attempts);
         engine.reseed_rng(new_seed);
         // Tightening compounds per attempt: the restore reset τ to the
@@ -414,6 +442,13 @@ impl Guardian {
         for _ in 0..self.attempts {
             engine.fine.tau = self.policy.tighten_tau(engine.fine.tau);
         }
+        apr_telemetry::emit(apr_telemetry::TelemetryEvent::Rollback {
+            step,
+            attempt: self.attempts,
+            restored_step: engine.steps(),
+            new_seed,
+            fine_tau: engine.fine.tau,
+        });
         self.log.record(RecoveryEvent {
             step,
             attempt: self.attempts,

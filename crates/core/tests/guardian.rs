@@ -237,10 +237,12 @@ mod fault_injection {
     /// End-to-end recovery: a NaN injected into a membrane mid-campaign
     /// trips the sentinel, the guardian rolls back to the last good
     /// checkpoint and the campaign completes with a hematocrit matching
-    /// the clean run's.
+    /// the clean run's. The telemetry event stream must tell the same
+    /// story: checkpoint → sentinel trip → rollback, in that order.
     #[test]
     fn injected_nan_is_rolled_back_and_campaign_completes() {
         let total_steps = 200u64;
+        apr_telemetry::enable();
 
         // Clean reference run.
         let mut clean = hematocrit_engine();
@@ -283,6 +285,53 @@ mod fault_injection {
             "recovered hematocrit {ht} far from clean run {clean_ht} \
              (log:\n{})",
             guardian.log.summary()
+        );
+
+        // Typed event stream. The global recorder is shared with other
+        // tests in this binary, so select this incident by the step its
+        // rollback was logged at (guardian tests use disjoint step ranges).
+        use apr_telemetry::TelemetryEvent;
+        let incident = guardian
+            .log
+            .events
+            .first()
+            .expect("recovery log lost the incident");
+        let trip_step = incident.step;
+        let events = apr_telemetry::global().events();
+        let trip = events
+            .iter()
+            .find(|e| {
+                matches!(e.event, TelemetryEvent::SentinelTrip { step, issues, .. }
+                    if step == trip_step && issues > 0)
+            })
+            .expect("no sentinel-trip event for the injected NaN");
+        let rollback = events
+            .iter()
+            .find(|e| matches!(e.event, TelemetryEvent::Rollback { step, .. } if step == trip_step))
+            .expect("no rollback event paired with the sentinel trip");
+        assert!(
+            rollback.t_ns >= trip.t_ns,
+            "rollback recorded before its sentinel trip"
+        );
+        if let TelemetryEvent::Rollback {
+            restored_step,
+            step,
+            ..
+        } = rollback.event
+        {
+            assert!(
+                restored_step < step,
+                "rollback must restore an earlier step ({restored_step} vs {step})"
+            );
+        }
+        // A healthy checkpoint must have been saved before the trip — the
+        // state the rollback restored.
+        assert!(
+            events.iter().any(|e| matches!(
+                e.event,
+                TelemetryEvent::CheckpointSaved { step, .. } if step < trip_step
+            ) && e.t_ns <= trip.t_ns),
+            "no checkpoint event precedes the sentinel trip"
         );
     }
 

@@ -94,6 +94,21 @@ pub enum HealthIssue {
     },
 }
 
+impl HealthIssue {
+    /// Stable short tag for telemetry/event streams.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthIssue::NonFiniteDensity { .. } => "non_finite_density",
+            HealthIssue::DensityOutOfRange { .. } => "density_out_of_range",
+            HealthIssue::NonFiniteVelocity { .. } => "non_finite_velocity",
+            HealthIssue::MachExceeded { .. } => "mach_exceeded",
+            HealthIssue::CellNonFinite { .. } => "cell_non_finite",
+            HealthIssue::HematocritOutOfRange { .. } => "hematocrit_out_of_range",
+            HealthIssue::StepPanicked { .. } => "step_panicked",
+        }
+    }
+}
+
 /// Sentinel verdict for one inspection.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct HealthReport {

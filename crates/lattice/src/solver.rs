@@ -347,7 +347,11 @@ impl Lattice {
     /// Advance one time step: collide (fluid), stream (fluid, with halfway
     /// bounce-back off walls), then refresh boundary-condition nodes.
     pub fn step(&mut self) {
-        self.collide();
+        {
+            let _span = apr_telemetry::span("lattice.collide");
+            self.collide();
+        }
+        let _span = apr_telemetry::span("lattice.stream");
         self.stream();
         self.apply_bc_nodes();
         self.steps_taken += 1;

@@ -195,6 +195,7 @@ impl HaloExchanger {
         let senders = &self.senders;
         let receivers = &self.receivers;
         // Phase 1: post every send (unbounded channels never block).
+        let pack_span = apr_telemetry::span("halo.pack_send");
         let bytes: usize = fields
             .par_iter()
             .enumerate()
@@ -212,9 +213,13 @@ impl HaloExchanger {
                 sent
             })
             .sum();
+        drop(pack_span);
         // Phase 2: drain; every surviving message is already queued, so a
         // non-blocking receive is exact — an empty channel can only mean
         // the paired send was dropped, and the ghost slab stays stale.
+        let unpack_span = apr_telemetry::span("halo.recv_unpack");
+        #[cfg(feature = "fault-injection")]
+        let starved_before = self.starved_receives();
         #[cfg(feature = "fault-injection")]
         let starved = &self.starved_receives;
         fields.par_iter_mut().enumerate().for_each(|(task, field)| {
@@ -235,7 +240,17 @@ impl HaloExchanger {
                 }
             }
         });
+        drop(unpack_span);
         self.last_exchange_bytes = bytes;
+        apr_telemetry::counter_add("halo.bytes", bytes as u64);
+        apr_telemetry::emit(apr_telemetry::TelemetryEvent::HaloExchange {
+            round: self.exchanges,
+            bytes: bytes as u64,
+            #[cfg(feature = "fault-injection")]
+            starved: (self.starved_receives() - starved_before) as u32,
+            #[cfg(not(feature = "fault-injection"))]
+            starved: 0,
+        });
         self.exchanges += 1;
     }
 }

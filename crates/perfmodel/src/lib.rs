@@ -13,9 +13,11 @@ pub mod cost;
 pub mod machine;
 pub mod memory;
 pub mod scaling;
+pub mod trace_fit;
 
 pub use calibrate::{calibrate_host, measured_efficiency, KernelMeasurement};
 pub use cost::{neighbor_fraction, step_cost, ProblemSpec, StepCost};
 pub use machine::MachineSpec;
 pub use memory::{table3_rows, volume_capacity_ml, MemoryEstimate};
 pub use scaling::{strong_scaling, weak_scaling, ScalingPoint};
+pub use trace_fit::{fit_step_rates, kernel_measurement_from_trace, FittedRates, StepGeometry};

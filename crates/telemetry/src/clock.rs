@@ -1,0 +1,81 @@
+//! Monotonic time source shared by every telemetry consumer.
+//!
+//! All spans, metric samples, events — and the benchmark harness's MLUPS
+//! arithmetic — read the same clock, so a number in a trace file and a
+//! number on stdout can never disagree about what "now" was. Tests swap in
+//! a manual clock to make span timing exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond clock: real (anchored `Instant`) or manual
+/// (test-controlled counter).
+#[derive(Debug)]
+pub struct Clock {
+    origin: Instant,
+    manual: Option<AtomicU64>,
+}
+
+impl Clock {
+    /// Real monotonic clock; zero is the moment of construction.
+    pub fn real() -> Self {
+        Self {
+            origin: Instant::now(),
+            manual: None,
+        }
+    }
+
+    /// Manual clock starting at 0; advance it explicitly with
+    /// [`Clock::advance`]. Used by deterministic tests.
+    pub fn manual() -> Self {
+        Self {
+            origin: Instant::now(),
+            manual: Some(AtomicU64::new(0)),
+        }
+    }
+
+    /// Nanoseconds since the clock's origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        match &self.manual {
+            Some(t) => t.load(Ordering::Relaxed),
+            None => self.origin.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Advance a manual clock by `ns`. No-op on a real clock.
+    pub fn advance(&self, ns: u64) {
+        if let Some(t) = &self.manual {
+            t.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// True when this is a test-controlled manual clock.
+    pub fn is_manual(&self) -> bool {
+        self.manual.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotone() {
+        let c = Clock::real();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_told() {
+        let c = Clock::manual();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(1500);
+        assert_eq!(c.now_ns(), 1500);
+        c.advance(500);
+        assert_eq!(c.now_ns(), 2000);
+        assert!(c.is_manual());
+    }
+}

@@ -1,0 +1,160 @@
+//! Typed telemetry events: discrete happenings in the APR step loop that a
+//! flat timer cannot express — window moves, insertion repopulations,
+//! guardian rollbacks, halo exchanges.
+//!
+//! Every variant is `Copy` with no heap payload so that constructing one on
+//! a disabled recorder costs nothing (the no-alloc guarantee the hot loop
+//! relies on).
+
+/// One discrete occurrence in the simulation, stamped by the recorder with
+/// the shared clock on emission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// The fine window recentred on the CTC.
+    WindowMove {
+        /// Engine step the move happened at.
+        step: u64,
+        /// Window-centre displacement (fine lattice units).
+        shift: [f64; 3],
+        /// Cells kept in place (capture region).
+        captured: u32,
+        /// Deformed copies placed into the fill region.
+        copied: u32,
+        /// Cells removed because they left the new window.
+        removed: u32,
+    },
+    /// A hematocrit-maintenance sweep inserted cells.
+    Repopulation {
+        /// Engine step of the sweep.
+        step: u64,
+        /// Subregions below threshold.
+        needy_subregions: u32,
+        /// Cells successfully inserted.
+        inserted: u32,
+        /// Candidates rejected (overlap or out of region).
+        rejected: u32,
+    },
+    /// Cells crossed the window boundary and were removed.
+    EscapedCells {
+        /// Engine step of the maintenance sweep.
+        step: u64,
+        /// Cells removed.
+        count: u32,
+    },
+    /// The divergence sentinel found the state unhealthy.
+    SentinelTrip {
+        /// Engine step the inspection ran at.
+        step: u64,
+        /// Issues detected (truncated at the sentinel's cap).
+        issues: u32,
+        /// Kind of the first issue (e.g. `"non_finite_density"`).
+        first_kind: &'static str,
+    },
+    /// A healthy checkpoint was captured.
+    CheckpointSaved {
+        /// Engine step the checkpoint represents.
+        step: u64,
+        /// Serialized size in bytes.
+        bytes: u64,
+    },
+    /// The guardian rolled the engine back to the last good checkpoint.
+    Rollback {
+        /// Step the failure was detected at.
+        step: u64,
+        /// Consecutive recovery attempt number (1-based).
+        attempt: u32,
+        /// Step the engine was restored to.
+        restored_step: u64,
+        /// Fresh insertion-RNG seed after the rollback.
+        new_seed: u64,
+        /// Fine-lattice τ after any Eq.-7 tightening.
+        fine_tau: f64,
+    },
+    /// The guardian exhausted its retry budget and gave up.
+    RetriesExhausted {
+        /// Step of the fatal incident.
+        step: u64,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// One halo exchange completed across all tasks.
+    HaloExchange {
+        /// 0-based exchange round.
+        round: u64,
+        /// Total bytes moved.
+        bytes: u64,
+        /// Receives starved by dropped sends (fault injection only).
+        starved: u32,
+    },
+}
+
+impl TelemetryEvent {
+    /// Stable machine-readable kind tag (used as the Chrome-trace event
+    /// name and by tests asserting event sequences).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::WindowMove { .. } => "window_move",
+            TelemetryEvent::Repopulation { .. } => "repopulation",
+            TelemetryEvent::EscapedCells { .. } => "escaped_cells",
+            TelemetryEvent::SentinelTrip { .. } => "sentinel_trip",
+            TelemetryEvent::CheckpointSaved { .. } => "checkpoint_saved",
+            TelemetryEvent::Rollback { .. } => "rollback",
+            TelemetryEvent::RetriesExhausted { .. } => "retries_exhausted",
+            TelemetryEvent::HaloExchange { .. } => "halo_exchange",
+        }
+    }
+
+    /// Engine step the event refers to (`HaloExchange` reports its round).
+    pub fn step(&self) -> u64 {
+        match *self {
+            TelemetryEvent::WindowMove { step, .. }
+            | TelemetryEvent::Repopulation { step, .. }
+            | TelemetryEvent::EscapedCells { step, .. }
+            | TelemetryEvent::SentinelTrip { step, .. }
+            | TelemetryEvent::CheckpointSaved { step, .. }
+            | TelemetryEvent::Rollback { step, .. }
+            | TelemetryEvent::RetriesExhausted { step, .. } => step,
+            TelemetryEvent::HaloExchange { round, .. } => round,
+        }
+    }
+}
+
+/// An event plus the recorder timestamp it was emitted at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the recorder's clock origin.
+    pub t_ns: u64,
+    /// The payload.
+    pub event: TelemetryEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let evs = [
+            TelemetryEvent::WindowMove {
+                step: 1,
+                shift: [1.0, 0.0, 0.0],
+                captured: 0,
+                copied: 0,
+                removed: 0,
+            },
+            TelemetryEvent::SentinelTrip {
+                step: 2,
+                issues: 3,
+                first_kind: "non_finite_density",
+            },
+            TelemetryEvent::HaloExchange {
+                round: 7,
+                bytes: 1024,
+                starved: 0,
+            },
+        ];
+        let kinds: Vec<_> = evs.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, ["window_move", "sentinel_trip", "halo_exchange"]);
+        assert_eq!(evs[2].step(), 7);
+    }
+}

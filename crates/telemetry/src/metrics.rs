@@ -1,0 +1,114 @@
+//! Metric value types: monotone counters, last-value gauges, and
+//! fixed-bucket histograms.
+//!
+//! The registry itself lives in the [`crate::Recorder`]; this module holds
+//! the arithmetic so it can be tested without a recorder.
+
+/// A fixed-bucket histogram: `bounds[i]` is the inclusive upper edge of
+/// bucket `i`; one final overflow bucket catches everything above the last
+/// bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending inclusive upper bucket edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    /// New histogram over ascending `bounds` (must be non-empty, finite,
+    /// strictly increasing).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Record one observation. NaN observations land in the overflow
+    /// bucket (they are a signal worth keeping, not dropping).
+    pub fn record(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations above the last bound.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().unwrap()
+    }
+}
+
+/// One named metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone accumulator.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_inclusive_upper_edge() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 9.0] {
+            h.record(v);
+        }
+        // (-inf,1] = {0.5, 1.0}; (1,2] = {1.5, 2.0}; (2,4] = {3.0, 4.0};
+        // (4,inf) = {9.0}.
+        assert_eq!(h.counts, vec![2, 2, 2, 1]);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.overflow(), 1);
+        assert!((h.mean() - 21.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_goes_to_overflow() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(f64::NAN);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_bounds() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn rejects_empty_bounds() {
+        let _ = Histogram::new(&[]);
+    }
+}

@@ -1,0 +1,516 @@
+//! Span-based profiler: RAII guards, nestable, thread-aware, with
+//! wall/self-time accounting.
+//!
+//! A [`ScopedSpan`] measures the region between its creation and its drop.
+//! Spans nest: each thread keeps a stack, a closing span charges its
+//! duration to its parent's child-time accumulator, and the recorder
+//! aggregates per-name **wall** time (inclusive) and **self** time
+//! (exclusive of children) — the two columns of the §3.4-style breakdown.
+//!
+//! When the recorder is disabled, [`Recorder::span`] performs a single
+//! relaxed atomic load and returns an inert guard: no lock, no allocation,
+//! no clock read.
+
+use crate::clock::Clock;
+use crate::events::{TelemetryEvent, TimedEvent};
+use crate::metrics::{Histogram, MetricValue};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default cap on retained span records (~48 MB worst case); beyond it the
+/// flat aggregates keep updating but the trace stops growing.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1_000_000;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small dense thread id for trace export (`std::thread::ThreadId` has
+    /// no stable integer form).
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// One completed span occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (static, from the span taxonomy in DESIGN.md §8).
+    pub name: &'static str,
+    /// Dense thread id.
+    pub tid: u64,
+    /// Start, nanoseconds since the recorder clock origin.
+    pub start_ns: u64,
+    /// Inclusive duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Exclusive (self) duration: `dur_ns` minus child span time.
+    pub self_ns: u64,
+    /// Nesting depth at creation (0 = top level).
+    pub depth: u16,
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase name.
+    pub name: String,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total inclusive nanoseconds.
+    pub total_ns: u64,
+    /// Total exclusive nanoseconds.
+    pub self_ns: u64,
+    /// Fastest single occurrence.
+    pub min_ns: u64,
+    /// Slowest single occurrence.
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean inclusive nanoseconds per occurrence.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+    depth: u16,
+}
+
+#[derive(Debug, Default)]
+struct PhaseAcc {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    stacks: HashMap<u64, Vec<Frame>>,
+    pub(crate) trace: Vec<SpanRecord>,
+    stats: BTreeMap<&'static str, PhaseAcc>,
+    span_capacity: usize,
+    pub(crate) dropped_spans: u64,
+    pub(crate) metrics: BTreeMap<&'static str, MetricValue>,
+    pub(crate) metric_rows: Vec<String>,
+    pub(crate) events: Vec<TimedEvent>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            stacks: HashMap::new(),
+            trace: Vec::new(),
+            stats: BTreeMap::new(),
+            span_capacity: DEFAULT_SPAN_CAPACITY,
+            dropped_spans: 0,
+            metrics: BTreeMap::new(),
+            metric_rows: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// The telemetry recorder: span profiler, metrics registry and event
+/// stream behind one enable flag and one clock.
+///
+/// Most code uses the process-global recorder through the free functions
+/// in the crate root; tests construct their own (optionally with a manual
+/// clock) for isolation.
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: AtomicBool,
+    clock: Clock,
+    pub(crate) inner: Mutex<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// New disabled recorder on the real monotonic clock.
+    pub fn new() -> Self {
+        Self::with_clock(Clock::real())
+    }
+
+    /// New disabled recorder on an explicit clock (tests pass
+    /// [`Clock::manual`] for deterministic span timing).
+    pub fn with_clock(clock: Clock) -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            clock,
+            inner: Mutex::new(Inner::new()),
+        }
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Stop recording (already-captured data is kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    /// Is the recorder currently capturing?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The recorder's clock (spans, events and manual timing all read it).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Drop all captured data (spans, stats, metrics, events); keeps the
+    /// enable state and capacity.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let cap = inner.span_capacity;
+        *inner = Inner::new();
+        inner.span_capacity = cap;
+    }
+
+    /// Cap the retained span-record count (aggregates keep updating past
+    /// the cap; the overflow is reported by [`Recorder::dropped_spans`]).
+    pub fn set_span_capacity(&self, cap: usize) {
+        self.inner.lock().unwrap().span_capacity = cap;
+    }
+
+    /// Span records discarded after the capacity was reached.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.lock().unwrap().dropped_spans
+    }
+
+    /// Open a span; the returned guard closes it on drop. Near-zero cost
+    /// when disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> ScopedSpan<'_> {
+        if !self.is_enabled() {
+            return ScopedSpan { rec: None, name };
+        }
+        self.begin_span(name);
+        ScopedSpan {
+            rec: Some(self),
+            name,
+        }
+    }
+
+    fn begin_span(&self, name: &'static str) {
+        let now = self.clock.now_ns();
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let stack = inner.stacks.entry(tid).or_default();
+        let depth = stack.len() as u16;
+        stack.push(Frame {
+            name,
+            start_ns: now,
+            child_ns: 0,
+            depth,
+        });
+    }
+
+    fn end_span(&self, name: &'static str) {
+        let now = self.clock.now_ns();
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let stack = inner.stacks.entry(tid).or_default();
+        let Some(frame) = stack.pop() else { return };
+        debug_assert_eq!(frame.name, name, "span guards must nest");
+        let dur_ns = now.saturating_sub(frame.start_ns);
+        let self_ns = dur_ns.saturating_sub(frame.child_ns);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns += dur_ns;
+        }
+        let acc = inner.stats.entry(frame.name).or_default();
+        if acc.count == 0 {
+            acc.min_ns = u64::MAX;
+        }
+        acc.count += 1;
+        acc.total_ns += dur_ns;
+        acc.self_ns += self_ns;
+        acc.min_ns = acc.min_ns.min(dur_ns);
+        acc.max_ns = acc.max_ns.max(dur_ns);
+        if inner.trace.len() < inner.span_capacity {
+            inner.trace.push(SpanRecord {
+                name: frame.name,
+                tid,
+                start_ns: frame.start_ns,
+                dur_ns,
+                self_ns,
+                depth: frame.depth,
+            });
+        } else {
+            inner.dropped_spans += 1;
+        }
+    }
+
+    /// Time `f` on the recorder clock, returning its result and the
+    /// elapsed nanoseconds. The measurement is taken whether or not the
+    /// recorder is enabled; when enabled, a span named `name` is recorded
+    /// from the same two clock reads — one clock path for printed numbers
+    /// and trace output.
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> (R, u64) {
+        let start = self.clock.now_ns();
+        let span = self.span(name);
+        let out = f();
+        drop(span);
+        (out, self.clock.now_ns().saturating_sub(start))
+    }
+
+    /// Add `delta` to a named counter (created at zero on first touch).
+    #[inline]
+    pub fn counter_add(&self, name: &'static str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match inner.metrics.entry(name).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += delta,
+            other => debug_assert!(false, "metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a named gauge to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &'static str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match inner.metrics.entry(name).or_insert(MetricValue::Gauge(0.0)) {
+            MetricValue::Gauge(g) => *g = v,
+            other => debug_assert!(false, "metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record `v` into a named fixed-bucket histogram; `bounds` defines
+    /// the buckets on first touch and is ignored afterwards.
+    #[inline]
+    pub fn histogram_record(&self, name: &'static str, bounds: &[f64], v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        match inner
+            .metrics
+            .entry(name)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) => h.record(v),
+            other => debug_assert!(false, "metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of a metric, if registered.
+    pub fn metric(&self, name: &str) -> Option<MetricValue> {
+        self.inner.lock().unwrap().metrics.get(name).cloned()
+    }
+
+    /// Emit a typed event, stamped with the recorder clock.
+    #[inline]
+    pub fn emit(&self, event: TelemetryEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let t_ns = self.clock.now_ns();
+        self.inner
+            .lock()
+            .unwrap()
+            .events
+            .push(TimedEvent { t_ns, event });
+    }
+
+    /// All events emitted so far, in emission order.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.inner.lock().unwrap().events.clone()
+    }
+
+    /// All completed span records, in completion order.
+    pub fn span_records(&self) -> Vec<SpanRecord> {
+        self.inner.lock().unwrap().trace.clone()
+    }
+
+    /// Flat per-phase table (wall/self time), sorted by total wall time
+    /// descending.
+    pub fn phase_stats(&self) -> Vec<PhaseStat> {
+        let inner = self.inner.lock().unwrap();
+        let mut out: Vec<PhaseStat> = inner
+            .stats
+            .iter()
+            .map(|(&name, a)| PhaseStat {
+                name: name.to_string(),
+                count: a.count,
+                total_ns: a.total_ns,
+                self_ns: a.self_ns,
+                min_ns: a.min_ns,
+                max_ns: a.max_ns,
+            })
+            .collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        out
+    }
+}
+
+/// RAII span guard returned by [`Recorder::span`]; the span closes when
+/// this drops. Inert (a single `Option` check on drop) when the recorder
+/// was disabled at creation.
+#[must_use = "a span measures the region until the guard drops"]
+#[derive(Debug)]
+pub struct ScopedSpan<'a> {
+    rec: Option<&'a Recorder>,
+    name: &'static str,
+}
+
+impl Drop for ScopedSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec {
+            rec.end_span(self.name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let rec = Recorder::new();
+        {
+            let _s = rec.span("phantom");
+        }
+        rec.counter_add("c", 1);
+        rec.gauge_set("g", 1.0);
+        assert!(rec.span_records().is_empty());
+        assert!(rec.phase_stats().is_empty());
+        assert!(rec.metric("c").is_none());
+    }
+
+    #[test]
+    fn nested_spans_split_wall_and_self_time() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _outer = rec.span("outer");
+            rec.clock().advance(100);
+            {
+                let _inner = rec.span("inner");
+                rec.clock().advance(40);
+            }
+            rec.clock().advance(10);
+        }
+        let stats = rec.phase_stats();
+        let outer = stats.iter().find(|s| s.name == "outer").unwrap();
+        let inner = stats.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.total_ns, 150);
+        assert_eq!(outer.self_ns, 110);
+        assert_eq!(inner.total_ns, 40);
+        assert_eq!(inner.self_ns, 40);
+        let records = rec.span_records();
+        assert_eq!(records.len(), 2);
+        // Completion order: inner first, at depth 1.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].depth, 0);
+    }
+
+    #[test]
+    fn sibling_children_accumulate_into_parent() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _outer = rec.span("outer");
+            for _ in 0..3 {
+                let _child = rec.span("child");
+                rec.clock().advance(20);
+            }
+            rec.clock().advance(5);
+        }
+        let stats = rec.phase_stats();
+        let outer = stats.iter().find(|s| s.name == "outer").unwrap();
+        let child = stats.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(outer.total_ns, 65);
+        assert_eq!(outer.self_ns, 5);
+        assert_eq!(child.count, 3);
+        assert_eq!(child.total_ns, 60);
+        assert_eq!(child.min_ns, 20);
+        assert_eq!(child.max_ns, 20);
+    }
+
+    #[test]
+    fn capacity_caps_trace_but_not_stats() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        rec.set_span_capacity(2);
+        for _ in 0..5 {
+            let _s = rec.span("p");
+            rec.clock().advance(1);
+        }
+        assert_eq!(rec.span_records().len(), 2);
+        assert_eq!(rec.dropped_spans(), 3);
+        assert_eq!(rec.phase_stats()[0].count, 5);
+    }
+
+    #[test]
+    fn time_measures_with_and_without_recording() {
+        let rec = Recorder::with_clock(Clock::manual());
+        let (_, ns) = rec.time("bench", || rec.clock().advance(123));
+        assert_eq!(ns, 123);
+        assert!(rec.span_records().is_empty());
+        rec.enable();
+        let (_, ns) = rec.time("bench", || rec.clock().advance(55));
+        assert_eq!(ns, 55);
+        let recs = rec.span_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].dur_ns, 55);
+    }
+
+    #[test]
+    fn histogram_registers_then_records() {
+        let rec = Recorder::new();
+        rec.enable();
+        rec.histogram_record("h", &[1.0, 2.0], 1.5);
+        rec.histogram_record("h", &[9.0], 5.0); // bounds ignored after first touch
+        match rec.metric("h").unwrap() {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.bounds, vec![1.0, 2.0]);
+                assert_eq!(h.counts, vec![0, 1, 1]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let rec = Recorder::new();
+        rec.enable();
+        {
+            let _s = rec.span("x");
+        }
+        rec.counter_add("c", 2);
+        rec.emit(TelemetryEvent::EscapedCells { step: 1, count: 2 });
+        rec.reset();
+        assert!(rec.span_records().is_empty());
+        assert!(rec.events().is_empty());
+        assert!(rec.metric("c").is_none());
+        assert!(rec.is_enabled(), "reset keeps the enable state");
+    }
+}

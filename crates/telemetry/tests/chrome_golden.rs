@@ -1,0 +1,128 @@
+//! Golden test: the Chrome-trace exporter emits valid, schema-complete
+//! `trace_event` records for a known span/event script, and the JSONL
+//! metrics exporter emits a monotone series — both checked through the
+//! crate's own parser/validators plus exact structural assertions.
+
+use apr_telemetry::json::{parse, Value};
+use apr_telemetry::{
+    validate_chrome_trace, validate_metrics_jsonl, Clock, Recorder, TelemetryEvent,
+};
+
+/// Deterministic script: two engine steps' worth of spans, one window-move
+/// event, two metric samples.
+fn scripted_recorder() -> Recorder {
+    let rec = Recorder::with_clock(Clock::manual());
+    rec.enable();
+    for step in 0..2u64 {
+        let _step_span = rec.span("apr.step");
+        {
+            let _c = rec.span("apr.coarse");
+            rec.clock().advance(700);
+        }
+        {
+            let _f = rec.span("apr.fine.collide");
+            rec.clock().advance(250);
+        }
+        rec.clock().advance(50); // untimed glue
+        rec.counter_add("apr.site_updates", 1000);
+        rec.gauge_set("window.hematocrit", 0.25);
+        drop(_step_span);
+        rec.sample_metrics(step);
+    }
+    rec.emit(TelemetryEvent::WindowMove {
+        step: 1,
+        shift: [3.0, 0.0, -3.0],
+        captured: 10,
+        copied: 4,
+        removed: 2,
+    });
+    rec
+}
+
+#[test]
+fn chrome_trace_records_are_schema_complete() {
+    let rec = scripted_recorder();
+    let text = rec.chrome_trace_json();
+
+    // The validator (parse + schema + monotone ts) accepts it.
+    let summary = validate_chrome_trace(&text).unwrap();
+    assert_eq!(summary.span_records, 6); // 2 steps × (step + coarse + fine)
+    assert_eq!(summary.event_records, 1);
+    // Phases cover 950/1000 ns of each step.
+    assert!((summary.phase_coverage() - 0.95).abs() < 1e-9);
+
+    // Exact structural checks on the parsed document.
+    let doc = parse(&text).unwrap();
+    let arr = doc.as_arr().unwrap();
+    assert_eq!(arr.len(), 8); // metadata + 6 spans + 1 instant
+    for item in arr {
+        let ph = item.get("ph").unwrap().as_str().unwrap();
+        match ph {
+            "M" => {
+                assert_eq!(
+                    item.get("args").unwrap().get("name").unwrap().as_str(),
+                    Some("apr-rbc")
+                );
+            }
+            "X" => {
+                for key in ["name", "cat", "ts", "dur", "pid", "tid"] {
+                    assert!(item.get(key).is_some(), "span missing {key}");
+                }
+                let args = item.get("args").unwrap();
+                assert!(args.get("depth").unwrap().as_f64().unwrap() >= 0.0);
+                assert!(args.get("self_ns").unwrap().as_f64().unwrap() >= 0.0);
+            }
+            "i" => {
+                assert_eq!(item.get("name").unwrap().as_str(), Some("window_move"));
+                assert_eq!(item.get("s").unwrap().as_str(), Some("g"));
+                let args = item.get("args").unwrap();
+                assert_eq!(args.get("step").unwrap().as_f64(), Some(1.0));
+                assert_eq!(args.get("copied").unwrap().as_f64(), Some(4.0));
+                let shift = args.get("shift").unwrap().as_arr().unwrap();
+                assert_eq!(shift[2].as_f64(), Some(-3.0));
+            }
+            other => panic!("unexpected ph {other:?}"),
+        }
+    }
+
+    // Span durations survive the ns → µs conversion exactly.
+    let coarse = arr
+        .iter()
+        .find(|i| i.get("name").and_then(Value::as_str) == Some("apr.coarse"))
+        .unwrap();
+    assert_eq!(coarse.get("dur").unwrap().as_f64(), Some(0.7));
+}
+
+#[test]
+fn metrics_jsonl_is_monotone_and_complete() {
+    let rec = scripted_recorder();
+    let text = rec.metrics_jsonl();
+    let summary = validate_metrics_jsonl(&text).unwrap();
+    assert_eq!(summary.rows, 2);
+    let last = parse(text.lines().last().unwrap()).unwrap();
+    assert_eq!(last.get("apr.site_updates").unwrap().as_f64(), Some(2000.0));
+    assert_eq!(last.get("window.hematocrit").unwrap().as_f64(), Some(0.25));
+}
+
+#[test]
+fn spans_from_multiple_threads_keep_distinct_tids() {
+    let rec = Recorder::new();
+    rec.enable();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let _outer = rec.span("worker.outer");
+                let _inner = rec.span("worker.inner");
+            });
+        }
+    });
+    let records = rec.span_records();
+    assert_eq!(records.len(), 4);
+    let tids: std::collections::BTreeSet<u64> = records.iter().map(|r| r.tid).collect();
+    assert_eq!(tids.len(), 2, "each thread gets its own tid: {records:?}");
+    // Nesting is tracked per thread: every inner span sits at depth 1.
+    for r in &records {
+        let want = if r.name == "worker.inner" { 1 } else { 0 };
+        assert_eq!(r.depth, want, "{r:?}");
+    }
+}

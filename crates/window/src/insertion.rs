@@ -47,6 +47,7 @@ pub fn repopulate<R: Rng>(
     ctx: &InsertionContext,
     rng: &mut R,
 ) -> InsertionReport {
+    let _span = apr_telemetry::span("window.repopulate");
     let mut report = InsertionReport::default();
     // Global gate: never push the window hematocrit above target. Without
     // it, sub-cell-sized subregions overshoot through deficit quantization

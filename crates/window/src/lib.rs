@@ -16,7 +16,7 @@ pub mod tracker;
 
 pub use hematocrit::HematocritController;
 pub use insertion::{remove_escaped_cells, repopulate, InsertionContext, InsertionReport};
-pub use metrics::{region_occupancy, FluxTracker, RegionFlux, RegionOccupancy};
+pub use metrics::{publish_occupancy, region_occupancy, FluxTracker, RegionFlux, RegionOccupancy};
 pub use mover::{move_window, MoveReport, MoveTrigger};
 pub use regions::{Region, SubregionBox, WindowAnatomy};
 pub use tracker::CtcTracker;

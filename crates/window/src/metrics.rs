@@ -46,6 +46,21 @@ pub fn region_occupancy(pool: &CellPool, anatomy: &WindowAnatomy) -> RegionOccup
     occ
 }
 
+/// Publish an occupancy snapshot as telemetry gauges.
+///
+/// Gauge names follow the `window.region.*` taxonomy (see DESIGN.md §8);
+/// no-ops when telemetry is disabled.
+pub fn publish_occupancy(occ: &RegionOccupancy) {
+    if !apr_telemetry::is_enabled() {
+        return;
+    }
+    apr_telemetry::gauge_set("window.region.proper", occ.proper as f64);
+    apr_telemetry::gauge_set("window.region.onramp", occ.onramp as f64);
+    apr_telemetry::gauge_set("window.region.insertion", occ.insertion as f64);
+    apr_telemetry::gauge_set("window.region.outside", occ.outside as f64);
+    apr_telemetry::gauge_set("window.region.total", occ.total() as f64);
+}
+
 /// Region-crossing counters between two snapshots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RegionFlux {

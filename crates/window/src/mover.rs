@@ -56,6 +56,7 @@ pub fn move_window(
     ctc: Vec3,
     min_gap: f64,
 ) -> (WindowAnatomy, MoveReport) {
+    let _span = apr_telemetry::span("window.move");
     let new_anatomy = anatomy.recentered(ctc);
     let shift = new_anatomy.center - anatomy.center;
     let mut report = MoveReport {

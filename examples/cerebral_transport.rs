@@ -12,6 +12,9 @@
 //! # long campaigns: checkpoint every 500 steps, resume after a crash
 //! cargo run --release --example cerebral_transport -- --checkpoint-every 500
 //! cargo run --release --example cerebral_transport -- --resume cerebral.ckpt
+//! # observability: Chrome trace (open in Perfetto) + per-step metrics JSONL
+//! cargo run --release --example cerebral_transport -- \
+//!     --trace-out trace.json --metrics-out metrics.jsonl
 //! ```
 
 use apr_suite::cells::ContactParams;
@@ -26,12 +29,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-/// Checkpointing knobs from the command line; everything else in this
-/// scenario is fixed so a resumed run rebuilds the identical recipe.
+/// Checkpointing and observability knobs from the command line; everything
+/// else in this scenario is fixed so a resumed run rebuilds the identical
+/// recipe.
 struct CkptOpts {
     every: Option<u64>,
     resume: Option<std::path::PathBuf>,
     path: std::path::PathBuf,
+    trace_out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
+    max_steps: u64,
 }
 
 fn parse_opts() -> CkptOpts {
@@ -39,6 +46,9 @@ fn parse_opts() -> CkptOpts {
         every: None,
         resume: None,
         path: "cerebral.ckpt".into(),
+        trace_out: None,
+        metrics_out: None,
+        max_steps: 3000,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,6 +63,16 @@ fn parse_opts() -> CkptOpts {
             "--resume" => {
                 opts.resume = Some(args.next().expect("--resume needs a path").into());
             }
+            "--trace-out" => {
+                opts.trace_out = Some(args.next().expect("--trace-out needs a path").into());
+            }
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().expect("--metrics-out needs a path").into());
+            }
+            "--max-steps" => {
+                let v = args.next().expect("--max-steps needs a step count");
+                opts.max_steps = v.parse().expect("invalid step count");
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -61,6 +81,10 @@ fn parse_opts() -> CkptOpts {
 
 fn main() {
     let opts = parse_opts();
+    let tracing = opts.trace_out.is_some() || opts.metrics_out.is_some();
+    if tracing {
+        apr_suite::telemetry::enable();
+    }
     // Synthetic "cerebral" tree: root radius 7 coarse cells, 3 levels.
     let mut rng = StdRng::seed_from_u64(7);
     let params = TreeParams {
@@ -161,8 +185,11 @@ fn main() {
 
     println!("\nstep    world_z   path_len   window_moves");
     let first = engine.steps();
-    for step in first..first + 3000u64 {
+    for step in first..first + opts.max_steps {
         engine.step();
+        if tracing {
+            apr_suite::telemetry::sample_metrics(engine.steps());
+        }
         if let Some(every) = opts.every {
             if engine.steps().is_multiple_of(every) {
                 save_engine_to_file(&engine, &opts.path)
@@ -222,4 +249,58 @@ fn main() {
         "  APR/eFSI memory ratio: 1:{:.0}",
         efsi.total_bytes() / (apr_window.total_bytes() + apr_bulk.total_bytes())
     );
+
+    if tracing {
+        report_telemetry(&opts, &engine, n);
+    }
+}
+
+/// Dump the recorded trace/metrics and close the model↔measurement loop:
+/// fit machine-model work rates from the trace and check the fitted model
+/// reproduces the measured step time.
+fn report_telemetry(opts: &CkptOpts, engine: &AprEngine, n: usize) {
+    use apr_suite::perfmodel::{fit_step_rates, StepGeometry};
+    let rec = apr_suite::telemetry::global();
+    let stats = rec.phase_stats();
+    println!("\nPer-phase profile:");
+    println!("{}", apr_suite::telemetry::render_phase_table(&stats));
+
+    if let Some(path) = &opts.trace_out {
+        rec.write_chrome_trace(path).expect("write trace");
+        println!(
+            "wrote Chrome trace to {} (open in Perfetto)",
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        rec.write_metrics_jsonl(path).expect("write metrics");
+        println!("wrote per-step metrics to {}", path.display());
+    }
+
+    let geom = StepGeometry {
+        coarse_fluid_nodes: engine.coarse.fluid_node_count() as u64,
+        fine_fluid_nodes: engine.fine.fluid_node_count() as u64,
+        refinement: n as u64,
+        halo_sites: 0,
+    };
+    if let Some(fit) = fit_step_rates(&stats, &geom) {
+        let predicted = fit.predict_step_seconds(&geom);
+        let deviation = (predicted - fit.step_seconds).abs() / fit.step_seconds;
+        println!(
+            "\nTrace-fitted machine model ({} steps, {:.1} MLUPS):",
+            fit.steps,
+            fit.mlups(&geom)
+        );
+        println!(
+            "  cpu {:.3e} s/node   gpu {:.3e} s/node   measured step {:.3} ms",
+            fit.cpu_per_node,
+            fit.gpu_per_node,
+            fit.step_seconds * 1e3
+        );
+        println!(
+            "  model-predicted step {:.3} ms ({:+.1}% vs measured)",
+            predicted * 1e3,
+            deviation * 100.0
+        );
+    }
 }

@@ -1,0 +1,110 @@
+//! End-to-end observability: an instrumented APR run must produce a valid
+//! Chrome trace whose phase spans cover ≥95% of step wall time, a monotone
+//! metrics time-series carrying the window gauges, and phase aggregates
+//! the perfmodel trace-fit can turn back into the measured step time.
+//!
+//! This test owns its process's global recorder (each integration-test
+//! file is a separate binary), so it can enable tracing without
+//! interfering with other tests.
+
+use apr_suite::cells::ContactParams;
+use apr_suite::core::AprEngine;
+use apr_suite::coupling::fine_tau;
+use apr_suite::lattice::{force_driven_tube, Lattice};
+use apr_suite::perfmodel::{fit_step_rates, StepGeometry};
+use apr_suite::telemetry;
+use apr_suite::telemetry::{validate_chrome_trace, validate_metrics_jsonl};
+
+/// Small APR tube problem: coarse force-driven tube, cubic fine window.
+fn tube_engine() -> AprEngine {
+    let (nx, ny, nz) = (21usize, 21usize, 48usize);
+    let (n, tau_c, lambda, g) = (3usize, 0.9f64, 0.3f64, 4e-6f64);
+    let coarse = force_driven_tube(nx, ny, nz, tau_c, 9.0, g);
+    let span = 8usize;
+    let fine_dim = span * n + 1;
+    let mut fine = Lattice::new(fine_dim, fine_dim, fine_dim, fine_tau(tau_c, n, lambda));
+    fine.body_force = [0.0, 0.0, g / n as f64];
+    let origin = [
+        (nx as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        (ny as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        4.0,
+    ];
+    let side = span as f64 * n as f64;
+    AprEngine::new(
+        coarse,
+        fine,
+        origin,
+        3,
+        lambda,
+        side * 0.22,
+        side * 0.12,
+        side * 0.14,
+        ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        },
+    )
+}
+
+#[test]
+fn traced_run_validates_and_calibrates_the_machine_model() {
+    telemetry::enable();
+    let mut engine = tube_engine();
+    let steps = 30u64;
+    for _ in 0..steps {
+        engine.step();
+        telemetry::sample_metrics(engine.steps());
+    }
+    telemetry::disable();
+    let rec = telemetry::global();
+
+    // Chrome trace: parses, schema-complete, monotone, phase spans cover
+    // ≥95% of step wall time (the ISSUE acceptance threshold).
+    let trace = rec.chrome_trace_json();
+    let summary = validate_chrome_trace(&trace).expect("trace must validate");
+    assert!(summary.span_records >= steps as usize);
+    let coverage = summary.phase_coverage();
+    assert!(
+        coverage >= 0.95,
+        "phase spans cover only {:.1}% of step wall time",
+        coverage * 100.0
+    );
+
+    // Metrics JSONL: one row per step, monotone, window gauges present.
+    let jsonl = rec.metrics_jsonl();
+    let msum = validate_metrics_jsonl(&jsonl).expect("metrics must validate");
+    assert_eq!(msum.rows, steps as usize);
+    let last = jsonl.lines().last().unwrap();
+    for key in [
+        "\"apr.site_updates\"",
+        "\"window.region.total\"",
+        "\"apr.window_moves\"",
+    ] {
+        assert!(last.contains(key), "metrics row missing {key}: {last}");
+    }
+
+    // The engine's own counter and the metric agree.
+    let stats = rec.phase_stats();
+    let step_stat = stats.iter().find(|s| s.name == "apr.step").unwrap();
+    assert_eq!(step_stat.count, steps);
+
+    // Trace-fit calibration reproduces the measured step time within the
+    // 20% acceptance band (the fit is an exact decomposition, so the gap
+    // is the uninstrumented glue).
+    let geom = StepGeometry {
+        coarse_fluid_nodes: engine.coarse.fluid_node_count() as u64,
+        fine_fluid_nodes: engine.fine.fluid_node_count() as u64,
+        refinement: 3,
+        halo_sites: 0,
+    };
+    let fit = fit_step_rates(&stats, &geom).expect("trace has step spans");
+    assert_eq!(fit.steps, steps);
+    let predicted = fit.predict_step_seconds(&geom);
+    let deviation = (predicted - fit.step_seconds).abs() / fit.step_seconds;
+    assert!(
+        deviation < 0.20,
+        "trace-fitted model off by {:.1}% (predicted {predicted} s, measured {} s)",
+        deviation * 100.0,
+        fit.step_seconds
+    );
+}
