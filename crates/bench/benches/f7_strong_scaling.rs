@@ -1,8 +1,8 @@
 //! Figure 7 bench: strong scaling.
 //!
 //! Prints the Summit-model series at the paper's node counts and measures
-//! the host's rayon strong scaling of the LBM kernel as the shared-memory
-//! analogue.
+//! the host's apr-exec strong scaling of the LBM kernel as the
+//! shared-memory analogue.
 
 use apr_bench::report::render_figure7;
 use apr_bench::scaling_meas::measure_strong_scaling;
@@ -18,7 +18,7 @@ fn benches(c: &mut Criterion) {
     while *threads.last().unwrap() * 2 <= cores.min(16) {
         threads.push(threads.last().unwrap() * 2);
     }
-    println!("Measured rayon strong scaling (48³ box) on this host:");
+    println!("Measured apr-exec strong scaling (48³ box) on this host:");
     for p in measure_strong_scaling(48, 10, &threads) {
         println!(
             "  {:>2} threads: {:>7.1} MLUPS  speedup {:.2}",

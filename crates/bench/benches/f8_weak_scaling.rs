@@ -1,7 +1,7 @@
 //! Figure 8 bench: weak scaling.
 //!
 //! Prints the Summit-model series (≥90% efficiency above 8 nodes, faster
-//! 1–4 node cases) and measures the host's rayon weak scaling.
+//! 1–4 node cases) and measures the host's apr-exec weak scaling.
 
 use apr_bench::report::render_figure8;
 use apr_bench::scaling_meas::measure_weak_scaling;
@@ -17,7 +17,7 @@ fn benches(c: &mut Criterion) {
     while *threads.last().unwrap() * 2 <= cores.min(16) {
         threads.push(threads.last().unwrap() * 2);
     }
-    println!("Measured rayon weak scaling (32³ per thread) on this host:");
+    println!("Measured apr-exec weak scaling (32³ per thread) on this host:");
     for p in measure_weak_scaling(32, 6, &threads) {
         println!(
             "  {:>2} threads: {:>7.1} MLUPS  efficiency {:.2}",

@@ -1,11 +1,15 @@
 //! Regenerate Figures 7 and 8: strong and weak scaling.
 //!
 //! Prints (a) the analytic Summit-model series at the paper's node counts
-//! and (b) a measured rayon thread-scaling analogue on this host.
+//! and (b) a measured apr-exec thread-scaling analogue on this host.
 //!
 //! ```sh
-//! cargo run --release -p apr-bench --bin exp_scaling [-- --trace-out trace.json]
+//! cargo run --release -p apr-bench --bin exp_scaling \
+//!     [-- --threads N] [-- --trace-out trace.json]
 //! ```
+//!
+//! `--threads N` caps the measured series at `N` workers (default: every
+//! power of two up to the core count; equivalent to `APR_THREADS`).
 //!
 //! With `--trace-out`, every timed kernel box is also recorded as a
 //! `bench.lbm_box` telemetry span and the run writes a Chrome-trace JSON
@@ -35,11 +39,18 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(1);
+    let max_threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(cores);
     let mut threads = vec![1usize];
-    while *threads.last().unwrap() * 2 <= cores {
+    while *threads.last().unwrap() * 2 <= max_threads {
         threads.push(threads.last().unwrap() * 2);
     }
-    println!("Measured analogue on this host ({cores} cores):");
+    println!("Measured analogue on this host ({cores} cores, up to {max_threads} workers):");
     println!("\nStrong scaling, 64³ LBM box:");
     println!("threads   MLUPS   speedup");
     for p in measure_strong_scaling(64, 20, &threads) {

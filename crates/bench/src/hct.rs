@@ -45,20 +45,17 @@ pub fn build_hct_engine(target: f64, n: usize, seed: u64) -> AprEngine {
     let mut fine = Lattice::new(dim, dim, dim, fine_tau(tau_c, n, lambda));
     fine.body_force = [0.0, 0.0, TUBE_FORCE / n as f64];
     let origin = [6.0, 6.0, 16.0];
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
+    let mut engine = AprEngine::builder(coarse, fine, origin, n, lambda)
+        .window(
+            span as f64 * n as f64 * 0.22,
+            span as f64 * n as f64 * 0.12,
+            span as f64 * n as f64 * 0.14,
+        )
+        .contact(ContactParams {
             cutoff: 1.2,
             strength: 5e-4,
-        },
-    );
+        })
+        .build();
     engine.reseed_rng(seed);
 
     let rbc_mesh = biconcave_rbc_mesh(1, 3.0);

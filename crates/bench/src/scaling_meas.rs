@@ -2,7 +2,7 @@
 //!
 //! Summit is not available to this reproduction (DESIGN.md substitutions),
 //! so alongside the analytic machine model we *measure* how the actual LBM
-//! kernel scales over rayon worker counts on the host — the same
+//! kernel scales over apr-exec worker counts on the host — the same
 //! surface-to-volume story at shared-memory scale.
 
 use apr_lattice::Lattice;
@@ -10,7 +10,7 @@ use apr_lattice::Lattice;
 /// One measured scaling point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MeasuredPoint {
-    /// Rayon worker threads.
+    /// apr-exec worker threads.
     pub threads: usize,
     /// Million lattice-site updates per second.
     pub mlups: f64,
@@ -19,29 +19,28 @@ pub struct MeasuredPoint {
 }
 
 /// Time `steps` LBM steps of an `edge³` periodic box on `threads` workers.
+///
+/// Swaps the process-global apr-exec pool for the duration of the call;
+/// deterministic chunking means every thread count produces the same
+/// physics, so only wall time varies.
 fn time_box(threads: usize, edge: usize, steps: usize) -> f64 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("thread pool");
-    pool.install(|| {
-        let mut lat = Lattice::new(edge, edge, edge, 0.9);
-        lat.periodic = [true, true, true];
-        lat.body_force = [1e-7, 0.0, 0.0];
-        // Warm-up.
-        for _ in 0..3 {
+    apr_exec::set_threads(threads);
+    let mut lat = Lattice::new(edge, edge, edge, 0.9);
+    lat.periodic = [true, true, true];
+    lat.body_force = [1e-7, 0.0, 0.0];
+    // Warm-up.
+    for _ in 0..3 {
+        lat.step();
+    }
+    // One clock path for the whole suite: the telemetry clock times the
+    // measurement and, when tracing is enabled, records it as a span.
+    let (_, elapsed_ns) = apr_telemetry::time("bench.lbm_box", || {
+        for _ in 0..steps {
             lat.step();
         }
-        // One clock path for the whole suite: the telemetry clock times the
-        // measurement and, when tracing is enabled, records it as a span.
-        let (_, elapsed_ns) = apr_telemetry::time("bench.lbm_box", || {
-            for _ in 0..steps {
-                lat.step();
-            }
-        });
-        let dt = elapsed_ns as f64 / 1.0e9;
-        (edge * edge * edge * steps) as f64 / dt / 1.0e6
-    })
+    });
+    let dt = elapsed_ns as f64 / 1.0e9;
+    (edge * edge * edge * steps) as f64 / dt / 1.0e6
 }
 
 /// Strong-scaling measurement: fixed `edge³` box over growing thread counts.

@@ -130,20 +130,17 @@ pub fn run_apr_channel(seed: u64, steps: u64, n: usize) -> (Trajectory, u64, u64
     let mut fine = Lattice::new(dim, dim, dim, fine_tau(TAU, n, lambda));
     fine.body_force = [0.0, 0.0, CHANNEL_FORCE / n as f64];
     let origin = [11.0, 9.0, 8.0];
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
+    let mut engine = AprEngine::builder(coarse, fine, origin, n, lambda)
+        .window(
+            span as f64 * n as f64 * 0.22,
+            span as f64 * n as f64 * 0.12,
+            span as f64 * n as f64 * 0.14,
+        )
+        .contact(ContactParams {
             cutoff: 1.2,
             strength: 5e-4,
-        },
-    );
+        })
+        .build();
     engine.reseed_rng(seed);
     engine.set_fine_geometry(Box::new(move |fine, origin| {
         for node in 0..fine.node_count() {

@@ -15,6 +15,11 @@ use std::sync::Arc;
 /// Slot index inside a [`CellPool`] (invalidated by removal).
 pub type SlotIndex = usize;
 
+/// Cell slots per exec chunk in the parallel helpers. Fixed (never derived
+/// from the thread count) so chunk layout — and with it floating-point
+/// reduction order — is identical for any `APR_THREADS`.
+const SLOT_CHUNK: usize = 16;
+
 /// Fixed-capacity pool of live cells with slot reuse and stable global IDs.
 #[derive(Debug, Clone)]
 pub struct CellPool {
@@ -163,11 +168,43 @@ impl CellPool {
         self.slots.iter_mut().filter_map(|s| s.as_mut())
     }
 
-    /// Rayon parallel iterator over live cells (mutable) — membrane force
+    /// Apply `f` to every live cell on the exec pool — membrane force
     /// evaluation across hundreds of cells is the per-substep hot loop.
-    pub fn par_iter_mut(&mut self) -> impl rayon::iter::ParallelIterator<Item = &mut Cell> {
-        use rayon::prelude::*;
-        self.slots.par_iter_mut().filter_map(|s| s.as_mut())
+    /// Each cell is written by exactly one lane, so the result is
+    /// independent of the thread count.
+    pub fn par_for_each_mut(&mut self, f: impl Fn(&mut Cell) + Sync) {
+        apr_exec::current().par_for_chunks_mut(&mut self.slots, SLOT_CHUNK, |_, part| {
+            for slot in part {
+                if let Some(cell) = slot.as_mut() {
+                    f(cell);
+                }
+            }
+        });
+    }
+
+    /// Map every live cell through `f` and sum the results: per-chunk
+    /// partial sums run in slot order, combined in a fixed-shape ordered
+    /// reduction on the caller — deterministic for any thread count.
+    pub fn par_map_sum(&mut self, f: impl Fn(&mut Cell) -> f64 + Sync) -> f64 {
+        let view = apr_exec::UnsafeSlice::new(&mut self.slots);
+        apr_exec::current()
+            .par_map_reduce(
+                view.len(),
+                SLOT_CHUNK,
+                |_, range| {
+                    // SAFETY: chunk ranges are disjoint.
+                    let part = unsafe { view.slice_mut(range.start, range.len()) };
+                    let mut acc = 0.0;
+                    for slot in part {
+                        if let Some(cell) = slot.as_mut() {
+                            acc += f(cell);
+                        }
+                    }
+                    acc
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0.0)
     }
 
     /// Iterate over `(slot, cell)` pairs of live cells.

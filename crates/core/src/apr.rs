@@ -12,7 +12,7 @@ use crate::fsi;
 use apr_cells::{CellKind, CellPool, ContactParams, UniformSubgrid};
 use apr_coupling::CouplingMap;
 use apr_ibm::DeltaKernel;
-use apr_lattice::Lattice;
+use apr_lattice::{Lattice, SubStep};
 use apr_membrane::Membrane;
 use apr_mesh::Vec3;
 use apr_window::{
@@ -74,26 +74,94 @@ pub struct AprEngine {
     pub(crate) moves: u64,
 }
 
-impl AprEngine {
-    /// Build an engine from prepared lattices.
-    ///
-    /// * `origin` — coarse coordinates of fine node 0.
-    /// * `n` — refinement ratio; `lambda` — viscosity ratio ν_f/ν_c.
-    /// * `proper_half`, `onramp`, `insertion_width` — window anatomy in
-    ///   **fine** lattice units; their sum should reach (near) the fine
-    ///   domain boundary.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        coarse: Lattice,
-        mut fine: Lattice,
-        origin: [f64; 3],
-        n: usize,
-        lambda: f64,
-        proper_half: f64,
-        onramp: f64,
-        insertion_width: f64,
-        contact: ContactParams,
-    ) -> Self {
+/// Staged construction for [`AprEngine`].
+///
+/// Required inputs (lattices, window origin, refinement ratio, viscosity
+/// ratio) are taken by [`AprEngine::builder`]; everything else has a
+/// paper-faithful default:
+///
+/// * window anatomy — proper/on-ramp/insertion widths of 0.22/0.12/0.14 ×
+///   the fine domain span (the §3.2 layout every example uses),
+/// * contact — cutoff 1.2 fine spacings, strength 5 × 10⁻⁴,
+/// * kernel — [`DeltaKernel::Cosine4`],
+/// * RNG seed — `0x5eed`,
+/// * maintenance interval — 50 steps.
+pub struct AprEngineBuilder {
+    coarse: Lattice,
+    fine: Lattice,
+    origin: [f64; 3],
+    n: usize,
+    lambda: f64,
+    window: Option<(f64, f64, f64)>,
+    contact: ContactParams,
+    kernel: DeltaKernel,
+    seed: u64,
+    maintenance_interval: u64,
+    pool_capacity: usize,
+}
+
+impl AprEngineBuilder {
+    /// Window anatomy in **fine** lattice units: half-width of the proper
+    /// region, on-ramp width, insertion-region width. Their sum should
+    /// reach (near) the fine domain boundary.
+    pub fn window(mut self, proper_half: f64, onramp: f64, insertion_width: f64) -> Self {
+        self.window = Some((proper_half, onramp, insertion_width));
+        self
+    }
+
+    /// Intercellular contact repulsion parameters.
+    pub fn contact(mut self, contact: ContactParams) -> Self {
+        self.contact = contact;
+        self
+    }
+
+    /// IBM delta kernel for all interpolation/spreading.
+    pub fn kernel(mut self, kernel: DeltaKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Seed of the deterministic RNG driving cell insertion.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Steps between window-maintenance sweeps (escape removal and
+    /// repopulation).
+    pub fn maintenance_interval(mut self, steps: u64) -> Self {
+        assert!(steps > 0, "maintenance interval must be positive");
+        self.maintenance_interval = steps;
+        self
+    }
+
+    /// Preallocated cell slots (paper §2.4.5 allocates all cell memory up
+    /// front).
+    pub fn pool_capacity(mut self, slots: usize) -> Self {
+        self.pool_capacity = slots;
+        self
+    }
+
+    /// Assemble the engine: builds the bulk↔window coupling and seeds the
+    /// fine fluid from the coarse solution.
+    pub fn build(self) -> AprEngine {
+        let AprEngineBuilder {
+            coarse,
+            mut fine,
+            origin,
+            n,
+            lambda,
+            window,
+            contact,
+            kernel,
+            seed,
+            maintenance_interval,
+            pool_capacity,
+        } = self;
+        let (proper_half, onramp, insertion_width) = window.unwrap_or_else(|| {
+            let span = (fine.nx.min(fine.ny).min(fine.nz) - 1) as f64;
+            (span * 0.22, span * 0.12, span * 0.14)
+        });
         let map = CouplingMap::new(&coarse, &fine, origin, n, lambda, 1.0);
         map.seed_fine_from_coarse(&coarse, &mut fine);
         let center = Vec3::new(
@@ -103,28 +171,85 @@ impl AprEngine {
         );
         let anatomy = WindowAnatomy::new(center, proper_half, onramp, insertion_width);
         let grid = UniformSubgrid::new(contact.cutoff.max(2.0));
-        Self {
+        AprEngine {
             coarse,
             fine,
             map,
             anatomy,
-            pool: CellPool::with_capacity(256),
+            pool: CellPool::with_capacity(pool_capacity),
             grid,
             contact,
-            kernel: DeltaKernel::Cosine4,
+            kernel,
             controller: None,
             insertion: None,
             trigger: MoveTrigger {
                 trigger_distance: proper_half * 0.25,
             },
             tracker: CtcTracker::new(),
-            maintenance_interval: 50,
+            maintenance_interval,
             geometry: None,
-            rng: StdRng::seed_from_u64(0x5eed),
+            rng: StdRng::seed_from_u64(seed),
             steps: 0,
             site_updates: 0,
             moves: 0,
         }
+    }
+}
+
+impl AprEngine {
+    /// Start building an engine from prepared lattices.
+    ///
+    /// * `origin` — coarse coordinates of fine node 0.
+    /// * `n` — refinement ratio; `lambda` — viscosity ratio ν_f/ν_c.
+    ///
+    /// See [`AprEngineBuilder`] for the defaulted knobs.
+    pub fn builder(
+        coarse: Lattice,
+        fine: Lattice,
+        origin: [f64; 3],
+        n: usize,
+        lambda: f64,
+    ) -> AprEngineBuilder {
+        AprEngineBuilder {
+            coarse,
+            fine,
+            origin,
+            n,
+            lambda,
+            window: None,
+            contact: ContactParams {
+                cutoff: 1.2,
+                strength: 5e-4,
+            },
+            kernel: DeltaKernel::Cosine4,
+            seed: 0x5eed,
+            maintenance_interval: 50,
+            pool_capacity: 256,
+        }
+    }
+
+    /// Build an engine from prepared lattices.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AprEngine::builder(coarse, fine, origin, n, lambda) \
+                .window(..).contact(..).build()"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        coarse: Lattice,
+        fine: Lattice,
+        origin: [f64; 3],
+        n: usize,
+        lambda: f64,
+        proper_half: f64,
+        onramp: f64,
+        insertion_width: f64,
+        contact: ContactParams,
+    ) -> Self {
+        Self::builder(coarse, fine, origin, n, lambda)
+            .window(proper_half, onramp, insertion_width)
+            .contact(contact)
+            .build()
     }
 
     /// Install a geometry callback re-flagging the fine lattice after moves;
@@ -257,7 +382,7 @@ impl AprEngine {
             }
             {
                 let _s = apr_telemetry::span("apr.fine.collide");
-                self.fine.collide_phase();
+                self.fine.advance(SubStep::Collide);
             }
             {
                 let _s = apr_telemetry::span("coupling.impose_shell");
@@ -265,7 +390,7 @@ impl AprEngine {
             }
             {
                 let _s = apr_telemetry::span("apr.fine.stream");
-                self.fine.stream_phase();
+                self.fine.advance(SubStep::Stream);
             }
             {
                 let _s = apr_telemetry::span("fsi.interpolate");
@@ -340,6 +465,7 @@ impl AprEngine {
             apr_telemetry::gauge_set("window.hematocrit", ht);
         }
         apr_telemetry::gauge_set("apr.window_moves", self.moves as f64);
+        apr_telemetry::gauge_set("exec.threads", apr_exec::current_threads() as f64);
     }
 
     /// Perform the §2.4.3 window move toward the CTC at fine position

@@ -10,14 +10,13 @@ use apr_lattice::Lattice;
 use apr_mesh::Vec3;
 
 /// Zero all cell force buffers and accumulate membrane elastic forces,
-/// in parallel across cells. Returns total elastic energy.
+/// in parallel across cells. Returns total elastic energy (summed in
+/// deterministic slot-chunk order, thread-count independent).
 pub fn compute_membrane_forces(pool: &mut CellPool) -> f64 {
-    pool.par_iter_mut()
-        .map(|cell| {
-            cell.clear_forces();
-            cell.compute_membrane_forces().total()
-        })
-        .sum()
+    pool.par_map_sum(|cell| {
+        cell.clear_forces();
+        cell.compute_membrane_forces().total()
+    })
 }
 
 /// Rebuild the spatial grid and add intercellular contact forces.
@@ -40,11 +39,20 @@ pub fn spread_cell_forces(
     to_lattice: impl Fn(Vec3) -> Vec3,
     force_scale: f64,
 ) {
+    // Batch every cell's vertices (in slot order) into one spread so the
+    // parallel scatter amortizes its scratch fields over the whole
+    // suspension instead of per cell.
+    let total: usize = pool.iter().map(|c| c.vertices.len()).sum();
+    let mut positions = Vec::with_capacity(total);
+    let mut forces = Vec::with_capacity(total);
     for cell in pool.iter() {
-        let positions: Vec<Vec3> = cell.vertices.iter().map(|&v| to_lattice(v)).collect();
-        let forces: Vec<Vec3> = cell.forces.iter().map(|&f| f * force_scale).collect();
-        apr_ibm::spread_forces(lattice, &positions, &forces, kernel);
+        positions.extend(cell.vertices.iter().map(|&v| to_lattice(v)));
+        forces.extend(cell.forces.iter().map(|&f| f * force_scale));
     }
+    let scratch = apr_exec::ScratchPool::new();
+    let mut field = std::mem::take(&mut lattice.force);
+    apr_ibm::spread_forces_into(lattice, &positions, &forces, kernel, &mut field, &scratch);
+    lattice.force = field;
 }
 
 /// Interpolate lattice velocities at every vertex and advect the cells.
@@ -58,7 +66,7 @@ pub fn advect_cells(
     to_lattice: impl Fn(Vec3) -> Vec3 + Sync,
     dt_world: f64,
 ) {
-    pool.par_iter_mut().for_each(|cell| {
+    pool.par_for_each_mut(|cell| {
         let velocities: Vec<Vec3> = cell
             .vertices
             .iter()

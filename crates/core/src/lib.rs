@@ -31,7 +31,7 @@ pub mod guardian;
 pub mod output;
 pub mod vtk;
 
-pub use apr::{AprEngine, AprStepReport, FineGeometry};
+pub use apr::{AprEngine, AprEngineBuilder, AprStepReport, FineGeometry};
 pub use config::PhysicalConfig;
 pub use diagnostics::{
     mean_axial_velocity, tube_effective_viscosity, tube_flow_rate, HematocritSeries,

@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn lattice_vtk_has_consistent_counts() {
         let mut lat = Lattice::new(4, 3, 2, 1.0);
-        lat.set_wall(lat.idx(0, 0, 0));
+        lat.set_boundary(lat.idx(0, 0, 0), apr_lattice::Boundary::Wall);
         let vtk = lattice_to_vtk(&lat, [0.0; 3], 0.5);
         assert!(vtk.contains("DIMENSIONS 4 3 2"));
         assert!(vtk.contains("POINT_DATA 24"));

@@ -37,20 +37,13 @@ fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> AprEngine {
     let proper_half = span as f64 * n as f64 * 0.22;
     let onramp = span as f64 * n as f64 * 0.12;
     let insertion = span as f64 * n as f64 * 0.14;
-    AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        proper_half,
-        onramp,
-        insertion,
-        ContactParams {
+    AprEngine::builder(coarse, fine, origin, n, lambda)
+        .window(proper_half, onramp, insertion)
+        .contact(ContactParams {
             cutoff: 1.2,
             strength: 5e-4,
-        },
-    )
+        })
+        .build()
 }
 
 /// RBC machinery sized for the fine lattice (radius in fine lattice units).

@@ -21,20 +21,17 @@ fn small_engine(n: usize) -> AprEngine {
         span * n + 1,
         fine_tau(0.9, n, 0.3),
     );
-    AprEngine::new(
-        coarse,
-        fine,
-        [8.0, 8.0, 8.0],
-        n,
-        0.3,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
+    AprEngine::builder(coarse, fine, [8.0, 8.0, 8.0], n, 0.3)
+        .window(
+            span as f64 * n as f64 * 0.22,
+            span as f64 * n as f64 * 0.12,
+            span as f64 * n as f64 * 0.14,
+        )
+        .contact(ContactParams {
             cutoff: 1.0,
             strength: 1e-4,
-        },
-    )
+        })
+        .build()
 }
 
 #[test]
@@ -97,20 +94,13 @@ fn physical_config_drives_engine_parameters() {
     let cfg = PhysicalConfig::paper_defaults(2.5e-6, 2, 1.0);
     let coarse = Lattice::new(24, 24, 24, cfg.tau_coarse);
     let fine = Lattice::new(17, 17, 17, cfg.tau_fine());
-    let eng = AprEngine::new(
-        coarse,
-        fine,
-        [8.0, 8.0, 8.0],
-        cfg.refinement,
-        cfg.lambda(),
-        4.0,
-        2.0,
-        2.0,
-        ContactParams {
+    let eng = AprEngine::builder(coarse, fine, [8.0, 8.0, 8.0], cfg.refinement, cfg.lambda())
+        .window(4.0, 2.0, 2.0)
+        .contact(ContactParams {
             cutoff: 1.0,
             strength: 1e-4,
-        },
-    );
+        })
+        .build();
     assert!((eng.fine.tau - cfg.tau_fine()).abs() < 1e-12);
     assert!((eng.map.lambda - 0.3).abs() < 1e-12);
 }

@@ -33,20 +33,13 @@ fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> AprEngine {
         4.0,
     ];
     let side = span as f64 * n as f64;
-    AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        side * 0.22,
-        side * 0.12,
-        side * 0.14,
-        ContactParams {
+    AprEngine::builder(coarse, fine, origin, n, lambda)
+        .window(side * 0.22, side * 0.12, side * 0.14)
+        .contact(ContactParams {
             cutoff: 1.2,
             strength: 5e-4,
-        },
-    )
+        })
+        .build()
 }
 
 fn rbc_insertion(radius: f64, gs: f64) -> (InsertionContext, HematocritController) {

@@ -15,7 +15,7 @@
 
 use crate::interpolation::{interpolate_distributions, moments};
 use crate::refinement::{coarse_window_tau, neq_scale_coarse_to_fine, neq_scale_fine_to_coarse};
-use apr_lattice::{equilibrium_all, Lattice, NodeClass, Q};
+use apr_lattice::{equilibrium_all, Lattice, NodeClass, SubStep, Q};
 
 /// Geometric and physical description of one window ↔ bulk coupling.
 #[derive(Debug, Clone)]
@@ -216,7 +216,8 @@ impl CouplingMap {
     /// Impose the coupled state on the fine boundary shell, blending the
     /// `old` and `new` coarse snapshots at time fraction `theta ∈ [0, 1]`.
     ///
-    /// Call **between** `collide_phase` and `stream_phase` of the fine
+    /// Call **between** `advance(SubStep::Collide)` and
+    /// `advance(SubStep::Stream)` of the fine
     /// lattice: the imposed state plays the role of the shell's
     /// post-collision distributions, so the rescaled non-equilibrium part
     /// carries the post-collision factor `(1 − 1/τ_f)`.
@@ -315,9 +316,9 @@ pub fn coupled_step<F: FnMut(&mut Lattice, usize)>(
     for k in 0..map.n {
         let theta = (k + 1) as f64 / map.n as f64;
         fine_hook(fine, k);
-        fine.collide_phase();
+        fine.advance(SubStep::Collide);
         map.impose_shell(fine, &old, &new, theta);
-        fine.stream_phase();
+        fine.advance(SubStep::Stream);
     }
     map.restrict(coarse, fine);
 }

@@ -1,0 +1,143 @@
+//! # apr-exec — deterministic multithreaded execution backend
+//!
+//! A persistent scoped worker pool over `std::thread` with **deterministic
+//! static chunking**. The determinism contract:
+//!
+//! 1. Work is split into chunks whose layout depends only on
+//!    `(len, chunk_len)` — never on the thread count. Lanes execute
+//!    contiguous runs of chunks, so the *assignment* varies with the lane
+//!    count but the per-chunk computation does not.
+//! 2. Disjoint-write kernels ([`ExecPool::par_for_chunks_mut`],
+//!    [`ExecPool::par_for_ranges`]) therefore produce bit-identical output
+//!    for any thread count, including 1.
+//! 3. Reductions ([`ExecPool::par_map_reduce`]) collect per-chunk partials
+//!    into a slot array indexed by chunk and combine them on the calling
+//!    thread in a fixed-shape ordered pairwise tree over chunk index —
+//!    the floating-point association order is a function of the chunk
+//!    count alone.
+//! 4. Write-conflicting accumulations (IBM force spreading) use
+//!    per-**chunk** scratch buffers from a [`ScratchPool`], merged into the
+//!    output in chunk order on the caller
+//!    ([`ExecPool::par_accumulate_f64`]).
+//!
+//! Together these make every result a pure function of the input and the
+//! chunk layout, so `APR_THREADS=8` reproduces `APR_THREADS=1` bit for
+//! bit. See `DESIGN.md` §9 for the full execution model and the
+//! rayon-shim retirement plan.
+//!
+//! ## Thread count selection
+//!
+//! [`ExecConfig::from_env`] reads `APR_THREADS` (unset or `0` → all
+//! available cores). Process-wide consumers go through the global pool:
+//! [`current()`] hands out a shared [`ExecPool`]; [`set_threads`] swaps it
+//! (used by CLI `--threads` flags and the determinism suite).
+
+pub mod pool;
+pub mod scratch;
+
+pub use pool::{ExecPool, RunStats, UnsafeSlice};
+pub use scratch::ScratchPool;
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Execution configuration resolved from the environment / CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker lanes to run (≥ 1). `1` means fully sequential.
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// Resolve from the `APR_THREADS` environment variable.
+    ///
+    /// Unset, empty, unparsable, or `0` → one lane per available core.
+    pub fn from_env() -> Self {
+        let requested = std::env::var("APR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        Self {
+            threads: if requested == 0 {
+                available_cores()
+            } else {
+                requested
+            },
+        }
+    }
+
+    /// Explicit thread count (`0` → all available cores).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: if threads == 0 {
+                available_cores()
+            } else {
+                threads
+            },
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Lanes the hardware offers (≥ 1).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn global() -> &'static Mutex<Option<Arc<ExecPool>>> {
+    static GLOBAL: OnceLock<Mutex<Option<Arc<ExecPool>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// The process-wide pool, created from [`ExecConfig::from_env`] on first
+/// use. Clones of the `Arc` stay valid across [`set_threads`] swaps (they
+/// keep the old pool alive until dropped).
+pub fn current() -> Arc<ExecPool> {
+    let mut slot = global().lock().unwrap();
+    slot.get_or_insert_with(|| Arc::new(ExecPool::new(ExecConfig::from_env().threads)))
+        .clone()
+}
+
+/// Replace the process-wide pool with one of `threads` lanes
+/// (`0` → all available cores). Existing [`current`] clones keep running
+/// on the pool they hold.
+pub fn set_threads(threads: usize) {
+    let pool = Arc::new(ExecPool::new(ExecConfig::with_threads(threads).threads));
+    *global().lock().unwrap() = Some(pool);
+}
+
+/// Lane count of the process-wide pool.
+pub fn current_threads() -> usize {
+    current().threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_with_explicit_threads() {
+        assert_eq!(ExecConfig::with_threads(3).threads, 3);
+        assert!(ExecConfig::with_threads(0).threads >= 1);
+    }
+
+    #[test]
+    fn global_pool_swaps() {
+        set_threads(2);
+        assert_eq!(current_threads(), 2);
+        let held = current();
+        set_threads(1);
+        assert_eq!(current_threads(), 1);
+        // The old pool is still usable through the retained clone.
+        let sum = held
+            .par_map_reduce(8, 2, |_, r| r.len() as u64, |a, b| a + b)
+            .unwrap_or(0);
+        assert_eq!(sum, 8);
+    }
+}

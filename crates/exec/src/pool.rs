@@ -1,0 +1,559 @@
+//! The persistent scoped worker pool and its deterministic parallel
+//! primitives.
+//!
+//! Every primitive partitions work into **chunks whose layout depends only
+//! on the problem size and the chunk length** — never on the worker count.
+//! Chunk outputs are either disjoint writes (no reduction at all) or are
+//! reduced on the submitting thread in a fixed-shape pairwise tree over
+//! chunk order. Both make results bit-identical for any thread count,
+//! including one; see the crate docs for the full argument.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One parallel region: a lane-indexed closure erased to a raw pointer so
+/// the persistent workers can run borrowed closures. The pointee is only
+/// valid while the submitting [`ExecPool::run`] call is blocked, which the
+/// epoch/pending protocol guarantees.
+#[derive(Clone, Copy)]
+struct Job {
+    f: *const (dyn Fn(usize) + Sync),
+    lanes: usize,
+}
+
+// SAFETY: the pointer is dereferenced only between job publication and the
+// final `pending` decrement, during which the submitter keeps the closure
+// alive (it is blocked in `run`). The pointee is `Sync`, so shared calls
+// from many workers are sound.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    pending: usize,
+    /// Panic payloads captured from worker lanes this epoch.
+    panics: Vec<Box<dyn std::any::Any + Send>>,
+    /// Busy nanoseconds accumulated by worker lanes this epoch.
+    busy_ns: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work: Condvar,
+    /// The submitter waits here for `pending == 0`.
+    done: Condvar,
+}
+
+/// Wall/busy accounting for the most recent parallel region.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Wall-clock nanoseconds of the region (submit to last lane done).
+    pub wall_ns: u64,
+    /// Summed per-lane busy nanoseconds.
+    pub busy_ns: u64,
+    /// Lanes the region ran with.
+    pub lanes: usize,
+}
+
+impl RunStats {
+    /// Fraction of the region's lane-seconds actually spent executing —
+    /// `busy / (wall × lanes)`, in `[0, 1]`. 1.0 when nothing has run.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.lanes == 0 {
+            return 1.0;
+        }
+        (self.busy_ns as f64 / (self.wall_ns as f64 * self.lanes as f64)).min(1.0)
+    }
+}
+
+thread_local! {
+    /// True inside a pool lane (worker thread, or the caller while it runs
+    /// lane 0). Nested `run` calls execute inline instead of deadlocking on
+    /// the submission lock.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A persistent scoped worker pool over `std::thread`.
+///
+/// `threads` is the total lane count: the submitting thread always executes
+/// lane 0, and `threads − 1` background workers execute the rest, so a
+/// 1-thread pool spawns nothing and runs everything inline (the sequential
+/// fast path has zero synchronization). Threads are parked between regions
+/// and shut down when the pool is dropped.
+pub struct ExecPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes parallel regions from concurrent submitters (e.g. two
+    /// test threads sharing the global pool).
+    submit: Mutex<()>,
+    last_run: Mutex<RunStats>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ExecPool {
+    /// Pool with `threads` lanes (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                pending: 0,
+                panics: Vec::new(),
+                busy_ns: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("apr-exec-{lane}"))
+                    .spawn(move || worker_loop(lane, &shared))
+                    .expect("spawn exec worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            submit: Mutex::new(()),
+            last_run: Mutex::new(RunStats::default()),
+            threads,
+        }
+    }
+
+    /// Single-lane pool: everything runs inline on the caller.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Total lane count (worker threads + the submitting thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Wall/busy accounting for the most recent parallel region.
+    pub fn last_run_stats(&self) -> RunStats {
+        *self.last_run.lock().unwrap()
+    }
+
+    /// Execute `f(lane)` once per lane `0..threads()`, returning when every
+    /// lane has finished. The closure may borrow from the caller's stack.
+    ///
+    /// Nested calls (from inside a lane) run all lanes inline on the
+    /// current thread — parallelism does not compose, determinism does.
+    ///
+    /// # Panics
+    /// Re-raises the first lane panic after all lanes have stopped, so
+    /// borrowed data is never freed while a worker may still touch it.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let lanes = self.threads;
+        if lanes == 1 || IN_POOL.with(|p| p.get()) {
+            for lane in 0..lanes {
+                f(lane);
+            }
+            return;
+        }
+        // Poison is harmless here: the guard only serializes regions, and a
+        // previous lane panic leaves no broken invariant behind.
+        let _region = self
+            .submit
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let start = Instant::now();
+        // Erase the closure's lifetime for the workers; `run` does not
+        // return until every lane is done, keeping the borrow alive.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static _>(f) };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(Job { f: erased, lanes });
+            st.pending = lanes - 1;
+            st.busy_ns = 0;
+            self.shared.work.notify_all();
+        }
+        // Lane 0 on the submitting thread.
+        let t0 = Instant::now();
+        IN_POOL.with(|p| p.set(true));
+        let lane0 = catch_unwind(AssertUnwindSafe(|| f(0)));
+        IN_POOL.with(|p| p.set(false));
+        let lane0_busy = t0.elapsed().as_nanos() as u64;
+        // Wait for the workers even if lane 0 panicked.
+        let (busy, panics) = {
+            let mut st = self.shared.state.lock().unwrap();
+            while st.pending > 0 {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+            (st.busy_ns, std::mem::take(&mut st.panics))
+        };
+        *self.last_run.lock().unwrap() = RunStats {
+            wall_ns: start.elapsed().as_nanos() as u64,
+            busy_ns: busy + lane0_busy,
+            lanes,
+        };
+        if let Err(payload) = lane0 {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = panics.into_iter().next() {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Deterministic static chunking over `0..len`: `f(chunk_index, range)`
+    /// for every chunk of `chunk_len` items (last chunk may be short).
+    /// Chunk layout depends only on `len` and `chunk_len`; lanes process
+    /// contiguous runs of chunks.
+    pub fn par_for_ranges(
+        &self,
+        len: usize,
+        chunk_len: usize,
+        f: impl Fn(usize, Range<usize>) + Sync,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let chunk_len = chunk_len.max(1);
+        let chunks = len.div_ceil(chunk_len);
+        self.run(&|lane| {
+            for chunk in lane_chunks(chunks, self.threads, lane) {
+                let start = chunk * chunk_len;
+                let end = (start + chunk_len).min(len);
+                f(chunk, start..end);
+            }
+        });
+    }
+
+    /// Deterministic parallel iteration over disjoint mutable chunks of a
+    /// slice: `f(chunk_index, chunk)` for every `chunk_len`-sized chunk.
+    pub fn par_for_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let chunk_len = chunk_len.max(1);
+        let slice = UnsafeSlice::new(data);
+        self.par_for_ranges(slice.len(), chunk_len, |chunk, range| {
+            // SAFETY: chunk ranges are pairwise disjoint by construction.
+            let part = unsafe { slice.slice_mut(range.start, range.len()) };
+            f(chunk, part);
+        });
+    }
+
+    /// Deterministic map–reduce: maps every fixed-size chunk of `0..len` to
+    /// an `R`, then reduces the per-chunk values on the calling thread in a
+    /// **fixed-shape ordered pairwise tree** over chunk index — adjacent
+    /// pairs first, repeatedly, so the reduction shape (and therefore the
+    /// floating-point rounding) depends only on the chunk count. Returns
+    /// `None` for `len == 0`.
+    pub fn par_map_reduce<R: Send>(
+        &self,
+        len: usize,
+        chunk_len: usize,
+        map: impl Fn(usize, Range<usize>) -> R + Sync,
+        mut reduce: impl FnMut(R, R) -> R,
+    ) -> Option<R> {
+        if len == 0 {
+            return None;
+        }
+        let chunk_len = chunk_len.max(1);
+        let chunks = len.div_ceil(chunk_len);
+        let mut partials: Vec<Option<R>> = Vec::with_capacity(chunks);
+        partials.resize_with(chunks, || None);
+        let slots = UnsafeSlice::new(&mut partials);
+        self.run(&|lane| {
+            for chunk in lane_chunks(chunks, self.threads, lane) {
+                let start = chunk * chunk_len;
+                let end = (start + chunk_len).min(len);
+                // SAFETY: each chunk index is visited by exactly one lane.
+                let slot = unsafe { &mut slots.slice_mut(chunk, 1)[0] };
+                *slot = Some(map(chunk, start..end));
+            }
+        });
+        // Ordered pairwise tree: (0,1)(2,3)… then (01,23)… — shape is a
+        // function of the chunk count alone.
+        let mut level: Vec<R> = partials
+            .into_iter()
+            .map(|p| p.expect("chunk ran"))
+            .collect();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut it = level.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(reduce(a, b)),
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        level.into_iter().next()
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Contiguous run of chunk indices assigned to `lane` out of `lanes`.
+/// Depends only on `(chunks, lanes, lane)` — and the *results* computed
+/// from it never depend on `lanes` because chunks are independent.
+fn lane_chunks(chunks: usize, lanes: usize, lane: usize) -> Range<usize> {
+    let per = chunks.div_ceil(lanes);
+    let start = (lane * per).min(chunks);
+    let end = ((lane + 1) * per).min(chunks);
+    start..end
+}
+
+fn worker_loop(lane: usize, shared: &Shared) {
+    IN_POOL.with(|p| p.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(job) = st.job {
+                    if st.epoch != seen_epoch {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        let mut busy = 0u64;
+        let result = if lane < job.lanes {
+            let t0 = Instant::now();
+            // SAFETY: see `Job` — the submitter keeps the closure alive
+            // until `pending` reaches zero below.
+            let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(lane) }));
+            busy = t0.elapsed().as_nanos() as u64;
+            r
+        } else {
+            Ok(())
+        };
+        let mut st = shared.state.lock().unwrap();
+        st.busy_ns += busy;
+        if let Err(payload) = result {
+            st.panics.push(payload);
+        }
+        st.pending -= 1;
+        if st.pending == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A shared view of a mutable slice for disjoint-range parallel writes.
+///
+/// The pool primitives use this to hand each chunk its own sub-slice; it is
+/// public so call sites with multiple zipped arrays (e.g. the lattice
+/// collision touching `f`, `rho` and `vel` per node) can do the same.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is coordinated by the caller handing out disjoint ranges.
+unsafe impl<T: Send> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable sub-slice `[start, start + len)`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that concurrently outstanding sub-slices
+    /// are pairwise disjoint and within bounds.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_covers_every_lane_once() {
+        for threads in [1, 2, 4, 7] {
+            let pool = ExecPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(&|lane| {
+                hits[lane].fetch_add(1, Ordering::SeqCst);
+            });
+            for (lane, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_chunks_mut_writes_every_chunk() {
+        for threads in [1, 3, 8] {
+            let pool = ExecPool::new(threads);
+            let mut data = vec![0usize; 103];
+            pool.par_for_chunks_mut(&mut data, 10, |chunk, part| {
+                for v in part.iter_mut() {
+                    *v = chunk + 1;
+                }
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i / 10 + 1, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_thread_count_invariant() {
+        // A floating-point sum whose value depends on association order:
+        // identical partials + a fixed tree ⇒ identical bits on any pool.
+        let data: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sum_with = |threads: usize| {
+            let pool = ExecPool::new(threads);
+            pool.par_map_reduce(
+                data.len(),
+                64,
+                |_, range| data[range].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let s1 = sum_with(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                s1.to_bits(),
+                sum_with(threads).to_bits(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn map_reduce_empty_is_none() {
+        let pool = ExecPool::new(2);
+        assert!(pool
+            .par_map_reduce(0, 8, |_, _| 1.0f64, |a, b| a + b)
+            .is_none());
+    }
+
+    #[test]
+    fn nested_runs_execute_inline() {
+        let pool = ExecPool::new(4);
+        let outer = AtomicUsize::new(0);
+        pool.run(&|_| {
+            // A nested region must not deadlock on the submission lock.
+            pool.run(&|_| {
+                outer.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(outer.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn lane_panic_propagates_after_completion() {
+        let pool = ExecPool::new(4);
+        let survived = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|lane| {
+                if lane == 1 {
+                    panic!("lane 1 fails");
+                }
+                survived.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(survived.load(Ordering::SeqCst), 3);
+        // The pool stays usable after a panic.
+        pool.run(&|_| {});
+    }
+
+    #[test]
+    fn utilization_is_reported() {
+        let pool = ExecPool::new(2);
+        pool.run(&|_| {
+            std::hint::black_box((0..10_000).sum::<u64>());
+        });
+        let stats = pool.last_run_stats();
+        assert_eq!(stats.lanes, 2);
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn stress_repeat_100_race_smoke() {
+        // Loom-free race smoke: hammer all primitives from a fresh pool 100
+        // times so TSan-style runs and repeat-CI catch protocol races.
+        for round in 0..100 {
+            let threads = 1 + round % 8;
+            let pool = ExecPool::new(threads);
+            let mut data = vec![0u64; 257];
+            pool.par_for_chunks_mut(&mut data, 16, |chunk, part| {
+                for (k, v) in part.iter_mut().enumerate() {
+                    *v = (chunk * 16 + k) as u64;
+                }
+            });
+            let direct: u64 = data.iter().sum();
+            let reduced = pool
+                .par_map_reduce(
+                    data.len(),
+                    16,
+                    |_, range| data[range].iter().sum::<u64>(),
+                    |a, b| a + b,
+                )
+                .unwrap();
+            assert_eq!(direct, reduced, "round {round}");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! flowing network.
 
 use crate::tree::VascularTree;
-use apr_lattice::{Lattice, NodeClass};
+use apr_lattice::{Boundary, Lattice, NodeClass};
 use apr_mesh::Vec3;
 
 /// Indices of leaf segments (no children).
@@ -101,7 +101,7 @@ pub fn open_tree_flow(
         dir,
         root.ra,
         (-0.6, 0.6),
-        |lat, node| lat.set_velocity_bc(node, [u.x, u.y, u.z]),
+        |lat, node| lat.set_boundary(node, Boundary::Velocity([u.x, u.y, u.z])),
     );
     assert!(inlet_nodes > 0, "no inlet nodes stamped — check origin/dx");
 
@@ -123,7 +123,7 @@ pub fn open_tree_flow(
             d,
             seg.rb + dx,
             (-0.6, cap_extent),
-            |lat, node| lat.set_pressure_bc(node, 1.0),
+            |lat, node| lat.set_boundary(node, Boundary::Pressure(1.0)),
         );
     }
     assert!(

@@ -5,7 +5,7 @@
 //! every lattice node as lumen (fluid) or wall/exterior.
 
 use crate::sdf::Sdf;
-use apr_lattice::{Lattice, NodeClass};
+use apr_lattice::{Boundary, Lattice};
 use apr_mesh::Vec3;
 
 /// Map an SDF onto a lattice: nodes inside the lumen stay fluid; nodes
@@ -25,9 +25,9 @@ pub fn voxelize(lattice: &mut Lattice, sdf: &dyn Sdf, origin: Vec3, dx: f64) {
                 if d < 0.0 {
                     // Lumen: leave fluid.
                 } else if d < 1.5 * dx {
-                    lattice.set_wall(node);
+                    lattice.set_boundary(node, Boundary::Wall);
                 } else {
-                    lattice.set_flag(node, NodeClass::Exterior);
+                    lattice.set_boundary(node, Boundary::Exterior);
                 }
             }
         }
@@ -54,6 +54,7 @@ pub fn world_to_lattice(origin: Vec3, dx: f64, p: Vec3) -> Vec3 {
 mod tests {
     use super::*;
     use crate::sdf::Cylinder;
+    use apr_lattice::NodeClass;
 
     #[test]
     fn cylinder_voxelization_classifies_correctly() {

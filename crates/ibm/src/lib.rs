@@ -11,4 +11,6 @@ pub mod delta;
 pub mod transfer;
 
 pub use delta::DeltaKernel;
-pub use transfer::{advect_points, interpolate_velocities, interpolate_velocity, spread_forces};
+pub use transfer::{
+    advect_points, interpolate_velocities, interpolate_velocity, spread_forces, spread_forces_into,
+};

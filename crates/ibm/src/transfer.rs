@@ -5,9 +5,19 @@
 //! lattice in a global frame translate positions before calling.
 
 use crate::delta::DeltaKernel;
+use apr_exec::{ScratchPool, UnsafeSlice};
 use apr_lattice::{Lattice, NodeClass};
 use apr_mesh::Vec3;
-use rayon::prelude::*;
+
+/// Lagrangian points per exec chunk for the pure (gather) transfers. Any
+/// fixed value keeps results thread-count independent; 32 points amortize
+/// dispatch while still splitting a single cell's vertices across lanes.
+const POINT_CHUNK: usize = 32;
+
+/// Maximum scratch chunks for the (scatter) force spread. Fixed — never
+/// derived from the thread count — so the chunk-ordered merge associates
+/// identically for any `APR_THREADS`.
+const SPREAD_MAX_CHUNKS: usize = 8;
 
 /// Stencil description around a Lagrangian point for a given kernel.
 struct Stencil {
@@ -53,10 +63,14 @@ pub fn interpolate_velocities(
     positions: &[Vec3],
     kernel: DeltaKernel,
 ) -> Vec<Vec3> {
-    positions
-        .par_iter()
-        .map(|&p| interpolate_velocity(lattice, p, kernel))
-        .collect()
+    let mut out = vec![Vec3::ZERO; positions.len()];
+    apr_exec::current().par_for_chunks_mut(&mut out, POINT_CHUNK, |chunk, part| {
+        let first = chunk * POINT_CHUNK;
+        for (k, v) in part.iter_mut().enumerate() {
+            *v = interpolate_velocity(lattice, positions[first + k], kernel);
+        }
+    });
+    out
 }
 
 /// Interpolate the velocity at a single Lagrangian point.
@@ -114,59 +128,118 @@ pub fn spread_forces(
     forces: &[Vec3],
     kernel: DeltaKernel,
 ) -> f64 {
+    let scratch = ScratchPool::new();
+    // Detach the force field so the spread can read lattice flags while
+    // accumulating into it.
+    let mut field = std::mem::take(&mut lattice.force);
+    let covered = spread_forces_into(lattice, positions, forces, kernel, &mut field, &scratch);
+    lattice.force = field;
+    covered
+}
+
+/// [`spread_forces`] variant that accumulates into a caller-owned force
+/// field (`node*3 + axis`, same layout as `Lattice::force`) and recycles
+/// scratch buffers across calls — the steady-state path used by the FSI
+/// loop, which spreads many cells per sub-step.
+///
+/// Runs in parallel over fixed position chunks; per-chunk scratch fields
+/// are merged into `out` in chunk order on the caller, so the result is
+/// bit-identical for any thread count. Returns the mean spread weight that
+/// landed on fluid nodes (see [`spread_forces`]).
+///
+/// # Panics
+/// Panics if `positions`/`forces` lengths differ or `out` does not cover
+/// every node.
+pub fn spread_forces_into(
+    lattice: &Lattice,
+    positions: &[Vec3],
+    forces: &[Vec3],
+    kernel: DeltaKernel,
+    out: &mut [f64],
+    scratch: &ScratchPool<Vec<f64>>,
+) -> f64 {
     assert_eq!(positions.len(), forces.len(), "positions/forces mismatch");
+    assert_eq!(out.len(), lattice.node_count() * 3, "force field size");
+    if positions.is_empty() {
+        return 0.0;
+    }
+    let chunks = positions.len().min(SPREAD_MAX_CHUNKS);
+    let mut chunk_weights = vec![0.0f64; chunks];
+    {
+        let weights = UnsafeSlice::new(&mut chunk_weights);
+        apr_exec::current().par_accumulate_f64(
+            out,
+            positions.len(),
+            SPREAD_MAX_CHUNKS,
+            scratch,
+            |chunk, range, buf| {
+                let mut covered = 0.0;
+                for (&p, &g) in positions[range.clone()].iter().zip(&forces[range]) {
+                    covered += spread_one(lattice, p, g, kernel, buf);
+                }
+                // SAFETY: one writer per chunk slot.
+                unsafe { weights.slice_mut(chunk, 1)[0] = covered };
+            },
+        );
+    }
+    // Chunk-ordered sum: association fixed by the chunk count alone.
+    let covered_weight: f64 = chunk_weights.iter().sum();
+    covered_weight / positions.len() as f64
+}
+
+/// Spread one Lagrangian force into `field`, returning the fluid-covered
+/// weight of its stencil.
+fn spread_one(lattice: &Lattice, p: Vec3, g: Vec3, kernel: DeltaKernel, field: &mut [f64]) -> f64 {
+    let s = stencil(kernel, p);
     let mut covered_weight = 0.0;
-    for (&p, &g) in positions.iter().zip(forces) {
-        let s = stencil(kernel, p);
-        for dz in 0..s.width {
-            let gz = s.base[2] + dz as i64;
-            let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else {
+    for dz in 0..s.width {
+        let gz = s.base[2] + dz as i64;
+        let Some(z) = wrap(gz, lattice.nz, lattice.periodic[2]) else {
+            continue;
+        };
+        let wz = kernel.phi(p.z - gz as f64);
+        if wz == 0.0 {
+            continue;
+        }
+        for dy in 0..s.width {
+            let gy = s.base[1] + dy as i64;
+            let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else {
                 continue;
             };
-            let wz = kernel.phi(p.z - gz as f64);
-            if wz == 0.0 {
+            let wyz = wz * kernel.phi(p.y - gy as f64);
+            if wyz == 0.0 {
                 continue;
             }
-            for dy in 0..s.width {
-                let gy = s.base[1] + dy as i64;
-                let Some(y) = wrap(gy, lattice.ny, lattice.periodic[1]) else {
+            for dx in 0..s.width {
+                let gx = s.base[0] + dx as i64;
+                let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else {
                     continue;
                 };
-                let wyz = wz * kernel.phi(p.y - gy as f64);
-                if wyz == 0.0 {
+                let w = wyz * kernel.phi(p.x - gx as f64);
+                if w == 0.0 {
                     continue;
                 }
-                for dx in 0..s.width {
-                    let gx = s.base[0] + dx as i64;
-                    let Some(x) = wrap(gx, lattice.nx, lattice.periodic[0]) else {
-                        continue;
-                    };
-                    let w = wyz * kernel.phi(p.x - gx as f64);
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let node = lattice.idx(x, y, z);
-                    if lattice.flag(node) == NodeClass::Fluid {
-                        lattice.add_force(node, [g.x * w, g.y * w, g.z * w]);
-                        covered_weight += w;
-                    }
+                let node = lattice.idx(x, y, z);
+                if lattice.flag(node) == NodeClass::Fluid {
+                    field[node * 3] += g.x * w;
+                    field[node * 3 + 1] += g.y * w;
+                    field[node * 3 + 2] += g.z * w;
+                    covered_weight += w;
                 }
             }
         }
     }
-    if positions.is_empty() {
-        0.0
-    } else {
-        covered_weight / positions.len() as f64
-    }
+    covered_weight
 }
 
 /// Advance Lagrangian points by interpolated velocity over one unit time
 /// step (Eq. 5, forward Euler no-slip update): `X(t+1) = X(t) + V(t)·Δt`.
 pub fn advect_points(lattice: &Lattice, positions: &mut [Vec3], kernel: DeltaKernel) {
-    positions.par_iter_mut().for_each(|p| {
-        let v = interpolate_velocity(lattice, *p, kernel);
-        *p += v;
+    apr_exec::current().par_for_chunks_mut(positions, POINT_CHUNK, |_, part| {
+        for p in part {
+            let v = interpolate_velocity(lattice, *p, kernel);
+            *p += v;
+        }
     });
 }
 

@@ -29,4 +29,4 @@ pub use observables::{
 pub use setup::{
     couette_channel, couette_height, couette_y_position, force_driven_tube, poiseuille_slit,
 };
-pub use solver::{Lattice, NodeClass};
+pub use solver::{Boundary, Lattice, NodeClass, SubStep};

@@ -4,7 +4,7 @@
 //! problems: plane Couette stacks (Figure 4), force-driven tubes (Figure 5)
 //! and channels (Figure 6).
 
-use crate::solver::{Lattice, NodeClass};
+use crate::solver::{Boundary, Lattice, NodeClass};
 
 /// Plane Couette channel: walls at the y extremes (bottom stationary, top
 /// moving at `u_lid` in +x), periodic in x and z.
@@ -19,9 +19,9 @@ pub fn couette_channel(nx: usize, ny: usize, nz: usize, tau: f64, u_lid: f64) ->
     for z in 0..nz {
         for x in 0..nx {
             let bottom = lat.idx(x, 0, z);
-            lat.set_wall(bottom);
+            lat.set_boundary(bottom, Boundary::Wall);
             let top = lat.idx(x, ny - 1, z);
-            lat.set_moving_wall(top, [u_lid, 0.0, 0.0]);
+            lat.set_boundary(top, Boundary::MovingWall([u_lid, 0.0, 0.0]));
         }
     }
     lat
@@ -48,9 +48,9 @@ pub fn poiseuille_slit(nx: usize, ny: usize, nz: usize, tau: f64, g: f64) -> Lat
     for z in 0..nz {
         for x in 0..nx {
             let bottom = lat.idx(x, 0, z);
-            lat.set_wall(bottom);
+            lat.set_boundary(bottom, Boundary::Wall);
             let top = lat.idx(x, ny - 1, z);
-            lat.set_wall(top);
+            lat.set_boundary(top, Boundary::Wall);
         }
     }
     lat
@@ -78,7 +78,7 @@ pub fn force_driven_tube(
                 let r = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
                 if r >= radius {
                     let node = lat.idx(x, y, z);
-                    lat.set_wall(node);
+                    lat.set_boundary(node, Boundary::Wall);
                 }
             }
         }

@@ -4,12 +4,14 @@
 //! forcing) and halfway bounce-back walls, plus velocity/pressure boundaries
 //! via non-equilibrium extrapolation. Distributions are stored
 //! array-of-structures (19 contiguous values per node) so collision touches
-//! one cache line pair per node; both passes are rayon-parallel over z-slabs.
+//! one cache line pair per node; both passes run on the deterministic
+//! `apr-exec` pool, chunked over z-planes (layout independent of the thread
+//! count, so results are bit-identical for any `APR_THREADS`).
 
 use crate::d3q19::{
     equilibrium_all, guo_force_term, lattice_viscosity_from_tau, C, OPPOSITE, Q, W,
 };
-use rayon::prelude::*;
+use apr_exec::UnsafeSlice;
 use std::collections::HashMap;
 
 /// Classification of a lattice node.
@@ -27,6 +29,55 @@ pub enum NodeClass {
     /// Outside the simulated geometry; behaves as a stationary wall but is
     /// excluded from fluid-point counts (memory accounting, §3.6).
     Exterior = 4,
+}
+
+/// Typed boundary condition of a lattice node — the single source of truth
+/// for boundary state, set via [`Lattice::set_boundary`] and read back via
+/// [`Lattice::boundary`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Boundary {
+    /// Stationary solid wall (halfway bounce-back).
+    Wall,
+    /// Solid wall moving with the given lattice velocity (bounce-back plus
+    /// the moving-wall momentum term).
+    MovingWall([f64; 3]),
+    /// Prescribed-velocity node, rebuilt each step by non-equilibrium
+    /// extrapolation.
+    Velocity([f64; 3]),
+    /// Prescribed-density (pressure) node, rebuilt each step by
+    /// non-equilibrium extrapolation.
+    Pressure(f64),
+    /// Outside the simulated geometry; a stationary wall excluded from
+    /// fluid-point accounting.
+    Exterior,
+}
+
+/// One half of a lattice time step; see [`Lattice::advance`].
+///
+/// A full step is `advance(Collide)` followed by `advance(Stream)`; the
+/// split exists so grid couplings (Dupuis–Chopard refinement) can impose
+/// post-collision states between the halves. Only the `Stream` half
+/// increments [`Lattice::steps_taken`], and `advance` enforces strict
+/// collide/stream alternation so a coupling loop cannot double-count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubStep {
+    /// BGK collision with Guo forcing on every fluid node.
+    Collide,
+    /// Pull-streaming with bounce-back, then boundary-node refresh;
+    /// completes the step.
+    Stream,
+}
+
+/// Boundary data attached to one node. Only data-carrying variants
+/// (`MovingWall`/`Velocity`/`Pressure`) get an entry; plain walls and
+/// exterior nodes live in the flag array alone.
+#[derive(Debug, Clone)]
+struct BcEntry {
+    node: usize,
+    boundary: Boundary,
+    /// Interior fluid neighbour used for non-equilibrium extrapolation,
+    /// resolved lazily on first use.
+    neighbor: Option<usize>,
 }
 
 /// A D3Q19 lattice Boltzmann fluid domain.
@@ -59,17 +110,14 @@ pub struct Lattice {
     pub vel: Vec<f64>,
     /// External force field per node, `node*3 + axis` (IBM spreading target).
     pub force: Vec<f64>,
-    wall_velocity: HashMap<usize, [f64; 3]>,
-    velocity_bc: Vec<BcNode<[f64; 3]>>,
-    pressure_bc: Vec<BcNode<f64>>,
+    /// Data-carrying boundary entries in insertion order (applied in this
+    /// deterministic order every step) with an index for O(1) node lookup.
+    /// Never iterate `bc_index` — `HashMap` order is nondeterministic.
+    bc_nodes: Vec<BcEntry>,
+    bc_index: HashMap<usize, usize>,
+    /// True between `advance(Collide)` and `advance(Stream)`.
+    pending_stream: bool,
     steps_taken: u64,
-}
-
-#[derive(Debug, Clone)]
-struct BcNode<T> {
-    node: usize,
-    value: T,
-    neighbor: Option<usize>,
 }
 
 impl Lattice {
@@ -101,9 +149,9 @@ impl Lattice {
             rho: vec![1.0; n],
             vel: vec![0.0; n * 3],
             force: vec![0.0; n * 3],
-            wall_velocity: HashMap::new(),
-            velocity_bc: Vec::new(),
-            pressure_bc: Vec::new(),
+            bc_nodes: Vec::new(),
+            bc_index: HashMap::new(),
+            pending_stream: false,
             steps_taken: 0,
         }
     }
@@ -136,48 +184,117 @@ impl Lattice {
         self.flags[node]
     }
 
-    /// Set a node classification. Prefer the dedicated `set_wall` /
-    /// `set_velocity_bc` / `set_pressure_bc` helpers which also register
-    /// auxiliary data.
+    /// Set a node classification without touching boundary data. Prefer
+    /// [`Self::set_boundary`] / [`Self::clear_boundary`], which keep the
+    /// flag and any attached boundary value consistent.
     pub fn set_flag(&mut self, node: usize, class: NodeClass) {
         self.flags[node] = class;
     }
 
+    /// Impose a typed boundary condition on `node`, replacing whatever
+    /// boundary (if any) the node had before.
+    pub fn set_boundary(&mut self, node: usize, boundary: Boundary) {
+        self.flags[node] = match boundary {
+            Boundary::Wall | Boundary::MovingWall(_) => NodeClass::Wall,
+            Boundary::Velocity(_) => NodeClass::Velocity,
+            Boundary::Pressure(_) => NodeClass::Pressure,
+            Boundary::Exterior => NodeClass::Exterior,
+        };
+        match boundary {
+            Boundary::Wall | Boundary::Exterior => self.remove_bc_entry(node),
+            b => match self.bc_index.get(&node) {
+                Some(&i) => {
+                    let entry = &mut self.bc_nodes[i];
+                    // Changing the boundary *kind* may change which
+                    // neighbour qualifies; same-kind updates (e.g. a ramped
+                    // inlet velocity) keep the cached one.
+                    if std::mem::discriminant(&entry.boundary) != std::mem::discriminant(&b) {
+                        entry.neighbor = None;
+                    }
+                    entry.boundary = b;
+                }
+                None => {
+                    self.bc_index.insert(node, self.bc_nodes.len());
+                    self.bc_nodes.push(BcEntry {
+                        node,
+                        boundary: b,
+                        neighbor: None,
+                    });
+                }
+            },
+        }
+    }
+
+    /// Revert `node` to interior fluid, removing any boundary data.
+    pub fn clear_boundary(&mut self, node: usize) {
+        self.flags[node] = NodeClass::Fluid;
+        self.remove_bc_entry(node);
+    }
+
+    /// The boundary condition at `node` (`None` for interior fluid).
+    pub fn boundary(&self, node: usize) -> Option<Boundary> {
+        match self.flags[node] {
+            NodeClass::Fluid => None,
+            NodeClass::Exterior => Some(Boundary::Exterior),
+            NodeClass::Wall => Some(match self.bc_entry(node) {
+                Some(e) => e.boundary,
+                None => Boundary::Wall,
+            }),
+            NodeClass::Velocity | NodeClass::Pressure => self.bc_entry(node).map(|e| e.boundary),
+        }
+    }
+
+    fn bc_entry(&self, node: usize) -> Option<&BcEntry> {
+        self.bc_index.get(&node).map(|&i| &self.bc_nodes[i])
+    }
+
+    fn remove_bc_entry(&mut self, node: usize) {
+        if let Some(i) = self.bc_index.remove(&node) {
+            self.bc_nodes.swap_remove(i);
+            if i < self.bc_nodes.len() {
+                self.bc_index.insert(self.bc_nodes[i].node, i);
+            }
+        }
+    }
+
     /// Mark `node` as a stationary wall.
+    #[deprecated(since = "0.1.0", note = "use set_boundary(node, Boundary::Wall)")]
     pub fn set_wall(&mut self, node: usize) {
-        self.flags[node] = NodeClass::Wall;
+        self.set_boundary(node, Boundary::Wall);
     }
 
     /// Mark `node` as a wall moving with velocity `u` (lattice units).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use set_boundary(node, Boundary::MovingWall(u))"
+    )]
     pub fn set_moving_wall(&mut self, node: usize, u: [f64; 3]) {
-        self.flags[node] = NodeClass::Wall;
-        self.wall_velocity.insert(node, u);
+        self.set_boundary(node, Boundary::MovingWall(u));
     }
 
     /// Mark `node` as a prescribed-velocity boundary.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use set_boundary(node, Boundary::Velocity(u))"
+    )]
     pub fn set_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
-        self.flags[node] = NodeClass::Velocity;
-        self.velocity_bc.push(BcNode {
-            node,
-            value: u,
-            neighbor: None,
-        });
+        self.set_boundary(node, Boundary::Velocity(u));
     }
 
     /// Mark `node` as a prescribed-density (pressure) boundary.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use set_boundary(node, Boundary::Pressure(rho))"
+    )]
     pub fn set_pressure_bc(&mut self, node: usize, rho: f64) {
-        self.flags[node] = NodeClass::Pressure;
-        self.pressure_bc.push(BcNode {
-            node,
-            value: rho,
-            neighbor: None,
-        });
+        self.set_boundary(node, Boundary::Pressure(rho));
     }
 
-    /// Update the target velocity of an existing velocity-boundary node.
+    /// Update the target velocity of an existing velocity-boundary node
+    /// (keeps the cached extrapolation neighbour; no-op for other nodes).
     pub fn update_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
-        if let Some(bc) = self.velocity_bc.iter_mut().find(|b| b.node == node) {
-            bc.value = u;
+        if self.flags[node] == NodeClass::Velocity && self.bc_index.contains_key(&node) {
+            self.set_boundary(node, Boundary::Velocity(u));
         }
     }
 
@@ -347,48 +464,81 @@ impl Lattice {
     /// Advance one time step: collide (fluid), stream (fluid, with halfway
     /// bounce-back off walls), then refresh boundary-condition nodes.
     pub fn step(&mut self) {
-        {
-            let _span = apr_telemetry::span("lattice.collide");
-            self.collide();
+        self.advance(SubStep::Collide);
+        self.advance(SubStep::Stream);
+    }
+
+    /// Execute one half of a time step (see [`SubStep`]).
+    ///
+    /// # Panics
+    /// Panics when the halves are called out of order — two collides
+    /// without a stream, or a stream without a preceding collide — which
+    /// would silently corrupt the step count and the physics.
+    pub fn advance(&mut self, sub: SubStep) {
+        match sub {
+            SubStep::Collide => {
+                assert!(
+                    !self.pending_stream,
+                    "advance(Collide) called twice without an intervening Stream"
+                );
+                let _span = apr_telemetry::span("lattice.collide");
+                self.collide();
+                self.pending_stream = true;
+            }
+            SubStep::Stream => {
+                assert!(
+                    self.pending_stream,
+                    "advance(Stream) called without a preceding Collide"
+                );
+                let _span = apr_telemetry::span("lattice.stream");
+                self.stream();
+                self.apply_bc_nodes();
+                self.steps_taken += 1;
+                self.pending_stream = false;
+            }
         }
-        let _span = apr_telemetry::span("lattice.stream");
-        self.stream();
-        self.apply_bc_nodes();
-        self.steps_taken += 1;
     }
 
-    /// Collision phase only. Exposed so the APR coupling can impose
-    /// post-collision states on window-boundary nodes between collision and
-    /// streaming (Dupuis–Chopard style grid refinement).
+    /// Collision phase only.
+    #[deprecated(since = "0.1.0", note = "use advance(SubStep::Collide)")]
     pub fn collide_phase(&mut self) {
-        self.collide();
+        self.advance(SubStep::Collide);
     }
 
-    /// Streaming + boundary-node phase only (pairs with [`Self::collide_phase`]).
+    /// Streaming + boundary-node phase only.
+    #[deprecated(since = "0.1.0", note = "use advance(SubStep::Stream)")]
     pub fn stream_phase(&mut self) {
-        self.stream();
-        self.apply_bc_nodes();
-        self.steps_taken += 1;
+        self.advance(SubStep::Stream);
     }
 
     /// BGK collision with Guo forcing on every fluid node; updates stored
     /// `rho` and `vel` (velocity includes the half-force correction).
+    /// Runs on the global exec pool, one z-plane of nodes per chunk; every
+    /// write is node-local, so the result is independent of the thread
+    /// count.
     fn collide(&mut self) {
         let global_tau = self.tau;
         let bf = self.body_force;
         let flags = &self.flags;
         let tau_field = self.tau_field.as_deref();
-        self.f
-            .par_chunks_mut(Q)
-            .zip(self.rho.par_iter_mut())
-            .zip(self.vel.par_chunks_mut(3))
-            .zip(self.force.par_chunks(3))
-            .zip(flags.par_iter())
-            .enumerate()
-            .for_each(|(node, ((((fs, rho), vel), g), &flag))| {
-                if flag != NodeClass::Fluid {
-                    return;
+        let force = &self.force;
+        let n = self.nx * self.ny * self.nz;
+        let plane = self.nx * self.ny;
+        let f = UnsafeSlice::new(&mut self.f);
+        let rho = UnsafeSlice::new(&mut self.rho);
+        let vel = UnsafeSlice::new(&mut self.vel);
+        let pool = apr_exec::current();
+        pool.par_for_ranges(n, plane, |_, range| {
+            for node in range {
+                if flags[node] != NodeClass::Fluid {
+                    continue;
                 }
+                // SAFETY: chunk ranges are disjoint, so each node (and its
+                // f/rho/vel storage) is touched by exactly one lane.
+                let fs = unsafe { f.slice_mut(node * Q, Q) };
+                let rho = unsafe { &mut rho.slice_mut(node, 1)[0] };
+                let vel = unsafe { vel.slice_mut(node * 3, 3) };
+                let g = &force[node * 3..node * 3 + 3];
                 let tau = match tau_field {
                     Some(f) => f[node],
                     None => global_tau,
@@ -418,16 +568,32 @@ impl Lattice {
                     let forcing = guo_force_term(i, ux, uy, uz, gx, gy, gz);
                     fs[i] += omega * (feq[i] - fs[i]) + force_scale * forcing;
                 }
-            });
+            }
+        });
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::gauge_set(
+                "exec.lattice.collide.utilization",
+                pool.last_run_stats().utilization(),
+            );
+        }
     }
 
     /// Pull-streaming with halfway bounce-back (optionally moving walls).
+    /// Parallel over z-slabs of `f_tmp`; each slab is written by one lane
+    /// while `f` is read-only, so the result is thread-count independent.
     fn stream(&mut self) {
         let (nx, ny, nz) = (self.nx, self.ny, self.nz);
         let plane = nx * ny;
         let f = &self.f;
         let flags = &self.flags;
-        let wall_velocity = &self.wall_velocity;
+        let bc_nodes = &self.bc_nodes;
+        let bc_index = &self.bc_index;
+        let moving_wall = |src: usize| -> Option<[f64; 3]> {
+            match bc_index.get(&src).map(|&i| bc_nodes[i].boundary) {
+                Some(Boundary::MovingWall(u)) => Some(u),
+                _ => None,
+            }
+        };
         let rho = &self.rho;
         let periodic = self.periodic;
         let neighbor = move |x: usize, y: usize, z: usize, i: usize| -> Option<usize> {
@@ -448,119 +614,131 @@ impl Lattice {
             }
             Some((p[0] + dims[0] * (p[1] + dims[1] * p[2])) as usize)
         };
-        self.f_tmp
-            .par_chunks_mut(plane * Q)
-            .enumerate()
-            .for_each(|(z, slab)| {
-                for y in 0..ny {
-                    for x in 0..nx {
-                        let node = x + nx * (y + ny * z);
-                        let local = (x + nx * y) * Q;
-                        match flags[node] {
-                            NodeClass::Fluid => {
-                                for i in 0..Q {
-                                    // Pull from the node the population left.
-                                    let o = OPPOSITE[i];
-                                    let pulled = match neighbor(x, y, z, o) {
-                                        Some(src)
-                                            if matches!(
-                                                flags[src],
-                                                NodeClass::Fluid
-                                                    | NodeClass::Velocity
-                                                    | NodeClass::Pressure
-                                            ) =>
-                                        {
-                                            f[src * Q + i]
+        let f_tmp = UnsafeSlice::new(&mut self.f_tmp);
+        let pool = apr_exec::current();
+        pool.par_for_ranges(nz, 1, |z, _| {
+            // SAFETY: one z-slab per chunk; slabs are disjoint.
+            let slab = unsafe { f_tmp.slice_mut(z * plane * Q, plane * Q) };
+            for y in 0..ny {
+                for x in 0..nx {
+                    let node = x + nx * (y + ny * z);
+                    let local = (x + nx * y) * Q;
+                    match flags[node] {
+                        NodeClass::Fluid => {
+                            for i in 0..Q {
+                                // Pull from the node the population left.
+                                let o = OPPOSITE[i];
+                                let pulled = match neighbor(x, y, z, o) {
+                                    Some(src)
+                                        if matches!(
+                                            flags[src],
+                                            NodeClass::Fluid
+                                                | NodeClass::Velocity
+                                                | NodeClass::Pressure
+                                        ) =>
+                                    {
+                                        f[src * Q + i]
+                                    }
+                                    Some(src) => {
+                                        // Wall / exterior: halfway bounce-back,
+                                        // with moving-wall momentum term.
+                                        let mut v = f[node * Q + o];
+                                        if let Some(uw) = moving_wall(src) {
+                                            let cu = C[i][0] as f64 * uw[0]
+                                                + C[i][1] as f64 * uw[1]
+                                                + C[i][2] as f64 * uw[2];
+                                            v += 6.0 * W[i] * rho[node] * cu;
                                         }
-                                        Some(src) => {
-                                            // Wall / exterior: halfway bounce-back,
-                                            // with moving-wall momentum term.
-                                            let mut v = f[node * Q + o];
-                                            if let Some(uw) = wall_velocity.get(&src) {
-                                                let cu = C[i][0] as f64 * uw[0]
-                                                    + C[i][1] as f64 * uw[1]
-                                                    + C[i][2] as f64 * uw[2];
-                                                v += 6.0 * W[i] * rho[node] * cu;
-                                            }
-                                            v
-                                        }
-                                        None => f[node * Q + o],
-                                    };
-                                    slab[local + i] = pulled;
-                                }
+                                        v
+                                    }
+                                    None => f[node * Q + o],
+                                };
+                                slab[local + i] = pulled;
                             }
-                            _ => {
-                                // Non-fluid nodes carry their distributions
-                                // forward; BC nodes are rebuilt right after.
-                                slab[local..local + Q].copy_from_slice(&f[node * Q..node * Q + Q]);
-                            }
+                        }
+                        _ => {
+                            // Non-fluid nodes carry their distributions
+                            // forward; BC nodes are rebuilt right after.
+                            slab[local..local + Q].copy_from_slice(&f[node * Q..node * Q + Q]);
                         }
                     }
                 }
-            });
+            }
+        });
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::gauge_set(
+                "exec.lattice.stream.utilization",
+                pool.last_run_stats().utilization(),
+            );
+        }
         std::mem::swap(&mut self.f, &mut self.f_tmp);
     }
 
     /// Rebuild velocity/pressure boundary nodes by non-equilibrium
     /// extrapolation (Guo et al. 2002): `f = f^eq(ρ_b, u_b) + f^neq(nb)`.
+    /// Entries are applied in insertion order; each writes only its own
+    /// node and reads only interior fluid neighbours, so the order never
+    /// affects the numbers.
     fn apply_bc_nodes(&mut self) {
-        // Resolve interior neighbours lazily on first use.
-        let resolve = |this: &Lattice, node: usize| -> Option<usize> {
-            let (x, y, z) = this.coords(node);
-            (1..Q).find_map(|i| {
-                this.neighbor(x, y, z, i)
-                    .filter(|&nb| this.flags[nb] == NodeClass::Fluid)
-            })
-        };
-
-        let mut velocity_bc = std::mem::take(&mut self.velocity_bc);
-        for bc in &mut velocity_bc {
-            if bc.neighbor.is_none() {
-                bc.neighbor = resolve(self, bc.node);
-            }
-            let u = bc.value;
-            let new_f = match bc.neighbor {
-                Some(nb) => {
-                    let (rho_nb, u_nb) = self.moments_at(nb);
-                    let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
-                    let feq_b = equilibrium_all(rho_nb, u[0], u[1], u[2]);
-                    let mut out = [0.0; Q];
-                    for i in 0..Q {
-                        out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+        let mut entries = std::mem::take(&mut self.bc_nodes);
+        for entry in &mut entries {
+            match entry.boundary {
+                Boundary::Velocity(u) if self.flags[entry.node] == NodeClass::Velocity => {
+                    if entry.neighbor.is_none() {
+                        entry.neighbor = self.resolve_interior_neighbor(entry.node);
                     }
-                    out
+                    let new_f = match entry.neighbor {
+                        Some(nb) => {
+                            let (rho_nb, u_nb) = self.moments_at(nb);
+                            let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
+                            let feq_b = equilibrium_all(rho_nb, u[0], u[1], u[2]);
+                            let mut out = [0.0; Q];
+                            for i in 0..Q {
+                                out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+                            }
+                            out
+                        }
+                        None => equilibrium_all(1.0, u[0], u[1], u[2]),
+                    };
+                    self.set_distributions(entry.node, &new_f);
+                    self.rho[entry.node] = new_f.iter().sum();
+                    self.vel[entry.node * 3..entry.node * 3 + 3].copy_from_slice(&u);
                 }
-                None => equilibrium_all(1.0, u[0], u[1], u[2]),
-            };
-            self.set_distributions(bc.node, &new_f);
-            self.rho[bc.node] = new_f.iter().sum();
-            self.vel[bc.node * 3..bc.node * 3 + 3].copy_from_slice(&u);
-        }
-        self.velocity_bc = velocity_bc;
-
-        let mut pressure_bc = std::mem::take(&mut self.pressure_bc);
-        for bc in &mut pressure_bc {
-            if bc.neighbor.is_none() {
-                bc.neighbor = resolve(self, bc.node);
-            }
-            let rho_b = bc.value;
-            let new_f = match bc.neighbor {
-                Some(nb) => {
-                    let (rho_nb, u_nb) = self.moments_at(nb);
-                    let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
-                    let feq_b = equilibrium_all(rho_b, u_nb[0], u_nb[1], u_nb[2]);
-                    let mut out = [0.0; Q];
-                    for i in 0..Q {
-                        out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+                Boundary::Pressure(rho_b) if self.flags[entry.node] == NodeClass::Pressure => {
+                    if entry.neighbor.is_none() {
+                        entry.neighbor = self.resolve_interior_neighbor(entry.node);
                     }
-                    self.vel[bc.node * 3..bc.node * 3 + 3].copy_from_slice(&u_nb);
-                    out
+                    let new_f = match entry.neighbor {
+                        Some(nb) => {
+                            let (rho_nb, u_nb) = self.moments_at(nb);
+                            let feq_nb = equilibrium_all(rho_nb, u_nb[0], u_nb[1], u_nb[2]);
+                            let feq_b = equilibrium_all(rho_b, u_nb[0], u_nb[1], u_nb[2]);
+                            let mut out = [0.0; Q];
+                            for i in 0..Q {
+                                out[i] = feq_b[i] + (self.f[nb * Q + i] - feq_nb[i]);
+                            }
+                            self.vel[entry.node * 3..entry.node * 3 + 3].copy_from_slice(&u_nb);
+                            out
+                        }
+                        None => equilibrium_all(rho_b, 0.0, 0.0, 0.0),
+                    };
+                    self.set_distributions(entry.node, &new_f);
+                    self.rho[entry.node] = rho_b;
                 }
-                None => equilibrium_all(rho_b, 0.0, 0.0, 0.0),
-            };
-            self.set_distributions(bc.node, &new_f);
-            self.rho[bc.node] = rho_b;
+                // Moving walls act during streaming; entries whose flag was
+                // redirected via set_flag are inert.
+                _ => {}
+            }
         }
-        self.pressure_bc = pressure_bc;
+        self.bc_nodes = entries;
+    }
+
+    /// First interior fluid neighbour of `node` in lattice-direction order.
+    fn resolve_interior_neighbor(&self, node: usize) -> Option<usize> {
+        let (x, y, z) = self.coords(node);
+        (1..Q).find_map(|i| {
+            self.neighbor(x, y, z, i)
+                .filter(|&nb| self.flags[nb] == NodeClass::Fluid)
+        })
     }
 }

@@ -2,7 +2,7 @@
 
 use apr_lattice::{
     couette_channel, couette_height, couette_y_position, force_driven_tube, poiseuille_slit,
-    Lattice, NodeClass,
+    Boundary, Lattice, NodeClass,
 };
 
 /// Run until the x-velocity field change per step falls below `tol`.
@@ -130,9 +130,9 @@ fn velocity_bc_drives_plug_flow() {
     for y in 0..ny {
         for x in 0..nx {
             let inlet = lat.idx(x, y, 0);
-            lat.set_velocity_bc(inlet, [0.0, 0.0, u_in]);
+            lat.set_boundary(inlet, Boundary::Velocity([0.0, 0.0, u_in]));
             let outlet = lat.idx(x, y, nz - 1);
-            lat.set_pressure_bc(outlet, 1.0);
+            lat.set_boundary(outlet, Boundary::Pressure(1.0));
         }
     }
     for _ in 0..3000 {

@@ -9,7 +9,7 @@
 //! global lattice — the equivalence test at the bottom is the proof the
 //! halo protocol carries the physics.
 
-use apr_lattice::{Lattice, Q};
+use apr_lattice::{Lattice, SubStep, Q};
 
 /// A z-slab decomposition of a global lattice into task-local lattices.
 ///
@@ -122,11 +122,11 @@ impl SlabLattice {
     /// Advance one global step: collide everywhere, exchange ghosts, stream.
     pub fn step(&mut self) {
         for local in &mut self.locals {
-            local.collide_phase();
+            local.advance(SubStep::Collide);
         }
         self.exchange_ghosts();
         for local in &mut self.locals {
-            local.stream_phase();
+            local.advance(SubStep::Stream);
         }
     }
 
@@ -184,7 +184,7 @@ fn insert_plane(lat: &mut Lattice, z: usize, plane: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apr_lattice::NodeClass;
+    use apr_lattice::{Boundary, NodeClass};
 
     fn poiseuille_global() -> Lattice {
         // Walls in y, periodic x and z, force along z.
@@ -194,9 +194,9 @@ mod tests {
         for z in 0..lat.nz {
             for x in 0..lat.nx {
                 let bottom = lat.idx(x, 0, z);
-                lat.set_wall(bottom);
+                lat.set_boundary(bottom, Boundary::Wall);
                 let top = lat.idx(x, lat.ny - 1, z);
-                lat.set_wall(top);
+                lat.set_boundary(top, Boundary::Wall);
             }
         }
         lat
@@ -265,17 +265,17 @@ mod tests {
         for z in 0..lat.nz {
             for x in 0..lat.nx {
                 let b = lat.idx(x, 0, z);
-                lat.set_wall(b);
+                lat.set_boundary(b, Boundary::Wall);
                 let t = lat.idx(x, lat.ny - 1, z);
-                lat.set_wall(t);
+                lat.set_boundary(t, Boundary::Wall);
             }
         }
         for y in 0..lat.ny {
             for x in 0..lat.nx {
                 let b = lat.idx(x, y, 0);
-                lat.set_wall(b);
+                lat.set_boundary(b, Boundary::Wall);
                 let t = lat.idx(x, y, lat.nz - 1);
-                lat.set_wall(t);
+                lat.set_boundary(t, Boundary::Wall);
             }
         }
         let mut reference = lat;

@@ -3,10 +3,10 @@
 //! A shared-memory stand-in for the paper's MPI halo exchange (§2.4.5,
 //! "Reducing Cell Communication"): each task owns a scalar field over its
 //! block plus a one-layer ghost shell; [`HaloExchanger::exchange`] fills
-//! every ghost layer from the owning neighbour. Tasks run concurrently on a
-//! rayon pool and hand off slabs over crossbeam channels, so the
-//! communication structure (who sends what to whom, message sizes) matches
-//! the distributed original even though transport is memcpy-speed.
+//! every ghost layer from the owning neighbour. Tasks run concurrently on
+//! the apr-exec worker pool and hand off slabs over crossbeam channels, so
+//! the communication structure (who sends what to whom, message sizes)
+//! matches the distributed original even though transport is memcpy-speed.
 
 use crate::decomp::BlockDecomposition;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -164,7 +164,9 @@ impl HaloExchanger {
     }
 
     /// Exchange all face halos: every field sends its boundary slabs and
-    /// fills its ghost slabs. Runs tasks concurrently on the rayon pool.
+    /// fills its ghost slabs. Runs tasks concurrently on the apr-exec pool
+    /// (one chunk per task, so chunk layout — and hence per-task work
+    /// assignment — is identical for every thread count).
     ///
     /// Two-phase protocol: **all** sends complete before **any** task
     /// receives. Interleaving them inside a single parallel pass can
@@ -172,7 +174,7 @@ impl HaloExchanger {
     /// worker blocks on a `recv` whose sender task has not been scheduled) —
     /// the same reason MPI codes pre-post their halo sends.
     pub fn exchange(&mut self, fields: &mut [GhostField]) {
-        use rayon::prelude::*;
+        let pool = apr_exec::current();
         assert_eq!(
             fields.len(),
             self.senders.len(),
@@ -196,23 +198,28 @@ impl HaloExchanger {
         let receivers = &self.receivers;
         // Phase 1: post every send (unbounded channels never block).
         let pack_span = apr_telemetry::span("halo.pack_send");
-        let bytes: usize = fields
-            .par_iter()
-            .enumerate()
-            .map(|(task, field)| {
-                #[cfg(feature = "fault-injection")]
-                if muted.contains(&task) {
-                    return 0;
-                }
-                let mut sent = 0;
-                for (&(axis, dir), tx) in &senders[task] {
-                    let slab = field.boundary_slab(axis, dir);
-                    sent += slab.len() * std::mem::size_of::<f64>();
-                    tx.send(slab).expect("halo receiver dropped");
-                }
-                sent
-            })
-            .sum();
+        let shared = &fields[..];
+        let bytes: usize = pool
+            .par_map_reduce(
+                shared.len(),
+                1,
+                |task, _range| {
+                    #[cfg(feature = "fault-injection")]
+                    if muted.contains(&task) {
+                        return 0;
+                    }
+                    let field = &shared[task];
+                    let mut sent = 0;
+                    for (&(axis, dir), tx) in &senders[task] {
+                        let slab = field.boundary_slab(axis, dir);
+                        sent += slab.len() * std::mem::size_of::<f64>();
+                        tx.send(slab).expect("halo receiver dropped");
+                    }
+                    sent
+                },
+                |a, b| a + b,
+            )
+            .unwrap_or(0);
         drop(pack_span);
         // Phase 2: drain; every surviving message is already queued, so a
         // non-blocking receive is exact — an empty channel can only mean
@@ -222,7 +229,8 @@ impl HaloExchanger {
         let starved_before = self.starved_receives();
         #[cfg(feature = "fault-injection")]
         let starved = &self.starved_receives;
-        fields.par_iter_mut().enumerate().for_each(|(task, field)| {
+        pool.par_for_chunks_mut(fields, 1, |task, part| {
+            let field = &mut part[0];
             for (&(axis, dir), rx) in &receivers[task] {
                 #[cfg(feature = "fault-injection")]
                 {

@@ -15,9 +15,11 @@
 //! # observability: Chrome trace (open in Perfetto) + per-step metrics JSONL
 //! cargo run --release --example cerebral_transport -- \
 //!     --trace-out trace.json --metrics-out metrics.jsonl
+//! # worker threads (overrides APR_THREADS; results are bit-identical
+//! # for any thread count)
+//! cargo run --release --example cerebral_transport -- --threads 4
 //! ```
 
-use apr_suite::cells::ContactParams;
 use apr_suite::core::{restore_engine_from_file, save_engine_to_file, AprEngine};
 use apr_suite::coupling::fine_tau;
 use apr_suite::geom::{open_tree_flow, voxelize, TreeParams, VascularTree};
@@ -39,6 +41,7 @@ struct CkptOpts {
     trace_out: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
     max_steps: u64,
+    threads: Option<usize>,
 }
 
 fn parse_opts() -> CkptOpts {
@@ -49,6 +52,7 @@ fn parse_opts() -> CkptOpts {
         trace_out: None,
         metrics_out: None,
         max_steps: 3000,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -73,6 +77,10 @@ fn parse_opts() -> CkptOpts {
                 let v = args.next().expect("--max-steps needs a step count");
                 opts.max_steps = v.parse().expect("invalid step count");
             }
+            "--threads" => {
+                let v = args.next().expect("--threads needs a worker count");
+                opts.threads = Some(v.parse().expect("invalid worker count"));
+            }
             other => panic!("unknown argument {other}"),
         }
     }
@@ -81,6 +89,13 @@ fn parse_opts() -> CkptOpts {
 
 fn main() {
     let opts = parse_opts();
+    if let Some(threads) = opts.threads {
+        apr_suite::exec::set_threads(threads);
+    }
+    println!(
+        "Execution: {} worker thread(s) (set with --threads or APR_THREADS)",
+        apr_suite::exec::current_threads()
+    );
     let tracing = opts.trace_out.is_some() || opts.metrics_out.is_some();
     if tracing {
         apr_suite::telemetry::enable();
@@ -141,20 +156,7 @@ fn main() {
         (start.z - span as f64 / 2.0).round(),
     ];
 
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
-            cutoff: 1.2,
-            strength: 5e-4,
-        },
-    );
+    let mut engine = AprEngine::builder(coarse, fine, origin, n, lambda).build();
     let tree_sdf = tree.sdf();
     engine.set_fine_geometry(Box::new(move |fine, origin| {
         for node in 0..fine.node_count() {

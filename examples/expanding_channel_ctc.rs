@@ -9,7 +9,6 @@
 //! cargo run --release --example expanding_channel_ctc
 //! ```
 
-use apr_suite::cells::ContactParams;
 use apr_suite::core::AprEngine;
 use apr_suite::coupling::fine_tau;
 use apr_suite::geom::{voxelize, ExpandingChannel};
@@ -46,20 +45,7 @@ fn main() {
     fine.body_force = [0.0, 0.0, g / n as f64];
     let origin = [9.0, 9.0, 8.0];
 
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
-            cutoff: 1.2,
-            strength: 5e-4,
-        },
-    );
+    let mut engine = AprEngine::builder(coarse, fine, origin, n, lambda).build();
     // The window geometry callback keeps channel walls flagged in the fine
     // lattice as the window moves.
     engine.set_fine_geometry(Box::new(move |fine, origin| {

@@ -11,7 +11,7 @@
 //! cargo run --release --example tube_hematocrit
 //! ```
 
-use apr_suite::cells::{ContactParams, RbcTile};
+use apr_suite::cells::RbcTile;
 use apr_suite::core::{AprEngine, HematocritSeries};
 use apr_suite::coupling::fine_tau;
 use apr_suite::hemo::pries::{discharge_from_tube_hematocrit, relative_apparent_viscosity};
@@ -41,20 +41,10 @@ fn main() {
     fine.body_force = [0.0, 0.0, g / n as f64];
     let origin = [6.0, 6.0, 16.0];
 
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        n,
-        lambda,
-        span as f64 * n as f64 * 0.22,
-        span as f64 * n as f64 * 0.12,
-        span as f64 * n as f64 * 0.14,
-        ContactParams {
-            cutoff: 1.2,
-            strength: 5e-4,
-        },
-    );
+    // Window anatomy and contact parameters take the builder defaults
+    // (proper/onramp/insertion at 22/12/14% of the window span; RBC contact
+    // cutoff 1.2, strength 5e-4).
+    let mut engine = AprEngine::builder(coarse, fine, origin, n, lambda).build();
 
     // RBC machinery: radius 3 fine units.
     let rbc_mesh = biconcave_rbc_mesh(1, 3.0);

@@ -6,6 +6,7 @@
 pub use apr_cells as cells;
 pub use apr_core as core;
 pub use apr_coupling as coupling;
+pub use apr_exec as exec;
 pub use apr_geom as geom;
 pub use apr_guard as guard;
 pub use apr_hemo as hemo;

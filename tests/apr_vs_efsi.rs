@@ -76,20 +76,17 @@ fn run_apr(coarse_steps: u64) -> (f64, u64) {
     let mut fine = Lattice::new(dim, dim, dim, fine_tau(TAU_C, N, LAMBDA));
     fine.body_force = [0.0, 0.0, G / N as f64];
     let origin = [3.0, 3.0, 3.0];
-    let mut engine = AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        N,
-        LAMBDA,
-        span as f64 * N as f64 * 0.28,
-        span as f64 * N as f64 * 0.11,
-        span as f64 * N as f64 * 0.11,
-        ContactParams {
+    let mut engine = AprEngine::builder(coarse, fine, origin, N, LAMBDA)
+        .window(
+            span as f64 * N as f64 * 0.28,
+            span as f64 * N as f64 * 0.11,
+            span as f64 * N as f64 * 0.11,
+        )
+        .contact(ContactParams {
             cutoff: 1.0,
             strength: 5e-4,
-        },
-    );
+        })
+        .build();
     let (mem, mesh) = ctc_membrane(2.5 * N as f64);
     // Same world start: tube centre, z = 8 coarse.
     let start_world = Vec3::new(8.0, 8.0, 8.0);

@@ -30,20 +30,13 @@ fn tube_engine() -> AprEngine {
         4.0,
     ];
     let side = span as f64 * n as f64;
-    AprEngine::new(
-        coarse,
-        fine,
-        origin,
-        3,
-        lambda,
-        side * 0.22,
-        side * 0.12,
-        side * 0.14,
-        ContactParams {
+    AprEngine::builder(coarse, fine, origin, 3, lambda)
+        .window(side * 0.22, side * 0.12, side * 0.14)
+        .contact(ContactParams {
             cutoff: 1.2,
             strength: 5e-4,
-        },
-    )
+        })
+        .build()
 }
 
 #[test]
