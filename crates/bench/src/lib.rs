@@ -6,6 +6,8 @@
 //! * [`trajectory`] — Figure 6 (CTC trajectory, APR vs eFSI).
 //! * [`scaling_meas`] — measured thread-scaling analogue of Figures 7–8
 //!   (the analytic Summit model lives in `apr-perfmodel`).
+//! * [`observatory`] — pinned bench scenarios, `BENCH_*.json` artifacts and
+//!   the `bench_suite` regression diff (DESIGN.md §10).
 //! * [`report`] — paper-style table/figure printers.
 //!
 //! Long-running, full-size regenerations are the `exp_*` binaries; the
@@ -13,6 +15,7 @@
 //! reduced-scale versions of each table.
 
 pub mod hct;
+pub mod observatory;
 pub mod report;
 pub mod scaling_meas;
 pub mod shear;

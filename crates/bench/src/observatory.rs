@@ -1,0 +1,884 @@
+//! The performance observatory: pinned benchmark scenarios, the
+//! schema-versioned `BENCH_<scenario>.json` artifact, and the noise-aware
+//! regression diff behind `bench_suite diff`.
+//!
+//! The artifact is the repo's machine-readable analogue of the paper's
+//! Figs. 7–8 / Table 1 evidence: per-phase p50/p95 wall times (from
+//! telemetry duration histograms), MLUPS, per-worker load imbalance, RSS,
+//! thread count and git revision, committed as `BENCH_*.json` baselines so
+//! every PR is measured against a recorded trajectory. JSON is written and
+//! parsed with `apr_telemetry::json` — no serde, per the workspace's
+//! offline-shim policy.
+
+use apr_telemetry::json::{escape, number, parse, Value};
+use apr_telemetry::{LaneStats, Recorder};
+use std::fmt::Write as _;
+
+/// Schema tag of the artifact format; bump on breaking layout changes.
+pub const BENCH_SCHEMA: &str = "apr.bench.v1";
+
+/// Histogram buckets used for the per-phase percentile estimates.
+const PERCENTILE_BUCKETS: usize = 48;
+
+/// Serializable summary of a [`LaneStats`] (workers or ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneSummary {
+    /// Parallel regions recorded under the phase.
+    pub regions: u64,
+    /// Per-lane samples over all regions.
+    pub samples: u64,
+    /// Total lane busy nanoseconds.
+    pub busy_ns: u64,
+    /// Fastest single lane sample.
+    pub min_ns: u64,
+    /// Slowest single lane sample.
+    pub max_ns: u64,
+    /// Mean busy nanoseconds per lane sample.
+    pub mean_ns: f64,
+    /// Mean per-region load-imbalance factor (1.0 = perfectly balanced).
+    pub imbalance: f64,
+}
+
+impl LaneSummary {
+    fn from_stats(s: &LaneStats) -> Option<Self> {
+        if s.regions == 0 {
+            return None;
+        }
+        Some(Self {
+            regions: s.regions,
+            samples: s.samples,
+            busy_ns: s.busy_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+            mean_ns: s.mean_ns(),
+            imbalance: s.imbalance(),
+        })
+    }
+}
+
+/// One phase row of a bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPhase {
+    /// Span name from the DESIGN.md §8 taxonomy.
+    pub name: String,
+    /// Completed occurrences.
+    pub count: u64,
+    /// Total inclusive nanoseconds.
+    pub total_ns: u64,
+    /// Total exclusive (main-thread) nanoseconds.
+    pub self_ns: u64,
+    /// Nanoseconds blocked on the exec-pool barrier.
+    pub barrier_ns: u64,
+    /// Mean inclusive nanoseconds per occurrence.
+    pub mean_ns: f64,
+    /// Median occurrence duration (telemetry histogram estimate).
+    pub p50_ns: f64,
+    /// 95th-percentile occurrence duration.
+    pub p95_ns: f64,
+    /// Per-worker attribution, when the phase dispatched pool regions.
+    pub workers: Option<LaneSummary>,
+    /// Per-rank halo attribution, when recorded.
+    pub ranks: Option<LaneSummary>,
+}
+
+/// One (scenario, thread-count) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// apr-exec lanes the run used.
+    pub threads: usize,
+    /// Engine steps (or LBM steps for the scaling scenario) timed.
+    pub steps: u64,
+    /// Wall seconds of the timed region.
+    pub wall_seconds: f64,
+    /// Million lattice-site updates per second.
+    pub mlups: f64,
+    /// Lattice site updates performed in the timed region.
+    pub site_updates: u64,
+    /// Resident set size after the run (0 where unavailable).
+    pub rss_bytes: u64,
+    /// Per-phase breakdown, sorted by total wall time descending.
+    pub phases: Vec<BenchPhase>,
+}
+
+/// A full `BENCH_<scenario>.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Scenario name (`tube`, `window_move`, `scaling`).
+    pub scenario: String,
+    /// Git revision the artifact was produced at.
+    pub git_rev: String,
+    /// One entry per thread count.
+    pub runs: Vec<BenchRun>,
+}
+
+/// Snapshot the recorder's phase stats into a [`BenchRun`]. Call after the
+/// timed region with the recorder still holding its spans.
+pub fn collect_run(
+    rec: &Recorder,
+    threads: usize,
+    steps: u64,
+    wall_seconds: f64,
+    mlups: f64,
+    site_updates: u64,
+) -> BenchRun {
+    let phases = rec
+        .phase_stats()
+        .into_iter()
+        .map(|s| {
+            let (p50_ns, p95_ns) = rec
+                .phase_duration_histogram(&s.name, PERCENTILE_BUCKETS)
+                .map_or((s.mean_ns(), s.max_ns as f64), |h| {
+                    (h.percentile(0.50), h.percentile(0.95))
+                });
+            BenchPhase {
+                name: s.name.clone(),
+                count: s.count,
+                total_ns: s.total_ns,
+                self_ns: s.self_ns,
+                barrier_ns: s.barrier_ns,
+                mean_ns: s.mean_ns(),
+                p50_ns,
+                p95_ns,
+                workers: LaneSummary::from_stats(&s.workers),
+                ranks: LaneSummary::from_stats(&s.ranks),
+            }
+        })
+        .collect();
+    BenchRun {
+        threads,
+        steps,
+        wall_seconds,
+        mlups,
+        site_updates,
+        rss_bytes: read_rss_bytes(),
+        phases,
+    }
+}
+
+fn lane_summary_json(out: &mut String, s: &Option<LaneSummary>) {
+    match s {
+        None => out.push_str("null"),
+        Some(s) => {
+            let _ = write!(
+                out,
+                "{{\"regions\":{},\"samples\":{},\"busy_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{},\"imbalance\":{}}}",
+                s.regions,
+                s.samples,
+                s.busy_ns,
+                s.min_ns,
+                s.max_ns,
+                number(s.mean_ns),
+                number(s.imbalance),
+            );
+        }
+    }
+}
+
+/// Serialize an artifact to its canonical JSON form.
+pub fn to_json(artifact: &BenchArtifact) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"schema\":{},\"scenario\":{},\"git_rev\":{},\"runs\":[",
+        escape(BENCH_SCHEMA),
+        escape(&artifact.scenario),
+        escape(&artifact.git_rev),
+    );
+    for (i, run) in artifact.runs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"threads\":{},\"steps\":{},\"wall_seconds\":{},\"mlups\":{},\"site_updates\":{},\"rss_bytes\":{},\"phases\":[",
+            run.threads,
+            run.steps,
+            number(run.wall_seconds),
+            number(run.mlups),
+            run.site_updates,
+            run.rss_bytes,
+        );
+        for (j, p) in run.phases.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n {{\"name\":{},\"count\":{},\"total_ns\":{},\"self_ns\":{},\"barrier_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"workers\":",
+                escape(&p.name),
+                p.count,
+                p.total_ns,
+                p.self_ns,
+                p.barrier_ns,
+                number(p.mean_ns),
+                number(p.p50_ns),
+                number(p.p95_ns),
+            );
+            lane_summary_json(&mut out, &p.workers);
+            out.push_str(",\"ranks\":");
+            lane_summary_json(&mut out, &p.ranks);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn parse_lane_summary(v: Option<&Value>) -> Result<Option<LaneSummary>, String> {
+    match v {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => Ok(Some(LaneSummary {
+            regions: req_u64(v, "regions")?,
+            samples: req_u64(v, "samples")?,
+            busy_ns: req_u64(v, "busy_ns")?,
+            min_ns: req_u64(v, "min_ns")?,
+            max_ns: req_u64(v, "max_ns")?,
+            mean_ns: req_f64(v, "mean_ns")?,
+            imbalance: req_f64(v, "imbalance")?,
+        })),
+    }
+}
+
+/// Parse an artifact produced by [`to_json`], verifying the schema tag.
+pub fn parse_artifact(text: &str) -> Result<BenchArtifact, String> {
+    let doc = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = req_str(&doc, "schema")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!(
+            "unsupported schema {schema:?} (expected {BENCH_SCHEMA:?})"
+        ));
+    }
+    let mut runs = Vec::new();
+    for run in doc
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("missing runs array")?
+    {
+        let mut phases = Vec::new();
+        for p in run
+            .get("phases")
+            .and_then(Value::as_arr)
+            .ok_or("missing phases array")?
+        {
+            phases.push(BenchPhase {
+                name: req_str(p, "name")?,
+                count: req_u64(p, "count")?,
+                total_ns: req_u64(p, "total_ns")?,
+                self_ns: req_u64(p, "self_ns")?,
+                barrier_ns: req_u64(p, "barrier_ns")?,
+                mean_ns: req_f64(p, "mean_ns")?,
+                p50_ns: req_f64(p, "p50_ns")?,
+                p95_ns: req_f64(p, "p95_ns")?,
+                workers: parse_lane_summary(p.get("workers"))?,
+                ranks: parse_lane_summary(p.get("ranks"))?,
+            });
+        }
+        runs.push(BenchRun {
+            threads: req_u64(run, "threads")? as usize,
+            steps: req_u64(run, "steps")?,
+            wall_seconds: req_f64(run, "wall_seconds")?,
+            mlups: req_f64(run, "mlups")?,
+            site_updates: req_u64(run, "site_updates")?,
+            rss_bytes: req_u64(run, "rss_bytes")?,
+            phases,
+        });
+    }
+    Ok(BenchArtifact {
+        scenario: req_str(&doc, "scenario")?,
+        git_rev: req_str(&doc, "git_rev")?,
+        runs,
+    })
+}
+
+/// Tuning knobs for [`diff_artifacts`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative change tolerated before a delta counts as a regression
+    /// (0.15 = 15%).
+    pub threshold: f64,
+    /// Phases whose baseline total is below this many nanoseconds are
+    /// skipped — sub-millisecond phases are timer noise.
+    pub min_phase_ns: u64,
+    /// Phases with fewer baseline occurrences than this are skipped — a
+    /// percentile over a handful of samples is not evidence.
+    pub min_phase_count: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            threshold: 0.15,
+            min_phase_ns: 1_000_000,
+            min_phase_count: 8,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFinding {
+    /// Thread count of the affected run.
+    pub threads: usize,
+    /// Metric label, e.g. `mlups` or `p50:apr.step`.
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// `new / old` (candidate over baseline).
+    pub ratio: f64,
+    /// True when the delta exceeds the threshold in the bad direction.
+    pub regression: bool,
+}
+
+/// Outcome of comparing two artifacts.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Scenario both artifacts measure.
+    pub scenario: String,
+    /// Every out-of-tolerance delta (regressions and improvements).
+    pub findings: Vec<DiffFinding>,
+}
+
+impl DiffReport {
+    /// Number of findings in the regression direction.
+    pub fn regressions(&self) -> usize {
+        self.findings.iter().filter(|f| f.regression).count()
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!("bench_diff: scenario {}\n", self.scenario);
+        if self.findings.is_empty() {
+            out.push_str("  all metrics within tolerance\n");
+            return out;
+        }
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "  [{}] threads={} {:<28} {:>12.3} -> {:>12.3}  ({:+.1}%)",
+                if f.regression {
+                    "REGRESSION"
+                } else {
+                    "improved"
+                },
+                f.threads,
+                f.metric,
+                f.old,
+                f.new,
+                (f.ratio - 1.0) * 100.0,
+            );
+        }
+        out
+    }
+}
+
+/// Compare `new` against the `old` baseline with noise-aware thresholds.
+/// Lower MLUPS, higher wall time, or higher per-phase p50 beyond
+/// `opts.threshold` is a regression; deltas the other way are reported as
+/// improvements. Runs are matched by thread count; phases by name, skipping
+/// phases below the noise floor.
+pub fn diff_artifacts(
+    old: &BenchArtifact,
+    new: &BenchArtifact,
+    opts: DiffOptions,
+) -> Result<DiffReport, String> {
+    if old.scenario != new.scenario {
+        return Err(format!(
+            "scenario mismatch: {} vs {}",
+            old.scenario, new.scenario
+        ));
+    }
+    let mut findings = Vec::new();
+    let mut flag = |threads: usize, metric: String, old_v: f64, new_v: f64, bad_if_above: bool| {
+        if old_v <= 0.0 || new_v <= 0.0 {
+            return;
+        }
+        let ratio = new_v / old_v;
+        let (regression, out_of_band) = if bad_if_above {
+            (ratio > 1.0 + opts.threshold, ratio < 1.0 - opts.threshold)
+        } else {
+            (ratio < 1.0 - opts.threshold, ratio > 1.0 + opts.threshold)
+        };
+        if regression || out_of_band {
+            findings.push(DiffFinding {
+                threads,
+                metric,
+                old: old_v,
+                new: new_v,
+                ratio,
+                regression,
+            });
+        }
+    };
+    for old_run in &old.runs {
+        let Some(new_run) = new.runs.iter().find(|r| r.threads == old_run.threads) else {
+            return Err(format!(
+                "candidate artifact lost the threads={} run",
+                old_run.threads
+            ));
+        };
+        let t = old_run.threads;
+        flag(t, "mlups".into(), old_run.mlups, new_run.mlups, false);
+        flag(
+            t,
+            "wall_seconds".into(),
+            old_run.wall_seconds,
+            new_run.wall_seconds,
+            true,
+        );
+        for old_phase in &old_run.phases {
+            if old_phase.total_ns < opts.min_phase_ns || old_phase.count < opts.min_phase_count {
+                continue;
+            }
+            let Some(new_phase) = new_run.phases.iter().find(|p| p.name == old_phase.name) else {
+                continue;
+            };
+            flag(
+                t,
+                format!("p50:{}", old_phase.name),
+                old_phase.p50_ns,
+                new_phase.p50_ns,
+                true,
+            );
+        }
+    }
+    Ok(DiffReport {
+        scenario: old.scenario.clone(),
+        findings,
+    })
+}
+
+/// Short git revision of the repository containing the working directory,
+/// read straight from `.git` (no subprocess): `HEAD` → symbolic ref →
+/// loose ref or `packed-refs`. Falls back to the `GIT_REV` environment
+/// variable, then `"unknown"`.
+pub fn read_git_rev() -> String {
+    fn from_repo(mut dir: std::path::PathBuf) -> Option<String> {
+        loop {
+            let git = dir.join(".git");
+            if git.is_dir() {
+                let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+                let head = head.trim();
+                if let Some(refname) = head.strip_prefix("ref: ") {
+                    if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+                        return Some(hash.trim().to_string());
+                    }
+                    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                    return packed.lines().find_map(|l| {
+                        l.strip_suffix(refname)
+                            .map(|h| h.trim().to_string())
+                            .filter(|h| !h.is_empty() && !h.starts_with('#'))
+                    });
+                }
+                return Some(head.to_string());
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    }
+    let rev = std::env::current_dir()
+        .ok()
+        .and_then(from_repo)
+        .or_else(|| std::env::var("GIT_REV").ok())
+        .unwrap_or_else(|| "unknown".to_string());
+    rev.chars().take(12).collect()
+}
+
+/// Resident set size in bytes from `/proc/self/status` (0 elsewhere).
+pub fn read_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmRSS:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Pinned scenarios
+// ---------------------------------------------------------------------------
+
+/// Scenario names `bench_suite run` accepts, in artifact order.
+pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling"];
+
+/// Default timed step count per scenario (all ≥ the diff noise floor's
+/// minimum occurrence count, so per-phase percentiles are diffable).
+pub fn default_steps(scenario: &str) -> u64 {
+    match scenario {
+        "scaling" => 12,
+        _ => 30,
+    }
+}
+
+/// Small APR tube problem — the same recipe as the engine/guardian tests:
+/// 21×21×`nz` coarse force-driven tube along z, cubic window of coarse span
+/// 8, refinement `n`, λ = 0.3.
+fn tube_engine(n: usize, nz_coarse: usize, g: f64) -> apr_core::AprEngine {
+    use apr_coupling::fine_tau;
+    use apr_lattice::{force_driven_tube, Lattice};
+    let (nx, ny) = (21usize, 21usize);
+    let tau_c = 0.9;
+    let lambda = 0.3;
+    let coarse = force_driven_tube(nx, ny, nz_coarse, tau_c, 9.0, g);
+    let span = 8usize;
+    let fine_dim = span * n + 1;
+    let mut fine = Lattice::new(fine_dim, fine_dim, fine_dim, fine_tau(tau_c, n, lambda));
+    fine.body_force = [0.0, 0.0, g / n as f64];
+    let origin = [
+        (nx as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        (ny as f64 - 1.0) / 2.0 - span as f64 / 2.0,
+        4.0,
+    ];
+    let side = span as f64 * n as f64;
+    apr_core::AprEngine::builder(coarse, fine, origin, n, lambda)
+        .window(side * 0.22, side * 0.12, side * 0.14)
+        .contact(apr_cells::ContactParams {
+            cutoff: 1.2,
+            strength: 5e-4,
+        })
+        .build()
+}
+
+/// `tube` scenario: the paper's core workload — APR window in a tube with
+/// live hematocrit maintenance (RNG-driven insertion churn).
+fn run_tube(steps: u64) -> Result<(u64, u64), String> {
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use apr_window::{HematocritController, InsertionContext};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let mut eng = tube_engine(3, 48, 4e-6);
+    let radius = 3.0;
+    let gs = 2e-4;
+    let rbc_mesh = apr_mesh::biconcave_rbc_mesh(1, radius);
+    let re = Arc::new(ReferenceState::build(&rbc_mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(gs, gs * 0.05)));
+    let mut rng = StdRng::seed_from_u64(99);
+    let volume = rbc_mesh.enclosed_volume();
+    let tile = apr_cells::RbcTile::build(
+        40.0_f64.max(radius * 10.0),
+        0.15,
+        radius,
+        radius * 0.6,
+        volume,
+        &mut rng,
+    );
+    eng.insertion = Some(InsertionContext {
+        rbc_mesh,
+        rbc_membrane: membrane,
+        tile,
+        min_gap: 0.8,
+    });
+    eng.controller = Some(HematocritController::new(0.12, 0.85, volume));
+    eng.maintenance_interval = 10;
+    let placed = eng.populate_window();
+    if placed == 0 {
+        return Err("tube scenario placed no RBCs".into());
+    }
+    time_engine("bench.tube", &mut eng, steps)
+}
+
+/// `window_move` scenario: a CTC placed off-centre with an always-armed
+/// trigger so the window actually relocates (the shift must round to at
+/// least one coarse cell — a CTC exactly at centre never moves).
+fn run_window_move(steps: u64) -> Result<(u64, u64), String> {
+    use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+    use std::sync::Arc;
+
+    let mut eng = tube_engine(3, 48, 4e-6);
+    let mesh = apr_mesh::icosphere(2, 3.5);
+    let re = Arc::new(ReferenceState::build(&mesh));
+    let membrane = Arc::new(Membrane::new(re, MembraneMaterial::ctc(2e-3, 1e-4)));
+    let offset = apr_mesh::Vec3::new(0.0, 0.0, 4.0);
+    let center = eng.anatomy.center + offset;
+    let verts: Vec<apr_mesh::Vec3> = mesh.vertices.iter().map(|&v| v + center).collect();
+    eng.add_ctc(membrane, verts);
+    eng.trigger.trigger_distance = f64::INFINITY;
+    let out = time_engine("bench.window_move", &mut eng, steps)?;
+    if eng.window_moves() == 0 {
+        return Err("window_move scenario never moved the window".into());
+    }
+    Ok(out)
+}
+
+/// Time `steps` engine steps; returns (site updates, wall ns) of the timed
+/// region only. Enables the global recorder *after* setup so packing and
+/// mesh generation stay out of the phase table.
+fn time_engine(
+    span: &'static str,
+    eng: &mut apr_core::AprEngine,
+    steps: u64,
+) -> Result<(u64, u64), String> {
+    let before = eng.site_updates();
+    apr_telemetry::global().enable();
+    let (_, wall_ns) = apr_telemetry::time(span, || {
+        for _ in 0..steps {
+            eng.step();
+        }
+    });
+    Ok((eng.site_updates() - before, wall_ns))
+}
+
+/// `scaling` scenario: the bare LBM kernel on a 32³ periodic box — the
+/// shared-memory analogue of the paper's Figs. 7–8 scaling study.
+fn run_scaling(steps: u64) -> Result<(u64, u64), String> {
+    let edge = 32usize;
+    let mut lat = apr_lattice::Lattice::new(edge, edge, edge, 0.9);
+    lat.periodic = [true, true, true];
+    lat.body_force = [1e-7, 0.0, 0.0];
+    for _ in 0..3 {
+        lat.step(); // warm-up, untimed
+    }
+    apr_telemetry::global().enable();
+    let (_, wall_ns) = apr_telemetry::time("bench.lbm_box", || {
+        for _ in 0..steps {
+            lat.step();
+        }
+    });
+    Ok(((edge * edge * edge) as u64 * steps, wall_ns))
+}
+
+/// Run one scenario at one thread count and collect the [`BenchRun`].
+/// Swaps the process-global exec pool, owns the global recorder's enable
+/// state for the duration, and leaves the recorder disabled and reset.
+pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchRun, String> {
+    apr_exec::set_threads(threads);
+    let rec = apr_telemetry::global();
+    rec.reset();
+    let result = match scenario {
+        "tube" => run_tube(steps),
+        "window_move" => run_window_move(steps),
+        "scaling" => run_scaling(steps),
+        other => Err(format!(
+            "unknown scenario {other:?} (expected one of {SCENARIOS:?})"
+        )),
+    };
+    rec.disable();
+    let (site_updates, wall_ns) = match result {
+        Ok(v) => v,
+        Err(e) => {
+            rec.reset();
+            return Err(e);
+        }
+    };
+    let wall_seconds = wall_ns as f64 / 1.0e9;
+    let mlups = site_updates as f64 / wall_seconds.max(1e-12) / 1.0e6;
+    let run = collect_run(rec, threads, steps, wall_seconds, mlups, site_updates);
+    rec.reset();
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact() -> BenchArtifact {
+        BenchArtifact {
+            scenario: "tube".into(),
+            git_rev: "deadbeef1234".into(),
+            runs: vec![BenchRun {
+                threads: 2,
+                steps: 40,
+                wall_seconds: 1.5,
+                mlups: 20.0,
+                site_updates: 30_000_000,
+                rss_bytes: 12_345_678,
+                phases: vec![
+                    BenchPhase {
+                        name: "apr.step".into(),
+                        count: 40,
+                        total_ns: 1_400_000_000,
+                        self_ns: 100_000_000,
+                        barrier_ns: 40_000_000,
+                        mean_ns: 35_000_000.0,
+                        p50_ns: 34_000_000.0,
+                        p95_ns: 39_000_000.0,
+                        workers: Some(LaneSummary {
+                            regions: 400,
+                            samples: 800,
+                            busy_ns: 900_000_000,
+                            min_ns: 100_000,
+                            max_ns: 4_000_000,
+                            mean_ns: 1_125_000.0,
+                            imbalance: 1.2,
+                        }),
+                        ranks: None,
+                    },
+                    BenchPhase {
+                        name: "guard.inspect".into(),
+                        count: 8,
+                        total_ns: 900_000,
+                        self_ns: 900_000,
+                        barrier_ns: 0,
+                        mean_ns: 112_500.0,
+                        p50_ns: 110_000.0,
+                        p95_ns: 118_000.0,
+                        workers: None,
+                        ranks: None,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let artifact = sample_artifact();
+        let text = to_json(&artifact);
+        let parsed = parse_artifact(&text).unwrap();
+        assert_eq!(parsed, artifact);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = to_json(&sample_artifact()).replace("apr.bench.v1", "apr.bench.v0");
+        assert!(parse_artifact(&text).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn diff_of_identical_artifacts_is_clean() {
+        let a = sample_artifact();
+        let report = diff_artifacts(&a, &a, DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn two_x_slowdown_is_flagged_as_regression() {
+        let base = sample_artifact();
+        let mut slow = base.clone();
+        slow.runs[0].mlups /= 2.0;
+        slow.runs[0].wall_seconds *= 2.0;
+        for p in &mut slow.runs[0].phases {
+            p.p50_ns *= 2.0;
+        }
+        let report = diff_artifacts(&base, &slow, DiffOptions::default()).unwrap();
+        // mlups, wall_seconds, and apr.step's p50 — but NOT the sub-ms
+        // guard.inspect phase, which sits under the noise floor.
+        assert_eq!(report.regressions(), 3, "{}", report.render());
+        assert!(report.render().contains("REGRESSION"));
+        assert!(!report.render().contains("guard.inspect"));
+    }
+
+    #[test]
+    fn improvements_are_reported_but_not_regressions() {
+        let base = sample_artifact();
+        let mut fast = base.clone();
+        fast.runs[0].mlups *= 2.0;
+        let report = diff_artifacts(&base, &fast, DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 0);
+        assert_eq!(report.findings.len(), 1);
+        assert!(!report.findings[0].regression);
+    }
+
+    #[test]
+    fn scenario_mismatch_and_missing_run_are_errors() {
+        let a = sample_artifact();
+        let mut b = a.clone();
+        b.scenario = "scaling".into();
+        assert!(diff_artifacts(&a, &b, DiffOptions::default()).is_err());
+        let mut c = a.clone();
+        c.runs.clear();
+        assert!(diff_artifacts(&a, &c, DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn git_rev_resolves_inside_this_repo() {
+        let rev = read_git_rev();
+        assert_ne!(rev, "unknown");
+        assert!(
+            rev.len() == 12 && rev.chars().all(|c| c.is_ascii_hexdigit()),
+            "unexpected rev {rev:?}"
+        );
+    }
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(read_rss_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn skewed_pool_workload_reports_imbalance_above_one() {
+        // An intentionally skewed synthetic workload: lane 0 does all the
+        // work, the other lanes idle. The collected BenchRun must report a
+        // worker imbalance well above 1.0 for the owning phase, while a
+        // balanced workload stays near 1.0.
+        let rec = apr_telemetry::global();
+        rec.reset();
+        rec.enable();
+        let pool = apr_exec::ExecPool::new(4);
+        {
+            let _s = apr_telemetry::span("bench.skewed");
+            pool.run(&|lane| {
+                if lane == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(8));
+                }
+            });
+        }
+        {
+            let _s = apr_telemetry::span("bench.balanced");
+            pool.run(&|_| {
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            });
+        }
+        rec.disable();
+        let run = collect_run(rec, 4, 1, 0.012, 0.0, 0);
+        rec.reset();
+        let phase = |name: &str| {
+            run.phases
+                .iter()
+                .find(|p| p.name == name)
+                .unwrap_or_else(|| panic!("phase {name} missing"))
+                .clone()
+        };
+        let skewed = phase("bench.skewed").workers.expect("no worker stats");
+        assert!(
+            skewed.imbalance > 1.5,
+            "skewed workload reported imbalance {}",
+            skewed.imbalance
+        );
+        let balanced = phase("bench.balanced").workers.expect("no worker stats");
+        assert!(
+            balanced.imbalance < 1.5,
+            "balanced workload reported imbalance {}",
+            balanced.imbalance
+        );
+    }
+}

@@ -265,6 +265,7 @@ pub struct Guardian {
     last_good: Option<Vec<u8>>,
     attempts: u32,
     ctc_membrane: Option<Arc<Membrane>>,
+    flightrec_path: Option<std::path::PathBuf>,
 }
 
 impl Guardian {
@@ -280,6 +281,27 @@ impl Guardian {
             last_good: None,
             attempts: 0,
             ctc_membrane: None,
+            flightrec_path: None,
+        }
+    }
+
+    /// Dump the telemetry flight recorder (the ring of spans/events/metric
+    /// samples preceding the incident) to `path` on every sentinel trip,
+    /// making divergences post-mortem debuggable. Each trip overwrites the
+    /// file, so it always holds the window before the *latest* incident.
+    pub fn set_flightrec_path(&mut self, path: impl Into<std::path::PathBuf>) {
+        self.flightrec_path = Some(path.into());
+    }
+
+    fn dump_flightrec(&self) {
+        let Some(path) = &self.flightrec_path else {
+            return;
+        };
+        if let Err(err) = apr_telemetry::global().write_flightrec(path) {
+            eprintln!(
+                "guardian: failed to write flight record to {}: {err}",
+                path.display()
+            );
         }
     }
 
@@ -409,6 +431,9 @@ impl Guardian {
             issues: health.issues.len() as u32,
             first_kind: health.issues.first().map_or("none", |i| i.kind()),
         });
+        // Emitted trip included: the flight record's last entry names the
+        // incident it precedes.
+        self.dump_flightrec();
         self.attempts += 1;
         if self.attempts > self.policy.max_retries {
             self.log.record(RecoveryEvent {

@@ -244,9 +244,14 @@ mod fault_injection {
         }
         let clean_ht = clean.window_hematocrit().unwrap();
 
-        // Guarded run with a vertex NaN scheduled mid-campaign.
+        // Guarded run with a vertex NaN scheduled mid-campaign. The
+        // guardian dumps the telemetry flight recorder on the trip.
+        let flightrec =
+            std::env::temp_dir().join(format!("apr_flightrec_e2e_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&flightrec);
         let mut eng = hematocrit_engine();
         let mut guardian = Guardian::new(SentinelConfig::default(), RetryPolicy::default(), 5);
+        guardian.set_flightrec_path(&flightrec);
         guardian.faults.schedule(
             73,
             FaultKind::MembraneNan {
@@ -326,6 +331,42 @@ mod fault_injection {
             ) && e.t_ns <= trip.t_ns),
             "no checkpoint event precedes the sentinel trip"
         );
+
+        // The flight record dumped at the trip must be valid JSON with the
+        // v1 schema, hold span and event entries from the window preceding
+        // the incident, and include the sentinel trip itself as its
+        // freshest event.
+        let text =
+            std::fs::read_to_string(&flightrec).expect("guardian did not write the flight record");
+        let doc = apr_telemetry::json::parse(&text).expect("flight record is not valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(|s| s.as_str()),
+            Some(apr_telemetry::FLIGHTREC_SCHEMA)
+        );
+        let entries = doc.get("entries").and_then(|e| e.as_arr()).unwrap();
+        assert!(!entries.is_empty(), "flight record has no entries");
+        let spans = entries
+            .iter()
+            .filter(|e| e.get("type").and_then(|t| t.as_str()) == Some("span"))
+            .count();
+        assert!(spans > 0, "flight record holds no spans");
+        assert!(
+            entries.iter().any(|e| {
+                e.get("type").and_then(|t| t.as_str()) == Some("event")
+                    && e.get("kind").and_then(|k| k.as_str()) == Some("sentinel_trip")
+                    && e.get("args")
+                        .and_then(|a| a.get("step"))
+                        .and_then(|s| s.as_f64())
+                        == Some(trip_step as f64)
+            }),
+            "flight record is missing the sentinel-trip event"
+        );
+        let total = doc.get("total").and_then(|t| t.as_f64()).unwrap();
+        assert!(
+            total >= entries.len() as f64,
+            "total must count every entry ever pushed"
+        );
+        let _ = std::fs::remove_file(&flightrec);
     }
 
     /// A corrupted lattice distribution also trips the sentinel and is

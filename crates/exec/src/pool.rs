@@ -10,6 +10,7 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -47,6 +48,11 @@ struct Shared {
     work: Condvar,
     /// The submitter waits here for `pending == 0`.
     done: Condvar,
+    /// Lock-free per-lane busy-time slots (`lane_busy[lane]`, ns) for the
+    /// most recent region. Each lane writes only its own slot; the
+    /// submitter reads them after the barrier, so plain relaxed ordering
+    /// suffices (the `pending`-protocol mutex orders the accesses).
+    lane_busy: Vec<AtomicU64>,
 }
 
 /// Wall/busy accounting for the most recent parallel region.
@@ -118,6 +124,7 @@ impl ExecPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            lane_busy: (0..threads).map(|_| AtomicU64::new(0)).collect(),
         });
         let workers = (1..threads)
             .map(|lane| {
@@ -164,8 +171,24 @@ impl ExecPool {
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
         let lanes = self.threads;
         if lanes == 1 || IN_POOL.with(|p| p.get()) {
-            for lane in 0..lanes {
-                f(lane);
+            if IN_POOL.with(|p| p.get()) || !apr_telemetry::is_enabled() {
+                for lane in 0..lanes {
+                    f(lane);
+                }
+                return;
+            }
+            // Sequential top-level region with telemetry on: time the
+            // single lane so the phase table's worker attribution covers
+            // APR_THREADS=1 runs too (imbalance is exactly 1.0). IN_POOL
+            // is set so a nested region is not double-attributed.
+            let t0 = Instant::now();
+            IN_POOL.with(|p| p.set(true));
+            let result = catch_unwind(AssertUnwindSafe(|| f(0)));
+            IN_POOL.with(|p| p.set(false));
+            let busy = t0.elapsed().as_nanos() as u64;
+            apr_telemetry::global().record_parallel_region(busy, &[busy]);
+            if let Err(payload) = result {
+                resume_unwind(payload);
             }
             return;
         }
@@ -203,11 +226,20 @@ impl ExecPool {
             st.job = None;
             (st.busy_ns, std::mem::take(&mut st.panics))
         };
+        let wall_ns = start.elapsed().as_nanos() as u64;
         *self.last_run.lock().unwrap() = RunStats {
-            wall_ns: start.elapsed().as_nanos() as u64,
+            wall_ns,
             busy_ns: busy + lane0_busy,
             lanes,
         };
+        if panics.is_empty() && lane0.is_ok() && apr_telemetry::is_enabled() {
+            self.shared.lane_busy[0].store(lane0_busy, Ordering::Relaxed);
+            let lane_ns: Vec<u64> = self.shared.lane_busy[..lanes]
+                .iter()
+                .map(|slot| slot.load(Ordering::Relaxed))
+                .collect();
+            apr_telemetry::global().record_parallel_region(wall_ns, &lane_ns);
+        }
         if let Err(payload) = lane0 {
             resume_unwind(payload);
         }
@@ -361,6 +393,7 @@ fn worker_loop(lane: usize, shared: &Shared) {
         } else {
             Ok(())
         };
+        shared.lane_busy[lane].store(busy, Ordering::Relaxed);
         let mut st = shared.state.lock().unwrap();
         st.busy_ns += busy;
         if let Err(payload) = result {

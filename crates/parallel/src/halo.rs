@@ -196,6 +196,28 @@ impl HaloExchanger {
         };
         let senders = &self.senders;
         let receivers = &self.receivers;
+        // Per-task (rank) busy-time slots: each task is one chunk, so each
+        // slot is written by exactly one lane per phase. This is the
+        // shared-memory analogue of the paper's per-rank communication
+        // timing — it surfaces which block dominates the exchange.
+        let timing = apr_telemetry::is_enabled();
+        let rank_ns: Vec<std::sync::atomic::AtomicU64> = if timing {
+            (0..fields.len())
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let record_ranks = |span: apr_telemetry::ScopedSpan<'static>| {
+            if timing {
+                let ns: Vec<u64> = rank_ns
+                    .iter()
+                    .map(|a| a.load(std::sync::atomic::Ordering::Relaxed))
+                    .collect();
+                apr_telemetry::global().record_rank_times(&ns);
+            }
+            drop(span); // rank times must land before the span closes
+        };
         // Phase 1: post every send (unbounded channels never block).
         let pack_span = apr_telemetry::span("halo.pack_send");
         let shared = &fields[..];
@@ -204,6 +226,7 @@ impl HaloExchanger {
                 shared.len(),
                 1,
                 |task, _range| {
+                    let t0 = timing.then(std::time::Instant::now);
                     #[cfg(feature = "fault-injection")]
                     if muted.contains(&task) {
                         return 0;
@@ -215,12 +238,18 @@ impl HaloExchanger {
                         sent += slab.len() * std::mem::size_of::<f64>();
                         tx.send(slab).expect("halo receiver dropped");
                     }
+                    if let Some(t0) = t0 {
+                        rank_ns[task].store(
+                            t0.elapsed().as_nanos() as u64,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
                     sent
                 },
                 |a, b| a + b,
             )
             .unwrap_or(0);
-        drop(pack_span);
+        record_ranks(pack_span);
         // Phase 2: drain; every surviving message is already queued, so a
         // non-blocking receive is exact — an empty channel can only mean
         // the paired send was dropped, and the ghost slab stays stale.
@@ -230,6 +259,7 @@ impl HaloExchanger {
         #[cfg(feature = "fault-injection")]
         let starved = &self.starved_receives;
         pool.par_for_chunks_mut(fields, 1, |task, part| {
+            let t0 = timing.then(std::time::Instant::now);
             let field = &mut part[0];
             for (&(axis, dir), rx) in &receivers[task] {
                 #[cfg(feature = "fault-injection")]
@@ -247,8 +277,14 @@ impl HaloExchanger {
                     field.fill_ghost_slab(axis, dir, &slab);
                 }
             }
+            if let Some(t0) = t0 {
+                rank_ns[task].store(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
         });
-        drop(unpack_span);
+        record_ranks(unpack_span);
         self.last_exchange_bytes = bytes;
         apr_telemetry::counter_add("halo.bytes", bytes as u64);
         apr_telemetry::emit(apr_telemetry::TelemetryEvent::HaloExchange {

@@ -1,0 +1,39 @@
+//! Per-rank halo attribution: `HaloExchanger::exchange` must surface
+//! per-task busy times into the `halo.pack_send` / `halo.recv_unpack`
+//! phase stats. Single test function — it owns the process-global
+//! telemetry recorder's enable state for this binary.
+
+use apr_parallel::decomp::BlockDecomposition;
+use apr_parallel::halo::{GhostField, HaloExchanger};
+
+#[test]
+fn exchange_attributes_rank_times_to_halo_spans() {
+    let rec = apr_telemetry::global();
+    rec.reset();
+    rec.enable();
+
+    let decomp = BlockDecomposition::new([8, 8, 8], 8);
+    let mut fields: Vec<GhostField> = decomp
+        .blocks
+        .iter()
+        .map(|b| GhostField::new(b.extent()))
+        .collect();
+    let mut ex = HaloExchanger::new(&decomp);
+    ex.exchange(&mut fields);
+    ex.exchange(&mut fields);
+    rec.disable();
+
+    for phase in ["halo.pack_send", "halo.recv_unpack"] {
+        let stat = rec
+            .phase_stats()
+            .into_iter()
+            .find(|s| s.name == phase)
+            .unwrap_or_else(|| panic!("phase {phase} missing"));
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.ranks.regions, 2, "{phase}");
+        assert_eq!(stat.ranks.samples, 16, "8 tasks x 2 exchanges ({phase})");
+        assert!(stat.ranks.imbalance() >= 1.0, "{phase}");
+        assert!(stat.ranks.max_ns >= stat.ranks.min_ns, "{phase}");
+    }
+    rec.reset();
+}

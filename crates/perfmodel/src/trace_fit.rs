@@ -153,6 +153,7 @@ mod tests {
             self_ns: total_ns,
             min_ns: total_ns / count.max(1),
             max_ns: total_ns / count.max(1),
+            ..Default::default()
         }
     }
 

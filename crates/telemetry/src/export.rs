@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 /// logical process).
 pub const TRACE_PID: u64 = 1;
 
-fn event_args(ev: &TelemetryEvent, out: &mut String) {
+pub(crate) fn event_args(ev: &TelemetryEvent, out: &mut String) {
     match *ev {
         TelemetryEvent::WindowMove {
             step,
@@ -187,6 +187,9 @@ impl Recorder {
         }
         row.push('}');
         inner.metric_rows.push(row);
+        inner
+            .flight
+            .push(crate::flight::FlightEntry::MetricsSample { t_ns, step });
     }
 
     /// All metric samples as a JSONL document (one JSON object per line).
@@ -205,12 +208,16 @@ impl Recorder {
     }
 }
 
-/// Render a per-phase table (sorted as given) with wall/self/mean columns.
+/// Render a per-phase table (sorted as given) with wall/self/mean columns
+/// plus per-worker attribution (mean/max worker time and the
+/// load-imbalance factor) for phases that dispatched parallel regions.
 pub fn render_phase_table(stats: &[PhaseStat]) -> String {
     let mut out = String::new();
-    out.push_str("phase                          count     wall_ms     self_ms     mean_us\n");
+    out.push_str(
+        "phase                          count     wall_ms     self_ms     mean_us   w_mean_us    w_max_us     imb\n",
+    );
     for s in stats {
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{:<28} {:>7} {:>11.3} {:>11.3} {:>11.3}",
             s.name,
@@ -219,6 +226,17 @@ pub fn render_phase_table(stats: &[PhaseStat]) -> String {
             s.self_ns as f64 / 1e6,
             s.mean_ns() / 1e3,
         );
+        if s.workers.regions > 0 {
+            let _ = writeln!(
+                out,
+                " {:>11.3} {:>11.3} {:>7.2}",
+                s.workers.mean_ns() / 1e3,
+                s.workers.max_ns as f64 / 1e3,
+                s.workers.imbalance(),
+            );
+        } else {
+            out.push_str("           -           -       -\n");
+        }
     }
     out
 }

@@ -39,6 +39,7 @@
 pub mod clock;
 pub mod events;
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod span;
@@ -47,8 +48,9 @@ pub mod validate;
 pub use clock::Clock;
 pub use events::{TelemetryEvent, TimedEvent};
 pub use export::render_phase_table;
+pub use flight::{FlightEntry, DEFAULT_FLIGHT_CAPACITY, FLIGHTREC_SCHEMA};
 pub use metrics::{Histogram, MetricValue};
-pub use span::{PhaseStat, Recorder, ScopedSpan, SpanRecord};
+pub use span::{LaneStats, PhaseStat, Recorder, ScopedSpan, SpanRecord};
 pub use validate::{validate_chrome_trace, validate_metrics_jsonl, MetricsSummary, TraceSummary};
 
 use std::sync::OnceLock;

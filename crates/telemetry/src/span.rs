@@ -51,8 +51,88 @@ pub struct SpanRecord {
     pub depth: u16,
 }
 
+/// Aggregated per-lane busy-time statistics attached to a span name —
+/// "lane" meaning an `apr-exec` worker ([`PhaseStat::workers`]) or an
+/// `apr-parallel` halo rank ([`PhaseStat::ranks`]).
+///
+/// One *region* is one parallel section (one pool dispatch or one halo
+/// phase); each region contributes `lanes` samples of per-lane busy time
+/// plus one imbalance observation `max_lane / mean_lane`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LaneStats {
+    /// Parallel regions recorded under this phase.
+    pub regions: u64,
+    /// Total per-lane samples (`Σ lanes` over regions).
+    pub samples: u64,
+    /// Total busy nanoseconds summed over all lanes of all regions.
+    pub busy_ns: u64,
+    /// Fastest single lane sample.
+    pub min_ns: u64,
+    /// Slowest single lane sample.
+    pub max_ns: u64,
+    /// Sum of per-region imbalance factors (see [`LaneStats::imbalance`]).
+    pub imbalance_sum: f64,
+}
+
+impl LaneStats {
+    /// Mean busy nanoseconds per lane sample.
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.samples as f64
+        }
+    }
+
+    /// Mean load-imbalance factor over regions: `max_lane / mean_lane`
+    /// per region, averaged. 1.0 means perfectly balanced (and is the
+    /// value reported when no regions were recorded); the paper's
+    /// CPU-vs-GPU rank-wait analysis is the analogue at MPI scale.
+    pub fn imbalance(&self) -> f64 {
+        if self.regions == 0 {
+            1.0
+        } else {
+            self.imbalance_sum / self.regions as f64
+        }
+    }
+
+    fn record_region(&mut self, lane_busy_ns: &[u64]) {
+        if lane_busy_ns.is_empty() {
+            return;
+        }
+        if self.samples == 0 {
+            self.min_ns = u64::MAX;
+        }
+        let sum: u64 = lane_busy_ns.iter().sum();
+        let max = *lane_busy_ns.iter().max().unwrap();
+        let min = *lane_busy_ns.iter().min().unwrap();
+        self.regions += 1;
+        self.samples += lane_busy_ns.len() as u64;
+        self.busy_ns += sum;
+        self.min_ns = self.min_ns.min(min);
+        self.max_ns = self.max_ns.max(max);
+        let mean = sum as f64 / lane_busy_ns.len() as f64;
+        self.imbalance_sum += if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    }
+
+    fn merge(&mut self, other: &LaneStats) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            self.min_ns = u64::MAX;
+        }
+        self.regions += other.regions;
+        self.samples += other.samples;
+        self.busy_ns += other.busy_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.imbalance_sum += other.imbalance_sum;
+    }
+}
+
 /// Aggregated statistics for one span name.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct PhaseStat {
     /// Phase name.
     pub name: String,
@@ -60,12 +140,20 @@ pub struct PhaseStat {
     pub count: u64,
     /// Total inclusive nanoseconds.
     pub total_ns: u64,
-    /// Total exclusive nanoseconds.
+    /// Total exclusive nanoseconds: wall minus child spans minus time
+    /// blocked on the `apr-exec` pool barrier — main-thread work only.
     pub self_ns: u64,
     /// Fastest single occurrence.
     pub min_ns: u64,
     /// Slowest single occurrence.
     pub max_ns: u64,
+    /// Total nanoseconds the owning thread spent blocked on pool barriers
+    /// inside this phase (parallel-region wall minus its own lane's work).
+    pub barrier_ns: u64,
+    /// Per-worker attribution from `apr-exec` parallel regions.
+    pub workers: LaneStats,
+    /// Per-rank attribution from `apr-parallel` halo exchange.
+    pub ranks: LaneStats,
 }
 
 impl PhaseStat {
@@ -84,6 +172,9 @@ struct Frame {
     name: &'static str,
     start_ns: u64,
     child_ns: u64,
+    barrier_ns: u64,
+    workers: LaneStats,
+    ranks: LaneStats,
     depth: u16,
 }
 
@@ -94,6 +185,9 @@ struct PhaseAcc {
     self_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    barrier_ns: u64,
+    workers: LaneStats,
+    ranks: LaneStats,
 }
 
 #[derive(Debug)]
@@ -106,6 +200,7 @@ pub(crate) struct Inner {
     pub(crate) metrics: BTreeMap<&'static str, MetricValue>,
     pub(crate) metric_rows: Vec<String>,
     pub(crate) events: Vec<TimedEvent>,
+    pub(crate) flight: crate::flight::FlightRing,
 }
 
 impl Inner {
@@ -119,6 +214,7 @@ impl Inner {
             metrics: BTreeMap::new(),
             metric_rows: Vec::new(),
             events: Vec::new(),
+            flight: crate::flight::FlightRing::new(crate::flight::DEFAULT_FLIGHT_CAPACITY),
         }
     }
 }
@@ -184,8 +280,10 @@ impl Recorder {
     pub fn reset(&self) {
         let mut inner = self.inner.lock().unwrap();
         let cap = inner.span_capacity;
+        let flight_cap = inner.flight.capacity();
         *inner = Inner::new();
         inner.span_capacity = cap;
+        inner.flight = crate::flight::FlightRing::new(flight_cap);
     }
 
     /// Cap the retained span-record count (aggregates keep updating past
@@ -223,6 +321,9 @@ impl Recorder {
             name,
             start_ns: now,
             child_ns: 0,
+            barrier_ns: 0,
+            workers: LaneStats::default(),
+            ranks: LaneStats::default(),
             depth,
         });
     }
@@ -235,7 +336,12 @@ impl Recorder {
         let Some(frame) = stack.pop() else { return };
         debug_assert_eq!(frame.name, name, "span guards must nest");
         let dur_ns = now.saturating_sub(frame.start_ns);
-        let self_ns = dur_ns.saturating_sub(frame.child_ns);
+        // Self time is main-thread work only: wall minus child spans minus
+        // time blocked on the exec-pool barrier (the workers' share is
+        // reported separately through `PhaseStat::workers`).
+        let self_ns = dur_ns
+            .saturating_sub(frame.child_ns)
+            .saturating_sub(frame.barrier_ns);
         if let Some(parent) = stack.last_mut() {
             parent.child_ns += dur_ns;
         }
@@ -248,18 +354,59 @@ impl Recorder {
         acc.self_ns += self_ns;
         acc.min_ns = acc.min_ns.min(dur_ns);
         acc.max_ns = acc.max_ns.max(dur_ns);
+        acc.barrier_ns += frame.barrier_ns;
+        acc.workers.merge(&frame.workers);
+        acc.ranks.merge(&frame.ranks);
+        let record = SpanRecord {
+            name: frame.name,
+            tid,
+            start_ns: frame.start_ns,
+            dur_ns,
+            self_ns,
+            depth: frame.depth,
+        };
         if inner.trace.len() < inner.span_capacity {
-            inner.trace.push(SpanRecord {
-                name: frame.name,
-                tid,
-                start_ns: frame.start_ns,
-                dur_ns,
-                self_ns,
-                depth: frame.depth,
-            });
+            inner.trace.push(record);
         } else {
             inner.dropped_spans += 1;
         }
+        inner.flight.push(crate::flight::FlightEntry::Span(record));
+    }
+
+    /// Attribute one `apr-exec` parallel region to the innermost open span
+    /// on the calling thread. `wall_ns` is the region's dispatch-to-barrier
+    /// wall time; `lane_busy_ns[i]` is lane `i`'s busy time, lane 0 being
+    /// the submitting thread itself. The submitting thread's barrier wait
+    /// (`wall_ns - lane_busy_ns[0]`) is subtracted from the span's self
+    /// time when it closes. No-op when disabled or with no open span.
+    pub fn record_parallel_region(&self, wall_ns: u64, lane_busy_ns: &[u64]) {
+        if !self.is_enabled() || lane_busy_ns.is_empty() {
+            return;
+        }
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let Some(frame) = inner.stacks.entry(tid).or_default().last_mut() else {
+            return;
+        };
+        frame.barrier_ns += wall_ns.saturating_sub(lane_busy_ns[0]);
+        frame.workers.record_region(lane_busy_ns);
+    }
+
+    /// Attribute one halo-exchange phase's per-rank busy times to the
+    /// innermost open span on the calling thread. Unlike
+    /// [`Recorder::record_parallel_region`] this does not touch the span's
+    /// self time — ranks are a logical decomposition, not the thread that
+    /// owns the span. No-op when disabled or with no open span.
+    pub fn record_rank_times(&self, rank_busy_ns: &[u64]) {
+        if !self.is_enabled() || rank_busy_ns.is_empty() {
+            return;
+        }
+        let tid = current_tid();
+        let mut inner = self.inner.lock().unwrap();
+        let Some(frame) = inner.stacks.entry(tid).or_default().last_mut() else {
+            return;
+        };
+        frame.ranks.record_region(rank_busy_ns);
     }
 
     /// Time `f` on the recorder clock, returning its result and the
@@ -331,11 +478,10 @@ impl Recorder {
             return;
         }
         let t_ns = self.clock.now_ns();
-        self.inner
-            .lock()
-            .unwrap()
-            .events
-            .push(TimedEvent { t_ns, event });
+        let timed = TimedEvent { t_ns, event };
+        let mut inner = self.inner.lock().unwrap();
+        inner.events.push(timed);
+        inner.flight.push(crate::flight::FlightEntry::Event(timed));
     }
 
     /// All events emitted so far, in emission order.
@@ -362,10 +508,55 @@ impl Recorder {
                 self_ns: a.self_ns,
                 min_ns: a.min_ns,
                 max_ns: a.max_ns,
+                barrier_ns: a.barrier_ns,
+                workers: a.workers,
+                ranks: a.ranks,
             })
             .collect();
         out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
         out
+    }
+
+    /// Build a [`Histogram`] over the retained durations (ns) of spans
+    /// named `name`, for percentile export. With at most `buckets`
+    /// distinct durations the bounds are the exact observed values;
+    /// otherwise `buckets` geometric buckets span the observed min..max.
+    /// `None` when no record of that name is retained.
+    pub fn phase_duration_histogram(&self, name: &str, buckets: usize) -> Option<Histogram> {
+        let buckets = buckets.max(2);
+        let durs: Vec<u64> = {
+            let inner = self.inner.lock().unwrap();
+            inner
+                .trace
+                .iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.dur_ns)
+                .collect()
+        };
+        if durs.is_empty() {
+            return None;
+        }
+        let mut distinct = durs.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let bounds: Vec<f64> = if distinct.len() <= buckets {
+            distinct.iter().map(|&d| d as f64).collect()
+        } else {
+            let lo = (*distinct.first().unwrap() as f64).max(1.0);
+            let hi = *distinct.last().unwrap() as f64;
+            let ratio = (hi / lo).powf(1.0 / buckets as f64);
+            let mut b: Vec<f64> = (1..buckets as u32)
+                .map(|i| lo * ratio.powi(i as i32))
+                .collect();
+            b.push(hi); // exact top edge, immune to powf rounding
+            b.dedup_by(|a, b| *a <= *b);
+            b
+        };
+        let mut h = Histogram::new(&bounds);
+        for d in durs {
+            h.record(d as f64);
+        }
+        Some(h)
     }
 }
 
@@ -496,6 +687,107 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parallel_region_subtracts_barrier_from_self_time() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _s = rec.span("par");
+            rec.clock().advance(100);
+            // One pool dispatch: 60 ns wall, lane 0 (the span's own
+            // thread) busy 20 ns, lane 1 busy 40 ns → 40 ns barrier wait.
+            rec.record_parallel_region(60, &[20, 40]);
+        }
+        let stats = rec.phase_stats();
+        let par = stats.iter().find(|s| s.name == "par").unwrap();
+        assert_eq!(par.total_ns, 100);
+        assert_eq!(par.barrier_ns, 40);
+        assert_eq!(par.self_ns, 60, "self excludes the barrier wait");
+        assert_eq!(par.workers.regions, 1);
+        assert_eq!(par.workers.samples, 2);
+        assert_eq!(par.workers.busy_ns, 60);
+        assert_eq!(par.workers.min_ns, 20);
+        assert_eq!(par.workers.max_ns, 40);
+        // max/mean = 40/30.
+        assert!((par.workers.imbalance() - 4.0 / 3.0).abs() < 1e-12);
+        let records = rec.span_records();
+        assert_eq!(records[0].self_ns, 60);
+    }
+
+    #[test]
+    fn balanced_region_has_unit_imbalance_and_skew_exceeds_it() {
+        let mut balanced = LaneStats::default();
+        balanced.record_region(&[50, 50, 50, 50]);
+        assert_eq!(balanced.imbalance(), 1.0);
+        let mut skewed = LaneStats::default();
+        skewed.record_region(&[10, 190]);
+        assert!((skewed.imbalance() - 1.9).abs() < 1e-12);
+        // Sequential runs (one lane) are balanced by definition.
+        let mut solo = LaneStats::default();
+        solo.record_region(&[123]);
+        assert_eq!(solo.imbalance(), 1.0);
+        assert_eq!(LaneStats::default().imbalance(), 1.0);
+    }
+
+    #[test]
+    fn rank_times_attribute_without_touching_self_time() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _s = rec.span("halo");
+            rec.clock().advance(80);
+            rec.record_rank_times(&[30, 10]);
+        }
+        let stats = rec.phase_stats();
+        let halo = stats.iter().find(|s| s.name == "halo").unwrap();
+        assert_eq!(halo.self_ns, 80);
+        assert_eq!(halo.ranks.samples, 2);
+        assert_eq!(halo.ranks.max_ns, 30);
+        assert_eq!(halo.workers.regions, 0);
+    }
+
+    #[test]
+    fn orphan_region_without_open_span_is_ignored() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        rec.record_parallel_region(10, &[10]);
+        rec.record_rank_times(&[5]);
+        assert!(rec.phase_stats().is_empty());
+    }
+
+    #[test]
+    fn phase_duration_histogram_is_exact_for_small_n() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        for d in [10u64, 20, 30, 30] {
+            let _s = rec.span("p");
+            rec.clock().advance(d);
+        }
+        let h = rec.phase_duration_histogram("p", 32).unwrap();
+        assert_eq!(h.bounds, vec![10.0, 20.0, 30.0]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.percentile(0.5), 20.0);
+        assert_eq!(h.percentile(0.95), 30.0);
+        assert!(rec.phase_duration_histogram("absent", 32).is_none());
+    }
+
+    #[test]
+    fn phase_duration_histogram_geometric_covers_range() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        for d in 1..=100u64 {
+            let _s = rec.span("p");
+            rec.clock().advance(d * 7);
+        }
+        let h = rec.phase_duration_histogram("p", 8).unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.overflow(), 0, "max duration must land inside a bucket");
+        assert_eq!(h.min, 7.0);
+        assert_eq!(h.max, 700.0);
+        let p50 = h.percentile(0.5);
+        assert!((7.0..=700.0).contains(&p50));
     }
 
     #[test]

@@ -81,6 +81,42 @@ fn traced_run_validates_and_calibrates_the_machine_model() {
     let step_stat = stats.iter().find(|s| s.name == "apr.step").unwrap();
     assert_eq!(step_stat.count, steps);
 
+    // Per-worker attribution: the LBM kernels dispatch exec-pool regions
+    // every (sub)step, and regions attribute to the innermost open span —
+    // `lattice.collide`/`lattice.stream`, not their `apr.fine.*` parents.
+    // Lane stats must be populated, coherent (barrier wait bounded by
+    // inclusive time) and report a load-imbalance factor ≥ 1.
+    for name in ["lattice.collide", "lattice.stream"] {
+        let s = stats.iter().find(|s| s.name == name).unwrap();
+        assert!(s.workers.regions > 0, "{name} recorded no pool regions");
+        assert!(s.workers.samples >= s.workers.regions, "{name}");
+        assert!(s.workers.imbalance() >= 1.0, "{name}");
+        assert!(s.barrier_ns <= s.total_ns, "{name}");
+        assert!(
+            s.self_ns <= s.total_ns.saturating_sub(s.barrier_ns),
+            "{name}: self time must exclude barrier wait"
+        );
+    }
+
+    // Flight recorder: the run's spans and metrics samples are sitting in
+    // the in-memory ring, ready to dump on a sentinel trip.
+    let entries = rec.flight_entries();
+    assert!(
+        !entries.is_empty(),
+        "flight ring is empty after a traced run"
+    );
+    let spans = entries
+        .iter()
+        .filter(|e| matches!(e, telemetry::FlightEntry::Span(_)))
+        .count();
+    let samples = entries
+        .iter()
+        .filter(|e| matches!(e, telemetry::FlightEntry::MetricsSample { .. }))
+        .count();
+    assert!(spans >= steps as usize, "ring holds only {spans} spans");
+    assert_eq!(samples, steps as usize, "one metrics sample per step");
+    assert!(rec.flight_total() >= entries.len() as u64);
+
     // Trace-fit calibration reproduces the measured step time within the
     // 20% acceptance band (the fit is an exact decomposition, so the gap
     // is the uninstrumented glue).
