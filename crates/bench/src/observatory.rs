@@ -533,13 +533,13 @@ pub fn read_rss_bytes() -> u64 {
 // ---------------------------------------------------------------------------
 
 /// Scenario names `bench_suite run` accepts, in artifact order.
-pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling"];
+pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling", "kernels"];
 
 /// Default timed step count per scenario (all ≥ the diff noise floor's
 /// minimum occurrence count, so per-phase percentiles are diffable).
 pub fn default_steps(scenario: &str) -> u64 {
     match scenario {
-        "scaling" => 12,
+        "scaling" | "kernels" => 12,
         _ => 30,
     }
 }
@@ -673,6 +673,53 @@ fn run_scaling(steps: u64) -> Result<(u64, u64), String> {
     Ok(((edge * edge * edge) as u64 * steps, wall_ns))
 }
 
+/// `kernels` scenario: the fused swap-streaming kernel on the scaling box
+/// (paper Table 1's per-node update cost). Before timing, runs a short
+/// reference-vs-fused bit-comparison and checks the fused backend holds
+/// less auxiliary memory than a second distribution array — so the
+/// headline MLUPS can never come from a diverged or memory-cheating
+/// kernel. The timed region is the fused kernel only.
+fn run_kernels(steps: u64) -> Result<(u64, u64), String> {
+    use apr_lattice::KernelKind;
+    let edge = 32usize;
+    let make = |kind: KernelKind| {
+        let mut lat = apr_lattice::Lattice::new(edge, edge, edge, 0.9);
+        lat.periodic = [true, true, true];
+        lat.body_force = [1e-7, 0.0, 0.0];
+        lat.set_kernel(Some(kind));
+        lat
+    };
+    let mut reference = make(KernelKind::Reference);
+    let mut fused = make(KernelKind::FusedSwap);
+    for _ in 0..3 {
+        reference.step();
+        fused.step();
+    }
+    for node in 0..reference.node_count() {
+        if reference.distributions(node) != fused.distributions(node) {
+            return Err(format!(
+                "fused kernel diverged from reference at node {node}"
+            ));
+        }
+    }
+    let second_array_bytes = reference.node_count() * apr_lattice::Q * 8;
+    if fused.kernel_scratch_bytes() >= second_array_bytes {
+        return Err(format!(
+            "fused kernel scratch ({} B) is not smaller than the second \
+             distribution array it is supposed to eliminate ({} B)",
+            fused.kernel_scratch_bytes(),
+            second_array_bytes
+        ));
+    }
+    apr_telemetry::global().enable();
+    let (_, wall_ns) = apr_telemetry::time("bench.kernels", || {
+        for _ in 0..steps {
+            fused.step();
+        }
+    });
+    Ok(((edge * edge * edge) as u64 * steps, wall_ns))
+}
+
 /// Run one scenario at one thread count and collect the [`BenchRun`].
 /// Swaps the process-global exec pool, owns the global recorder's enable
 /// state for the duration, and leaves the recorder disabled and reset.
@@ -684,6 +731,7 @@ pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchR
         "tube" => run_tube(steps),
         "window_move" => run_window_move(steps),
         "scaling" => run_scaling(steps),
+        "kernels" => run_kernels(steps),
         other => Err(format!(
             "unknown scenario {other:?} (expected one of {SCENARIOS:?})"
         )),

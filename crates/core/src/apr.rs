@@ -12,7 +12,7 @@ use crate::fsi;
 use apr_cells::{CellKind, CellPool, ContactParams, UniformSubgrid};
 use apr_coupling::CouplingMap;
 use apr_ibm::DeltaKernel;
-use apr_lattice::{Lattice, SubStep};
+use apr_lattice::{KernelKind, Lattice, SubStep};
 use apr_membrane::Membrane;
 use apr_mesh::Vec3;
 use apr_window::{
@@ -95,6 +95,7 @@ pub struct AprEngineBuilder {
     window: Option<(f64, f64, f64)>,
     contact: ContactParams,
     kernel: DeltaKernel,
+    lbm_kernel: Option<KernelKind>,
     seed: u64,
     maintenance_interval: u64,
     pool_capacity: usize,
@@ -118,6 +119,13 @@ impl AprEngineBuilder {
     /// IBM delta kernel for all interpolation/spreading.
     pub fn kernel(mut self, kernel: DeltaKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// LBM collide/stream kernel variant for both lattices; `None`
+    /// (the default) defers to `APR_KERNEL` / the startup micro-probe.
+    pub fn lbm_kernel(mut self, kind: impl Into<Option<KernelKind>>) -> Self {
+        self.lbm_kernel = kind.into();
         self
     }
 
@@ -146,7 +154,7 @@ impl AprEngineBuilder {
     /// fine fluid from the coarse solution.
     pub fn build(self) -> AprEngine {
         let AprEngineBuilder {
-            coarse,
+            mut coarse,
             mut fine,
             origin,
             n,
@@ -154,10 +162,15 @@ impl AprEngineBuilder {
             window,
             contact,
             kernel,
+            lbm_kernel,
             seed,
             maintenance_interval,
             pool_capacity,
         } = self;
+        if let Some(kind) = lbm_kernel {
+            coarse.set_kernel(Some(kind));
+            fine.set_kernel(Some(kind));
+        }
         let (proper_half, onramp, insertion_width) = window.unwrap_or_else(|| {
             let span = (fine.nx.min(fine.ny).min(fine.nz) - 1) as f64;
             (span * 0.22, span * 0.12, span * 0.14)
@@ -222,6 +235,7 @@ impl AprEngine {
                 strength: 5e-4,
             },
             kernel: DeltaKernel::Cosine4,
+            lbm_kernel: None,
             seed: 0x5eed,
             maintenance_interval: 50,
             pool_capacity: 256,

@@ -32,6 +32,7 @@ pub mod output;
 pub mod vtk;
 
 pub use apr::{AprEngine, AprEngineBuilder, AprStepReport, FineGeometry};
+pub use apr_lattice::KernelKind;
 pub use config::PhysicalConfig;
 pub use diagnostics::{
     mean_axial_velocity, tube_effective_viscosity, tube_flow_rate, HematocritSeries,

@@ -272,6 +272,37 @@ impl ExecPool {
         });
     }
 
+    /// Deterministic fused-region dispatch: each lane receives its **entire
+    /// contiguous run** of `0..len` in a single `f(lane, range)` call, with
+    /// run boundaries aligned to `chunk_len` (the same static layout as
+    /// [`Self::par_for_ranges`], so the assignment depends only on `len`,
+    /// `chunk_len` and the lane count). One call per lane means a kernel can
+    /// carry per-node state across the whole run (e.g. swap-streaming's
+    /// "has my partner been processed yet?" test against `range.start`)
+    /// instead of paying a dispatch per chunk. Lanes with no chunks are not
+    /// called.
+    pub fn par_for_lane_runs(
+        &self,
+        len: usize,
+        chunk_len: usize,
+        f: impl Fn(usize, Range<usize>) + Sync,
+    ) {
+        if len == 0 {
+            return;
+        }
+        let chunk_len = chunk_len.max(1);
+        let chunks = len.div_ceil(chunk_len);
+        self.run(&|lane| {
+            let cr = lane_chunks(chunks, self.threads, lane);
+            if cr.is_empty() {
+                return;
+            }
+            let start = cr.start * chunk_len;
+            let end = (cr.end * chunk_len).min(len);
+            f(lane, start..end);
+        });
+    }
+
     /// Deterministic parallel iteration over disjoint mutable chunks of a
     /// slice: `f(chunk_index, chunk)` for every `chunk_len`-sized chunk.
     pub fn par_for_chunks_mut<T: Send>(
@@ -486,6 +517,33 @@ mod tests {
                 assert_eq!(*v, i / 10 + 1, "index {i}");
             }
         }
+    }
+
+    #[test]
+    fn lane_runs_partition_the_index_space() {
+        // Every index covered exactly once, runs are chunk-aligned and
+        // contiguous per lane, and each lane is called at most once.
+        for threads in [1, 2, 3, 8, 13] {
+            let pool = ExecPool::new(threads);
+            let mut cover = vec![0usize; 103];
+            let slots = UnsafeSlice::new(&mut cover);
+            let calls: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+            pool.par_for_lane_runs(103, 10, |lane, range| {
+                calls[lane].fetch_add(1, Ordering::SeqCst);
+                assert_eq!(range.start % 10, 0, "run start is chunk-aligned");
+                for i in range {
+                    // SAFETY: asserting disjointness is the point; overlap
+                    // would show up as a double-count below.
+                    unsafe { slots.slice_mut(i, 1)[0] += 1 };
+                }
+            });
+            assert!(cover.iter().all(|&c| c == 1), "{threads} threads");
+            for c in &calls {
+                assert!(c.load(Ordering::SeqCst) <= 1);
+            }
+        }
+        let pool = ExecPool::new(2);
+        pool.par_for_lane_runs(0, 4, |_, _| panic!("must not run for len 0"));
     }
 
     #[test]

@@ -95,7 +95,7 @@ mod tests {
                         continue;
                     }
                     for i in 1..apr_lattice::Q {
-                        if let Some(nb) = lat.neighbor(x, y, z, i) {
+                        if let Some(nb) = lat.link_neighbor(node, i) {
                             assert_ne!(
                                 lat.flag(nb),
                                 NodeClass::Exterior,

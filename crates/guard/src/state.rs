@@ -43,12 +43,11 @@ pub fn write_lattice(lat: &Lattice) -> Vec<u8> {
         w.f64(lat.body_force[a]);
     }
     w.u64(lat.steps_taken());
-    let n = lat.node_count();
-    let mut f = Vec::with_capacity(n * Q);
-    for node in 0..n {
-        f.extend_from_slice(lat.distributions(node));
-    }
-    w.f64s(&f);
+    // Raw slot-order storage (not per-direction accessors): the engine may
+    // checkpoint between the halves of a step, when the fused kernel holds
+    // fluid nodes direction-reversed. The phase flags written at the end
+    // let the restore validate it lands on a compatible kernel.
+    w.f64s(lat.storage_f());
     w.f64s(&lat.rho);
     w.f64s(&lat.vel);
     w.f64s(&lat.force);
@@ -59,6 +58,8 @@ pub fn write_lattice(lat: &Lattice) -> Vec<u8> {
         }
         None => w.bool(false),
     }
+    w.bool(lat.mid_step());
+    w.bool(lat.swap_parity());
     w.into_bytes()
 }
 
@@ -89,11 +90,6 @@ pub fn read_lattice(lat: &mut Lattice, r: &mut ByteReader<'_>) -> Result<(), Gua
             n * Q
         )));
     }
-    for node in 0..n {
-        let mut arr = [0.0; Q];
-        arr.copy_from_slice(&f[node * Q..(node + 1) * Q]);
-        lat.set_distributions(node, &arr);
-    }
     lat.rho = read_field(r, n, "rho")?;
     lat.vel = read_field(r, n * 3, "vel")?;
     lat.force = read_field(r, n * 3, "force")?;
@@ -102,6 +98,10 @@ pub fn read_lattice(lat: &mut Lattice, r: &mut ByteReader<'_>) -> Result<(), Gua
     } else {
         None
     });
+    let pending = r.bool()?;
+    let parity = r.bool()?;
+    lat.restore_storage(f, pending, parity)
+        .map_err(GuardError::Format)?;
     Ok(())
 }
 

@@ -1,0 +1,388 @@
+//! Precomputed streaming adjacency.
+//!
+//! `Lattice::stream` historically resolved every link with a
+//! branch-per-axis periodic-wrap closure plus a `HashMap` probe for
+//! moving-wall data — per link, per step. This module does that work once,
+//! at geometry-freeze time, compiling the whole streaming stencil into a
+//! flat table of per-link *ops* that both kernel backends can replay with
+//! nothing but indexed loads.
+//!
+//! ## Op encoding
+//!
+//! One `u32` per `(node, direction)` slot, indexed `node * 19 + i`:
+//! a 3-bit tag in the top bits and a 29-bit payload (partner node index or
+//! moving-coefficient index) below. For a fluid node `n` and direction `i`,
+//! pull-streaming wants slot `(n, i)` to end up holding the post-collision
+//! population `f*_i(m)` of the source node `m = n − c_i`. After the fused
+//! kernel's collision phase stores each node's populations
+//! *direction-reversed* (slot `(n, i)` holds `f*_opp(i)(n)`), every boundary
+//! case reduces to one of five ops:
+//!
+//! - [`TAG_SWAP`]: `m` is fluid — exchange slots `(n, i) ↔ (m, opp(i))`.
+//!   Emitted only for the nine [`FWD`] directions so each opposite pair is
+//!   exchanged exactly once.
+//! - [`TAG_DONE`]: nothing to do — the rest direction, or a backward
+//!   direction whose exchange is owned by the fluid partner's `SWAP`.
+//! - [`TAG_LOAD`]: `m` is a velocity/pressure boundary node — copy its
+//!   (naturally-stored, collision-exempt) population: `f[n,i] ← f[m,i]`.
+//! - [`TAG_BOUNCE`]: `m` is a stationary wall/exterior or outside the
+//!   domain — halfway bounce-back pulls the node's own opposite
+//!   population, which is exactly what the reversed store already placed in
+//!   slot `(n, i)`. A no-op at stream time.
+//! - [`TAG_MOVING`]: like bounce, plus the moving-wall momentum term
+//!   `6 w_i ρ(n) (c_i · u_wall)`; the `ρ`-independent factor is precomputed
+//!   in [`AdjacencyTable::moving_coeff`].
+//!
+//! Every op touches a distinct slot set (a `SWAP` owns its pair; the only
+//! would-be second writer of a `LOAD`/`BOUNCE`/`MOVING` slot is the source
+//! node's own `SWAP`, and those sources are by definition not fluid), so
+//! ops may execute in any order, on any lane — streaming becomes
+//! embarrassingly parallel *and* bit-deterministic.
+//!
+//! Interior nodes whose 18 neighbours are all fluid — the overwhelming bulk
+//! of a dense box — are classified [`NodeKind::Fast`] and skip the table
+//! entirely at run time: their nine swaps use the constant flat offsets in
+//! [`AdjacencyTable::fwd_offset`].
+
+use crate::d3q19::{C, OPPOSITE, Q, W};
+use crate::view::NodeClass;
+
+/// The nine "forward" directions: `c_i` lexicographically positive in
+/// `(z, y, x)` priority, matching the flat index order
+/// `node = x + nx·(y + ny·z)`. Each opposite pair has exactly one member
+/// here, and for a forward direction the pull source `m = n − c_i` has a
+/// smaller flat index than `n` whenever the link does not wrap.
+pub const FWD: [usize; 9] = [1, 3, 5, 7, 10, 11, 14, 15, 18];
+
+const IS_FWD: [bool; Q] = {
+    let mut t = [false; Q];
+    let mut k = 0;
+    while k < FWD.len() {
+        t[FWD[k]] = true;
+        k += 1;
+    }
+    t
+};
+
+/// No stream-time work for this slot.
+pub const TAG_DONE: u32 = 0;
+/// Exchange slots `(n, i) ↔ (payload, opp(i))`.
+pub const TAG_SWAP: u32 = 1;
+/// Copy `f[payload, i]` into slot `(n, i)`.
+pub const TAG_LOAD: u32 = 2;
+/// Halfway bounce-back off a stationary obstacle: a no-op after the
+/// reversed store.
+pub const TAG_BOUNCE: u32 = 3;
+/// Bounce-back off a moving wall: add the momentum term built from
+/// `moving_coeff[payload]` and `ρ(n)`.
+pub const TAG_MOVING: u32 = 4;
+/// Bit position of the tag within an op word.
+pub const TAG_SHIFT: u32 = 29;
+/// Mask selecting the payload bits of an op word.
+pub const PAYLOAD_MASK: u32 = (1 << TAG_SHIFT) - 1;
+
+/// Per-node streaming classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// Non-fluid: no collision, no ops.
+    Skip = 0,
+    /// Interior fluid with 18 fluid neighbours: nine constant-offset swaps,
+    /// no table reads.
+    Fast = 1,
+    /// Fluid near a boundary or a periodic wrap: replay the op table.
+    Slow = 2,
+}
+
+/// Neighbour flat index of `(x, y, z)` displaced by `c_i`, respecting
+/// per-axis periodicity; `None` if the displacement leaves a non-periodic
+/// domain. The free-function form of `Lattice::neighbor`, shared so the
+/// table builder and the solver agree on wrap semantics by construction.
+#[inline]
+pub fn neighbor_index(
+    dims: [usize; 3],
+    periodic: [bool; 3],
+    x: usize,
+    y: usize,
+    z: usize,
+    i: usize,
+) -> Option<usize> {
+    let d = [dims[0] as i64, dims[1] as i64, dims[2] as i64];
+    let mut p = [
+        x as i64 + C[i][0] as i64,
+        y as i64 + C[i][1] as i64,
+        z as i64 + C[i][2] as i64,
+    ];
+    for a in 0..3 {
+        if p[a] < 0 || p[a] >= d[a] {
+            if periodic[a] {
+                p[a] = (p[a] + d[a]) % d[a];
+            } else {
+                return None;
+            }
+        }
+    }
+    Some((p[0] + d[0] * (p[1] + d[1] * p[2])) as usize)
+}
+
+/// The compiled streaming stencil of one lattice geometry.
+#[derive(Debug, Clone)]
+pub struct AdjacencyTable {
+    /// One op word per `(node, direction)` slot, indexed `node * 19 + i`.
+    pub ops: Vec<u32>,
+    /// Per-node execution class.
+    pub kind: Vec<NodeKind>,
+    /// Precomputed `(6 w_i, c_i · u_wall)` factor pairs for [`TAG_MOVING`]
+    /// ops. Kept as two factors — not pre-multiplied — so the runtime can
+    /// evaluate `6 w_i · ρ · (c·u)` in the reference kernel's exact
+    /// association order and stay bit-identical.
+    pub moving_coeff: Vec<[f64; 2]>,
+    /// Flat-index offsets of the nine [`FWD`] pull sources (`m = n − off`),
+    /// valid for interior nodes. All strictly positive.
+    pub fwd_offset: [usize; 9],
+    node_count: usize,
+}
+
+impl AdjacencyTable {
+    /// Compile the streaming stencil for a lattice geometry.
+    ///
+    /// `moving_walls` lists `(node, wall velocity)` sorted by node index.
+    ///
+    /// # Panics
+    /// Panics if the node count exceeds the 29-bit payload range.
+    pub fn build(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        periodic: [bool; 3],
+        flags: &[NodeClass],
+        moving_walls: &[(usize, [f64; 3])],
+    ) -> Self {
+        let n = nx * ny * nz;
+        assert_eq!(flags.len(), n);
+        assert!(
+            n < (1usize << TAG_SHIFT),
+            "lattice too large for 29-bit adjacency payloads: {n} nodes"
+        );
+        debug_assert!(moving_walls.windows(2).all(|w| w[0].0 < w[1].0));
+        let dims = [nx, ny, nz];
+        let mut ops = vec![TAG_DONE; n * Q];
+        let mut kind = vec![NodeKind::Skip; n];
+        let mut moving_coeff = Vec::new();
+        let mut fwd_offset = [0usize; 9];
+        for (k, &i) in FWD.iter().enumerate() {
+            let off = C[i][0] as i64 + nx as i64 * (C[i][1] as i64 + ny as i64 * C[i][2] as i64);
+            // Only Fast (interior, dims ≥ 3) nodes ever use these offsets;
+            // degenerate dims can make them non-positive, but then no node
+            // qualifies as Fast.
+            debug_assert!(
+                off > 0 || nx < 3 || ny < 3 || nz < 3,
+                "forward offset for direction {i}"
+            );
+            fwd_offset[k] = off.max(0) as usize;
+        }
+        let moving = |node: usize| -> Option<[f64; 3]> {
+            moving_walls
+                .binary_search_by_key(&node, |e| e.0)
+                .ok()
+                .map(|j| moving_walls[j].1)
+        };
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let node = x + nx * (y + ny * z);
+                    if flags[node] != NodeClass::Fluid {
+                        continue;
+                    }
+                    let mut fast =
+                        x >= 1 && x + 1 < nx && y >= 1 && y + 1 < ny && z >= 1 && z + 1 < nz;
+                    for i in 1..Q {
+                        // Pull source of slot (node, i): the neighbour the
+                        // population streamed in from, one step along −c_i.
+                        let src = neighbor_index(dims, periodic, x, y, z, OPPOSITE[i]);
+                        if src.map(|m| flags[m] != NodeClass::Fluid).unwrap_or(true) {
+                            fast = false;
+                        }
+                        let op = match src {
+                            None => TAG_BOUNCE << TAG_SHIFT,
+                            Some(m) => match flags[m] {
+                                NodeClass::Fluid => {
+                                    if IS_FWD[i] {
+                                        (TAG_SWAP << TAG_SHIFT) | m as u32
+                                    } else {
+                                        TAG_DONE
+                                    }
+                                }
+                                NodeClass::Velocity | NodeClass::Pressure => {
+                                    (TAG_LOAD << TAG_SHIFT) | m as u32
+                                }
+                                NodeClass::Wall => match moving(m) {
+                                    Some(uw) => {
+                                        let cu = C[i][0] as f64 * uw[0]
+                                            + C[i][1] as f64 * uw[1]
+                                            + C[i][2] as f64 * uw[2];
+                                        let idx = moving_coeff.len() as u32;
+                                        assert!(idx < PAYLOAD_MASK, "moving-coeff overflow");
+                                        moving_coeff.push([6.0 * W[i], cu]);
+                                        (TAG_MOVING << TAG_SHIFT) | idx
+                                    }
+                                    None => TAG_BOUNCE << TAG_SHIFT,
+                                },
+                                NodeClass::Exterior => TAG_BOUNCE << TAG_SHIFT,
+                            },
+                        };
+                        ops[node * Q + i] = op;
+                    }
+                    kind[node] = if fast { NodeKind::Fast } else { NodeKind::Slow };
+                }
+            }
+        }
+        Self {
+            ops,
+            kind,
+            moving_coeff,
+            fwd_offset,
+            node_count: n,
+        }
+    }
+
+    /// Number of nodes the table was built for.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Heap footprint of the table in bytes — the fused backend's answer to
+    /// the reference backend's `n·19·8`-byte scratch array.
+    pub fn bytes(&self) -> usize {
+        self.ops.len() * std::mem::size_of::<u32>()
+            + self.kind.len()
+            + self.moving_coeff.len() * std::mem::size_of::<[f64; 2]>()
+            + std::mem::size_of::<[usize; 9]>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_fluid(n: usize) -> Vec<NodeClass> {
+        vec![NodeClass::Fluid; n]
+    }
+
+    #[test]
+    fn fwd_is_one_per_opposite_pair_and_positive() {
+        let mut seen = [false; Q];
+        for &i in &FWD {
+            assert!(!seen[i] && !seen[OPPOSITE[i]], "pair {i} split twice");
+            seen[i] = true;
+            seen[OPPOSITE[i]] = true;
+            // Lexicographic (z, y, x) positivity ⇒ positive flat offset.
+            let c = C[i];
+            assert!(
+                c[2] > 0 || (c[2] == 0 && (c[1] > 0 || (c[1] == 0 && c[0] > 0))),
+                "direction {i} not forward"
+            );
+        }
+        assert!(seen.iter().skip(1).all(|&s| s), "every moving dir covered");
+    }
+
+    #[test]
+    fn periodic_box_is_all_swaps() {
+        let (nx, ny, nz) = (4, 4, 4);
+        let flags = all_fluid(nx * ny * nz);
+        let t = AdjacencyTable::build(nx, ny, nz, [true; 3], &flags, &[]);
+        let mut swaps = 0;
+        for node in 0..nx * ny * nz {
+            assert_ne!(t.kind[node], NodeKind::Skip);
+            for i in 1..Q {
+                let op = t.ops[node * Q + i];
+                match op >> TAG_SHIFT {
+                    TAG_SWAP => {
+                        assert!(IS_FWD[i]);
+                        swaps += 1;
+                        let m = (op & PAYLOAD_MASK) as usize;
+                        // The partner's mirrored slot must be DONE (the
+                        // exchange is owned here, not there).
+                        assert_eq!(t.ops[m * Q + OPPOSITE[i]], TAG_DONE);
+                    }
+                    TAG_DONE => assert!(!IS_FWD[i]),
+                    tag => panic!("unexpected tag {tag} in periodic box"),
+                }
+            }
+        }
+        assert_eq!(swaps, nx * ny * nz * FWD.len(), "one swap per link pair");
+        // Interior 2×2×2 block is Fast, wrap-touching shell is Slow.
+        let fast = t.kind.iter().filter(|&&k| k == NodeKind::Fast).count();
+        assert_eq!(fast, 8);
+    }
+
+    #[test]
+    fn fast_offsets_match_table_payloads() {
+        let (nx, ny, nz) = (5, 6, 7);
+        let flags = all_fluid(nx * ny * nz);
+        let t = AdjacencyTable::build(nx, ny, nz, [false; 3], &flags, &[]);
+        for node in 0..nx * ny * nz {
+            if t.kind[node] != NodeKind::Fast {
+                continue;
+            }
+            for (k, &i) in FWD.iter().enumerate() {
+                let op = t.ops[node * Q + i];
+                assert_eq!(op >> TAG_SHIFT, TAG_SWAP);
+                assert_eq!((op & PAYLOAD_MASK) as usize, node - t.fwd_offset[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_periodic_axis_self_swaps() {
+        // A 1-node-wide periodic axis wraps a node onto itself; the swap
+        // must still be emitted exactly once (slots i and opp(i) differ).
+        let t = AdjacencyTable::build(1, 1, 4, [true; 3], &all_fluid(4), &[]);
+        for node in 0..4 {
+            let op = t.ops[node * Q + 1]; // +x wraps to self
+            assert_eq!(op >> TAG_SHIFT, TAG_SWAP);
+            assert_eq!((op & PAYLOAD_MASK) as usize, node);
+        }
+    }
+
+    #[test]
+    fn walls_and_bcs_get_the_right_tags() {
+        // 3×1×1 closed tube: wall | fluid | velocity-inlet.
+        let flags = [NodeClass::Wall, NodeClass::Fluid, NodeClass::Velocity];
+        let t = AdjacencyTable::build(3, 1, 1, [false; 3], &flags, &[]);
+        assert_eq!(t.kind[0], NodeKind::Skip);
+        assert_eq!(t.kind[2], NodeKind::Skip);
+        assert_eq!(t.kind[1], NodeKind::Slow);
+        // Direction +x pulls from node 0 (wall): bounce.
+        assert_eq!(t.ops[Q + 1] >> TAG_SHIFT, TAG_BOUNCE);
+        // Direction −x pulls from node 2 (velocity): load.
+        let op = t.ops[Q + 2];
+        assert_eq!(op >> TAG_SHIFT, TAG_LOAD);
+        assert_eq!((op & PAYLOAD_MASK) as usize, 2);
+        // Off-axis directions leave the (non-periodic) domain: bounce.
+        assert_eq!(t.ops[Q + 3] >> TAG_SHIFT, TAG_BOUNCE);
+    }
+
+    #[test]
+    fn moving_wall_coefficients_match_reference_formula() {
+        let uw = [0.05, -0.02, 0.0];
+        let flags = [NodeClass::Wall, NodeClass::Fluid, NodeClass::Wall];
+        let t = AdjacencyTable::build(3, 1, 1, [false; 3], &flags, &[(0, uw)]);
+        let op = t.ops[Q + 1]; // +x pulls from moving node 0
+        assert_eq!(op >> TAG_SHIFT, TAG_MOVING);
+        let [six_w, cu] = t.moving_coeff[(op & PAYLOAD_MASK) as usize];
+        let expect_cu = C[1][0] as f64 * uw[0] + C[1][1] as f64 * uw[1];
+        assert_eq!((six_w, cu), (6.0 * W[1], expect_cu));
+        // The stationary wall on the other side stays a plain bounce.
+        assert_eq!(t.ops[Q + 2] >> TAG_SHIFT, TAG_BOUNCE);
+    }
+
+    #[test]
+    fn table_is_compact() {
+        let n = 32 * 32 * 32;
+        let t = AdjacencyTable::build(32, 32, 32, [true; 3], &all_fluid(n), &[]);
+        // Strictly smaller than the n·19·8-byte scratch array it replaces.
+        assert!(t.bytes() < n * Q * 8, "{} vs {}", t.bytes(), n * Q * 8);
+    }
+}

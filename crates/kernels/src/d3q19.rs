@@ -1,0 +1,237 @@
+//! The D3Q19 velocity discretization (paper §2.1).
+//!
+//! Nineteen discrete velocities: the rest particle, six axis neighbours and
+//! twelve edge diagonals, with the standard weights 1/3, 1/18 and 1/36 and
+//! lattice speed of sound `c_s² = 1/3`.
+
+/// Number of discrete velocities.
+pub const Q: usize = 19;
+
+/// Lattice speed of sound squared.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// Inverse of [`CS2`].
+pub const INV_CS2: f64 = 3.0;
+
+/// Discrete velocity vectors `c_i` (integer lattice offsets).
+///
+/// Ordering: rest, 6 axis directions, 12 diagonals; [`OPPOSITE`] maps each
+/// direction to its negation.
+pub const C: [[i32; 3]; Q] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [-1, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+    [1, 1, 0],
+    [-1, -1, 0],
+    [1, -1, 0],
+    [-1, 1, 0],
+    [1, 0, 1],
+    [-1, 0, -1],
+    [1, 0, -1],
+    [-1, 0, 1],
+    [0, 1, 1],
+    [0, -1, -1],
+    [0, 1, -1],
+    [0, -1, 1],
+];
+
+/// Quadrature weights `w_i`.
+pub const W: [f64; Q] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the direction opposite to `i` (`C[OPPOSITE[i]] == -C[i]`).
+pub const OPPOSITE: [usize; Q] = [
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+];
+
+/// Maxwell–Boltzmann equilibrium distribution truncated to second order:
+///
+/// `f_i^eq = w_i ρ (1 + 3 c·u + 9/2 (c·u)² − 3/2 u²)`.
+#[inline]
+pub fn equilibrium(i: usize, rho: f64, ux: f64, uy: f64, uz: f64) -> f64 {
+    let cu = C[i][0] as f64 * ux + C[i][1] as f64 * uy + C[i][2] as f64 * uz;
+    let usq = ux * ux + uy * uy + uz * uz;
+    W[i] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq)
+}
+
+/// All 19 equilibrium populations at once.
+#[inline]
+pub fn equilibrium_all(rho: f64, ux: f64, uy: f64, uz: f64) -> [f64; Q] {
+    let mut out = [0.0; Q];
+    let usq = 1.5 * (ux * ux + uy * uy + uz * uz);
+    for i in 0..Q {
+        let cu = C[i][0] as f64 * ux + C[i][1] as f64 * uy + C[i][2] as f64 * uz;
+        out[i] = W[i] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - usq);
+    }
+    out
+}
+
+/// Guo forcing term `F_i` for body-force density `(gx, gy, gz)` acting on a
+/// node with velocity `(ux, uy, uz)` (Guo, Zheng & Shi 2002):
+///
+/// `F_i = w_i [ 3(c−u) + 9(c·u)c ] · g`.
+///
+/// The collision applies `(1 − 1/(2τ)) F_i` and the macroscopic velocity
+/// gains `g/(2ρ)`.
+#[inline]
+pub fn guo_force_term(i: usize, ux: f64, uy: f64, uz: f64, gx: f64, gy: f64, gz: f64) -> f64 {
+    let cx = C[i][0] as f64;
+    let cy = C[i][1] as f64;
+    let cz = C[i][2] as f64;
+    let cu = cx * ux + cy * uy + cz * uz;
+    W[i] * (3.0 * ((cx - ux) * gx + (cy - uy) * gy + (cz - uz) * gz)
+        + 9.0 * cu * (cx * gx + cy * gy + cz * gz))
+}
+
+/// Relaxation time for a lattice kinematic viscosity: `τ = ν/c_s² + 1/2`.
+#[inline]
+pub fn tau_from_lattice_viscosity(nu: f64) -> f64 {
+    nu * INV_CS2 + 0.5
+}
+
+/// Lattice kinematic viscosity for a relaxation time: `ν = c_s²(τ − 1/2)`.
+#[inline]
+pub fn lattice_viscosity_from_tau(tau: f64) -> f64 {
+    CS2 * (tau - 0.5)
+}
+
+#[cfg(test)]
+// Index loops here mirror the tensor notation of the moment identities.
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_negate() {
+        for i in 0..Q {
+            let o = OPPOSITE[i];
+            for k in 0..3 {
+                assert_eq!(C[i][k], -C[o][k], "direction {i}");
+            }
+            assert_eq!(OPPOSITE[o], i);
+            assert_eq!(W[i], W[o]);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = W.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lattice_isotropy_moments() {
+        // Σ w_i c_iα = 0; Σ w_i c_iα c_iβ = c_s² δ_αβ.
+        for a in 0..3 {
+            let m1: f64 = (0..Q).map(|i| W[i] * C[i][a] as f64).sum();
+            assert!(m1.abs() < 1e-15);
+            for b in 0..3 {
+                let m2: f64 = (0..Q).map(|i| W[i] * C[i][a] as f64 * C[i][b] as f64).sum();
+                let expected = if a == b { CS2 } else { 0.0 };
+                assert!((m2 - expected).abs() < 1e-15, "axes {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fourth_order_isotropy() {
+        // Σ w_i c_iα c_iβ c_iγ c_iδ = c_s⁴ (δαβδγδ + δαγδβδ + δαδδβγ).
+        for a in 0..3 {
+            for b in 0..3 {
+                for g in 0..3 {
+                    for d in 0..3 {
+                        let m4: f64 = (0..Q)
+                            .map(|i| {
+                                W[i] * C[i][a] as f64
+                                    * C[i][b] as f64
+                                    * C[i][g] as f64
+                                    * C[i][d] as f64
+                            })
+                            .sum();
+                        let kron = |x: usize, y: usize| if x == y { 1.0 } else { 0.0 };
+                        let expected = CS2
+                            * CS2
+                            * (kron(a, b) * kron(g, d)
+                                + kron(a, g) * kron(b, d)
+                                + kron(a, d) * kron(b, g));
+                        assert!(
+                            (m4 - expected).abs() < 1e-14,
+                            "{a}{b}{g}{d}: {m4} vs {expected}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_moments_recover_rho_and_u() {
+        let (rho, u) = (1.05, [0.03, -0.02, 0.01]);
+        let f = equilibrium_all(rho, u[0], u[1], u[2]);
+        let mass: f64 = f.iter().sum();
+        assert!((mass - rho).abs() < 1e-14);
+        for a in 0..3 {
+            let mom: f64 = (0..Q).map(|i| f[i] * C[i][a] as f64).sum();
+            assert!((mom - rho * u[a]).abs() < 1e-14, "axis {a}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_scalar_matches_batch() {
+        let (rho, u) = (0.97, [0.05, 0.01, -0.04]);
+        let batch = equilibrium_all(rho, u[0], u[1], u[2]);
+        for i in 0..Q {
+            assert!((equilibrium(i, rho, u[0], u[1], u[2]) - batch[i]).abs() < 1e-16);
+        }
+    }
+
+    #[test]
+    fn guo_force_moments() {
+        // Σ F_i = 0 and Σ F_i c_i = g at u = 0 (first-order force moments).
+        let g = [1e-5, -2e-5, 3e-5];
+        let mut sum = 0.0;
+        let mut mom = [0.0; 3];
+        for i in 0..Q {
+            let fi = guo_force_term(i, 0.0, 0.0, 0.0, g[0], g[1], g[2]);
+            sum += fi;
+            for a in 0..3 {
+                mom[a] += fi * C[i][a] as f64;
+            }
+        }
+        assert!(sum.abs() < 1e-18);
+        for a in 0..3 {
+            assert!((mom[a] - g[a]).abs() < 1e-18, "axis {a}");
+        }
+    }
+
+    #[test]
+    fn tau_viscosity_round_trip() {
+        for tau in [0.6, 1.0, 1.7] {
+            let nu = lattice_viscosity_from_tau(tau);
+            assert!((tau_from_lattice_viscosity(nu) - tau).abs() < 1e-15);
+        }
+    }
+}

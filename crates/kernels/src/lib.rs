@@ -1,0 +1,123 @@
+//! LBM kernel engine for the APR-RBC reproduction.
+//!
+//! The paper's performance story (§3.6, Table 1) treats the lattice update
+//! and distribution storage as the scaling bottleneck; this crate is the
+//! dedicated home for that inner loop. It provides:
+//!
+//! - [`d3q19`]: the D3Q19 velocity set and BGK/Guo closed forms (moved
+//!   down from `apr-lattice`, which re-exports them).
+//! - [`adjacency`]: per-node streaming stencils compiled to flat op tables
+//!   at geometry-freeze time.
+//! - [`ReferenceKernel`]: the solver's original two-pass collide + pull
+//!   stream, kept verbatim as the equivalence baseline.
+//! - [`FusedSwapKernel`]: in-place swap streaming fused with collision
+//!   into a single parallel region — no second distribution array, one
+//!   pool barrier per step instead of two, bit-identical results.
+//!
+//! Backends implement [`KernelBackend`] and are selected per lattice by
+//! [`KernelKind`], from the `APR_KERNEL` environment variable
+//! ([`kernel_from_env`]) or the engine builder.
+
+pub mod adjacency;
+pub mod d3q19;
+mod fused;
+mod reference;
+mod view;
+
+pub use adjacency::{neighbor_index, AdjacencyTable, NodeKind};
+pub use fused::FusedSwapKernel;
+pub use reference::ReferenceKernel;
+pub use view::{stream_grain, LatticeView, NodeClass};
+
+/// Selectable kernel backend variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Two-array collide + pull-stream — the equivalence baseline.
+    Reference,
+    /// Fused in-place swap streaming (default when it probes faster).
+    FusedSwap,
+}
+
+impl KernelKind {
+    /// Stable lowercase name, as accepted by `APR_KERNEL`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelKind::Reference => "reference",
+            KernelKind::FusedSwap => "fused",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Kernel selection from the `APR_KERNEL` environment variable:
+/// `reference` or `fused` force a variant, `auto`/unset (`None`) defers to
+/// the caller's default (the solver runs a startup micro-probe).
+///
+/// # Panics
+/// Panics on an unrecognized value — a silently ignored typo here would
+/// invalidate a benchmark run.
+pub fn kernel_from_env() -> Option<KernelKind> {
+    match std::env::var("APR_KERNEL") {
+        Err(_) => None,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "auto" => None,
+            "reference" => Some(KernelKind::Reference),
+            "fused" => Some(KernelKind::FusedSwap),
+            other => panic!("APR_KERNEL must be reference|fused|auto, got {other:?}"),
+        },
+    }
+}
+
+/// A lattice kernel backend: one collision/streaming strategy.
+///
+/// The contract every backend must honour:
+///
+/// - **Bit-identity**: for any geometry and any thread count, the
+///   distributions, densities and velocities visible *at step boundaries*
+///   (after `stream`) are bit-identical to [`ReferenceKernel`]'s.
+/// - **Split halves**: `collide` then `stream` must equal `step`; between
+///   the halves a backend may keep distributions in a private storage
+///   order, declared via [`Self::reversed_between_halves`] so the solver
+///   can translate its accessors.
+/// - **Determinism**: results never depend on the `apr-exec` lane count.
+pub trait KernelBackend {
+    /// Which variant this is.
+    fn kind(&self) -> KernelKind;
+    /// Collision half-step over every fluid node.
+    fn collide(&mut self, view: &mut LatticeView);
+    /// Streaming half-step (bounce-back and link transport; the solver
+    /// applies velocity/pressure boundary rebuilds afterwards).
+    fn stream(&mut self, view: &mut LatticeView);
+    /// Full step; backends may override with a fused implementation.
+    fn step(&mut self, view: &mut LatticeView) {
+        self.collide(view);
+        self.stream(view);
+    }
+    /// Whether distributions are stored direction-reversed between
+    /// `collide` and `stream`.
+    fn reversed_between_halves(&self) -> bool {
+        false
+    }
+    /// Auxiliary heap memory held by this backend (scratch arrays, op
+    /// tables) — reported through the memory-accounting surface.
+    fn scratch_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_kind_names_round_trip() {
+        assert_eq!(KernelKind::Reference.as_str(), "reference");
+        assert_eq!(KernelKind::FusedSwap.as_str(), "fused");
+        assert_eq!(format!("{}", KernelKind::FusedSwap), "fused");
+    }
+}

@@ -1,0 +1,221 @@
+//! The reference two-pass kernel: the solver's original collide and
+//! pull-stream loops, kept verbatim so every other backend can be
+//! equivalence-tested against it bit-for-bit.
+//!
+//! Two deliberate fixes ride along without changing any produced value:
+//! the moving-wall lookup is skipped wholesale when the lattice has no
+//! moving walls (it used to probe a `HashMap` for every wall link), and the
+//! streaming chunk grain follows [`stream_grain`] instead of a hard-coded
+//! one z-slab per chunk (the chunk layout never affects the numbers — every
+//! write is slot-local).
+
+use crate::d3q19::{equilibrium_all, guo_force_term, C, OPPOSITE, Q, W};
+use crate::view::{stream_grain, LatticeView, NodeClass};
+use crate::{KernelBackend, KernelKind};
+use apr_exec::UnsafeSlice;
+
+/// BGK collision with Guo forcing at one node: returns the density, the
+/// (half-force corrected) velocity, and the 19 post-collision populations.
+/// This is the exact arithmetic of the original `Lattice::collide` body —
+/// both backends route through it so "bit-identical" holds by construction.
+#[inline]
+pub(crate) fn bgk_post_collision(
+    fs: &[f64],
+    g: &[f64],
+    bf: [f64; 3],
+    tau: f64,
+) -> (f64, [f64; 3], [f64; Q]) {
+    let omega = 1.0 / tau;
+    let force_scale = 1.0 - 0.5 * omega;
+    let mut r = 0.0;
+    let mut m = [0.0f64; 3];
+    for i in 0..Q {
+        r += fs[i];
+        m[0] += fs[i] * C[i][0] as f64;
+        m[1] += fs[i] * C[i][1] as f64;
+        m[2] += fs[i] * C[i][2] as f64;
+    }
+    let gx = g[0] + bf[0];
+    let gy = g[1] + bf[1];
+    let gz = g[2] + bf[2];
+    let ux = (m[0] + 0.5 * gx) / r;
+    let uy = (m[1] + 0.5 * gy) / r;
+    let uz = (m[2] + 0.5 * gz) / r;
+    let feq = equilibrium_all(r, ux, uy, uz);
+    let mut post = [0.0; Q];
+    for i in 0..Q {
+        let forcing = guo_force_term(i, ux, uy, uz, gx, gy, gz);
+        post[i] = fs[i] + (omega * (feq[i] - fs[i]) + force_scale * forcing);
+    }
+    (r, [ux, uy, uz], post)
+}
+
+/// Relaxation time at `node` under an optional per-node τ field.
+#[inline]
+pub(crate) fn tau_at(tau_field: Option<&[f64]>, global_tau: f64, node: usize) -> f64 {
+    match tau_field {
+        Some(f) => f[node],
+        None => global_tau,
+    }
+}
+
+/// The original two-array collide → pull-stream pair behind the
+/// [`KernelBackend`] interface. Owns the second distribution array as
+/// private scratch (sized lazily on first stream), so the solver itself no
+/// longer carries `f_tmp`.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceKernel {
+    scratch: Vec<f64>,
+}
+
+impl ReferenceKernel {
+    /// New kernel with no scratch allocated yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KernelBackend for ReferenceKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::Reference
+    }
+
+    /// BGK collision with Guo forcing on every fluid node; updates stored
+    /// `rho` and `vel`. One z-plane of nodes per chunk; every write is
+    /// node-local, so the result is independent of the thread count.
+    fn collide(&mut self, view: &mut LatticeView) {
+        let global_tau = view.tau;
+        let bf = view.body_force;
+        let flags = view.flags;
+        let tau_field = view.tau_field;
+        let force = view.force;
+        let n = view.node_count();
+        let plane = view.nx * view.ny;
+        let f = UnsafeSlice::new(view.f.as_mut_slice());
+        let rho = UnsafeSlice::new(&mut view.rho[..]);
+        let vel = UnsafeSlice::new(&mut view.vel[..]);
+        let pool = apr_exec::current();
+        pool.par_for_ranges(n, plane, |_, range| {
+            for node in range {
+                if flags[node] != NodeClass::Fluid {
+                    continue;
+                }
+                // SAFETY: chunk ranges are disjoint, so each node (and its
+                // f/rho/vel storage) is touched by exactly one lane.
+                let fs = unsafe { f.slice_mut(node * Q, Q) };
+                let rho = unsafe { &mut rho.slice_mut(node, 1)[0] };
+                let vel = unsafe { vel.slice_mut(node * 3, 3) };
+                let g = &force[node * 3..node * 3 + 3];
+                let tau = tau_at(tau_field, global_tau, node);
+                let (r, u, post) = bgk_post_collision(fs, g, bf, tau);
+                *rho = r;
+                vel.copy_from_slice(&u);
+                fs.copy_from_slice(&post);
+            }
+        });
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::gauge_set(
+                "exec.lattice.collide.utilization",
+                pool.last_run_stats().utilization(),
+            );
+        }
+    }
+
+    /// Pull-streaming with halfway bounce-back (optionally moving walls).
+    /// Parallel over z-slabs of the scratch array; each slab is written by
+    /// one lane while `f` is read-only, so the result is thread-count
+    /// independent.
+    fn stream(&mut self, view: &mut LatticeView) {
+        let (nx, ny, nz) = (view.nx, view.ny, view.nz);
+        let plane = nx * ny;
+        let f: &[f64] = view.f;
+        let flags = view.flags;
+        let has_moving_walls = !view.moving_walls.is_empty();
+        let moving_walls = view.moving_walls;
+        let moving_wall = |src: usize| -> Option<[f64; 3]> {
+            moving_walls
+                .binary_search_by_key(&src, |e| e.0)
+                .ok()
+                .map(|j| moving_walls[j].1)
+        };
+        let rho: &[f64] = view.rho;
+        let periodic = view.periodic;
+        let neighbor = move |x: usize, y: usize, z: usize, i: usize| -> Option<usize> {
+            crate::adjacency::neighbor_index([nx, ny, nz], periodic, x, y, z, i)
+        };
+        self.scratch.resize(f.len(), 0.0);
+        let f_tmp = UnsafeSlice::new(&mut self.scratch);
+        let pool = apr_exec::current();
+        let grain = stream_grain(nz, pool.threads());
+        pool.par_for_ranges(nz, grain, |_, zrange| {
+            for z in zrange {
+                // SAFETY: z-slabs are disjoint and each z is visited once.
+                let slab = unsafe { f_tmp.slice_mut(z * plane * Q, plane * Q) };
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let node = x + nx * (y + ny * z);
+                        let local = (x + nx * y) * Q;
+                        match flags[node] {
+                            NodeClass::Fluid => {
+                                for i in 0..Q {
+                                    // Pull from the node the population left.
+                                    let o = OPPOSITE[i];
+                                    let pulled = match neighbor(x, y, z, o) {
+                                        Some(src)
+                                            if matches!(
+                                                flags[src],
+                                                NodeClass::Fluid
+                                                    | NodeClass::Velocity
+                                                    | NodeClass::Pressure
+                                            ) =>
+                                        {
+                                            f[src * Q + i]
+                                        }
+                                        Some(src) => {
+                                            // Wall / exterior: halfway
+                                            // bounce-back, with moving-wall
+                                            // momentum term.
+                                            let mut v = f[node * Q + o];
+                                            if has_moving_walls {
+                                                if let Some(uw) = moving_wall(src) {
+                                                    let cu = C[i][0] as f64 * uw[0]
+                                                        + C[i][1] as f64 * uw[1]
+                                                        + C[i][2] as f64 * uw[2];
+                                                    v += 6.0 * W[i] * rho[node] * cu;
+                                                }
+                                            }
+                                            v
+                                        }
+                                        None => f[node * Q + o],
+                                    };
+                                    slab[local + i] = pulled;
+                                }
+                            }
+                            _ => {
+                                // Non-fluid nodes carry their distributions
+                                // forward; BC nodes are rebuilt right after.
+                                slab[local..local + Q].copy_from_slice(&f[node * Q..node * Q + Q]);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::gauge_set(
+                "exec.lattice.stream.utilization",
+                pool.last_run_stats().utilization(),
+            );
+            apr_telemetry::gauge_set("lattice.stream.grain", grain as f64);
+        }
+        std::mem::swap(view.f, &mut self.scratch);
+    }
+
+    fn reversed_between_halves(&self) -> bool {
+        false
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        self.scratch.len() * std::mem::size_of::<f64>()
+    }
+}

@@ -59,6 +59,13 @@ fn read_f64s<R: Read>(r: &mut R, n: usize) -> Result<Vec<f64>, CheckpointError> 
 /// rebuilds the same domain from its generator, then loads the state —
 /// mirroring how the paper's runs restore from geometry + field dumps.
 pub fn save_state<W: Write>(lat: &Lattice, mut w: W) -> Result<(), CheckpointError> {
+    if lat.mid_step() {
+        return Err(CheckpointError::Format(
+            "cannot checkpoint between collide and stream; finish the step first \
+             (the guardian's engine-level format handles mid-step state)"
+                .into(),
+        ));
+    }
     w.write_all(MAGIC)?;
     for d in [
         lat.nx as u64,

@@ -1,35 +1,22 @@
-//! The lattice Boltzmann solver: storage, collision, streaming, boundaries.
+//! The lattice Boltzmann solver: storage, boundaries, and kernel dispatch.
 //!
 //! Implements paper §2.1: D3Q19 BGK with an external force field (Guo
 //! forcing) and halfway bounce-back walls, plus velocity/pressure boundaries
 //! via non-equilibrium extrapolation. Distributions are stored
-//! array-of-structures (19 contiguous values per node) so collision touches
-//! one cache line pair per node; both passes run on the deterministic
-//! `apr-exec` pool, chunked over z-planes (layout independent of the thread
-//! count, so results are bit-identical for any `APR_THREADS`).
+//! array-of-structures (19 contiguous values per node); the collide/stream
+//! inner loops live in `apr-kernels`, behind the [`KernelBackend`] trait,
+//! and [`Lattice`] delegates each (half-)step to a selected backend — the
+//! verbatim two-pass [`KernelKind::Reference`] path or the in-place fused
+//! [`KernelKind::FusedSwap`] path. Every backend runs on the deterministic
+//! `apr-exec` pool and produces bit-identical results for any `APR_THREADS`
+//! and any backend choice.
 
-use crate::d3q19::{
-    equilibrium_all, guo_force_term, lattice_viscosity_from_tau, C, OPPOSITE, Q, W,
-};
-use apr_exec::UnsafeSlice;
+use crate::d3q19::{equilibrium_all, lattice_viscosity_from_tau, C, OPPOSITE, Q};
+use crate::kernel_select;
+use apr_kernels::{FusedSwapKernel, KernelBackend, KernelKind, LatticeView, ReferenceKernel};
 use std::collections::HashMap;
 
-/// Classification of a lattice node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[repr(u8)]
-pub enum NodeClass {
-    /// Interior fluid: collides and streams.
-    Fluid = 0,
-    /// Solid wall: neighbours bounce back off it (optionally moving).
-    Wall = 1,
-    /// Prescribed-velocity boundary (non-equilibrium extrapolation).
-    Velocity = 2,
-    /// Prescribed-density (pressure) boundary.
-    Pressure = 3,
-    /// Outside the simulated geometry; behaves as a stationary wall but is
-    /// excluded from fluid-point counts (memory accounting, §3.6).
-    Exterior = 4,
-}
+pub use apr_kernels::NodeClass;
 
 /// Typed boundary condition of a lattice node — the single source of truth
 /// for boundary state, set via [`Lattice::set_boundary`] and read back via
@@ -63,8 +50,8 @@ pub enum Boundary {
 pub enum SubStep {
     /// BGK collision with Guo forcing on every fluid node.
     Collide,
-    /// Pull-streaming with bounce-back, then boundary-node refresh;
-    /// completes the step.
+    /// Streaming with bounce-back, then boundary-node refresh; completes
+    /// the step.
     Stream,
 }
 
@@ -78,6 +65,18 @@ struct BcEntry {
     /// Interior fluid neighbour used for non-equilibrium extrapolation,
     /// resolved lazily on first use.
     neighbor: Option<usize>,
+}
+
+/// The kernel backend a lattice is currently running, plus the geometry it
+/// was compiled for (fused kernels precompute their streaming stencil).
+#[derive(Debug, Clone)]
+enum Backend {
+    Reference(ReferenceKernel),
+    Fused {
+        kernel: FusedSwapKernel,
+        rev: u64,
+        periodic: [bool; 3],
+    },
 }
 
 /// A D3Q19 lattice Boltzmann fluid domain.
@@ -100,9 +99,10 @@ pub struct Lattice {
     /// coarse bulk lattice whose window footprint is plasma, not blood).
     tau_field: Option<Vec<f64>>,
     flags: Vec<NodeClass>,
-    /// Distributions, `node*19 + i`.
+    /// Distributions, `node*19 + i` — in *natural* direction order at step
+    /// boundaries; direction-reversed on fluid nodes while
+    /// [`Self::swap_parity`] is set (fused kernel, between the halves).
     f: Vec<f64>,
-    f_tmp: Vec<f64>,
     /// Densities per node (updated at collision).
     pub rho: Vec<f64>,
     /// Velocities per node, `node*3 + axis` (updated at collision, includes
@@ -118,6 +118,20 @@ pub struct Lattice {
     /// True between `advance(Collide)` and `advance(Stream)`.
     pending_stream: bool,
     steps_taken: u64,
+    /// Requested kernel; `None` defers to the process-wide probed default.
+    kernel_choice: Option<KernelKind>,
+    /// The running backend (built lazily, rebuilt on geometry changes).
+    backend: Option<Backend>,
+    /// True while fluid-node distributions are stored direction-reversed
+    /// (fused kernel, mid-step). Accessors translate transparently.
+    swap_parity: bool,
+    /// Bumped by every table-affecting geometry mutation; fused backends
+    /// record the revision they were compiled at.
+    geometry_rev: u64,
+    /// `(node, wall velocity)` for every moving wall, sorted by node;
+    /// rebuilt lazily when `moving_rev` falls behind `geometry_rev`.
+    moving_walls: Vec<(usize, [f64; 3])>,
+    moving_rev: u64,
 }
 
 impl Lattice {
@@ -144,7 +158,6 @@ impl Lattice {
             body_force: [0.0; 3],
             tau_field: None,
             flags: vec![NodeClass::Fluid; n],
-            f_tmp: f.clone(),
             f,
             rho: vec![1.0; n],
             vel: vec![0.0; n * 3],
@@ -153,6 +166,12 @@ impl Lattice {
             bc_index: HashMap::new(),
             pending_stream: false,
             steps_taken: 0,
+            kernel_choice: None,
+            backend: None,
+            swap_parity: false,
+            geometry_rev: 0,
+            moving_walls: Vec::new(),
+            moving_rev: 0,
         }
     }
 
@@ -189,17 +208,29 @@ impl Lattice {
     /// flag and any attached boundary value consistent.
     pub fn set_flag(&mut self, node: usize, class: NodeClass) {
         self.flags[node] = class;
+        self.geometry_rev += 1;
     }
 
     /// Impose a typed boundary condition on `node`, replacing whatever
     /// boundary (if any) the node had before.
     pub fn set_boundary(&mut self, node: usize, boundary: Boundary) {
-        self.flags[node] = match boundary {
+        let new_class = match boundary {
             Boundary::Wall | Boundary::MovingWall(_) => NodeClass::Wall,
             Boundary::Velocity(_) => NodeClass::Velocity,
             Boundary::Pressure(_) => NodeClass::Pressure,
             Boundary::Exterior => NodeClass::Exterior,
         };
+        // Same-class velocity/pressure updates (e.g. a ramped inlet) change
+        // only the value applied after streaming, not the streaming stencil
+        // — everything else (class changes, moving-wall velocities, which
+        // are baked into the fused kernel's coefficients) invalidates the
+        // compiled adjacency.
+        let value_only = self.flags[node] == new_class
+            && matches!(new_class, NodeClass::Velocity | NodeClass::Pressure);
+        if !value_only {
+            self.geometry_rev += 1;
+        }
+        self.flags[node] = new_class;
         match boundary {
             Boundary::Wall | Boundary::Exterior => self.remove_bc_entry(node),
             b => match self.bc_index.get(&node) {
@@ -228,6 +259,7 @@ impl Lattice {
     /// Revert `node` to interior fluid, removing any boundary data.
     pub fn clear_boundary(&mut self, node: usize) {
         self.flags[node] = NodeClass::Fluid;
+        self.geometry_rev += 1;
         self.remove_bc_entry(node);
     }
 
@@ -310,7 +342,7 @@ impl Lattice {
     pub fn initialize_equilibrium(&mut self, rho: f64, u: [f64; 3]) {
         let feq = equilibrium_all(rho, u[0], u[1], u[2]);
         for node in 0..self.node_count() {
-            self.f[node * Q..node * Q + Q].copy_from_slice(&feq);
+            self.set_distributions(node, &feq);
             self.rho[node] = rho;
             self.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
         }
@@ -319,39 +351,68 @@ impl Lattice {
     /// Set one node's distributions to equilibrium at `(rho, u)`.
     pub fn initialize_node_equilibrium(&mut self, node: usize, rho: f64, u: [f64; 3]) {
         let feq = equilibrium_all(rho, u[0], u[1], u[2]);
-        self.f[node * Q..node * Q + Q].copy_from_slice(&feq);
+        self.set_distributions(node, &feq);
         self.rho[node] = rho;
         self.vel[node * 3..node * 3 + 3].copy_from_slice(&u);
+    }
+
+    /// Storage slot of logical direction `i` at `node`: identity except on
+    /// fluid nodes while the fused kernel holds them direction-reversed
+    /// mid-step (non-fluid nodes are never reversed — they do not collide).
+    #[inline]
+    fn slot(&self, node: usize, i: usize) -> usize {
+        if self.swap_parity && self.flags[node] == NodeClass::Fluid {
+            node * Q + OPPOSITE[i]
+        } else {
+            node * Q + i
+        }
     }
 
     /// Raw distribution `f_i` at `node`.
     #[inline]
     pub fn distribution(&self, node: usize, i: usize) -> f64 {
-        self.f[node * Q + i]
+        self.f[self.slot(node, i)]
     }
 
-    /// All 19 distributions at `node`.
+    /// All 19 distributions at `node`, in direction order.
+    ///
+    /// # Panics
+    /// Panics when called on a fluid node between the halves of a fused
+    /// step (a borrowed slice cannot express the reversed storage); use
+    /// [`Self::distribution`] there instead.
     #[inline]
     pub fn distributions(&self, node: usize) -> &[f64] {
+        assert!(
+            !(self.swap_parity && self.flags[node] == NodeClass::Fluid),
+            "fluid distributions are direction-reversed mid-step under the \
+             fused kernel; read them via distribution(node, i)"
+        );
         &self.f[node * Q..node * Q + Q]
     }
 
-    /// Overwrite all 19 distributions at `node`.
+    /// Overwrite all 19 distributions at `node` (`values` in direction
+    /// order; storage parity is handled internally).
     pub fn set_distributions(&mut self, node: usize, values: &[f64; Q]) {
-        self.f[node * Q..node * Q + Q].copy_from_slice(values);
+        if self.swap_parity && self.flags[node] == NodeClass::Fluid {
+            for i in 0..Q {
+                self.f[node * Q + OPPOSITE[i]] = values[i];
+            }
+        } else {
+            self.f[node * Q..node * Q + Q].copy_from_slice(values);
+        }
     }
 
     /// Density and velocity computed directly from the current
     /// distributions at `node` (no force correction).
     pub fn moments_at(&self, node: usize) -> (f64, [f64; 3]) {
-        let fs = &self.f[node * Q..node * Q + Q];
         let mut rho = 0.0;
         let mut m = [0.0; 3];
-        for i in 0..Q {
-            rho += fs[i];
-            m[0] += fs[i] * C[i][0] as f64;
-            m[1] += fs[i] * C[i][1] as f64;
-            m[2] += fs[i] * C[i][2] as f64;
+        for (i, c) in C.iter().enumerate() {
+            let fi = self.f[self.slot(node, i)];
+            rho += fi;
+            m[0] += fi * c[0] as f64;
+            m[1] += fi * c[1] as f64;
+            m[2] += fi * c[2] as f64;
         }
         (rho, [m[0] / rho, m[1] / rho, m[2] / rho])
     }
@@ -379,7 +440,8 @@ impl Lattice {
         self.force[node * 3 + 2] += g[2];
     }
 
-    /// Total mass over all fluid nodes.
+    /// Total mass over all fluid nodes (order-insensitive, so parity does
+    /// not matter).
     pub fn total_mass(&self) -> f64 {
         (0..self.node_count())
             .filter(|&n| self.flags[n] == NodeClass::Fluid)
@@ -439,33 +501,237 @@ impl Lattice {
         field[node] = tau;
     }
 
+    /// Neighbour flat index of `(x, y, z)` displaced by `c_i`, respecting
+    /// periodicity; `None` if it leaves a non-periodic domain.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use link_neighbor(node, i) or apr_kernels::neighbor_index"
+    )]
+    #[inline]
+    pub fn neighbor(&self, x: usize, y: usize, z: usize, i: usize) -> Option<usize> {
+        apr_kernels::neighbor_index([self.nx, self.ny, self.nz], self.periodic, x, y, z, i)
+    }
+
     /// Neighbour flat index of `node` displaced by `c_i`, respecting
     /// periodicity; `None` if it leaves a non-periodic domain.
     #[inline]
-    pub fn neighbor(&self, x: usize, y: usize, z: usize, i: usize) -> Option<usize> {
-        let dims = [self.nx as i64, self.ny as i64, self.nz as i64];
-        let mut p = [
-            x as i64 + C[i][0] as i64,
-            y as i64 + C[i][1] as i64,
-            z as i64 + C[i][2] as i64,
-        ];
-        for a in 0..3 {
-            if p[a] < 0 || p[a] >= dims[a] {
-                if self.periodic[a] {
-                    p[a] = (p[a] + dims[a]) % dims[a];
-                } else {
-                    return None;
+    pub fn link_neighbor(&self, node: usize, i: usize) -> Option<usize> {
+        let (x, y, z) = self.coords(node);
+        apr_kernels::neighbor_index([self.nx, self.ny, self.nz], self.periodic, x, y, z, i)
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel selection and dispatch
+    // ------------------------------------------------------------------
+
+    /// Select the kernel backend: `Some(kind)` forces a variant, `None`
+    /// defers to `APR_KERNEL` / the startup micro-probe. Takes effect on
+    /// the next (half-)step.
+    ///
+    /// # Panics
+    /// Panics mid-step (between collide and stream): the halves of one step
+    /// must run on one backend.
+    pub fn set_kernel(&mut self, choice: Option<KernelKind>) {
+        assert!(
+            !self.pending_stream,
+            "cannot switch kernels between collide and stream"
+        );
+        if self.kernel_choice != choice {
+            self.kernel_choice = choice;
+            self.backend = None;
+        }
+    }
+
+    /// The kernel variant this lattice resolves to right now.
+    pub fn kernel(&self) -> KernelKind {
+        match self.kernel_choice {
+            Some(k) => k,
+            None => kernel_select::default_kernel(),
+        }
+    }
+
+    /// True between `advance(Collide)` and `advance(Stream)`.
+    #[inline]
+    pub fn mid_step(&self) -> bool {
+        self.pending_stream
+    }
+
+    /// True while fluid-node distributions are stored direction-reversed
+    /// (fused kernel, mid-step). Plain accessors translate automatically;
+    /// only raw-storage consumers (checkpointing) need to care.
+    #[inline]
+    pub fn swap_parity(&self) -> bool {
+        self.swap_parity
+    }
+
+    /// Raw distribution storage in slot order, parity untranslated — for
+    /// checkpoint writers paired with [`Self::restore_storage`].
+    pub fn storage_f(&self) -> &[f64] {
+        &self.f
+    }
+
+    /// Restore raw distribution storage plus step-phase flags saved from
+    /// [`Self::storage_f`] / [`Self::mid_step`] / [`Self::swap_parity`].
+    ///
+    /// Fails (leaving the lattice untouched) if the length does not match
+    /// or the saved phase is inconsistent with this lattice's kernel: a
+    /// mid-step blob stores post-collision state in the writing backend's
+    /// storage order, so it can only resume on a backend with the same
+    /// order.
+    pub fn restore_storage(
+        &mut self,
+        f: Vec<f64>,
+        pending_stream: bool,
+        swap_parity: bool,
+    ) -> Result<(), String> {
+        if f.len() != self.node_count() * Q {
+            return Err(format!(
+                "distribution storage length {} does not match lattice ({} nodes)",
+                f.len(),
+                self.node_count()
+            ));
+        }
+        if !pending_stream && swap_parity {
+            return Err("swap parity outside a pending stream is impossible".into());
+        }
+        if pending_stream {
+            let reversed = self.kernel() == KernelKind::FusedSwap;
+            if swap_parity != reversed {
+                return Err(format!(
+                    "mid-step checkpoint stored with {} storage cannot resume on the {} kernel",
+                    if swap_parity { "reversed" } else { "natural" },
+                    self.kernel()
+                ));
+            }
+        }
+        self.f = f;
+        self.pending_stream = pending_stream;
+        self.swap_parity = swap_parity;
+        Ok(())
+    }
+
+    /// Bytes of distribution-array storage plus the active backend's
+    /// auxiliary memory (reference: full second array once streamed;
+    /// fused: the compiled adjacency table). The §3.6-style memory
+    /// accounting hook for the kernel engine.
+    pub fn distribution_memory_bytes(&self) -> usize {
+        self.f.len() * std::mem::size_of::<f64>() + self.kernel_scratch_bytes()
+    }
+
+    /// Auxiliary heap bytes held by the active kernel backend.
+    pub fn kernel_scratch_bytes(&self) -> usize {
+        match &self.backend {
+            None => 0,
+            Some(Backend::Reference(k)) => k.scratch_bytes(),
+            Some(Backend::Fused { kernel, .. }) => kernel.scratch_bytes(),
+        }
+    }
+
+    /// Rebuild the sorted moving-wall cache if boundaries changed.
+    fn refresh_moving_walls(&mut self) {
+        if self.moving_rev == self.geometry_rev && self.geometry_rev != 0 {
+            return;
+        }
+        self.moving_walls.clear();
+        for e in &self.bc_nodes {
+            if let Boundary::MovingWall(u) = e.boundary {
+                if self.flags[e.node] == NodeClass::Wall {
+                    self.moving_walls.push((e.node, u));
                 }
             }
         }
-        Some((p[0] + dims[0] * (p[1] + dims[1] * p[2])) as usize)
+        self.moving_walls.sort_unstable_by_key(|e| e.0);
+        self.moving_rev = self.geometry_rev;
+    }
+
+    /// The kernel-facing view of this lattice's storage.
+    fn view(&mut self) -> LatticeView<'_> {
+        LatticeView {
+            nx: self.nx,
+            ny: self.ny,
+            nz: self.nz,
+            periodic: self.periodic,
+            tau: self.tau,
+            body_force: self.body_force,
+            tau_field: self.tau_field.as_deref(),
+            flags: &self.flags,
+            f: &mut self.f,
+            rho: &mut self.rho,
+            vel: &mut self.vel,
+            force: &self.force,
+            moving_walls: &self.moving_walls,
+        }
+    }
+
+    /// Make `self.backend` match the resolved kernel kind and current
+    /// geometry, (re)compiling the fused stencil when stale.
+    fn ensure_backend(&mut self) {
+        self.refresh_moving_walls();
+        let kind = self.kernel();
+        let up_to_date = match (&self.backend, kind) {
+            (Some(Backend::Reference(_)), KernelKind::Reference) => true,
+            (Some(Backend::Fused { rev, periodic, .. }), KernelKind::FusedSwap) => {
+                *rev == self.geometry_rev && *periodic == self.periodic
+            }
+            _ => false,
+        };
+        if up_to_date {
+            return;
+        }
+        let rebuilt = self.backend.is_some();
+        self.backend = Some(match kind {
+            KernelKind::Reference => Backend::Reference(ReferenceKernel::new()),
+            KernelKind::FusedSwap => {
+                let rev = self.geometry_rev;
+                let periodic = self.periodic;
+                let kernel = FusedSwapKernel::build(&self.view());
+                Backend::Fused {
+                    kernel,
+                    rev,
+                    periodic,
+                }
+            }
+        });
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::set_attribute("lattice.kernel", kind.as_str());
+            if rebuilt {
+                apr_telemetry::counter_add("lattice.kernel.rebuilds", 1);
+            }
+        }
+    }
+
+    /// Run `op` against the active backend and a fresh view.
+    fn with_backend(&mut self, op: impl FnOnce(&mut dyn KernelBackend, &mut LatticeView)) {
+        self.ensure_backend();
+        let mut backend = self.backend.take().expect("backend ensured");
+        {
+            let mut view = self.view();
+            match &mut backend {
+                Backend::Reference(k) => op(k, &mut view),
+                Backend::Fused { kernel, .. } => op(kernel, &mut view),
+            }
+        }
+        self.backend = Some(backend);
     }
 
     /// Advance one time step: collide (fluid), stream (fluid, with halfway
     /// bounce-back off walls), then refresh boundary-condition nodes.
+    ///
+    /// Under the fused kernel a whole step runs as a single parallel
+    /// region; callers that need to interpose between the halves use
+    /// [`Self::advance`], which stays available on every backend.
     pub fn step(&mut self) {
-        self.advance(SubStep::Collide);
-        self.advance(SubStep::Stream);
+        self.ensure_backend();
+        let fused = matches!(self.backend, Some(Backend::Fused { .. }));
+        if fused && !self.pending_stream {
+            let _span = apr_telemetry::span("lattice.step.fused");
+            self.with_backend(|k, view| k.step(view));
+            self.apply_bc_nodes();
+            self.steps_taken += 1;
+        } else {
+            self.advance(SubStep::Collide);
+            self.advance(SubStep::Stream);
+        }
     }
 
     /// Execute one half of a time step (see [`SubStep`]).
@@ -482,7 +748,11 @@ impl Lattice {
                     "advance(Collide) called twice without an intervening Stream"
                 );
                 let _span = apr_telemetry::span("lattice.collide");
-                self.collide();
+                self.with_backend(|k, view| k.collide(view));
+                self.swap_parity = match &self.backend {
+                    Some(Backend::Fused { kernel, .. }) => kernel.reversed_between_halves(),
+                    _ => false,
+                };
                 self.pending_stream = true;
             }
             SubStep::Stream => {
@@ -491,7 +761,8 @@ impl Lattice {
                     "advance(Stream) called without a preceding Collide"
                 );
                 let _span = apr_telemetry::span("lattice.stream");
-                self.stream();
+                self.with_backend(|k, view| k.stream(view));
+                self.swap_parity = false;
                 self.apply_bc_nodes();
                 self.steps_taken += 1;
                 self.pending_stream = false;
@@ -509,169 +780,6 @@ impl Lattice {
     #[deprecated(since = "0.1.0", note = "use advance(SubStep::Stream)")]
     pub fn stream_phase(&mut self) {
         self.advance(SubStep::Stream);
-    }
-
-    /// BGK collision with Guo forcing on every fluid node; updates stored
-    /// `rho` and `vel` (velocity includes the half-force correction).
-    /// Runs on the global exec pool, one z-plane of nodes per chunk; every
-    /// write is node-local, so the result is independent of the thread
-    /// count.
-    fn collide(&mut self) {
-        let global_tau = self.tau;
-        let bf = self.body_force;
-        let flags = &self.flags;
-        let tau_field = self.tau_field.as_deref();
-        let force = &self.force;
-        let n = self.nx * self.ny * self.nz;
-        let plane = self.nx * self.ny;
-        let f = UnsafeSlice::new(&mut self.f);
-        let rho = UnsafeSlice::new(&mut self.rho);
-        let vel = UnsafeSlice::new(&mut self.vel);
-        let pool = apr_exec::current();
-        pool.par_for_ranges(n, plane, |_, range| {
-            for node in range {
-                if flags[node] != NodeClass::Fluid {
-                    continue;
-                }
-                // SAFETY: chunk ranges are disjoint, so each node (and its
-                // f/rho/vel storage) is touched by exactly one lane.
-                let fs = unsafe { f.slice_mut(node * Q, Q) };
-                let rho = unsafe { &mut rho.slice_mut(node, 1)[0] };
-                let vel = unsafe { vel.slice_mut(node * 3, 3) };
-                let g = &force[node * 3..node * 3 + 3];
-                let tau = match tau_field {
-                    Some(f) => f[node],
-                    None => global_tau,
-                };
-                let omega = 1.0 / tau;
-                let force_scale = 1.0 - 0.5 * omega;
-                let mut r = 0.0;
-                let mut m = [0.0f64; 3];
-                for i in 0..Q {
-                    r += fs[i];
-                    m[0] += fs[i] * C[i][0] as f64;
-                    m[1] += fs[i] * C[i][1] as f64;
-                    m[2] += fs[i] * C[i][2] as f64;
-                }
-                let gx = g[0] + bf[0];
-                let gy = g[1] + bf[1];
-                let gz = g[2] + bf[2];
-                let ux = (m[0] + 0.5 * gx) / r;
-                let uy = (m[1] + 0.5 * gy) / r;
-                let uz = (m[2] + 0.5 * gz) / r;
-                *rho = r;
-                vel[0] = ux;
-                vel[1] = uy;
-                vel[2] = uz;
-                let feq = equilibrium_all(r, ux, uy, uz);
-                for i in 0..Q {
-                    let forcing = guo_force_term(i, ux, uy, uz, gx, gy, gz);
-                    fs[i] += omega * (feq[i] - fs[i]) + force_scale * forcing;
-                }
-            }
-        });
-        if apr_telemetry::is_enabled() {
-            apr_telemetry::gauge_set(
-                "exec.lattice.collide.utilization",
-                pool.last_run_stats().utilization(),
-            );
-        }
-    }
-
-    /// Pull-streaming with halfway bounce-back (optionally moving walls).
-    /// Parallel over z-slabs of `f_tmp`; each slab is written by one lane
-    /// while `f` is read-only, so the result is thread-count independent.
-    fn stream(&mut self) {
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        let plane = nx * ny;
-        let f = &self.f;
-        let flags = &self.flags;
-        let bc_nodes = &self.bc_nodes;
-        let bc_index = &self.bc_index;
-        let moving_wall = |src: usize| -> Option<[f64; 3]> {
-            match bc_index.get(&src).map(|&i| bc_nodes[i].boundary) {
-                Some(Boundary::MovingWall(u)) => Some(u),
-                _ => None,
-            }
-        };
-        let rho = &self.rho;
-        let periodic = self.periodic;
-        let neighbor = move |x: usize, y: usize, z: usize, i: usize| -> Option<usize> {
-            let dims = [nx as i64, ny as i64, nz as i64];
-            let mut p = [
-                x as i64 + C[i][0] as i64,
-                y as i64 + C[i][1] as i64,
-                z as i64 + C[i][2] as i64,
-            ];
-            for a in 0..3 {
-                if p[a] < 0 || p[a] >= dims[a] {
-                    if periodic[a] {
-                        p[a] = (p[a] + dims[a]) % dims[a];
-                    } else {
-                        return None;
-                    }
-                }
-            }
-            Some((p[0] + dims[0] * (p[1] + dims[1] * p[2])) as usize)
-        };
-        let f_tmp = UnsafeSlice::new(&mut self.f_tmp);
-        let pool = apr_exec::current();
-        pool.par_for_ranges(nz, 1, |z, _| {
-            // SAFETY: one z-slab per chunk; slabs are disjoint.
-            let slab = unsafe { f_tmp.slice_mut(z * plane * Q, plane * Q) };
-            for y in 0..ny {
-                for x in 0..nx {
-                    let node = x + nx * (y + ny * z);
-                    let local = (x + nx * y) * Q;
-                    match flags[node] {
-                        NodeClass::Fluid => {
-                            for i in 0..Q {
-                                // Pull from the node the population left.
-                                let o = OPPOSITE[i];
-                                let pulled = match neighbor(x, y, z, o) {
-                                    Some(src)
-                                        if matches!(
-                                            flags[src],
-                                            NodeClass::Fluid
-                                                | NodeClass::Velocity
-                                                | NodeClass::Pressure
-                                        ) =>
-                                    {
-                                        f[src * Q + i]
-                                    }
-                                    Some(src) => {
-                                        // Wall / exterior: halfway bounce-back,
-                                        // with moving-wall momentum term.
-                                        let mut v = f[node * Q + o];
-                                        if let Some(uw) = moving_wall(src) {
-                                            let cu = C[i][0] as f64 * uw[0]
-                                                + C[i][1] as f64 * uw[1]
-                                                + C[i][2] as f64 * uw[2];
-                                            v += 6.0 * W[i] * rho[node] * cu;
-                                        }
-                                        v
-                                    }
-                                    None => f[node * Q + o],
-                                };
-                                slab[local + i] = pulled;
-                            }
-                        }
-                        _ => {
-                            // Non-fluid nodes carry their distributions
-                            // forward; BC nodes are rebuilt right after.
-                            slab[local..local + Q].copy_from_slice(&f[node * Q..node * Q + Q]);
-                        }
-                    }
-                }
-            }
-        });
-        if apr_telemetry::is_enabled() {
-            apr_telemetry::gauge_set(
-                "exec.lattice.stream.utilization",
-                pool.last_run_stats().utilization(),
-            );
-        }
-        std::mem::swap(&mut self.f, &mut self.f_tmp);
     }
 
     /// Rebuild velocity/pressure boundary nodes by non-equilibrium
@@ -735,9 +843,8 @@ impl Lattice {
 
     /// First interior fluid neighbour of `node` in lattice-direction order.
     fn resolve_interior_neighbor(&self, node: usize) -> Option<usize> {
-        let (x, y, z) = self.coords(node);
         (1..Q).find_map(|i| {
-            self.neighbor(x, y, z, i)
+            self.link_neighbor(node, i)
                 .filter(|&nb| self.flags[nb] == NodeClass::Fluid)
         })
     }

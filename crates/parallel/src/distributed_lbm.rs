@@ -51,6 +51,10 @@ impl SlabLattice {
             let ghost_hi = usize::from(tasks > 1 && (t + 1 < tasks || global.periodic[2]));
             let local_nz = (hi - lo) + ghost_lo + ghost_hi;
             let mut local = Lattice::new(global.nx, global.ny, local_nz, global.tau);
+            // Halo exchange reads/writes distribution planes between the
+            // collide and stream halves, which requires naturally-ordered
+            // storage — pin the reference kernel regardless of APR_KERNEL.
+            local.set_kernel(Some(apr_lattice::KernelKind::Reference));
             local.periodic = [
                 global.periodic[0],
                 global.periodic[1],

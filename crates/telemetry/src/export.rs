@@ -135,6 +135,16 @@ impl Recorder {
             out,
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":0,\"args\":{{\"name\":\"apr-rbc\"}}}}"
         );
+        for (key, value) in self.attributes() {
+            out.push(',');
+            out.push('\n');
+            let _ = write!(
+                out,
+                "{{\"name\":\"run_attribute\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":0,\"args\":{{{}:{}}}}}",
+                escape(&key),
+                escape(&value),
+            );
+        }
         for (_, rec) in &records {
             out.push(',');
             out.push('\n');

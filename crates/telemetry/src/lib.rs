@@ -111,6 +111,13 @@ pub fn histogram_record(name: &'static str, bounds: &[f64], v: f64) {
     global().histogram_record(name, bounds, v);
 }
 
+/// Set a run-level attribute on the global recorder (e.g. which kernel
+/// variant a lattice is running).
+#[inline]
+pub fn set_attribute(key: &'static str, value: impl Into<String>) {
+    global().set_attribute(key, value);
+}
+
 /// Emit a typed event on the global recorder.
 #[inline]
 pub fn emit(event: TelemetryEvent) {

@@ -201,6 +201,7 @@ pub(crate) struct Inner {
     pub(crate) metric_rows: Vec<String>,
     pub(crate) events: Vec<TimedEvent>,
     pub(crate) flight: crate::flight::FlightRing,
+    pub(crate) attributes: BTreeMap<&'static str, String>,
 }
 
 impl Inner {
@@ -215,6 +216,7 @@ impl Inner {
             metric_rows: Vec::new(),
             events: Vec::new(),
             flight: crate::flight::FlightRing::new(crate::flight::DEFAULT_FLIGHT_CAPACITY),
+            attributes: BTreeMap::new(),
         }
     }
 }
@@ -469,6 +471,33 @@ impl Recorder {
     /// Current value of a metric, if registered.
     pub fn metric(&self, name: &str) -> Option<MetricValue> {
         self.inner.lock().unwrap().metrics.get(name).cloned()
+    }
+
+    /// Set a run-level attribute: a small key → value annotation describing
+    /// *how* the run was configured (e.g. `lattice.kernel` → `fused`), kept
+    /// alongside the metrics and exported as Chrome-trace metadata so a
+    /// profile is self-describing. Last write per key wins.
+    #[inline]
+    pub fn set_attribute(&self, key: &'static str, value: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.inner
+            .lock()
+            .unwrap()
+            .attributes
+            .insert(key, value.into());
+    }
+
+    /// All run-level attributes set so far, sorted by key.
+    pub fn attributes(&self) -> Vec<(String, String)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .attributes
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     /// Emit a typed event, stamped with the recorder clock.
@@ -799,10 +828,26 @@ mod tests {
         }
         rec.counter_add("c", 2);
         rec.emit(TelemetryEvent::EscapedCells { step: 1, count: 2 });
+        rec.set_attribute("k", "v");
         rec.reset();
         assert!(rec.span_records().is_empty());
         assert!(rec.events().is_empty());
         assert!(rec.metric("c").is_none());
+        assert!(rec.attributes().is_empty());
         assert!(rec.is_enabled(), "reset keeps the enable state");
+    }
+
+    #[test]
+    fn attributes_record_last_write_and_respect_enable() {
+        let rec = Recorder::new();
+        rec.set_attribute("lattice.kernel", "reference");
+        assert!(rec.attributes().is_empty(), "disabled recorder drops them");
+        rec.enable();
+        rec.set_attribute("lattice.kernel", "reference");
+        rec.set_attribute("lattice.kernel", "fused");
+        assert_eq!(
+            rec.attributes(),
+            vec![("lattice.kernel".to_string(), "fused".to_string())]
+        );
     }
 }

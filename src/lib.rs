@@ -11,6 +11,7 @@ pub use apr_geom as geom;
 pub use apr_guard as guard;
 pub use apr_hemo as hemo;
 pub use apr_ibm as ibm;
+pub use apr_kernels as kernels;
 pub use apr_lattice as lattice;
 pub use apr_membrane as membrane;
 pub use apr_mesh as mesh;

@@ -1,0 +1,281 @@
+//! Kernel-engine equivalence: the fused swap-streaming kernel must be
+//! **bit-identical** to the reference two-pass kernel on every boundary
+//! type, at every thread count, across checkpoint/restore — and it must
+//! actually eliminate the second distribution array it exists to remove.
+//!
+//! The worker pool is process-global, so every test that swaps it holds
+//! `POOL_LOCK` (same discipline as `exec_determinism.rs`).
+
+use apr_suite::guard::{read_lattice, write_lattice, ByteReader};
+use apr_suite::lattice::{
+    couette_channel, force_driven_tube, poiseuille_slit, Boundary, KernelKind, Lattice, SubStep, Q,
+};
+use std::sync::Mutex;
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// The boundary-condition zoo, one constructor per streaming code path.
+fn scenarios() -> Vec<(&'static str, Lattice)> {
+    // Fully periodic forced box: every node takes the fused fast path.
+    let mut periodic = Lattice::new(12, 10, 8, 0.8);
+    periodic.periodic = [true, true, true];
+    periodic.body_force = [1e-6, 2e-7, 0.0];
+
+    // Couette: moving wall (momentum-injecting bounce-back).
+    let couette = couette_channel(6, 12, 6, 0.9, 0.03);
+
+    // Poiseuille: stationary walls + body force.
+    let slit = poiseuille_slit(6, 14, 6, 0.9, 1e-6);
+
+    // Force-driven tube: curved wall + exterior nodes + periodic axis.
+    let tube = force_driven_tube(13, 13, 10, 0.9, 5.0, 1e-6);
+
+    // Duct with a velocity inlet, pressure outlet, walls, and exterior
+    // corners: exercises the post-stream non-equilibrium extrapolation
+    // against both kernels' storage orders.
+    let (nx, ny, nz) = (6usize, 8usize, 14usize);
+    let mut duct = Lattice::new(nx, ny, nz, 0.9);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let node = duct.idx(x, y, z);
+                let shell = x == 0 || x == nx - 1 || y == 0 || y == ny - 1;
+                if shell {
+                    let corner = (x == 0 || x == nx - 1) && (y == 0 || y == ny - 1);
+                    duct.set_boundary(
+                        node,
+                        if corner {
+                            Boundary::Exterior
+                        } else {
+                            Boundary::Wall
+                        },
+                    );
+                } else if z == 0 {
+                    duct.set_boundary(node, Boundary::Velocity([0.0, 0.0, 0.02]));
+                } else if z == nz - 1 {
+                    duct.set_boundary(node, Boundary::Pressure(1.0));
+                }
+            }
+        }
+    }
+
+    vec![
+        ("periodic_box", periodic),
+        ("couette", couette),
+        ("poiseuille_slit", slit),
+        ("force_driven_tube", tube),
+        ("velocity_pressure_duct", duct),
+    ]
+}
+
+/// Raw bit digest of distributions + moments at a step boundary.
+fn digest(lat: &Lattice) -> Vec<u64> {
+    let mut bits: Vec<u64> = lat.storage_f().iter().map(|v| v.to_bits()).collect();
+    bits.extend(lat.rho.iter().map(|v| v.to_bits()));
+    bits.extend(lat.vel.iter().map(|v| v.to_bits()));
+    bits
+}
+
+fn run(mut lat: Lattice, kind: KernelKind, steps: u64) -> Vec<u64> {
+    lat.set_kernel(Some(kind));
+    for _ in 0..steps {
+        lat.step();
+    }
+    assert_eq!(lat.kernel(), kind);
+    assert_eq!(lat.steps_taken(), steps);
+    digest(&lat)
+}
+
+#[test]
+fn fused_matches_reference_on_every_boundary_type_and_thread_count() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    for (name, lat) in scenarios() {
+        apr_suite::exec::set_threads(1);
+        let golden = run(lat.clone(), KernelKind::Reference, 100);
+        for threads in [1usize, 2, 4, 8] {
+            apr_suite::exec::set_threads(threads);
+            let fused = run(lat.clone(), KernelKind::FusedSwap, 100);
+            assert_eq!(
+                golden, fused,
+                "fused kernel diverged from reference: scenario {name}, {threads} threads"
+            );
+            // The reference kernel itself must also be thread-invariant.
+            let reference = run(lat.clone(), KernelKind::Reference, 100);
+            assert_eq!(
+                golden, reference,
+                "reference kernel not thread-invariant: scenario {name}, {threads} threads"
+            );
+        }
+    }
+    apr_suite::exec::set_threads(1);
+}
+
+#[test]
+fn split_halves_match_fused_full_steps() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(2);
+    for (name, lat) in scenarios() {
+        let mut whole = lat.clone();
+        whole.set_kernel(Some(KernelKind::FusedSwap));
+        let mut halves = lat.clone();
+        halves.set_kernel(Some(KernelKind::FusedSwap));
+        for _ in 0..20 {
+            whole.step();
+            halves.advance(SubStep::Collide);
+            halves.advance(SubStep::Stream);
+        }
+        assert_eq!(
+            digest(&whole),
+            digest(&halves),
+            "split-half fused run diverged from fused step(): scenario {name}"
+        );
+    }
+    apr_suite::exec::set_threads(1);
+}
+
+/// Mid-step accessors must transparently translate the fused kernel's
+/// reversed storage: logical reads between the halves agree bit-for-bit
+/// with the reference kernel's post-collision state.
+#[test]
+fn mid_step_accessors_agree_across_kernels() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(2);
+    let (_, lat) = scenarios().remove(1); // couette: has a moving wall
+    let mut a = lat.clone();
+    a.set_kernel(Some(KernelKind::Reference));
+    let mut b = lat;
+    b.set_kernel(Some(KernelKind::FusedSwap));
+    for l in [&mut a, &mut b] {
+        for _ in 0..10 {
+            l.step();
+        }
+        l.advance(SubStep::Collide);
+    }
+    assert!(!a.swap_parity() && b.swap_parity());
+    for node in 0..a.node_count() {
+        for i in 0..Q {
+            assert_eq!(
+                a.distribution(node, i).to_bits(),
+                b.distribution(node, i).to_bits(),
+                "post-collision mismatch at node {node} dir {i}"
+            );
+        }
+        let (ra, ua) = a.moments_at(node);
+        let (rb, ub) = b.moments_at(node);
+        assert_eq!(
+            (ra.to_bits(), ua.map(f64::to_bits)),
+            (rb.to_bits(), ub.map(f64::to_bits))
+        );
+    }
+    a.advance(SubStep::Stream);
+    b.advance(SubStep::Stream);
+    assert_eq!(digest(&a), digest(&b));
+    apr_suite::exec::set_threads(1);
+}
+
+/// Guardian lattice serialization round-trips a *mid-step* fused state:
+/// swap parity survives the checkpoint, and the resumed run stays on the
+/// uninterrupted trajectory — and on the reference kernel's.
+#[test]
+fn mid_step_checkpoint_preserves_swap_parity() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(2);
+    let (_, lat) = scenarios().remove(1); // couette
+    let golden = run(lat.clone(), KernelKind::Reference, 100);
+
+    let mut interrupted = lat.clone();
+    interrupted.set_kernel(Some(KernelKind::FusedSwap));
+    for _ in 0..50 {
+        interrupted.step();
+    }
+    interrupted.advance(SubStep::Collide);
+    assert!(interrupted.mid_step() && interrupted.swap_parity());
+    let blob = write_lattice(&interrupted);
+
+    let mut resumed = lat.clone();
+    resumed.set_kernel(Some(KernelKind::FusedSwap));
+    read_lattice(&mut resumed, &mut ByteReader::new(&blob)).expect("restore");
+    assert!(resumed.mid_step() && resumed.swap_parity());
+    assert_eq!(resumed.steps_taken(), 50);
+    resumed.advance(SubStep::Stream);
+    for _ in 51..100 {
+        resumed.step();
+    }
+    assert_eq!(
+        digest(&resumed),
+        golden,
+        "resumed-from-mid-step fused run diverged"
+    );
+
+    // The same blob must refuse to land on a reference-kernel lattice:
+    // its storage order cannot represent the reversed mid-step state.
+    let mut wrong = lat.clone();
+    wrong.set_kernel(Some(KernelKind::Reference));
+    assert!(read_lattice(&mut wrong, &mut ByteReader::new(&blob)).is_err());
+    apr_suite::exec::set_threads(1);
+}
+
+/// The fused kernel's reason to exist: its auxiliary memory (adjacency
+/// table + deferred-swap queues) stays well under the full second
+/// distribution array the reference kernel streams into.
+#[test]
+fn fused_kernel_eliminates_the_second_distribution_array() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(2);
+    let mut lat = Lattice::new(24, 24, 24, 0.9);
+    lat.periodic = [true, true, true];
+    lat.body_force = [1e-7, 0.0, 0.0];
+    let second_array = lat.node_count() * Q * std::mem::size_of::<f64>();
+
+    let mut fused = lat.clone();
+    fused.set_kernel(Some(KernelKind::FusedSwap));
+    fused.step();
+    assert!(fused.kernel_scratch_bytes() > 0);
+    assert!(
+        fused.kernel_scratch_bytes() < second_array,
+        "fused scratch {} B >= second distribution array {} B",
+        fused.kernel_scratch_bytes(),
+        second_array
+    );
+
+    lat.set_kernel(Some(KernelKind::Reference));
+    lat.step();
+    assert_eq!(
+        lat.kernel_scratch_bytes(),
+        second_array,
+        "reference kernel should hold exactly one extra distribution array"
+    );
+    apr_suite::exec::set_threads(1);
+}
+
+/// Geometry edits invalidate the fused kernel's compiled stencil: carving
+/// a wall into a running lattice must keep fused == reference afterwards.
+#[test]
+fn geometry_changes_rebuild_the_fused_stencil() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(2);
+    let mut base = Lattice::new(10, 10, 10, 0.85);
+    base.periodic = [true, true, true];
+    base.body_force = [1e-6, 0.0, 0.0];
+    let mut a = base.clone();
+    a.set_kernel(Some(KernelKind::Reference));
+    let mut b = base;
+    b.set_kernel(Some(KernelKind::FusedSwap));
+    for l in [&mut a, &mut b] {
+        for _ in 0..10 {
+            l.step();
+        }
+        // Carve a moving plate mid-run: the compiled stencil is now stale.
+        for y in 0..10 {
+            for x in 0..10 {
+                let node = 5 * 100 + y * 10 + x;
+                l.set_boundary(node, Boundary::MovingWall([0.01, 0.0, 0.0]));
+            }
+        }
+        for _ in 0..10 {
+            l.step();
+        }
+    }
+    assert_eq!(digest(&a), digest(&b), "post-edit trajectories diverged");
+    apr_suite::exec::set_threads(1);
+}
