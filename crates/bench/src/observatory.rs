@@ -96,6 +96,11 @@ pub struct BenchRun {
     pub site_updates: u64,
     /// Resident set size after the run (0 where unavailable).
     pub rss_bytes: u64,
+    /// Resilience tax, percent: extra wall time per step with sealed
+    /// halos, heartbeats, and buddy checkpoints on versus the raw
+    /// distributed path — recovery idle in both. Only scenarios that
+    /// measure it (currently `scaling`) set this.
+    pub overhead_pct: Option<f64>,
     /// Per-phase breakdown, sorted by total wall time descending.
     pub phases: Vec<BenchPhase>,
 }
@@ -151,6 +156,7 @@ pub fn collect_run(
         mlups,
         site_updates,
         rss_bytes: read_rss_bytes(),
+        overhead_pct: None,
         phases,
     }
 }
@@ -190,7 +196,7 @@ pub fn to_json(artifact: &BenchArtifact) -> String {
         }
         let _ = write!(
             out,
-            "\n{{\"threads\":{},\"steps\":{},\"wall_seconds\":{},\"mlups\":{},\"site_updates\":{},\"rss_bytes\":{},\"phases\":[",
+            "\n{{\"threads\":{},\"steps\":{},\"wall_seconds\":{},\"mlups\":{},\"site_updates\":{},\"rss_bytes\":{}",
             run.threads,
             run.steps,
             number(run.wall_seconds),
@@ -198,6 +204,11 @@ pub fn to_json(artifact: &BenchArtifact) -> String {
             run.site_updates,
             run.rss_bytes,
         );
+        // Emitted only when measured, so older artifacts stay diffable.
+        if let Some(pct) = run.overhead_pct {
+            let _ = write!(out, ",\"overhead_pct\":{}", number(pct));
+        }
+        out.push_str(",\"phases\":[");
         for (j, p) in run.phases.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -301,6 +312,7 @@ pub fn parse_artifact(text: &str) -> Result<BenchArtifact, String> {
             mlups: req_f64(run, "mlups")?,
             site_updates: req_u64(run, "site_updates")?,
             rss_bytes: req_u64(run, "rss_bytes")?,
+            overhead_pct: run.get("overhead_pct").and_then(Value::as_f64),
             phases,
         });
     }
@@ -673,6 +685,48 @@ fn run_scaling(steps: u64) -> Result<(u64, u64), String> {
     Ok(((edge * edge * edge) as u64 * steps, wall_ns))
 }
 
+/// Resilience tax on the distributed path: the same periodic box stepped
+/// through the raw [`SlabLattice`] (plain channel halos, no supervision)
+/// and through [`ResilientSlabLattice`] with its full production config —
+/// sealed CRC envelopes, heartbeats, buddy checkpoints — but a quiet
+/// chaos plan, so recovery machinery is armed yet idle. Returns the
+/// percent extra wall time per step of the resilient path.
+fn measure_resilience_overhead(steps: u64) -> Result<f64, String> {
+    use apr_parallel::{ResilienceConfig, ResilientSlabLattice, SlabLattice};
+    use std::time::Instant;
+    let edge = 32usize;
+    let tasks = 4usize;
+    let mut global = apr_lattice::Lattice::new(edge, edge, edge, 0.9);
+    global.periodic = [true, true, true];
+    global.body_force = [1e-7, 0.0, 0.0];
+    let steps = steps.max(8);
+
+    let mut raw = SlabLattice::split(&global, tasks);
+    let mut resilient = ResilientSlabLattice::split(&global, tasks, ResilienceConfig::default());
+    // Warm both paths (allocations, channel setup, first checkpoints).
+    for _ in 0..3 {
+        raw.step().map_err(|e| e.to_string())?;
+        resilient.step().map_err(|e| e.to_string())?;
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        raw.step().map_err(|e| e.to_string())?;
+    }
+    let raw_ns = t0.elapsed().as_nanos().max(1) as f64;
+
+    let t1 = Instant::now();
+    for _ in 0..steps {
+        let out = resilient.step().map_err(|e| e.to_string())?;
+        if !out.clean {
+            return Err(format!("resilient path degraded while idle: {out:?}"));
+        }
+    }
+    let resilient_ns = t1.elapsed().as_nanos() as f64;
+
+    Ok((resilient_ns / raw_ns - 1.0) * 100.0)
+}
+
 /// `kernels` scenario: the fused swap-streaming kernel on the scaling box
 /// (paper Table 1's per-node update cost). Before timing, runs a short
 /// reference-vs-fused bit-comparison and checks the fused backend holds
@@ -746,8 +800,14 @@ pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchR
     };
     let wall_seconds = wall_ns as f64 / 1.0e9;
     let mlups = site_updates as f64 / wall_seconds.max(1e-12) / 1.0e6;
-    let run = collect_run(rec, threads, steps, wall_seconds, mlups, site_updates);
+    let mut run = collect_run(rec, threads, steps, wall_seconds, mlups, site_updates);
     rec.reset();
+    if scenario == "scaling" {
+        // Resilience tax rides on the scaling artifact: same box, same
+        // thread count, sealed halos + supervision on vs. off.
+        run.overhead_pct = Some(measure_resilience_overhead(steps)?);
+        rec.reset();
+    }
     Ok(run)
 }
 
@@ -766,6 +826,7 @@ mod tests {
                 mlups: 20.0,
                 site_updates: 30_000_000,
                 rss_bytes: 12_345_678,
+                overhead_pct: Some(3.25),
                 phases: vec![
                     BenchPhase {
                         name: "apr.step".into(),
@@ -810,6 +871,17 @@ mod tests {
         let text = to_json(&artifact);
         let parsed = parse_artifact(&text).unwrap();
         assert_eq!(parsed, artifact);
+    }
+
+    #[test]
+    fn overhead_pct_is_optional_in_the_artifact() {
+        // Pre-resilience baselines have no overhead_pct key; the writer
+        // must omit it when unmeasured and the parser must accept both.
+        let mut artifact = sample_artifact();
+        artifact.runs[0].overhead_pct = None;
+        let text = to_json(&artifact);
+        assert!(!text.contains("overhead_pct"));
+        assert_eq!(parse_artifact(&text).unwrap(), artifact);
     }
 
     #[test]

@@ -13,7 +13,16 @@
 //! version     u32
 //! count       u32
 //! count × [ name_len u8 | name | payload_len u64 | payload | crc32 u32 ]
+//! crc32       u32 over every preceding byte (version >= 3)
 //! ```
+//!
+//! Per-section CRCs localize corruption to a section name; the trailing
+//! container CRC (new in v3) additionally covers the header and section
+//! directory, so *any* single-bit flip in a checkpoint — including in a
+//! section name, the count, or the version field — surfaces as a typed
+//! error. Buddy checkpoints travel between ranks over the same fabric as
+//! halo messages, so this is load-bearing for distributed recovery, not
+//! just for disk rot.
 
 use crate::codec::{crc32, ByteReader, ByteWriter};
 use crate::error::GuardError;
@@ -21,8 +30,10 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"APRGUARD";
 
-/// Current container format version.
-pub const FORMAT_VERSION: u32 = 2;
+/// Current container format version. v3 added the trailing directory CRC
+/// (header, names, lengths, and section-CRC fields — payloads are covered
+/// by their own per-section CRCs); v2 blobs (no trailing CRC) still parse.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Builder for a multi-section checkpoint blob.
 #[derive(Debug, Default)]
@@ -50,18 +61,41 @@ impl CheckpointWriter {
     /// Serialize the container to bytes.
     pub fn finish(self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        let payload_total: usize = self.sections.iter().map(|(n, p)| n.len() + p.len()).sum();
+        w.reserve(payload_total + 64 * self.sections.len() + 32);
         w.bytes(MAGIC);
         w.u32(FORMAT_VERSION);
         w.u32(self.sections.len() as u32);
+        let mut payload_spans = Vec::with_capacity(self.sections.len());
         for (name, payload) in &self.sections {
             w.u8(name.len() as u8);
             w.bytes(name.as_bytes());
             w.u64(payload.len() as u64);
+            payload_spans.push((w.len(), w.len() + payload.len()));
             w.bytes(payload);
             w.u32(crc32(payload));
         }
-        w.into_bytes()
+        let mut bytes = w.into_bytes();
+        let crc = directory_crc(&bytes, &payload_spans);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
     }
+}
+
+/// CRC over every container byte *outside* section payloads: magic,
+/// version, count, names, lengths, and each section's CRC field. Payload
+/// bytes are already covered by their per-section CRCs, so checksumming
+/// them again in the trailer would double the CRC cost of multi-megabyte
+/// checkpoints for no added coverage — every byte of the container is
+/// protected by exactly one of the two layers.
+fn directory_crc(bytes: &[u8], payload_spans: &[(usize, usize)]) -> u32 {
+    let mut crc = 0u32;
+    let mut pos = 0usize;
+    for &(start, end) in payload_spans {
+        crc = crate::codec::crc32_update(crc, &bytes[pos..start]);
+        pos = end;
+    }
+    crate::codec::crc32_update(crc, &bytes[pos..])
 }
 
 /// Parsed checkpoint with CRC-verified sections.
@@ -73,7 +107,9 @@ pub struct CheckpointReader<'a> {
 
 impl<'a> CheckpointReader<'a> {
     /// Parse and verify a checkpoint blob. Every section's CRC is checked
-    /// up front; corruption yields [`GuardError::Crc`] naming the section.
+    /// up front; payload corruption yields [`GuardError::Crc`] naming the
+    /// section, and (v3+) header/directory corruption is caught by the
+    /// trailing directory CRC (reported with section `"container"`).
     pub fn parse(data: &'a [u8]) -> Result<Self, GuardError> {
         let mut r = ByteReader::new(data);
         let magic = r.bytes(8)?;
@@ -87,15 +123,33 @@ impl<'a> CheckpointReader<'a> {
                 supported: FORMAT_VERSION,
             });
         }
+        // v3+ blobs end with a u32 CRC over everything before it; bound
+        // the section region so payload parsing cannot eat into it.
+        let body_end = if version >= 3 {
+            if data.len() < 4 {
+                return Err(GuardError::Format(
+                    "blob too short for container CRC".into(),
+                ));
+            }
+            data.len() - 4
+        } else {
+            data.len()
+        };
+        let mut r = ByteReader::new(&data[..body_end]);
+        r.bytes(8)?; // magic, already validated
+        r.u32()?; // version, already validated
         let count = r.u32()?;
         let mut sections = Vec::with_capacity(count as usize);
+        let mut payload_spans = Vec::with_capacity(count as usize);
         for _ in 0..count {
             let name_len = r.u8()? as usize;
             let name = std::str::from_utf8(r.bytes(name_len)?)
                 .map_err(|e| GuardError::Format(format!("section name not UTF-8: {e}")))?
                 .to_string();
             let payload_len = r.usize()?;
+            let start = body_end - r.remaining();
             let payload = r.bytes(payload_len)?;
+            payload_spans.push((start, start + payload_len));
             let expected = r.u32()?;
             let actual = crc32(payload);
             if actual != expected {
@@ -106,6 +160,23 @@ impl<'a> CheckpointReader<'a> {
                 });
             }
             sections.push((name, payload));
+        }
+        if r.remaining() != 0 {
+            return Err(GuardError::Format(format!(
+                "{} trailing bytes after final section",
+                r.remaining()
+            )));
+        }
+        if version >= 3 {
+            let expected = u32::from_le_bytes(data[body_end..].try_into().unwrap());
+            let actual = directory_crc(&data[..body_end], &payload_spans);
+            if actual != expected {
+                return Err(GuardError::Crc {
+                    section: "container".into(),
+                    expected,
+                    actual,
+                });
+            }
         }
         Ok(Self { version, sections })
     }

@@ -9,18 +9,34 @@ use apr_mesh::Vec3;
 
 /// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `data`.
 ///
-/// Table-driven, computed lazily once. This is the same checksum gzip/PNG
-/// use, so checkpoints can be cross-checked with standard tools.
+/// Table-driven (slicing-by-16), computed lazily once. This is the same
+/// checksum gzip/PNG use, so checkpoints can be cross-checked with
+/// standard tools. The 16-way sliced kernel processes 16 input bytes per
+/// iteration — the sealed halo-message path checksums every exchanged
+/// slab per step and buddy checkpoints checksum megabytes per rank, so
+/// this routine must run at memory-bandwidth-ish speed, not one table
+/// lookup per byte.
 pub fn crc32(data: &[u8]) -> u32 {
     crc32_update(0, data)
 }
 
-/// Continue a CRC32 from a previous value (for streaming over sections).
-pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+/// Minimal splitmix64 step — the deterministic generator behind the
+/// seeded fault/chaos schedules here and in `apr-parallel`. Kept
+/// dependency-free on purpose: a chaos run must be reproducible from the
+/// single logged seed on any build.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn crc_tables() -> &'static [[u32; 256]; 16] {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 16]> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 16];
+        for (i, entry) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -29,13 +45,44 @@ pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
                     c >> 1
                 };
             }
-            *e = c;
+            *entry = c;
+        }
+        for k in 1..16 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
-    });
+    })
+}
+
+/// Continue a CRC32 from a previous value (for streaming over sections).
+pub fn crc32_update(crc: u32, data: &[u8]) -> u32 {
+    let t = crc_tables();
     let mut c = !crc;
-    for &b in data {
-        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut chunks = data.chunks_exact(16);
+    for d in &mut chunks {
+        let lo = u32::from_le_bytes([d[0], d[1], d[2], d[3]]) ^ c;
+        c = t[15][(lo & 0xFF) as usize]
+            ^ t[14][((lo >> 8) & 0xFF) as usize]
+            ^ t[13][((lo >> 16) & 0xFF) as usize]
+            ^ t[12][((lo >> 24) & 0xFF) as usize]
+            ^ t[11][d[4] as usize]
+            ^ t[10][d[5] as usize]
+            ^ t[9][d[6] as usize]
+            ^ t[8][d[7] as usize]
+            ^ t[7][d[8] as usize]
+            ^ t[6][d[9] as usize]
+            ^ t[5][d[10] as usize]
+            ^ t[4][d[11] as usize]
+            ^ t[3][d[12] as usize]
+            ^ t[2][d[13] as usize]
+            ^ t[1][d[14] as usize]
+            ^ t[0][d[15] as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -55,6 +102,13 @@ impl ByteWriter {
     /// Finish, returning the accumulated bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Pre-size the buffer for `additional` more bytes — worthwhile before
+    /// multi-megabyte lattice dumps, where doubling reallocs would copy
+    /// the payload an extra time.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
     }
 
     /// Bytes written so far.
@@ -105,6 +159,18 @@ impl ByteWriter {
     /// Append a slice of f64s, length-prefixed.
     pub fn f64s(&mut self, vs: &[f64]) {
         self.usize(vs.len());
+        #[cfg(target_endian = "little")]
+        {
+            // The wire format is little-endian, so on LE hosts the
+            // in-memory layout already matches — one bulk copy instead of
+            // per-element encoding. This is the hot path for lattice
+            // checkpoints (megabytes of distributions per rank).
+            let bytes = unsafe {
+                std::slice::from_raw_parts(vs.as_ptr().cast::<u8>(), std::mem::size_of_val(vs))
+            };
+            self.buf.extend_from_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
         for &v in vs {
             self.f64(v);
         }
@@ -204,7 +270,21 @@ impl<'a> ByteReader<'a> {
     pub fn f64s(&mut self) -> Result<Vec<f64>, GuardError> {
         let n = self.usize()?;
         self.checked_len(n, 8)?;
-        (0..n).map(|_| self.f64()).collect()
+        let raw = self.bytes(n * 8)?;
+        #[cfg(target_endian = "little")]
+        {
+            // Mirror of the writer's bulk path: LE hosts can memcpy the
+            // wire bytes straight into the f64 buffer.
+            let mut out = vec![0.0f64; n];
+            unsafe {
+                std::ptr::copy_nonoverlapping(raw.as_ptr(), out.as_mut_ptr().cast::<u8>(), n * 8);
+            }
+            Ok(out)
+        }
+        #[cfg(not(target_endian = "little"))]
+        raw.chunks_exact(8)
+            .map(|c| Ok(f64::from_le_bytes(c.try_into().unwrap())))
+            .collect()
     }
 
     /// Read a [`Vec3`].
@@ -255,6 +335,33 @@ mod tests {
         let one = crc32(b"hello world");
         let two = crc32_update(crc32(b"hello "), b"world");
         assert_eq!(one, two);
+    }
+
+    #[test]
+    fn sliced_crc_matches_bytewise_reference_at_every_alignment() {
+        // Independent one-bit-at-a-time reference.
+        fn reference(data: &[u8]) -> u32 {
+            let mut c = !0u32;
+            for &b in data {
+                c ^= b as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+            }
+            !c
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+        // Streaming split at an odd offset equals one pass.
+        assert_eq!(crc32_update(crc32(&data[..13]), &data[13..]), crc32(&data));
     }
 
     #[test]

@@ -92,6 +92,24 @@ pub enum HealthIssue {
         /// The panic payload, when it carried a message.
         message: String,
     },
+    /// A halo exchange exhausted its resend budget and froze ghost values
+    /// instead of aborting: the affected rank is running on stale
+    /// neighbour data. Raised by the distributed resilience layer so the
+    /// sentinel/flight-recorder path fires even though no lattice
+    /// invariant has (yet) been violated.
+    HaloDegraded {
+        /// Rank whose ghost layer was frozen.
+        rank: usize,
+        /// Number of faces left stale in the incident.
+        frozen_faces: u32,
+    },
+    /// A rank died (panic, kill, or heartbeat stall) and was recovered —
+    /// or could not be. Recorded so campaign post-mortems list rank-level
+    /// incidents next to numerical ones.
+    RankLost {
+        /// The rank that went down.
+        rank: usize,
+    },
 }
 
 impl HealthIssue {
@@ -105,6 +123,8 @@ impl HealthIssue {
             HealthIssue::CellNonFinite { .. } => "cell_non_finite",
             HealthIssue::HematocritOutOfRange { .. } => "hematocrit_out_of_range",
             HealthIssue::StepPanicked { .. } => "step_panicked",
+            HealthIssue::HaloDegraded { .. } => "halo_degraded",
+            HealthIssue::RankLost { .. } => "rank_lost",
         }
     }
 }

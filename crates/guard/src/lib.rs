@@ -28,7 +28,7 @@ pub mod recovery;
 pub mod state;
 
 pub use checkpoint::{read_file, write_atomic, CheckpointReader, CheckpointWriter, FORMAT_VERSION};
-pub use codec::{crc32, ByteReader, ByteWriter};
+pub use codec::{crc32, splitmix64, ByteReader, ByteWriter};
 pub use error::GuardError;
 #[cfg(feature = "fault-injection")]
 pub use fault::{Fault, FaultKind, FaultPlan};

@@ -32,6 +32,10 @@ pub type MembraneProvider<'a> = &'a dyn Fn(CellKind) -> Option<Arc<Membrane>>;
 /// Serialize a lattice's complete fluid state.
 pub fn write_lattice(lat: &Lattice) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    // Distributions dominate; one exact-ish reservation avoids doubling
+    // reallocs copying megabytes of already-written payload.
+    let nodes = lat.node_count();
+    w.reserve(nodes * (Q + 8) * 8 + 256);
     w.usize(lat.nx);
     w.usize(lat.ny);
     w.usize(lat.nz);

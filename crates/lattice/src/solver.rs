@@ -374,6 +374,15 @@ impl Lattice {
         self.f[self.slot(node, i)]
     }
 
+    /// Overwrite one distribution `f_i` at `node` (storage parity is
+    /// handled internally). The partial-plane halo exchange uses this to
+    /// refresh only the populations that actually cross a slab face.
+    #[inline]
+    pub fn set_distribution(&mut self, node: usize, i: usize, value: f64) {
+        let s = self.slot(node, i);
+        self.f[s] = value;
+    }
+
     /// All 19 distributions at `node`, in direction order.
     ///
     /// # Panics

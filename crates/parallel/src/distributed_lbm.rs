@@ -9,6 +9,7 @@
 //! global lattice — the equivalence test at the bottom is the proof the
 //! halo protocol carries the physics.
 
+use crate::envelope::HaloError;
 use apr_lattice::{Lattice, SubStep, Q};
 
 /// A z-slab decomposition of a global lattice into task-local lattices.
@@ -92,46 +93,61 @@ impl SlabLattice {
         self.locals.len()
     }
 
-    fn exchange_ghosts(&mut self) {
+    /// Does task `t` carry a low-side (plane 0) ghost layer?
+    pub(crate) fn ghost_lo(&self, t: usize) -> usize {
+        usize::from(self.task_count() > 1 && (t > 0 || self.periodic_z))
+    }
+
+    /// Does task `t` carry a high-side (plane `nz-1`) ghost layer?
+    pub(crate) fn ghost_hi(&self, t: usize) -> usize {
+        let tasks = self.task_count();
+        usize::from(tasks > 1 && (t + 1 < tasks || self.periodic_z))
+    }
+
+    fn exchange_ghosts(&mut self) -> Result<(), HaloError> {
         let tasks = self.task_count();
         if tasks == 1 {
-            return;
+            return Ok(());
         }
         // Gather owned boundary planes (post-collision).
-        let ghost_lo = |t: usize| usize::from(t > 0 || self.periodic_z);
-        let ghost_hi = |t: usize| usize::from(t + 1 < tasks || self.periodic_z);
         let mut low_planes = Vec::with_capacity(tasks);
         let mut high_planes = Vec::with_capacity(tasks);
         for (t, local) in self.locals.iter().enumerate() {
-            low_planes.push(extract_plane(local, ghost_lo(t)));
-            high_planes.push(extract_plane(local, local.nz - 1 - ghost_hi(t)));
+            low_planes.push(extract_plane(local, self.ghost_lo(t)));
+            high_planes.push(extract_plane(local, local.nz - 1 - self.ghost_hi(t)));
         }
         for t in 0..tasks {
             // Fill my low ghost (plane 0) from the previous task's high
             // boundary, my high ghost from the next task's low boundary.
             let prev = (t + tasks - 1) % tasks;
             let next = (t + 1) % tasks;
-            if ghost_lo(t) == 1 {
+            if self.ghost_lo(t) == 1 {
                 let plane = high_planes[prev].clone();
-                insert_plane(&mut self.locals[t], 0, &plane);
+                insert_plane(&mut self.locals[t], 0, &plane)?;
             }
-            if ghost_hi(t) == 1 {
+            if self.ghost_hi(t) == 1 {
                 let plane = low_planes[next].clone();
                 let z = self.locals[t].nz - 1;
-                insert_plane(&mut self.locals[t], z, &plane);
+                insert_plane(&mut self.locals[t], z, &plane)?;
             }
         }
+        Ok(())
     }
 
     /// Advance one global step: collide everywhere, exchange ghosts, stream.
-    pub fn step(&mut self) {
+    ///
+    /// An `Err` indicates a malformed ghost plane (wrong size for the
+    /// slab geometry) — a protocol bug surfaced as a typed error rather
+    /// than a panic mid-step.
+    pub fn step(&mut self) -> Result<(), HaloError> {
         for local in &mut self.locals {
             local.advance(SubStep::Collide);
         }
-        self.exchange_ghosts();
+        self.exchange_ghosts()?;
         for local in &mut self.locals {
             local.advance(SubStep::Stream);
         }
+        Ok(())
     }
 
     /// Gather the distributed state back into a global-shaped lattice
@@ -163,7 +179,7 @@ impl SlabLattice {
     }
 }
 
-fn extract_plane(lat: &Lattice, z: usize) -> Vec<f64> {
+pub(crate) fn extract_plane(lat: &Lattice, z: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(lat.nx * lat.ny * Q);
     for y in 0..lat.ny {
         for x in 0..lat.nx {
@@ -173,16 +189,30 @@ fn extract_plane(lat: &Lattice, z: usize) -> Vec<f64> {
     out
 }
 
-fn insert_plane(lat: &mut Lattice, z: usize, plane: &[f64]) {
+pub(crate) fn insert_plane(lat: &mut Lattice, z: usize, plane: &[f64]) -> Result<(), HaloError> {
+    let expected = lat.nx * lat.ny * Q;
+    if plane.len() != expected {
+        return Err(HaloError::SizeMismatch {
+            link: crate::envelope::LinkId {
+                src: u32::MAX,
+                dst: u32::MAX,
+                tag: z.min(u8::MAX as usize) as u8,
+            },
+            expected,
+            got: plane.len(),
+        });
+    }
     let mut it = plane.chunks_exact(Q);
     for y in 0..lat.ny {
         for x in 0..lat.nx {
             let mut fs = [0.0; Q];
-            fs.copy_from_slice(it.next().expect("plane size"));
+            // Length was validated above; chunks_exact cannot run short.
+            fs.copy_from_slice(it.next().unwrap());
             let node = lat.idx(x, y, z);
             lat.set_distributions(node, &fs);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -230,7 +260,7 @@ mod tests {
         let mut slabs = SlabLattice::split(&reference, 2);
         for _ in 0..60 {
             reference.step();
-            slabs.step();
+            slabs.step().unwrap();
         }
         let gathered = slabs.gather(&reference);
         assert_states_match(&reference, &gathered, 1e-13);
@@ -242,7 +272,7 @@ mod tests {
         let mut slabs = SlabLattice::split(&reference, 4);
         for _ in 0..60 {
             reference.step();
-            slabs.step();
+            slabs.step().unwrap();
         }
         let gathered = slabs.gather(&reference);
         assert_states_match(&reference, &gathered, 1e-13);
@@ -254,7 +284,7 @@ mod tests {
         let mut slabs = SlabLattice::split(&reference, 1);
         for _ in 0..30 {
             reference.step();
-            slabs.step();
+            slabs.step().unwrap();
         }
         let gathered = slabs.gather(&reference);
         assert_states_match(&reference, &gathered, 1e-14);
@@ -286,7 +316,7 @@ mod tests {
         let mut slabs = SlabLattice::split(&reference, 3);
         for _ in 0..40 {
             reference.step();
-            slabs.step();
+            slabs.step().unwrap();
         }
         let gathered = slabs.gather(&reference);
         assert_states_match(&reference, &gathered, 1e-13);

@@ -1,4 +1,5 @@
-//! Halo exchange between block tasks.
+//! Halo exchange between block tasks, with sealed messages and
+//! NACK-driven resend.
 //!
 //! A shared-memory stand-in for the paper's MPI halo exchange (§2.4.5,
 //! "Reducing Cell Communication"): each task owns a scalar field over its
@@ -7,14 +8,48 @@
 //! the apr-exec worker pool and hand off slabs over crossbeam channels, so
 //! the communication structure (who sends what to whom, message sizes)
 //! matches the distributed original even though transport is memcpy-speed.
+//!
+//! Resilience: every slab travels as a [`SealedSlab`] (exchange epoch +
+//! sequence number + CRC32). Receivers validate before unpacking; a slab
+//! that is missing, corrupt, or mis-epoched produces a [`Nack`] back to
+//! the sender, which resends from its retained send buffer — with
+//! exponential backoff — up to [`HaloConfig::max_resends`] times. Only
+//! when the budget is exhausted (or the peer is dead) does the ghost
+//! layer *freeze* at its previous contents, and that degradation is
+//! reported in the [`ExchangeReport`] instead of panicking.
 
 use crate::decomp::BlockDecomposition;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::envelope::{HaloError, LinkId, Nack, SealedSlab};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::HashMap;
+use std::time::Duration;
 
-/// Per-task halo endpoints, keyed by face `(axis, direction)`.
-type FaceSenders = HashMap<(usize, i64), Sender<Vec<f64>>>;
-type FaceReceivers = HashMap<(usize, i64), Receiver<Vec<f64>>>;
+/// A face key: `(axis, direction)` with direction `+1` or `-1`.
+type Face = (usize, i64);
+
+/// Stable link tag for a receiver-side face.
+fn face_tag(face: Face) -> u8 {
+    (face.0 as u8) * 2 + u8::from(face.1 > 0)
+}
+
+/// Sender-side endpoint for one face: where the slab goes and how the
+/// receiver names the link.
+struct SendPort {
+    tx: Sender<SealedSlab>,
+    /// Receiving task.
+    dst: usize,
+    /// The face the receiver sees the slab arrive on.
+    recv_face: Face,
+}
+
+/// Receiver-side endpoint for one face.
+struct RecvPort {
+    rx: Receiver<SealedSlab>,
+    /// Sending task.
+    src: usize,
+    /// NACK path back to the sender's queue.
+    nack: Sender<Nack>,
+}
 
 /// A task-local field: the owned block plus a 1-layer ghost shell.
 #[derive(Debug, Clone)]
@@ -56,6 +91,12 @@ impl GhostField {
         self.data[i] = v;
     }
 
+    /// Values one face slab carries.
+    pub fn face_len(&self, axis: usize) -> usize {
+        let (a1, a2) = ((axis + 1) % 3, (axis + 2) % 3);
+        self.extent[a1] * self.extent[a2]
+    }
+
     /// Extract the boundary slab facing direction `(axis, +1/−1)`.
     pub fn boundary_slab(&self, axis: usize, dir: i64) -> Vec<f64> {
         let e = self.extent;
@@ -93,25 +134,97 @@ impl GhostField {
     }
 }
 
+/// Tunables for the sealed exchange protocol.
+#[derive(Debug, Clone)]
+pub struct HaloConfig {
+    /// Resend attempts per exchange before a ghost layer freezes.
+    pub max_resends: u32,
+    /// How long a receiver waits for a slab that has not arrived.
+    pub recv_timeout: Duration,
+    /// Backoff before the first resend re-receive; doubles per attempt.
+    pub backoff_base: Duration,
+}
+
+impl Default for HaloConfig {
+    fn default() -> Self {
+        Self {
+            max_resends: 3,
+            recv_timeout: Duration::from_micros(200),
+            backoff_base: Duration::from_micros(20),
+        }
+    }
+}
+
+/// What one [`HaloExchanger::exchange`] did, including every degradation.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeReport {
+    /// Payload bytes moved (first sends only; resends not double-counted).
+    pub bytes: usize,
+    /// Heal rounds run (0 when every slab validated first try).
+    pub retries: u32,
+    /// Messages resent from retained buffers.
+    pub resends: u32,
+    /// Slabs that failed CRC validation.
+    pub corrupt_detected: u32,
+    /// Receives that timed out at least once.
+    pub timeouts: u32,
+    /// Ghost layers frozen at stale contents after the resend budget.
+    pub frozen_faces: u32,
+    /// Per-face degradations that survived healing: `(task, error)`.
+    pub degraded: Vec<(usize, HaloError)>,
+}
+
+impl ExchangeReport {
+    /// True when every ghost layer was filled from a validated slab.
+    pub fn fully_healthy(&self) -> bool {
+        self.frozen_faces == 0 && self.degraded.is_empty()
+    }
+}
+
 /// Message routing for one decomposition's halo exchange.
 pub struct HaloExchanger {
-    senders: Vec<FaceSenders>,
-    receivers: Vec<FaceReceivers>,
+    senders: Vec<HashMap<Face, SendPort>>,
+    receivers: Vec<HashMap<Face, RecvPort>>,
+    nack_rx: Vec<Receiver<Nack>>,
+    /// Last sealed slab per sender face, kept for NACK-driven resend.
+    retained: Vec<HashMap<Face, SealedSlab>>,
+    /// Tasks known dead; their faces freeze instead of blocking.
+    dead: Vec<bool>,
+    /// Protocol tunables.
+    pub config: HaloConfig,
     /// Bytes moved in the last exchange (diagnostics for the perf model).
     pub last_exchange_bytes: usize,
     exchanges: u64,
     #[cfg(feature = "fault-injection")]
-    drop_plan: Vec<(u64, usize)>,
+    chaos: crate::chaos::ChaosPlan,
     #[cfg(feature = "fault-injection")]
-    starved_receives: std::sync::atomic::AtomicUsize,
+    delayed: Vec<(usize, Face, SealedSlab)>,
 }
 
 impl HaloExchanger {
     /// Build channels for every interior face of `decomp`.
     pub fn new(decomp: &BlockDecomposition) -> Self {
+        Self::with_config(decomp, HaloConfig::default())
+    }
+
+    /// Build with explicit protocol tunables.
+    pub fn with_config(decomp: &BlockDecomposition, config: HaloConfig) -> Self {
         let t = decomp.task_count();
-        let mut senders: Vec<FaceSenders> = (0..t).map(|_| HashMap::new()).collect();
-        let mut receivers: Vec<FaceReceivers> = (0..t).map(|_| HashMap::new()).collect();
+        let mut senders: Vec<HashMap<Face, SendPort>> = (0..t).map(|_| HashMap::new()).collect();
+        let mut receivers: Vec<HashMap<Face, RecvPort>> = (0..t).map(|_| HashMap::new()).collect();
+        let nack_ports: Vec<(Sender<Nack>, Receiver<Nack>)> = (0..t).map(|_| unbounded()).collect();
+        let mut link = |src: usize, send_face: Face, dst: usize, recv_face: Face| {
+            let (tx, rx) = unbounded();
+            senders[src].insert(send_face, SendPort { tx, dst, recv_face });
+            receivers[dst].insert(
+                recv_face,
+                RecvPort {
+                    rx,
+                    src,
+                    nack: nack_ports[src].0.clone(),
+                },
+            );
+        };
         for task in 0..t {
             let k = decomp.grid_coords(task);
             for axis in 0..3 {
@@ -120,24 +233,24 @@ impl HaloExchanger {
                     kk[axis] += 1;
                     let nb = decomp.task_at(kk);
                     // task → nb (positive face) and nb → task (negative).
-                    let (s1, r1) = unbounded();
-                    senders[task].insert((axis, 1), s1);
-                    receivers[nb].insert((axis, -1), r1);
-                    let (s2, r2) = unbounded();
-                    senders[nb].insert((axis, -1), s2);
-                    receivers[task].insert((axis, 1), r2);
+                    link(task, (axis, 1), nb, (axis, -1));
+                    link(nb, (axis, -1), task, (axis, 1));
                 }
             }
         }
         Self {
             senders,
             receivers,
+            nack_rx: nack_ports.into_iter().map(|(_, rx)| rx).collect(),
+            retained: (0..t).map(|_| HashMap::new()).collect(),
+            dead: vec![false; t],
+            config,
             last_exchange_bytes: 0,
             exchanges: 0,
             #[cfg(feature = "fault-injection")]
-            drop_plan: Vec::new(),
+            chaos: crate::chaos::ChaosPlan::new(),
             #[cfg(feature = "fault-injection")]
-            starved_receives: std::sync::atomic::AtomicUsize::new(0),
+            delayed: Vec::new(),
         }
     }
 
@@ -146,21 +259,35 @@ impl HaloExchanger {
         self.exchanges
     }
 
-    /// Schedule every send from `task` to be silently dropped during the
-    /// `exchange`-th exchange (0-based). One-shot: the entry is consumed
-    /// when it fires, so a retried exchange proceeds clean — models a
-    /// transiently lost MPI message.
-    #[cfg(feature = "fault-injection")]
-    pub fn schedule_halo_drop(&mut self, exchange: u64, task: usize) {
-        self.drop_plan.push((exchange, task));
+    /// Mark `task` dead: it stops sending and receiving, and its
+    /// neighbours' facing ghost layers freeze (reported as
+    /// [`HaloError::PeerDead`]) instead of blocking on it.
+    pub fn mark_peer_dead(&mut self, task: usize) {
+        self.dead[task] = true;
     }
 
-    /// Receives starved by dropped sends so far (the affected ghost slab
-    /// keeps its previous, stale contents).
+    /// Is `task` marked dead?
+    pub fn is_dead(&self, task: usize) -> bool {
+        self.dead[task]
+    }
+
+    /// Schedule message-level chaos for this exchanger (drop / corrupt /
+    /// delay every send from `task` during exchange round `round`).
+    /// One-shot, like all chaos events.
     #[cfg(feature = "fault-injection")]
-    pub fn starved_receives(&self) -> usize {
-        self.starved_receives
-            .load(std::sync::atomic::Ordering::Relaxed)
+    pub fn schedule_message_fault(
+        &mut self,
+        round: u64,
+        task: usize,
+        fault: crate::chaos::MsgFault,
+    ) {
+        self.chaos.message_fault(round, task, fault);
+    }
+
+    /// Back-compat shorthand for a scheduled drop.
+    #[cfg(feature = "fault-injection")]
+    pub fn schedule_halo_drop(&mut self, exchange: u64, task: usize) {
+        self.schedule_message_fault(exchange, task, crate::chaos::MsgFault::Drop);
     }
 
     /// Exchange all face halos: every field sends its boundary slabs and
@@ -168,41 +295,39 @@ impl HaloExchanger {
     /// (one chunk per task, so chunk layout — and hence per-task work
     /// assignment — is identical for every thread count).
     ///
-    /// Two-phase protocol: **all** sends complete before **any** task
-    /// receives. Interleaving them inside a single parallel pass can
-    /// deadlock when the worker pool is smaller than the task count (every
-    /// worker blocks on a `recv` whose sender task has not been scheduled) —
-    /// the same reason MPI codes pre-post their halo sends.
-    pub fn exchange(&mut self, fields: &mut [GhostField]) {
+    /// Three-phase protocol: **all** sends are posted before **any** task
+    /// receives (interleaving them inside a single parallel pass can
+    /// deadlock when the worker pool is smaller than the task count — the
+    /// same reason MPI codes pre-post their halo sends); then every task
+    /// validates its incoming slabs in parallel; then a serial heal phase
+    /// drains NACKs and resends from retained buffers until everything is
+    /// delivered or the budget runs out.
+    ///
+    /// Never panics on transport failure: missing/corrupt slabs degrade
+    /// to frozen ghosts recorded in the returned [`ExchangeReport`]. An
+    /// `Err` is only returned for caller-level protocol misuse.
+    pub fn exchange(&mut self, fields: &mut [GhostField]) -> Result<ExchangeReport, HaloError> {
         let pool = apr_exec::current();
-        assert_eq!(
-            fields.len(),
-            self.senders.len(),
-            "field/task count mismatch"
-        );
+        if fields.len() != self.senders.len() {
+            return Err(HaloError::Protocol(format!(
+                "{} fields for {} tasks",
+                fields.len(),
+                self.senders.len()
+            )));
+        }
+        let tasks = fields.len();
+        let epoch = self.exchanges;
+        let mut report = ExchangeReport::default();
         #[cfg(feature = "fault-injection")]
-        let muted: Vec<usize> = {
-            let round = self.exchanges;
-            let mut muted = Vec::new();
-            self.drop_plan.retain(|&(ex, task)| {
-                if ex == round {
-                    muted.push(task);
-                    false
-                } else {
-                    true
-                }
-            });
-            muted
-        };
-        let senders = &self.senders;
-        let receivers = &self.receivers;
+        let msg_faults = self.chaos.take_message_faults_due(epoch);
+
         // Per-task (rank) busy-time slots: each task is one chunk, so each
         // slot is written by exactly one lane per phase. This is the
         // shared-memory analogue of the paper's per-rank communication
         // timing — it surfaces which block dominates the exchange.
         let timing = apr_telemetry::is_enabled();
         let rank_ns: Vec<std::sync::atomic::AtomicU64> = if timing {
-            (0..fields.len())
+            (0..tasks)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect()
         } else {
@@ -218,84 +343,309 @@ impl HaloExchanger {
             }
             drop(span); // rank times must land before the span closes
         };
-        // Phase 1: post every send (unbounded channels never block).
+
+        // Phase 1a (parallel): seal every outgoing slab — boundary
+        // extraction plus CRC32 are the per-rank pack cost.
         let pack_span = apr_telemetry::span("halo.pack_send");
-        let shared = &fields[..];
-        let bytes: usize = pool
-            .par_map_reduce(
-                shared.len(),
-                1,
-                |task, _range| {
-                    let t0 = timing.then(std::time::Instant::now);
-                    #[cfg(feature = "fault-injection")]
-                    if muted.contains(&task) {
-                        return 0;
-                    }
+        let mut sealed: Vec<Vec<(Face, SealedSlab)>> = vec![Vec::new(); tasks];
+        {
+            let shared = &fields[..];
+            let senders = &self.senders;
+            let dead = &self.dead;
+            pool.par_for_chunks_mut(&mut sealed, 1, |task, part| {
+                let t0 = timing.then(std::time::Instant::now);
+                if !dead[task] {
                     let field = &shared[task];
-                    let mut sent = 0;
-                    for (&(axis, dir), tx) in &senders[task] {
-                        let slab = field.boundary_slab(axis, dir);
-                        sent += slab.len() * std::mem::size_of::<f64>();
-                        tx.send(slab).expect("halo receiver dropped");
+                    let mut out = Vec::with_capacity(senders[task].len());
+                    for (&face, port) in &senders[task] {
+                        let slab = field.boundary_slab(face.0, face.1);
+                        let link = LinkId {
+                            src: task as u32,
+                            dst: port.dst as u32,
+                            tag: face_tag(port.recv_face),
+                        };
+                        out.push((face, SealedSlab::seal(link, epoch, epoch, slab)));
                     }
-                    if let Some(t0) = t0 {
-                        rank_ns[task].store(
-                            t0.elapsed().as_nanos() as u64,
-                            std::sync::atomic::Ordering::Relaxed,
-                        );
-                    }
-                    sent
-                },
-                |a, b| a + b,
-            )
-            .unwrap_or(0);
-        record_ranks(pack_span);
-        // Phase 2: drain; every surviving message is already queued, so a
-        // non-blocking receive is exact — an empty channel can only mean
-        // the paired send was dropped, and the ghost slab stays stale.
-        let unpack_span = apr_telemetry::span("halo.recv_unpack");
-        #[cfg(feature = "fault-injection")]
-        let starved_before = self.starved_receives();
-        #[cfg(feature = "fault-injection")]
-        let starved = &self.starved_receives;
-        pool.par_for_chunks_mut(fields, 1, |task, part| {
-            let t0 = timing.then(std::time::Instant::now);
-            let field = &mut part[0];
-            for (&(axis, dir), rx) in &receivers[task] {
+                    part[0] = out;
+                }
+                if let Some(t0) = t0 {
+                    rank_ns[task].store(
+                        t0.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
+            });
+        }
+        // Phase 1b (serial): retain + inject faults + post sends. Channel
+        // pushes are cheap; the heavy sealing already happened in parallel.
+        for (task, out) in sealed.into_iter().enumerate() {
+            #[cfg(feature = "fault-injection")]
+            let fault = msg_faults
+                .iter()
+                .find(|&&(rank, _)| rank == task)
+                .map(|&(_, f)| f);
+            for (face, slab) in out {
+                // A dead receiver never drains its queue; don't feed it.
+                if self.dead[self.senders[task][&face].dst] {
+                    continue;
+                }
+                report.bytes += slab.byte_len();
+                self.retained[task].insert(face, slab.clone());
                 #[cfg(feature = "fault-injection")]
-                {
-                    match rx.try_recv() {
-                        Ok(slab) => field.fill_ghost_slab(axis, dir, &slab),
-                        Err(_) => {
-                            starved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                match fault {
+                    Some(crate::chaos::MsgFault::Drop) => continue,
+                    Some(crate::chaos::MsgFault::Delay) => {
+                        self.delayed.push((task, face, slab));
+                        continue;
+                    }
+                    Some(crate::chaos::MsgFault::Corrupt) => {
+                        let mut bad = slab;
+                        bad.corrupt_in_place();
+                        let _ = self.senders[task][&face].tx.send(bad);
+                        continue;
+                    }
+                    None => {}
+                }
+                let _ = self.senders[task][&face].tx.send(slab);
+            }
+        }
+        record_ranks(pack_span);
+
+        // Phase 2 (parallel): validate + unpack. Every posted slab is
+        // already queued, so the bounded receive only actually waits for
+        // slabs that never arrived (dropped, delayed, or peer-dead).
+        let unpack_span = apr_telemetry::span("halo.recv_unpack");
+        let fail_slots: Vec<std::sync::Mutex<Vec<(Face, HaloError)>>> = (0..tasks)
+            .map(|_| std::sync::Mutex::new(Vec::new()))
+            .collect();
+        {
+            let receivers = &self.receivers;
+            let dead = &self.dead;
+            let cfg = &self.config;
+            pool.par_for_chunks_mut(fields, 1, |task, part| {
+                let t0 = timing.then(std::time::Instant::now);
+                let field = &mut part[0];
+                let mut failures = Vec::new();
+                if !dead[task] {
+                    for (&face, port) in &receivers[task] {
+                        match receive_validated(port, face, task, field, epoch, cfg, dead) {
+                            Ok(()) => {}
+                            Err(err) => {
+                                // NACK the sender unless it is dead (a dead
+                                // peer cannot resend; freeze immediately).
+                                if !matches!(err, HaloError::PeerDead { .. }) {
+                                    let _ = port.nack.send(Nack {
+                                        link: LinkId {
+                                            src: port.src as u32,
+                                            dst: task as u32,
+                                            tag: face_tag(face),
+                                        },
+                                        epoch,
+                                        reason: err_reason(&err),
+                                    });
+                                }
+                                failures.push((face, err));
+                            }
                         }
                     }
                 }
-                #[cfg(not(feature = "fault-injection"))]
-                {
-                    let slab = rx.recv().expect("halo sender dropped");
-                    field.fill_ghost_slab(axis, dir, &slab);
+                if !failures.is_empty() {
+                    *fail_slots[task].lock().unwrap() = failures;
+                }
+                if let Some(t0) = t0 {
+                    rank_ns[task].store(
+                        t0.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                }
+            });
+        }
+        record_ranks(unpack_span);
+
+        // Phase 3 (serial): NACK-driven heal with exponential backoff.
+        let mut failures: Vec<(usize, Face, HaloError)> = Vec::new();
+        for (task, slot) in fail_slots.iter().enumerate() {
+            for (face, err) in slot.lock().unwrap().drain(..) {
+                match err {
+                    HaloError::Corrupt { .. } => report.corrupt_detected += 1,
+                    HaloError::Timeout { .. } => report.timeouts += 1,
+                    _ => {}
+                }
+                failures.push((task, face, err));
+            }
+        }
+        let mut attempt = 0u32;
+        while !failures.is_empty() && attempt < self.config.max_resends {
+            attempt += 1;
+            // Drain NACK queues and resend from retained buffers (a
+            // delayed message finally leaves its stash here).
+            let mut resent = 0u32;
+            for src in 0..tasks {
+                while let Ok(nack) = self.nack_rx[src].try_recv() {
+                    if self.dead[src] || nack.epoch != epoch {
+                        continue;
+                    }
+                    #[cfg(feature = "fault-injection")]
+                    if let Some(pos) = self
+                        .delayed
+                        .iter()
+                        .position(|(t, _, slab)| *t == src && slab.link == nack.link)
+                    {
+                        let (_, face, slab) = self.delayed.remove(pos);
+                        let _ = self.senders[src][&face].tx.send(slab);
+                        resent += 1;
+                        continue;
+                    }
+                    if let Some((face, slab)) = self.retained[src]
+                        .iter()
+                        .find(|(_, slab)| slab.link == nack.link)
+                        .map(|(&face, slab)| (face, slab.clone()))
+                    {
+                        let _ = self.senders[src][&face].tx.send(slab);
+                        resent += 1;
+                    }
                 }
             }
-            if let Some(t0) = t0 {
-                rank_ns[task].store(
-                    t0.elapsed().as_nanos() as u64,
-                    std::sync::atomic::Ordering::Relaxed,
-                );
+            report.resends += resent;
+            apr_telemetry::counter_add("halo.resends", resent as u64);
+            apr_telemetry::emit(apr_telemetry::TelemetryEvent::HaloResend {
+                round: epoch,
+                attempt,
+                messages: resent,
+            });
+            if resent > 0 {
+                // Exponential backoff: transient congestion clears faster
+                // than repeated immediate retries would.
+                std::thread::sleep(self.config.backoff_base * (1 << (attempt - 1).min(10)));
             }
-        });
-        record_ranks(unpack_span);
-        self.last_exchange_bytes = bytes;
-        apr_telemetry::counter_add("halo.bytes", bytes as u64);
+            // Re-receive the failed faces (serial: fields borrow is ours).
+            let cfg = &self.config;
+            let mut still_failed = Vec::with_capacity(failures.len());
+            for (task, face, err) in failures {
+                if matches!(err, HaloError::PeerDead { .. }) || self.dead[task] {
+                    still_failed.push((task, face, err));
+                    continue;
+                }
+                let port = &self.receivers[task][&face];
+                match receive_validated(port, face, task, &mut fields[task], epoch, cfg, &self.dead)
+                {
+                    Ok(()) => {}
+                    Err(new_err) => {
+                        if matches!(new_err, HaloError::Corrupt { .. }) {
+                            report.corrupt_detected += 1;
+                        }
+                        if !matches!(new_err, HaloError::PeerDead { .. }) {
+                            let _ = port.nack.send(Nack {
+                                link: LinkId {
+                                    src: port.src as u32,
+                                    dst: task as u32,
+                                    tag: face_tag(face),
+                                },
+                                epoch,
+                                reason: err_reason(&new_err),
+                            });
+                        }
+                        still_failed.push((task, face, new_err));
+                    }
+                }
+            }
+            failures = still_failed;
+        }
+        report.retries = attempt;
+        apr_telemetry::counter_add("halo.retries", attempt as u64);
+
+        // Graceful degradation: whatever could not be healed freezes at
+        // the previous ghost contents — never a panic, never a deadlock.
+        for (task, face, err) in failures {
+            report.frozen_faces += 1;
+            let degraded = match err {
+                HaloError::PeerDead { .. } => err,
+                _ => HaloError::ResendsExhausted {
+                    link: LinkId {
+                        src: self.receivers[task][&face].src as u32,
+                        dst: task as u32,
+                        tag: face_tag(face),
+                    },
+                    attempts: self.config.max_resends,
+                },
+            };
+            report.degraded.push((task, degraded));
+        }
+        apr_telemetry::counter_add("halo.frozen_ghosts", report.frozen_faces as u64);
+        if report.corrupt_detected > 0 {
+            apr_telemetry::counter_add("halo.corrupt_detected", report.corrupt_detected as u64);
+        }
+
+        self.last_exchange_bytes = report.bytes;
+        apr_telemetry::counter_add("halo.bytes", report.bytes as u64);
         apr_telemetry::emit(apr_telemetry::TelemetryEvent::HaloExchange {
-            round: self.exchanges,
-            bytes: bytes as u64,
-            #[cfg(feature = "fault-injection")]
-            starved: (self.starved_receives() - starved_before) as u32,
-            #[cfg(not(feature = "fault-injection"))]
-            starved: 0,
+            round: epoch,
+            bytes: report.bytes as u64,
+            starved: report.frozen_faces,
         });
         self.exchanges += 1;
+        Ok(report)
+    }
+}
+
+fn err_reason(err: &HaloError) -> &'static str {
+    match err {
+        HaloError::Timeout { .. } => "timeout",
+        HaloError::Corrupt { .. } => "corrupt",
+        HaloError::Reordered { .. } => "reordered",
+        HaloError::SizeMismatch { .. } => "size_mismatch",
+        HaloError::PeerDead { .. } => "peer_dead",
+        HaloError::ResendsExhausted { .. } => "exhausted",
+        HaloError::Protocol(_) => "protocol",
+    }
+}
+
+/// Receive one face's slab with a bounded wait, validate the seal, and
+/// unpack into the ghost layer. Stale-epoch slabs (late resends from a
+/// previous round) are discarded and the receive retried.
+fn receive_validated(
+    port: &RecvPort,
+    face: Face,
+    task: usize,
+    field: &mut GhostField,
+    epoch: u64,
+    cfg: &HaloConfig,
+    dead: &[bool],
+) -> Result<(), HaloError> {
+    if dead[port.src] {
+        return Err(HaloError::PeerDead { rank: port.src });
+    }
+    let expected_len = field.face_len(face.0);
+    loop {
+        let slab = match port.rx.try_recv() {
+            Ok(slab) => slab,
+            Err(TryRecvError::Empty) => match port.rx.recv_timeout(cfg.recv_timeout) {
+                Ok(slab) => slab,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(HaloError::Timeout {
+                        link: LinkId {
+                            src: port.src as u32,
+                            dst: task as u32,
+                            tag: face_tag(face),
+                        },
+                    })
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(HaloError::PeerDead { rank: port.src })
+                }
+            },
+            Err(TryRecvError::Disconnected) => return Err(HaloError::PeerDead { rank: port.src }),
+        };
+        match slab.verify(epoch, expected_len) {
+            Ok(()) => {
+                field.fill_ghost_slab(face.0, face.1, &slab.payload);
+                return Ok(());
+            }
+            // A slab from an earlier epoch is a late duplicate: discard
+            // it and keep waiting for this round's message.
+            Err(HaloError::Reordered { got_epoch, .. }) if got_epoch < epoch => continue,
+            Err(err) => return Err(err),
+        }
     }
 }
 
@@ -309,7 +659,7 @@ mod tests {
         ex: &mut HaloExchanger,
         fields: &mut [GhostField],
     ) {
-        ex.exchange(fields);
+        ex.exchange(fields).unwrap();
         for (t, field) in fields.iter_mut().enumerate() {
             let e = field.extent;
             let k = decomp.grid_coords(t);
@@ -402,6 +752,25 @@ mod tests {
         }
     }
 
+    fn marked_fields(decomp: &BlockDecomposition) -> Vec<GhostField> {
+        let mut fields: Vec<GhostField> = decomp
+            .blocks
+            .iter()
+            .map(|b| GhostField::new(b.extent()))
+            .collect();
+        // Mark each task's owned cells with its task id.
+        for (t, f) in fields.iter_mut().enumerate() {
+            for z in 0..f.extent[2] as i64 {
+                for y in 0..f.extent[1] as i64 {
+                    for x in 0..f.extent[0] as i64 {
+                        f.set(x, y, z, t as f64 + 1.0);
+                    }
+                }
+            }
+        }
+        fields
+    }
+
     #[test]
     fn distributed_jacobi_matches_serial() {
         let dims = [12, 10, 8];
@@ -423,7 +792,7 @@ mod tests {
     }
 
     #[test]
-    fn exchange_reports_traffic() {
+    fn exchange_reports_traffic_and_health() {
         let decomp = BlockDecomposition::new([8, 8, 8], 8);
         let mut fields: Vec<GhostField> = decomp
             .blocks
@@ -431,69 +800,126 @@ mod tests {
             .map(|b| GhostField::new(b.extent()))
             .collect();
         let mut ex = HaloExchanger::new(&decomp);
-        ex.exchange(&mut fields);
+        let report = ex.exchange(&mut fields).unwrap();
         // 2×2×2 grid of 4³ blocks: each block sends 3 faces of 16 values.
         let expected = 8 * 3 * 16 * std::mem::size_of::<f64>();
+        assert_eq!(report.bytes, expected);
         assert_eq!(ex.last_exchange_bytes, expected);
+        assert!(report.fully_healthy());
+        assert_eq!(report.retries, 0, "clean exchange must not retry");
+        assert_eq!(report.resends, 0);
     }
 
     #[test]
     fn ghost_values_match_neighbor_boundaries() {
         let decomp = BlockDecomposition::new([4, 2, 2], 2);
-        let mut fields: Vec<GhostField> = decomp
-            .blocks
-            .iter()
-            .map(|b| GhostField::new(b.extent()))
-            .collect();
-        // Mark each task's owned cells with its task id.
-        for (t, f) in fields.iter_mut().enumerate() {
-            for z in 0..f.extent[2] as i64 {
-                for y in 0..f.extent[1] as i64 {
-                    for x in 0..f.extent[0] as i64 {
-                        f.set(x, y, z, t as f64 + 1.0);
-                    }
-                }
-            }
-        }
+        let mut fields = marked_fields(&decomp);
         let mut ex = HaloExchanger::new(&decomp);
-        ex.exchange(&mut fields);
+        ex.exchange(&mut fields).unwrap();
         // Task 0's +x ghost layer must now hold task 1's id.
         assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
         // Task 1's −x ghost layer holds task 0's id.
         assert_eq!(fields[1].get(-1, 0, 0), 1.0);
     }
 
-    #[cfg(feature = "fault-injection")]
     #[test]
-    fn dropped_halo_leaves_ghosts_stale_then_recovers() {
+    fn dead_peer_freezes_ghosts_without_panicking() {
         let decomp = BlockDecomposition::new([4, 2, 2], 2);
-        let mut fields: Vec<GhostField> = decomp
-            .blocks
-            .iter()
-            .map(|b| GhostField::new(b.extent()))
-            .collect();
-        for (t, f) in fields.iter_mut().enumerate() {
-            for z in 0..f.extent[2] as i64 {
-                for y in 0..f.extent[1] as i64 {
-                    for x in 0..f.extent[0] as i64 {
-                        f.set(x, y, z, t as f64 + 1.0);
-                    }
-                }
-            }
-        }
+        let mut fields = marked_fields(&decomp);
         let mut ex = HaloExchanger::new(&decomp);
-        // Task 1 loses all its sends during the first exchange.
-        ex.schedule_halo_drop(0, 1);
-        ex.exchange(&mut fields);
-        // Task 0's +x ghost was starved: still the initial zero.
+        ex.mark_peer_dead(1);
+        let report = ex.exchange(&mut fields).unwrap();
+        // Task 0's +x ghost was never filled: frozen at the initial zero.
         assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 0.0);
-        // The reverse direction was unaffected.
-        assert_eq!(fields[1].get(-1, 0, 0), 1.0);
-        assert_eq!(ex.starved_receives(), 1);
-        // The drop is one-shot: the next exchange heals the ghost.
-        ex.exchange(&mut fields);
-        assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
-        assert_eq!(ex.starved_receives(), 1);
-        assert_eq!(ex.exchange_count(), 2);
+        assert_eq!(report.frozen_faces, 1);
+        assert!(matches!(
+            report.degraded.as_slice(),
+            [(0, HaloError::PeerDead { rank: 1 })]
+        ));
+        // No resends were attempted toward a dead peer.
+        assert_eq!(report.resends, 0);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_a_typed_error() {
+        let decomp = BlockDecomposition::new([4, 2, 2], 2);
+        let mut fields = marked_fields(&decomp);
+        fields.pop();
+        let mut ex = HaloExchanger::new(&decomp);
+        assert!(matches!(
+            ex.exchange(&mut fields),
+            Err(HaloError::Protocol(_))
+        ));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod chaos {
+        use super::*;
+        use crate::chaos::MsgFault;
+
+        #[test]
+        fn dropped_halo_is_healed_by_resend() {
+            let decomp = BlockDecomposition::new([4, 2, 2], 2);
+            let mut fields = marked_fields(&decomp);
+            let mut ex = HaloExchanger::new(&decomp);
+            // Task 1 loses all its sends during the first exchange.
+            ex.schedule_message_fault(0, 1, MsgFault::Drop);
+            let report = ex.exchange(&mut fields).unwrap();
+            // The retained-buffer resend healed the ghost in-round.
+            assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
+            assert_eq!(fields[1].get(-1, 0, 0), 1.0);
+            assert!(report.resends >= 1, "{report:?}");
+            assert!(report.timeouts >= 1, "{report:?}");
+            assert!(report.fully_healthy(), "{report:?}");
+            // The drop is one-shot: the next exchange is clean.
+            let report = ex.exchange(&mut fields).unwrap();
+            assert_eq!(report.resends, 0);
+            assert_eq!(ex.exchange_count(), 2);
+        }
+
+        #[test]
+        fn corrupted_halo_is_detected_by_crc_and_healed() {
+            let decomp = BlockDecomposition::new([4, 2, 2], 2);
+            let mut fields = marked_fields(&decomp);
+            let mut ex = HaloExchanger::new(&decomp);
+            ex.schedule_message_fault(0, 0, MsgFault::Corrupt);
+            let report = ex.exchange(&mut fields).unwrap();
+            assert!(report.corrupt_detected >= 1, "{report:?}");
+            assert!(report.resends >= 1, "{report:?}");
+            assert!(report.fully_healthy(), "{report:?}");
+            // The healed ghost holds the *clean* value, not the corrupt one.
+            assert_eq!(fields[1].get(-1, 0, 0), 1.0);
+        }
+
+        #[test]
+        fn delayed_halo_arrives_on_first_retry() {
+            let decomp = BlockDecomposition::new([4, 2, 2], 2);
+            let mut fields = marked_fields(&decomp);
+            let mut ex = HaloExchanger::new(&decomp);
+            ex.schedule_message_fault(0, 1, MsgFault::Delay);
+            let report = ex.exchange(&mut fields).unwrap();
+            assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 2.0);
+            assert!(report.resends >= 1, "{report:?}");
+            assert!(report.fully_healthy(), "{report:?}");
+        }
+
+        #[test]
+        fn exhausted_resends_freeze_rather_than_abort() {
+            let decomp = BlockDecomposition::new([4, 2, 2], 2);
+            let mut fields = marked_fields(&decomp);
+            let mut ex = HaloExchanger::new(&decomp);
+            // Drop the same sender's traffic on every heal attempt by
+            // shrinking the budget to zero: nothing can be resent.
+            ex.config.max_resends = 0;
+            ex.schedule_message_fault(0, 1, MsgFault::Drop);
+            let report = ex.exchange(&mut fields).unwrap();
+            assert_eq!(report.frozen_faces, 1, "{report:?}");
+            assert!(matches!(
+                report.degraded.as_slice(),
+                [(0, HaloError::ResendsExhausted { .. })]
+            ));
+            // The ghost froze at its previous (initial) contents.
+            assert_eq!(fields[0].get(fields[0].extent[0] as i64, 0, 0), 0.0);
+        }
     }
 }

@@ -11,18 +11,24 @@
 //! performance model in `apr-perfmodel` consumes the same geometry to
 //! regenerate the paper's scaling figures.
 
+pub mod chaos;
 pub mod decomp;
 pub mod device;
 pub mod distributed_lbm;
+pub mod envelope;
 pub mod halo;
 pub mod migrate;
 pub mod schedule;
+pub mod supervisor;
 pub mod timeline;
 
+pub use chaos::{ChaosEvent, ChaosPlan, MsgFault};
 pub use decomp::{Block, BlockDecomposition};
 pub use device::{Device, NodeConfig, Task};
 pub use distributed_lbm::SlabLattice;
-pub use halo::{GhostField, HaloExchanger};
+pub use envelope::{HaloError, LinkId, Nack, SealedSlab};
+pub use halo::{ExchangeReport, GhostField, HaloConfig, HaloExchanger};
 pub use migrate::{churn_stats, plan_migrations, ChurnStats, Migration};
 pub use schedule::Schedule;
+pub use supervisor::{ResilienceConfig, ResilienceError, ResilientSlabLattice, StepOutcome};
 pub use timeline::{simulate_step, Timeline, WorkRates};

@@ -19,8 +19,8 @@ fn exchange_attributes_rank_times_to_halo_spans() {
         .map(|b| GhostField::new(b.extent()))
         .collect();
     let mut ex = HaloExchanger::new(&decomp);
-    ex.exchange(&mut fields);
-    ex.exchange(&mut fields);
+    ex.exchange(&mut fields).unwrap();
+    ex.exchange(&mut fields).unwrap();
     rec.disable();
 
     for phase in ["halo.pack_send", "halo.recv_unpack"] {

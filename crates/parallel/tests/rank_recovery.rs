@@ -1,0 +1,157 @@
+//! Headline resilience test: kill a rank at a seeded mid-run step and
+//! require the supervised run to end **bit-identical** to a failure-free
+//! run — at multiple executor thread counts, with the RankDown /
+//! RankRestored telemetry trail and rollback counters intact.
+//!
+//! Single test function: this binary owns the process-global telemetry
+//! recorder's enable state and the executor thread-count knob.
+
+use apr_lattice::{Boundary, Lattice, NodeClass, Q};
+use apr_parallel::{ChaosPlan, ResilienceConfig, ResilientSlabLattice};
+use apr_telemetry::{MetricValue, TelemetryEvent};
+
+const TASKS: usize = 4;
+const STEPS: u64 = 40;
+const SEED: u64 = 0xC0FFEE;
+
+fn poiseuille_global() -> Lattice {
+    let mut lat = Lattice::new(5, 8, 16, 0.9);
+    lat.periodic = [true, false, true];
+    lat.body_force = [0.0, 0.0, 2e-6];
+    for z in 0..lat.nz {
+        for x in 0..lat.nx {
+            let bottom = lat.idx(x, 0, z);
+            lat.set_boundary(bottom, Boundary::Wall);
+            let top = lat.idx(x, lat.ny - 1, z);
+            lat.set_boundary(top, Boundary::Wall);
+        }
+    }
+    lat
+}
+
+/// Seeded kill step in the middle half of the run — derived exactly like
+/// `ChaosPlan::from_seed` so the schedule is reproducible from the seed
+/// alone, but pinned to a single kill so the assertions stay sharp.
+fn seeded_kill(seed: u64) -> (u64, usize) {
+    let mut state = seed;
+    let step = STEPS / 4 + 1 + apr_guard::splitmix64(&mut state) % (STEPS / 2);
+    let rank = (apr_guard::splitmix64(&mut state) % TASKS as u64) as usize;
+    (step, rank)
+}
+
+fn run_clean(global: &Lattice) -> Lattice {
+    let mut res = ResilientSlabLattice::split(global, TASKS, ResilienceConfig::default());
+    for _ in 0..STEPS {
+        let out = res.step().expect("clean run must not exhaust recovery");
+        assert!(out.clean, "failure-free run degraded: {out:?}");
+    }
+    assert_eq!(res.rollback_count(), 0);
+    res.gather(global)
+}
+
+fn run_with_kill(global: &Lattice, kill_step: u64, victim: usize) -> Lattice {
+    let mut res = ResilientSlabLattice::split(global, TASKS, ResilienceConfig::default());
+    let mut plan = ChaosPlan::new();
+    plan.kill_rank(kill_step, victim);
+    res.set_chaos(plan);
+    let mut recovered = Vec::new();
+    for _ in 0..STEPS {
+        let out = res.step().expect("recovery budget is ample");
+        recovered.extend(out.recovered.iter().copied());
+    }
+    assert_eq!(recovered, [victim], "exactly the killed rank recovers");
+    assert_eq!(res.rollback_count(), 1, "one rollback heals one kill");
+    assert!(!res.is_rank_dead(victim));
+    assert!(
+        res.chaos().pending().is_empty(),
+        "the kill must actually have fired"
+    );
+    res.gather(global)
+}
+
+fn assert_bit_identical(a: &Lattice, b: &Lattice, ctx: &str) {
+    for node in 0..a.node_count() {
+        if a.flag(node) != NodeClass::Fluid {
+            continue;
+        }
+        let fa = a.distributions(node);
+        let fb = b.distributions(node);
+        for i in 0..Q {
+            assert!(
+                fa[i].to_bits() == fb[i].to_bits(),
+                "{ctx}: node {node} dir {i}: {} vs {} (bitwise)",
+                fa[i],
+                fb[i]
+            );
+        }
+    }
+}
+
+fn counter(rec: &apr_telemetry::Recorder, name: &str) -> u64 {
+    match rec.metric(name) {
+        Some(MetricValue::Counter(v)) => v,
+        other => panic!("counter {name} missing or wrong type: {other:?}"),
+    }
+}
+
+#[test]
+fn seeded_rank_kill_recovers_bit_identically_across_thread_counts() {
+    let global = poiseuille_global();
+    let (kill_step, victim) = seeded_kill(SEED);
+    assert!(
+        (STEPS / 4..3 * STEPS / 4).contains(&kill_step),
+        "mid-run kill"
+    );
+
+    for threads in [2usize, 4] {
+        apr_exec::set_threads(threads);
+        let ctx = format!("threads={threads}");
+
+        let reference = run_clean(&global);
+
+        let rec = apr_telemetry::global();
+        rec.reset();
+        rec.enable();
+        let recovered = run_with_kill(&global, kill_step, victim);
+        rec.disable();
+
+        assert_bit_identical(&reference, &recovered, &ctx);
+
+        // Telemetry trail: the loss and the recovery are both on record.
+        let events: Vec<TelemetryEvent> = rec.events().into_iter().map(|t| t.event).collect();
+        let downs: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::RankDown { step, rank, reason } => Some((*step, *rank, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(downs, [(kill_step, victim as u32, "killed")], "{ctx}");
+        let restores: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::RankRestored {
+                    step,
+                    rank,
+                    restored_epoch,
+                } => Some((*step, *rank, *restored_epoch)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(restores.len(), 1, "{ctx}");
+        let (at, rank, epoch) = restores[0];
+        assert_eq!(at, kill_step, "{ctx}");
+        assert_eq!(rank, victim as u32, "{ctx}");
+        assert!(epoch < kill_step, "{ctx}: rollback goes strictly backwards");
+        assert_eq!(epoch % 8, 0, "{ctx}: epochs sit on the checkpoint cadence");
+
+        assert_eq!(counter(rec, "resilience.rollbacks"), 1, "{ctx}");
+        assert_eq!(counter(rec, "resilience.rank_down"), 1, "{ctx}");
+        assert!(
+            counter(rec, "resilience.buddy_checkpoints") >= TASKS as u64,
+            "{ctx}"
+        );
+        rec.reset();
+    }
+    apr_exec::set_threads(0);
+}

@@ -86,6 +86,36 @@ pub enum TelemetryEvent {
         /// Receives starved by dropped sends (fault injection only).
         starved: u32,
     },
+    /// A sealed halo message failed validation or timed out and was
+    /// re-requested from the sender's retained buffer.
+    HaloResend {
+        /// 0-based exchange round.
+        round: u64,
+        /// Resend attempt within the round (1-based).
+        attempt: u32,
+        /// Messages re-requested in this attempt.
+        messages: u32,
+    },
+    /// The rank supervisor declared a rank dead (panic, kill, or
+    /// heartbeat stall).
+    RankDown {
+        /// Step at which the loss was detected.
+        step: u64,
+        /// The lost rank.
+        rank: u32,
+        /// Detection reason (e.g. `"killed"`, `"panicked"`, `"hung"`).
+        reason: &'static str,
+    },
+    /// A lost rank was respawned and restored from its buddy replica; all
+    /// ranks rolled back to the common checkpoint epoch.
+    RankRestored {
+        /// Step at which recovery completed (pre-replay).
+        step: u64,
+        /// The recovered rank.
+        rank: u32,
+        /// Checkpoint epoch (step) the run was rolled back to.
+        restored_epoch: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -101,6 +131,9 @@ impl TelemetryEvent {
             TelemetryEvent::Rollback { .. } => "rollback",
             TelemetryEvent::RetriesExhausted { .. } => "retries_exhausted",
             TelemetryEvent::HaloExchange { .. } => "halo_exchange",
+            TelemetryEvent::HaloResend { .. } => "halo_resend",
+            TelemetryEvent::RankDown { .. } => "rank_down",
+            TelemetryEvent::RankRestored { .. } => "rank_restored",
         }
     }
 
@@ -113,8 +146,11 @@ impl TelemetryEvent {
             | TelemetryEvent::SentinelTrip { step, .. }
             | TelemetryEvent::CheckpointSaved { step, .. }
             | TelemetryEvent::Rollback { step, .. }
-            | TelemetryEvent::RetriesExhausted { step, .. } => step,
-            TelemetryEvent::HaloExchange { round, .. } => round,
+            | TelemetryEvent::RetriesExhausted { step, .. }
+            | TelemetryEvent::RankDown { step, .. }
+            | TelemetryEvent::RankRestored { step, .. } => step,
+            TelemetryEvent::HaloExchange { round, .. }
+            | TelemetryEvent::HaloResend { round, .. } => round,
         }
     }
 }

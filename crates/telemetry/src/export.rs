@@ -89,6 +89,33 @@ pub(crate) fn event_args(ev: &TelemetryEvent, out: &mut String) {
                 "\"round\":{round},\"bytes\":{bytes},\"starved\":{starved}"
             );
         }
+        TelemetryEvent::HaloResend {
+            round,
+            attempt,
+            messages,
+        } => {
+            let _ = write!(
+                out,
+                "\"round\":{round},\"attempt\":{attempt},\"messages\":{messages}"
+            );
+        }
+        TelemetryEvent::RankDown { step, rank, reason } => {
+            let _ = write!(
+                out,
+                "\"step\":{step},\"rank\":{rank},\"reason\":{}",
+                escape(reason)
+            );
+        }
+        TelemetryEvent::RankRestored {
+            step,
+            rank,
+            restored_epoch,
+        } => {
+            let _ = write!(
+                out,
+                "\"step\":{step},\"rank\":{rank},\"restored_epoch\":{restored_epoch}"
+            );
+        }
     }
 }
 

@@ -53,6 +53,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
     /// Sending half of an unbounded channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -130,6 +139,33 @@ pub mod channel {
             }
         }
 
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses — whichever happens first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.items.pop_front() {
+                    return Ok(v);
+                }
+                if q.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.shared.ready.wait_timeout(q, deadline - now).unwrap();
+                q = guard;
+                if res.timed_out() && q.items.is_empty() {
+                    if q.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.shared.queue.lock().unwrap();
@@ -182,6 +218,22 @@ pub mod channel {
             let (tx2, rx2) = unbounded::<u32>();
             drop(rx2);
             assert!(tx2.send(5).is_err());
+        }
+
+        #[test]
+        fn recv_timeout_observes_messages_timeouts_and_disconnects() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(7));
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]
