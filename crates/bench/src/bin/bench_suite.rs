@@ -2,7 +2,7 @@
 //! `BENCH_*.json` artifacts against a committed baseline.
 //!
 //! ```text
-//! bench_suite run  [--scenario all|tube|window_move|scaling|kernels]
+//! bench_suite run  [--scenario all|tube|window_move|scaling|kernels|serve]
 //!                  [--threads 1,4] [--steps N] [--out-dir DIR]
 //! bench_suite diff <OLD> <NEW> [--threshold 0.15] [--warn-only]
 //! ```
@@ -18,7 +18,7 @@ use apr_bench::observatory::{
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage:\n  \
-    bench_suite run [--scenario all|tube|window_move|scaling|kernels] [--threads 1,4] [--steps N] [--out-dir DIR]\n  \
+    bench_suite run [--scenario all|tube|window_move|scaling|kernels|serve] [--threads 1,4] [--steps N] [--out-dir DIR]\n  \
     bench_suite diff <OLD.json> <NEW.json> [--threshold 0.15] [--warn-only]";
 
 fn main() {

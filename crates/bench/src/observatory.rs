@@ -101,8 +101,33 @@ pub struct BenchRun {
     /// distributed path — recovery idle in both. Only scenarios that
     /// measure it (currently `scaling`) set this.
     pub overhead_pct: Option<f64>,
+    /// Multi-tenant service-level metrics; only the `serve` scenario
+    /// sets this.
+    pub service: Option<ServiceSummary>,
     /// Per-phase breakdown, sorted by total wall time descending.
     pub phases: Vec<BenchPhase>,
+}
+
+/// Service-level metrics of the `serve` scenario: 16 oversubscribed
+/// sessions scheduled by checkpoint-preempt-resume on a worker budget of
+/// `threads` lanes (the multi-tenant analogue of the paper's many-window
+/// parameter sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Sessions admitted and completed in the timed region.
+    pub sessions: u64,
+    /// Completed sessions per wall-clock second.
+    pub sessions_per_sec: f64,
+    /// Median admission → first-engine-step latency, milliseconds.
+    pub p50_ttfs_ms: f64,
+    /// 95th-percentile admission → first-engine-step latency, ms.
+    pub p95_ttfs_ms: f64,
+    /// Suspend+restore time as a percentage of total slice time.
+    pub preempt_overhead_pct: f64,
+    /// Warm-cache hit rate over all session setups.
+    pub cache_hit_rate: f64,
+    /// Total preemptions across all sessions.
+    pub preempts: u64,
 }
 
 /// A full `BENCH_<scenario>.json` artifact.
@@ -157,6 +182,7 @@ pub fn collect_run(
         site_updates,
         rss_bytes: read_rss_bytes(),
         overhead_pct: None,
+        service: None,
         phases,
     }
 }
@@ -207,6 +233,19 @@ pub fn to_json(artifact: &BenchArtifact) -> String {
         // Emitted only when measured, so older artifacts stay diffable.
         if let Some(pct) = run.overhead_pct {
             let _ = write!(out, ",\"overhead_pct\":{}", number(pct));
+        }
+        if let Some(s) = &run.service {
+            let _ = write!(
+                out,
+                ",\"service\":{{\"sessions\":{},\"sessions_per_sec\":{},\"p50_ttfs_ms\":{},\"p95_ttfs_ms\":{},\"preempt_overhead_pct\":{},\"cache_hit_rate\":{},\"preempts\":{}}}",
+                s.sessions,
+                number(s.sessions_per_sec),
+                number(s.p50_ttfs_ms),
+                number(s.p95_ttfs_ms),
+                number(s.preempt_overhead_pct),
+                number(s.cache_hit_rate),
+                s.preempts,
+            );
         }
         out.push_str(",\"phases\":[");
         for (j, p) in run.phases.iter().enumerate() {
@@ -313,6 +352,18 @@ pub fn parse_artifact(text: &str) -> Result<BenchArtifact, String> {
             site_updates: req_u64(run, "site_updates")?,
             rss_bytes: req_u64(run, "rss_bytes")?,
             overhead_pct: run.get("overhead_pct").and_then(Value::as_f64),
+            service: match run.get("service") {
+                None | Some(Value::Null) => None,
+                Some(s) => Some(ServiceSummary {
+                    sessions: req_u64(s, "sessions")?,
+                    sessions_per_sec: req_f64(s, "sessions_per_sec")?,
+                    p50_ttfs_ms: req_f64(s, "p50_ttfs_ms")?,
+                    p95_ttfs_ms: req_f64(s, "p95_ttfs_ms")?,
+                    preempt_overhead_pct: req_f64(s, "preempt_overhead_pct")?,
+                    cache_hit_rate: req_f64(s, "cache_hit_rate")?,
+                    preempts: req_u64(s, "preempts")?,
+                }),
+            },
             phases,
         });
     }
@@ -460,6 +511,29 @@ pub fn diff_artifacts(
             new_run.wall_seconds,
             true,
         );
+        if let (Some(old_s), Some(new_s)) = (&old_run.service, &new_run.service) {
+            flag(
+                t,
+                "serve:sessions_per_sec".into(),
+                old_s.sessions_per_sec,
+                new_s.sessions_per_sec,
+                false,
+            );
+            flag(
+                t,
+                "serve:p95_ttfs_ms".into(),
+                old_s.p95_ttfs_ms,
+                new_s.p95_ttfs_ms,
+                true,
+            );
+            flag(
+                t,
+                "serve:preempt_overhead_pct".into(),
+                old_s.preempt_overhead_pct,
+                new_s.preempt_overhead_pct,
+                true,
+            );
+        }
         for old_phase in &old_run.phases {
             if old_phase.total_ns < opts.min_phase_ns || old_phase.count < opts.min_phase_count {
                 continue;
@@ -545,13 +619,15 @@ pub fn read_rss_bytes() -> u64 {
 // ---------------------------------------------------------------------------
 
 /// Scenario names `bench_suite run` accepts, in artifact order.
-pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling", "kernels"];
+pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling", "kernels", "serve"];
 
 /// Default timed step count per scenario (all ≥ the diff noise floor's
-/// minimum occurrence count, so per-phase percentiles are diffable).
+/// minimum occurrence count, so per-phase percentiles are diffable). For
+/// `serve` this is the per-session step target.
 pub fn default_steps(scenario: &str) -> u64 {
     match scenario {
         "scaling" | "kernels" => 12,
+        "serve" => 24,
         _ => 30,
     }
 }
@@ -774,6 +850,55 @@ fn run_kernels(steps: u64) -> Result<(u64, u64), String> {
     Ok(((edge * edge * edge) as u64 * steps, wall_ns))
 }
 
+/// `serve` scenario: 16 sessions over 2 scenario specs oversubscribed onto
+/// a `threads`-lane worker budget, scheduled by checkpoint-preempt-resume
+/// with the warm-state cache live (the paper's parameter-sweep shape:
+/// many window simulations, few cores, shared recipes). Returns
+/// (site updates, wall ns, service summary).
+fn run_serve(steps: u64, threads: usize) -> Result<(u64, u64, ServiceSummary), String> {
+    use apr_serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+    let sessions = 16u64;
+    let config = ServeConfig {
+        workers: threads.max(1),
+        lanes_per_worker: 1,
+        slice_steps: (steps / 4).max(1), // ≥ 3 preemptions per session
+        max_sessions: sessions as usize,
+        cache_capacity: 4,
+    };
+    apr_telemetry::global().enable();
+    let service = SimService::start(config);
+    let specs = [TubeScenario::small(1), TubeScenario::small(2)];
+    let (_, wall_ns) = apr_telemetry::time("bench.serve", || {
+        for i in 0..sessions {
+            service
+                .submit(JobSpec {
+                    scenario: specs[(i % 2) as usize],
+                    target_steps: steps,
+                })
+                .expect("admission under the session cap");
+        }
+        let results = service.wait_all();
+        assert_eq!(results.len() as u64, sessions);
+    });
+    let m = service.metrics();
+    if m.sessions_failed > 0 {
+        return Err(format!("{} serve sessions failed", m.sessions_failed));
+    }
+    Ok((
+        m.total_site_updates,
+        wall_ns,
+        ServiceSummary {
+            sessions: m.sessions_completed,
+            sessions_per_sec: m.sessions_completed as f64 / (wall_ns as f64 / 1.0e9).max(1e-12),
+            p50_ttfs_ms: m.p50_ttfs_ms,
+            p95_ttfs_ms: m.p95_ttfs_ms,
+            preempt_overhead_pct: m.preempt_overhead_pct,
+            cache_hit_rate: m.cache_hit_rate,
+            preempts: m.total_preempts,
+        },
+    ))
+}
+
 /// Run one scenario at one thread count and collect the [`BenchRun`].
 /// Swaps the process-global exec pool, owns the global recorder's enable
 /// state for the duration, and leaves the recorder disabled and reset.
@@ -781,11 +906,16 @@ pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchR
     apr_exec::set_threads(threads);
     let rec = apr_telemetry::global();
     rec.reset();
+    let mut service_summary = None;
     let result = match scenario {
         "tube" => run_tube(steps),
         "window_move" => run_window_move(steps),
         "scaling" => run_scaling(steps),
         "kernels" => run_kernels(steps),
+        "serve" => run_serve(steps, threads).map(|(site_updates, wall_ns, summary)| {
+            service_summary = Some(summary);
+            (site_updates, wall_ns)
+        }),
         other => Err(format!(
             "unknown scenario {other:?} (expected one of {SCENARIOS:?})"
         )),
@@ -808,6 +938,7 @@ pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchR
         run.overhead_pct = Some(measure_resilience_overhead(steps)?);
         rec.reset();
     }
+    run.service = service_summary;
     Ok(run)
 }
 
@@ -827,6 +958,7 @@ mod tests {
                 site_updates: 30_000_000,
                 rss_bytes: 12_345_678,
                 overhead_pct: Some(3.25),
+                service: None,
                 phases: vec![
                     BenchPhase {
                         name: "apr.step".into(),
@@ -882,6 +1014,34 @@ mod tests {
         let text = to_json(&artifact);
         assert!(!text.contains("overhead_pct"));
         assert_eq!(parse_artifact(&text).unwrap(), artifact);
+    }
+
+    #[test]
+    fn service_summary_round_trips_and_diffs() {
+        let mut artifact = sample_artifact();
+        artifact.scenario = "serve".into();
+        artifact.runs[0].service = Some(ServiceSummary {
+            sessions: 16,
+            sessions_per_sec: 8.0,
+            p50_ttfs_ms: 40.0,
+            p95_ttfs_ms: 120.0,
+            preempt_overhead_pct: 12.5,
+            cache_hit_rate: 0.75,
+            preempts: 48,
+        });
+        let parsed = parse_artifact(&to_json(&artifact)).unwrap();
+        assert_eq!(parsed, artifact);
+        // Halved throughput and doubled tail latency are regressions.
+        let mut slow = artifact.clone();
+        {
+            let s = slow.runs[0].service.as_mut().unwrap();
+            s.sessions_per_sec /= 2.0;
+            s.p95_ttfs_ms *= 2.0;
+        }
+        let report = diff_artifacts(&artifact, &slow, DiffOptions::default()).unwrap();
+        assert_eq!(report.regressions(), 2, "{}", report.render());
+        assert!(report.render().contains("serve:sessions_per_sec"));
+        assert!(report.render().contains("serve:p95_ttfs_ms"));
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub struct AprEngine {
     pub(crate) steps: u64,
     pub(crate) site_updates: u64,
     pub(crate) moves: u64,
+    /// CTC membrane model, captured by [`AprEngine::add_ctc`] so the
+    /// engine can resume checkpoints containing a CTC without the caller
+    /// re-supplying it (membranes are code-not-state; see
+    /// [`crate::guardian`]).
+    pub(crate) ctc_membrane: Option<Arc<Membrane>>,
 }
 
 /// Staged construction for [`AprEngine`].
@@ -205,6 +210,7 @@ impl AprEngineBuilder {
             steps: 0,
             site_updates: 0,
             moves: 0,
+            ctc_membrane: None,
         }
     }
 }
@@ -242,30 +248,6 @@ impl AprEngine {
         }
     }
 
-    /// Build an engine from prepared lattices.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use AprEngine::builder(coarse, fine, origin, n, lambda) \
-                .window(..).contact(..).build()"
-    )]
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        coarse: Lattice,
-        fine: Lattice,
-        origin: [f64; 3],
-        n: usize,
-        lambda: f64,
-        proper_half: f64,
-        onramp: f64,
-        insertion_width: f64,
-        contact: ContactParams,
-    ) -> Self {
-        Self::builder(coarse, fine, origin, n, lambda)
-            .window(proper_half, onramp, insertion_width)
-            .contact(contact)
-            .build()
-    }
-
     /// Install a geometry callback re-flagging the fine lattice after moves;
     /// applies it immediately for the current origin.
     pub fn set_fine_geometry(&mut self, geometry: FineGeometry) {
@@ -299,7 +281,10 @@ impl AprEngine {
     }
 
     /// Add a CTC with explicit shape (fine coordinates); returns its ID.
+    /// The membrane model is retained so checkpoints containing the CTC
+    /// can be resumed through [`crate::SimSession::resume`].
     pub fn add_ctc(&mut self, membrane: Arc<Membrane>, vertices: Vec<Vec3>) -> u64 {
+        self.ctc_membrane = Some(Arc::clone(&membrane));
         let (_, id) = self.pool.insert_shape(CellKind::Ctc, membrane, vertices);
         id
     }

@@ -49,6 +49,10 @@ pub struct EfsiEngine {
     pub kernel: DeltaKernel,
     pub(crate) steps: u64,
     pub(crate) site_updates: u64,
+    /// Per-kind membrane models captured by [`EfsiEngine::add_cell`] so
+    /// checkpoints can be resumed through [`crate::SimSession::resume`]
+    /// without the caller re-supplying them (indexed Rbc, Ctc).
+    pub(crate) membranes: [Option<Arc<Membrane>>; 2],
 }
 
 impl EfsiEngine {
@@ -63,17 +67,23 @@ impl EfsiEngine {
             kernel: DeltaKernel::Cosine4,
             steps: 0,
             site_updates: 0,
+            membranes: [None, None],
         }
     }
 
     /// Add a cell with explicit shape vertices (lattice coordinates);
-    /// returns its global ID.
+    /// returns its global ID. The membrane model is retained per kind so
+    /// checkpoints can be resumed through [`crate::SimSession::resume`].
     pub fn add_cell(
         &mut self,
         kind: CellKind,
         membrane: Arc<Membrane>,
         vertices: Vec<Vec3>,
     ) -> u64 {
+        self.membranes[match kind {
+            CellKind::Rbc => 0,
+            CellKind::Ctc => 1,
+        }] = Some(Arc::clone(&membrane));
         let (_, id) = self.pool.insert_shape(kind, membrane, vertices);
         id
     }

@@ -28,6 +28,7 @@ pub mod diagnostics;
 pub mod efsi;
 pub mod fsi;
 pub mod guardian;
+pub mod lifecycle;
 pub mod output;
 pub mod vtk;
 
@@ -42,5 +43,6 @@ pub use guardian::{
     restore_efsi, restore_engine, restore_engine_from_file, save_efsi, save_engine,
     save_engine_to_file, GuardedStep, Guardian,
 };
+pub use lifecycle::SimSession;
 pub use output::{render_table, write_csv};
 pub use vtk::{cells_to_vtk, lattice_to_vtk, mesh_to_vtk, write_vtk};

@@ -1,0 +1,206 @@
+//! Worker-budget leasing: bound total lane occupancy across concurrent
+//! engine drivers.
+//!
+//! The serve scheduler admits far more sessions than the machine has
+//! cores. Engines reach their pool through [`crate::current()`], so the
+//! budget works by *scoping*: a [`WorkerBudget`] holds a fixed number of
+//! lanes; a driver blocks in [`WorkerBudget::lease`] until its requested
+//! lane count is free, then runs its slice inside [`WorkerLease::scope`],
+//! which installs a lease-sized pool as the thread-local current pool.
+//! Every `apr_exec::current()` call the engine makes during the slice —
+//! kernels, IBM transfer, cell maintenance — lands on the leased pool,
+//! unchanged code. Dropping the lease returns the lanes and wakes
+//! waiters.
+//!
+//! Pools are cached per lane count inside the budget, so repeated
+//! lease/release cycles (one per scheduler time slice) reuse warm worker
+//! threads instead of spawning fresh ones.
+
+use crate::pool::ExecPool;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A fixed budget of worker lanes shared by concurrent lessees.
+#[derive(Debug)]
+pub struct WorkerBudget {
+    total: usize,
+    state: Mutex<BudgetState>,
+    freed: Condvar,
+}
+
+#[derive(Debug)]
+struct BudgetState {
+    available: usize,
+    /// Warm pools keyed by lane count, reused across leases.
+    pools: HashMap<usize, Vec<Arc<ExecPool>>>,
+}
+
+impl WorkerBudget {
+    /// Budget of `total` lanes (`total` ≥ 1 enforced).
+    pub fn new(total: usize) -> Self {
+        let total = total.max(1);
+        Self {
+            total,
+            state: Mutex::new(BudgetState {
+                available: total,
+                pools: HashMap::new(),
+            }),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Total lanes in the budget.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Lanes currently unleased.
+    pub fn available(&self) -> usize {
+        self.state.lock().unwrap().available
+    }
+
+    /// Block until `lanes` lanes are free, then lease them. Requests are
+    /// clamped to the budget total so a single oversized request cannot
+    /// deadlock.
+    pub fn lease(self: &Arc<Self>, lanes: usize) -> WorkerLease {
+        let lanes = lanes.clamp(1, self.total);
+        let mut state = self.state.lock().unwrap();
+        while state.available < lanes {
+            state = self.freed.wait(state).unwrap();
+        }
+        state.available -= lanes;
+        let pool = Self::pool_from(&mut state, lanes);
+        drop(state);
+        WorkerLease {
+            budget: Arc::clone(self),
+            lanes,
+            pool,
+        }
+    }
+
+    /// Lease `lanes` lanes if they are free right now; `None` otherwise.
+    pub fn try_lease(self: &Arc<Self>, lanes: usize) -> Option<WorkerLease> {
+        let lanes = lanes.clamp(1, self.total);
+        let mut state = self.state.lock().unwrap();
+        if state.available < lanes {
+            return None;
+        }
+        state.available -= lanes;
+        let pool = Self::pool_from(&mut state, lanes);
+        drop(state);
+        Some(WorkerLease {
+            budget: Arc::clone(self),
+            lanes,
+            pool,
+        })
+    }
+
+    fn pool_from(state: &mut BudgetState, lanes: usize) -> Arc<ExecPool> {
+        state
+            .pools
+            .get_mut(&lanes)
+            .and_then(Vec::pop)
+            .unwrap_or_else(|| Arc::new(ExecPool::new(lanes)))
+    }
+
+    fn release(&self, lanes: usize, pool: Arc<ExecPool>) {
+        let mut state = self.state.lock().unwrap();
+        state.available += lanes;
+        debug_assert!(state.available <= self.total, "lease over-release");
+        state.pools.entry(lanes).or_default().push(pool);
+        drop(state);
+        self.freed.notify_all();
+    }
+}
+
+/// A held slice of the budget. Lanes return (and the pool is recycled)
+/// on drop.
+#[derive(Debug)]
+pub struct WorkerLease {
+    budget: Arc<WorkerBudget>,
+    lanes: usize,
+    pool: Arc<ExecPool>,
+}
+
+impl WorkerLease {
+    /// Lanes this lease holds.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The lease's pool (lane count == `lanes()`).
+    pub fn pool(&self) -> Arc<ExecPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Run `f` with this lease's pool installed as the thread-local
+    /// current pool: every [`crate::current()`] call inside `f` on this
+    /// thread resolves to the leased pool instead of the global one.
+    pub fn scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        crate::with_pool(Arc::clone(&self.pool), f)
+    }
+}
+
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        self.budget.release(self.lanes, Arc::clone(&self.pool));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_bounds_occupancy_and_returns_on_drop() {
+        let budget = Arc::new(WorkerBudget::new(4));
+        let a = budget.lease(2);
+        let b = budget.lease(2);
+        assert_eq!(budget.available(), 0);
+        assert!(budget.try_lease(1).is_none());
+        drop(a);
+        assert_eq!(budget.available(), 2);
+        let c = budget.try_lease(2).expect("lanes freed");
+        assert_eq!(c.lanes(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(budget.available(), 4);
+    }
+
+    #[test]
+    fn oversized_request_is_clamped() {
+        let budget = Arc::new(WorkerBudget::new(2));
+        let lease = budget.lease(16);
+        assert_eq!(lease.lanes(), 2);
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn scope_overrides_current_pool() {
+        let budget = Arc::new(WorkerBudget::new(3));
+        let lease = budget.lease(3);
+        let inside = lease.scope(|| crate::current().threads());
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn pools_are_recycled_per_lane_count() {
+        let budget = Arc::new(WorkerBudget::new(4));
+        let first = budget.lease(2);
+        let ptr = Arc::as_ptr(&first.pool());
+        drop(first);
+        let second = budget.lease(2);
+        assert_eq!(Arc::as_ptr(&second.pool()), ptr, "warm pool reused");
+    }
+
+    #[test]
+    fn blocked_lease_wakes_when_lanes_free() {
+        let budget = Arc::new(WorkerBudget::new(2));
+        let held = budget.lease(2);
+        let b2 = Arc::clone(&budget);
+        let waiter = std::thread::spawn(move || b2.lease(1).lanes());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), 1);
+    }
+}

@@ -32,12 +32,15 @@
 //! [`current()`] hands out a shared [`ExecPool`]; [`set_threads`] swaps it
 //! (used by CLI `--threads` flags and the determinism suite).
 
+pub mod lease;
 pub mod pool;
 pub mod scratch;
 
+pub use lease::{WorkerBudget, WorkerLease};
 pub use pool::{ExecPool, RunStats, UnsafeSlice};
 pub use scratch::ScratchPool;
 
+use std::cell::RefCell;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Execution configuration resolved from the environment / CLI.
@@ -95,13 +98,42 @@ fn global() -> &'static Mutex<Option<Arc<ExecPool>>> {
     GLOBAL.get_or_init(|| Mutex::new(None))
 }
 
-/// The process-wide pool, created from [`ExecConfig::from_env`] on first
-/// use. Clones of the `Arc` stay valid across [`set_threads`] swaps (they
-/// keep the old pool alive until dropped).
+thread_local! {
+    /// Stack of scoped pool overrides installed by [`with_pool`] /
+    /// [`WorkerLease::scope`]. Innermost override wins.
+    static POOL_OVERRIDE: RefCell<Vec<Arc<ExecPool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The current pool: the innermost [`with_pool`] override on this thread
+/// if one is active, otherwise the process-wide pool (created from
+/// [`ExecConfig::from_env`] on first use). Clones of the `Arc` stay valid
+/// across [`set_threads`] swaps and scope exits (they keep the old pool
+/// alive until dropped).
 pub fn current() -> Arc<ExecPool> {
+    if let Some(p) = POOL_OVERRIDE.with(|s| s.borrow().last().cloned()) {
+        return p;
+    }
     let mut slot = global().lock().unwrap();
     slot.get_or_insert_with(|| Arc::new(ExecPool::new(ExecConfig::from_env().threads)))
         .clone()
+}
+
+/// Run `f` with `pool` installed as this thread's [`current`] pool.
+/// Scopes nest (innermost wins) and unwind-safely pop on panic, so a
+/// poisoned engine slice cannot leak its pool override into the next
+/// session scheduled on the same worker thread.
+pub fn with_pool<R>(pool: Arc<ExecPool>, f: impl FnOnce() -> R) -> R {
+    struct PopGuard;
+    impl Drop for PopGuard {
+        fn drop(&mut self) {
+            POOL_OVERRIDE.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    POOL_OVERRIDE.with(|s| s.borrow_mut().push(pool));
+    let _guard = PopGuard;
+    f()
 }
 
 /// Replace the process-wide pool with one of `threads` lanes
@@ -139,5 +171,24 @@ mod tests {
             .par_map_reduce(8, 2, |_, r| r.len() as u64, |a, b| a + b)
             .unwrap_or(0);
         assert_eq!(sum, 8);
+    }
+
+    #[test]
+    fn with_pool_overrides_nest_and_unwind() {
+        let outer = Arc::new(ExecPool::new(3));
+        let inner = Arc::new(ExecPool::new(2));
+        with_pool(Arc::clone(&outer), || {
+            assert_eq!(current().threads(), 3);
+            with_pool(Arc::clone(&inner), || {
+                assert_eq!(current().threads(), 2);
+            });
+            assert_eq!(current().threads(), 3);
+            // A panic inside a scope must pop its override.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_pool(Arc::clone(&inner), || panic!("boom"))
+            }));
+            assert!(r.is_err());
+            assert_eq!(current().threads(), 3);
+        });
     }
 }

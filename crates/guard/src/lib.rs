@@ -10,6 +10,8 @@
 //! * [`health`] — the divergence sentinel: density/Mach/finiteness checks
 //!   over lattices, membrane meshes and hematocrit, returning a typed
 //!   [`HealthReport`].
+//! * [`store`] — checkpoint placement: in-memory blob store for the serve
+//!   scheduler's preempt hot path, directory store for durable campaigns.
 //! * [`recovery`] — rollback-and-retry policy (reseed, optional τ
 //!   tightening via Eq. 7) and a structured [`RecoveryLog`].
 //! * [`fault`] *(feature `fault-injection`)* — deterministic one-shot
@@ -26,6 +28,7 @@ pub mod fault;
 pub mod health;
 pub mod recovery;
 pub mod state;
+pub mod store;
 
 pub use checkpoint::{read_file, write_atomic, CheckpointReader, CheckpointWriter, FORMAT_VERSION};
 pub use codec::{crc32, splitmix64, ByteReader, ByteWriter};
@@ -37,3 +40,4 @@ pub use health::{
 };
 pub use recovery::{RecoveryAction, RecoveryEvent, RecoveryLog, RetryPolicy};
 pub use state::{read_lattice, read_pool, write_lattice, write_pool, MembraneProvider};
+pub use store::{CheckpointStore, FileStore, MemoryStore};

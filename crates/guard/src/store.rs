@@ -1,0 +1,230 @@
+//! Checkpoint sinks and sources: where checkpoint blobs live.
+//!
+//! The container format ([`crate::checkpoint`]) is storage-agnostic — a
+//! blob is a `Vec<u8>` wherever it sits. This module adds the *placement*
+//! abstraction: a [`CheckpointStore`] holds named blobs, with two
+//! implementations:
+//!
+//! * [`MemoryStore`] — blobs parked in process memory. This is the serve
+//!   scheduler's preempt path: suspending a session must never touch disk,
+//!   so parked engine checkpoints go here and come back byte-identical.
+//! * [`FileStore`] — one file per key in a directory, written through
+//!   [`crate::checkpoint::write_atomic`] so a crash mid-write can never
+//!   destroy the previous blob. This is the durable campaign path.
+//!
+//! Keys are free-form strings (session ids, scenario hashes); stores do
+//! not interpret blob contents, but [`MemoryStore::put_verified`] offers
+//! opt-in container validation at the boundary.
+
+use crate::checkpoint::{write_atomic, CheckpointReader};
+use crate::error::GuardError;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// A named home for checkpoint blobs.
+pub trait CheckpointStore {
+    /// Store `blob` under `key`, replacing any previous blob.
+    fn put(&mut self, key: &str, blob: Vec<u8>) -> Result<(), GuardError>;
+    /// Retrieve the blob stored under `key` (`None` if absent).
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, GuardError>;
+    /// Remove and return the blob under `key` (`None` if absent).
+    fn take(&mut self, key: &str) -> Result<Option<Vec<u8>>, GuardError>;
+    /// Keys currently stored, in sorted order.
+    fn keys(&self) -> Vec<String>;
+}
+
+/// In-memory checkpoint store: the preempt hot path. Parked blobs are
+/// owned `Vec<u8>`s in a `BTreeMap`; `get` clones, `take` moves.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: BTreeMap<String, Vec<u8>>,
+}
+
+impl MemoryStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of parked blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// True when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.is_empty()
+    }
+
+    /// Total bytes held across all parked blobs (the scheduler's resident
+    /// parked-state footprint).
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.values().map(Vec::len).sum()
+    }
+
+    /// Borrow a parked blob without cloning (restore paths only need a
+    /// `&[u8]`).
+    pub fn get_ref(&self, key: &str) -> Option<&[u8]> {
+        self.blobs.get(key).map(Vec::as_slice)
+    }
+
+    /// Store a blob after verifying it parses as a valid checkpoint
+    /// container (every section CRC checked). Rejecting corruption at the
+    /// park boundary beats discovering it at resume.
+    pub fn put_verified(&mut self, key: &str, blob: Vec<u8>) -> Result<(), GuardError> {
+        CheckpointReader::parse(&blob)?;
+        self.blobs.insert(key.to_string(), blob);
+        Ok(())
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn put(&mut self, key: &str, blob: Vec<u8>) -> Result<(), GuardError> {
+        self.blobs.insert(key.to_string(), blob);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, GuardError> {
+        Ok(self.blobs.get(key).cloned())
+    }
+
+    fn take(&mut self, key: &str) -> Result<Option<Vec<u8>>, GuardError> {
+        Ok(self.blobs.remove(key))
+    }
+
+    fn keys(&self) -> Vec<String> {
+        self.blobs.keys().cloned().collect()
+    }
+}
+
+/// Directory-backed checkpoint store: one `<key>.ckpt` file per key,
+/// written atomically.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, GuardError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Keys become file names; path separators would escape the root.
+        let safe: String = key
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        self.dir.join(format!("{safe}.ckpt"))
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn put(&mut self, key: &str, blob: Vec<u8>) -> Result<(), GuardError> {
+        write_atomic(&self.path_for(key), &blob)
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, GuardError> {
+        match std::fs::read(self.path_for(key)) {
+            Ok(b) => Ok(Some(b)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Result<Option<Vec<u8>>, GuardError> {
+        let blob = self.get(key)?;
+        if blob.is_some() {
+            std::fs::remove_file(self.path_for(key))?;
+        }
+        Ok(blob)
+    }
+
+    fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        e.file_name()
+                            .to_str()
+                            .and_then(|n| n.strip_suffix(".ckpt"))
+                            .map(str::to_string)
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::CheckpointWriter;
+
+    fn sample_blob(tag: u8) -> Vec<u8> {
+        let mut w = CheckpointWriter::new();
+        w.section("meta", vec![tag, 2, 3]);
+        w.section("fields", (0..97).map(|i| i ^ tag).collect());
+        w.finish()
+    }
+
+    #[test]
+    fn memory_store_round_trips_byte_identical() {
+        let mut store = MemoryStore::new();
+        let blob = sample_blob(7);
+        store.put("session-42", blob.clone()).unwrap();
+        assert_eq!(store.get("session-42").unwrap().as_deref(), Some(&blob[..]));
+        assert_eq!(store.get_ref("session-42"), Some(&blob[..]));
+        assert_eq!(store.total_bytes(), blob.len());
+        // take moves the identical bytes out and empties the slot.
+        assert_eq!(store.take("session-42").unwrap(), Some(blob));
+        assert!(store.get("session-42").unwrap().is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn memory_store_replaces_and_lists_keys() {
+        let mut store = MemoryStore::new();
+        store.put("b", sample_blob(1)).unwrap();
+        store.put("a", sample_blob(2)).unwrap();
+        store.put("b", sample_blob(3)).unwrap();
+        assert_eq!(store.keys(), ["a", "b"]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("b").unwrap().unwrap(), sample_blob(3));
+    }
+
+    #[test]
+    fn put_verified_rejects_corrupt_blobs() {
+        let mut store = MemoryStore::new();
+        let mut blob = sample_blob(5);
+        let idx = blob.len() - 9;
+        blob[idx] ^= 0x10;
+        assert!(matches!(
+            store.put_verified("bad", blob),
+            Err(GuardError::Crc { .. })
+        ));
+        assert!(store.is_empty());
+        store.put_verified("good", sample_blob(5)).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn file_store_round_trips_and_removes() {
+        let dir = std::env::temp_dir().join("apr-guard-store-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = FileStore::open(&dir).unwrap();
+        let blob = sample_blob(9);
+        store.put("ckpt-a", blob.clone()).unwrap();
+        assert_eq!(store.get("ckpt-a").unwrap(), Some(blob.clone()));
+        assert_eq!(store.keys(), ["ckpt-a"]);
+        assert!(store.get("missing").unwrap().is_none());
+        assert_eq!(store.take("ckpt-a").unwrap(), Some(blob));
+        assert!(store.get("ckpt-a").unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

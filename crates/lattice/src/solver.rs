@@ -289,39 +289,6 @@ impl Lattice {
         }
     }
 
-    /// Mark `node` as a stationary wall.
-    #[deprecated(since = "0.1.0", note = "use set_boundary(node, Boundary::Wall)")]
-    pub fn set_wall(&mut self, node: usize) {
-        self.set_boundary(node, Boundary::Wall);
-    }
-
-    /// Mark `node` as a wall moving with velocity `u` (lattice units).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use set_boundary(node, Boundary::MovingWall(u))"
-    )]
-    pub fn set_moving_wall(&mut self, node: usize, u: [f64; 3]) {
-        self.set_boundary(node, Boundary::MovingWall(u));
-    }
-
-    /// Mark `node` as a prescribed-velocity boundary.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use set_boundary(node, Boundary::Velocity(u))"
-    )]
-    pub fn set_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
-        self.set_boundary(node, Boundary::Velocity(u));
-    }
-
-    /// Mark `node` as a prescribed-density (pressure) boundary.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use set_boundary(node, Boundary::Pressure(rho))"
-    )]
-    pub fn set_pressure_bc(&mut self, node: usize, rho: f64) {
-        self.set_boundary(node, Boundary::Pressure(rho));
-    }
-
     /// Update the target velocity of an existing velocity-boundary node
     /// (keeps the cached extrapolation neighbour; no-op for other nodes).
     pub fn update_velocity_bc(&mut self, node: usize, u: [f64; 3]) {
@@ -777,18 +744,6 @@ impl Lattice {
                 self.pending_stream = false;
             }
         }
-    }
-
-    /// Collision phase only.
-    #[deprecated(since = "0.1.0", note = "use advance(SubStep::Collide)")]
-    pub fn collide_phase(&mut self) {
-        self.advance(SubStep::Collide);
-    }
-
-    /// Streaming + boundary-node phase only.
-    #[deprecated(since = "0.1.0", note = "use advance(SubStep::Stream)")]
-    pub fn stream_phase(&mut self) {
-        self.advance(SubStep::Stream);
     }
 
     /// Rebuild velocity/pressure boundary nodes by non-equilibrium

@@ -1,0 +1,134 @@
+//! Warm-state cache: scenario-hash-keyed post-warmup checkpoints.
+//!
+//! The first session of a scenario pays the full setup cost — voxelized
+//! tube geometry, window packing, warmup relaxation — then donates the
+//! resulting checkpoint blob here. Every later session of the same
+//! scenario restores that blob into a fresh engine shell and starts
+//! stepping immediately. Because cold builds are deterministic, a racing
+//! duplicate build produces an identical blob, so first-insert-wins is
+//! correct without any build-coordination locking.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Scenario-hash → warm checkpoint blob, FIFO-evicted at capacity, with
+/// hit/miss counters for the service-level metrics.
+#[derive(Debug)]
+pub struct WarmCache {
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    blobs: HashMap<u64, Arc<Vec<u8>>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl WarmCache {
+    /// Cache holding at most `capacity` scenarios (≥ 1 enforced).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                blobs: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a scenario's warm state, counting the outcome. `Arc` so the
+    /// (potentially multi-megabyte) blob is never copied on a hit.
+    pub fn lookup(&self, scenario: u64) -> Option<Arc<Vec<u8>>> {
+        let found = self.inner.lock().unwrap().blobs.get(&scenario).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Donate a freshly built warm state. First insert wins (identical by
+    /// determinism); at capacity the oldest scenario is evicted.
+    pub fn insert(&self, scenario: u64, blob: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.blobs.contains_key(&scenario) {
+            return;
+        }
+        while inner.blobs.len() >= inner.capacity {
+            let Some(old) = inner.order.pop_front() else {
+                break;
+            };
+            inner.blobs.remove(&old);
+        }
+        inner.blobs.insert(scenario, Arc::new(blob));
+        inner.order.push_back(scenario);
+    }
+
+    /// Scenarios currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().blobs.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that found a warm state.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build cold.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served warm (0.0 when none happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = WarmCache::new(4);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, vec![9, 9]);
+        assert_eq!(cache.lookup(1).unwrap().as_slice(), &[9, 9]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_insert_wins_and_fifo_evicts() {
+        let cache = WarmCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(1, vec![99]); // duplicate build: ignored
+        assert_eq!(cache.lookup(1).unwrap().as_slice(), &[1]);
+        cache.insert(2, vec![2]);
+        cache.insert(3, vec![3]); // evicts scenario 1 (oldest)
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1).is_none());
+        assert!(cache.lookup(2).is_some());
+        assert!(cache.lookup(3).is_some());
+    }
+}

@@ -1,0 +1,228 @@
+//! Declarative scenarios: the recipe a session is built from, and the key
+//! the warm-state cache is hashed by.
+//!
+//! A [`TubeScenario`] is plain data — every field feeds the canonical hash
+//! — so two sessions with equal specs are *the same scenario*: they build
+//! bit-identical engines, and the second can skip setup entirely by
+//! restoring the first one's post-warmup checkpoint from the cache. The
+//! engine shell (lattices, geometry, insertion context, membranes) is
+//! rebuilt from the recipe on every resume; only evolving state travels in
+//! checkpoint blobs (see `apr-core::guardian`).
+
+use apr_cells::RbcTile;
+use apr_core::{AprEngine, SimSession};
+use apr_coupling::fine_tau;
+use apr_guard::ByteWriter;
+use apr_lattice::{force_driven_tube, Lattice};
+use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
+use apr_mesh::biconcave_rbc_mesh;
+use apr_window::{HematocritController, InsertionContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A force-driven tube with a refined APR window: the workload every serve
+/// session runs. All fields participate in [`TubeScenario::hash`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TubeScenario {
+    /// Coarse lattice dimensions.
+    pub nx: usize,
+    /// Coarse lattice dimensions.
+    pub ny: usize,
+    /// Coarse lattice dimensions (flow axis).
+    pub nz: usize,
+    /// Tube radius in coarse lattice units.
+    pub tube_radius: f64,
+    /// Refinement ratio n (fine spacings per coarse spacing).
+    pub refine: usize,
+    /// Window span in coarse cells (fine dimension = `span * refine + 1`).
+    pub span: usize,
+    /// Coarse relaxation time.
+    pub tau_c: f64,
+    /// Viscosity ratio ν_f/ν_c.
+    pub lambda: f64,
+    /// Body-force density driving the tube flow.
+    pub force_g: f64,
+    /// Target window hematocrit; `0.0` runs a pure-plasma window with no
+    /// cells (the cheap smoke-test configuration).
+    pub hematocrit: f64,
+    /// Insertion-RNG seed.
+    pub seed: u64,
+    /// Relaxation steps baked into the warm state: a cold build runs these
+    /// before the session's own stepping starts, and the cached blob is
+    /// taken after them.
+    pub warmup_steps: u64,
+}
+
+impl TubeScenario {
+    /// Test-sized scenario: 17×17×24 coarse tube, n = 2, 13³ fine window,
+    /// no cells. Small enough that a slice is milliseconds.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            nx: 17,
+            ny: 17,
+            nz: 24,
+            tube_radius: 7.0,
+            refine: 2,
+            span: 6,
+            tau_c: 0.9,
+            lambda: 0.3,
+            force_g: 4e-6,
+            hematocrit: 0.0,
+            seed,
+            warmup_steps: 4,
+        }
+    }
+
+    /// The determinism-suite recipe scaled to serve: same tube as the
+    /// exec-determinism tests with a cell-laden window (every parallel
+    /// code path — collide, stream, spread, interpolate, membrane forces,
+    /// insertion — runs each step).
+    pub fn cellular(seed: u64) -> Self {
+        Self {
+            nx: 21,
+            ny: 21,
+            nz: 48,
+            tube_radius: 9.0,
+            refine: 3,
+            span: 8,
+            tau_c: 0.9,
+            lambda: 0.3,
+            force_g: 4e-6,
+            hematocrit: 0.12,
+            seed,
+            warmup_steps: 5,
+        }
+    }
+
+    /// Canonical FNV-1a hash over every field: the warm-cache key and the
+    /// scenario's identity in telemetry. Equal specs hash equal on every
+    /// platform (floats hash by IEEE bits via the little-endian encoding).
+    pub fn hash(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        w.usize(self.nx);
+        w.usize(self.ny);
+        w.usize(self.nz);
+        w.f64(self.tube_radius);
+        w.usize(self.refine);
+        w.usize(self.span);
+        w.f64(self.tau_c);
+        w.f64(self.lambda);
+        w.f64(self.force_g);
+        w.f64(self.hematocrit);
+        w.u64(self.seed);
+        w.u64(self.warmup_steps);
+        fnv1a64(&w.into_bytes())
+    }
+
+    /// Build the engine shell: lattices, coupling, insertion context and
+    /// controller — but no cells placed and no steps taken. This is the
+    /// resume target: restoring any checkpoint of this scenario into a
+    /// fresh shell reproduces the checkpointed engine exactly.
+    pub fn build_shell(&self) -> AprEngine {
+        let coarse = force_driven_tube(
+            self.nx,
+            self.ny,
+            self.nz,
+            self.tau_c,
+            self.tube_radius,
+            self.force_g,
+        );
+        let fine_dim = self.span * self.refine + 1;
+        let mut fine = Lattice::new(
+            fine_dim,
+            fine_dim,
+            fine_dim,
+            fine_tau(self.tau_c, self.refine, self.lambda),
+        );
+        fine.body_force = [0.0, 0.0, self.force_g / self.refine as f64];
+        let origin = [
+            (self.nx as f64 - 1.0) / 2.0 - self.span as f64 / 2.0,
+            (self.ny as f64 - 1.0) / 2.0 - self.span as f64 / 2.0,
+            4.0,
+        ];
+        let mut eng = AprEngine::builder(coarse, fine, origin, self.refine, self.lambda)
+            .seed(self.seed)
+            .maintenance_interval(10)
+            .build();
+        if self.hematocrit > 0.0 {
+            let radius = 3.0;
+            let rbc_mesh = biconcave_rbc_mesh(1, radius);
+            let re = Arc::new(ReferenceState::build(&rbc_mesh));
+            let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(2e-4, 1e-5)));
+            let volume = rbc_mesh.enclosed_volume();
+            let mut tile_rng = StdRng::seed_from_u64(self.seed ^ 0x7115);
+            let tile = RbcTile::build(
+                40.0,
+                self.hematocrit,
+                radius,
+                radius * 0.6,
+                volume,
+                &mut tile_rng,
+            );
+            eng.insertion = Some(InsertionContext {
+                rbc_mesh,
+                rbc_membrane: membrane,
+                tile,
+                min_gap: 0.8,
+            });
+            eng.controller = Some(HematocritController::new(self.hematocrit, 0.85, volume));
+        }
+        eng
+    }
+
+    /// Cold setup: build the shell, pack the window (when cellular) and
+    /// run the warmup relaxation. The returned engine is at step
+    /// `warmup_steps` — the state the warm cache stores.
+    pub fn build_cold(&self) -> AprEngine {
+        let mut eng = self.build_shell();
+        if self.hematocrit > 0.0 {
+            eng.populate_window();
+        }
+        eng.step_n(self.warmup_steps);
+        eng
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_specs_hash_equal_and_fields_matter() {
+        let a = TubeScenario::small(7);
+        let b = TubeScenario::small(7);
+        assert_eq!(a.hash(), b.hash());
+        let c = TubeScenario::small(8);
+        assert_ne!(a.hash(), c.hash());
+        let mut d = TubeScenario::small(7);
+        d.force_g *= 2.0;
+        assert_ne!(a.hash(), d.hash());
+    }
+
+    #[test]
+    fn cold_build_is_reproducible_and_warm_restorable() {
+        let spec = TubeScenario::small(3);
+        let warm = SimSession::suspend(&spec.build_cold());
+        assert_eq!(
+            warm,
+            SimSession::suspend(&spec.build_cold()),
+            "cold builds of one spec must be bit-identical"
+        );
+        // Restoring the warm blob into a fresh shell reproduces it.
+        let mut shell = spec.build_shell();
+        shell.resume(&warm).unwrap();
+        assert_eq!(SimSession::suspend(&shell), warm);
+        assert_eq!(SimSession::steps(&shell), spec.warmup_steps);
+    }
+}

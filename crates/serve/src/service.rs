@@ -1,0 +1,570 @@
+//! The scheduler: N ≫ cores sessions time-sliced over a bounded worker
+//! budget by checkpoint-preempt-resume.
+//!
+//! ## Scheduling policy
+//!
+//! Round-robin over a FIFO ready queue, with the slice budget measured in
+//! **engine steps**, not wall time — a deterministic unit, so the sequence
+//! of states every session passes through is independent of machine load,
+//! worker count, and scheduling order. A granted session leases
+//! `lanes_per_worker` lanes from the shared [`WorkerBudget`], runs inside
+//! the lease's pool scope (every `apr_exec::current()` call the engine
+//! makes lands on the leased pool), steps at most `slice_steps`, then
+//! either completes or is **preempted**: suspended via the engine's
+//! bit-exact checkpoint, parked in an in-memory [`MemoryStore`], and
+//! re-queued at the back. Nothing touches disk on the preempt hot path.
+//!
+//! ## Determinism
+//!
+//! Suspend/resume is bit-exact, stepping is bit-identical for any lane
+//! count, and checkpoint blobs at step boundaries are kernel-independent;
+//! therefore a session preempted N times produces a final checkpoint
+//! byte-identical to the same scenario run straight through — the
+//! zero-cross-session-nondeterminism contract
+//! (`tests/preempt_determinism.rs` pins it).
+//!
+//! ## Worker isolation
+//!
+//! Each slice runs under `catch_unwind`: a session whose engine panics
+//! (numerical blow-up) completes with an error result; the worker thread,
+//! its lease, and every other session are unaffected.
+
+use crate::cache::WarmCache;
+use crate::metrics::ServiceMetrics;
+use crate::session::{JobSpec, SessionResult, SessionStats, SessionStatus};
+use apr_core::SimSession;
+use apr_exec::WorkerBudget;
+use apr_guard::{CheckpointStore, MemoryStore};
+use apr_telemetry::TelemetryEvent;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Scheduler worker threads (concurrent sessions in flight).
+    pub workers: usize,
+    /// Exec-pool lanes each running slice leases from the shared budget;
+    /// total lane occupancy never exceeds `workers * lanes_per_worker`.
+    pub lanes_per_worker: usize,
+    /// Time-slice budget in engine steps (deterministic preemption unit).
+    pub slice_steps: u64,
+    /// Admission-control cap on in-flight (admitted, not yet completed)
+    /// sessions; [`SimService::submit`] rejects beyond it.
+    pub max_sessions: usize,
+    /// Warm-state cache capacity in scenarios.
+    pub cache_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Config for `workers` single-lane workers with serve defaults:
+    /// 10-step slices, 64-session admission cap, 8-scenario cache.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            lanes_per_worker: 1,
+            slice_steps: 10,
+            max_sessions: 64,
+            cache_capacity: 8,
+        }
+    }
+}
+
+/// Why [`SimService::submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The in-flight session count is at `max_sessions`.
+    Saturated {
+        /// Sessions currently admitted and not yet completed.
+        inflight: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Saturated { inflight, max } => {
+                write!(f, "admission refused: {inflight}/{max} sessions in flight")
+            }
+            AdmitError::ShuttingDown => write!(f, "admission refused: service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+struct SessionEntry {
+    spec: JobSpec,
+    status: SessionStatus,
+    steps_done: u64,
+    site_updates: u64,
+    stats: SessionStats,
+    result: Option<SessionResult>,
+}
+
+struct State {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    sessions: HashMap<u64, SessionEntry>,
+    /// Parked checkpoints of preempted sessions, keyed `session-<id>`.
+    parked: MemoryStore,
+    /// Global slice-grant counter (fairness clock).
+    grants: u64,
+    inflight: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers wait here for runnable sessions.
+    ready: Condvar,
+    /// Waiters ([`SimService::wait`]/[`SimService::wait_all`]) wait here.
+    done: Condvar,
+    cache: WarmCache,
+    shutdown: AtomicBool,
+}
+
+fn park_key(id: u64) -> String {
+    format!("session-{id}")
+}
+
+/// The multi-tenant simulation service. Construct with
+/// [`SimService::start`]; submit jobs; wait; shut down (automatic on
+/// drop).
+pub struct SimService {
+    shared: Arc<Shared>,
+    budget: Arc<WorkerBudget>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+impl SimService {
+    /// Start the service: spawns `config.workers` scheduler threads
+    /// sharing a `workers × lanes_per_worker`-lane budget.
+    pub fn start(config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                next_id: 0,
+                queue: VecDeque::new(),
+                sessions: HashMap::new(),
+                parked: MemoryStore::new(),
+                grants: 0,
+                inflight: 0,
+            }),
+            ready: Condvar::new(),
+            done: Condvar::new(),
+            cache: WarmCache::new(config.cache_capacity),
+            shutdown: AtomicBool::new(false),
+        });
+        let budget = Arc::new(WorkerBudget::new(
+            config.workers * config.lanes_per_worker.max(1),
+        ));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let budget = Arc::clone(&budget);
+                std::thread::Builder::new()
+                    .name(format!("apr-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &budget, config))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            budget,
+            config,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// The service's sizing config.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared worker budget (exposed for occupancy assertions).
+    pub fn budget(&self) -> &Arc<WorkerBudget> {
+        &self.budget
+    }
+
+    /// The warm-state cache (hit/miss counters feed the metrics).
+    pub fn cache(&self) -> &WarmCache {
+        &self.shared.cache
+    }
+
+    /// Admit a job. Returns its session id, or refuses when the in-flight
+    /// count is at `max_sessions` (admission control: parked state is
+    /// resident memory, so the cap bounds the service's footprint).
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, AdmitError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(AdmitError::ShuttingDown);
+        }
+        let mut st = self.shared.state.lock().unwrap();
+        if st.inflight >= self.config.max_sessions {
+            return Err(AdmitError::Saturated {
+                inflight: st.inflight,
+                max: self.config.max_sessions,
+            });
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        let scenario = spec.scenario.hash();
+        st.sessions.insert(
+            id,
+            SessionEntry {
+                spec,
+                status: SessionStatus::Queued,
+                steps_done: 0,
+                site_updates: 0,
+                stats: SessionStats::new(Instant::now()),
+                result: None,
+            },
+        );
+        st.queue.push_back(id);
+        st.inflight += 1;
+        drop(st);
+        apr_telemetry::emit(TelemetryEvent::SessionAdmitted {
+            session: id,
+            scenario,
+        });
+        self.shared.ready.notify_one();
+        Ok(id)
+    }
+
+    /// A session's lifecycle status (`None` for unknown ids).
+    pub fn status(&self, id: u64) -> Option<SessionStatus> {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .sessions
+            .get(&id)
+            .map(|e| e.status)
+    }
+
+    /// Session steps completed so far, per session — the fairness
+    /// observable (`(id, steps_done, target)` triples, sorted by id).
+    pub fn progress_snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let st = self.shared.state.lock().unwrap();
+        let mut out: Vec<(u64, u64, u64)> = st
+            .sessions
+            .iter()
+            .map(|(&id, e)| (id, e.steps_done, e.spec.target_steps))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Scheduler bookkeeping for one session (`None` for unknown ids).
+    pub fn session_stats(&self, id: u64) -> Option<SessionStats> {
+        self.shared
+            .state
+            .lock()
+            .unwrap()
+            .sessions
+            .get(&id)
+            .map(|e| e.stats.clone())
+    }
+
+    /// Block until session `id` completes; returns its result (`None` for
+    /// unknown ids).
+    pub fn wait(&self, id: u64) -> Option<SessionResult> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            match st.sessions.get(&id) {
+                None => return None,
+                Some(e) => {
+                    if let Some(r) = &e.result {
+                        return Some(r.clone());
+                    }
+                }
+            }
+            st = self.shared.done.wait(st).unwrap();
+        }
+    }
+
+    /// Block until every admitted session completes; returns all results
+    /// sorted by session id.
+    pub fn wait_all(&self) -> Vec<SessionResult> {
+        let mut st = self.shared.state.lock().unwrap();
+        while st.inflight > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        let mut out: Vec<SessionResult> = st
+            .sessions
+            .values()
+            .filter_map(|e| e.result.clone())
+            .collect();
+        out.sort_unstable_by_key(|r| r.session);
+        out
+    }
+
+    /// Service-level metrics over everything observed so far.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let st = self.shared.state.lock().unwrap();
+        ServiceMetrics::compute(
+            st.sessions.values().map(|e| (&e.stats, e.result.as_ref())),
+            self.started.elapsed().as_secs_f64(),
+            &self.shared.cache,
+        )
+    }
+
+    /// Stop the workers after their current slices; in-queue sessions stay
+    /// incomplete. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Unblock any wait()/wait_all() callers stuck on sessions that
+        // will now never complete.
+        self.shared.done.notify_all();
+    }
+}
+
+impl Drop for SimService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// What one slice produced, applied to the session entry under the state
+/// lock afterwards.
+struct SliceOutcome {
+    stepped: u64,
+    site_updates: u64,
+    /// Final checkpoint when the session reached its target.
+    completed: Option<Vec<u8>>,
+    /// Parked checkpoint when preempted.
+    parked: Option<Vec<u8>>,
+    /// `Some` on the first slice: did setup hit the warm cache?
+    cache_hit: Option<bool>,
+    /// Instant stepping began (for time-to-first-step on slice one).
+    stepping_started: Instant,
+    setup_ns: u64,
+    resume_ns: u64,
+    step_ns: u64,
+    suspend_ns: u64,
+}
+
+fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfig) {
+    loop {
+        let mut st = shared.state.lock().unwrap();
+        let id = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(id) = st.queue.pop_front() {
+                break id;
+            }
+            st = shared.ready.wait(st).unwrap();
+        };
+        st.grants += 1;
+        let grant = st.grants;
+        let parked = st
+            .parked
+            .take(&park_key(id))
+            .expect("memory store take is infallible");
+        let entry = st.sessions.get_mut(&id).expect("queued session exists");
+        entry.status = SessionStatus::Running;
+        if entry.stats.last_grant != 0 {
+            let gap = grant - entry.stats.last_grant;
+            entry.stats.max_grant_gap = entry.stats.max_grant_gap.max(gap);
+        }
+        entry.stats.last_grant = grant;
+        entry.stats.resumes += 1;
+        let spec = entry.spec;
+        let steps_done = entry.steps_done;
+        drop(st);
+
+        // Lease lanes for the slice; the lease scope routes every
+        // apr_exec::current() call inside to the leased pool.
+        let lease = budget.lease(cfg.lanes_per_worker);
+        let slice = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            lease.scope(|| {
+                run_slice(
+                    &shared.cache,
+                    id,
+                    &spec,
+                    steps_done,
+                    parked,
+                    cfg.slice_steps,
+                )
+            })
+        }));
+        drop(lease);
+
+        let mut st = shared.state.lock().unwrap();
+        let entry = st.sessions.get_mut(&id).expect("running session exists");
+        match slice {
+            Ok(out) => {
+                entry.steps_done += out.stepped;
+                entry.site_updates += out.site_updates;
+                entry.stats.setup_ns += out.setup_ns;
+                entry.stats.resume_ns += out.resume_ns;
+                entry.stats.step_ns += out.step_ns;
+                entry.stats.suspend_ns += out.suspend_ns;
+                if let Some(hit) = out.cache_hit {
+                    entry.stats.cache_hit = Some(hit);
+                    entry.stats.time_to_first_step =
+                        Some(out.stepping_started.duration_since(entry.stats.admitted_at));
+                }
+                if let Some(final_checkpoint) = out.completed {
+                    entry.status = SessionStatus::Completed;
+                    entry.result = Some(SessionResult {
+                        session: id,
+                        scenario: spec.scenario.hash(),
+                        steps: entry.steps_done,
+                        site_updates: entry.site_updates,
+                        final_checkpoint,
+                        cache_hit: entry.stats.cache_hit.unwrap_or(false),
+                        preempts: entry.stats.preempts,
+                        error: None,
+                    });
+                    st.inflight -= 1;
+                    drop(st);
+                    shared.done.notify_all();
+                } else {
+                    entry.stats.preempts += 1;
+                    entry.status = SessionStatus::Queued;
+                    let blob = out.parked.expect("preempted slice parks a checkpoint");
+                    st.parked
+                        .put(&park_key(id), blob)
+                        .expect("memory store put is infallible");
+                    st.queue.push_back(id);
+                    drop(st);
+                    shared.ready.notify_one();
+                }
+            }
+            Err(payload) => {
+                // The session's engine blew up; the session completes
+                // with an error and the worker moves on.
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                entry.status = SessionStatus::Completed;
+                entry.result = Some(SessionResult {
+                    session: id,
+                    scenario: spec.scenario.hash(),
+                    steps: entry.steps_done,
+                    site_updates: entry.site_updates,
+                    final_checkpoint: Vec::new(),
+                    cache_hit: entry.stats.cache_hit.unwrap_or(false),
+                    preempts: entry.stats.preempts,
+                    error: Some(message),
+                });
+                st.inflight -= 1;
+                drop(st);
+                shared.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Run one time slice of session `id`: materialize the engine (parked
+/// checkpoint → warm cache → cold build, in that order), step up to
+/// `slice_steps`, and suspend. Runs inside the worker's lease scope and
+/// the session's telemetry scope.
+fn run_slice(
+    cache: &WarmCache,
+    id: u64,
+    spec: &JobSpec,
+    steps_done: u64,
+    parked: Option<Vec<u8>>,
+    slice_steps: u64,
+) -> SliceOutcome {
+    let _scope = apr_telemetry::session_scope(id);
+    let scenario = spec.scenario.hash();
+    let mut cache_hit = None;
+    let mut setup_ns = 0u64;
+    let mut resume_ns = 0u64;
+
+    let mut engine: Box<dyn SimSession> = if let Some(blob) = parked {
+        let t = Instant::now();
+        let mut shell = spec.scenario.build_shell();
+        shell
+            .resume(&blob)
+            .expect("parked checkpoint must restore into its own recipe");
+        resume_ns = t.elapsed().as_nanos() as u64;
+        Box::new(shell)
+    } else {
+        let t = Instant::now();
+        let eng = match cache.lookup(scenario) {
+            Some(warm) => {
+                cache_hit = Some(true);
+                apr_telemetry::emit(TelemetryEvent::WarmCacheHit {
+                    session: id,
+                    scenario,
+                });
+                let mut shell = spec.scenario.build_shell();
+                shell
+                    .resume(&warm)
+                    .expect("warm checkpoint must restore into its own recipe");
+                shell
+            }
+            None => {
+                cache_hit = Some(false);
+                apr_telemetry::emit(TelemetryEvent::WarmCacheMiss {
+                    session: id,
+                    scenario,
+                });
+                let eng = spec.scenario.build_cold();
+                cache.insert(scenario, SimSession::suspend(&eng));
+                eng
+            }
+        };
+        setup_ns = t.elapsed().as_nanos() as u64;
+        Box::new(eng)
+    };
+    apr_telemetry::emit(TelemetryEvent::SessionResumed {
+        session: id,
+        step: engine.steps(),
+    });
+
+    let stepping_started = Instant::now();
+    let run = (spec.target_steps - steps_done).min(slice_steps.max(1));
+    let t = Instant::now();
+    let site_updates = engine.step_n(run);
+    let step_ns = t.elapsed().as_nanos() as u64;
+
+    let t = Instant::now();
+    let blob = engine.suspend();
+    let suspend_ns = t.elapsed().as_nanos() as u64;
+
+    let done = steps_done + run >= spec.target_steps;
+    if done {
+        apr_telemetry::emit(TelemetryEvent::SessionCompleted {
+            session: id,
+            step: engine.steps(),
+        });
+    } else {
+        apr_telemetry::emit(TelemetryEvent::SessionPreempted {
+            session: id,
+            step: engine.steps(),
+            bytes: blob.len() as u64,
+        });
+    }
+    SliceOutcome {
+        stepped: run,
+        site_updates,
+        completed: done.then(|| blob.clone()),
+        parked: (!done).then_some(blob),
+        cache_hit,
+        stepping_started,
+        setup_ns,
+        resume_ns,
+        step_ns,
+        suspend_ns,
+    }
+}

@@ -1,0 +1,104 @@
+//! Satellite: checkpoint-preempt-resume is invisible to the physics.
+//!
+//! A session preempted and resumed ~10 times through the service must
+//! produce a final checkpoint byte-identical to the same scenario stepped
+//! straight through with no service, no preemption, and no cache — at
+//! lane counts 1 and 4. This is the serve subsystem's core contract:
+//! scheduling is not allowed to perturb a single bit of simulation state.
+
+use apr_core::SimSession;
+use apr_serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+
+/// Straight-through reference: cold build + `target` steps, no service.
+fn straight_through(scenario: TubeScenario, target: u64) -> Vec<u8> {
+    let mut eng = scenario.build_cold();
+    eng.step_n(target);
+    SimSession::suspend(&eng)
+}
+
+/// Run one session through the service with `slice_steps` forcing ~10
+/// preemptions, and return its final checkpoint.
+fn serve_preempted(scenario: TubeScenario, target: u64, lanes: usize) -> (Vec<u8>, u64) {
+    let config = ServeConfig {
+        workers: 2,
+        lanes_per_worker: lanes,
+        slice_steps: target / 10, // ≥ 10 slices → ≥ 9 preemptions
+        max_sessions: 8,
+        cache_capacity: 4,
+    };
+    let service = SimService::start(config);
+    let id = service
+        .submit(JobSpec {
+            scenario,
+            target_steps: target,
+        })
+        .unwrap();
+    let result = service.wait(id).expect("session exists");
+    assert_eq!(result.error, None);
+    assert_eq!(result.steps, target);
+    (result.final_checkpoint, result.preempts)
+}
+
+fn preempted_matches_straight_through(scenario: TubeScenario, target: u64) {
+    let reference = straight_through(scenario, target);
+    for lanes in [1usize, 4] {
+        let (served, preempts) = serve_preempted(scenario, target, lanes);
+        assert!(
+            preempts >= 9,
+            "expected ≥ 9 preemptions, got {preempts} (lanes = {lanes})"
+        );
+        assert_eq!(
+            served, reference,
+            "preempted session diverged from straight-through (lanes = {lanes})"
+        );
+    }
+}
+
+#[test]
+fn preempted_session_is_bit_identical_plasma() {
+    preempted_matches_straight_through(TubeScenario::small(11), 40);
+}
+
+#[test]
+fn preempted_session_is_bit_identical_cellular() {
+    // Cell-laden window: membranes, IBM spread/interpolate, insertion and
+    // the hematocrit controller all run under preemption.
+    preempted_matches_straight_through(TubeScenario::cellular(5), 30);
+}
+
+#[test]
+fn warm_cache_restore_is_bit_identical_to_cold_build() {
+    // Two identical sessions in one service: the second restores from the
+    // warm cache and must end at exactly the same bytes as the first.
+    let scenario = TubeScenario::small(23);
+    let target = 24;
+    let config = ServeConfig {
+        workers: 1, // serialize so session 2 deterministically hits the cache
+        lanes_per_worker: 1,
+        slice_steps: 6,
+        max_sessions: 4,
+        cache_capacity: 2,
+    };
+    let service = SimService::start(config);
+    let a = service
+        .submit(JobSpec {
+            scenario,
+            target_steps: target,
+        })
+        .unwrap();
+    let ra = service.wait(a).unwrap();
+    let b = service
+        .submit(JobSpec {
+            scenario,
+            target_steps: target,
+        })
+        .unwrap();
+    let rb = service.wait(b).unwrap();
+    assert!(!ra.cache_hit, "first session must build cold");
+    assert!(rb.cache_hit, "second session must restore warm");
+    assert_eq!(
+        ra.final_checkpoint, rb.final_checkpoint,
+        "warm-started session diverged from cold-started"
+    );
+    assert_eq!(ra.final_checkpoint, straight_through(scenario, target));
+}

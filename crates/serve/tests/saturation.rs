@@ -1,0 +1,178 @@
+//! Satellite: saturation smoke — 16 sessions on a 4-worker budget.
+//!
+//! Asserts the service's level objectives under 4× oversubscription:
+//! every session completes, progress is fair (bounded grant gaps, no
+//! starvation), the warm cache serves ≥ 50% of lookups when sessions
+//! share scenarios, identical specs produce identical results, and
+//! admission control refuses work past the cap.
+
+use apr_serve::{AdmitError, JobSpec, ServeConfig, SimService, TubeScenario};
+
+#[test]
+fn sixteen_sessions_on_four_workers_complete_fairly() {
+    let sessions = 16u64;
+    let workers = 4usize;
+    let target = 20u64;
+    let config = ServeConfig {
+        workers,
+        lanes_per_worker: 1,
+        slice_steps: 5, // 4 slices per session → heavy interleaving
+        max_sessions: sessions as usize,
+        cache_capacity: 4,
+    };
+    let service = SimService::start(config);
+
+    // Two alternating scenarios: 16 lookups over 2 distinct hashes.
+    let scenarios = [TubeScenario::small(1), TubeScenario::small(2)];
+    let ids: Vec<u64> = (0..sessions)
+        .map(|i| {
+            service
+                .submit(JobSpec {
+                    scenario: scenarios[(i % 2) as usize],
+                    target_steps: target,
+                })
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(ids.len(), 16);
+
+    let results = service.wait_all();
+    assert_eq!(results.len(), 16, "every admitted session must complete");
+    for r in &results {
+        assert_eq!(r.error, None, "session {} failed", r.session);
+        assert_eq!(r.steps, target, "session {} stopped early", r.session);
+        assert!(
+            r.preempts >= 3,
+            "session {} was not preempted enough ({} preempts) to exercise scheduling",
+            r.session,
+            r.preempts
+        );
+    }
+
+    // Fairness: round-robin bounds the gap between a session's consecutive
+    // grants by the number of concurrently active sessions (plus the
+    // workers that may each have claimed a grant in the same instant).
+    let bound = sessions + workers as u64;
+    for &id in &ids {
+        let stats = service.session_stats(id).unwrap();
+        assert!(
+            stats.max_grant_gap <= bound,
+            "session {id} starved: max grant gap {} > bound {bound}",
+            stats.max_grant_gap
+        );
+    }
+    let metrics = service.metrics();
+    assert_eq!(metrics.sessions_completed, 16);
+    assert_eq!(metrics.sessions_failed, 0);
+    assert!(metrics.max_grant_gap <= bound);
+    assert!(metrics.total_preempts >= 16 * 3);
+
+    // Warm cache: 16 lookups over 2 scenarios. Worst case every worker
+    // races a cold build for each scenario before a blob lands: 8 misses.
+    // ≥ 50% hit rate is the service-level objective from the issue.
+    assert!(
+        metrics.cache_hit_rate >= 0.5,
+        "warm-cache hit rate {} below 0.5 ({} hits / {} misses)",
+        metrics.cache_hit_rate,
+        metrics.cache_hits,
+        metrics.cache_misses
+    );
+
+    // Zero cross-session nondeterminism: identical specs → identical
+    // final checkpoints, despite 4 workers interleaving 16 sessions.
+    for pair in results.chunks(2) {
+        // ids alternate scenarios, so results[2k] and results[2k+1] differ,
+        // but all even-indexed share scenario 1 and odd share scenario 2.
+        assert_ne!(pair[0].scenario, pair[1].scenario);
+    }
+    let first_a = results
+        .iter()
+        .find(|r| r.scenario == scenarios[0].hash())
+        .unwrap();
+    let first_b = results
+        .iter()
+        .find(|r| r.scenario == scenarios[1].hash())
+        .unwrap();
+    for r in &results {
+        let reference = if r.scenario == scenarios[0].hash() {
+            first_a
+        } else {
+            first_b
+        };
+        assert_eq!(
+            r.final_checkpoint, reference.final_checkpoint,
+            "sessions {} and {} ran identical specs but diverged",
+            r.session, reference.session
+        );
+    }
+}
+
+#[test]
+fn admission_control_refuses_past_the_cap() {
+    let config = ServeConfig {
+        workers: 1,
+        lanes_per_worker: 1,
+        slice_steps: 4,
+        max_sessions: 3,
+        cache_capacity: 2,
+    };
+    let service = SimService::start(config);
+    let spec = JobSpec {
+        scenario: TubeScenario::small(9),
+        target_steps: 12,
+    };
+    let mut admitted = Vec::new();
+    for _ in 0..3 {
+        admitted.push(service.submit(spec).unwrap());
+    }
+    match service.submit(spec) {
+        Err(AdmitError::Saturated { inflight, max }) => {
+            assert_eq!(max, 3);
+            assert!(inflight >= 1);
+        }
+        other => panic!("expected saturation, got {other:?}"),
+    }
+    // Capacity frees as sessions complete: once all three finish,
+    // admission opens again.
+    service.wait_all();
+    assert!(service.submit(spec).is_ok());
+}
+
+#[test]
+fn a_panicking_session_does_not_poison_the_service() {
+    // An unphysical relaxation time trips `Lattice::new`'s `tau > 1/2`
+    // assertion during the doomed session's cold build — inside the slice's
+    // catch_unwind. The session must complete with an error while a healthy
+    // session sharing the service still finishes.
+    let config = ServeConfig {
+        workers: 2,
+        lanes_per_worker: 1,
+        slice_steps: 4,
+        max_sessions: 4,
+        cache_capacity: 2,
+    };
+    let service = SimService::start(config);
+    let mut bad_scenario = TubeScenario::small(1);
+    bad_scenario.tau_c = 0.4; // tau ≤ 1/2: Lattice::new panics
+    let bad = service
+        .submit(JobSpec {
+            scenario: bad_scenario,
+            target_steps: 8,
+        })
+        .unwrap();
+    let good = service
+        .submit(JobSpec {
+            scenario: TubeScenario::small(4),
+            target_steps: 8,
+        })
+        .unwrap();
+    let bad_result = service.wait(bad).unwrap();
+    assert!(
+        bad_result.error.is_some(),
+        "doomed session must report its panic"
+    );
+    assert!(bad_result.final_checkpoint.is_empty());
+    let good_result = service.wait(good).unwrap();
+    assert_eq!(good_result.error, None);
+    assert_eq!(good_result.steps, 8);
+}

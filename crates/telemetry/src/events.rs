@@ -116,6 +116,54 @@ pub enum TelemetryEvent {
         /// Checkpoint epoch (step) the run was rolled back to.
         restored_epoch: u64,
     },
+    /// The serve scheduler admitted a session into the job queue.
+    SessionAdmitted {
+        /// Service-assigned session id.
+        session: u64,
+        /// Scenario hash the session will run.
+        scenario: u64,
+    },
+    /// A session was granted a time slice and (re)started stepping —
+    /// either cold-built or restored from a parked checkpoint.
+    SessionResumed {
+        /// Session id.
+        session: u64,
+        /// Engine step the slice starts from.
+        step: u64,
+    },
+    /// A session's slice expired: its engine was checkpointed to memory
+    /// and the workers were handed to the next session.
+    SessionPreempted {
+        /// Session id.
+        session: u64,
+        /// Engine step the checkpoint represents.
+        step: u64,
+        /// Parked checkpoint size in bytes.
+        bytes: u64,
+    },
+    /// A session reached its target step count and left the service.
+    SessionCompleted {
+        /// Session id.
+        session: u64,
+        /// Final engine step.
+        step: u64,
+    },
+    /// A session's scenario was found pre-relaxed in the warm-state cache
+    /// (setup skipped entirely).
+    WarmCacheHit {
+        /// Session id.
+        session: u64,
+        /// Scenario hash that hit.
+        scenario: u64,
+    },
+    /// A session's scenario was not cached; it was built cold and the
+    /// relaxed state was inserted for successors.
+    WarmCacheMiss {
+        /// Session id.
+        session: u64,
+        /// Scenario hash that missed.
+        scenario: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -134,10 +182,17 @@ impl TelemetryEvent {
             TelemetryEvent::HaloResend { .. } => "halo_resend",
             TelemetryEvent::RankDown { .. } => "rank_down",
             TelemetryEvent::RankRestored { .. } => "rank_restored",
+            TelemetryEvent::SessionAdmitted { .. } => "session_admitted",
+            TelemetryEvent::SessionResumed { .. } => "session_resumed",
+            TelemetryEvent::SessionPreempted { .. } => "session_preempted",
+            TelemetryEvent::SessionCompleted { .. } => "session_completed",
+            TelemetryEvent::WarmCacheHit { .. } => "warm_cache_hit",
+            TelemetryEvent::WarmCacheMiss { .. } => "warm_cache_miss",
         }
     }
 
-    /// Engine step the event refers to (`HaloExchange` reports its round).
+    /// Engine step the event refers to (`HaloExchange` reports its round;
+    /// admission and cache events, which precede any stepping, report 0).
     pub fn step(&self) -> u64 {
         match *self {
             TelemetryEvent::WindowMove { step, .. }
@@ -149,8 +204,27 @@ impl TelemetryEvent {
             | TelemetryEvent::RetriesExhausted { step, .. }
             | TelemetryEvent::RankDown { step, .. }
             | TelemetryEvent::RankRestored { step, .. } => step,
+            TelemetryEvent::SessionResumed { step, .. }
+            | TelemetryEvent::SessionPreempted { step, .. }
+            | TelemetryEvent::SessionCompleted { step, .. } => step,
             TelemetryEvent::HaloExchange { round, .. }
             | TelemetryEvent::HaloResend { round, .. } => round,
+            TelemetryEvent::SessionAdmitted { .. }
+            | TelemetryEvent::WarmCacheHit { .. }
+            | TelemetryEvent::WarmCacheMiss { .. } => 0,
+        }
+    }
+
+    /// Session id for serve-layer events (`None` for engine/rank events).
+    pub fn session(&self) -> Option<u64> {
+        match *self {
+            TelemetryEvent::SessionAdmitted { session, .. }
+            | TelemetryEvent::SessionResumed { session, .. }
+            | TelemetryEvent::SessionPreempted { session, .. }
+            | TelemetryEvent::SessionCompleted { session, .. }
+            | TelemetryEvent::WarmCacheHit { session, .. }
+            | TelemetryEvent::WarmCacheMiss { session, .. } => Some(session),
+            _ => None,
         }
     }
 }

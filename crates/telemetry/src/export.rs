@@ -116,6 +116,29 @@ pub(crate) fn event_args(ev: &TelemetryEvent, out: &mut String) {
                 "\"step\":{step},\"rank\":{rank},\"restored_epoch\":{restored_epoch}"
             );
         }
+        TelemetryEvent::SessionAdmitted { session, scenario } => {
+            let _ = write!(out, "\"session\":{session},\"scenario\":{scenario}");
+        }
+        TelemetryEvent::SessionResumed { session, step } => {
+            let _ = write!(out, "\"session\":{session},\"step\":{step}");
+        }
+        TelemetryEvent::SessionPreempted {
+            session,
+            step,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                "\"session\":{session},\"step\":{step},\"bytes\":{bytes}"
+            );
+        }
+        TelemetryEvent::SessionCompleted { session, step } => {
+            let _ = write!(out, "\"session\":{session},\"step\":{step}");
+        }
+        TelemetryEvent::WarmCacheHit { session, scenario }
+        | TelemetryEvent::WarmCacheMiss { session, scenario } => {
+            let _ = write!(out, "\"session\":{session},\"scenario\":{scenario}");
+        }
     }
 }
 

@@ -50,7 +50,10 @@ pub use events::{TelemetryEvent, TimedEvent};
 pub use export::render_phase_table;
 pub use flight::{FlightEntry, DEFAULT_FLIGHT_CAPACITY, FLIGHTREC_SCHEMA};
 pub use metrics::{Histogram, MetricValue};
-pub use span::{LaneStats, PhaseStat, Recorder, ScopedSpan, SpanRecord};
+pub use span::{
+    current_session, session_scope, LaneStats, PhaseStat, Recorder, ScopedSpan, SessionScope,
+    SpanRecord,
+};
 pub use validate::{validate_chrome_trace, validate_metrics_jsonl, MetricsSummary, TraceSummary};
 
 use std::sync::OnceLock;

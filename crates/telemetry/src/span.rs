@@ -14,6 +14,7 @@
 use crate::clock::Clock;
 use crate::events::{TelemetryEvent, TimedEvent};
 use crate::metrics::{Histogram, MetricValue};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -34,6 +35,40 @@ fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+thread_local! {
+    /// Session id spans on this thread are attributed to (0 = unscoped).
+    /// Set by [`SessionScope`], read at span open.
+    static SESSION: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Session id currently scoped on this thread (0 = unscoped).
+pub fn current_session() -> u64 {
+    SESSION.with(Cell::get)
+}
+
+/// RAII guard attributing every span opened on this thread to a serve
+/// session while it lives. Scopes nest (innermost wins; the previous id is
+/// restored on drop), so a scheduler worker that runs session after
+/// session never leaks one session's id into the next slice.
+#[must_use = "the scope attributes spans only while the guard lives"]
+#[derive(Debug)]
+pub struct SessionScope {
+    prev: u64,
+}
+
+/// Attribute spans (and anything else reading [`current_session`]) on this
+/// thread to `session` until the returned guard drops.
+pub fn session_scope(session: u64) -> SessionScope {
+    let prev = SESSION.with(|s| s.replace(session));
+    SessionScope { prev }
+}
+
+impl Drop for SessionScope {
+    fn drop(&mut self) {
+        SESSION.with(|s| s.set(self.prev));
+    }
+}
+
 /// One completed span occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -49,6 +84,9 @@ pub struct SpanRecord {
     pub self_ns: u64,
     /// Nesting depth at creation (0 = top level).
     pub depth: u16,
+    /// Serve session the span ran under (0 = unscoped), captured from the
+    /// thread's [`SessionScope`] when the span opened.
+    pub session: u64,
 }
 
 /// Aggregated per-lane busy-time statistics attached to a span name —
@@ -176,6 +214,7 @@ struct Frame {
     workers: LaneStats,
     ranks: LaneStats,
     depth: u16,
+    session: u64,
 }
 
 #[derive(Debug, Default)]
@@ -316,6 +355,7 @@ impl Recorder {
     fn begin_span(&self, name: &'static str) {
         let now = self.clock.now_ns();
         let tid = current_tid();
+        let session = current_session();
         let mut inner = self.inner.lock().unwrap();
         let stack = inner.stacks.entry(tid).or_default();
         let depth = stack.len() as u16;
@@ -327,6 +367,7 @@ impl Recorder {
             workers: LaneStats::default(),
             ranks: LaneStats::default(),
             depth,
+            session,
         });
     }
 
@@ -366,6 +407,7 @@ impl Recorder {
             dur_ns,
             self_ns,
             depth: frame.depth,
+            session: frame.session,
         };
         if inner.trace.len() < inner.span_capacity {
             inner.trace.push(record);
@@ -521,6 +563,19 @@ impl Recorder {
     /// All completed span records, in completion order.
     pub fn span_records(&self) -> Vec<SpanRecord> {
         self.inner.lock().unwrap().trace.clone()
+    }
+
+    /// Completed span records attributed to one serve session (see
+    /// [`session_scope`]); `session` 0 selects unscoped spans.
+    pub fn session_span_records(&self, session: u64) -> Vec<SpanRecord> {
+        self.inner
+            .lock()
+            .unwrap()
+            .trace
+            .iter()
+            .filter(|r| r.session == session)
+            .copied()
+            .collect()
     }
 
     /// Flat per-phase table (wall/self time), sorted by total wall time
@@ -835,6 +890,41 @@ mod tests {
         assert!(rec.metric("c").is_none());
         assert!(rec.attributes().is_empty());
         assert!(rec.is_enabled(), "reset keeps the enable state");
+    }
+
+    #[test]
+    fn session_scope_attributes_spans_and_nests() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _s = rec.span("outside");
+            rec.clock().advance(1);
+        }
+        {
+            let _scope = session_scope(7);
+            {
+                let _s = rec.span("inside");
+                rec.clock().advance(1);
+            }
+            {
+                let _nested = session_scope(9);
+                let _s = rec.span("nested");
+                rec.clock().advance(1);
+            }
+            assert_eq!(current_session(), 7, "inner scope restored outer id");
+        }
+        assert_eq!(current_session(), 0);
+        let by_name = |n: &str| {
+            rec.span_records()
+                .into_iter()
+                .find(|r| r.name == n)
+                .unwrap()
+        };
+        assert_eq!(by_name("outside").session, 0);
+        assert_eq!(by_name("inside").session, 7);
+        assert_eq!(by_name("nested").session, 9);
+        assert_eq!(rec.session_span_records(7).len(), 1);
+        assert_eq!(rec.session_span_records(0).len(), 1);
     }
 
     #[test]
