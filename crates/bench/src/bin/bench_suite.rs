@@ -5,27 +5,36 @@
 //! bench_suite run  [--scenario all|tube|window_move|scaling|kernels|serve]
 //!                  [--threads 1,4] [--steps N] [--out-dir DIR]
 //! bench_suite diff <OLD> <NEW> [--threshold 0.15] [--warn-only]
+//! bench_suite gate <SCALING.json> [--min-speedup 1.5]
 //! ```
+//!
+//! `gate` enforces the thread-scaling floor on a `scaling` artifact: the
+//! best multi-threaded run must reach `--min-speedup` × the single-thread
+//! MLUPS. Artifacts recorded on hosts with fewer than 4 cores are skipped
+//! with a notice (parallel speedup is physically impossible there), so the
+//! gate is safe to run unconditionally in CI.
 //!
 //! Exit codes: 0 success / within tolerance, 1 regression detected,
 //! 2 usage or I/O error. See DESIGN.md §10 and the repo-root `BENCH_*.json`
 //! baselines.
 
 use apr_bench::observatory::{
-    default_steps, diff_artifacts, parse_artifact, read_git_rev, run_scenario, to_json,
-    BenchArtifact, DiffOptions, SCENARIOS,
+    default_steps, diff_artifacts, gate_scaling, parse_artifact, read_git_rev, run_scenario,
+    to_json, BenchArtifact, DiffOptions, GateVerdict, SCENARIOS,
 };
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage:\n  \
     bench_suite run [--scenario all|tube|window_move|scaling|kernels|serve] [--threads 1,4] [--steps N] [--out-dir DIR]\n  \
-    bench_suite diff <OLD.json> <NEW.json> [--threshold 0.15] [--warn-only]";
+    bench_suite diff <OLD.json> <NEW.json> [--threshold 0.15] [--warn-only]\n  \
+    bench_suite gate <SCALING.json> [--min-speedup 1.5]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
+        Some("gate") => cmd_gate(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -152,5 +161,58 @@ fn cmd_diff(args: &[String]) -> i32 {
         1
     } else {
         0
+    }
+}
+
+fn cmd_gate(args: &[String]) -> i32 {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("bench_suite gate: expected a scaling artifact path\n{USAGE}");
+        return 2;
+    };
+    let min_speedup = match flag_value(args, "--min-speedup").map(|v| v.map(str::parse::<f64>)) {
+        Ok(None) => 1.5,
+        Ok(Some(Ok(s))) if s > 1.0 => s,
+        _ => {
+            eprintln!("bench_suite gate: --min-speedup needs a number > 1\n{USAGE}");
+            return 2;
+        }
+    };
+    let artifact = match load(path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_suite gate: {e}");
+            return 2;
+        }
+    };
+    match gate_scaling(&artifact) {
+        Err(e) => {
+            eprintln!("bench_suite gate: {e}");
+            2
+        }
+        Ok(GateVerdict::Skipped { cores }) => {
+            println!(
+                "gate: SKIP — artifact recorded on {cores} core(s); \
+                 parallel speedup is not measurable below 4"
+            );
+            0
+        }
+        Ok(GateVerdict::Measured {
+            threads,
+            base_mlups,
+            best_mlups,
+            speedup,
+        }) => {
+            println!(
+                "gate: {threads}T {best_mlups:.2} MLUPS vs 1T {base_mlups:.2} MLUPS \
+                 = {speedup:.2}x (floor {min_speedup:.2}x)"
+            );
+            if speedup >= min_speedup {
+                println!("gate: PASS");
+                0
+            } else {
+                println!("gate: FAIL — threading is not paying for itself");
+                1
+            }
+        }
     }
 }

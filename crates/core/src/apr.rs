@@ -12,7 +12,7 @@ use crate::fsi;
 use apr_cells::{CellKind, CellPool, ContactParams, UniformSubgrid};
 use apr_coupling::CouplingMap;
 use apr_ibm::DeltaKernel;
-use apr_lattice::{KernelKind, Lattice, SubStep};
+use apr_lattice::{KernelKind, Lattice, RuntimeConfig, SubStep};
 use apr_membrane::Membrane;
 use apr_mesh::Vec3;
 use apr_window::{
@@ -101,6 +101,7 @@ pub struct AprEngineBuilder {
     contact: ContactParams,
     kernel: DeltaKernel,
     lbm_kernel: Option<KernelKind>,
+    runtime: Option<RuntimeConfig>,
     seed: u64,
     maintenance_interval: u64,
     pool_capacity: usize,
@@ -131,6 +132,18 @@ impl AprEngineBuilder {
     /// (the default) defers to `APR_KERNEL` / the startup micro-probe.
     pub fn lbm_kernel(mut self, kind: impl Into<Option<KernelKind>>) -> Self {
         self.lbm_kernel = kind.into();
+        self
+    }
+
+    /// Apply a whole [`RuntimeConfig`] to this engine: the kernel override
+    /// (when `Some`, it wins over any earlier [`Self::lbm_kernel`] call)
+    /// and the chunking policy, on both lattices. The `threads` knob is
+    /// process-wide and is **not** applied here — call
+    /// [`RuntimeConfig::install`] once at startup for that; this method
+    /// only scopes the per-engine knobs so two engines in one process can
+    /// run different kernels.
+    pub fn runtime(mut self, cfg: RuntimeConfig) -> Self {
+        self.runtime = Some(cfg);
         self
     }
 
@@ -168,6 +181,7 @@ impl AprEngineBuilder {
             contact,
             kernel,
             lbm_kernel,
+            runtime,
             seed,
             maintenance_interval,
             pool_capacity,
@@ -175,6 +189,14 @@ impl AprEngineBuilder {
         if let Some(kind) = lbm_kernel {
             coarse.set_kernel(Some(kind));
             fine.set_kernel(Some(kind));
+        }
+        if let Some(cfg) = runtime {
+            if let Some(kind) = cfg.kernel {
+                coarse.set_kernel(Some(kind));
+                fine.set_kernel(Some(kind));
+            }
+            coarse.set_chunking(Some(cfg.chunking));
+            fine.set_chunking(Some(cfg.chunking));
         }
         let (proper_half, onramp, insertion_width) = window.unwrap_or_else(|| {
             let span = (fine.nx.min(fine.ny).min(fine.nz) - 1) as f64;
@@ -242,6 +264,7 @@ impl AprEngine {
             },
             kernel: DeltaKernel::Cosine4,
             lbm_kernel: None,
+            runtime: None,
             seed: 0x5eed,
             maintenance_interval: 50,
             pool_capacity: 256,

@@ -27,7 +27,10 @@
 //!
 //! ## Thread count selection
 //!
-//! [`ExecConfig::from_env`] reads `APR_THREADS` (unset or `0` → all
+//! The typed front door is `apr_kernels::RuntimeConfig::from_env`, which
+//! parses `APR_THREADS` (with `APR_KERNEL` / `APR_CHUNKING`) and installs
+//! the result via [`set_threads`]. The lazily created global pool still
+//! falls back to a lenient `APR_THREADS` read (unset or `0` → all
 //! available cores). Process-wide consumers go through the global pool:
 //! [`current()`] hands out a shared [`ExecPool`]; [`set_threads`] swaps it
 //! (used by CLI `--threads` flags and the determinism suite).
@@ -37,7 +40,10 @@ pub mod pool;
 pub mod scratch;
 
 pub use lease::{WorkerBudget, WorkerLease};
-pub use pool::{ExecPool, RunStats, UnsafeSlice};
+pub use pool::{
+    set_test_start_jitter, thread_cpu_ns, ChunkPlan, ExecPool, GuidedScheduler, RunStats,
+    UnsafeSlice,
+};
 pub use scratch::ScratchPool;
 
 use std::cell::RefCell;
@@ -54,7 +60,19 @@ impl ExecConfig {
     /// Resolve from the `APR_THREADS` environment variable.
     ///
     /// Unset, empty, unparsable, or `0` → one lane per available core.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use apr_kernels::RuntimeConfig::from_env (typed errors, one \
+                parser for APR_KERNEL/APR_THREADS/APR_CHUNKING) and install()"
+    )]
     pub fn from_env() -> Self {
+        Self::resolve_env()
+    }
+
+    /// Lenient `APR_THREADS` resolution, kept for the lazily created global
+    /// pool. The strict, typed parse lives in
+    /// `apr_kernels::RuntimeConfig::from_env`.
+    pub(crate) fn resolve_env() -> Self {
         let requested = std::env::var("APR_THREADS")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
@@ -82,7 +100,7 @@ impl ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self::from_env()
+        Self::resolve_env()
     }
 }
 
@@ -105,8 +123,8 @@ thread_local! {
 }
 
 /// The current pool: the innermost [`with_pool`] override on this thread
-/// if one is active, otherwise the process-wide pool (created from
-/// [`ExecConfig::from_env`] on first use). Clones of the `Arc` stay valid
+/// if one is active, otherwise the process-wide pool (created from the
+/// `APR_THREADS` environment on first use). Clones of the `Arc` stay valid
 /// across [`set_threads`] swaps and scope exits (they keep the old pool
 /// alive until dropped).
 pub fn current() -> Arc<ExecPool> {
@@ -114,7 +132,7 @@ pub fn current() -> Arc<ExecPool> {
         return p;
     }
     let mut slot = global().lock().unwrap();
-    slot.get_or_insert_with(|| Arc::new(ExecPool::new(ExecConfig::from_env().threads)))
+    slot.get_or_insert_with(|| Arc::new(ExecPool::new(ExecConfig::resolve_env().threads)))
         .clone()
 }
 

@@ -10,9 +10,130 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Per-thread CPU time in nanoseconds (`CLOCK_THREAD_CPUTIME_ID`), via a
+/// raw `clock_gettime` syscall so the crate stays free of a libc
+/// dependency. `None` where the syscall is unavailable; callers fall back
+/// to wall-clock time.
+///
+/// This is what makes worker *busy* attribution honest on oversubscribed
+/// hosts: wall time inside a lane includes involuntary preemption (other
+/// lanes sharing the core), CPU time does not — so
+/// `wait = wall − cpu_busy` cleanly separates "worked" from "waited".
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn thread_cpu_ns() -> Option<u64> {
+    const SYS_CLOCK_GETTIME: i64 = 228;
+    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+    let mut ts = [0i64; 2];
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => ret,
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    (ret == 0).then(|| ts[0] as u64 * 1_000_000_000 + ts[1] as u64)
+}
+
+/// See the x86_64 variant; aarch64 `clock_gettime` is syscall 113.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+pub fn thread_cpu_ns() -> Option<u64> {
+    const SYS_CLOCK_GETTIME: i64 = 113;
+    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+    let mut ts = [0i64; 2];
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") CLOCK_THREAD_CPUTIME_ID => ret,
+            in("x1") ts.as_mut_ptr(),
+            in("x8") SYS_CLOCK_GETTIME,
+            options(nostack),
+        );
+    }
+    (ret == 0).then(|| ts[0] as u64 * 1_000_000_000 + ts[1] as u64)
+}
+
+/// Fallback for platforms without the raw-syscall path.
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+pub fn thread_cpu_ns() -> Option<u64> {
+    None
+}
+
+/// Lane busy-time stopwatch: CPU time when the platform provides it,
+/// wall time otherwise.
+struct BusyTimer {
+    wall: Instant,
+    cpu: Option<u64>,
+}
+
+impl BusyTimer {
+    fn start() -> Self {
+        Self {
+            wall: Instant::now(),
+            cpu: thread_cpu_ns(),
+        }
+    }
+
+    fn elapsed_ns(&self) -> u64 {
+        match (self.cpu, thread_cpu_ns()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => self.wall.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Test-only per-lane startup delay, enabled by the determinism suite to
+/// randomize guided-claim interleavings. Off (and a single relaxed atomic
+/// load) in normal operation.
+static JITTER_ON: AtomicBool = AtomicBool::new(false);
+static JITTER_NS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Install (`Some`) or clear (`None`) a per-lane region-start delay table
+/// in nanoseconds; lane `l` sleeps `table[l % table.len()]` at the top of
+/// every parallel region. Exists so determinism tests can randomize worker
+/// start order — results must not change. Not a stable API.
+#[doc(hidden)]
+pub fn set_test_start_jitter(jitter: Option<Vec<u64>>) {
+    match jitter {
+        Some(table) => {
+            *JITTER_NS.lock().unwrap() = table;
+            JITTER_ON.store(true, Ordering::Release);
+        }
+        None => {
+            JITTER_ON.store(false, Ordering::Release);
+            JITTER_NS.lock().unwrap().clear();
+        }
+    }
+}
+
+#[inline]
+fn apply_start_jitter(lane: usize) {
+    if JITTER_ON.load(Ordering::Acquire) {
+        let ns = {
+            let table = JITTER_NS.lock().unwrap();
+            if table.is_empty() {
+                0
+            } else {
+                table[lane % table.len()]
+            }
+        };
+        if ns > 0 {
+            std::thread::sleep(std::time::Duration::from_nanos(ns));
+        }
+    }
+}
 
 /// One parallel region: a lane-indexed closure erased to a raw pointer so
 /// the persistent workers can run borrowed closures. The pointee is only
@@ -169,6 +290,14 @@ impl ExecPool {
     /// Re-raises the first lane panic after all lanes have stopped, so
     /// borrowed data is never freed while a worker may still touch it.
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        let jittered = |lane: usize| {
+            apply_start_jitter(lane);
+            f(lane)
+        };
+        self.run_inner(&jittered);
+    }
+
+    fn run_inner(&self, f: &(dyn Fn(usize) + Sync)) {
         let lanes = self.threads;
         if lanes == 1 || IN_POOL.with(|p| p.get()) {
             if IN_POOL.with(|p| p.get()) || !apr_telemetry::is_enabled() {
@@ -182,11 +311,13 @@ impl ExecPool {
             // APR_THREADS=1 runs too (imbalance is exactly 1.0). IN_POOL
             // is set so a nested region is not double-attributed.
             let t0 = Instant::now();
+            let busy_timer = BusyTimer::start();
             IN_POOL.with(|p| p.set(true));
             let result = catch_unwind(AssertUnwindSafe(|| f(0)));
             IN_POOL.with(|p| p.set(false));
-            let busy = t0.elapsed().as_nanos() as u64;
-            apr_telemetry::global().record_parallel_region(busy, &[busy]);
+            let busy = busy_timer.elapsed_ns();
+            let wall = t0.elapsed().as_nanos() as u64;
+            apr_telemetry::global().record_parallel_region(wall, &[busy]);
             if let Err(payload) = result {
                 resume_unwind(payload);
             }
@@ -212,11 +343,11 @@ impl ExecPool {
             self.shared.work.notify_all();
         }
         // Lane 0 on the submitting thread.
-        let t0 = Instant::now();
+        let t0 = BusyTimer::start();
         IN_POOL.with(|p| p.set(true));
         let lane0 = catch_unwind(AssertUnwindSafe(|| f(0)));
         IN_POOL.with(|p| p.set(false));
-        let lane0_busy = t0.elapsed().as_nanos() as u64;
+        let lane0_busy = t0.elapsed_ns();
         // Wait for the workers even if lane 0 panicked.
         let (busy, panics) = {
             let mut st = self.shared.state.lock().unwrap();
@@ -369,6 +500,217 @@ impl ExecPool {
         }
         level.into_iter().next()
     }
+
+    /// Deterministic **guided** chunking over a [`ChunkPlan`]: chunks are
+    /// claimed in fixed ascending order from a shared atomic cursor by
+    /// whichever lane frees up next, so a lane that drew cheap chunks keeps
+    /// pulling work instead of idling at the barrier. `f(chunk, range)` runs
+    /// exactly once per chunk.
+    ///
+    /// The chunk *layout* comes from the plan alone and the per-chunk
+    /// computation must not depend on which lane runs it (the same contract
+    /// as [`Self::par_for_ranges`]) — under that contract the claim
+    /// interleaving is unobservable and results stay bit-identical for any
+    /// thread count and any scheduling accident.
+    pub fn par_for_guided(&self, plan: &ChunkPlan, f: impl Fn(usize, Range<usize>) + Sync) {
+        if plan.is_empty() {
+            return;
+        }
+        let sched = GuidedScheduler::guided(plan);
+        self.run(&|lane| {
+            while let Some((chunk, range)) = sched.claim(lane) {
+                f(chunk, range);
+            }
+        });
+    }
+}
+
+/// A precomputed chunk layout over `0..len`: contiguous, non-overlapping,
+/// covering ranges whose boundaries depend only on the inputs used to build
+/// the plan — never on the thread count that later executes it (the
+/// *assignment* of chunks to lanes may vary; the layout does not).
+///
+/// Built either with fixed-size chunks ([`ChunkPlan::fixed`]) or by
+/// grouping variable-cost units so every chunk carries roughly equal cost
+/// ([`ChunkPlan::from_costs`] — e.g. z-planes weighted by fluid-node count,
+/// so a plane of walls does not occupy a lane as long as a plane of fluid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// Chunk `c` covers `bounds[c]..bounds[c + 1]`; strictly increasing
+    /// except for the degenerate empty plan `[0, 0]`.
+    bounds: Vec<usize>,
+}
+
+impl ChunkPlan {
+    /// Fixed-size chunks of `chunk_len` over `0..len` (last may be short) —
+    /// the same layout as [`ExecPool::par_for_ranges`].
+    pub fn fixed(len: usize, chunk_len: usize) -> Self {
+        let chunk_len = chunk_len.max(1);
+        let chunks = len.div_ceil(chunk_len).max(1);
+        let mut bounds = Vec::with_capacity(chunks + 1);
+        for c in 0..=chunks {
+            bounds.push((c * chunk_len).min(len));
+        }
+        Self { bounds }
+    }
+
+    /// Cost-balanced chunks over `0..unit_len * costs.len()`, where unit
+    /// `u` (indices `u*unit_len..(u+1)*unit_len`) carries `costs[u]`.
+    /// Contiguous units are grouped until a chunk reaches ~`total/target`
+    /// cost, so every chunk represents a comparable amount of work while
+    /// staying unit-aligned. Every chunk contains at least one unit.
+    pub fn from_costs(unit_len: usize, costs: &[u64], target_chunks: usize) -> Self {
+        let unit_len = unit_len.max(1);
+        if costs.is_empty() {
+            return Self { bounds: vec![0, 0] };
+        }
+        let len = unit_len * costs.len();
+        let total: u64 = costs.iter().sum();
+        let target = target_chunks.clamp(1, costs.len());
+        let per = (total.div_ceil(target as u64)).max(1);
+        let mut bounds = vec![0];
+        let mut acc = 0u64;
+        for (u, &c) in costs.iter().enumerate() {
+            acc += c;
+            if acc >= per && u + 1 < costs.len() {
+                bounds.push((u + 1) * unit_len);
+                acc = 0;
+            }
+        }
+        bounds.push(len);
+        Self { bounds }
+    }
+
+    /// Total index-space length the plan covers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        *self.bounds.last().expect("plan has bounds")
+    }
+
+    /// Whether the plan covers an empty index space.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Index range of chunk `c`.
+    pub fn range(&self, c: usize) -> Range<usize> {
+        self.bounds[c]..self.bounds[c + 1]
+    }
+
+    /// The chunk containing `index`.
+    pub fn chunk_of(&self, index: usize) -> usize {
+        debug_assert!(index < self.len());
+        self.bounds.partition_point(|&b| b <= index) - 1
+    }
+}
+
+/// Claim-based chunk scheduler for a single parallel region: lanes [claim]
+/// chunks (from a shared cursor in guided mode, or from a fixed per-lane
+/// pre-partition in static mode), [mark them done][Self::mark_done] as
+/// completion milestones, and may then [claim drain work][Self::claim_drain]
+/// over completed chunks — the mechanism the fused kernels use to overlap
+/// their deferred cross-chunk swap drain with the tail of the sweep.
+///
+/// [claim]: Self::claim
+pub struct GuidedScheduler<'a> {
+    plan: &'a ChunkPlan,
+    mode: SchedMode,
+    /// `done[c]` is set (Release) after chunk `c`'s sweep completes;
+    /// readers Acquire-load it before touching anything the sweep wrote.
+    done: Vec<AtomicBool>,
+    drain: AtomicUsize,
+}
+
+enum SchedMode {
+    /// Shared cursor: chunks go to whichever lane asks next.
+    Guided { cursor: AtomicUsize },
+    /// PR-3-style static pre-partition: lane `l` owns
+    /// `lane_chunks(chunks, lanes, l)`.
+    Static { pos: Vec<AtomicUsize>, lanes: usize },
+}
+
+impl<'a> GuidedScheduler<'a> {
+    /// Scheduler with a shared claim cursor (dynamic load balancing).
+    pub fn guided(plan: &'a ChunkPlan) -> Self {
+        Self {
+            plan,
+            mode: SchedMode::Guided {
+                cursor: AtomicUsize::new(0),
+            },
+            done: (0..plan.chunks()).map(|_| AtomicBool::new(false)).collect(),
+            drain: AtomicUsize::new(0),
+        }
+    }
+
+    /// Scheduler with the static contiguous per-lane pre-partition.
+    pub fn preassigned(plan: &'a ChunkPlan, lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        let chunks = plan.chunks();
+        Self {
+            plan,
+            mode: SchedMode::Static {
+                pos: (0..lanes)
+                    .map(|l| AtomicUsize::new(lane_chunks(chunks, lanes, l).start))
+                    .collect(),
+                lanes,
+            },
+            done: (0..chunks).map(|_| AtomicBool::new(false)).collect(),
+            drain: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of chunks in the region's plan.
+    pub fn chunks(&self) -> usize {
+        self.plan.chunks()
+    }
+
+    /// The chunk containing `index`.
+    pub fn chunk_of(&self, index: usize) -> usize {
+        self.plan.chunk_of(index)
+    }
+
+    /// Claim the next chunk for `lane`; `None` when the lane's work (its
+    /// pre-partition, or the shared cursor) is exhausted.
+    pub fn claim(&self, lane: usize) -> Option<(usize, Range<usize>)> {
+        let c = match &self.mode {
+            SchedMode::Guided { cursor } => {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                (c < self.plan.chunks()).then_some(c)?
+            }
+            SchedMode::Static { pos, lanes } => {
+                let own = lane_chunks(self.plan.chunks(), *lanes, lane % *lanes);
+                let c = pos[lane % *lanes].fetch_add(1, Ordering::Relaxed);
+                (c < own.end).then_some(c)?
+            }
+        };
+        Some((c, self.plan.range(c)))
+    }
+
+    /// Publish chunk `c` as complete (Release: everything the sweep wrote
+    /// is visible to whoever observes [`Self::is_done`]).
+    pub fn mark_done(&self, c: usize) {
+        self.done[c].store(true, Ordering::Release);
+    }
+
+    /// Whether chunk `c` has been published complete (Acquire).
+    pub fn is_done(&self, c: usize) -> bool {
+        self.done[c].load(Ordering::Acquire)
+    }
+
+    /// Claim the next chunk index from the drain cursor — shared across
+    /// lanes, ascending, each chunk handed out exactly once. Callers must
+    /// check [`Self::is_done`] before reading chunk state: a claimed chunk
+    /// may still be in flight on another lane, in which case its drain work
+    /// is left for the post-barrier pass.
+    pub fn claim_drain(&self) -> Option<usize> {
+        let c = self.drain.fetch_add(1, Ordering::Relaxed);
+        (c < self.plan.chunks()).then_some(c)
+    }
 }
 
 impl Drop for ExecPool {
@@ -415,11 +757,11 @@ fn worker_loop(lane: usize, shared: &Shared) {
         };
         let mut busy = 0u64;
         let result = if lane < job.lanes {
-            let t0 = Instant::now();
+            let t0 = BusyTimer::start();
             // SAFETY: see `Job` — the submitter keeps the closure alive
             // until `pending` reaches zero below.
             let r = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(lane) }));
-            busy = t0.elapsed().as_nanos() as u64;
+            busy = t0.elapsed_ns();
             r
         } else {
             Ok(())
@@ -620,6 +962,130 @@ mod tests {
         assert_eq!(stats.lanes, 2);
         let u = stats.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn chunk_plan_fixed_matches_ranges_layout() {
+        let plan = ChunkPlan::fixed(103, 10);
+        assert_eq!(plan.len(), 103);
+        assert_eq!(plan.chunks(), 11);
+        assert_eq!(plan.range(0), 0..10);
+        assert_eq!(plan.range(10), 100..103);
+        assert_eq!(plan.chunk_of(0), 0);
+        assert_eq!(plan.chunk_of(99), 9);
+        assert_eq!(plan.chunk_of(102), 10);
+        let empty = ChunkPlan::fixed(0, 8);
+        assert!(empty.is_empty());
+        assert_eq!(empty.chunks(), 1);
+    }
+
+    #[test]
+    fn chunk_plan_from_costs_balances_and_aligns() {
+        // 8 units of 4 indices; cost concentrated in the middle. Chunks
+        // must stay unit-aligned, cover everything, and split the heavy
+        // units apart rather than by unit count.
+        let costs = [0, 0, 100, 100, 100, 100, 0, 0];
+        let plan = ChunkPlan::from_costs(4, &costs, 4);
+        assert_eq!(plan.len(), 32);
+        assert!(plan.chunks() >= 4, "heavy units split: {:?}", plan);
+        let mut covered = 0;
+        for c in 0..plan.chunks() {
+            let r = plan.range(c);
+            assert_eq!(r.start % 4, 0, "unit-aligned");
+            assert!(r.start <= r.end);
+            covered += r.len();
+            for i in r {
+                assert_eq!(plan.chunk_of(i), c);
+            }
+        }
+        assert_eq!(covered, 32);
+        // Degenerate inputs.
+        assert!(ChunkPlan::from_costs(4, &[], 3).is_empty());
+        let all_zero = ChunkPlan::from_costs(2, &[0, 0, 0], 2);
+        assert_eq!(all_zero.len(), 6);
+    }
+
+    #[test]
+    fn par_for_guided_covers_every_chunk_once_any_thread_count() {
+        let costs: Vec<u64> = (0..13).map(|u| (u % 5) as u64).collect();
+        let plan = ChunkPlan::from_costs(7, &costs, 6);
+        for threads in [1, 2, 4, 8] {
+            let pool = ExecPool::new(threads);
+            let mut cover = vec![0usize; plan.len()];
+            let slots = UnsafeSlice::new(&mut cover);
+            let calls = AtomicUsize::new(0);
+            pool.par_for_guided(&plan, |_, range| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                for i in range {
+                    // SAFETY: chunks are disjoint; a double claim would
+                    // show up as a double count.
+                    unsafe { slots.slice_mut(i, 1)[0] += 1 };
+                }
+            });
+            assert_eq!(calls.load(Ordering::SeqCst), plan.chunks());
+            assert!(cover.iter().all(|&c| c == 1), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn guided_scheduler_hands_out_claims_and_drains_once() {
+        let plan = ChunkPlan::fixed(40, 10);
+        for sched in [
+            GuidedScheduler::guided(&plan),
+            GuidedScheduler::preassigned(&plan, 3),
+        ] {
+            let mut seen = vec![0; plan.chunks()];
+            for lane in 0..3 {
+                while let Some((c, range)) = sched.claim(lane) {
+                    assert_eq!(range, plan.range(c));
+                    seen[c] += 1;
+                    sched.mark_done(c);
+                }
+            }
+            assert!(seen.iter().all(|&s| s == 1), "each chunk claimed once");
+            let mut drained = vec![0; plan.chunks()];
+            while let Some(c) = sched.claim_drain() {
+                assert!(sched.is_done(c));
+                drained[c] += 1;
+            }
+            assert!(drained.iter().all(|&d| d == 1));
+        }
+    }
+
+    #[test]
+    fn start_jitter_does_not_change_guided_results() {
+        let plan = ChunkPlan::fixed(500, 7);
+        let run_once = || {
+            let pool = ExecPool::new(4);
+            let mut out = vec![0u64; plan.len()];
+            let slots = UnsafeSlice::new(&mut out);
+            pool.par_for_guided(&plan, |chunk, range| {
+                for i in range {
+                    // SAFETY: disjoint chunk ranges.
+                    unsafe { slots.slice_mut(i, 1)[0] = (chunk as u64) << 32 | i as u64 };
+                }
+            });
+            out
+        };
+        let baseline = run_once();
+        for round in 0u64..3 {
+            let table: Vec<u64> = (0..4)
+                .map(|l| (l * 37 + round * 101) % 200 * 1_000)
+                .collect();
+            set_test_start_jitter(Some(table));
+            let jittered = run_once();
+            set_test_start_jitter(None);
+            assert_eq!(baseline, jittered, "round {round}");
+        }
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotonic_when_available() {
+        if let Some(a) = thread_cpu_ns() {
+            std::hint::black_box((0..100_000).sum::<u64>());
+            let b = thread_cpu_ns().expect("still available");
+            assert!(b >= a, "thread CPU time went backwards: {a} -> {b}");
+        }
     }
 
     #[test]

@@ -5,7 +5,25 @@
 //! enable state for this binary.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Duration;
+
+/// Spin until this thread has *consumed* `ns` of CPU time (falling back to
+/// wall time where the platform offers no thread clock). Lane busy time is
+/// measured as CPU time, so sleeping would attribute nothing — work must
+/// burn cycles to show up, which is the point of the metric.
+fn burn_cpu(ns: u64) {
+    let wall = std::time::Instant::now();
+    let cpu0 = apr_exec::thread_cpu_ns();
+    loop {
+        std::hint::black_box((0..512u64).sum::<u64>());
+        let spent = match (cpu0, apr_exec::thread_cpu_ns()) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => wall.elapsed().as_nanos() as u64,
+        };
+        if spent >= ns {
+            return;
+        }
+    }
+}
 
 #[test]
 fn pool_regions_attribute_worker_time_to_open_span() {
@@ -13,16 +31,16 @@ fn pool_regions_attribute_worker_time_to_open_span() {
     rec.reset();
     rec.enable();
 
-    // Multithreaded: every lane sleeps, lane 0 the longest, so each lane's
+    // Multithreaded: every lane burns CPU, lane 0 the most, so each lane's
     // busy slot must be populated and the barrier wait is bounded.
     let pool = apr_exec::ExecPool::new(3);
     {
         let _s = apr_telemetry::span("exec.test.mt");
         pool.run(&|lane| {
-            std::thread::sleep(Duration::from_millis(2 + 2 * (2 - lane as u64)));
+            burn_cpu((2 + 2 * (2 - lane as u64)) * 1_000_000);
         });
         pool.run(&|lane| {
-            std::thread::sleep(Duration::from_millis(1 + lane as u64));
+            burn_cpu((1 + lane as u64) * 1_000_000);
         });
     }
 
@@ -31,7 +49,7 @@ fn pool_regions_attribute_worker_time_to_open_span() {
     let seq = apr_exec::ExecPool::sequential();
     {
         let _s = apr_telemetry::span("exec.test.seq");
-        seq.run(&|_| std::thread::sleep(Duration::from_millis(2)));
+        seq.run(&|_| burn_cpu(2_200_000));
     }
 
     // Nested regions run inline and must not double-attribute.

@@ -140,6 +140,10 @@ pub struct AdjacencyTable {
     /// Flat-index offsets of the nine [`FWD`] pull sources (`m = n − off`),
     /// valid for interior nodes. All strictly positive.
     pub fwd_offset: [usize; 9],
+    /// Fluid-node count per z-plane — the cost model for guided chunking:
+    /// a sparse tube plane costs what its fluid nodes cost, not what its
+    /// bounding box suggests.
+    pub fluid_per_plane: Vec<u32>,
     node_count: usize,
 }
 
@@ -169,6 +173,7 @@ impl AdjacencyTable {
         let mut ops = vec![TAG_DONE; n * Q];
         let mut kind = vec![NodeKind::Skip; n];
         let mut moving_coeff = Vec::new();
+        let mut fluid_per_plane = vec![0u32; nz];
         let mut fwd_offset = [0usize; 9];
         for (k, &i) in FWD.iter().enumerate() {
             let off = C[i][0] as i64 + nx as i64 * (C[i][1] as i64 + ny as i64 * C[i][2] as i64);
@@ -187,13 +192,14 @@ impl AdjacencyTable {
                 .ok()
                 .map(|j| moving_walls[j].1)
         };
-        for z in 0..nz {
+        for (z, plane_fluid) in fluid_per_plane.iter_mut().enumerate() {
             for y in 0..ny {
                 for x in 0..nx {
                     let node = x + nx * (y + ny * z);
                     if flags[node] != NodeClass::Fluid {
                         continue;
                     }
+                    *plane_fluid += 1;
                     let mut fast =
                         x >= 1 && x + 1 < nx && y >= 1 && y + 1 < ny && z >= 1 && z + 1 < nz;
                     for i in 1..Q {
@@ -242,6 +248,7 @@ impl AdjacencyTable {
             kind,
             moving_coeff,
             fwd_offset,
+            fluid_per_plane,
             node_count: n,
         }
     }
@@ -258,6 +265,7 @@ impl AdjacencyTable {
         self.ops.len() * std::mem::size_of::<u32>()
             + self.kind.len()
             + self.moving_coeff.len() * std::mem::size_of::<[f64; 2]>()
+            + self.fluid_per_plane.len() * std::mem::size_of::<u32>()
             + std::mem::size_of::<[usize; 9]>()
     }
 }
@@ -376,6 +384,21 @@ mod tests {
         assert_eq!((six_w, cu), (6.0 * W[1], expect_cu));
         // The stationary wall on the other side stays a plain bounce.
         assert_eq!(t.ops[Q + 2] >> TAG_SHIFT, TAG_BOUNCE);
+    }
+
+    #[test]
+    fn fluid_per_plane_counts_fluid_nodes_only() {
+        // 2×1×2: plane 0 = fluid|wall, plane 1 = fluid|fluid.
+        let flags = [
+            NodeClass::Fluid,
+            NodeClass::Wall,
+            NodeClass::Fluid,
+            NodeClass::Fluid,
+        ];
+        let t = AdjacencyTable::build(2, 1, 2, [true; 3], &flags, &[]);
+        assert_eq!(t.fluid_per_plane, vec![1, 2]);
+        let full = AdjacencyTable::build(4, 4, 4, [true; 3], &all_fluid(64), &[]);
+        assert_eq!(full.fluid_per_plane, vec![16; 4]);
     }
 
     #[test]

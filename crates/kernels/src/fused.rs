@@ -17,16 +17,34 @@
 //! every thread count — the values moved are the very doubles the reference
 //! kernel would have copied.
 //!
-//! **Fusion.** In [`KernelBackend::step`] both phases run inside a *single*
-//! pool dispatch ([`apr_exec::ExecPool::par_for_lane_runs`]): each lane
-//! sweeps its contiguous node run `[lo, hi)` in index order, colliding a
-//! node and then executing its ops immediately. A swap with partner
-//! `m ∈ [lo, n)` is safe inline — this lane already collided `m`. Any other
-//! partner (previous lane's run, periodic wrap to `m ≥ n`, self-wrap) goes
-//! into a per-lane deferral list and is drained sequentially after the
-//! barrier, when every node has collided. On a dense box the deferrals are
-//! a thin O(surface) sliver — the bulk of streaming happens in-cache,
-//! right after the node's collision touched the same 19 doubles.
+//! **Fusion with guided chunking.** In [`KernelBackend::step`] both phases
+//! run inside a *single* pool dispatch. The node space is cut into
+//! fine-grained chunks costed by **fluid-node count** per z-plane
+//! ([`crate::adjacency::AdjacencyTable::fluid_per_plane`] through
+//! [`apr_exec::ChunkPlan::from_costs`]), and lanes claim chunks through a
+//! [`apr_exec::GuidedScheduler`]: either from a shared cursor in fixed
+//! ascending order ([`crate::ChunkingPolicy::Guided`], the default) or
+//! from the legacy contiguous per-lane pre-partition
+//! ([`crate::ChunkingPolicy::Static`], kept for A/B runs). Within a chunk
+//! each node collides and then executes its ops immediately; a swap whose
+//! partner lies outside the already-collided part of the chunk goes into a
+//! **per-chunk** deferral list.
+//!
+//! Lanes that run out of chunks don't park at the barrier: they claim
+//! completed chunks from a drain cursor and execute every deferred swap
+//! whose partner chunk has also completed, overlapping the drain with the
+//! tail of the sweep. Whatever remains (partners still in flight, chunks
+//! claimed before completion) is finished sequentially after the barrier.
+//!
+//! **Determinism argument** (DESIGN.md §14): the chunk layout is a pure
+//! function of the plan inputs; every op owns a pairwise-disjoint slot
+//! set; a deferred swap is a pure exchange of two already-final doubles,
+//! executed after both endpoints' collisions (enforced by the Release
+//! `mark_done` / Acquire `is_done` pair) and exactly once (inline, xor
+//! removed from its list by the one drain lane holding that chunk, xor in
+//! the post-barrier sweep). The claim interleaving is therefore
+//! unobservable in the output — bit-identical for any thread count, any
+//! chunking policy, and any scheduling accident.
 //!
 //! Versus the reference backend this halves distribution-array memory
 //! traffic (no second array to write and swap), eliminates the `n·19·8`-byte
@@ -39,19 +57,27 @@
 //! order, which the solver tracks as its *swap parity* and transparently
 //! untangles in its accessors.
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crate::adjacency::{
     AdjacencyTable, NodeKind, FWD, PAYLOAD_MASK, TAG_BOUNCE, TAG_DONE, TAG_LOAD, TAG_MOVING,
     TAG_SHIFT, TAG_SWAP,
 };
 use crate::d3q19::{OPPOSITE, Q};
 use crate::reference::{bgk_post_collision, tau_at};
-use crate::view::{stream_grain, LatticeView, NodeClass};
-use crate::{KernelBackend, KernelKind};
-use apr_exec::UnsafeSlice;
+use crate::view::{stream_grain, LatticeView};
+use crate::{ChunkingPolicy, KernelBackend, KernelKind};
+use apr_exec::{ChunkPlan, GuidedScheduler, UnsafeSlice};
 
 /// Deferred-swap encoding: `(node << 5) | direction` (19 < 2⁵ directions).
 const DIR_BITS: u32 = 5;
 const DIR_MASK: u64 = (1 << DIR_BITS) - 1;
+
+/// Chunks handed out per pool lane: fine enough that a lane drawing cheap
+/// chunks keeps pulling work, coarse enough that claim traffic stays
+/// negligible next to a chunk's node sweep.
+pub(crate) const CHUNKS_PER_LANE: usize = 8;
 
 /// Swap slots `(n, i)` and `(m, opp(i))` through a shared raw view.
 ///
@@ -65,13 +91,414 @@ unsafe fn swap_slots(f: &UnsafeSlice<f64>, n: usize, i: usize, m: usize) {
     std::mem::swap(a, b);
 }
 
+/// Shared raw-view context for one fused pass: everything a per-chunk
+/// closure needs to collide nodes and replay ops.
+pub(crate) struct FusedCtx<'v> {
+    pub table: &'v AdjacencyTable,
+    pub f: UnsafeSlice<'v, f64>,
+    pub rho: UnsafeSlice<'v, f64>,
+    pub vel: UnsafeSlice<'v, f64>,
+    pub force: &'v [f64],
+    pub tau_field: Option<&'v [f64]>,
+    pub global_tau: f64,
+    pub bf: [f64; 3],
+}
+
+impl<'v> FusedCtx<'v> {
+    pub(crate) fn new(view: &'v mut LatticeView<'_>, table: &'v AdjacencyTable) -> Self {
+        Self {
+            table,
+            f: UnsafeSlice::new(view.f.as_mut_slice()),
+            rho: UnsafeSlice::new(&mut view.rho[..]),
+            vel: UnsafeSlice::new(&mut view.vel[..]),
+            force: view.force,
+            tau_field: view.tau_field,
+            global_tau: view.tau,
+            bf: view.body_force,
+        }
+    }
+}
+
+/// Collide one fluid node with the reference BGK arithmetic and store the
+/// post-collision populations direction-reversed. Returns the density.
+///
+/// # Safety
+/// The caller must be the sole accessor of `node`'s f/rho/vel storage.
+#[inline]
+pub(crate) unsafe fn collide_node_reversed(ctx: &FusedCtx, node: usize) -> f64 {
+    let fs = ctx.f.slice_mut(node * Q, Q);
+    let rho = &mut ctx.rho.slice_mut(node, 1)[0];
+    let vel = ctx.vel.slice_mut(node * 3, 3);
+    let g = &ctx.force[node * 3..node * 3 + 3];
+    let tau = tau_at(ctx.tau_field, ctx.global_tau, node);
+    let (r, u, post) = bgk_post_collision(fs, g, ctx.bf, tau);
+    *rho = r;
+    vel.copy_from_slice(&u);
+    for i in 0..Q {
+        fs[OPPOSITE[i]] = post[i];
+    }
+    r
+}
+
+/// The cost-balanced chunk plan for this geometry at `threads` lanes,
+/// rebuilt only when the target chunk count changes (the geometry is fixed
+/// for the kernel's lifetime). Chunks are z-plane-aligned and weighted by
+/// fluid-node count, so a plane of walls never occupies a lane as long as
+/// a plane of fluid.
+pub(crate) fn costed_plan<'a>(
+    table: &AdjacencyTable,
+    plane: usize,
+    cache: &'a mut Option<(usize, ChunkPlan)>,
+    threads: usize,
+) -> &'a ChunkPlan {
+    let target = threads.max(1) * CHUNKS_PER_LANE;
+    if cache.as_ref().map(|(t, _)| *t) != Some(target) {
+        let costs: Vec<u64> = table.fluid_per_plane.iter().map(|&c| c as u64).collect();
+        *cache = Some((target, ChunkPlan::from_costs(plane, &costs, target)));
+    }
+    &cache.as_ref().expect("plan cached above").1
+}
+
+/// Scalar fused sweep of one chunk: collide each node, then execute its
+/// ops — inline when the partner has already collided *in this chunk's
+/// sweep*, deferred into `pending` otherwise.
+pub(crate) fn scalar_fused_chunk(ctx: &FusedCtx, range: Range<usize>, pending: &mut Vec<u64>) {
+    let table = ctx.table;
+    let lo = range.start;
+    for node in range {
+        let kind = table.kind[node];
+        if kind == NodeKind::Skip {
+            continue;
+        }
+        // Phase A. SAFETY: node-local storage, one owner per node (chunks
+        // are disjoint and claimed exactly once).
+        let r = unsafe { collide_node_reversed(ctx, node) };
+        // Phase B, inline where the partner has already collided in this
+        // chunk's sweep; deferred past the chunk otherwise.
+        // SAFETY (all swap/load/moving arms): each op owns its slot set,
+        // and no op of node `p` executes before `p`'s own collision except
+        // via the drain (which gates on the partner chunk's completion).
+        match kind {
+            NodeKind::Fast => {
+                for (k, &i) in FWD.iter().enumerate() {
+                    let m = node - table.fwd_offset[k];
+                    if m >= lo {
+                        unsafe { swap_slots(&ctx.f, node, i, m) };
+                    } else {
+                        pending.push(((node as u64) << DIR_BITS) | i as u64);
+                    }
+                }
+            }
+            NodeKind::Slow => {
+                for i in 1..Q {
+                    let op = table.ops[node * Q + i];
+                    let payload = (op & PAYLOAD_MASK) as usize;
+                    match op >> TAG_SHIFT {
+                        TAG_DONE | TAG_BOUNCE => {}
+                        TAG_SWAP => {
+                            if payload >= lo && payload < node {
+                                unsafe { swap_slots(&ctx.f, node, i, payload) };
+                            } else {
+                                pending.push(((node as u64) << DIR_BITS) | i as u64);
+                            }
+                        }
+                        // LOAD sources are boundary nodes: exempt from
+                        // collision, so their populations are already final.
+                        TAG_LOAD => unsafe {
+                            ctx.f.slice_mut(node * Q + i, 1)[0] =
+                                ctx.f.slice_mut(payload * Q + i, 1)[0];
+                        },
+                        TAG_MOVING => unsafe {
+                            // Same association order as the reference:
+                            // (6 w_i * rho) * (c.u_w).
+                            let [six_w, cu] = table.moving_coeff[payload];
+                            ctx.f.slice_mut(node * Q + i, 1)[0] += six_w * r * cu;
+                        },
+                        tag => unreachable!("corrupt op tag {tag}"),
+                    }
+                }
+            }
+            NodeKind::Skip => unreachable!(),
+        }
+    }
+}
+
+/// Op replay for a fully-collided chunk `[lo, hi)`: inline when the
+/// partner lies anywhere *within the chunk* (both endpoints collided —
+/// this is the two-pass form used after a whole-chunk SIMD collide),
+/// deferred into `pending` otherwise.
+pub(crate) fn replay_chunk_deferring(ctx: &FusedCtx, range: Range<usize>, pending: &mut Vec<u64>) {
+    let table = ctx.table;
+    let (lo, hi) = (range.start, range.end);
+    for node in range {
+        match table.kind[node] {
+            NodeKind::Skip => {}
+            // SAFETY (all arms): each op owns its slot set; inline
+            // execution requires only that both endpoints have collided,
+            // which holds for any partner inside this chunk.
+            NodeKind::Fast => {
+                for (k, &i) in FWD.iter().enumerate() {
+                    let m = node - table.fwd_offset[k];
+                    if m >= lo {
+                        unsafe { swap_slots(&ctx.f, node, i, m) };
+                    } else {
+                        pending.push(((node as u64) << DIR_BITS) | i as u64);
+                    }
+                }
+            }
+            NodeKind::Slow => {
+                for i in 1..Q {
+                    let op = table.ops[node * Q + i];
+                    let payload = (op & PAYLOAD_MASK) as usize;
+                    match op >> TAG_SHIFT {
+                        TAG_DONE | TAG_BOUNCE => {}
+                        TAG_SWAP => {
+                            if payload >= lo && payload < hi {
+                                unsafe { swap_slots(&ctx.f, node, i, payload) };
+                            } else {
+                                pending.push(((node as u64) << DIR_BITS) | i as u64);
+                            }
+                        }
+                        TAG_LOAD => unsafe {
+                            ctx.f.slice_mut(node * Q + i, 1)[0] =
+                                ctx.f.slice_mut(payload * Q + i, 1)[0];
+                        },
+                        TAG_MOVING => unsafe {
+                            let [six_w, cu] = table.moving_coeff[payload];
+                            let r = ctx.rho.slice_mut(node, 1)[0];
+                            ctx.f.slice_mut(node * Q + i, 1)[0] += six_w * r * cu;
+                        },
+                        tag => unreachable!("corrupt op tag {tag}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The shared fused-step driver: claim chunks through a
+/// [`GuidedScheduler`] (guided cursor or static pre-partition per
+/// `chunking`), run `process` once per chunk, overlap the deferred-swap
+/// drain with the sweep tail, and finish leftovers sequentially after the
+/// barrier. `process(ctx, chunk, range, pending)` must fully collide and
+/// replay its chunk, pushing cross-chunk swaps into `pending` encoded as
+/// `(node << 5) | dir`.
+pub(crate) fn run_fused_step(
+    ctx: &FusedCtx,
+    chunking: ChunkingPolicy,
+    defer: &mut Vec<Vec<u64>>,
+    plan: &ChunkPlan,
+    process: impl Fn(&FusedCtx, usize, Range<usize>, &mut Vec<u64>) + Sync,
+) {
+    if plan.is_empty() {
+        return;
+    }
+    let pool = apr_exec::current();
+    let chunks = plan.chunks();
+    if defer.len() < chunks {
+        defer.resize_with(chunks, Vec::new);
+    }
+    for d in defer.iter_mut() {
+        d.clear();
+    }
+    let table = ctx.table;
+    let sched = match chunking {
+        ChunkingPolicy::Guided => GuidedScheduler::guided(plan),
+        ChunkingPolicy::Static => GuidedScheduler::preassigned(plan, pool.threads()),
+    };
+    let pending = UnsafeSlice::new(defer.as_mut_slice());
+    let overlapped = AtomicUsize::new(0);
+    pool.run(&|lane| {
+        while let Some((c, range)) = sched.claim(lane) {
+            // SAFETY: every chunk is claimed exactly once, so its
+            // deferral list has one owner here.
+            let list = unsafe { &mut pending.slice_mut(c, 1)[0] };
+            process(ctx, c, range, list);
+            sched.mark_done(c);
+        }
+        // Drain overlap: instead of idling at the barrier, execute
+        // deferred swaps of completed chunks whose partner chunk has also
+        // completed. Never waits (a claimed-but-unfinished chunk is simply
+        // left for the post-barrier pass), so this cannot deadlock even
+        // when the pool runs lanes inline.
+        let mut ran = 0usize;
+        while let Some(c) = sched.claim_drain() {
+            if !sched.is_done(c) {
+                continue;
+            }
+            // SAFETY: the drain cursor hands each chunk to one lane, and
+            // `is_done` (Acquire) ordered the owner's pushes before us.
+            let list = unsafe { &mut pending.slice_mut(c, 1)[0] };
+            list.retain(|&e| {
+                let node = (e >> DIR_BITS) as usize;
+                let i = (e & DIR_MASK) as usize;
+                let m = (table.ops[node * Q + i] & PAYLOAD_MASK) as usize;
+                if sched.is_done(sched.chunk_of(m)) {
+                    // SAFETY: both endpoints collided; the op owns its
+                    // slot pair.
+                    unsafe { swap_slots(&ctx.f, node, i, m) };
+                    ran += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if ran > 0 {
+            overlapped.fetch_add(ran, Ordering::Relaxed);
+        }
+    });
+    // Post-barrier: every chunk is done; whatever the overlap drain left
+    // behind executes here, in chunk order. Order is irrelevant to the
+    // values (disjoint slot sets) but deterministic anyway.
+    let mut leftover = 0usize;
+    for list in defer[..chunks].iter() {
+        leftover += list.len();
+        for &e in list {
+            let node = (e >> DIR_BITS) as usize;
+            let i = (e & DIR_MASK) as usize;
+            let m = (table.ops[node * Q + i] & PAYLOAD_MASK) as usize;
+            // SAFETY: sequential, and each op owns its slot set.
+            unsafe { swap_slots(&ctx.f, node, i, m) };
+        }
+    }
+    if apr_telemetry::is_enabled() {
+        let overlapped = overlapped.load(Ordering::Relaxed);
+        apr_telemetry::gauge_set(
+            "exec.lattice.step.utilization",
+            pool.last_run_stats().utilization(),
+        );
+        apr_telemetry::gauge_set("lattice.step.chunks", chunks as f64);
+        apr_telemetry::gauge_set(
+            "lattice.step.deferred_swaps",
+            (overlapped + leftover) as f64,
+        );
+        apr_telemetry::gauge_set("lattice.step.drain_leftover", leftover as f64);
+    }
+}
+
+/// Streaming phase for reversed-stored populations: replay the op table
+/// over the whole domain (every node has collided, so all ops run
+/// inline). Chunk hand-out follows the view's chunking policy; either way
+/// the values are slot-local and order-free.
+pub(crate) fn stream_replay(view: &mut LatticeView, table: &AdjacencyTable, plan: &ChunkPlan) {
+    let n = view.node_count();
+    let plane = view.nx * view.ny;
+    let chunking = view.chunking;
+    let rho: &[f64] = view.rho;
+    let f = UnsafeSlice::new(view.f.as_mut_slice());
+    let pool = apr_exec::current();
+    let grain = stream_grain(view.nz, pool.threads());
+    let body = |range: Range<usize>| replay_range(table, &f, rho, range);
+    match chunking {
+        ChunkingPolicy::Guided => pool.par_for_guided(plan, |_, range| body(range)),
+        ChunkingPolicy::Static => pool.par_for_ranges(n, plane * grain, |_, range| body(range)),
+    }
+    if apr_telemetry::is_enabled() {
+        apr_telemetry::gauge_set(
+            "exec.lattice.stream.utilization",
+            pool.last_run_stats().utilization(),
+        );
+        apr_telemetry::gauge_set("lattice.stream.grain", grain as f64);
+    }
+}
+
+/// Replay every op of `range` inline — valid only when *all* nodes have
+/// already collided (the split-half stream).
+fn replay_range(table: &AdjacencyTable, f: &UnsafeSlice<f64>, rho: &[f64], range: Range<usize>) {
+    for node in range {
+        match table.kind[node] {
+            NodeKind::Skip => {}
+            NodeKind::Fast => {
+                for (k, &i) in FWD.iter().enumerate() {
+                    let m = node - table.fwd_offset[k];
+                    // SAFETY: this op is the sole owner of both slots.
+                    unsafe { swap_slots(f, node, i, m) };
+                }
+            }
+            NodeKind::Slow => {
+                for i in 1..Q {
+                    let op = table.ops[node * Q + i];
+                    let payload = (op & PAYLOAD_MASK) as usize;
+                    // SAFETY (all arms): each op owns its slot set.
+                    match op >> TAG_SHIFT {
+                        TAG_DONE | TAG_BOUNCE => {}
+                        TAG_SWAP => unsafe { swap_slots(f, node, i, payload) },
+                        TAG_LOAD => unsafe {
+                            f.slice_mut(node * Q + i, 1)[0] = f.slice_mut(payload * Q + i, 1)[0];
+                        },
+                        TAG_MOVING => unsafe {
+                            // Same association order as the reference:
+                            // (6 w_i * rho) * (c.u_w).
+                            let [six_w, cu] = table.moving_coeff[payload];
+                            f.slice_mut(node * Q + i, 1)[0] += six_w * rho[node] * cu;
+                        },
+                        tag => unreachable!("corrupt op tag {tag}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Collision phase over the whole domain with reversed stores, dispatched
+/// per the view's chunking policy. Shared by the scalar backend's split
+/// half; the SIMD backend has its own vectorized equivalent.
+pub(crate) fn collide_reversed(view: &mut LatticeView, table: &AdjacencyTable, plan: &ChunkPlan) {
+    let n = view.node_count();
+    let plane = view.nx * view.ny;
+    let chunking = view.chunking;
+    let pool = apr_exec::current();
+    let ctx = FusedCtx::new(view, table);
+    let body = |range: Range<usize>| {
+        for node in range {
+            if ctx.table.kind[node] == NodeKind::Skip {
+                continue;
+            }
+            // SAFETY: chunk ranges are disjoint; node storage is touched
+            // by exactly one lane.
+            unsafe { collide_node_reversed(&ctx, node) };
+        }
+    };
+    match chunking {
+        ChunkingPolicy::Guided => pool.par_for_guided(plan, |_, range| body(range)),
+        ChunkingPolicy::Static => pool.par_for_ranges(n, plane, |_, range| body(range)),
+    }
+    if apr_telemetry::is_enabled() {
+        apr_telemetry::gauge_set(
+            "exec.lattice.collide.utilization",
+            pool.last_run_stats().utilization(),
+        );
+    }
+}
+
+/// Heap bytes held by a per-chunk deferral-list set plus a cached plan —
+/// shared accounting for both fused backends' `scratch_bytes`.
+pub(crate) fn fused_scratch_bytes(
+    table: &AdjacencyTable,
+    defer: &[Vec<u64>],
+    plan: &Option<(usize, ChunkPlan)>,
+) -> usize {
+    table.bytes()
+        + defer
+            .iter()
+            .map(|d| d.capacity() * std::mem::size_of::<u64>())
+            .sum::<usize>()
+        + plan
+            .as_ref()
+            .map(|(_, p)| (p.chunks() + 1) * std::mem::size_of::<usize>())
+            .unwrap_or(0)
+}
+
 /// In-place fused collide+stream backend over a precomputed
 /// [`AdjacencyTable`].
 #[derive(Debug, Clone)]
 pub struct FusedSwapKernel {
     table: AdjacencyTable,
-    /// Per-lane deferred swaps, reused across steps.
+    /// Per-chunk deferred swaps, reused across steps.
     defer: Vec<Vec<u64>>,
+    /// Cached cost-balanced plan, keyed by target chunk count.
+    plan: Option<(usize, ChunkPlan)>,
 }
 
 impl FusedSwapKernel {
@@ -89,109 +516,13 @@ impl FusedSwapKernel {
                 view.moving_walls,
             ),
             defer: Vec::new(),
+            plan: None,
         }
     }
 
     /// The compiled adjacency table.
     pub fn table(&self) -> &AdjacencyTable {
         &self.table
-    }
-
-    /// Collision phase: reference BGK arithmetic, stored reversed.
-    fn phase_a(&mut self, view: &mut LatticeView) {
-        let global_tau = view.tau;
-        let bf = view.body_force;
-        let flags = view.flags;
-        let tau_field = view.tau_field;
-        let force = view.force;
-        let n = view.node_count();
-        let plane = view.nx * view.ny;
-        let f = UnsafeSlice::new(view.f.as_mut_slice());
-        let rho = UnsafeSlice::new(&mut view.rho[..]);
-        let vel = UnsafeSlice::new(&mut view.vel[..]);
-        let pool = apr_exec::current();
-        pool.par_for_ranges(n, plane, |_, range| {
-            for node in range {
-                if flags[node] != NodeClass::Fluid {
-                    continue;
-                }
-                // SAFETY: chunk ranges are disjoint; node storage is
-                // touched by exactly one lane.
-                let fs = unsafe { f.slice_mut(node * Q, Q) };
-                let rho = unsafe { &mut rho.slice_mut(node, 1)[0] };
-                let vel = unsafe { vel.slice_mut(node * 3, 3) };
-                let g = &force[node * 3..node * 3 + 3];
-                let tau = tau_at(tau_field, global_tau, node);
-                let (r, u, post) = bgk_post_collision(fs, g, bf, tau);
-                *rho = r;
-                vel.copy_from_slice(&u);
-                for i in 0..Q {
-                    fs[OPPOSITE[i]] = post[i];
-                }
-            }
-        });
-        if apr_telemetry::is_enabled() {
-            apr_telemetry::gauge_set(
-                "exec.lattice.collide.utilization",
-                pool.last_run_stats().utilization(),
-            );
-        }
-    }
-
-    /// Streaming phase: replay the op table over reversed-stored
-    /// populations. Parallel over node ranges; safe because ops own
-    /// pairwise-disjoint slot sets regardless of chunk placement.
-    fn phase_b(&mut self, view: &mut LatticeView) {
-        let table = &self.table;
-        let n = view.node_count();
-        let plane = view.nx * view.ny;
-        let rho: &[f64] = view.rho;
-        let f = UnsafeSlice::new(view.f.as_mut_slice());
-        let pool = apr_exec::current();
-        let grain = stream_grain(view.nz, pool.threads());
-        pool.par_for_ranges(n, plane * grain, |_, range| {
-            for node in range {
-                match table.kind[node] {
-                    NodeKind::Skip => {}
-                    NodeKind::Fast => {
-                        for (k, &i) in FWD.iter().enumerate() {
-                            let m = node - table.fwd_offset[k];
-                            // SAFETY: this op is the sole owner of both slots.
-                            unsafe { swap_slots(&f, node, i, m) };
-                        }
-                    }
-                    NodeKind::Slow => {
-                        for i in 1..Q {
-                            let op = table.ops[node * Q + i];
-                            let payload = (op & PAYLOAD_MASK) as usize;
-                            // SAFETY (all arms): each op owns its slot set.
-                            match op >> TAG_SHIFT {
-                                TAG_DONE | TAG_BOUNCE => {}
-                                TAG_SWAP => unsafe { swap_slots(&f, node, i, payload) },
-                                TAG_LOAD => unsafe {
-                                    f.slice_mut(node * Q + i, 1)[0] =
-                                        f.slice_mut(payload * Q + i, 1)[0];
-                                },
-                                TAG_MOVING => unsafe {
-                                    // Same association order as the
-                                    // reference: (6 w_i * rho) * (c.u_w).
-                                    let [six_w, cu] = table.moving_coeff[payload];
-                                    f.slice_mut(node * Q + i, 1)[0] += six_w * rho[node] * cu;
-                                },
-                                tag => unreachable!("corrupt op tag {tag}"),
-                            }
-                        }
-                    }
-                }
-            }
-        });
-        if apr_telemetry::is_enabled() {
-            apr_telemetry::gauge_set(
-                "exec.lattice.stream.utilization",
-                pool.last_run_stats().utilization(),
-            );
-            apr_telemetry::gauge_set("lattice.stream.grain", grain as f64);
-        }
     }
 }
 
@@ -201,146 +532,40 @@ impl KernelBackend for FusedSwapKernel {
     }
 
     fn collide(&mut self, view: &mut LatticeView) {
-        self.phase_a(view);
+        let Self { table, plan, .. } = self;
+        let threads = apr_exec::current().threads();
+        let plan = costed_plan(table, view.nx * view.ny, plan, threads);
+        collide_reversed(view, table, plan);
     }
 
     fn stream(&mut self, view: &mut LatticeView) {
-        self.phase_b(view);
+        let Self { table, plan, .. } = self;
+        let threads = apr_exec::current().threads();
+        let plan = costed_plan(table, view.nx * view.ny, plan, threads);
+        stream_replay(view, table, plan);
     }
 
-    /// Fused full step: one pool dispatch for both phases, then a
-    /// sequential drain of the (thin) deferred-swap sliver.
+    /// Fused full step: one pool dispatch for both phases, with the
+    /// deferred-swap drain overlapped into the sweep tail.
     fn step(&mut self, view: &mut LatticeView) {
-        let table = &self.table;
-        let defer = &mut self.defer;
-        let global_tau = view.tau;
-        let bf = view.body_force;
-        let tau_field = view.tau_field;
-        let force = view.force;
-        let n = view.node_count();
-        let plane = view.nx * view.ny;
-        let pool = apr_exec::current();
-        let threads = pool.threads();
-        let grain = stream_grain(view.nz, threads);
-        if defer.len() < threads {
-            defer.resize_with(threads, Vec::new);
-        }
-        for d in defer.iter_mut() {
-            d.clear();
-        }
-        let f = UnsafeSlice::new(view.f.as_mut_slice());
-        let rho = UnsafeSlice::new(&mut view.rho[..]);
-        let vel = UnsafeSlice::new(&mut view.vel[..]);
-        let pending = UnsafeSlice::new(defer);
-        pool.par_for_lane_runs(n, plane * grain, |lane, range| {
-            let lo = range.start;
-            // SAFETY: one deferral list per lane.
-            let pending = unsafe { &mut pending.slice_mut(lane, 1)[0] };
-            for node in range {
-                let kind = table.kind[node];
-                if kind == NodeKind::Skip {
-                    continue;
-                }
-                // Phase A. SAFETY: node-local storage, one owner per node.
-                let fs = unsafe { f.slice_mut(node * Q, Q) };
-                let r = {
-                    let rho = unsafe { &mut rho.slice_mut(node, 1)[0] };
-                    let vel = unsafe { vel.slice_mut(node * 3, 3) };
-                    let g = &force[node * 3..node * 3 + 3];
-                    let tau = tau_at(tau_field, global_tau, node);
-                    let (r, u, post) = bgk_post_collision(fs, g, bf, tau);
-                    *rho = r;
-                    vel.copy_from_slice(&u);
-                    for i in 0..Q {
-                        fs[OPPOSITE[i]] = post[i];
-                    }
-                    r
-                };
-                // Phase B, inline where the partner has already collided in
-                // this lane's run; deferred past the barrier otherwise.
-                // SAFETY (all swap/load/moving arms): each op owns its slot
-                // set, and no op of node `p` executes before `p`'s own
-                // collision except via the post-barrier drain.
-                match kind {
-                    NodeKind::Fast => {
-                        for (k, &i) in FWD.iter().enumerate() {
-                            let m = node - table.fwd_offset[k];
-                            if m >= lo {
-                                unsafe { swap_slots(&f, node, i, m) };
-                            } else {
-                                pending.push(((node as u64) << DIR_BITS) | i as u64);
-                            }
-                        }
-                    }
-                    NodeKind::Slow => {
-                        for i in 1..Q {
-                            let op = table.ops[node * Q + i];
-                            let payload = (op & PAYLOAD_MASK) as usize;
-                            match op >> TAG_SHIFT {
-                                TAG_DONE | TAG_BOUNCE => {}
-                                TAG_SWAP => {
-                                    if payload >= lo && payload < node {
-                                        unsafe { swap_slots(&f, node, i, payload) };
-                                    } else {
-                                        pending.push(((node as u64) << DIR_BITS) | i as u64);
-                                    }
-                                }
-                                // LOAD sources are boundary nodes: exempt
-                                // from collision, so their populations are
-                                // already final.
-                                TAG_LOAD => unsafe {
-                                    f.slice_mut(node * Q + i, 1)[0] =
-                                        f.slice_mut(payload * Q + i, 1)[0];
-                                },
-                                TAG_MOVING => unsafe {
-                                    // Same association order as the
-                                    // reference: (6 w_i * rho) * (c.u_w).
-                                    let [six_w, cu] = table.moving_coeff[payload];
-                                    f.slice_mut(node * Q + i, 1)[0] += six_w * r * cu;
-                                },
-                                tag => unreachable!("corrupt op tag {tag}"),
-                            }
-                        }
-                    }
-                    NodeKind::Skip => unreachable!(),
-                }
-            }
+        let Self { table, defer, plan } = self;
+        let threads = apr_exec::current().threads();
+        let plan = costed_plan(table, view.nx * view.ny, plan, threads);
+        let chunking = view.chunking;
+        let ctx = FusedCtx::new(view, table);
+        run_fused_step(&ctx, chunking, defer, plan, |ctx, _c, range, pending| {
+            scalar_fused_chunk(ctx, range, pending)
         });
-        // Drain: every node has collided; deferred swaps are disjoint, so
-        // order is irrelevant — but this order is deterministic anyway.
-        let mut deferred = 0usize;
-        for lane in defer.iter() {
-            deferred += lane.len();
-            for &e in lane {
-                let node = (e >> DIR_BITS) as usize;
-                let i = (e & DIR_MASK) as usize;
-                let m = (table.ops[node * Q + i] & PAYLOAD_MASK) as usize;
-                // SAFETY: sequential, and each op owns its slot set.
-                unsafe { swap_slots(&f, node, i, m) };
-            }
-        }
-        if apr_telemetry::is_enabled() {
-            apr_telemetry::gauge_set(
-                "exec.lattice.step.utilization",
-                pool.last_run_stats().utilization(),
-            );
-            apr_telemetry::gauge_set("lattice.stream.grain", grain as f64);
-            apr_telemetry::gauge_set("lattice.step.deferred_swaps", deferred as f64);
-        }
     }
 
     fn reversed_between_halves(&self) -> bool {
         true
     }
 
-    /// Table + deferral footprint — the fused path's entire auxiliary
-    /// memory, replacing the reference backend's full-size scratch array.
+    /// Table + deferral + plan footprint — the fused path's entire
+    /// auxiliary memory, replacing the reference backend's full-size
+    /// scratch array.
     fn scratch_bytes(&self) -> usize {
-        self.table.bytes()
-            + self
-                .defer
-                .iter()
-                .map(|d| d.capacity() * std::mem::size_of::<u64>())
-                .sum::<usize>()
+        fused_scratch_bytes(&self.table, &self.defer, &self.plan)
     }
 }

@@ -13,20 +13,31 @@
 //! - [`FusedSwapKernel`]: in-place swap streaming fused with collision
 //!   into a single parallel region — no second distribution array, one
 //!   pool barrier per step instead of two, bit-identical results.
+//! - [`FusedSimdKernel`]: the swap-streaming adjacency with the BGK
+//!   collision vectorized four nodes wide ([`simd`]), bit-identical to
+//!   both of the above.
+//! - [`runtime`]: the unified [`RuntimeConfig`] surface — one typed
+//!   parser for `APR_KERNEL` / `APR_THREADS` / `APR_CHUNKING` /
+//!   `APR_KERNEL_PROBE`, installed process-wide.
 //!
 //! Backends implement [`KernelBackend`] and are selected per lattice by
-//! [`KernelKind`], from the `APR_KERNEL` environment variable
-//! ([`kernel_from_env`]) or the engine builder.
+//! [`KernelKind`], from the installed [`RuntimeConfig`] or the engine
+//! builder.
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 pub mod adjacency;
 pub mod d3q19;
 mod fused;
 mod reference;
+pub mod runtime;
+pub mod simd;
 mod view;
 
 pub use adjacency::{neighbor_index, AdjacencyTable, NodeKind};
 pub use fused::FusedSwapKernel;
 pub use reference::ReferenceKernel;
+pub use runtime::{ChunkingPolicy, RuntimeConfig, RuntimeConfigError};
+pub use simd::FusedSimdKernel;
 pub use view::{stream_grain, LatticeView, NodeClass};
 
 /// Selectable kernel backend variants.
@@ -34,8 +45,11 @@ pub use view::{stream_grain, LatticeView, NodeClass};
 pub enum KernelKind {
     /// Two-array collide + pull-stream — the equivalence baseline.
     Reference,
-    /// Fused in-place swap streaming (default when it probes faster).
+    /// Fused in-place swap streaming.
     FusedSwap,
+    /// Swap streaming with the collision vectorized 4 nodes wide
+    /// (default when the probe is disabled or when it probes fastest).
+    FusedSimd,
 }
 
 impl KernelKind {
@@ -44,7 +58,16 @@ impl KernelKind {
         match self {
             KernelKind::Reference => "reference",
             KernelKind::FusedSwap => "fused",
+            KernelKind::FusedSimd => "simd",
         }
+    }
+
+    /// Whether this backend keeps distributions direction-reversed
+    /// between the collide and stream halves (see
+    /// [`KernelBackend::reversed_between_halves`]). Checkpoint restore
+    /// uses this to translate stored mid-step state.
+    pub fn reversed_storage(self) -> bool {
+        matches!(self, KernelKind::FusedSwap | KernelKind::FusedSimd)
     }
 }
 
@@ -55,21 +78,21 @@ impl std::fmt::Display for KernelKind {
 }
 
 /// Kernel selection from the `APR_KERNEL` environment variable:
-/// `reference` or `fused` force a variant, `auto`/unset (`None`) defers to
-/// the caller's default (the solver runs a startup micro-probe).
+/// `reference`, `fused`, or `simd` force a variant, `auto`/unset (`None`)
+/// defers to the caller's default (the solver runs a startup micro-probe).
 ///
 /// # Panics
 /// Panics on an unrecognized value — a silently ignored typo here would
 /// invalidate a benchmark run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use RuntimeConfig::from_env (typed error instead of panic) or \
+            runtime::env_kernel"
+)]
 pub fn kernel_from_env() -> Option<KernelKind> {
-    match std::env::var("APR_KERNEL") {
-        Err(_) => None,
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "" | "auto" => None,
-            "reference" => Some(KernelKind::Reference),
-            "fused" => Some(KernelKind::FusedSwap),
-            other => panic!("APR_KERNEL must be reference|fused|auto, got {other:?}"),
-        },
+    match runtime::env_kernel() {
+        Ok(k) => k,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -84,7 +107,8 @@ pub fn kernel_from_env() -> Option<KernelKind> {
 ///   the halves a backend may keep distributions in a private storage
 ///   order, declared via [`Self::reversed_between_halves`] so the solver
 ///   can translate its accessors.
-/// - **Determinism**: results never depend on the `apr-exec` lane count.
+/// - **Determinism**: results never depend on the `apr-exec` lane count
+///   or on the chunking policy in effect.
 pub trait KernelBackend {
     /// Which variant this is.
     fn kind(&self) -> KernelKind;
@@ -118,6 +142,14 @@ mod tests {
     fn kernel_kind_names_round_trip() {
         assert_eq!(KernelKind::Reference.as_str(), "reference");
         assert_eq!(KernelKind::FusedSwap.as_str(), "fused");
-        assert_eq!(format!("{}", KernelKind::FusedSwap), "fused");
+        assert_eq!(KernelKind::FusedSimd.as_str(), "simd");
+        assert_eq!(format!("{}", KernelKind::FusedSimd), "simd");
+    }
+
+    #[test]
+    fn reversed_storage_matches_backend_contract() {
+        assert!(!KernelKind::Reference.reversed_storage());
+        assert!(KernelKind::FusedSwap.reversed_storage());
+        assert!(KernelKind::FusedSimd.reversed_storage());
     }
 }

@@ -1,0 +1,408 @@
+//! Unified runtime configuration: one typed front door for everything
+//! that used to be scattered `std::env` reads.
+//!
+//! [`RuntimeConfig`] bundles the four knobs that shape a run — kernel
+//! backend, worker thread count, chunking policy, and whether the kernel
+//! auto-probe may run — and [`RuntimeConfig::from_env`] is the *single*
+//! parser for `APR_KERNEL` / `APR_THREADS` / `APR_CHUNKING` /
+//! `APR_KERNEL_PROBE`, returning a typed [`RuntimeConfigError`] instead of
+//! panicking on a typo. [`RuntimeConfig::install`] applies the parsed
+//! config process-wide: it swaps the global worker pool and records the
+//! kernel/chunking/probe defaults that `apr-lattice` consults when a
+//! solver has no explicit override.
+//!
+//! Lattice-level consumers read the installed state through
+//! [`kernel_override`], [`default_chunking`], and [`probe_enabled`]; when
+//! nothing was installed those fall back to a lenient env read so plain
+//! `APR_KERNEL=fused cargo test` keeps working without any setup call.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::KernelKind;
+
+/// How a parallel sweep hands chunks to worker lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkingPolicy {
+    /// Contiguous chunk runs pre-assigned per lane (the pre-guided
+    /// behaviour). Kept for A/B measurement and as a fallback.
+    Static,
+    /// Fluid-node-costed chunks claimed from a shared cursor in a fixed
+    /// order; bit-identical to `Static` by construction (disjoint writes,
+    /// order-free swaps) but immune to per-lane cost skew.
+    #[default]
+    Guided,
+}
+
+impl ChunkingPolicy {
+    /// Stable lowercase name, accepted back by the env parser.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChunkingPolicy::Static => "static",
+            ChunkingPolicy::Guided => "guided",
+        }
+    }
+}
+
+impl std::fmt::Display for ChunkingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A malformed runtime environment variable. Each variant carries the
+/// rejected value verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeConfigError {
+    /// `APR_KERNEL` was none of `auto`/`reference`/`fused`/`simd`.
+    Kernel(String),
+    /// `APR_THREADS` was not a non-negative integer.
+    Threads(String),
+    /// `APR_CHUNKING` was neither `static` nor `guided`.
+    Chunking(String),
+    /// `APR_KERNEL_PROBE` was not a recognised boolean.
+    Probe(String),
+}
+
+impl std::fmt::Display for RuntimeConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeConfigError::Kernel(v) => write!(
+                f,
+                "APR_KERNEL={v:?}: expected auto, reference, fused, or simd"
+            ),
+            RuntimeConfigError::Threads(v) => write!(
+                f,
+                "APR_THREADS={v:?}: expected a non-negative integer (0 = all cores)"
+            ),
+            RuntimeConfigError::Chunking(v) => {
+                write!(f, "APR_CHUNKING={v:?}: expected static or guided")
+            }
+            RuntimeConfigError::Probe(v) => write!(
+                f,
+                "APR_KERNEL_PROBE={v:?}: expected 1/0, true/false, on/off, or yes/no"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeConfigError {}
+
+/// The typed runtime surface: every knob the engine reads at startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Kernel backend to force, or `None` to let the selector decide
+    /// (probe when [`RuntimeConfig::probe`] allows it).
+    pub kernel: Option<KernelKind>,
+    /// Worker lanes (`0` = one per available core).
+    pub threads: usize,
+    /// Chunk hand-out policy for parallel sweeps.
+    pub chunking: ChunkingPolicy,
+    /// Whether the kernel auto-probe may time backends on first use when
+    /// no kernel is forced. Off → the selector picks [`KernelKind::FusedSimd`].
+    pub probe: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            kernel: None,
+            threads: 0,
+            chunking: ChunkingPolicy::default(),
+            probe: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Parse the full runtime environment (`APR_KERNEL`, `APR_THREADS`,
+    /// `APR_CHUNKING`, `APR_KERNEL_PROBE`). Unset variables take their
+    /// defaults; a set-but-malformed variable is a typed error, never a
+    /// panic and never silently ignored.
+    pub fn from_env() -> Result<Self, RuntimeConfigError> {
+        let get = |k: &str| std::env::var(k).ok();
+        Self::parse(
+            get("APR_KERNEL").as_deref(),
+            get("APR_THREADS").as_deref(),
+            get("APR_CHUNKING").as_deref(),
+            get("APR_KERNEL_PROBE").as_deref(),
+        )
+    }
+
+    /// The pure parser behind [`RuntimeConfig::from_env`], separated so
+    /// tests can exercise it without mutating process env. `None` means
+    /// the variable was unset.
+    pub fn parse(
+        kernel: Option<&str>,
+        threads: Option<&str>,
+        chunking: Option<&str>,
+        probe: Option<&str>,
+    ) -> Result<Self, RuntimeConfigError> {
+        let mut cfg = Self::default();
+        if let Some(v) = kernel {
+            cfg.kernel = parse_kernel(v).map_err(RuntimeConfigError::Kernel)?;
+        }
+        if let Some(v) = threads {
+            let t = v.trim();
+            cfg.threads = if t.is_empty() {
+                0
+            } else {
+                t.parse::<usize>()
+                    .map_err(|_| RuntimeConfigError::Threads(v.to_string()))?
+            };
+        }
+        if let Some(v) = chunking {
+            cfg.chunking = parse_chunking(v).map_err(RuntimeConfigError::Chunking)?;
+        }
+        if let Some(v) = probe {
+            cfg.probe = parse_bool(v).map_err(RuntimeConfigError::Probe)?;
+        }
+        Ok(cfg)
+    }
+
+    /// Force a specific kernel backend (builder style).
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Set the worker lane count (builder style, `0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the chunking policy (builder style).
+    pub fn with_chunking(mut self, chunking: ChunkingPolicy) -> Self {
+        self.chunking = chunking;
+        self
+    }
+
+    /// Enable / disable the kernel auto-probe (builder style).
+    pub fn with_probe(mut self, probe: bool) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Apply this config process-wide: swap the global worker pool to
+    /// [`RuntimeConfig::threads`] lanes and record the kernel / chunking /
+    /// probe defaults consulted by lattices without explicit overrides.
+    /// Later installs fully replace earlier ones.
+    pub fn install(&self) {
+        apr_exec::set_threads(self.threads);
+        KERNEL_OVERRIDE.store(encode_kernel(self.kernel), Ordering::Release);
+        CHUNKING.store(encode_chunking(Some(self.chunking)), Ordering::Release);
+        PROBE.store(encode_bool(Some(self.probe)), Ordering::Release);
+    }
+}
+
+fn parse_kernel(v: &str) -> Result<Option<KernelKind>, String> {
+    match v.trim() {
+        "" | "auto" => Ok(None),
+        "reference" => Ok(Some(KernelKind::Reference)),
+        "fused" => Ok(Some(KernelKind::FusedSwap)),
+        "simd" => Ok(Some(KernelKind::FusedSimd)),
+        _ => Err(v.to_string()),
+    }
+}
+
+fn parse_chunking(v: &str) -> Result<ChunkingPolicy, String> {
+    match v.trim() {
+        "" | "guided" => Ok(ChunkingPolicy::Guided),
+        "static" => Ok(ChunkingPolicy::Static),
+        _ => Err(v.to_string()),
+    }
+}
+
+fn parse_bool(v: &str) -> Result<bool, String> {
+    match v.trim() {
+        "" | "1" | "true" | "on" | "yes" => Ok(true),
+        "0" | "false" | "off" | "no" => Ok(false),
+        _ => Err(v.to_string()),
+    }
+}
+
+// Installed process defaults. Encoding: 0 = not installed (fall back to a
+// lenient env read), otherwise value + 1 in the type's own order.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+static CHUNKING: AtomicU8 = AtomicU8::new(0);
+static PROBE: AtomicU8 = AtomicU8::new(0);
+
+fn encode_kernel(k: Option<KernelKind>) -> u8 {
+    match k {
+        None => 1, // installed-as-auto still overrides the env
+        Some(KernelKind::Reference) => 2,
+        Some(KernelKind::FusedSwap) => 3,
+        Some(KernelKind::FusedSimd) => 4,
+    }
+}
+
+fn encode_chunking(c: Option<ChunkingPolicy>) -> u8 {
+    match c {
+        None => 0,
+        Some(ChunkingPolicy::Static) => 1,
+        Some(ChunkingPolicy::Guided) => 2,
+    }
+}
+
+fn encode_bool(b: Option<bool>) -> u8 {
+    match b {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }
+}
+
+/// The kernel forced by the installed [`RuntimeConfig`], if any.
+/// `None` either means "nothing installed" or "installed as auto" — both
+/// leave the decision to the selector (which then consults
+/// [`env_kernel`] / the probe).
+pub fn kernel_override() -> Option<KernelKind> {
+    match KERNEL_OVERRIDE.load(Ordering::Acquire) {
+        2 => Some(KernelKind::Reference),
+        3 => Some(KernelKind::FusedSwap),
+        4 => Some(KernelKind::FusedSimd),
+        _ => None,
+    }
+}
+
+/// Whether an installed [`RuntimeConfig`] pinned the kernel choice —
+/// including pinning it to `auto`. When true the selector must not read
+/// `APR_KERNEL` again.
+pub fn kernel_pinned() -> bool {
+    KERNEL_OVERRIDE.load(Ordering::Acquire) != 0
+}
+
+/// The chunking policy lattices use when none was set on the solver:
+/// the installed config's policy, else a lenient `APR_CHUNKING` read
+/// (malformed values fall back to the default rather than erroring —
+/// strict validation belongs to [`RuntimeConfig::from_env`]).
+pub fn default_chunking() -> ChunkingPolicy {
+    match CHUNKING.load(Ordering::Acquire) {
+        1 => ChunkingPolicy::Static,
+        2 => ChunkingPolicy::Guided,
+        _ => std::env::var("APR_CHUNKING")
+            .ok()
+            .and_then(|v| parse_chunking(&v).ok())
+            .unwrap_or_default(),
+    }
+}
+
+/// Whether the kernel auto-probe may run: the installed config's flag,
+/// else a lenient `APR_KERNEL_PROBE` read (default on).
+pub fn probe_enabled() -> bool {
+    match PROBE.load(Ordering::Acquire) {
+        1 => false,
+        2 => true,
+        _ => std::env::var("APR_KERNEL_PROBE")
+            .ok()
+            .and_then(|v| parse_bool(&v).ok())
+            .unwrap_or(true),
+    }
+}
+
+/// Non-panicking `APR_KERNEL` read for the selector: `Ok(None)` when
+/// unset or `auto`, a typed error on garbage. The deprecated
+/// [`crate::kernel_from_env`] routes through this and panics on `Err` to
+/// preserve its documented behaviour.
+pub fn env_kernel() -> Result<Option<KernelKind>, RuntimeConfigError> {
+    match std::env::var("APR_KERNEL") {
+        Ok(v) => parse_kernel(&v).map_err(RuntimeConfigError::Kernel),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_when_all_unset() {
+        let cfg = RuntimeConfig::parse(None, None, None, None).unwrap();
+        assert_eq!(cfg, RuntimeConfig::default());
+        assert_eq!(cfg.kernel, None);
+        assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg.chunking, ChunkingPolicy::Guided);
+        assert!(cfg.probe);
+    }
+
+    #[test]
+    fn parse_accepts_every_kernel_name() {
+        for (name, want) in [
+            ("auto", None),
+            ("", None),
+            ("reference", Some(KernelKind::Reference)),
+            ("fused", Some(KernelKind::FusedSwap)),
+            ("simd", Some(KernelKind::FusedSimd)),
+        ] {
+            let cfg = RuntimeConfig::parse(Some(name), None, None, None).unwrap();
+            assert_eq!(cfg.kernel, want, "APR_KERNEL={name}");
+        }
+        // Round trip through the canonical names.
+        for kind in [
+            KernelKind::Reference,
+            KernelKind::FusedSwap,
+            KernelKind::FusedSimd,
+        ] {
+            let cfg = RuntimeConfig::parse(Some(kind.as_str()), None, None, None).unwrap();
+            assert_eq!(cfg.kernel, Some(kind));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_typed_errors() {
+        assert_eq!(
+            RuntimeConfig::parse(Some("fast"), None, None, None),
+            Err(RuntimeConfigError::Kernel("fast".into()))
+        );
+        assert_eq!(
+            RuntimeConfig::parse(None, Some("-3"), None, None),
+            Err(RuntimeConfigError::Threads("-3".into()))
+        );
+        assert_eq!(
+            RuntimeConfig::parse(None, None, Some("dynamic"), None),
+            Err(RuntimeConfigError::Chunking("dynamic".into()))
+        );
+        assert_eq!(
+            RuntimeConfig::parse(None, None, None, Some("maybe")),
+            Err(RuntimeConfigError::Probe("maybe".into()))
+        );
+        // Errors render the offending variable and value.
+        let msg = RuntimeConfig::parse(Some("fast"), None, None, None)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("APR_KERNEL") && msg.contains("fast"), "{msg}");
+    }
+
+    #[test]
+    fn parse_threads_chunking_probe() {
+        let cfg = RuntimeConfig::parse(None, Some("4"), Some("static"), Some("off")).unwrap();
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.chunking, ChunkingPolicy::Static);
+        assert!(!cfg.probe);
+        let cfg = RuntimeConfig::parse(None, Some(" 0 "), Some("guided"), Some("1")).unwrap();
+        assert_eq!(cfg.threads, 0);
+        assert_eq!(cfg.chunking, ChunkingPolicy::Guided);
+        assert!(cfg.probe);
+    }
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let cfg = RuntimeConfig::default()
+            .with_kernel(KernelKind::FusedSimd)
+            .with_threads(2)
+            .with_chunking(ChunkingPolicy::Static)
+            .with_probe(false);
+        assert_eq!(cfg.kernel, Some(KernelKind::FusedSimd));
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.chunking, ChunkingPolicy::Static);
+        assert!(!cfg.probe);
+    }
+
+    #[test]
+    fn chunking_policy_names_round_trip() {
+        for p in [ChunkingPolicy::Static, ChunkingPolicy::Guided] {
+            assert_eq!(parse_chunking(p.as_str()), Ok(p));
+            assert_eq!(p.to_string(), p.as_str());
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Vectorized D3Q19 BGK collision: the swap-streaming adjacency of
+//! [`crate::FusedSwapKernel`] with the per-node collision processed four
+//! contiguous fluid nodes at a time.
+//!
+//! ## Bit-identity by construction
+//!
+//! The vector path replicates the *exact expression tree* of
+//! [`crate::reference::bgk_post_collision`] lane-by-lane — same operation
+//! order, same associativity, one IEEE-754 `f64` op per lane per scalar
+//! op. Rust never contracts separate multiplies and adds into FMAs, so a
+//! 4-lane block produces bit-for-bit the doubles the scalar loop would
+//! have produced, and the kernel-equivalence zoo holds with no tolerance.
+//!
+//! Ragged run tails (fluid runs shorter than 4, interrupted by walls) fall
+//! back to the scalar [`crate::fused::collide_node_reversed`], which *is*
+//! the reference arithmetic.
+//!
+//! ## Two code paths, one shape
+//!
+//! With the `portable-simd` feature (nightly toolchains) the lane type is
+//! `std::simd::f64x4`. On stable it is a hand-unrolled 4-lane struct whose
+//! `#[inline(always)]` elementwise operators autovectorize under `-O`;
+//! both satisfy the same tiny splat/`from_array`/`to_array` surface, so
+//! the collision body is written once and compiles against either.
+//!
+//! ## Step structure
+//!
+//! Unlike the scalar fused kernel (collide a node, stream it immediately),
+//! [`FusedSimdKernel::step`] processes each guided chunk in two passes:
+//! vector-collide every fluid node in the chunk, then replay the chunk's
+//! ops with partners anywhere *inside* the chunk inline (both endpoints
+//! have collided) and cross-chunk swaps deferred — the same per-chunk
+//! deferral lists, drain overlap, and determinism argument as the scalar
+//! backend (see `fused.rs` and DESIGN.md §14).
+
+use std::ops::Range;
+
+use crate::adjacency::{AdjacencyTable, NodeKind};
+use crate::d3q19::{C, OPPOSITE, Q, W};
+use crate::fused::{
+    collide_node_reversed, costed_plan, fused_scratch_bytes, replay_chunk_deferring,
+    run_fused_step, stream_replay, FusedCtx,
+};
+use crate::view::LatticeView;
+use crate::{KernelBackend, KernelKind};
+use apr_exec::ChunkPlan;
+
+/// Vector width: four `f64` lanes.
+pub const LANES: usize = 4;
+
+#[cfg(feature = "portable-simd")]
+use std::simd::f64x4 as V;
+
+#[cfg(not(feature = "portable-simd"))]
+use fallback::F64x4 as V;
+
+/// Stable-Rust stand-in for `std::simd::f64x4`: a 4-lane value type whose
+/// elementwise operators unroll to four independent scalar IEEE ops —
+/// exactly what the portable-SIMD type lowers to per lane — which LLVM
+/// then packs into vector instructions where the target allows.
+#[cfg(not(feature = "portable-simd"))]
+mod fallback {
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64x4([f64; 4]);
+
+    impl F64x4 {
+        #[inline(always)]
+        pub fn splat(v: f64) -> Self {
+            Self([v; 4])
+        }
+
+        #[inline(always)]
+        pub fn from_array(a: [f64; 4]) -> Self {
+            Self(a)
+        }
+
+        #[inline(always)]
+        pub fn to_array(self) -> [f64; 4] {
+            self.0
+        }
+    }
+
+    macro_rules! elementwise {
+        ($trait:ident, $method:ident, $op:tt) => {
+            impl std::ops::$trait for F64x4 {
+                type Output = Self;
+                #[inline(always)]
+                fn $method(self, rhs: Self) -> Self {
+                    Self([
+                        self.0[0] $op rhs.0[0],
+                        self.0[1] $op rhs.0[1],
+                        self.0[2] $op rhs.0[2],
+                        self.0[3] $op rhs.0[3],
+                    ])
+                }
+            }
+        };
+    }
+    elementwise!(Add, add, +);
+    elementwise!(Sub, sub, -);
+    elementwise!(Mul, mul, *);
+    elementwise!(Div, div, /);
+}
+
+/// Collide the four consecutive fluid nodes `n0..n0+4` with the reference
+/// BGK + Guo arithmetic, one lane per node, storing the post-collision
+/// populations direction-reversed (the fused-streaming storage order).
+///
+/// # Safety
+/// The caller must be the sole accessor of these nodes' f/rho/vel storage,
+/// and all four nodes must be fluid.
+unsafe fn collide_block4(ctx: &FusedCtx, n0: usize) {
+    let gather = |at: &dyn Fn(usize) -> usize| -> V {
+        V::from_array([
+            ctx.f.slice_mut(at(0), 1)[0],
+            ctx.f.slice_mut(at(1), 1)[0],
+            ctx.f.slice_mut(at(2), 1)[0],
+            ctx.f.slice_mut(at(3), 1)[0],
+        ])
+    };
+    let mut fs = [V::splat(0.0); Q];
+    for (i, slot) in fs.iter_mut().enumerate() {
+        *slot = gather(&|k| (n0 + k) * Q + i);
+    }
+    let tau = match ctx.tau_field {
+        Some(t) => V::from_array([t[n0], t[n0 + 1], t[n0 + 2], t[n0 + 3]]),
+        None => V::splat(ctx.global_tau),
+    };
+    let force_at =
+        |a: usize| V::from_array([0, 1, 2, 3].map(|k: usize| ctx.force[(n0 + k) * 3 + a]));
+
+    // From here on: the exact expression tree of `bgk_post_collision`,
+    // per lane. Do not re-associate, reorder, or skip zero-constant terms
+    // (a skipped `x * 0.0` can flip the sign of a zero accumulator).
+    let one = V::splat(1.0);
+    let omega = one / tau;
+    let force_scale = one - V::splat(0.5) * omega;
+    let mut r = V::splat(0.0);
+    let mut m0 = V::splat(0.0);
+    let mut m1 = V::splat(0.0);
+    let mut m2 = V::splat(0.0);
+    for (i, f) in fs.iter().enumerate() {
+        r = r + *f;
+        m0 = m0 + *f * V::splat(C[i][0] as f64);
+        m1 = m1 + *f * V::splat(C[i][1] as f64);
+        m2 = m2 + *f * V::splat(C[i][2] as f64);
+    }
+    let gx = force_at(0) + V::splat(ctx.bf[0]);
+    let gy = force_at(1) + V::splat(ctx.bf[1]);
+    let gz = force_at(2) + V::splat(ctx.bf[2]);
+    let half = V::splat(0.5);
+    let ux = (m0 + half * gx) / r;
+    let uy = (m1 + half * gy) / r;
+    let uz = (m2 + half * gz) / r;
+    let usq = V::splat(1.5) * (ux * ux + uy * uy + uz * uz);
+    for i in 0..Q {
+        let cx = V::splat(C[i][0] as f64);
+        let cy = V::splat(C[i][1] as f64);
+        let cz = V::splat(C[i][2] as f64);
+        let cu = cx * ux + cy * uy + cz * uz;
+        let feq = V::splat(W[i]) * r * (one + V::splat(3.0) * cu + V::splat(4.5) * cu * cu - usq);
+        let forcing = V::splat(W[i])
+            * (V::splat(3.0) * ((cx - ux) * gx + (cy - uy) * gy + (cz - uz) * gz)
+                + V::splat(9.0) * cu * (cx * gx + cy * gy + cz * gz));
+        let post = (fs[i] + (omega * (feq - fs[i]) + force_scale * forcing)).to_array();
+        for (k, &p) in post.iter().enumerate() {
+            ctx.f.slice_mut((n0 + k) * Q + OPPOSITE[i], 1)[0] = p;
+        }
+    }
+    let (ra, uxa, uya, uza) = (r.to_array(), ux.to_array(), uy.to_array(), uz.to_array());
+    for k in 0..LANES {
+        ctx.rho.slice_mut(n0 + k, 1)[0] = ra[k];
+        let vel = ctx.vel.slice_mut((n0 + k) * 3, 3);
+        vel[0] = uxa[k];
+        vel[1] = uya[k];
+        vel[2] = uza[k];
+    }
+}
+
+/// Vector-collide every fluid node in `range` with reversed stores:
+/// contiguous fluid runs go through [`collide_block4`] four nodes at a
+/// time; ragged tails and runs shorter than [`LANES`] use the scalar
+/// reference arithmetic. Results are bit-identical either way.
+pub(crate) fn simd_collide_range(ctx: &FusedCtx, range: Range<usize>) {
+    let kind = &ctx.table.kind;
+    let mut node = range.start;
+    while node < range.end {
+        if kind[node] == NodeKind::Skip {
+            node += 1;
+            continue;
+        }
+        // Extend the contiguous fluid run.
+        let mut end = node + 1;
+        while end < range.end && kind[end] != NodeKind::Skip {
+            end += 1;
+        }
+        // SAFETY (both calls): chunk ranges are disjoint and claimed
+        // once, so this lane solely owns these nodes' storage.
+        while node + LANES <= end {
+            unsafe { collide_block4(ctx, node) };
+            node += LANES;
+        }
+        while node < end {
+            unsafe { collide_node_reversed(ctx, node) };
+            node += 1;
+        }
+    }
+}
+
+/// Swap-streaming backend with the collision vectorized 4 nodes wide.
+/// Shares the adjacency table, guided chunking, deferral machinery, and
+/// bit-identity contract of [`FusedSwapKernel`](crate::FusedSwapKernel).
+#[derive(Debug, Clone)]
+pub struct FusedSimdKernel {
+    table: AdjacencyTable,
+    /// Per-chunk deferred swaps, reused across steps.
+    defer: Vec<Vec<u64>>,
+    /// Cached cost-balanced plan, keyed by target chunk count.
+    plan: Option<(usize, ChunkPlan)>,
+}
+
+impl FusedSimdKernel {
+    /// Compile the streaming stencil for the view's current geometry.
+    pub fn build(view: &LatticeView) -> Self {
+        Self {
+            table: AdjacencyTable::build(
+                view.nx,
+                view.ny,
+                view.nz,
+                view.periodic,
+                view.flags,
+                view.moving_walls,
+            ),
+            defer: Vec::new(),
+            plan: None,
+        }
+    }
+
+    /// The compiled adjacency table.
+    pub fn table(&self) -> &AdjacencyTable {
+        &self.table
+    }
+}
+
+impl KernelBackend for FusedSimdKernel {
+    fn kind(&self) -> KernelKind {
+        KernelKind::FusedSimd
+    }
+
+    fn collide(&mut self, view: &mut LatticeView) {
+        let Self { table, plan, .. } = self;
+        let pool = apr_exec::current();
+        let plan = costed_plan(table, view.nx * view.ny, plan, pool.threads());
+        let n = view.node_count();
+        let plane = view.nx * view.ny;
+        let chunking = view.chunking;
+        let ctx = FusedCtx::new(view, table);
+        match chunking {
+            crate::ChunkingPolicy::Guided => {
+                pool.par_for_guided(plan, |_, range| simd_collide_range(&ctx, range))
+            }
+            crate::ChunkingPolicy::Static => {
+                pool.par_for_ranges(n, plane, |_, range| simd_collide_range(&ctx, range))
+            }
+        }
+        if apr_telemetry::is_enabled() {
+            apr_telemetry::gauge_set(
+                "exec.lattice.collide.utilization",
+                pool.last_run_stats().utilization(),
+            );
+        }
+    }
+
+    fn stream(&mut self, view: &mut LatticeView) {
+        let Self { table, plan, .. } = self;
+        let threads = apr_exec::current().threads();
+        let plan = costed_plan(table, view.nx * view.ny, plan, threads);
+        stream_replay(view, table, plan);
+    }
+
+    /// Fused full step, two passes per guided chunk: vector-collide the
+    /// chunk, then replay its ops with intra-chunk partners inline and
+    /// cross-chunk swaps deferred into the shared drain.
+    fn step(&mut self, view: &mut LatticeView) {
+        let Self { table, defer, plan } = self;
+        let threads = apr_exec::current().threads();
+        let plan = costed_plan(table, view.nx * view.ny, plan, threads);
+        let chunking = view.chunking;
+        let ctx = FusedCtx::new(view, table);
+        run_fused_step(&ctx, chunking, defer, plan, |ctx, _c, range, pending| {
+            simd_collide_range(ctx, range.clone());
+            replay_chunk_deferring(ctx, range, pending);
+        });
+    }
+
+    fn reversed_between_halves(&self) -> bool {
+        true
+    }
+
+    fn scratch_bytes(&self) -> usize {
+        fused_scratch_bytes(&self.table, &self.defer, &self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::NodeClass;
+    use crate::{ChunkingPolicy, FusedSwapKernel};
+
+    /// Owned storage backing a LatticeView for tests.
+    struct Dom {
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        flags: Vec<NodeClass>,
+        f: Vec<f64>,
+        rho: Vec<f64>,
+        vel: Vec<f64>,
+        force: Vec<f64>,
+        tau_field: Vec<f64>,
+    }
+
+    impl Dom {
+        fn new(nx: usize, ny: usize, nz: usize, flags: Vec<NodeClass>) -> Self {
+            let n = nx * ny * nz;
+            assert_eq!(flags.len(), n);
+            // Deterministic, non-uniform state: perturbed distributions,
+            // varied force and per-node tau.
+            let f = (0..n * Q)
+                .map(|j| W[j % Q] * (1.0 + 0.01 * ((j * 37 % 101) as f64 - 50.0) / 50.0))
+                .collect();
+            let force = (0..n * 3)
+                .map(|j| 1e-5 * ((j * 13 % 17) as f64 - 8.0))
+                .collect();
+            let tau_field = (0..n).map(|j| 0.7 + 0.2 * ((j % 7) as f64) / 7.0).collect();
+            Self {
+                nx,
+                ny,
+                nz,
+                flags,
+                f,
+                rho: vec![1.0; n],
+                vel: vec![0.0; n * 3],
+                force,
+                tau_field,
+            }
+        }
+
+        fn view(&mut self) -> LatticeView<'_> {
+            LatticeView {
+                nx: self.nx,
+                ny: self.ny,
+                nz: self.nz,
+                periodic: [true; 3],
+                tau: 0.8,
+                body_force: [1e-6, -2e-6, 5e-7],
+                tau_field: Some(&self.tau_field),
+                flags: &self.flags,
+                f: &mut self.f,
+                rho: &mut self.rho,
+                vel: &mut self.vel,
+                force: &self.force,
+                moving_walls: &[],
+                chunking: ChunkingPolicy::Guided,
+            }
+        }
+    }
+
+    fn digest(d: &Dom) -> Vec<u64> {
+        d.f.iter()
+            .chain(d.rho.iter())
+            .chain(d.vel.iter())
+            .map(|v| v.to_bits())
+            .collect()
+    }
+
+    /// The vector collide must be bit-identical to the scalar fused
+    /// collide — same reversed storage, same doubles — including on a
+    /// geometry with walls that force ragged (non-multiple-of-4) runs.
+    #[test]
+    fn simd_collide_matches_scalar_bitwise() {
+        let (nx, ny, nz) = (7, 5, 4);
+        let n = nx * ny * nz;
+        let mut flags = vec![NodeClass::Fluid; n];
+        // Scatter walls to break fluid runs at awkward offsets.
+        for j in (0..n).step_by(11) {
+            flags[j] = NodeClass::Wall;
+        }
+        let mut a = Dom::new(nx, ny, nz, flags.clone());
+        let mut b = Dom::new(nx, ny, nz, flags);
+        assert_eq!(digest(&a), digest(&b), "identical starting state");
+
+        let mut scalar = FusedSwapKernel::build(&a.view());
+        scalar.collide(&mut a.view());
+        let mut simd = FusedSimdKernel::build(&b.view());
+        simd.collide(&mut b.view());
+        assert_eq!(digest(&a), digest(&b), "collide halves diverged");
+
+        scalar.stream(&mut a.view());
+        simd.stream(&mut b.view());
+        assert_eq!(digest(&a), digest(&b), "stream halves diverged");
+    }
+
+    /// Fused steps (single dispatch, deferral + drain) must match the
+    /// split halves bitwise across both backends and multiple steps.
+    #[test]
+    fn simd_step_matches_scalar_step_bitwise() {
+        let (nx, ny, nz) = (6, 6, 9);
+        let n = nx * ny * nz;
+        let mut flags = vec![NodeClass::Fluid; n];
+        for j in (0..n).step_by(23) {
+            flags[j] = NodeClass::Wall;
+        }
+        let mut a = Dom::new(nx, ny, nz, flags.clone());
+        let mut b = Dom::new(nx, ny, nz, flags);
+        let mut scalar = FusedSwapKernel::build(&a.view());
+        let mut simd = FusedSimdKernel::build(&b.view());
+        for _ in 0..5 {
+            scalar.step(&mut a.view());
+            simd.step(&mut b.view());
+        }
+        assert_eq!(digest(&a), digest(&b), "fused steps diverged");
+    }
+
+    /// Both chunking policies must produce the same bits.
+    #[test]
+    fn chunking_policy_does_not_change_results() {
+        let (nx, ny, nz) = (5, 5, 8);
+        let n = nx * ny * nz;
+        let flags = vec![NodeClass::Fluid; n];
+        let mut a = Dom::new(nx, ny, nz, flags.clone());
+        let mut b = Dom::new(nx, ny, nz, flags);
+        let mut ka = FusedSimdKernel::build(&a.view());
+        let mut kb = FusedSimdKernel::build(&b.view());
+        for _ in 0..3 {
+            ka.step(&mut a.view());
+            let mut v = b.view();
+            v.chunking = ChunkingPolicy::Static;
+            kb.step(&mut v);
+        }
+        assert_eq!(digest(&a), digest(&b), "policy changed the physics");
+    }
+
+    #[test]
+    fn lane_ops_are_elementwise() {
+        let a = V::from_array([1.0, -2.0, 0.5, 4.0]);
+        let b = V::from_array([2.0, 0.5, -1.0, 8.0]);
+        assert_eq!((a + b).to_array(), [3.0, -1.5, -0.5, 12.0]);
+        assert_eq!((a - b).to_array(), [-1.0, -2.5, 1.5, -4.0]);
+        assert_eq!((a * b).to_array(), [2.0, -1.0, -0.5, 32.0]);
+        assert_eq!((a / b).to_array(), [0.5, -4.0, -0.5, 0.5]);
+        assert_eq!(V::splat(3.0).to_array(), [3.0; 4]);
+    }
+}

@@ -1,41 +1,68 @@
 //! Process-wide default kernel selection.
 //!
 //! A lattice with no explicit [`KernelKind`](apr_kernels::KernelKind)
-//! choice resolves through [`default_kernel`]: the `APR_KERNEL`
-//! environment variable wins, otherwise a one-shot startup micro-probe
-//! times both backends on a small periodic box and the faster one becomes
-//! the process default. The probe runs once per process (under a
-//! `OnceLock`), costs a few milliseconds, and is deliberately tiny —
-//! 12³ nodes — so it measures kernel overhead structure (passes, barriers,
-//! table lookups) rather than cache capacity.
+//! choice resolves through [`default_kernel`], in priority order:
+//!
+//! 1. the kernel pinned by an installed
+//!    [`RuntimeConfig`](apr_kernels::RuntimeConfig) (including an explicit
+//!    `auto`, which falls through to step 3),
+//! 2. otherwise a lenient `APR_KERNEL` read
+//!    ([`apr_kernels::runtime::env_kernel`]; garbage values panic — a
+//!    silently ignored typo would invalidate a benchmark run),
+//! 3. otherwise, when the probe is enabled
+//!    ([`apr_kernels::runtime::probe_enabled`]), a one-shot startup
+//!    micro-probe that times all three backends on a small periodic box
+//!    and memoizes the fastest; with the probe disabled the default is
+//!    [`KernelKind::FusedSimd`].
+//!
+//! The probe runs once per process (under a `OnceLock`), costs a few
+//! milliseconds, and is deliberately tiny — 12³ nodes — so it measures
+//! kernel overhead structure (passes, barriers, table lookups) rather
+//! than cache capacity.
 
 use crate::solver::Lattice;
-use apr_kernels::KernelKind;
+use apr_kernels::{runtime, KernelKind};
 use std::sync::OnceLock;
 use std::time::Instant;
 
-static DEFAULT: OnceLock<KernelKind> = OnceLock::new();
+static PROBED: OnceLock<KernelKind> = OnceLock::new();
 
-/// The process-default kernel: `APR_KERNEL` if set, else the micro-probe
-/// winner. Memoized for the life of the process.
+/// The process-default kernel: the installed
+/// [`RuntimeConfig`](apr_kernels::RuntimeConfig) override if pinned, else
+/// `APR_KERNEL`, else the (memoized) micro-probe winner — or
+/// [`KernelKind::FusedSimd`] when probing is disabled.
 pub fn default_kernel() -> KernelKind {
-    *DEFAULT.get_or_init(|| match apr_kernels::kernel_from_env() {
-        Some(kind) => kind,
-        None => probe(),
-    })
+    if runtime::kernel_pinned() {
+        if let Some(kind) = runtime::kernel_override() {
+            return kind;
+        }
+    } else {
+        match runtime::env_kernel() {
+            Ok(Some(kind)) => return kind,
+            Ok(None) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+    if !runtime::probe_enabled() {
+        return KernelKind::FusedSimd;
+    }
+    *PROBED.get_or_init(probe)
 }
 
-/// Time both backends on a small periodic forced box and return the
-/// faster. Ties go to [`KernelKind::FusedSwap`], which also wins on
-/// memory (no second distribution array).
+/// Time every backend on a small periodic forced box and return the
+/// fastest. Ties go to the later entrant in the list below —
+/// [`KernelKind::FusedSimd`] over [`KernelKind::FusedSwap`] over
+/// [`KernelKind::Reference`] — which also orders them by memory footprint
+/// (the fused backends carry no second distribution array).
 fn probe() -> KernelKind {
-    let reference = probe_one(KernelKind::Reference);
-    let fused = probe_one(KernelKind::FusedSwap);
-    if fused <= reference {
-        KernelKind::FusedSwap
-    } else {
-        KernelKind::Reference
+    let mut best = (KernelKind::Reference, probe_one(KernelKind::Reference));
+    for kind in [KernelKind::FusedSwap, KernelKind::FusedSimd] {
+        let t = probe_one(kind);
+        if t <= best.1 {
+            best = (kind, t);
+        }
     }
+    best.0
 }
 
 fn probe_one(kind: KernelKind) -> std::time::Duration {
@@ -70,5 +97,14 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(default_kernel(), first);
         }
+    }
+
+    #[test]
+    fn probe_picks_one_of_the_probed_kernels() {
+        let k = *PROBED.get_or_init(probe);
+        assert!(matches!(
+            k,
+            KernelKind::Reference | KernelKind::FusedSwap | KernelKind::FusedSimd
+        ));
     }
 }

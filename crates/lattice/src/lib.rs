@@ -17,7 +17,9 @@ pub mod observables;
 pub mod setup;
 pub mod solver;
 
-pub use apr_kernels::{neighbor_index, KernelBackend, KernelKind};
+pub use apr_kernels::{
+    neighbor_index, ChunkingPolicy, KernelBackend, KernelKind, RuntimeConfig, RuntimeConfigError,
+};
 pub use checkpoint::{load_state, save_state, CheckpointError};
 pub use d3q19::{
     equilibrium, equilibrium_all, lattice_viscosity_from_tau, tau_from_lattice_viscosity, C, CS2,

@@ -6,14 +6,18 @@
 //! array-of-structures (19 contiguous values per node); the collide/stream
 //! inner loops live in `apr-kernels`, behind the [`KernelBackend`] trait,
 //! and [`Lattice`] delegates each (half-)step to a selected backend — the
-//! verbatim two-pass [`KernelKind::Reference`] path or the in-place fused
-//! [`KernelKind::FusedSwap`] path. Every backend runs on the deterministic
-//! `apr-exec` pool and produces bit-identical results for any `APR_THREADS`
-//! and any backend choice.
+//! verbatim two-pass [`KernelKind::Reference`] path, the in-place fused
+//! [`KernelKind::FusedSwap`] path, or the vectorized
+//! [`KernelKind::FusedSimd`] path. Every backend runs on the deterministic
+//! `apr-exec` pool and produces bit-identical results for any `APR_THREADS`,
+//! any backend choice, and any [`ChunkingPolicy`].
 
 use crate::d3q19::{equilibrium_all, lattice_viscosity_from_tau, C, OPPOSITE, Q};
 use crate::kernel_select;
-use apr_kernels::{FusedSwapKernel, KernelBackend, KernelKind, LatticeView, ReferenceKernel};
+use apr_kernels::{
+    ChunkingPolicy, FusedSimdKernel, FusedSwapKernel, KernelBackend, KernelKind, LatticeView,
+    ReferenceKernel,
+};
 use std::collections::HashMap;
 
 pub use apr_kernels::NodeClass;
@@ -77,6 +81,11 @@ enum Backend {
         rev: u64,
         periodic: [bool; 3],
     },
+    Simd {
+        kernel: FusedSimdKernel,
+        rev: u64,
+        periodic: [bool; 3],
+    },
 }
 
 /// A D3Q19 lattice Boltzmann fluid domain.
@@ -120,6 +129,10 @@ pub struct Lattice {
     steps_taken: u64,
     /// Requested kernel; `None` defers to the process-wide probed default.
     kernel_choice: Option<KernelKind>,
+    /// Requested chunking policy; `None` defers to the installed
+    /// [`apr_kernels::RuntimeConfig`] (or `APR_CHUNKING`). Never affects
+    /// the produced numbers.
+    chunking: Option<ChunkingPolicy>,
     /// The running backend (built lazily, rebuilt on geometry changes).
     backend: Option<Backend>,
     /// True while fluid-node distributions are stored direction-reversed
@@ -167,6 +180,7 @@ impl Lattice {
             pending_stream: false,
             steps_taken: 0,
             kernel_choice: None,
+            chunking: None,
             backend: None,
             swap_parity: false,
             geometry_rev: 0,
@@ -526,6 +540,21 @@ impl Lattice {
         }
     }
 
+    /// Select the chunking policy: `Some(policy)` forces it for this
+    /// lattice, `None` defers to the installed
+    /// [`apr_kernels::RuntimeConfig`] (or `APR_CHUNKING`). Safe to change
+    /// at any time — the policy only shapes lane scheduling, never the
+    /// produced numbers.
+    pub fn set_chunking(&mut self, chunking: Option<ChunkingPolicy>) {
+        self.chunking = chunking;
+    }
+
+    /// The chunking policy this lattice resolves to right now.
+    pub fn chunking(&self) -> ChunkingPolicy {
+        self.chunking
+            .unwrap_or_else(apr_kernels::runtime::default_chunking)
+    }
+
     /// True between `advance(Collide)` and `advance(Stream)`.
     #[inline]
     pub fn mid_step(&self) -> bool {
@@ -571,7 +600,7 @@ impl Lattice {
             return Err("swap parity outside a pending stream is impossible".into());
         }
         if pending_stream {
-            let reversed = self.kernel() == KernelKind::FusedSwap;
+            let reversed = self.kernel().reversed_storage();
             if swap_parity != reversed {
                 return Err(format!(
                     "mid-step checkpoint stored with {} storage cannot resume on the {} kernel",
@@ -600,6 +629,7 @@ impl Lattice {
             None => 0,
             Some(Backend::Reference(k)) => k.scratch_bytes(),
             Some(Backend::Fused { kernel, .. }) => kernel.scratch_bytes(),
+            Some(Backend::Simd { kernel, .. }) => kernel.scratch_bytes(),
         }
     }
 
@@ -636,6 +666,9 @@ impl Lattice {
             vel: &mut self.vel,
             force: &self.force,
             moving_walls: &self.moving_walls,
+            chunking: self
+                .chunking
+                .unwrap_or_else(apr_kernels::runtime::default_chunking),
         }
     }
 
@@ -647,6 +680,9 @@ impl Lattice {
         let up_to_date = match (&self.backend, kind) {
             (Some(Backend::Reference(_)), KernelKind::Reference) => true,
             (Some(Backend::Fused { rev, periodic, .. }), KernelKind::FusedSwap) => {
+                *rev == self.geometry_rev && *periodic == self.periodic
+            }
+            (Some(Backend::Simd { rev, periodic, .. }), KernelKind::FusedSimd) => {
                 *rev == self.geometry_rev && *periodic == self.periodic
             }
             _ => false,
@@ -662,6 +698,16 @@ impl Lattice {
                 let periodic = self.periodic;
                 let kernel = FusedSwapKernel::build(&self.view());
                 Backend::Fused {
+                    kernel,
+                    rev,
+                    periodic,
+                }
+            }
+            KernelKind::FusedSimd => {
+                let rev = self.geometry_rev;
+                let periodic = self.periodic;
+                let kernel = FusedSimdKernel::build(&self.view());
+                Backend::Simd {
                     kernel,
                     rev,
                     periodic,
@@ -685,6 +731,7 @@ impl Lattice {
             match &mut backend {
                 Backend::Reference(k) => op(k, &mut view),
                 Backend::Fused { kernel, .. } => op(kernel, &mut view),
+                Backend::Simd { kernel, .. } => op(kernel, &mut view),
             }
         }
         self.backend = Some(backend);
@@ -698,7 +745,10 @@ impl Lattice {
     /// [`Self::advance`], which stays available on every backend.
     pub fn step(&mut self) {
         self.ensure_backend();
-        let fused = matches!(self.backend, Some(Backend::Fused { .. }));
+        let fused = matches!(
+            self.backend,
+            Some(Backend::Fused { .. } | Backend::Simd { .. })
+        );
         if fused && !self.pending_stream {
             let _span = apr_telemetry::span("lattice.step.fused");
             self.with_backend(|k, view| k.step(view));
@@ -727,6 +777,7 @@ impl Lattice {
                 self.with_backend(|k, view| k.collide(view));
                 self.swap_parity = match &self.backend {
                     Some(Backend::Fused { kernel, .. }) => kernel.reversed_between_halves(),
+                    Some(Backend::Simd { kernel, .. }) => kernel.reversed_between_halves(),
                     _ => false,
                 };
                 self.pending_stream = true;

@@ -13,7 +13,7 @@ use apr_cells::RbcTile;
 use apr_core::{AprEngine, SimSession};
 use apr_coupling::fine_tau;
 use apr_guard::ByteWriter;
-use apr_lattice::{force_driven_tube, Lattice};
+use apr_lattice::{force_driven_tube, Lattice, RuntimeConfig};
 use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
 use apr_mesh::biconcave_rbc_mesh;
 use apr_window::{HematocritController, InsertionContext};
@@ -52,6 +52,12 @@ pub struct TubeScenario {
     /// before the session's own stepping starts, and the cached blob is
     /// taken after them.
     pub warmup_steps: u64,
+    /// Execution knobs (kernel, chunking) applied to the engine's lattices.
+    /// Deliberately **excluded** from [`TubeScenario::hash`]: every kernel
+    /// and chunking policy is bit-identical by contract (the
+    /// kernel-equivalence suite enforces it), so a warm blob produced under
+    /// one runtime is valid under any other and the cache can be shared.
+    pub runtime: RuntimeConfig,
 }
 
 impl TubeScenario {
@@ -71,6 +77,7 @@ impl TubeScenario {
             hematocrit: 0.0,
             seed,
             warmup_steps: 4,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -92,6 +99,7 @@ impl TubeScenario {
             hematocrit: 0.12,
             seed,
             warmup_steps: 5,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -144,6 +152,7 @@ impl TubeScenario {
         let mut eng = AprEngine::builder(coarse, fine, origin, self.refine, self.lambda)
             .seed(self.seed)
             .maintenance_interval(10)
+            .runtime(self.runtime)
             .build();
         if self.hematocrit > 0.0 {
             let radius = 3.0;
@@ -208,6 +217,27 @@ mod tests {
         let mut d = TubeScenario::small(7);
         d.force_g *= 2.0;
         assert_ne!(a.hash(), d.hash());
+    }
+
+    #[test]
+    fn runtime_does_not_change_hash_or_warm_state() {
+        use apr_lattice::{ChunkingPolicy, KernelKind};
+        let base = TubeScenario::small(11);
+        let mut pinned = base;
+        pinned.runtime = RuntimeConfig::default()
+            .with_kernel(KernelKind::Reference)
+            .with_chunking(ChunkingPolicy::Static);
+        // Cache key ignores execution knobs...
+        assert_eq!(base.hash(), pinned.hash());
+        // ...because the physics is kernel- and chunking-invariant: warm
+        // blobs built under different runtimes are bit-identical.
+        let mut simd = base;
+        simd.runtime = RuntimeConfig::default().with_kernel(KernelKind::FusedSimd);
+        assert_eq!(
+            SimSession::suspend(&pinned.build_cold()),
+            SimSession::suspend(&simd.build_cold()),
+            "warm state must not depend on the runtime config"
+        );
     }
 
     #[test]

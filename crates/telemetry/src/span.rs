@@ -108,6 +108,15 @@ pub struct LaneStats {
     pub min_ns: u64,
     /// Slowest single lane sample.
     pub max_ns: u64,
+    /// Total barrier-wait nanoseconds summed over all lanes of all
+    /// regions: each lane's wait is the region span (dispatch-to-barrier
+    /// wall time for pool regions, the slowest rank for rank regions)
+    /// minus that lane's busy time. Kept separate from [`busy_ns`] so a
+    /// lane idling at a barrier is never mistaken for a lane working —
+    /// the distinction behind the paper's rank-wait analysis.
+    ///
+    /// [`busy_ns`]: LaneStats::busy_ns
+    pub wait_ns: u64,
     /// Sum of per-region imbalance factors (see [`LaneStats::imbalance`]).
     pub imbalance_sum: f64,
 }
@@ -134,7 +143,7 @@ impl LaneStats {
         }
     }
 
-    fn record_region(&mut self, lane_busy_ns: &[u64]) {
+    fn record_region(&mut self, region_ns: u64, lane_busy_ns: &[u64]) {
         if lane_busy_ns.is_empty() {
             return;
         }
@@ -147,6 +156,10 @@ impl LaneStats {
         self.regions += 1;
         self.samples += lane_busy_ns.len() as u64;
         self.busy_ns += sum;
+        self.wait_ns += lane_busy_ns
+            .iter()
+            .map(|&b| region_ns.saturating_sub(b))
+            .sum::<u64>();
         self.min_ns = self.min_ns.min(min);
         self.max_ns = self.max_ns.max(max);
         let mean = sum as f64 / lane_busy_ns.len() as f64;
@@ -163,6 +176,7 @@ impl LaneStats {
         self.regions += other.regions;
         self.samples += other.samples;
         self.busy_ns += other.busy_ns;
+        self.wait_ns += other.wait_ns;
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
         self.imbalance_sum += other.imbalance_sum;
@@ -433,7 +447,7 @@ impl Recorder {
             return;
         };
         frame.barrier_ns += wall_ns.saturating_sub(lane_busy_ns[0]);
-        frame.workers.record_region(lane_busy_ns);
+        frame.workers.record_region(wall_ns, lane_busy_ns);
     }
 
     /// Attribute one halo-exchange phase's per-rank busy times to the
@@ -450,7 +464,10 @@ impl Recorder {
         let Some(frame) = inner.stacks.entry(tid).or_default().last_mut() else {
             return;
         };
-        frame.ranks.record_region(rank_busy_ns);
+        // A rank region has no independent wall clock: every rank logically
+        // waits for the slowest one, so the slowest rank defines the span.
+        let region_ns = *rank_busy_ns.iter().max().unwrap();
+        frame.ranks.record_region(region_ns, rank_busy_ns);
     }
 
     /// Time `f` on the recorder clock, returning its result and the
@@ -794,6 +811,7 @@ mod tests {
         assert_eq!(par.workers.busy_ns, 60);
         assert_eq!(par.workers.min_ns, 20);
         assert_eq!(par.workers.max_ns, 40);
+        assert_eq!(par.workers.wait_ns, 60, "(60-20) + (60-40)");
         // max/mean = 40/30.
         assert!((par.workers.imbalance() - 4.0 / 3.0).abs() < 1e-12);
         let records = rec.span_records();
@@ -803,15 +821,18 @@ mod tests {
     #[test]
     fn balanced_region_has_unit_imbalance_and_skew_exceeds_it() {
         let mut balanced = LaneStats::default();
-        balanced.record_region(&[50, 50, 50, 50]);
+        balanced.record_region(200, &[50, 50, 50, 50]);
         assert_eq!(balanced.imbalance(), 1.0);
+        assert_eq!(balanced.wait_ns, 600, "each lane waited 150 of 200 ns");
         let mut skewed = LaneStats::default();
-        skewed.record_region(&[10, 190]);
+        skewed.record_region(200, &[10, 190]);
         assert!((skewed.imbalance() - 1.9).abs() < 1e-12);
+        assert_eq!(skewed.wait_ns, 200);
         // Sequential runs (one lane) are balanced by definition.
         let mut solo = LaneStats::default();
-        solo.record_region(&[123]);
+        solo.record_region(123, &[123]);
         assert_eq!(solo.imbalance(), 1.0);
+        assert_eq!(solo.wait_ns, 0);
         assert_eq!(LaneStats::default().imbalance(), 1.0);
     }
 

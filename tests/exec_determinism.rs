@@ -139,3 +139,41 @@ fn guardian_rollback_replays_identically_at_four_threads() {
     );
     apr_suite::exec::set_threads(1);
 }
+
+/// Guided chunking claims chunks from a shared cursor, so which lane
+/// computes which chunk depends on thread timing. The results must not:
+/// 20 runs with randomized per-lane start delays (forcing different claim
+/// interleavings every run) all land on the identical trajectory.
+#[test]
+fn guided_chunking_survives_randomized_worker_starts() {
+    use apr_suite::lattice::{ChunkingPolicy, KernelKind};
+    use rand::Rng;
+
+    let _guard = POOL_LOCK.lock().unwrap();
+    apr_suite::exec::set_threads(4);
+    let run_once = |kind: KernelKind| {
+        let mut lat = force_driven_tube(13, 13, 24, 0.9, 5.0, 1e-6);
+        lat.set_kernel(Some(kind));
+        lat.set_chunking(Some(ChunkingPolicy::Guided));
+        for _ in 0..30 {
+            lat.step();
+        }
+        let bits: Vec<u64> = lat.storage_f().iter().map(|v| v.to_bits()).collect();
+        bits
+    };
+    let mut rng = StdRng::seed_from_u64(0xC1A1);
+    for kind in [KernelKind::FusedSwap, KernelKind::FusedSimd] {
+        let baseline = run_once(kind);
+        for round in 0..20 {
+            let table: Vec<u64> = (0..4).map(|_| rng.gen_range(0..300_000u64)).collect();
+            apr_suite::exec::set_test_start_jitter(Some(table));
+            let jittered = run_once(kind);
+            apr_suite::exec::set_test_start_jitter(None);
+            assert_eq!(
+                baseline, jittered,
+                "{kind:?} trajectory changed with start jitter (round {round})"
+            );
+        }
+    }
+    apr_suite::exec::set_threads(1);
+}
