@@ -19,8 +19,8 @@
 //! baselines.
 
 use apr_bench::observatory::{
-    default_steps, diff_artifacts, gate_scaling, parse_artifact, read_git_rev, run_scenario,
-    to_json, BenchArtifact, DiffOptions, GateVerdict, SCENARIOS,
+    default_steps, diff_artifacts, gate_scaling, parse_artifact, prometheus_exposition,
+    read_git_rev, run_scenario, to_json, BenchArtifact, DiffOptions, GateVerdict, SCENARIOS,
 };
 use std::path::{Path, PathBuf};
 
@@ -117,6 +117,16 @@ fn try_run(args: &[String]) -> Result<(), String> {
         let path = out_dir.join(format!("BENCH_{scenario}.json"));
         std::fs::write(&path, to_json(&artifact)).map_err(|e| format!("write {path:?}: {e}"))?;
         eprintln!("bench_suite: wrote {}", path.display());
+
+        // Scrape-friendly mirror of the artifact, validated before it is
+        // written: a malformed exposition must fail the run, not the
+        // scraper.
+        let prom = prometheus_exposition(&artifact);
+        apr_observe::validate_exposition(&prom)
+            .map_err(|e| format!("BENCH_{scenario} exposition invalid: {e}"))?;
+        let prom_path = out_dir.join(format!("BENCH_{scenario}.prom"));
+        std::fs::write(&prom_path, prom).map_err(|e| format!("write {prom_path:?}: {e}"))?;
+        eprintln!("bench_suite: wrote {}", prom_path.display());
     }
     Ok(())
 }

@@ -289,6 +289,97 @@ pub fn to_json(artifact: &BenchArtifact) -> String {
     out
 }
 
+/// Render an artifact as a Prometheus text-format exposition, one sample
+/// per `(scenario, threads)` run — the scrape-friendly mirror of the
+/// `BENCH_*.json` baseline. Per-phase p50/p95 wall times carry a `phase`
+/// label; the serve scenario's service block maps to its own families.
+/// `bench_suite run` writes this next to the JSON and CI validates it
+/// with `apr_observe::validate_exposition`.
+pub fn prometheus_exposition(artifact: &BenchArtifact) -> String {
+    let mut w = apr_observe::PromWriter::new();
+    for run in &artifact.runs {
+        let base: Vec<(&str, String)> = vec![
+            ("scenario", artifact.scenario.clone()),
+            ("threads", run.threads.to_string()),
+        ];
+        w.gauge(
+            "apr_bench_wall_seconds",
+            "Wall seconds of the timed region",
+            &base,
+            run.wall_seconds,
+        );
+        w.gauge(
+            "apr_bench_mlups",
+            "Million lattice-site updates per second",
+            &base,
+            run.mlups,
+        );
+        w.counter(
+            "apr_bench_site_updates_total",
+            "Lattice site updates performed in the timed region",
+            &base,
+            run.site_updates as f64,
+        );
+        w.gauge(
+            "apr_bench_rss_bytes",
+            "Resident set size after the run",
+            &base,
+            run.rss_bytes as f64,
+        );
+        if let Some(pct) = run.overhead_pct {
+            w.gauge(
+                "apr_bench_resilience_overhead_pct",
+                "Resilience tax of the distributed runtime, percent",
+                &base,
+                pct,
+            );
+        }
+        if let Some(s) = &run.service {
+            w.gauge(
+                "apr_serve_sessions_per_sec",
+                "Completed sessions per wall-clock second",
+                &base,
+                s.sessions_per_sec,
+            );
+            w.gauge(
+                "apr_serve_p95_ttfs_ms",
+                "95th-percentile admission to first-engine-step latency",
+                &base,
+                s.p95_ttfs_ms,
+            );
+            w.gauge(
+                "apr_serve_cache_hit_rate",
+                "Warm-cache hit rate over all session setups",
+                &base,
+                s.cache_hit_rate,
+            );
+            w.counter(
+                "apr_serve_preempts_total",
+                "Total preemptions across all sessions",
+                &base,
+                s.preempts as f64,
+            );
+        }
+        for p in &run.phases {
+            let mut labels = base.clone();
+            labels.push(("phase", p.name.clone()));
+            w.gauge(
+                "apr_bench_phase_p50_ns",
+                "Median phase wall time, nanoseconds",
+                &labels,
+                p.p50_ns,
+            );
+            w.gauge(
+                "apr_bench_phase_p95_ns",
+                "95th-percentile phase wall time, nanoseconds",
+                &labels,
+                p.p95_ns,
+            );
+        }
+    }
+    w.finish()
+}
+
 fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_f64)
@@ -1169,6 +1260,38 @@ mod tests {
         let text = to_json(&artifact);
         let parsed = parse_artifact(&text).unwrap();
         assert_eq!(parsed, artifact);
+    }
+
+    #[test]
+    fn exposition_validates_and_carries_the_key_families() {
+        let mut artifact = sample_artifact();
+        artifact.runs[0].service = Some(ServiceSummary {
+            sessions: 16,
+            sessions_per_sec: 4.0,
+            p50_ttfs_ms: 12.0,
+            p95_ttfs_ms: 45.0,
+            preempt_overhead_pct: 2.5,
+            cache_hit_rate: 0.75,
+            preempts: 48,
+        });
+        let prom = prometheus_exposition(&artifact);
+        let summary = apr_observe::validate_exposition(&prom).expect("exposition must validate");
+        assert!(summary.families >= 8, "only {} families", summary.families);
+        for family in [
+            "apr_bench_mlups",
+            "apr_bench_resilience_overhead_pct",
+            "apr_serve_sessions_per_sec",
+            "apr_bench_phase_p95_ns",
+        ] {
+            assert!(
+                prom.contains(&format!("# TYPE {family} ")),
+                "{family} missing"
+            );
+        }
+        assert!(
+            prom.contains("phase=\"apr.step\""),
+            "phase label lost: {prom}"
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@ use apr_ibm::DeltaKernel;
 use apr_lattice::{KernelKind, Lattice, RuntimeConfig, SubStep};
 use apr_membrane::Membrane;
 use apr_mesh::Vec3;
+use apr_observe::{ConservationLedger, DomainTotals, LedgerConfig, WindowFlux};
 use apr_window::{
     move_window, remove_escaped_cells, repopulate, CtcTracker, HematocritController,
     InsertionContext, InsertionReport, MoveTrigger, WindowAnatomy,
@@ -67,6 +68,9 @@ pub struct AprEngine {
     pub tracker: CtcTracker,
     /// Steps between window-maintenance sweeps.
     pub maintenance_interval: u64,
+    /// Conservation ledger (None = no per-step accounting; stepping then
+    /// costs nothing beyond the existing gauges).
+    pub ledger: Option<ConservationLedger>,
     pub(crate) geometry: Option<FineGeometry>,
     pub(crate) rng: StdRng,
     pub(crate) steps: u64,
@@ -105,6 +109,7 @@ pub struct AprEngineBuilder {
     seed: u64,
     maintenance_interval: u64,
     pool_capacity: usize,
+    ledger: Option<LedgerConfig>,
 }
 
 impl AprEngineBuilder {
@@ -168,6 +173,16 @@ impl AprEngineBuilder {
         self
     }
 
+    /// Arm the conservation ledger: every step samples bulk and window
+    /// mass/momentum totals (deterministic ordered reduction), tracks
+    /// drift against `config`'s tolerances, and publishes the sample to
+    /// the metrics hub. Latched breaches surface as
+    /// `HealthIssue::ConservationDrift` at the next guardian inspection.
+    pub fn ledger(mut self, config: LedgerConfig) -> Self {
+        self.ledger = Some(config);
+        self
+    }
+
     /// Assemble the engine: builds the bulk↔window coupling and seeds the
     /// fine fluid from the coarse solution.
     pub fn build(self) -> AprEngine {
@@ -185,6 +200,7 @@ impl AprEngineBuilder {
             seed,
             maintenance_interval,
             pool_capacity,
+            ledger,
         } = self;
         if let Some(kind) = lbm_kernel {
             coarse.set_kernel(Some(kind));
@@ -198,6 +214,25 @@ impl AprEngineBuilder {
             coarse.set_chunking(Some(cfg.chunking));
             fine.set_chunking(Some(cfg.chunking));
         }
+        // Stamp the effective runtime knobs as run attributes: the flight
+        // recorder copies them into its dump header, so a post-mortem
+        // identifies the kernel/thread/chunking configuration that
+        // produced it.
+        let kernel_attr = runtime.and_then(|c| c.kernel).or(lbm_kernel);
+        apr_telemetry::set_attribute(
+            "runtime.kernel",
+            match kernel_attr {
+                Some(KernelKind::Reference) => "reference",
+                Some(KernelKind::FusedSwap) => "fused",
+                Some(KernelKind::FusedSimd) => "simd",
+                None => "auto",
+            },
+        );
+        apr_telemetry::set_attribute("runtime.threads", apr_exec::current_threads().to_string());
+        apr_telemetry::set_attribute(
+            "runtime.chunking",
+            runtime.map_or("guided", |c| c.chunking.as_str()),
+        );
         let (proper_half, onramp, insertion_width) = window.unwrap_or_else(|| {
             let span = (fine.nx.min(fine.ny).min(fine.nz) - 1) as f64;
             (span * 0.22, span * 0.12, span * 0.14)
@@ -227,6 +262,7 @@ impl AprEngineBuilder {
             },
             tracker: CtcTracker::new(),
             maintenance_interval,
+            ledger: ledger.map(ConservationLedger::new),
             geometry: None,
             rng: StdRng::seed_from_u64(seed),
             steps: 0,
@@ -268,6 +304,7 @@ impl AprEngine {
             seed: 0x5eed,
             maintenance_interval: 50,
             pool_capacity: 256,
+            ledger: None,
         }
     }
 
@@ -372,8 +409,12 @@ impl AprEngine {
     /// Advance one coarse step (with `n` fine FSI substeps), plus window
     /// maintenance and (when triggered) a window move.
     pub fn step(&mut self) -> AprStepReport {
+        // 1-based: spans of this call are tagged with the value `steps()`
+        // will have once it completes.
+        let _step_scope = apr_telemetry::step_scope(self.steps + 1);
         let _step_span = apr_telemetry::span("apr.step");
         let mut report = AprStepReport::default();
+        let mut flux = WindowFlux::default();
         let old = {
             let _s = apr_telemetry::span("coupling.snapshot");
             self.map.snapshot(&self.coarse, &self.fine)
@@ -436,7 +477,10 @@ impl AprEngine {
             self.tracker.record(self.steps, world);
             if self.trigger.should_move(&self.anatomy, ctc) {
                 let _s = apr_telemetry::span("apr.window_move");
-                report.moved = self.execute_window_move(ctc);
+                if let Some(moved) = self.execute_window_move(ctc) {
+                    report.moved = true;
+                    flux = moved;
+                }
             }
         }
 
@@ -470,8 +514,35 @@ impl AprEngine {
             }
         }
 
+        self.sample_ledger(flux);
         self.publish_gauges();
         report
+    }
+
+    /// Feed the conservation ledger, if one is armed. The totals come
+    /// from the exec pool's fixed-shape ordered reduction, so arming the
+    /// ledger never perturbs bit-identity of the physics it audits.
+    fn sample_ledger(&mut self, flux: WindowFlux) {
+        if self.ledger.is_none() {
+            return;
+        }
+        let _s = apr_telemetry::span("observe.ledger");
+        let (mass, momentum, nodes) = self.coarse.mass_momentum_totals();
+        let bulk = DomainTotals {
+            mass,
+            momentum,
+            fluid_nodes: nodes as u64,
+        };
+        let (mass, momentum, nodes) = self.fine.mass_momentum_totals();
+        let window = DomainTotals {
+            mass,
+            momentum,
+            fluid_nodes: nodes as u64,
+        };
+        let hematocrit = self.window_hematocrit();
+        let steps = self.steps;
+        let ledger = self.ledger.as_mut().expect("checked above");
+        ledger.record(steps, bulk, window, hematocrit, flux);
     }
 
     /// Per-step observability: region occupancy and window hematocrit
@@ -491,9 +562,9 @@ impl AprEngine {
     }
 
     /// Perform the §2.4.3 window move toward the CTC at fine position
-    /// `ctc`. Returns false if the shift rounds to zero or would leave the
-    /// coarse domain.
-    fn execute_window_move(&mut self, ctc: Vec3) -> bool {
+    /// `ctc`. Returns the fill/capture flux of the move, or `None` if the
+    /// shift rounds to zero or would leave the coarse domain.
+    fn execute_window_move(&mut self, ctc: Vec3) -> Option<WindowFlux> {
         let n = self.map.n as f64;
         // Integer coarse-cell shift bringing the CTC back to centre.
         let shift_c = Vec3::new(
@@ -502,7 +573,7 @@ impl AprEngine {
             ((ctc.z - self.anatomy.center.z) / n).round(),
         );
         if shift_c == Vec3::ZERO {
-            return false;
+            return None;
         }
         let new_origin = [
             self.map.origin[0] + shift_c.x,
@@ -518,7 +589,7 @@ impl AprEngine {
             }
             let hi = new_origin[a] + (fine_dims[a] - 1) as f64 / n;
             if new_origin[a] < 0.0 || hi > (coarse_dims[a] - 1) as f64 {
-                return false;
+                return None;
             }
         }
 
@@ -562,7 +633,12 @@ impl AprEngine {
             copied: move_report.copied as u32,
             removed: move_report.removed as u32,
         });
-        true
+        Some(WindowFlux {
+            captured: move_report.captured as u32,
+            copied: move_report.copied as u32,
+            removed: move_report.removed as u32,
+            moved: true,
+        })
     }
 
     fn rebuild_coupling(&mut self) {

@@ -27,7 +27,8 @@ use apr_coupling::CouplingMap;
 use apr_guard::{
     check_hematocrit, check_lattice, check_pool, read_lattice, read_pool, write_lattice,
     write_pool, ByteReader, ByteWriter, CheckpointReader, CheckpointWriter, GuardError,
-    HealthReport, RecoveryAction, RecoveryEvent, RecoveryLog, RetryPolicy, SentinelConfig,
+    HealthIssue, HealthReport, RecoveryAction, RecoveryEvent, RecoveryLog, RetryPolicy,
+    SentinelConfig,
 };
 use apr_membrane::Membrane;
 use apr_window::{HematocritController, MoveTrigger, WindowAnatomy};
@@ -192,6 +193,11 @@ pub fn restore_engine(
     engine.site_updates = site_updates;
     engine.moves = moves;
     engine.rng = StdRng::from_state(rng_state);
+    // The restored totals are discontinuous with the pre-restore ones by
+    // construction; a stale comparison would report phantom drift.
+    if let Some(ledger) = engine.ledger.as_mut() {
+        ledger.reset_continuity();
+    }
     Ok(())
 }
 
@@ -326,6 +332,20 @@ impl Guardian {
         if let Some(ht) = engine.window_hematocrit() {
             check_hematocrit(ht, &self.sentinel, &mut issues);
         }
+        // Ledger breaches latch between inspections, so drift at any step
+        // surfaces here even with a sparse check interval. Peek, don't
+        // drain: a trip rolls back and reset_continuity clears them; a
+        // healthy verdict can't happen while breaches stand.
+        if let Some(ledger) = engine.ledger.as_ref() {
+            for breach in ledger.breaches() {
+                issues.push(HealthIssue::ConservationDrift {
+                    quantity: breach.quantity,
+                    observed: breach.observed,
+                    tolerance: breach.tolerance,
+                    step: breach.step,
+                });
+            }
+        }
         HealthReport {
             step: engine.steps(),
             issues,
@@ -351,6 +371,20 @@ impl Guardian {
                         f.copy_from_slice(engine.fine.distributions(node));
                         for v in &mut f {
                             *v *= magnitude;
+                        }
+                        engine.fine.set_distributions(node, &f);
+                    }
+                }
+                FaultKind::MassLeak { node, fraction } => {
+                    // Scale one node's distributions down: the state stays
+                    // numerically healthy (finite, low Mach), so only the
+                    // conservation ledger can catch this one.
+                    if node < engine.fine.node_count() {
+                        let scale = (1.0 - fraction).clamp(0.0, 1.0);
+                        let mut f = [0.0; apr_lattice::Q];
+                        f.copy_from_slice(engine.fine.distributions(node));
+                        for v in &mut f {
+                            *v *= scale;
                         }
                         engine.fine.set_distributions(node, &f);
                     }

@@ -30,6 +30,18 @@ pub enum FaultKind {
         /// Multiplier applied to all 19 distributions.
         magnitude: f64,
     },
+    /// Drain a small fraction of one fine-lattice node's distributions
+    /// (`fraction` in (0, 1), e.g. 0.1 removes 10% of that node's mass).
+    /// Unlike [`FaultKind::DistributionCorrupt`] the post-fault state is
+    /// *numerically healthy* — density stays finite and in range, Mach
+    /// stays low — so only the conservation ledger's mass accounting can
+    /// catch it. Exists to prove the physics-drift trip path end to end.
+    MassLeak {
+        /// Flat node index on the fine lattice.
+        node: usize,
+        /// Fraction of the node's mass removed.
+        fraction: f64,
+    },
 }
 
 /// A fault scheduled for a specific step.
@@ -146,6 +158,7 @@ mod tests {
             match f.kind {
                 FaultKind::MembraneNan { cell_index, .. } => assert!(cell_index < 10),
                 FaultKind::DistributionCorrupt { node, .. } => assert!(node < 4096),
+                FaultKind::MassLeak { node, .. } => assert!(node < 4096),
             }
         }
     }

@@ -110,6 +110,25 @@ pub enum HealthIssue {
         /// The rank that went down.
         rank: usize,
     },
+    /// A conserved quantity drifted past its ledger tolerance: total mass
+    /// or momentum changed step-over-step by more than the window/bulk
+    /// coupling can account for. Raised by the conservation ledger
+    /// (`apr-observe`), not by node-local scans — it catches *physics*
+    /// regressions (a mass leak, a broken fill/capture flux) whose state
+    /// is still perfectly finite, which the NaN/Mach checks above never
+    /// see.
+    ConservationDrift {
+        /// Which quantity drifted (`"bulk_mass"`, `"window_mass"`,
+        /// `"window_momentum"`, `"hematocrit"`).
+        quantity: &'static str,
+        /// Observed drift (relative for mass, absolute for momentum and
+        /// hematocrit).
+        observed: f64,
+        /// The configured tolerance it exceeded.
+        tolerance: f64,
+        /// Step at which the ledger measured the drift.
+        step: u64,
+    },
 }
 
 impl HealthIssue {
@@ -125,6 +144,7 @@ impl HealthIssue {
             HealthIssue::StepPanicked { .. } => "step_panicked",
             HealthIssue::HaloDegraded { .. } => "halo_degraded",
             HealthIssue::RankLost { .. } => "rank_lost",
+            HealthIssue::ConservationDrift { .. } => "conservation_drift",
         }
     }
 }

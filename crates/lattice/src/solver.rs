@@ -439,6 +439,34 @@ impl Lattice {
             .sum()
     }
 
+    /// Total mass and momentum (`Σ_i f_i c_i`) over all fluid nodes, plus
+    /// the fluid-node count — the per-step sample the conservation ledger
+    /// accumulates. Reduced on the exec pool through its fixed-shape
+    /// ordered tree ([`apr_exec::ExecPool::par_sum4`]), so the totals are
+    /// bit-identical across thread counts; direction access goes through
+    /// the parity-aware slot mapping, so momentum keeps its sign even when
+    /// sampled between the halves of a fused step.
+    pub fn mass_momentum_totals(&self) -> (f64, [f64; 3], usize) {
+        let n = self.node_count();
+        let [mass, mx, my, mz] = apr_exec::current().par_sum4(n, 4096, |_, range| {
+            let mut acc = [0.0f64; 4];
+            for node in range {
+                if self.flags[node] != NodeClass::Fluid {
+                    continue;
+                }
+                for (i, c) in C.iter().enumerate() {
+                    let fi = self.f[self.slot(node, i)];
+                    acc[0] += fi;
+                    acc[1] += fi * c[0] as f64;
+                    acc[2] += fi * c[1] as f64;
+                    acc[3] += fi * c[2] as f64;
+                }
+            }
+            acc
+        });
+        (mass, [mx, my, mz], self.fluid_node_count())
+    }
+
     /// Steps taken since construction.
     pub fn steps_taken(&self) -> u64 {
         self.steps_taken

@@ -1,0 +1,74 @@
+//! Per-step critical-path report over a correlation-tagged Chrome trace.
+//!
+//! Usage:
+//!   observe_critpath <trace.json> [--min-coverage <fraction>] [--require-steps <n>]
+//!
+//! Prints the per-step attribution table (wall time, coverage, rank
+//! imbalance, dominant phase) and a whole-trace summary. With
+//! `--min-coverage` the run fails unless the analyzer attributes at
+//! least that fraction of step wall time; with `--require-steps` it
+//! fails unless at least that many steps were attributed. Both gates
+//! exist for CI.
+
+use apr_observe::{analyze_chrome_trace, render_report};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("observe_critpath: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path = None;
+    let mut min_coverage = None;
+    let mut require_steps = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-coverage" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--min-coverage needs a value"));
+                min_coverage = Some(
+                    v.parse::<f64>()
+                        .unwrap_or_else(|_| fail(&format!("bad coverage {v:?}"))),
+                );
+            }
+            "--require-steps" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--require-steps needs a value"));
+                require_steps = Some(
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| fail(&format!("bad step count {v:?}"))),
+                );
+            }
+            _ if trace_path.is_none() => trace_path = Some(arg.clone()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let trace_path = trace_path.unwrap_or_else(|| {
+        fail("usage: observe_critpath <trace.json> [--min-coverage F] [--require-steps N]")
+    });
+    let text = std::fs::read_to_string(&trace_path)
+        .unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
+    let report =
+        analyze_chrome_trace(&text).unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
+    print!("{}", render_report(&report));
+    if let Some(min) = min_coverage {
+        let cov = report.coverage();
+        if cov < min {
+            fail(&format!("coverage {cov:.4} below required {min:.4}"));
+        }
+        println!("coverage gate passed: {cov:.4} >= {min:.4}");
+    }
+    if let Some(n) = require_steps {
+        if report.steps.len() < n {
+            fail(&format!(
+                "only {} attributed steps, {n} required",
+                report.steps.len()
+            ));
+        }
+        println!("step-count gate passed: {} >= {n}", report.steps.len());
+    }
+}

@@ -1,0 +1,62 @@
+//! Convert an `apr-telemetry` metrics JSONL series into a Prometheus
+//! text exposition, or validate an existing exposition file.
+//!
+//! Usage:
+//!   observe_export <metrics.jsonl> [-o <out.prom>]
+//!   observe_export --check <exposition.prom>
+//!
+//! Without `-o` the exposition is printed to stdout. Every produced
+//! exposition is validated before it is written; `--check` runs only the
+//! validator. Exit code is non-zero on any failure, so CI can gate on it.
+
+use apr_observe::{exposition_from_jsonl, validate_exposition};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("observe_export: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        fail("usage: observe_export <metrics.jsonl> [-o out.prom] | --check <file.prom>");
+    }
+    if args[0] == "--check" {
+        let path = args.get(1).unwrap_or_else(|| fail("--check needs a path"));
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        match validate_exposition(&text) {
+            Ok(s) => println!(
+                "{path}: OK ({} families, {} samples)",
+                s.families, s.samples
+            ),
+            Err(e) => fail(&format!("{path}: INVALID: {e}")),
+        }
+        return;
+    }
+    let mut input = None;
+    let mut output = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => output = Some(it.next().unwrap_or_else(|| fail("-o needs a path")).clone()),
+            _ if input.is_none() => input = Some(arg.clone()),
+            other => fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.unwrap_or_else(|| fail("no input given"));
+    let jsonl = std::fs::read_to_string(&input).unwrap_or_else(|e| fail(&format!("{input}: {e}")));
+    let exposition =
+        exposition_from_jsonl(&jsonl).unwrap_or_else(|e| fail(&format!("{input}: {e}")));
+    let summary = validate_exposition(&exposition)
+        .unwrap_or_else(|e| fail(&format!("produced exposition invalid: {e}")));
+    match output {
+        Some(path) => {
+            std::fs::write(&path, &exposition).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+            println!(
+                "wrote {path} ({} families, {} samples)",
+                summary.families, summary.samples
+            );
+        }
+        None => print!("{exposition}"),
+    }
+}

@@ -1,0 +1,348 @@
+//! Cross-rank critical-path analysis over Chrome traces.
+//!
+//! `apr-telemetry` spans carry correlation tags (`session`, `rank`,
+//! `step`) in their Chrome-trace `args`. This module groups the complete
+//! spans of a trace by step, attributes each step's wall time to phase
+//! buckets (collide, stream, halo wait, window coupling, FSI, guard /
+//! preempt overhead), and — when spans from several ranks share a step —
+//! reports the rank imbalance that sets the step's critical path.
+//!
+//! Attribution is structural, not nominal: within one step group the
+//! shallowest spans define the step's wall time and their direct
+//! children define the attributed breakdown, so the analyzer keeps
+//! working as phases are renamed or added.
+
+use apr_telemetry::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Phase buckets, in display order. `OTHER` catches everything the
+/// classifier cannot place.
+pub const BUCKETS: [&str; 7] = [
+    "collide", "stream", "halo", "coupling", "fsi", "overhead", "other",
+];
+
+const OTHER: usize = 6;
+
+/// Classify a span name into a [`BUCKETS`] index.
+pub fn bucket_index(name: &str) -> usize {
+    if name.contains("collide") {
+        0
+    } else if name.contains("stream") {
+        1
+    } else if name.contains("halo") {
+        2
+    } else if name.contains("coupling") || name.contains("window") {
+        3
+    } else if name.contains("fsi") || name.contains("membrane") || name.contains("contact") {
+        4
+    } else if name.contains("guard")
+        || name.contains("checkpoint")
+        || name.contains("suspend")
+        || name.contains("resume")
+        || name.contains("preempt")
+    {
+        5
+    } else {
+        OTHER
+    }
+}
+
+/// Attribution of one simulation step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepAttribution {
+    /// Simulation step (1-based, as tagged by the engine's step scope).
+    pub step: u64,
+    /// Wall time of the step's shallowest spans, microseconds. With
+    /// several ranks this sums their concurrent step spans.
+    pub wall_us: f64,
+    /// Time attributed to the shallowest spans' direct children,
+    /// microseconds.
+    pub attributed_us: f64,
+    /// Attributed time per [`BUCKETS`] entry, microseconds.
+    pub bucket_us: [f64; 7],
+    /// Distinct ranks contributing spans to this step (0 when the trace
+    /// carries no rank tags).
+    pub ranks: usize,
+    /// Max-over-mean of per-rank busy time: 1.0 means perfectly
+    /// balanced; defined as 1.0 when fewer than two ranks report.
+    pub imbalance: f64,
+}
+
+impl StepAttribution {
+    /// Fraction of wall time explained by the attributed children.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_us > 0.0 {
+            self.attributed_us / self.wall_us
+        } else {
+            1.0
+        }
+    }
+
+    /// Index of the dominant bucket.
+    pub fn dominant(&self) -> usize {
+        let mut best = 0;
+        for (i, v) in self.bucket_us.iter().enumerate() {
+            if *v > self.bucket_us[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Whole-trace critical-path report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CritPathReport {
+    /// Per-step attribution, ascending by step.
+    pub steps: Vec<StepAttribution>,
+    /// Complete spans in the trace.
+    pub total_spans: usize,
+    /// Spans carrying a step tag.
+    pub tagged_spans: usize,
+    /// Total wall time over all attributed steps, microseconds.
+    pub total_wall_us: f64,
+    /// Total attributed time, microseconds.
+    pub total_attributed_us: f64,
+    /// Attributed totals per [`BUCKETS`] entry, microseconds.
+    pub bucket_totals_us: [f64; 7],
+}
+
+impl CritPathReport {
+    /// Fraction of step wall time the analyzer can attribute to phases.
+    pub fn coverage(&self) -> f64 {
+        if self.total_wall_us > 0.0 {
+            self.total_attributed_us / self.total_wall_us
+        } else {
+            1.0
+        }
+    }
+}
+
+struct SpanRow {
+    name: String,
+    dur_us: f64,
+    depth: i64,
+    rank: Option<u32>,
+}
+
+/// Analyze a Chrome-trace JSON document (the `apr-telemetry`
+/// `chrome_trace_json` output) into a per-step critical-path report.
+pub fn analyze_chrome_trace(text: &str) -> Result<CritPathReport, String> {
+    let root = parse(text).map_err(|e| format!("trace does not parse: {e}"))?;
+    let records = root.as_arr().ok_or("trace must be a JSON array")?;
+    let mut total_spans = 0usize;
+    let mut tagged = 0usize;
+    let mut by_step: BTreeMap<u64, Vec<SpanRow>> = BTreeMap::new();
+    for rec in records {
+        if rec.get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        total_spans += 1;
+        let name = rec
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("span without name")?
+            .to_string();
+        let dur_us = rec.get("dur").and_then(Value::as_f64).unwrap_or(0.0);
+        let args = rec.get("args");
+        let get_arg = |key: &str| args.and_then(|a| a.get(key)).and_then(Value::as_f64);
+        let depth = get_arg("depth").unwrap_or(0.0) as i64;
+        let Some(step) = get_arg("step").map(|s| s as u64) else {
+            continue;
+        };
+        tagged += 1;
+        let rank = get_arg("rank").map(|r| r as u32);
+        by_step.entry(step).or_default().push(SpanRow {
+            name,
+            dur_us,
+            depth,
+            rank,
+        });
+    }
+    let mut steps = Vec::with_capacity(by_step.len());
+    let mut total_wall = 0.0;
+    let mut total_attr = 0.0;
+    let mut bucket_totals = [0.0f64; 7];
+    for (step, rows) in &by_step {
+        let root_depth = rows.iter().map(|r| r.depth).min().unwrap_or(0);
+        let mut wall = 0.0;
+        let mut attributed = 0.0;
+        let mut bucket_us = [0.0f64; 7];
+        let mut per_rank: BTreeMap<u32, f64> = BTreeMap::new();
+        for row in rows {
+            if row.depth == root_depth {
+                wall += row.dur_us;
+                if let Some(rank) = row.rank {
+                    *per_rank.entry(rank).or_insert(0.0) += row.dur_us;
+                }
+            } else if row.depth == root_depth + 1 {
+                attributed += row.dur_us;
+                bucket_us[bucket_index(&row.name)] += row.dur_us;
+            }
+        }
+        let imbalance = if per_rank.len() >= 2 {
+            let max = per_rank.values().cloned().fold(0.0f64, f64::max);
+            let mean: f64 = per_rank.values().sum::<f64>() / per_rank.len() as f64;
+            if mean > 0.0 {
+                max / mean
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        total_wall += wall;
+        total_attr += attributed;
+        for (t, b) in bucket_totals.iter_mut().zip(bucket_us.iter()) {
+            *t += *b;
+        }
+        steps.push(StepAttribution {
+            step: *step,
+            wall_us: wall,
+            attributed_us: attributed,
+            bucket_us,
+            ranks: per_rank.len(),
+            imbalance,
+        });
+    }
+    Ok(CritPathReport {
+        steps,
+        total_spans,
+        tagged_spans: tagged,
+        total_wall_us: total_wall,
+        total_attributed_us: total_attr,
+        bucket_totals_us: bucket_totals,
+    })
+}
+
+/// Render a report as a human-readable table plus a summary line.
+pub fn render_report(report: &CritPathReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>10}  {:>6}  {:>9}  {:>5}  dominant",
+        "step", "wall_us", "cov%", "imbalance", "ranks"
+    );
+    for s in &report.steps {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>10.1}  {:>5.1}%  {:>9.3}  {:>5}  {} ({:.1} us)",
+            s.step,
+            s.wall_us,
+            s.coverage() * 100.0,
+            s.imbalance,
+            s.ranks,
+            BUCKETS[s.dominant()],
+            s.bucket_us[s.dominant()],
+        );
+    }
+    let _ = writeln!(
+        out,
+        "steps: {}  spans: {} ({} step-tagged)  wall: {:.1} us  attributed: {:.1} us ({:.1}%)",
+        report.steps.len(),
+        report.total_spans,
+        report.tagged_spans,
+        report.total_wall_us,
+        report.total_attributed_us,
+        report.coverage() * 100.0,
+    );
+    let mut order: Vec<usize> = (0..BUCKETS.len()).collect();
+    order.sort_by(|a, b| {
+        report.bucket_totals_us[*b]
+            .partial_cmp(&report.bucket_totals_us[*a])
+            .unwrap()
+    });
+    let mut parts = Vec::new();
+    for i in order {
+        if report.bucket_totals_us[i] > 0.0 && report.total_attributed_us > 0.0 {
+            parts.push(format!(
+                "{} {:.1}%",
+                BUCKETS[i],
+                report.bucket_totals_us[i] / report.total_attributed_us * 100.0
+            ));
+        }
+    }
+    let _ = writeln!(out, "critical path: {}", parts.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apr_telemetry::Recorder;
+
+    fn span(name: &str, ts: f64, dur: f64, depth: u32, step: u64, rank: Option<u32>) -> String {
+        let rank = rank.map(|r| format!(",\"rank\":{r}")).unwrap_or_default();
+        format!(
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,\"tid\":1,\
+             \"args\":{{\"depth\":{depth},\"self_ns\":0,\"step\":{step}{rank}}}}}"
+        )
+    }
+
+    #[test]
+    fn attributes_steps_structurally() {
+        let trace = format!(
+            "[{},{},{},{},{}]",
+            span("apr.step", 0.0, 100.0, 0, 1, None),
+            span("apr.fine.collide", 1.0, 60.0, 1, 1, None),
+            span("apr.fine.stream", 61.0, 35.0, 1, 1, None),
+            span("apr.step", 200.0, 80.0, 0, 2, None),
+            span("coupling.restrict", 201.0, 79.0, 1, 2, None),
+        );
+        let report = analyze_chrome_trace(&trace).unwrap();
+        assert_eq!(report.steps.len(), 2);
+        let s1 = &report.steps[0];
+        assert_eq!(s1.step, 1);
+        assert_eq!(s1.wall_us, 100.0);
+        assert_eq!(s1.attributed_us, 95.0);
+        assert_eq!(BUCKETS[s1.dominant()], "collide");
+        let s2 = &report.steps[1];
+        assert_eq!(BUCKETS[s2.dominant()], "coupling");
+        assert!((report.coverage() - 174.0 / 180.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_imbalance_is_max_over_mean() {
+        let trace = format!(
+            "[{},{},{}]",
+            span("apr.step", 0.0, 90.0, 0, 1, Some(0)),
+            span("apr.step", 0.0, 30.0, 0, 1, Some(1)),
+            span("apr.fine.collide", 0.0, 100.0, 1, 1, Some(0)),
+        );
+        let report = analyze_chrome_trace(&trace).unwrap();
+        let s = &report.steps[0];
+        assert_eq!(s.ranks, 2);
+        // max 90 / mean 60 = 1.5
+        assert!((s.imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untagged_spans_are_counted_but_not_attributed() {
+        let trace = "[{\"name\":\"boot\",\"ph\":\"X\",\"ts\":0,\"dur\":5,\"pid\":1,\
+                     \"tid\":1,\"args\":{\"depth\":0,\"self_ns\":0}}]";
+        let report = analyze_chrome_trace(trace).unwrap();
+        assert_eq!(report.total_spans, 1);
+        assert_eq!(report.tagged_spans, 0);
+        assert!(report.steps.is_empty());
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn end_to_end_from_recorder_export() {
+        let recorder = Recorder::new();
+        recorder.enable();
+        {
+            let _step = apr_telemetry::step_scope(3);
+            let _outer = recorder.span("apr.step");
+            let _inner = recorder.span("apr.fine.collide");
+        }
+        let trace = recorder.chrome_trace_json();
+        let report = analyze_chrome_trace(&trace).unwrap();
+        assert_eq!(report.steps.len(), 1);
+        assert_eq!(report.steps[0].step, 3);
+        assert_eq!(BUCKETS[report.steps[0].dominant()], "collide");
+        let rendered = render_report(&report);
+        assert!(rendered.contains("critical path:"), "{rendered}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # apr-observe — live observability plane
+//!
+//! The simulation stack already *records* (spans, metrics, flight
+//! recorder in `apr-telemetry`) and *protects* (sentinel, rollback in
+//! `apr-guard`). This crate closes the remaining gap: **watching a run
+//! while it happens and judging whether the physics is still right.**
+//! Three pieces:
+//!
+//! - [`ledger`] — a conservation ledger accumulating per-step mass /
+//!   momentum totals for the bulk domain and the moving window, window
+//!   fill/capture flux accounting, and hematocrit drift. Drift beyond
+//!   configured tolerances latches a [`DriftBreach`] the guardian
+//!   converts into a health issue, so physics regressions trip the same
+//!   sentinel machinery as NaNs.
+//! - [`hub`] — a bounded broadcast channel over which engines, serve
+//!   sessions and parallel ranks publish typed [`Sample`]s. Publishing
+//!   with no subscribers costs one relaxed atomic load; slow consumers
+//!   drop their own oldest samples, never the publisher's time.
+//! - [`prometheus`] / [`critpath`] — offline consumers: a Prometheus
+//!   text-exposition writer + format checker (`observe_export` bin) and
+//!   a per-step critical-path analyzer over correlation-tagged Chrome
+//!   traces (`observe_critpath` bin).
+//!
+//! Dependency rule: this crate depends only on `apr-telemetry`. The
+//! guard crate stays observe-free; `apr-core` bridges ledger breaches
+//! into `apr_guard::HealthIssue` values.
+
+pub mod critpath;
+pub mod hub;
+pub mod ledger;
+pub mod prometheus;
+
+pub use critpath::{analyze_chrome_trace, render_report, CritPathReport, StepAttribution, BUCKETS};
+pub use hub::{
+    hub, MetricsHub, ProgressSample, Sample, ServiceSample, Subscription,
+    DEFAULT_SUBSCRIPTION_CAPACITY,
+};
+pub use ledger::{
+    ConservationLedger, DomainTotals, DriftBreach, LedgerConfig, LedgerSample, WindowFlux,
+};
+pub use prometheus::{
+    exposition_from_jsonl, sanitize_metric_name, validate_exposition, ExpositionSummary, PromWriter,
+};

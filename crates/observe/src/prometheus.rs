@@ -1,0 +1,561 @@
+//! Prometheus text-format exposition: a hand-rolled writer (same
+//! zero-dependency style as the telemetry JSON exporters) plus a format
+//! checker strict enough to gate CI.
+//!
+//! The writer produces the [text exposition format]: `# HELP` / `# TYPE`
+//! comments followed by sample lines, histograms expanded into
+//! cumulative `_bucket{le=...}` series with `_sum` and `_count`. The
+//! checker re-parses that grammar line by line — a malformed exposition
+//! is exactly the kind of bug a scrape endpoint ships silently, so CI
+//! round-trips every exposition through [`validate_exposition`].
+//!
+//! [text exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use apr_telemetry::json::{parse, Value};
+use apr_telemetry::MetricValue;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Sanitize an internal metric name (`apr.site_updates`) into a valid
+/// Prometheus metric name (`apr_site_updates`): `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Incremental exposition builder. `# HELP`/`# TYPE` headers are emitted
+/// once per metric family (the first sample of a family carries them);
+/// callers may emit several labelled samples of the same family.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromWriter {
+    /// New empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(&mut self, name: &str, help: &str, kind: &str) {
+        if self.declared.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    /// Emit one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        let name = sanitize_metric_name(name);
+        self.declare(&name, help, "gauge");
+        let _ = writeln!(
+            self.out,
+            "{name}{} {}",
+            render_labels(labels),
+            format_value(value)
+        );
+    }
+
+    /// Emit one counter sample (value must be the cumulative total).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        let name = sanitize_metric_name(name);
+        self.declare(&name, help, "counter");
+        let _ = writeln!(
+            self.out,
+            "{name}{} {}",
+            render_labels(labels),
+            format_value(value)
+        );
+    }
+
+    /// Emit one histogram family: cumulative `_bucket{le=...}` series
+    /// (including the mandatory `+Inf` bucket), `_sum`, and `_count`.
+    /// `bounds` are the upper bucket edges; `counts` has one entry per
+    /// bound plus one overflow entry (the `apr-telemetry` layout).
+    #[allow(clippy::too_many_arguments)] // mirrors the apr-telemetry histogram layout
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, String)],
+        bounds: &[f64],
+        counts: &[u64],
+        sum: f64,
+        count: u64,
+    ) {
+        let name = sanitize_metric_name(name);
+        self.declare(&name, help, "histogram");
+        let base = render_labels(labels);
+        let mut cumulative = 0u64;
+        for (i, bound) in bounds.iter().enumerate() {
+            cumulative += counts.get(i).copied().unwrap_or(0);
+            let mut bucket_labels: Vec<(&str, String)> = labels.to_vec();
+            bucket_labels.push(("le", format_value(*bound)));
+            let _ = writeln!(
+                self.out,
+                "{name}_bucket{} {cumulative}",
+                render_labels(&bucket_labels)
+            );
+        }
+        let mut inf_labels: Vec<(&str, String)> = labels.to_vec();
+        inf_labels.push(("le", "+Inf".to_string()));
+        let _ = writeln!(
+            self.out,
+            "{name}_bucket{} {count}",
+            render_labels(&inf_labels)
+        );
+        let _ = writeln!(self.out, "{name}_sum{base} {}", format_value(sum));
+        let _ = writeln!(self.out, "{name}_count{base} {count}");
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Render an `apr-telemetry` metric value into `w`. Counters map to
+/// Prometheus counters, gauges to gauges, histograms to full bucket
+/// families.
+pub fn write_metric_value(w: &mut PromWriter, name: &str, help: &str, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(c) => w.counter(name, help, &[], *c as f64),
+        MetricValue::Gauge(g) => w.gauge(name, help, &[], *g),
+        MetricValue::Histogram(h) => {
+            w.histogram(name, help, &[], &h.bounds, &h.counts, h.sum, h.count)
+        }
+    }
+}
+
+/// Convert the **last row** of a metrics JSONL time series (the format
+/// `apr-telemetry` exports) into a Prometheus exposition. Plain numbers
+/// become gauges (the JSONL rows carry no counter/gauge distinction;
+/// gauge is the safe reading), histogram objects become bucket families,
+/// and the row's `step` tag is exposed as `apr_metrics_step`.
+pub fn exposition_from_jsonl(jsonl: &str) -> Result<String, String> {
+    let last = jsonl
+        .lines()
+        .rfind(|l| !l.trim().is_empty())
+        .ok_or("metrics series is empty")?;
+    let row = parse(last).map_err(|e| format!("last row does not parse: {e}"))?;
+    let Value::Obj(fields) = &row else {
+        return Err("metrics row must be a JSON object".into());
+    };
+    let mut w = PromWriter::new();
+    for (key, value) in fields {
+        match key.as_str() {
+            "t_ns" => continue,
+            "step" => {
+                let step = value.as_f64().ok_or("step must be numeric")?;
+                w.gauge(
+                    "apr_metrics_step",
+                    "Simulation step of the exported sample",
+                    &[],
+                    step,
+                );
+            }
+            _ => match value {
+                Value::Num(v) => {
+                    w.gauge(key, "Exported apr-telemetry metric", &[], *v);
+                }
+                Value::Obj(_) => {
+                    let bounds: Vec<f64> = value
+                        .get("bounds")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("{key}: histogram missing bounds"))?
+                        .iter()
+                        .map(|b| b.as_f64().ok_or_else(|| format!("{key}: bad bound")))
+                        .collect::<Result<_, _>>()?;
+                    let counts: Vec<u64> = value
+                        .get("counts")
+                        .and_then(Value::as_arr)
+                        .ok_or_else(|| format!("{key}: histogram missing counts"))?
+                        .iter()
+                        .map(|c| {
+                            c.as_f64()
+                                .map(|v| v as u64)
+                                .ok_or_else(|| format!("{key}: bad count"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let count = value
+                        .get("count")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("{key}: histogram missing count"))?
+                        as u64;
+                    let sum = value
+                        .get("sum")
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("{key}: histogram missing sum"))?;
+                    w.histogram(
+                        key,
+                        "Exported apr-telemetry histogram",
+                        &[],
+                        &bounds,
+                        &counts,
+                        sum,
+                        count,
+                    );
+                }
+                other => return Err(format!("{key}: unsupported value {other:?}")),
+            },
+        }
+    }
+    Ok(w.finish())
+}
+
+/// Summary of a validated exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionSummary {
+    /// Metric families declared with `# TYPE`.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A parsed exposition sample: metric name, labels, value.
+type ParsedSample = (String, Vec<(String, String)>, f64);
+
+fn parse_sample_line(line: &str) -> Result<ParsedSample, String> {
+    // name[{labels}] value [timestamp]
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label braces")?;
+            if close < brace {
+                return Err("unclosed label braces".into());
+            }
+            (&line[..brace], &line[close + 1..])
+        }
+        None => {
+            let space = line.find(' ').ok_or("sample line has no value")?;
+            (&line[..space], &line[space..])
+        }
+    };
+    let name = name_part.trim().to_string();
+    if !valid_metric_name(&name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let mut labels = Vec::new();
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').unwrap();
+        let body = &line[brace + 1..close];
+        let mut rest = body;
+        while !rest.trim().is_empty() {
+            let eq = rest.find('=').ok_or("label without '='")?;
+            let key = rest[..eq].trim().to_string();
+            let after = &rest[eq + 1..];
+            let q0 = after.find('"').ok_or("unquoted label value")?;
+            let mut end = None;
+            let bytes = after.as_bytes();
+            let mut i = q0 + 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let end = end.ok_or("unterminated label value")?;
+            labels.push((key, after[q0 + 1..end].to_string()));
+            rest = after[end + 1..].trim_start_matches(',');
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let value_str = parts.next().ok_or("sample line has no value")?;
+    let value = match value_str {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        s => s
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value {s:?}"))?,
+    };
+    if let Some(ts) = parts.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("invalid timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err("trailing tokens after sample value".into());
+    }
+    Ok((name, labels, value))
+}
+
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+/// Validate a Prometheus text exposition: every line is a well-formed
+/// comment or sample, each sample's family is declared with `# TYPE`
+/// before its first sample, counter samples are finite and non-negative,
+/// and histogram families have monotone cumulative buckets ending in a
+/// `+Inf` bucket that equals `_count`.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    // Histogram bookkeeping: family -> (last cumulative bucket, inf bucket, count)
+    let mut hist_last_bucket: BTreeMap<String, f64> = BTreeMap::new();
+    let mut hist_inf: BTreeMap<String, f64> = BTreeMap::new();
+    let mut hist_count: BTreeMap<String, f64> = BTreeMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let what = format!("line {}", i + 1);
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().ok_or(format!("{what}: TYPE without name"))?;
+                let kind = parts.next().ok_or(format!("{what}: TYPE without kind"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("{what}: unknown TYPE {kind:?}"));
+                }
+                if !valid_metric_name(name) {
+                    return Err(format!("{what}: invalid family name {name:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("{what}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                if rest.split_whitespace().next().is_none() {
+                    return Err(format!("{what}: HELP without name"));
+                }
+            }
+            // Other comments are permitted free text.
+            continue;
+        }
+        let (name, labels, value) = parse_sample_line(line).map_err(|e| format!("{what}: {e}"))?;
+        let family = family_of(&name);
+        let kind = types
+            .get(family)
+            .or_else(|| types.get(name.as_str()))
+            .ok_or_else(|| format!("{what}: sample {name} precedes its TYPE declaration"))?
+            .clone();
+        match kind.as_str() {
+            "counter" if !value.is_finite() || value < 0.0 => {
+                return Err(format!("{what}: counter {name} must be finite and >= 0"));
+            }
+            "histogram" => {
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.clone())
+                        .ok_or_else(|| format!("{what}: bucket without le label"))?;
+                    if le == "+Inf" {
+                        hist_inf.insert(family.to_string(), value);
+                    } else {
+                        le.parse::<f64>()
+                            .map_err(|_| format!("{what}: invalid le {le:?}"))?;
+                        let prev = hist_last_bucket.get(family).copied().unwrap_or(0.0);
+                        if value < prev {
+                            return Err(format!(
+                                "{what}: histogram {family} buckets not cumulative"
+                            ));
+                        }
+                        hist_last_bucket.insert(family.to_string(), value);
+                    }
+                } else if name.ends_with("_count") {
+                    hist_count.insert(family.to_string(), value);
+                }
+            }
+            _ => {}
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition has no samples".into());
+    }
+    for (family, kind) in &types {
+        if kind == "histogram" {
+            let inf = hist_inf
+                .get(family)
+                .ok_or_else(|| format!("histogram {family} missing +Inf bucket"))?;
+            let count = hist_count
+                .get(family)
+                .ok_or_else(|| format!("histogram {family} missing _count"))?;
+            if (inf - count).abs() > 0.0 {
+                return Err(format!(
+                    "histogram {family}: +Inf bucket {inf} != _count {count}"
+                ));
+            }
+            if let Some(last) = hist_last_bucket.get(family) {
+                if last > inf {
+                    return Err(format!("histogram {family}: bucket exceeds +Inf"));
+                }
+            }
+        }
+    }
+    Ok(ExpositionSummary {
+        families: types.len(),
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("apr.site_updates"), "apr_site_updates");
+        assert_eq!(
+            sanitize_metric_name("window.hematocrit"),
+            "window_hematocrit"
+        );
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let mut w = PromWriter::new();
+        w.counter("apr.site_updates", "Fluid site updates", &[], 123456.0);
+        w.gauge("window.hematocrit", "Window hematocrit", &[], 0.25);
+        w.gauge(
+            "serve_session_steps",
+            "Per-session progress",
+            &[("session", "7".to_string())],
+            42.0,
+        );
+        w.histogram(
+            "slice_ms",
+            "Slice latency",
+            &[],
+            &[1.0, 5.0, 10.0],
+            &[3, 2, 1, 1],
+            44.0,
+            7,
+        );
+        let text = w.finish();
+        let summary = validate_exposition(&text).unwrap();
+        assert_eq!(summary.families, 4);
+        // counter + 2 gauges + 4 buckets + sum + count = 9
+        assert_eq!(summary.samples, 9);
+        assert!(text.contains("# TYPE apr_site_updates counter"));
+        assert!(text.contains("serve_session_steps{session=\"7\"} 42"));
+        assert!(text.contains("slice_ms_bucket{le=\"+Inf\"} 7"));
+    }
+
+    #[test]
+    fn jsonl_conversion_round_trips() {
+        let jsonl = concat!(
+            "{\"t_ns\":10,\"step\":1,\"apr.site_updates\":1000,\"window.hematocrit\":0.2}\n",
+            "{\"t_ns\":20,\"step\":2,\"apr.site_updates\":2000,\"window.hematocrit\":0.25,",
+            "\"lat\":{\"bounds\":[1.0,2.0],\"counts\":[1,2,0],\"count\":3,\"sum\":4.5}}",
+        );
+        let text = exposition_from_jsonl(jsonl).unwrap();
+        let summary = validate_exposition(&text).unwrap();
+        assert!(summary.families >= 4);
+        assert!(
+            text.contains("apr_site_updates 2000"),
+            "last row wins:\n{text}"
+        );
+        assert!(text.contains("apr_metrics_step 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_sum 4.5"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate_exposition("").is_err());
+        assert!(validate_exposition("no_type_decl 1\n").is_err());
+        let bad_counter = "# TYPE c counter\nc -1\n";
+        assert!(validate_exposition(bad_counter).is_err());
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n";
+        assert!(validate_exposition(no_inf).unwrap_err().contains("+Inf"));
+        let not_cumulative = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"1\"} 5\n",
+            "h_bucket{le=\"2\"} 3\n",
+            "h_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+        );
+        assert!(validate_exposition(not_cumulative)
+            .unwrap_err()
+            .contains("cumulative"));
+        let inf_mismatch = concat!(
+            "# TYPE h histogram\n",
+            "h_bucket{le=\"+Inf\"} 4\nh_count 5\nh_sum 1\n",
+        );
+        assert!(validate_exposition(inf_mismatch)
+            .unwrap_err()
+            .contains("!="));
+    }
+}

@@ -140,11 +140,16 @@ impl SlabLattice {
     /// slab geometry) — a protocol bug surfaced as a typed error rather
     /// than a panic mid-step.
     pub fn step(&mut self) -> Result<(), HaloError> {
-        for local in &mut self.locals {
+        // Rank scopes tag any telemetry recorded inside the per-rank work
+        // (kernel spans, exec regions) with the owning rank, which is what
+        // lets the critical-path analyzer attribute imbalance.
+        for (rank, local) in self.locals.iter_mut().enumerate() {
+            let _rank = apr_telemetry::rank_scope(rank as u32);
             local.advance(SubStep::Collide);
         }
         self.exchange_ghosts()?;
-        for local in &mut self.locals {
+        for (rank, local) in self.locals.iter_mut().enumerate() {
+            let _rank = apr_telemetry::rank_scope(rank as u32);
             local.advance(SubStep::Stream);
         }
         Ok(())

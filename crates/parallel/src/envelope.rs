@@ -151,12 +151,22 @@ pub struct SealedSlab {
     pub seq: u64,
     /// CRC32 over the payload bytes, computed at seal time.
     pub crc: u32,
+    /// Correlation: serve session the sender was working for at seal time
+    /// (0 = unscoped). Lets the critical-path analyzer tie a halo message
+    /// on the wire back to the session and step that produced it.
+    pub session: u64,
+    /// Correlation: simulation step the sender was in at seal time
+    /// (0 = unscoped).
+    pub step: u64,
     /// The face values.
     pub payload: Vec<f64>,
 }
 
 impl SealedSlab {
-    /// Seal a payload: stamp epoch/sequence and checksum the bytes.
+    /// Seal a payload: stamp epoch/sequence and checksum the bytes. The
+    /// correlation ids (session, step) are captured automatically from
+    /// the sealing thread's telemetry scopes, so the many existing call
+    /// sites stay unchanged; the sending rank is already in `link.src`.
     pub fn seal(link: LinkId, epoch: u64, seq: u64, payload: Vec<f64>) -> Self {
         let crc = crc32(payload_bytes(&payload));
         Self {
@@ -164,6 +174,8 @@ impl SealedSlab {
             epoch,
             seq,
             crc,
+            session: apr_telemetry::current_session(),
+            step: apr_telemetry::current_step(),
             payload,
         }
     }
@@ -245,6 +257,20 @@ mod tests {
     fn seal_verify_round_trip() {
         let slab = SealedSlab::seal(link(), 7, 7, vec![1.0, -2.5, f64::NAN]);
         assert!(slab.verify(7, 3).is_ok(), "NaN payloads must seal fine");
+    }
+
+    #[test]
+    fn seal_captures_correlation_scopes() {
+        let unscoped = SealedSlab::seal(link(), 1, 1, vec![1.0]);
+        assert_eq!((unscoped.session, unscoped.step), (0, 0));
+        let _session = apr_telemetry::session_scope(9);
+        let _step = apr_telemetry::step_scope(42);
+        let scoped = SealedSlab::seal(link(), 1, 2, vec![1.0]);
+        assert_eq!((scoped.session, scoped.step), (9, 42));
+        assert!(
+            scoped.verify(1, 1).is_ok(),
+            "correlation must not break the seal"
+        );
     }
 
     #[test]

@@ -353,6 +353,7 @@ impl HaloExchanger {
             let senders = &self.senders;
             let dead = &self.dead;
             pool.par_for_chunks_mut(&mut sealed, 1, |task, part| {
+                let _rank = apr_telemetry::rank_scope(task as u32);
                 let t0 = timing.then(std::time::Instant::now);
                 if !dead[task] {
                     let field = &shared[task];
@@ -423,6 +424,7 @@ impl HaloExchanger {
             let dead = &self.dead;
             let cfg = &self.config;
             pool.par_for_chunks_mut(fields, 1, |task, part| {
+                let _rank = apr_telemetry::rank_scope(task as u32);
                 let t0 = timing.then(std::time::Instant::now);
                 let field = &mut part[0];
                 let mut failures = Vec::new();

@@ -67,8 +67,9 @@ pub mod scenario;
 pub mod service;
 pub mod session;
 
+pub use apr_observe::{ProgressSample, Sample, ServiceSample};
 pub use cache::WarmCache;
 pub use metrics::ServiceMetrics;
 pub use scenario::TubeScenario;
-pub use service::{AdmitError, ServeConfig, SimService};
+pub use service::{AdmitError, ProgressSubscription, ServeConfig, SimService};
 pub use session::{JobSpec, SessionResult, SessionStats, SessionStatus};

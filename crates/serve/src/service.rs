@@ -35,6 +35,7 @@ use crate::session::{JobSpec, SessionResult, SessionStats, SessionStatus};
 use apr_core::SimSession;
 use apr_exec::WorkerBudget;
 use apr_guard::{CheckpointStore, MemoryStore};
+use apr_observe::{hub, ProgressSample, Sample, ServiceSample, Subscription};
 use apr_telemetry::TelemetryEvent;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -134,6 +135,66 @@ fn park_key(id: u64) -> String {
     format!("session-{id}")
 }
 
+/// Snapshot the scheduler's service-level counters for the metrics hub.
+/// Called under the state lock; the publish itself happens after release.
+fn service_sample(st: &State) -> ServiceSample {
+    ServiceSample {
+        admitted: st.next_id,
+        completed: st.sessions.values().filter(|e| e.result.is_some()).count() as u64,
+        queued: st.queue.len() as u64,
+        inflight: st.inflight as u64,
+    }
+}
+
+/// A live, filtered view of per-slice session progress from the global
+/// metrics hub. Obtained from [`SimService::subscribe_progress`]; samples
+/// arriving while nobody polls are bounded by the hub's drop-oldest queue.
+pub struct ProgressSubscription {
+    inner: Subscription,
+    session: Option<u64>,
+}
+
+impl ProgressSubscription {
+    fn wants(&self, sample: &ProgressSample) -> bool {
+        self.session.is_none_or(|id| sample.session == id)
+    }
+
+    /// Next matching progress sample without blocking.
+    pub fn try_recv(&self) -> Option<ProgressSample> {
+        while let Some(sample) = self.inner.try_recv() {
+            if let Sample::Progress(p) = sample {
+                if self.wants(&p) {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Block up to `timeout` for the next matching progress sample.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<ProgressSample> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let sample = self.inner.recv_timeout(remaining)?;
+            if let Sample::Progress(p) = sample {
+                if self.wants(&p) {
+                    return Some(p);
+                }
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+        }
+    }
+
+    /// Samples the hub dropped on this subscription because the queue was
+    /// full (observability of the observer's own lag).
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped()
+    }
+}
+
 /// The multi-tenant simulation service. Construct with
 /// [`SimService::start`]; submit jobs; wait; shut down (automatic on
 /// drop).
@@ -230,7 +291,9 @@ impl SimService {
         );
         st.queue.push_back(id);
         st.inflight += 1;
+        let service_sample = service_sample(&st);
         drop(st);
+        hub().publish(Sample::Service(service_sample));
         apr_telemetry::emit(TelemetryEvent::SessionAdmitted {
             session: id,
             scenario,
@@ -248,6 +311,20 @@ impl SimService {
             .sessions
             .get(&id)
             .map(|e| e.status)
+    }
+
+    /// Subscribe to live per-slice progress. Every scheduler slice
+    /// publishes a [`ProgressSample`] (steps done, steps/s, cache-hit,
+    /// completion) to the global metrics hub; this returns a bounded
+    /// subscription filtered to `session` when `Some`, or to all sessions
+    /// when `None`. Replaces polling [`Self::progress_snapshot`] for live
+    /// consumers: samples push as slices retire instead of being pulled
+    /// under the scheduler lock.
+    pub fn subscribe_progress(&self, session: Option<u64>) -> ProgressSubscription {
+        ProgressSubscription {
+            inner: hub().subscribe(),
+            session,
+        }
     }
 
     /// Session steps completed so far, per session — the fairness
@@ -356,6 +433,26 @@ struct SliceOutcome {
     suspend_ns: u64,
 }
 
+/// Build the per-slice progress sample published to the metrics hub.
+/// Called under the state lock with the just-updated session entry.
+fn progress_sample(
+    id: u64,
+    entry: &SessionEntry,
+    stepped: u64,
+    step_ns: u64,
+    completed: bool,
+) -> ProgressSample {
+    ProgressSample {
+        session: id,
+        steps_done: entry.steps_done,
+        target_steps: entry.spec.target_steps,
+        slice: entry.stats.resumes,
+        steps_per_sec: stepped as f64 * 1e9 / step_ns.max(1) as f64,
+        cache_hit: entry.stats.cache_hit,
+        completed,
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfig) {
     loop {
         let mut st = shared.state.lock().unwrap();
@@ -430,18 +527,24 @@ fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfi
                         preempts: entry.stats.preempts,
                         error: None,
                     });
+                    let progress = progress_sample(id, entry, out.stepped, out.step_ns, true);
                     st.inflight -= 1;
+                    let svc = service_sample(&st);
                     drop(st);
+                    hub().publish(Sample::Progress(progress));
+                    hub().publish(Sample::Service(svc));
                     shared.done.notify_all();
                 } else {
                     entry.stats.preempts += 1;
                     entry.status = SessionStatus::Queued;
+                    let progress = progress_sample(id, entry, out.stepped, out.step_ns, false);
                     let blob = out.parked.expect("preempted slice parks a checkpoint");
                     st.parked
                         .put(&park_key(id), blob)
                         .expect("memory store put is infallible");
                     st.queue.push_back(id);
                     drop(st);
+                    hub().publish(Sample::Progress(progress));
                     shared.ready.notify_one();
                 }
             }
@@ -464,8 +567,12 @@ fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfi
                     preempts: entry.stats.preempts,
                     error: Some(message),
                 });
+                let progress = progress_sample(id, entry, 0, 1, true);
                 st.inflight -= 1;
+                let svc = service_sample(&st);
                 drop(st);
+                hub().publish(Sample::Progress(progress));
+                hub().publish(Sample::Service(svc));
                 shared.done.notify_all();
             }
         }

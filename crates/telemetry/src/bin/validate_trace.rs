@@ -1,15 +1,17 @@
 //! CI validator for exported telemetry artifacts.
 //!
 //! ```sh
-//! cargo run -p apr-telemetry --bin validate_trace -- trace.json [metrics.jsonl] [--min-coverage 0.95]
+//! cargo run -p apr-telemetry --bin validate_trace -- trace.json [metrics.jsonl] \
+//!     [--min-coverage 0.95] [--flightrec flightrec.json]
 //! ```
 //!
 //! Exits non-zero unless the Chrome trace parses, is schema-complete with
 //! monotone timestamps, and its depth-1 phase spans cover at least the
 //! requested fraction of top-level step time; the optional metrics JSONL
-//! must parse as a non-empty monotone time series.
+//! must parse as a non-empty monotone time series; the optional flight
+//! record must carry the attribution header (session + runtime config).
 
-use apr_telemetry::{validate_chrome_trace, validate_metrics_jsonl};
+use apr_telemetry::{validate_chrome_trace, validate_flightrec, validate_metrics_jsonl};
 
 fn fail(msg: &str) -> ! {
     eprintln!("validate_trace: {msg}");
@@ -19,10 +21,17 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut flightrec_path: Option<String> = None;
     let mut min_coverage = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--flightrec" => {
+                flightrec_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--flightrec needs a path")),
+                );
+            }
             "--min-coverage" => {
                 let v = args
                     .next()
@@ -37,7 +46,9 @@ fn main() {
         }
     }
     let trace_path = trace_path.unwrap_or_else(|| {
-        fail("usage: validate_trace <trace.json> [metrics.jsonl] [--min-coverage F]")
+        fail(
+            "usage: validate_trace <trace.json> [metrics.jsonl] [--min-coverage F] [--flightrec F]",
+        )
     });
 
     let text = std::fs::read_to_string(&trace_path)
@@ -45,8 +56,9 @@ fn main() {
     let summary =
         validate_chrome_trace(&text).unwrap_or_else(|e| fail(&format!("{trace_path}: {e}")));
     println!(
-        "{trace_path}: {} spans, {} events, phase coverage {:.1}% of {:.3} ms top-level",
+        "{trace_path}: {} spans ({} correlated), {} events, phase coverage {:.1}% of {:.3} ms top-level",
         summary.span_records,
+        summary.correlated_spans,
         summary.event_records,
         summary.phase_coverage() * 100.0,
         summary.top_level_us / 1e3,
@@ -64,6 +76,20 @@ fn main() {
         let m =
             validate_metrics_jsonl(&text).unwrap_or_else(|e| fail(&format!("{metrics_path}: {e}")));
         println!("{metrics_path}: {} metric samples, monotone", m.rows);
+    }
+
+    if let Some(flightrec_path) = flightrec_path {
+        let text = std::fs::read_to_string(&flightrec_path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {flightrec_path}: {e}")));
+        let f =
+            validate_flightrec(&text).unwrap_or_else(|e| fail(&format!("{flightrec_path}: {e}")));
+        let runtime: Vec<String> = f.runtime.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "{flightrec_path}: {} entries, session {}, runtime [{}]",
+            f.entries,
+            f.session,
+            runtime.join(", ")
+        );
     }
     println!("OK");
 }

@@ -154,7 +154,7 @@ impl Recorder {
             let mut rec = String::with_capacity(160);
             let _ = write!(
                 rec,
-                "{{\"name\":{},\"cat\":\"apr\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{TRACE_PID},\"tid\":{},\"args\":{{\"depth\":{},\"self_ns\":{}}}}}",
+                "{{\"name\":{},\"cat\":\"apr\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{TRACE_PID},\"tid\":{},\"args\":{{\"depth\":{},\"self_ns\":{}",
                 escape(span.name),
                 number(span.start_ns as f64 / 1e3),
                 number(span.dur_ns as f64 / 1e3),
@@ -162,6 +162,19 @@ impl Recorder {
                 span.depth,
                 span.self_ns,
             );
+            // Correlation IDs are emitted only when scoped, keeping
+            // unscoped traces byte-identical to the pre-correlation
+            // format (and Perfetto-compatible: args are free-form).
+            if span.session != 0 {
+                let _ = write!(rec, ",\"session\":{}", span.session);
+            }
+            if let Some(rank) = span.rank {
+                let _ = write!(rec, ",\"rank\":{rank}");
+            }
+            if span.step != 0 {
+                let _ = write!(rec, ",\"step\":{}", span.step);
+            }
+            rec.push_str("}}");
             records.push((span.start_ns, rec));
         }
         for timed in &inner.events {

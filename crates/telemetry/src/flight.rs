@@ -128,20 +128,39 @@ impl Recorder {
 
     /// Render the flight ring as a self-describing JSON document
     /// (`schema: "apr.flightrec.v1"`), entries oldest first.
+    ///
+    /// The header carries the serve session scoped on the dumping thread
+    /// (0 = unscoped) and the active `RuntimeConfig` (kernel/threads/
+    /// chunking, read from the `runtime.*` run attributes set when the
+    /// engine was built), so a post-mortem dump is attributable to one
+    /// session and one runtime configuration.
     pub fn flightrec_json(&self) -> String {
-        let (cap, total, dropped, entries) = {
+        let (cap, total, dropped, entries, runtime) = {
             let inner = self.inner.lock().unwrap();
+            let mut runtime = String::from("{");
+            for key in ["kernel", "threads", "chunking"] {
+                let full = format!("runtime.{key}");
+                if let Some((_, v)) = inner.attributes.iter().find(|(&k, _)| k == full) {
+                    if runtime.len() > 1 {
+                        runtime.push(',');
+                    }
+                    let _ = write!(runtime, "\"{key}\":{}", escape(v));
+                }
+            }
+            runtime.push('}');
             (
                 inner.flight.capacity(),
                 inner.flight.total(),
                 inner.flight.dropped(),
                 inner.flight.entries(),
+                runtime,
             )
         };
+        let session = crate::span::current_session();
         let mut out = String::with_capacity(128 + entries.len() * 140);
         let _ = write!(
             out,
-            "{{\"schema\":{},\"capacity\":{cap},\"total\":{total},\"dropped\":{dropped},\"entries\":[",
+            "{{\"schema\":{},\"capacity\":{cap},\"total\":{total},\"dropped\":{dropped},\"session\":{session},\"runtime\":{runtime},\"entries\":[",
             escape(FLIGHTREC_SCHEMA)
         );
         for (i, entry) in entries.iter().enumerate() {
@@ -153,7 +172,7 @@ impl Recorder {
                 FlightEntry::Span(s) => {
                     let _ = write!(
                         out,
-                        "{{\"type\":\"span\",\"name\":{},\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"self_ns\":{},\"depth\":{}}}",
+                        "{{\"type\":\"span\",\"name\":{},\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"self_ns\":{},\"depth\":{}",
                         escape(s.name),
                         s.tid,
                         s.start_ns,
@@ -161,6 +180,16 @@ impl Recorder {
                         s.self_ns,
                         s.depth,
                     );
+                    if s.session != 0 {
+                        let _ = write!(out, ",\"session\":{}", s.session);
+                    }
+                    if let Some(rank) = s.rank {
+                        let _ = write!(out, ",\"rank\":{rank}");
+                    }
+                    if s.step != 0 {
+                        let _ = write!(out, ",\"step\":{}", s.step);
+                    }
+                    out.push('}');
                 }
                 FlightEntry::Event(e) => {
                     let _ = write!(

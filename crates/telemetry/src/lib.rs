@@ -51,10 +51,13 @@ pub use export::render_phase_table;
 pub use flight::{FlightEntry, DEFAULT_FLIGHT_CAPACITY, FLIGHTREC_SCHEMA};
 pub use metrics::{Histogram, MetricValue};
 pub use span::{
-    current_session, session_scope, LaneStats, PhaseStat, Recorder, ScopedSpan, SessionScope,
-    SpanRecord,
+    current_rank, current_session, current_step, rank_scope, session_scope, step_scope, LaneStats,
+    PhaseStat, RankScope, Recorder, ScopedSpan, SessionScope, SpanRecord, StepScope,
 };
-pub use validate::{validate_chrome_trace, validate_metrics_jsonl, MetricsSummary, TraceSummary};
+pub use validate::{
+    validate_chrome_trace, validate_flightrec, validate_metrics_jsonl, FlightSummary,
+    MetricsSummary, TraceSummary,
+};
 
 use std::sync::OnceLock;
 

@@ -69,6 +69,72 @@ impl Drop for SessionScope {
     }
 }
 
+thread_local! {
+    /// Rank id spans on this thread are attributed to (`None` = unscoped).
+    /// Set by [`RankScope`], read at span open.
+    static RANK: Cell<Option<u32>> = const { Cell::new(None) };
+    /// Simulation step spans on this thread are attributed to
+    /// (0 = unscoped). Set by [`StepScope`], read at span open.
+    static STEP: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Rank currently scoped on this thread (`None` = unscoped).
+pub fn current_rank() -> Option<u32> {
+    RANK.with(Cell::get)
+}
+
+/// Simulation step currently scoped on this thread (0 = unscoped).
+pub fn current_step() -> u64 {
+    STEP.with(Cell::get)
+}
+
+/// RAII guard attributing every span opened on this thread to a logical
+/// rank (an `apr-parallel` block) while it lives. Like [`SessionScope`],
+/// scopes nest and the previous rank is restored on drop. Rank 0 is a
+/// real rank, so the unscoped state is `None`, not zero.
+#[must_use = "the scope attributes spans only while the guard lives"]
+#[derive(Debug)]
+pub struct RankScope {
+    prev: Option<u32>,
+}
+
+/// Attribute spans (and anything else reading [`current_rank`]) on this
+/// thread to `rank` until the returned guard drops.
+pub fn rank_scope(rank: u32) -> RankScope {
+    let prev = RANK.with(|r| r.replace(Some(rank)));
+    RankScope { prev }
+}
+
+impl Drop for RankScope {
+    fn drop(&mut self) {
+        RANK.with(|r| r.set(self.prev));
+    }
+}
+
+/// RAII guard attributing every span opened on this thread to a
+/// simulation step while it lives (1-based by convention so that 0 means
+/// "unscoped"; `AprEngine::step` scopes `steps + 1`). Together with
+/// [`SessionScope`] and [`RankScope`] this forms the correlation-ID
+/// triple the critical-path analyzer groups spans by.
+#[must_use = "the scope attributes spans only while the guard lives"]
+#[derive(Debug)]
+pub struct StepScope {
+    prev: u64,
+}
+
+/// Attribute spans (and anything else reading [`current_step`]) on this
+/// thread to simulation step `step` until the returned guard drops.
+pub fn step_scope(step: u64) -> StepScope {
+    let prev = STEP.with(|s| s.replace(step));
+    StepScope { prev }
+}
+
+impl Drop for StepScope {
+    fn drop(&mut self) {
+        STEP.with(|s| s.set(self.prev));
+    }
+}
+
 /// One completed span occurrence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -87,6 +153,12 @@ pub struct SpanRecord {
     /// Serve session the span ran under (0 = unscoped), captured from the
     /// thread's [`SessionScope`] when the span opened.
     pub session: u64,
+    /// Logical rank the span ran under (`None` = unscoped), captured from
+    /// the thread's [`RankScope`] when the span opened.
+    pub rank: Option<u32>,
+    /// Simulation step the span ran under (0 = unscoped), captured from
+    /// the thread's [`StepScope`] when the span opened.
+    pub step: u64,
 }
 
 /// Aggregated per-lane busy-time statistics attached to a span name —
@@ -229,6 +301,8 @@ struct Frame {
     ranks: LaneStats,
     depth: u16,
     session: u64,
+    rank: Option<u32>,
+    step: u64,
 }
 
 #[derive(Debug, Default)]
@@ -370,6 +444,8 @@ impl Recorder {
         let now = self.clock.now_ns();
         let tid = current_tid();
         let session = current_session();
+        let rank = current_rank();
+        let step = current_step();
         let mut inner = self.inner.lock().unwrap();
         let stack = inner.stacks.entry(tid).or_default();
         let depth = stack.len() as u16;
@@ -382,6 +458,8 @@ impl Recorder {
             ranks: LaneStats::default(),
             depth,
             session,
+            rank,
+            step,
         });
     }
 
@@ -422,6 +500,8 @@ impl Recorder {
             self_ns,
             depth: frame.depth,
             session: frame.session,
+            rank: frame.rank,
+            step: frame.step,
         };
         if inner.trace.len() < inner.span_capacity {
             inner.trace.push(record);
@@ -946,6 +1026,49 @@ mod tests {
         assert_eq!(by_name("nested").session, 9);
         assert_eq!(rec.session_span_records(7).len(), 1);
         assert_eq!(rec.session_span_records(0).len(), 1);
+    }
+
+    #[test]
+    fn rank_and_step_scopes_attribute_spans_and_nest() {
+        let rec = Recorder::with_clock(Clock::manual());
+        rec.enable();
+        {
+            let _s = rec.span("unscoped");
+            rec.clock().advance(1);
+        }
+        {
+            let _rank = rank_scope(0); // rank 0 is a real rank, not "unset"
+            let _step = step_scope(3);
+            {
+                let _s = rec.span("scoped");
+                rec.clock().advance(1);
+            }
+            {
+                let _inner_rank = rank_scope(2);
+                let _inner_step = step_scope(4);
+                let _s = rec.span("nested");
+                rec.clock().advance(1);
+            }
+            assert_eq!(current_rank(), Some(0), "inner scope restored");
+            assert_eq!(current_step(), 3);
+        }
+        assert_eq!(current_rank(), None);
+        assert_eq!(current_step(), 0);
+        let by_name = |n: &str| {
+            rec.span_records()
+                .into_iter()
+                .find(|r| r.name == n)
+                .unwrap()
+        };
+        let unscoped = by_name("unscoped");
+        assert_eq!(unscoped.rank, None);
+        assert_eq!(unscoped.step, 0);
+        let scoped = by_name("scoped");
+        assert_eq!(scoped.rank, Some(0));
+        assert_eq!(scoped.step, 3);
+        let nested = by_name("nested");
+        assert_eq!(nested.rank, Some(2));
+        assert_eq!(nested.step, 4);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Serve demo: 8 concurrent sessions on a 2-worker budget.
+//! Serve demo: 8 concurrent sessions on a 2-worker budget, watched live.
 //!
 //! Submits eight tube-flow sessions — four scenario specs, two sessions
 //! each — to the multi-tenant service. With 4× oversubscription every
 //! session is repeatedly checkpoint-preempted and resumed; the second
-//! session of each spec starts from the warm-state cache. Prints per-
-//! session outcomes and the service-level metrics, and verifies that
-//! sessions with identical specs finished bit-identically.
+//! session of each spec starts from the warm-state cache. Progress is
+//! **streamed** while the scheduler runs: the demo subscribes to the
+//! observability hub before submitting, and every retired slice pushes a
+//! live sample (steps done, steps/s, cache temperature) — no polling of
+//! `progress_snapshot` under the scheduler lock. After the stream drains,
+//! it prints per-session outcomes and the service-level metrics, and
+//! verifies that sessions with identical specs finished bit-identically.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
@@ -13,6 +17,7 @@
 
 use apr_suite::serve::{JobSpec, ServeConfig, SimService, TubeScenario};
 use std::collections::HashMap;
+use std::time::Duration;
 
 fn main() {
     let config = ServeConfig {
@@ -28,8 +33,12 @@ fn main() {
     );
     let service = SimService::start(config);
 
+    // Subscribe BEFORE submitting so no slice sample is missed.
+    let progress = service.subscribe_progress(None);
+
     // Four specs (different seeds), two sessions each: the second of each
     // pair should hit the warm cache.
+    let mut submitted = 0usize;
     for round in 0..2 {
         for seed in 0..4u64 {
             let id = service
@@ -38,9 +47,44 @@ fn main() {
                     target_steps: 32,
                 })
                 .expect("admission");
+            submitted += 1;
             println!("  admitted session {id} (seed {seed}, round {round})");
         }
     }
+
+    // Live stream: one line per retired slice, until every session has
+    // pushed its completion sample.
+    println!("\nlive progress stream:");
+    let mut completed = 0usize;
+    let mut streamed = 0usize;
+    while completed < submitted {
+        let Some(p) = progress.recv_timeout(Duration::from_secs(30)) else {
+            panic!("progress stream stalled with {completed}/{submitted} sessions complete");
+        };
+        streamed += 1;
+        let temp = match p.cache_hit {
+            Some(true) => "warm",
+            Some(false) => "cold",
+            None => "?",
+        };
+        println!(
+            "  session {:>2}  slice {:>2}  {:>3}/{} steps  {:>8.0} steps/s  {}{}",
+            p.session,
+            p.slice,
+            p.steps_done,
+            p.target_steps,
+            p.steps_per_sec,
+            temp,
+            if p.completed { "  [done]" } else { "" }
+        );
+        if p.completed {
+            completed += 1;
+        }
+    }
+    println!(
+        "streamed {streamed} slice samples for {submitted} sessions ({} dropped)",
+        progress.dropped()
+    );
 
     let results = service.wait_all();
     println!("\nsession  steps  preempts  cache  checkpoint_bytes");

@@ -44,9 +44,14 @@ fn traced_run_validates_and_calibrates_the_machine_model() {
     telemetry::enable();
     let mut engine = tube_engine();
     let steps = 30u64;
-    for _ in 0..steps {
-        engine.step();
-        telemetry::sample_metrics(engine.steps());
+    {
+        // Run under a session scope so every span carries correlation ids
+        // (the engine adds the per-step scope itself).
+        let _session = telemetry::session_scope(77);
+        for _ in 0..steps {
+            engine.step();
+            telemetry::sample_metrics(engine.steps());
+        }
     }
     telemetry::disable();
     let rec = telemetry::global();
@@ -62,6 +67,37 @@ fn traced_run_validates_and_calibrates_the_machine_model() {
         "phase spans cover only {:.1}% of step wall time",
         coverage * 100.0
     );
+
+    // Correlation round-trip: the session/step ids scoped during the run
+    // must come back out of the Chrome export, span for span — this is
+    // what lets the cross-rank critical-path analyzer group spans by step.
+    assert!(
+        summary.correlated_spans > 0,
+        "no span carried correlation args"
+    );
+    let doc = telemetry::json::parse(&trace).expect("trace parses");
+    let events = doc.as_arr().expect("chrome trace is a record array");
+    let step_spans: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("name").and_then(|n| n.as_str()) == Some("apr.step")
+        })
+        .collect();
+    assert_eq!(step_spans.len(), steps as usize);
+    for (i, span) in step_spans.iter().enumerate() {
+        let args = span.get("args").expect("correlated span has args");
+        assert_eq!(
+            args.get("session").and_then(|s| s.as_f64()),
+            Some(77.0),
+            "session id lost in export round-trip"
+        );
+        assert_eq!(
+            args.get("step").and_then(|s| s.as_f64()),
+            Some(i as f64 + 1.0),
+            "step id lost in export round-trip"
+        );
+    }
 
     // Metrics JSONL: one row per step, monotone, window gauges present.
     let jsonl = rec.metrics_jsonl();
