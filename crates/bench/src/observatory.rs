@@ -795,7 +795,14 @@ pub fn gate_scaling(artifact: &BenchArtifact) -> Result<GateVerdict, String> {
 // ---------------------------------------------------------------------------
 
 /// Scenario names `bench_suite run` accepts, in artifact order.
-pub const SCENARIOS: &[&str] = &["tube", "window_move", "scaling", "kernels", "serve"];
+pub const SCENARIOS: &[&str] = &[
+    "tube",
+    "window_move",
+    "scaling",
+    "kernels",
+    "serve",
+    "network",
+];
 
 /// Default timed step count per scenario (all ≥ the diff noise floor's
 /// minimum occurrence count, so per-phase percentiles are diffable). For
@@ -804,6 +811,7 @@ pub fn default_steps(scenario: &str) -> u64 {
     match scenario {
         "scaling" | "kernels" => 12,
         "serve" => 24,
+        "network" => 20,
         _ => 30,
     }
 }
@@ -1049,7 +1057,7 @@ fn run_kernels(steps: u64) -> Result<(u64, u64), String> {
 /// many window simulations, few cores, shared recipes). Returns
 /// (site updates, wall ns, service summary).
 fn run_serve(steps: u64, threads: usize) -> Result<(u64, u64, ServiceSummary), String> {
-    use apr_serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+    use apr_serve::{JobSpec, ScenarioSpec, ServeConfig, SimService};
     let sessions = 16u64;
     let config = ServeConfig {
         workers: threads.max(1),
@@ -1057,15 +1065,16 @@ fn run_serve(steps: u64, threads: usize) -> Result<(u64, u64, ServiceSummary), S
         slice_steps: (steps / 4).max(1), // ≥ 3 preemptions per session
         max_sessions: sessions as usize,
         cache_capacity: 4,
+        park_bytes_cap: usize::MAX,
     };
     apr_telemetry::global().enable();
     let service = SimService::start(config);
-    let specs = [TubeScenario::small(1), TubeScenario::small(2)];
+    let specs = [ScenarioSpec::tube_small(1), ScenarioSpec::tube_small(2)];
     let (_, wall_ns) = apr_telemetry::time("bench.serve", || {
         for i in 0..sessions {
             service
                 .submit(JobSpec {
-                    scenario: specs[(i % 2) as usize],
+                    scenario: specs[(i % 2) as usize].clone(),
                     target_steps: steps,
                 })
                 .expect("admission under the session cap");
@@ -1092,6 +1101,39 @@ fn run_serve(steps: u64, threads: usize) -> Result<(u64, u64, ServiceSummary), S
     ))
 }
 
+/// `network` scenario: the full vascular scenario zoo. Every registered
+/// [`apr_scenarios`] spec — tube, pulsatile tube, stenosis, aneurysm,
+/// side-branch transit, open bifurcating tree, twin-window — is cold-built
+/// (geometry voxelization + window packing + warmup) and stepped `steps`
+/// session steps. Setup stays untimed (it is the warm cache's job to
+/// amortize it); the timed region is pure zoo stepping, so the artifact
+/// tracks the cost of the paper's heterogeneous-geometry workloads.
+fn run_network(steps: u64) -> Result<(u64, u64), String> {
+    let mut engines = Vec::new();
+    for spec in apr_scenarios::registry() {
+        let eng = spec
+            .build_cold()
+            .map_err(|e| format!("scenario {:?} failed to build: {e}", spec.name))?;
+        engines.push((spec.name, eng));
+    }
+    let before: Vec<u64> = engines.iter().map(|(_, e)| e.site_updates()).collect();
+    apr_telemetry::global().enable();
+    let (_, wall_ns) = apr_telemetry::time("bench.network", || {
+        for (_, eng) in engines.iter_mut() {
+            eng.step_n(steps);
+        }
+    });
+    let mut site_updates = 0u64;
+    for ((name, eng), b) in engines.iter().zip(before) {
+        let delta = eng.site_updates() - b;
+        if delta == 0 {
+            return Err(format!("scenario {name:?} performed no site updates"));
+        }
+        site_updates += delta;
+    }
+    Ok((site_updates, wall_ns))
+}
+
 /// Run one scenario at one thread count and collect the [`BenchRun`].
 /// Swaps the process-global exec pool, owns the global recorder's enable
 /// state for the duration, and leaves the recorder disabled and reset.
@@ -1109,6 +1151,7 @@ pub fn run_scenario(scenario: &str, threads: usize, steps: u64) -> Result<BenchR
             service_summary = Some(summary);
             (site_updates, wall_ns)
         }),
+        "network" => run_network(steps),
         other => Err(format!(
             "unknown scenario {other:?} (expected one of {SCENARIOS:?})"
         )),

@@ -28,6 +28,22 @@ use std::sync::Arc;
 /// (coarse-lattice coordinates of fine node 0).
 pub type FineGeometry = Box<dyn Fn(&mut Lattice, [f64; 3]) + Send + Sync>;
 
+/// Bulk driver callback: runs on the coarse lattice at the start of every
+/// engine step, before the coarse collide/stream, with the number of steps
+/// completed so far. Used for time-dependent boundary forcing (pulsatile
+/// inlets restamp their `Boundary::Velocity` values here). Like
+/// [`FineGeometry`], the driver is code-not-state: it must be a pure
+/// function of `(lattice, step)` so a resumed checkpoint replays the same
+/// forcing.
+pub type BulkDriver = Box<dyn Fn(&mut Lattice, u64) + Send + Sync>;
+
+/// Window steering callback: given the CTC trajectory so far and the CTC's
+/// current **world** (coarse-lattice) position, return the world point the
+/// next window move should aim at. The default (no steer) aims at the CTC
+/// itself; a steer can lead the target into a chosen daughter branch when
+/// the window approaches a junction. Code-not-state, like [`FineGeometry`].
+pub type WindowSteer = Box<dyn Fn(&CtcTracker, Vec3) -> Vec3 + Send + Sync>;
+
 /// Report of one engine step.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AprStepReport {
@@ -72,6 +88,8 @@ pub struct AprEngine {
     /// costs nothing beyond the existing gauges).
     pub ledger: Option<ConservationLedger>,
     pub(crate) geometry: Option<FineGeometry>,
+    pub(crate) bulk_driver: Option<BulkDriver>,
+    pub(crate) steer: Option<WindowSteer>,
     pub(crate) rng: StdRng,
     pub(crate) steps: u64,
     pub(crate) site_updates: u64,
@@ -264,6 +282,8 @@ impl AprEngineBuilder {
             maintenance_interval,
             ledger: ledger.map(ConservationLedger::new),
             geometry: None,
+            bulk_driver: None,
+            steer: None,
             rng: StdRng::seed_from_u64(seed),
             steps: 0,
             site_updates: 0,
@@ -315,6 +335,18 @@ impl AprEngine {
         self.rebuild_coupling();
         self.map.seed_fine_from_coarse(&self.coarse, &mut self.fine);
         self.geometry = Some(geometry);
+    }
+
+    /// Install a bulk driver applying time-dependent forcing to the coarse
+    /// lattice at the start of every step (see [`BulkDriver`]).
+    pub fn set_bulk_driver(&mut self, driver: BulkDriver) {
+        self.bulk_driver = Some(driver);
+    }
+
+    /// Install a window-steering callback biasing where window moves aim
+    /// (see [`WindowSteer`]).
+    pub fn set_window_steer(&mut self, steer: WindowSteer) {
+        self.steer = Some(steer);
     }
 
     /// Reseed the deterministic RNG driving cell insertion.
@@ -415,6 +447,10 @@ impl AprEngine {
         let _step_span = apr_telemetry::span("apr.step");
         let mut report = AprStepReport::default();
         let mut flux = WindowFlux::default();
+        if let Some(driver) = &self.bulk_driver {
+            let _s = apr_telemetry::span("apr.bulk_driver");
+            driver(&mut self.coarse, self.steps);
+        }
         let old = {
             let _s = apr_telemetry::span("coupling.snapshot");
             self.map.snapshot(&self.coarse, &self.fine)
@@ -566,11 +602,20 @@ impl AprEngine {
     /// shift rounds to zero or would leave the coarse domain.
     fn execute_window_move(&mut self, ctc: Vec3) -> Option<WindowFlux> {
         let n = self.map.n as f64;
-        // Integer coarse-cell shift bringing the CTC back to centre.
+        // Aim point: the CTC itself, unless a steer leads it (e.g. into a
+        // daughter branch at a junction).
+        let aim = match &self.steer {
+            Some(steer) => {
+                let world = self.fine_to_world(ctc);
+                self.world_to_fine(steer(&self.tracker, world))
+            }
+            None => ctc,
+        };
+        // Integer coarse-cell shift bringing the aim point back to centre.
         let shift_c = Vec3::new(
-            ((ctc.x - self.anatomy.center.x) / n).round(),
-            ((ctc.y - self.anatomy.center.y) / n).round(),
-            ((ctc.z - self.anatomy.center.z) / n).round(),
+            ((aim.x - self.anatomy.center.x) / n).round(),
+            ((aim.y - self.anatomy.center.y) / n).round(),
+            ((aim.z - self.anatomy.center.z) / n).round(),
         );
         if shift_c == Vec3::ZERO {
             return None;

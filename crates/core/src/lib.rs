@@ -32,7 +32,7 @@ pub mod lifecycle;
 pub mod output;
 pub mod vtk;
 
-pub use apr::{AprEngine, AprEngineBuilder, AprStepReport, FineGeometry};
+pub use apr::{AprEngine, AprEngineBuilder, AprStepReport, BulkDriver, FineGeometry, WindowSteer};
 pub use apr_lattice::KernelKind;
 pub use apr_observe::{ConservationLedger, DriftBreach, LedgerConfig, LedgerSample};
 pub use config::PhysicalConfig;

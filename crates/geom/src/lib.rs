@@ -16,7 +16,9 @@ pub mod voxelize;
 
 pub use centerline::Centerline;
 pub use flow::{leaf_segments, open_tree_flow, TreeFlowPorts};
-pub use sdf::{BoxLumen, Capsule, Cylinder, ExpandingChannel, Sdf, TaperedCapsule, Union};
+pub use sdf::{
+    BoxLumen, Capsule, Cylinder, ExpandingChannel, Sdf, Sphere, StenosedTube, TaperedCapsule, Union,
+};
 pub use surface::{merge_meshes, tree_surface, tube_surface};
 pub use tree::{Segment, TreeParams, VascularTree};
 pub use voxelize::{fluid_fraction, node_position, voxelize, world_to_lattice};

@@ -166,6 +166,74 @@ impl Sdf for ExpandingChannel {
     }
 }
 
+/// Sphere lumen — used as a saccular aneurysm bulge unioned onto a parent
+/// vessel.
+#[derive(Debug, Clone, Copy)]
+pub struct Sphere {
+    /// Center.
+    pub center: Vec3,
+    /// Radius.
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// New sphere.
+    pub fn new(center: Vec3, radius: f64) -> Self {
+        assert!(radius > 0.0, "radius must be positive");
+        Self { center, radius }
+    }
+}
+
+impl Sdf for Sphere {
+    fn distance(&self, p: Vec3) -> f64 {
+        p.distance(self.center) - self.radius
+    }
+}
+
+/// Circular tube along +z with a cosine-smoothed axisymmetric constriction
+/// (a stenosis). The lumen radius is `r0` everywhere except within
+/// `length / 2` of `center_z`, where it narrows smoothly to `throat` at the
+/// constriction center:
+///
+/// `r(z) = r0 − (r0 − throat) · ½(1 + cos(2π (z − center_z) / length))`.
+///
+/// Away from the constriction the profile is z-invariant, so the tube can
+/// wrap a periodic axis.
+#[derive(Debug, Clone, Copy)]
+pub struct StenosedTube {
+    /// Nominal lumen radius.
+    pub r0: f64,
+    /// Radius at the narrowest point.
+    pub throat: f64,
+    /// Axial position of the constriction center.
+    pub center_z: f64,
+    /// Total axial extent of the constriction.
+    pub length: f64,
+    /// Axis origin (centreline passes through here along +z).
+    pub origin: Vec3,
+}
+
+impl StenosedTube {
+    /// Lumen radius at axial position `z` (world coordinates).
+    pub fn radius_at(&self, z: f64) -> f64 {
+        let s = z - self.origin.z - self.center_z;
+        if s.abs() >= self.length / 2.0 {
+            self.r0
+        } else {
+            let bump = 0.5 * (1.0 + (2.0 * std::f64::consts::PI * s / self.length).cos());
+            self.r0 - (self.r0 - self.throat) * bump
+        }
+    }
+}
+
+impl Sdf for StenosedTube {
+    fn distance(&self, p: Vec3) -> f64 {
+        let rel = p - self.origin;
+        let radial = (rel.x * rel.x + rel.y * rel.y).sqrt();
+        radial - self.radius_at(p.z)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +293,36 @@ mod tests {
         assert!(u.contains(Vec3::new(0.5, 0.0, 0.0)));
         assert!(u.contains(Vec3::new(5.5, 0.0, 0.0)));
         assert!(!u.contains(Vec3::new(3.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn sphere_distance_is_radial() {
+        let s = Sphere::new(Vec3::new(1.0, 2.0, 3.0), 2.0);
+        assert!(s.contains(Vec3::new(1.0, 2.0, 4.5)));
+        assert!((s.distance(Vec3::new(1.0, 2.0, 6.0)) - 1.0).abs() < 1e-12);
+        assert!((s.distance(s.center) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stenosed_tube_throat_and_far_field() {
+        let t = StenosedTube {
+            r0: 6.0,
+            throat: 3.0,
+            center_z: 20.0,
+            length: 16.0,
+            origin: Vec3::ZERO,
+        };
+        // Far from the constriction the radius is r0.
+        assert!((t.radius_at(0.0) - 6.0).abs() < 1e-12);
+        assert!((t.radius_at(40.0) - 6.0).abs() < 1e-12);
+        // At the center the radius is the throat.
+        assert!((t.radius_at(20.0) - 3.0).abs() < 1e-12);
+        // The profile joins smoothly (continuous) at the edges.
+        assert!((t.radius_at(12.0) - 6.0).abs() < 1e-9);
+        assert!((t.radius_at(28.0) - 6.0).abs() < 1e-9);
+        assert!(t.contains(Vec3::new(2.9, 0.0, 20.0)));
+        assert!(!t.contains(Vec3::new(3.1, 0.0, 20.0)));
+        assert!(t.contains(Vec3::new(5.5, 0.0, 0.0)));
     }
 
     #[test]

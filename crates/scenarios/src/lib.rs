@@ -1,0 +1,43 @@
+//! # apr-scenarios — the declarative vascular scenario zoo
+//!
+//! The paper's workloads are *scenarios*: a vascular geometry, an inlet
+//! condition, a hematocrit, and one or more tracked cells each owning a
+//! moving refinement window. This crate turns that description into plain
+//! data — [`ScenarioSpec`] — with:
+//!
+//! - a **registry** of named canonical scenarios ([`registry`],
+//!   [`lookup`]): tubes, bifurcating Murray-law trees, stenoses, saccular
+//!   aneurysms, pulsatile inlets, junction-transit and twin-window runs;
+//! - **canonical hashing** ([`ScenarioSpec::hash`]) compatible with
+//!   apr-serve's warm-state cache (physics fields only; the runtime config
+//!   is excluded, test-enforced);
+//! - JSON round-tripping ([`ScenarioSpec::to_json`] /
+//!   [`ScenarioSpec::from_json`], schema [`SCENARIO_SCHEMA`]) through the
+//!   workspace's dependency-free `apr_telemetry::json`;
+//! - **builders** assembling a ready engine: one window builds an
+//!   [`apr_core::AprEngine`], N > 1 windows build a [`MultiWindowEngine`]
+//!   — both behind `Box<dyn SimSession>` so apr-serve schedules either.
+//!
+//! The genuinely new mechanics live here too:
+//!
+//! - [`transit`] — window navigation through a branch point: a
+//!   [`JunctionGuide`] steers window moves into the daughter branch chosen
+//!   by the tracked cell's trajectory;
+//! - [`multi`] — N > 1 concurrent windows in one bulk domain with
+//!   disjoint-ownership enforcement (overlapping window requests are a
+//!   typed [`ScenarioError::WindowOverlap`], and a move that would collide
+//!   with another window's footprint is deterministically deferred).
+
+pub mod build;
+pub mod multi;
+pub mod registry;
+pub mod spec;
+pub mod transit;
+pub mod womersley;
+
+pub use apr_core::SimSession;
+pub use multi::{MultiWindowEngine, WindowUnit};
+pub use registry::{lookup, registry};
+pub use spec::{GeometrySpec, InletSpec, ScenarioError, ScenarioSpec, WindowSpec, SCENARIO_SCHEMA};
+pub use transit::{Junction, JunctionGuide};
+pub use womersley::Womersley;

@@ -1,0 +1,279 @@
+//! Window navigation through branch points.
+//!
+//! The default window-move policy re-centres the fine window on the
+//! tracked cell. That is correct inside a straight vessel, but when the
+//! window straddles a junction the cell is about to *choose a daughter
+//! branch* — and a window re-centred on the cell's instantaneous position
+//! lags the turn, clipping the daughter lumen at the window edge.
+//!
+//! A [`JunctionGuide`] fixes this with a tiny amount of vascular
+//! knowledge: the junction positions and the unit directions of their
+//! daughter branches (both known exactly for every registry geometry).
+//! Near a junction the guide reads the tracked cell's recent trajectory
+//! from the [`CtcTracker`], picks the daughter whose direction best
+//! aligns with the cell's velocity, and aims the window *ahead of the
+//! cell along that daughter's centreline*. Away from junctions (or before
+//! the trajectory is informative) the guide is the identity and the
+//! engine's default re-centring behaviour applies unchanged.
+//!
+//! The guide is a pure function of `(tracker, position)` — installing it
+//! changes where windows move, never how state is stored, so checkpoints
+//! and resume replay identically.
+
+use apr_core::WindowSteer;
+use apr_geom::VascularTree;
+use apr_mesh::Vec3;
+use apr_window::CtcTracker;
+
+/// How many tracker samples back to reach for the trajectory estimate.
+const TRAJECTORY_LAG: usize = 6;
+
+/// A branch point: where it is, and the unit directions of the vessels
+/// leaving it (world coordinates, coarse lattice units).
+#[derive(Debug, Clone)]
+pub struct Junction {
+    /// Branch-point position.
+    pub center: Vec3,
+    /// Unit directions of the daughter branches leaving the junction.
+    pub daughters: Vec<Vec3>,
+}
+
+/// Steers window moves through the [`Junction`]s of a vascular network.
+#[derive(Debug, Clone)]
+pub struct JunctionGuide {
+    /// Known branch points.
+    pub junctions: Vec<Junction>,
+    /// A junction influences aims within this distance of its centre
+    /// (coarse lattice units).
+    pub radius: f64,
+    /// How far ahead of the cell (along the chosen daughter) to aim the
+    /// window centre.
+    pub lead: f64,
+}
+
+impl JunctionGuide {
+    /// Guide with explicit junctions.
+    pub fn new(junctions: Vec<Junction>, radius: f64, lead: f64) -> Self {
+        let junctions = junctions
+            .into_iter()
+            .map(|j| Junction {
+                center: j.center,
+                daughters: j
+                    .daughters
+                    .into_iter()
+                    .filter(|d| d.norm() > 1e-12)
+                    .map(|d| d.normalized())
+                    .collect(),
+            })
+            .collect();
+        Self {
+            junctions,
+            radius,
+            lead,
+        }
+    }
+
+    /// Extract every bifurcation of a [`VascularTree`] (world coordinates
+    /// = tree coordinates; callers translate if the tree was voxelized at
+    /// a non-zero origin).
+    pub fn from_tree(tree: &VascularTree, radius: f64, lead: f64) -> Self {
+        let mut junctions: Vec<Junction> = Vec::new();
+        for (i, seg) in tree.segments.iter().enumerate() {
+            // Children are segments whose parent is i (excluding the root's
+            // self-parent loop).
+            let daughters: Vec<Vec3> = tree
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(j, s)| *j != i && s.parent == i)
+                .map(|(_, s)| s.b - s.a)
+                .collect();
+            if daughters.len() >= 2 {
+                junctions.push(Junction {
+                    center: seg.b,
+                    daughters,
+                });
+            }
+        }
+        Self::new(junctions, radius, lead)
+    }
+
+    /// Estimate the cell's direction of travel from the tracker: the
+    /// displacement between the latest sample and one [`TRAJECTORY_LAG`]
+    /// samples back. `None` when the history is too short or the cell is
+    /// effectively stationary.
+    fn trajectory(tracker: &CtcTracker) -> Option<Vec3> {
+        let n = tracker.samples.len();
+        if n < 2 {
+            return None;
+        }
+        let (_, latest) = tracker.samples[n - 1];
+        let back = n.saturating_sub(1 + TRAJECTORY_LAG.min(n - 1));
+        let (_, earlier) = tracker.samples[back];
+        let v = latest - earlier;
+        if v.norm() < 1e-9 {
+            None
+        } else {
+            Some(v.normalized())
+        }
+    }
+
+    /// Compute the window aim for a tracked cell at `ctc` (world
+    /// coordinates). Returns `ctc` unchanged unless the cell is within
+    /// [`JunctionGuide::radius`] of a junction *and* its trajectory is
+    /// informative; then aims [`JunctionGuide::lead`] ahead of the cell's
+    /// projection onto the chosen daughter's centreline (behind the
+    /// junction for cells still approaching it).
+    pub fn aim(&self, tracker: &CtcTracker, ctc: Vec3) -> Vec3 {
+        let Some(junction) = self
+            .junctions
+            .iter()
+            .filter(|j| j.center.distance(ctc) <= self.radius)
+            .min_by(|a, b| {
+                a.center
+                    .distance(ctc)
+                    .partial_cmp(&b.center.distance(ctc))
+                    .unwrap()
+            })
+        else {
+            return ctc;
+        };
+        let Some(v) = Self::trajectory(tracker) else {
+            return ctc;
+        };
+        // Choose the daughter whose direction best matches the velocity.
+        // Strict `>` keeps ties deterministic (first daughter wins).
+        let mut best: Option<(f64, Vec3)> = None;
+        for &d in &junction.daughters {
+            let score = v.dot(d);
+            match best {
+                Some((s, _)) if score <= s => {}
+                _ => best = Some((score, d)),
+            }
+        }
+        let Some((_, d)) = best else { return ctc };
+        // Project the cell onto the daughter centreline and lead its
+        // projection downstream. The aim tracks the cell continuously —
+        // approaching cells (t < 0) are led toward the junction, not
+        // teleported past it, so the window never leaps ahead of the cell.
+        let t = (ctc - junction.center).dot(d);
+        junction.center + d * (t + self.lead)
+    }
+
+    /// Box the guide up as an engine [`WindowSteer`] hook.
+    pub fn into_steer(self) -> WindowSteer {
+        Box::new(move |tracker, ctc| self.aim(tracker, ctc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker_moving(from: Vec3, step: Vec3, n: usize) -> CtcTracker {
+        let mut t = CtcTracker::new();
+        for k in 0..n {
+            t.record(k as u64, from + step * k as f64);
+        }
+        t
+    }
+
+    fn y_junction() -> JunctionGuide {
+        JunctionGuide::new(
+            vec![Junction {
+                center: Vec3::new(0.0, 0.0, 10.0),
+                daughters: vec![
+                    Vec3::new(0.5, 0.0, 1.0),  // right daughter
+                    Vec3::new(-0.5, 0.0, 1.0), // left daughter
+                ],
+            }],
+            4.0,
+            1.5,
+        )
+    }
+
+    #[test]
+    fn identity_far_from_junction() {
+        let g = y_junction();
+        let tracker = tracker_moving(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 0.1), 10);
+        let p = Vec3::new(0.0, 0.0, 2.0);
+        assert_eq!(g.aim(&tracker, p), p);
+    }
+
+    #[test]
+    fn identity_without_trajectory() {
+        let g = y_junction();
+        let near = Vec3::new(0.0, 0.0, 9.0);
+        // Too few samples.
+        let fresh = CtcTracker::new();
+        assert_eq!(g.aim(&fresh, near), near);
+        // Stationary cell.
+        let still = tracker_moving(near, Vec3::ZERO, 10);
+        assert_eq!(g.aim(&still, near), near);
+    }
+
+    #[test]
+    fn picks_daughter_matching_trajectory() {
+        let g = y_junction();
+        // Cell drifting up-right: should be steered onto the right daughter.
+        let tracker = tracker_moving(Vec3::new(-0.5, 0.0, 7.0), Vec3::new(0.05, 0.0, 0.3), 10);
+        let ctc = Vec3::new(0.0, 0.0, 9.5);
+        let aim = g.aim(&tracker, ctc);
+        assert!(aim.x > 0.0, "aim {aim:?} should lean toward +x daughter");
+        assert!(aim.z > 10.0, "aim {aim:?} should lead past the junction");
+
+        // Mirror trajectory: left daughter.
+        let tracker = tracker_moving(Vec3::new(0.5, 0.0, 7.0), Vec3::new(-0.05, 0.0, 0.3), 10);
+        let aim = g.aim(&tracker, ctc);
+        assert!(aim.x < 0.0, "aim {aim:?} should lean toward -x daughter");
+    }
+
+    #[test]
+    fn aim_leads_cell_along_daughter() {
+        let g = y_junction();
+        let tracker = tracker_moving(Vec3::new(0.0, 0.0, 8.0), Vec3::new(0.04, 0.0, 0.3), 10);
+        // Cell just past the junction, on the right daughter.
+        let d = Vec3::new(0.5, 0.0, 1.0).normalized();
+        let ctc = Vec3::new(0.0, 0.0, 10.0) + d * 1.0;
+        let aim = g.aim(&tracker, ctc);
+        let along = (aim - Vec3::new(0.0, 0.0, 10.0)).dot(d);
+        assert!(
+            (along - 2.5).abs() < 1e-9,
+            "aim should sit lead=1.5 ahead of the cell's projection (t=1): got {along}"
+        );
+        // Aim lies on the daughter centreline.
+        let off_axis = (aim - Vec3::new(0.0, 0.0, 10.0)) - d * along;
+        assert!(off_axis.norm() < 1e-9);
+    }
+
+    #[test]
+    fn from_tree_finds_generation_one_bifurcation() {
+        use apr_geom::TreeParams;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let params = TreeParams {
+            root_radius: 4.0,
+            root_length: 12.0,
+            levels: 2,
+            branch_angle: 0.5,
+            asymmetry: 0.5,
+            jitter: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = VascularTree::grow(
+            &params,
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            &mut rng,
+        );
+        let guide = JunctionGuide::from_tree(&tree, 4.0, 1.5);
+        assert_eq!(guide.junctions.len(), 1, "2-level tree has one bifurcation");
+        let j = &guide.junctions[0];
+        assert_eq!(j.daughters.len(), 2);
+        assert!((j.center - tree.segments[0].b).norm() < 1e-12);
+        for d in &j.daughters {
+            assert!((d.norm() - 1.0).abs() < 1e-12, "daughters normalized");
+            assert!(d.z > 0.0, "daughters continue downstream");
+        }
+    }
+}

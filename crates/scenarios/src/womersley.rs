@@ -1,0 +1,191 @@
+//! Analytic Womersley pulsatile pipe-flow profile.
+//!
+//! The oscillatory component of laminar flow in a rigid circular tube
+//! driven by a sinusoidal pressure gradient is (Womersley 1955):
+//!
+//! ```text
+//! F(s, t) = Re[ (1 − J0(ζ s) / J0(ζ)) / (1 − 1 / J0(ζ)) · e^{iωt} ]
+//! ```
+//!
+//! with `s = r/R ∈ [0, 1]`, `ζ = α·i^{3/2}` and the Womersley number
+//! `α = R√(ω/ν)`. The normalization puts the *centerline* at
+//! `F(0, t) = cos(ωt)`, so a physical inlet is
+//! `u(s, t) = u_mean·(1 − s²) + u_amp·F(s, t)`. In the low-α limit the
+//! oscillation is quasi-steady, `F → (1 − s²)·cos(ωt)`; at high α the
+//! profile flattens and the near-wall annulus leads the core in phase.
+//!
+//! `J0` is evaluated by its everywhere-convergent power series
+//! `Σ (−z²/4)^k / (k!)²` in plain complex arithmetic — no special-function
+//! dependency, bit-reproducible across platforms, accurate to well below
+//! lattice truncation error for the α < 10 range the spec validator admits.
+
+/// Complex number as (re, im); just enough arithmetic for the J0 series.
+#[derive(Debug, Clone, Copy)]
+struct C(f64, f64);
+
+impl C {
+    fn mul(self, o: C) -> C {
+        C(self.0 * o.0 - self.1 * o.1, self.0 * o.1 + self.1 * o.0)
+    }
+
+    fn sub(self, o: C) -> C {
+        C(self.0 - o.0, self.1 - o.1)
+    }
+
+    fn scale(self, k: f64) -> C {
+        C(self.0 * k, self.1 * k)
+    }
+
+    fn inv(self) -> C {
+        let d = self.0 * self.0 + self.1 * self.1;
+        C(self.0 / d, -self.1 / d)
+    }
+}
+
+/// Bessel J0 of a complex argument by power series.
+fn j0(z: C) -> C {
+    // term_k = (−z²/4)^k / (k!)², accumulated iteratively.
+    let m = z.mul(z).scale(-0.25);
+    let mut term = C(1.0, 0.0);
+    let mut sum = term;
+    for k in 1..=60u32 {
+        term = term.mul(m).scale(1.0 / ((k * k) as f64));
+        sum = C(sum.0 + term.0, sum.1 + term.1);
+        if term.0.abs() + term.1.abs() < 1e-16 {
+            break;
+        }
+    }
+    sum
+}
+
+/// Precomputed Womersley oscillation for one (α, period) pair.
+///
+/// [`Womersley::profile`] is a pure function of `(s, step)` — restamping
+/// it onto inlet nodes each step is code-not-state and therefore
+/// resume-safe: a resumed engine replays exactly the same inlet history.
+#[derive(Debug, Clone, Copy)]
+pub struct Womersley {
+    /// Womersley number α.
+    pub alpha: f64,
+    /// Oscillation period in steps.
+    pub period: u64,
+    zeta: C,
+    inv_j0_zeta: C,
+    inv_denom: C,
+}
+
+impl Womersley {
+    /// Build the profile for Womersley number `alpha` and an oscillation
+    /// `period` given in lattice steps.
+    pub fn new(alpha: f64, period: u64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(period >= 2, "period must be ≥ 2 steps, got {period}");
+        // ζ = α·i^{3/2} = α·e^{i·3π/4}
+        let half_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        let zeta = C(-alpha * half_sqrt2, alpha * half_sqrt2);
+        let inv_j0_zeta = j0(zeta).inv();
+        // denom = 1 − 1/J0(ζ)
+        let denom = C(1.0, 0.0).sub(inv_j0_zeta);
+        Self {
+            alpha,
+            period,
+            zeta,
+            inv_j0_zeta,
+            inv_denom: denom.inv(),
+        }
+    }
+
+    /// Normalized oscillatory velocity at radial fraction `s = r/R ∈ [0,1]`
+    /// and time `step`; the centerline is `profile(0, t) = cos(2πt/period)`.
+    pub fn profile(&self, s: f64, step: u64) -> f64 {
+        let ratio = self.shape(s);
+        let omega_t = 2.0 * std::f64::consts::PI * (step % self.period) as f64 / self.period as f64;
+        // Re[ratio · e^{iωt}]
+        ratio.0 * omega_t.cos() - ratio.1 * omega_t.sin()
+    }
+
+    /// Complex spatial shape (1 − J0(ζs)/J0(ζ)) / (1 − 1/J0(ζ)).
+    fn shape(&self, s: f64) -> C {
+        let zs = self.zeta.scale(s.clamp(0.0, 1.0));
+        C(1.0, 0.0)
+            .sub(j0(zs).mul(self.inv_j0_zeta))
+            .mul(self.inv_denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn j0_matches_real_axis_reference() {
+        // Abramowitz & Stegun table values for J0 on the real axis.
+        let cases = [(0.0, 1.0), (1.0, 0.765_197_686_6), (2.0, 0.223_890_779_1)];
+        for (x, want) in cases {
+            let got = j0(C(x, 0.0));
+            assert!(
+                (got.0 - want).abs() < 1e-9,
+                "J0({x}) = {}, want {want}",
+                got.0
+            );
+            assert!(got.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn centerline_is_cosine() {
+        let w = Womersley::new(3.0, 40);
+        for step in [0u64, 7, 13, 25, 39] {
+            let want = (2.0 * std::f64::consts::PI * step as f64 / 40.0).cos();
+            let got = w.profile(0.0, step);
+            assert!(
+                (got - want).abs() < 1e-12,
+                "step {step}: centerline {got} vs cos {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_alpha_limit_is_quasi_steady_poiseuille() {
+        // α → 0: F(s,t) → (1 − s²)·cos(ωt). At α = 0.3 the correction is
+        // O(α⁴) ≈ 1e-2 relative; require 2% absolute-of-peak agreement.
+        let w = Womersley::new(0.3, 100);
+        for step in [0u64, 12, 31, 50, 77] {
+            let ct = (2.0 * std::f64::consts::PI * step as f64 / 100.0).cos();
+            for s in [0.0, 0.25, 0.5, 0.75, 0.95] {
+                let analytic = (1.0 - s * s) * ct;
+                let got = w.profile(s, step);
+                assert!(
+                    (got - analytic).abs() < 0.02,
+                    "s={s} step={step}: {got} vs quasi-steady {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wall_value_vanishes_and_high_alpha_flattens() {
+        let w = Womersley::new(6.0, 64);
+        for step in [0u64, 16, 32, 48] {
+            assert!(w.profile(1.0, step).abs() < 1e-10, "no-slip at the wall");
+        }
+        // High α: the core profile is much flatter than parabolic —
+        // |F(0.5, t)| stays close to |F(0, t)| over a period's peak.
+        let peak_center: f64 = (0..64).map(|t| w.profile(0.0, t).abs()).fold(0.0, f64::max);
+        let peak_half: f64 = (0..64).map(|t| w.profile(0.5, t).abs()).fold(0.0, f64::max);
+        assert!(
+            peak_half > 0.85 * peak_center,
+            "plug-like core expected: |F(0.5)| peak {peak_half} vs center {peak_center}"
+        );
+    }
+
+    #[test]
+    fn profile_is_periodic_in_step() {
+        let w = Womersley::new(2.0, 24);
+        for s in [0.0, 0.4, 0.8] {
+            for step in 0..24u64 {
+                assert_eq!(w.profile(s, step), w.profile(s, step + 24));
+            }
+        }
+    }
+}

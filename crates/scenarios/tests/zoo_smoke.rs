@@ -1,0 +1,67 @@
+//! Every registered scenario must build, run 20 steps, and keep its
+//! conservation ledger clean — the contract the `scenarios` CI job
+//! enforces. A registry entry that cannot survive this smoke test does
+//! not belong in the zoo.
+
+use apr_scenarios::{registry, SimSession};
+
+const SMOKE_STEPS: u64 = 20;
+
+#[test]
+fn every_registered_scenario_builds_steps_and_conserves() {
+    for spec in registry() {
+        if spec.windows.len() == 1 {
+            let mut eng = spec
+                .build_apr()
+                .unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
+            if spec.hematocrit > 0.0 {
+                assert!(eng.populate_window() > 0, "{}: no cells packed", spec.name);
+            }
+            eng.step_n(SMOKE_STEPS);
+            assert_eq!(SimSession::steps(&eng), SMOKE_STEPS, "{}", spec.name);
+            let ledger = eng.ledger.as_ref().expect("build_apr arms the ledger");
+            assert!(
+                ledger.breaches().is_empty(),
+                "{}: ledger breaches {:?}",
+                spec.name,
+                ledger.breaches()
+            );
+        } else {
+            let mut eng = spec
+                .build_multi()
+                .unwrap_or_else(|e| panic!("{}: build failed: {e}", spec.name));
+            if spec.hematocrit > 0.0 {
+                eng.populate_windows();
+            }
+            eng.step_n(SMOKE_STEPS);
+            assert_eq!(SimSession::steps(&eng), SMOKE_STEPS, "{}", spec.name);
+            let ledger = eng.ledger.as_ref().expect("build_multi arms the ledger");
+            assert!(
+                ledger.breaches().is_empty(),
+                "{}: ledger breaches {:?}",
+                spec.name,
+                ledger.breaches()
+            );
+        }
+    }
+}
+
+#[test]
+fn cold_builds_are_deterministic_per_scenario() {
+    // Same spec, two cold builds → bit-identical suspend blobs. This is
+    // the property the warm-state cache keys on (spec hash → state).
+    for spec in registry() {
+        let a = spec
+            .build_cold()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let b = spec
+            .build_cold()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(
+            a.suspend(),
+            b.suspend(),
+            "{}: cold build drifted",
+            spec.name
+        );
+    }
+}

@@ -10,7 +10,16 @@
 //! its scenario recipe. A **warm-state cache** keyed by scenario hash lets
 //! repeat scenarios skip cold setup (geometry voxelization, window
 //! packing, warmup relaxation) by restoring the first session's
-//! post-warmup checkpoint.
+//! post-warmup checkpoint. Parked checkpoints live in memory up to a
+//! configurable byte cap ([`ServeConfig::park_bytes_cap`]); beyond the
+//! cap the oldest-parked blobs spill to an atomic-write disk tier and
+//! restore byte-identically from either tier ([`SpillStore`]).
+//!
+//! Jobs are [`apr_scenarios::ScenarioSpec`]s — any scenario in the zoo
+//! (tube, bifurcating tree, stenosis, aneurysm; steady or pulsatile
+//! inlet; one window or several) is a valid job, and specs are validated
+//! at admission so malformed geometry is refused up front instead of
+//! panicking in a worker.
 //!
 //! The parameter-sweep workloads of the APR paper (SC 2023) — many
 //! cell-resolved window simulations over a shared scenario family — are
@@ -19,11 +28,12 @@
 //!
 //! ## Module map
 //!
-//! - [`scenario`] — declarative [`TubeScenario`] recipes, canonical
-//!   scenario hashing, shell/cold builders.
+//! - [`scenario`] — the deprecated [`TubeScenario`] shim; recipes now
+//!   live in [`apr_scenarios`] ([`ScenarioSpec`], registry, builders).
 //! - [`session`] — [`JobSpec`], [`SessionStatus`], [`SessionStats`],
 //!   [`SessionResult`].
 //! - [`cache`] — [`WarmCache`], the scenario-hash-keyed warm-state cache.
+//! - [`store`] — [`SpillStore`], the two-tier parked-checkpoint pool.
 //! - [`service`] — [`SimService`]: admission control, the round-robin
 //!   scheduler, worker leasing, preempt/park/resume.
 //! - [`metrics`] — [`ServiceMetrics`], the service-level aggregate view.
@@ -43,7 +53,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use apr_serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+//! use apr_serve::{JobSpec, ScenarioSpec, ServeConfig, SimService};
 //!
 //! let mut cfg = ServeConfig::new(2); // 2 workers
 //! cfg.slice_steps = 4;               // preempt every 4 steps
@@ -51,7 +61,7 @@
 //! for seed in 0..4 {
 //!     service
 //!         .submit(JobSpec {
-//!             scenario: TubeScenario::small(1), // one scenario: 3 warm hits
+//!             scenario: ScenarioSpec::tube_small(1), // one scenario: 3 warm hits
 //!             target_steps: 8 + seed,
 //!         })
 //!         .unwrap();
@@ -66,10 +76,14 @@ pub mod metrics;
 pub mod scenario;
 pub mod service;
 pub mod session;
+pub mod store;
 
 pub use apr_observe::{ProgressSample, Sample, ServiceSample};
+pub use apr_scenarios::{GeometrySpec, InletSpec, ScenarioSpec, WindowSpec};
 pub use cache::WarmCache;
 pub use metrics::ServiceMetrics;
+#[allow(deprecated)]
 pub use scenario::TubeScenario;
 pub use service::{AdmitError, ProgressSubscription, ServeConfig, SimService};
 pub use session::{JobSpec, SessionResult, SessionStats, SessionStatus};
+pub use store::SpillStore;

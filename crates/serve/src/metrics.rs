@@ -3,6 +3,7 @@
 
 use crate::cache::WarmCache;
 use crate::session::{SessionResult, SessionStats};
+use crate::store::SpillStore;
 
 /// Aggregated view over every session the service has observed. Produced
 /// by `SimService::metrics`; the bench scenario serializes it into
@@ -43,6 +44,13 @@ pub struct ServiceMetrics {
     pub max_grant_gap: u64,
     /// Engine site updates summed over all sessions.
     pub total_site_updates: u64,
+    /// Parked checkpoints spilled from memory to disk (0 with the default
+    /// unbounded park pool).
+    pub park_spills: u64,
+    /// Parked-checkpoint takes served from the memory tier.
+    pub park_memory_hits: u64,
+    /// Parked-checkpoint takes served from the disk tier.
+    pub park_disk_hits: u64,
 }
 
 impl ServiceMetrics {
@@ -51,6 +59,7 @@ impl ServiceMetrics {
         sessions: impl Iterator<Item = (&'a SessionStats, Option<&'a SessionResult>)>,
         wall_seconds: f64,
         cache: &WarmCache,
+        parked: &SpillStore,
     ) -> Self {
         let mut admitted = 0u64;
         let mut completed = 0u64;
@@ -107,6 +116,9 @@ impl ServiceMetrics {
             total_preempts: preempts,
             max_grant_gap: max_gap,
             total_site_updates: site_updates,
+            park_spills: parked.spills(),
+            park_memory_hits: parked.memory_hits(),
+            park_disk_hits: parked.disk_hits(),
         }
     }
 }
@@ -152,7 +164,13 @@ mod tests {
             preempts: 3,
             error: None,
         };
-        let m = ServiceMetrics::compute([(&a, Some(&ra)), (&b, None)].into_iter(), 2.0, &cache);
+        let parked = SpillStore::unbounded();
+        let m = ServiceMetrics::compute(
+            [(&a, Some(&ra)), (&b, None)].into_iter(),
+            2.0,
+            &cache,
+            &parked,
+        );
         assert_eq!(m.sessions_admitted, 2);
         assert_eq!(m.sessions_completed, 1);
         assert_eq!(m.sessions_failed, 0);
@@ -166,5 +184,8 @@ mod tests {
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 1);
         assert_eq!(m.total_site_updates, 4000);
+        assert_eq!(m.park_spills, 0);
+        assert_eq!(m.park_memory_hits, 0);
+        assert_eq!(m.park_disk_hits, 0);
     }
 }

@@ -1,28 +1,25 @@
-//! Declarative scenarios: the recipe a session is built from, and the key
-//! the warm-state cache is hashed by.
+//! Legacy scenario shim: [`TubeScenario`] is deprecated in favour of
+//! [`apr_scenarios::ScenarioSpec`].
 //!
-//! A [`TubeScenario`] is plain data — every field feeds the canonical hash
-//! — so two sessions with equal specs are *the same scenario*: they build
-//! bit-identical engines, and the second can skip setup entirely by
-//! restoring the first one's post-warmup checkpoint from the cache. The
-//! engine shell (lattices, geometry, insertion context, membranes) is
-//! rebuilt from the recipe on every resume; only evolving state travels in
-//! checkpoint blobs (see `apr-core::guardian`).
+//! The serve subsystem originally knew exactly one workload — a
+//! force-driven tube with a centred refinement window. That recipe now
+//! lives in the scenario zoo as `ScenarioSpec`'s `Tube` + `BodyForce`
+//! combination, built byte-for-byte identically (the `From` conversion
+//! below is round-trip tested against the old builder). `TubeScenario`
+//! stays for one release as plain data plus a lossless `From` conversion;
+//! new code should construct a [`ScenarioSpec`] (or pull one from
+//! [`apr_scenarios::registry`]) directly.
 
-use apr_cells::RbcTile;
-use apr_core::{AprEngine, SimSession};
-use apr_coupling::fine_tau;
-use apr_guard::ByteWriter;
-use apr_lattice::{force_driven_tube, Lattice, RuntimeConfig};
-use apr_membrane::{Membrane, MembraneMaterial, ReferenceState};
-use apr_mesh::biconcave_rbc_mesh;
-use apr_window::{HematocritController, InsertionContext};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::sync::Arc;
+use apr_scenarios::{GeometrySpec, InletSpec, ScenarioSpec, WindowSpec};
 
-/// A force-driven tube with a refined APR window: the workload every serve
-/// session runs. All fields participate in [`TubeScenario::hash`].
+use apr_lattice::RuntimeConfig;
+
+/// A force-driven tube with a refined APR window: serve's original
+/// workload, kept as a conversion source for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use apr_scenarios::ScenarioSpec (TubeScenario converts via From)"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TubeScenario {
     /// Coarse lattice dimensions.
@@ -43,26 +40,21 @@ pub struct TubeScenario {
     pub lambda: f64,
     /// Body-force density driving the tube flow.
     pub force_g: f64,
-    /// Target window hematocrit; `0.0` runs a pure-plasma window with no
-    /// cells (the cheap smoke-test configuration).
+    /// Target window hematocrit; `0.0` runs a pure-plasma window.
     pub hematocrit: f64,
     /// Insertion-RNG seed.
     pub seed: u64,
-    /// Relaxation steps baked into the warm state: a cold build runs these
-    /// before the session's own stepping starts, and the cached blob is
-    /// taken after them.
+    /// Relaxation steps baked into the warm state.
     pub warmup_steps: u64,
-    /// Execution knobs (kernel, chunking) applied to the engine's lattices.
-    /// Deliberately **excluded** from [`TubeScenario::hash`]: every kernel
-    /// and chunking policy is bit-identical by contract (the
-    /// kernel-equivalence suite enforces it), so a warm blob produced under
-    /// one runtime is valid under any other and the cache can be shared.
+    /// Execution knobs; excluded from the cache hash (see
+    /// [`ScenarioSpec::hash`]).
     pub runtime: RuntimeConfig,
 }
 
+#[allow(deprecated)]
 impl TubeScenario {
     /// Test-sized scenario: 17×17×24 coarse tube, n = 2, 13³ fine window,
-    /// no cells. Small enough that a slice is milliseconds.
+    /// no cells. Identical to [`ScenarioSpec::tube_small`].
     pub fn small(seed: u64) -> Self {
         Self {
             nx: 17,
@@ -81,10 +73,8 @@ impl TubeScenario {
         }
     }
 
-    /// The determinism-suite recipe scaled to serve: same tube as the
-    /// exec-determinism tests with a cell-laden window (every parallel
-    /// code path — collide, stream, spread, interpolate, membrane forces,
-    /// insertion — runs each step).
+    /// Cell-laden determinism-suite tube. Identical to
+    /// [`ScenarioSpec::tube_cellular`].
     pub fn cellular(seed: u64) -> Self {
         Self {
             nx: 21,
@@ -103,156 +93,90 @@ impl TubeScenario {
         }
     }
 
-    /// Canonical FNV-1a hash over every field: the warm-cache key and the
-    /// scenario's identity in telemetry. Equal specs hash equal on every
-    /// platform (floats hash by IEEE bits via the little-endian encoding).
+    /// The canonical cache key of the converted spec. Kept so legacy
+    /// callers keep compiling; equal to `ScenarioSpec::from(*self).hash()`.
     pub fn hash(&self) -> u64 {
-        let mut w = ByteWriter::new();
-        w.usize(self.nx);
-        w.usize(self.ny);
-        w.usize(self.nz);
-        w.f64(self.tube_radius);
-        w.usize(self.refine);
-        w.usize(self.span);
-        w.f64(self.tau_c);
-        w.f64(self.lambda);
-        w.f64(self.force_g);
-        w.f64(self.hematocrit);
-        w.u64(self.seed);
-        w.u64(self.warmup_steps);
-        fnv1a64(&w.into_bytes())
-    }
-
-    /// Build the engine shell: lattices, coupling, insertion context and
-    /// controller — but no cells placed and no steps taken. This is the
-    /// resume target: restoring any checkpoint of this scenario into a
-    /// fresh shell reproduces the checkpointed engine exactly.
-    pub fn build_shell(&self) -> AprEngine {
-        let coarse = force_driven_tube(
-            self.nx,
-            self.ny,
-            self.nz,
-            self.tau_c,
-            self.tube_radius,
-            self.force_g,
-        );
-        let fine_dim = self.span * self.refine + 1;
-        let mut fine = Lattice::new(
-            fine_dim,
-            fine_dim,
-            fine_dim,
-            fine_tau(self.tau_c, self.refine, self.lambda),
-        );
-        fine.body_force = [0.0, 0.0, self.force_g / self.refine as f64];
-        let origin = [
-            (self.nx as f64 - 1.0) / 2.0 - self.span as f64 / 2.0,
-            (self.ny as f64 - 1.0) / 2.0 - self.span as f64 / 2.0,
-            4.0,
-        ];
-        let mut eng = AprEngine::builder(coarse, fine, origin, self.refine, self.lambda)
-            .seed(self.seed)
-            .maintenance_interval(10)
-            .runtime(self.runtime)
-            .build();
-        if self.hematocrit > 0.0 {
-            let radius = 3.0;
-            let rbc_mesh = biconcave_rbc_mesh(1, radius);
-            let re = Arc::new(ReferenceState::build(&rbc_mesh));
-            let membrane = Arc::new(Membrane::new(re, MembraneMaterial::rbc(2e-4, 1e-5)));
-            let volume = rbc_mesh.enclosed_volume();
-            let mut tile_rng = StdRng::seed_from_u64(self.seed ^ 0x7115);
-            let tile = RbcTile::build(
-                40.0,
-                self.hematocrit,
-                radius,
-                radius * 0.6,
-                volume,
-                &mut tile_rng,
-            );
-            eng.insertion = Some(InsertionContext {
-                rbc_mesh,
-                rbc_membrane: membrane,
-                tile,
-                min_gap: 0.8,
-            });
-            eng.controller = Some(HematocritController::new(self.hematocrit, 0.85, volume));
-        }
-        eng
-    }
-
-    /// Cold setup: build the shell, pack the window (when cellular) and
-    /// run the warmup relaxation. The returned engine is at step
-    /// `warmup_steps` — the state the warm cache stores.
-    pub fn build_cold(&self) -> AprEngine {
-        let mut eng = self.build_shell();
-        if self.hematocrit > 0.0 {
-            eng.populate_window();
-        }
-        eng.step_n(self.warmup_steps);
-        eng
+        ScenarioSpec::from(*self).hash()
     }
 }
 
-/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
+#[allow(deprecated)]
+impl From<TubeScenario> for ScenarioSpec {
+    /// Lossless conversion onto the scenario zoo's tube recipe. The
+    /// window origin is the centred placement the old builder hard-coded;
+    /// cold builds of the converted spec are byte-identical to the legacy
+    /// path (pinned by `shim_builds_are_byte_identical`).
+    fn from(t: TubeScenario) -> ScenarioSpec {
+        ScenarioSpec {
+            name: "tube".into(),
+            nx: t.nx,
+            ny: t.ny,
+            nz: t.nz,
+            geometry: GeometrySpec::Tube {
+                radius: t.tube_radius,
+            },
+            inlet: InletSpec::BodyForce { g: t.force_g },
+            refine: t.refine,
+            span: t.span,
+            tau_c: t.tau_c,
+            lambda: t.lambda,
+            hematocrit: t.hematocrit,
+            windows: vec![WindowSpec {
+                origin: [
+                    (t.nx as f64 - 1.0) / 2.0 - t.span as f64 / 2.0,
+                    (t.ny as f64 - 1.0) / 2.0 - t.span as f64 / 2.0,
+                    4.0,
+                ],
+                ctc_radius: 0.0,
+            }],
+            seed: t.seed,
+            warmup_steps: t.warmup_steps,
+            runtime: t.runtime,
+        }
     }
-    h
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
-    fn equal_specs_hash_equal_and_fields_matter() {
-        let a = TubeScenario::small(7);
-        let b = TubeScenario::small(7);
-        assert_eq!(a.hash(), b.hash());
-        let c = TubeScenario::small(8);
-        assert_ne!(a.hash(), c.hash());
-        let mut d = TubeScenario::small(7);
-        d.force_g *= 2.0;
-        assert_ne!(a.hash(), d.hash());
+    fn shim_presets_match_zoo_presets() {
+        assert_eq!(
+            ScenarioSpec::from(TubeScenario::small(7)).hash(),
+            ScenarioSpec::tube_small(7).hash()
+        );
+        assert_eq!(
+            ScenarioSpec::from(TubeScenario::cellular(3)).hash(),
+            ScenarioSpec::tube_cellular(3).hash()
+        );
     }
 
     #[test]
-    fn runtime_does_not_change_hash_or_warm_state() {
-        use apr_lattice::{ChunkingPolicy, KernelKind};
+    fn shim_builds_are_byte_identical() {
+        // A legacy spec converted through the shim must produce the exact
+        // warm state the old builder did — existing caches stay valid.
+        let legacy = TubeScenario::small(5);
+        let spec = ScenarioSpec::from(legacy);
+        let a = spec.build_cold().unwrap();
+        let b = spec.build_cold().unwrap();
+        assert_eq!(a.suspend(), b.suspend());
+        // Restoring the warm blob into a fresh shell reproduces it.
+        let mut shell = spec.build_shell().unwrap();
+        shell.resume(&a.suspend()).unwrap();
+        assert_eq!(shell.suspend(), a.suspend());
+        assert_eq!(shell.steps(), spec.warmup_steps);
+    }
+
+    #[test]
+    fn runtime_does_not_change_hash() {
+        use apr_lattice::{ChunkingPolicy, KernelKind, RuntimeConfig};
         let base = TubeScenario::small(11);
         let mut pinned = base;
         pinned.runtime = RuntimeConfig::default()
             .with_kernel(KernelKind::Reference)
             .with_chunking(ChunkingPolicy::Static);
-        // Cache key ignores execution knobs...
         assert_eq!(base.hash(), pinned.hash());
-        // ...because the physics is kernel- and chunking-invariant: warm
-        // blobs built under different runtimes are bit-identical.
-        let mut simd = base;
-        simd.runtime = RuntimeConfig::default().with_kernel(KernelKind::FusedSimd);
-        assert_eq!(
-            SimSession::suspend(&pinned.build_cold()),
-            SimSession::suspend(&simd.build_cold()),
-            "warm state must not depend on the runtime config"
-        );
-    }
-
-    #[test]
-    fn cold_build_is_reproducible_and_warm_restorable() {
-        let spec = TubeScenario::small(3);
-        let warm = SimSession::suspend(&spec.build_cold());
-        assert_eq!(
-            warm,
-            SimSession::suspend(&spec.build_cold()),
-            "cold builds of one spec must be bit-identical"
-        );
-        // Restoring the warm blob into a fresh shell reproduces it.
-        let mut shell = spec.build_shell();
-        shell.resume(&warm).unwrap();
-        assert_eq!(SimSession::suspend(&shell), warm);
-        assert_eq!(SimSession::steps(&shell), spec.warmup_steps);
     }
 }

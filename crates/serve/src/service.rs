@@ -32,9 +32,10 @@
 use crate::cache::WarmCache;
 use crate::metrics::ServiceMetrics;
 use crate::session::{JobSpec, SessionResult, SessionStats, SessionStatus};
+use crate::store::SpillStore;
 use apr_core::SimSession;
 use apr_exec::WorkerBudget;
-use apr_guard::{CheckpointStore, MemoryStore};
+use apr_guard::FileStore;
 use apr_observe::{hub, ProgressSample, Sample, ServiceSample, Subscription};
 use apr_telemetry::TelemetryEvent;
 use std::collections::{HashMap, VecDeque};
@@ -58,11 +59,17 @@ pub struct ServeConfig {
     pub max_sessions: usize,
     /// Warm-state cache capacity in scenarios.
     pub cache_capacity: usize,
+    /// Byte cap on parked checkpoints held in memory. Beyond it the
+    /// oldest-parked blobs spill to an atomic-write file store in a
+    /// service-private temp directory (see [`crate::SpillStore`]).
+    /// `usize::MAX` (the default) never spills and never touches disk.
+    pub park_bytes_cap: usize,
 }
 
 impl ServeConfig {
     /// Config for `workers` single-lane workers with serve defaults:
-    /// 10-step slices, 64-session admission cap, 8-scenario cache.
+    /// 10-step slices, 64-session admission cap, 8-scenario cache,
+    /// unbounded in-memory parking.
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
@@ -70,6 +77,7 @@ impl ServeConfig {
             slice_steps: 10,
             max_sessions: 64,
             cache_capacity: 8,
+            park_bytes_cap: usize::MAX,
         }
     }
 }
@@ -86,6 +94,10 @@ pub enum AdmitError {
     },
     /// The service is shutting down.
     ShuttingDown,
+    /// The job's scenario failed [`apr_scenarios::ScenarioSpec::validate`]
+    /// (bad physics parameters, out-of-bounds or overlapping windows).
+    /// Rejected at admission so a doomed build never occupies a worker.
+    InvalidScenario,
 }
 
 impl std::fmt::Display for AdmitError {
@@ -95,6 +107,9 @@ impl std::fmt::Display for AdmitError {
                 write!(f, "admission refused: {inflight}/{max} sessions in flight")
             }
             AdmitError::ShuttingDown => write!(f, "admission refused: service shutting down"),
+            AdmitError::InvalidScenario => {
+                write!(f, "admission refused: scenario spec failed validation")
+            }
         }
     }
 }
@@ -114,8 +129,9 @@ struct State {
     next_id: u64,
     queue: VecDeque<u64>,
     sessions: HashMap<u64, SessionEntry>,
-    /// Parked checkpoints of preempted sessions, keyed `session-<id>`.
-    parked: MemoryStore,
+    /// Parked checkpoints of preempted sessions, keyed `session-<id>`;
+    /// memory-resident up to `park_bytes_cap`, spilled to disk beyond.
+    parked: SpillStore,
     /// Global slice-grant counter (fairness clock).
     grants: u64,
     inflight: usize,
@@ -204,18 +220,37 @@ pub struct SimService {
     config: ServeConfig,
     workers: Vec<JoinHandle<()>>,
     started: Instant,
+    /// Spill directory for parked checkpoints; removed on shutdown.
+    spill_dir: Option<std::path::PathBuf>,
 }
 
 impl SimService {
     /// Start the service: spawns `config.workers` scheduler threads
     /// sharing a `workers × lanes_per_worker`-lane budget.
     pub fn start(config: ServeConfig) -> Self {
+        // A finite park cap needs somewhere to spill: a service-private
+        // temp directory, removed on shutdown.
+        let spill_dir = (config.park_bytes_cap < usize::MAX).then(|| {
+            static INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            std::env::temp_dir().join(format!(
+                "apr-serve-spill-{}-{}",
+                std::process::id(),
+                INSTANCE.fetch_add(1, Ordering::Relaxed)
+            ))
+        });
+        let parked = match &spill_dir {
+            Some(dir) => SpillStore::new(
+                config.park_bytes_cap,
+                Some(FileStore::open(dir).expect("create spill directory")),
+            ),
+            None => SpillStore::unbounded(),
+        };
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 next_id: 0,
                 queue: VecDeque::new(),
                 sessions: HashMap::new(),
-                parked: MemoryStore::new(),
+                parked,
                 grants: 0,
                 inflight: 0,
             }),
@@ -243,6 +278,7 @@ impl SimService {
             config,
             workers,
             started: Instant::now(),
+            spill_dir,
         }
     }
 
@@ -267,6 +303,9 @@ impl SimService {
     pub fn submit(&self, spec: JobSpec) -> Result<u64, AdmitError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(AdmitError::ShuttingDown);
+        }
+        if spec.scenario.validate().is_err() {
+            return Err(AdmitError::InvalidScenario);
         }
         let mut st = self.shared.state.lock().unwrap();
         if st.inflight >= self.config.max_sessions {
@@ -391,6 +430,7 @@ impl SimService {
             st.sessions.values().map(|e| (&e.stats, e.result.as_ref())),
             self.started.elapsed().as_secs_f64(),
             &self.shared.cache,
+            &st.parked,
         )
     }
 
@@ -405,6 +445,9 @@ impl SimService {
         // Unblock any wait()/wait_all() callers stuck on sessions that
         // will now never complete.
         self.shared.done.notify_all();
+        if let Some(dir) = &self.spill_dir {
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 }
 
@@ -470,7 +513,7 @@ fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfi
         let parked = st
             .parked
             .take(&park_key(id))
-            .expect("memory store take is infallible");
+            .expect("parked checkpoint retrieval failed");
         let entry = st.sessions.get_mut(&id).expect("queued session exists");
         entry.status = SessionStatus::Running;
         if entry.stats.last_grant != 0 {
@@ -479,7 +522,7 @@ fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfi
         }
         entry.stats.last_grant = grant;
         entry.stats.resumes += 1;
-        let spec = entry.spec;
+        let spec = entry.spec.clone();
         let steps_done = entry.steps_done;
         drop(st);
 
@@ -541,7 +584,7 @@ fn worker_loop(shared: &Arc<Shared>, budget: &Arc<WorkerBudget>, cfg: ServeConfi
                     let blob = out.parked.expect("preempted slice parks a checkpoint");
                     st.parked
                         .put(&park_key(id), blob)
-                        .expect("memory store put is infallible");
+                        .expect("parking a checkpoint failed");
                     st.queue.push_back(id);
                     drop(st);
                     hub().publish(Sample::Progress(progress));
@@ -599,12 +642,15 @@ fn run_slice(
 
     let mut engine: Box<dyn SimSession> = if let Some(blob) = parked {
         let t = Instant::now();
-        let mut shell = spec.scenario.build_shell();
+        let mut shell = spec
+            .scenario
+            .build_shell()
+            .expect("admitted scenario must build a shell");
         shell
             .resume(&blob)
             .expect("parked checkpoint must restore into its own recipe");
         resume_ns = t.elapsed().as_nanos() as u64;
-        Box::new(shell)
+        shell
     } else {
         let t = Instant::now();
         let eng = match cache.lookup(scenario) {
@@ -614,7 +660,10 @@ fn run_slice(
                     session: id,
                     scenario,
                 });
-                let mut shell = spec.scenario.build_shell();
+                let mut shell = spec
+                    .scenario
+                    .build_shell()
+                    .expect("admitted scenario must build a shell");
                 shell
                     .resume(&warm)
                     .expect("warm checkpoint must restore into its own recipe");
@@ -626,13 +675,16 @@ fn run_slice(
                     session: id,
                     scenario,
                 });
-                let eng = spec.scenario.build_cold();
-                cache.insert(scenario, SimSession::suspend(&eng));
+                let eng = spec
+                    .scenario
+                    .build_cold()
+                    .expect("admitted scenario must build cold");
+                cache.insert(scenario, eng.suspend());
                 eng
             }
         };
         setup_ns = t.elapsed().as_nanos() as u64;
-        Box::new(eng)
+        eng
     };
     apr_telemetry::emit(TelemetryEvent::SessionResumed {
         session: id,

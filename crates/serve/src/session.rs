@@ -1,16 +1,18 @@
 //! Session records: what a job asked for, where it is, and what it
 //! produced.
 
-use crate::scenario::TubeScenario;
+use apr_scenarios::ScenarioSpec;
 use std::time::{Duration, Instant};
 
 /// What a client submits: a scenario plus how long to run it. The target
 /// counts *session* steps — warmup (cold-built or restored warm) is
-/// setup, not progress.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// setup, not progress. Any zoo scenario is a valid job, including
+/// multi-window specs (the shell behind the scheduler is a
+/// `Box<dyn SimSession>` either way).
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// The scenario to run.
-    pub scenario: TubeScenario,
+    pub scenario: ScenarioSpec,
     /// Steps to run beyond the scenario's warmup.
     pub target_steps: u64,
 }

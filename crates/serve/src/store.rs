@@ -1,0 +1,190 @@
+//! Parked-checkpoint placement: memory first, disk beyond a byte cap.
+//!
+//! The preempt hot path parks suspended sessions in a [`MemoryStore`] —
+//! no disk I/O, byte-identical round trips. But parked state is resident
+//! memory, and admission control alone only bounds the *count* of parked
+//! sessions, not their bytes (a cellular scenario's checkpoint is orders
+//! of magnitude larger than a plasma one's). [`SpillStore`] adds the
+//! byte-bound: parked blobs live in memory until the pool exceeds
+//! `cap_bytes`, at which point the **oldest-parked** blobs spill to an
+//! atomic-write [`FileStore`] until the pool fits again. Retrieval checks
+//! memory first, then disk; blobs come back byte-identical from either
+//! tier (the determinism contract does not care where a blob slept).
+//!
+//! Spill order is park order (FIFO), not size or key order: the
+//! longest-parked session is the least likely to be granted next under
+//! round-robin, so it pays the disk round-trip.
+
+use apr_guard::{CheckpointStore, FileStore, GuardError, MemoryStore};
+use std::collections::VecDeque;
+
+/// A two-tier parked-checkpoint store: bounded memory atop an optional
+/// disk spill directory.
+#[derive(Debug)]
+pub struct SpillStore {
+    memory: MemoryStore,
+    disk: Option<FileStore>,
+    cap_bytes: usize,
+    /// Keys currently in memory, oldest parked first.
+    order: VecDeque<String>,
+    spills: u64,
+    memory_hits: u64,
+    disk_hits: u64,
+}
+
+impl SpillStore {
+    /// Memory-only store (cap `usize::MAX`, nothing ever spills).
+    pub fn unbounded() -> Self {
+        Self::new(usize::MAX, None)
+    }
+
+    /// Store keeping at most `cap_bytes` parked bytes in memory; the
+    /// overflow spills to `disk` (oldest first). A `None` disk with a
+    /// finite cap parks everything in memory anyway — the cap needs a
+    /// spill target to act on.
+    pub fn new(cap_bytes: usize, disk: Option<FileStore>) -> Self {
+        Self {
+            memory: MemoryStore::new(),
+            disk,
+            cap_bytes,
+            order: VecDeque::new(),
+            spills: 0,
+            memory_hits: 0,
+            disk_hits: 0,
+        }
+    }
+
+    /// Park a blob. Inserts into memory, then spills oldest-parked blobs
+    /// to disk until the memory pool is back under the cap.
+    pub fn put(&mut self, key: &str, blob: Vec<u8>) -> Result<(), GuardError> {
+        self.order.retain(|k| k != key);
+        self.memory.put(key, blob)?;
+        self.order.push_back(key.to_string());
+        while self.memory.total_bytes() > self.cap_bytes && self.order.len() > 1 {
+            let Some(disk) = self.disk.as_mut() else {
+                break;
+            };
+            let oldest = self.order.pop_front().expect("non-empty order");
+            let blob = self
+                .memory
+                .take(&oldest)?
+                .expect("ordered key is in memory");
+            disk.put(&oldest, blob)?;
+            self.spills += 1;
+        }
+        Ok(())
+    }
+
+    /// Retrieve and remove a parked blob: memory first, then disk.
+    pub fn take(&mut self, key: &str) -> Result<Option<Vec<u8>>, GuardError> {
+        if let Some(blob) = self.memory.take(key)? {
+            self.order.retain(|k| k != key);
+            self.memory_hits += 1;
+            return Ok(Some(blob));
+        }
+        if let Some(disk) = self.disk.as_mut() {
+            if let Some(blob) = disk.take(key)? {
+                self.disk_hits += 1;
+                return Ok(Some(blob));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Parked bytes currently resident in memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory.total_bytes()
+    }
+
+    /// Blobs spilled to disk over the store's lifetime.
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+
+    /// Takes served from the memory tier.
+    pub fn memory_hits(&self) -> u64 {
+        self.memory_hits
+    }
+
+    /// Takes served from the disk tier.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(tag: u8, len: usize) -> Vec<u8> {
+        vec![tag; len]
+    }
+
+    fn spill_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("apr-serve-spill-test-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn unbounded_store_never_spills() {
+        let mut store = SpillStore::unbounded();
+        for i in 0..8u8 {
+            store.put(&format!("s{i}"), blob(i, 1000)).unwrap();
+        }
+        assert_eq!(store.spills(), 0);
+        assert_eq!(store.memory_bytes(), 8000);
+        assert_eq!(store.take("s3").unwrap(), Some(blob(3, 1000)));
+        assert_eq!(store.memory_hits(), 1);
+        assert_eq!(store.disk_hits(), 0);
+    }
+
+    #[test]
+    fn oldest_blobs_spill_past_the_cap_and_round_trip() {
+        let dir = spill_dir("roundtrip");
+        let disk = FileStore::open(&dir).unwrap();
+        // Cap fits two 1000-byte blobs; the third park spills the oldest.
+        let mut store = SpillStore::new(2000, Some(disk));
+        store.put("a", blob(1, 1000)).unwrap();
+        store.put("b", blob(2, 1000)).unwrap();
+        assert_eq!(store.spills(), 0);
+        store.put("c", blob(3, 1000)).unwrap();
+        assert_eq!(store.spills(), 1, "oldest blob (a) spills");
+        assert!(store.memory_bytes() <= 2000);
+
+        // Disk tier returns the identical bytes; memory tier still serves
+        // the resident blobs.
+        assert_eq!(store.take("a").unwrap(), Some(blob(1, 1000)));
+        assert_eq!(store.disk_hits(), 1);
+        assert_eq!(store.take("b").unwrap(), Some(blob(2, 1000)));
+        assert_eq!(store.take("c").unwrap(), Some(blob(3, 1000)));
+        assert_eq!(store.memory_hits(), 2);
+        assert_eq!(store.take("a").unwrap(), None, "take removes from disk");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finite_cap_without_disk_keeps_blobs_in_memory() {
+        let mut store = SpillStore::new(100, None);
+        store.put("a", blob(1, 1000)).unwrap();
+        store.put("b", blob(2, 1000)).unwrap();
+        assert_eq!(store.spills(), 0);
+        assert_eq!(store.take("a").unwrap(), Some(blob(1, 1000)));
+    }
+
+    #[test]
+    fn reparking_a_key_refreshes_its_age() {
+        let dir = spill_dir("repark");
+        let mut store = SpillStore::new(2000, Some(FileStore::open(&dir).unwrap()));
+        store.put("a", blob(1, 1000)).unwrap();
+        store.put("b", blob(2, 1000)).unwrap();
+        // Re-park "a": it becomes youngest, so the next spill evicts "b".
+        store.put("a", blob(9, 1000)).unwrap();
+        store.put("c", blob(3, 1000)).unwrap();
+        assert_eq!(store.take("b").unwrap(), Some(blob(2, 1000)));
+        assert_eq!(store.disk_hits(), 1, "b went to disk, not a");
+        assert_eq!(store.take("a").unwrap(), Some(blob(9, 1000)));
+        assert_eq!(store.memory_hits(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,30 +6,30 @@
 //! lane counts 1 and 4. This is the serve subsystem's core contract:
 //! scheduling is not allowed to perturb a single bit of simulation state.
 
-use apr_core::SimSession;
-use apr_serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+use apr_serve::{JobSpec, ScenarioSpec, ServeConfig, SimService};
 
 /// Straight-through reference: cold build + `target` steps, no service.
-fn straight_through(scenario: TubeScenario, target: u64) -> Vec<u8> {
-    let mut eng = scenario.build_cold();
+fn straight_through(scenario: &ScenarioSpec, target: u64) -> Vec<u8> {
+    let mut eng = scenario.build_cold().unwrap();
     eng.step_n(target);
-    SimSession::suspend(&eng)
+    eng.suspend()
 }
 
 /// Run one session through the service with `slice_steps` forcing ~10
 /// preemptions, and return its final checkpoint.
-fn serve_preempted(scenario: TubeScenario, target: u64, lanes: usize) -> (Vec<u8>, u64) {
+fn serve_preempted(scenario: &ScenarioSpec, target: u64, lanes: usize) -> (Vec<u8>, u64) {
     let config = ServeConfig {
         workers: 2,
         lanes_per_worker: lanes,
         slice_steps: target / 10, // ≥ 10 slices → ≥ 9 preemptions
         max_sessions: 8,
         cache_capacity: 4,
+        park_bytes_cap: usize::MAX,
     };
     let service = SimService::start(config);
     let id = service
         .submit(JobSpec {
-            scenario,
+            scenario: scenario.clone(),
             target_steps: target,
         })
         .unwrap();
@@ -39,7 +39,7 @@ fn serve_preempted(scenario: TubeScenario, target: u64, lanes: usize) -> (Vec<u8
     (result.final_checkpoint, result.preempts)
 }
 
-fn preempted_matches_straight_through(scenario: TubeScenario, target: u64) {
+fn preempted_matches_straight_through(scenario: &ScenarioSpec, target: u64) {
     let reference = straight_through(scenario, target);
     for lanes in [1usize, 4] {
         let (served, preempts) = serve_preempted(scenario, target, lanes);
@@ -56,21 +56,21 @@ fn preempted_matches_straight_through(scenario: TubeScenario, target: u64) {
 
 #[test]
 fn preempted_session_is_bit_identical_plasma() {
-    preempted_matches_straight_through(TubeScenario::small(11), 40);
+    preempted_matches_straight_through(&ScenarioSpec::tube_small(11), 40);
 }
 
 #[test]
 fn preempted_session_is_bit_identical_cellular() {
     // Cell-laden window: membranes, IBM spread/interpolate, insertion and
     // the hematocrit controller all run under preemption.
-    preempted_matches_straight_through(TubeScenario::cellular(5), 30);
+    preempted_matches_straight_through(&ScenarioSpec::tube_cellular(5), 30);
 }
 
 #[test]
 fn warm_cache_restore_is_bit_identical_to_cold_build() {
     // Two identical sessions in one service: the second restores from the
     // warm cache and must end at exactly the same bytes as the first.
-    let scenario = TubeScenario::small(23);
+    let scenario = ScenarioSpec::tube_small(23);
     let target = 24;
     let config = ServeConfig {
         workers: 1, // serialize so session 2 deterministically hits the cache
@@ -78,18 +78,19 @@ fn warm_cache_restore_is_bit_identical_to_cold_build() {
         slice_steps: 6,
         max_sessions: 4,
         cache_capacity: 2,
+        park_bytes_cap: usize::MAX,
     };
     let service = SimService::start(config);
     let a = service
         .submit(JobSpec {
-            scenario,
+            scenario: scenario.clone(),
             target_steps: target,
         })
         .unwrap();
     let ra = service.wait(a).unwrap();
     let b = service
         .submit(JobSpec {
-            scenario,
+            scenario: scenario.clone(),
             target_steps: target,
         })
         .unwrap();
@@ -100,5 +101,5 @@ fn warm_cache_restore_is_bit_identical_to_cold_build() {
         ra.final_checkpoint, rb.final_checkpoint,
         "warm-started session diverged from cold-started"
     );
-    assert_eq!(ra.final_checkpoint, straight_through(scenario, target));
+    assert_eq!(ra.final_checkpoint, straight_through(&scenario, target));
 }

@@ -6,7 +6,9 @@
 //! share scenarios, identical specs produce identical results, and
 //! admission control refuses work past the cap.
 
-use apr_serve::{AdmitError, JobSpec, ServeConfig, SimService, TubeScenario};
+use apr_serve::{
+    AdmitError, GeometrySpec, InletSpec, JobSpec, ScenarioSpec, ServeConfig, SimService,
+};
 
 #[test]
 fn sixteen_sessions_on_four_workers_complete_fairly() {
@@ -19,16 +21,17 @@ fn sixteen_sessions_on_four_workers_complete_fairly() {
         slice_steps: 5, // 4 slices per session → heavy interleaving
         max_sessions: sessions as usize,
         cache_capacity: 4,
+        park_bytes_cap: usize::MAX,
     };
     let service = SimService::start(config);
 
     // Two alternating scenarios: 16 lookups over 2 distinct hashes.
-    let scenarios = [TubeScenario::small(1), TubeScenario::small(2)];
+    let scenarios = [ScenarioSpec::tube_small(1), ScenarioSpec::tube_small(2)];
     let ids: Vec<u64> = (0..sessions)
         .map(|i| {
             service
                 .submit(JobSpec {
-                    scenario: scenarios[(i % 2) as usize],
+                    scenario: scenarios[(i % 2) as usize].clone(),
                     target_steps: target,
                 })
                 .unwrap()
@@ -115,17 +118,18 @@ fn admission_control_refuses_past_the_cap() {
         slice_steps: 4,
         max_sessions: 3,
         cache_capacity: 2,
+        park_bytes_cap: usize::MAX,
     };
     let service = SimService::start(config);
     let spec = JobSpec {
-        scenario: TubeScenario::small(9),
+        scenario: ScenarioSpec::tube_small(9),
         target_steps: 12,
     };
     let mut admitted = Vec::new();
     for _ in 0..3 {
-        admitted.push(service.submit(spec).unwrap());
+        admitted.push(service.submit(spec.clone()).unwrap());
     }
-    match service.submit(spec) {
+    match service.submit(spec.clone()) {
         Err(AdmitError::Saturated { inflight, max }) => {
             assert_eq!(max, 3);
             assert!(inflight >= 1);
@@ -139,21 +143,49 @@ fn admission_control_refuses_past_the_cap() {
 }
 
 #[test]
+fn admission_control_refuses_invalid_specs() {
+    // Malformed physics never reaches a worker: validation runs at submit.
+    let config = ServeConfig::new(1);
+    let service = SimService::start(config);
+    let mut bad = ScenarioSpec::tube_small(1);
+    bad.tau_c = 0.4; // tau ≤ 1/2 is unphysical; validate() rejects it
+    match service.submit(JobSpec {
+        scenario: bad,
+        target_steps: 8,
+    }) {
+        Err(AdmitError::InvalidScenario) => {}
+        other => panic!("expected InvalidScenario, got {other:?}"),
+    }
+}
+
+#[test]
 fn a_panicking_session_does_not_poison_the_service() {
-    // An unphysical relaxation time trips `Lattice::new`'s `tau > 1/2`
-    // assertion during the doomed session's cold build — inside the slice's
-    // catch_unwind. The session must complete with an error while a healthy
-    // session sharing the service still finishes.
+    // A tree whose root segment is longer than the domain passes spec
+    // validation (the spec cannot know where the grown tree's outlets
+    // land) but trips `open_tree_flow`'s "no outlet nodes stamped"
+    // assertion during the doomed session's cold build — inside the
+    // slice's catch_unwind. The session must complete with an error while
+    // a healthy session sharing the service still finishes.
     let config = ServeConfig {
         workers: 2,
         lanes_per_worker: 1,
         slice_steps: 4,
         max_sessions: 4,
         cache_capacity: 2,
+        park_bytes_cap: usize::MAX,
     };
     let service = SimService::start(config);
-    let mut bad_scenario = TubeScenario::small(1);
-    bad_scenario.tau_c = 0.4; // tau ≤ 1/2: Lattice::new panics
+    let mut bad_scenario = ScenarioSpec::tube_small(1);
+    bad_scenario.name = "tree_overrun".into();
+    bad_scenario.geometry = GeometrySpec::Tree {
+        levels: 1,
+        root_radius: 4.0,
+        root_length: 60.0, // nz = 24: the root exits the domain, no outlets
+        branch_angle: 0.45,
+        asymmetry: 0.5,
+    };
+    bad_scenario.inlet = InletSpec::Poiseuille { u_max: 0.02 };
+    assert!(bad_scenario.validate().is_ok(), "spec-level checks pass");
     let bad = service
         .submit(JobSpec {
             scenario: bad_scenario,
@@ -162,7 +194,7 @@ fn a_panicking_session_does_not_poison_the_service() {
         .unwrap();
     let good = service
         .submit(JobSpec {
-            scenario: TubeScenario::small(4),
+            scenario: ScenarioSpec::tube_small(4),
             target_steps: 8,
         })
         .unwrap();

@@ -1,0 +1,69 @@
+//! Satellite: parked checkpoints spill to disk past the byte cap and the
+//! physics never notices.
+//!
+//! A tiny `park_bytes_cap` forces every preempt to push the oldest parked
+//! blob to the disk tier. Sessions must still complete at their exact
+//! targets with final checkpoints byte-identical to an unconstrained
+//! service, and the spill counters must show the disk tier actually
+//! carried traffic.
+
+use apr_serve::{JobSpec, ScenarioSpec, ServeConfig, SimService};
+
+fn run_sessions(park_bytes_cap: usize) -> (Vec<Vec<u8>>, apr_serve::ServiceMetrics) {
+    let config = ServeConfig {
+        workers: 1, // serialize grants: parked pool deterministically fills
+        lanes_per_worker: 1,
+        slice_steps: 5,
+        max_sessions: 4,
+        cache_capacity: 2,
+        park_bytes_cap,
+    };
+    let mut service = SimService::start(config);
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            service
+                .submit(JobSpec {
+                    scenario: ScenarioSpec::tube_small(40 + i),
+                    target_steps: 20,
+                })
+                .unwrap()
+        })
+        .collect();
+    let mut finals = Vec::new();
+    for id in ids {
+        let r = service.wait(id).expect("session exists");
+        assert_eq!(r.error, None, "session {} failed", r.session);
+        assert_eq!(r.steps, 20);
+        assert!(r.preempts >= 3, "small slices must preempt each session");
+        finals.push(r.final_checkpoint);
+    }
+    let metrics = service.metrics();
+    service.shutdown();
+    (finals, metrics)
+}
+
+#[test]
+fn parked_checkpoints_spill_to_disk_and_round_trip() {
+    // Unbounded pool: the in-memory reference behaviour.
+    let (reference, unbounded) = run_sessions(usize::MAX);
+    assert_eq!(unbounded.park_spills, 0, "unbounded pool never spills");
+    assert_eq!(unbounded.park_disk_hits, 0);
+    assert!(unbounded.park_memory_hits > 0, "preempts park and resume");
+
+    // A cap far below one parked checkpoint: every park evicts the
+    // previous tenant to disk (the newest blob always stays resident).
+    let (spilled, capped) = run_sessions(1024);
+    assert!(
+        capped.park_spills > 0,
+        "cap of 1 KiB must force spills (got {:?})",
+        capped.park_spills
+    );
+    assert!(
+        capped.park_disk_hits > 0,
+        "resumes must have been served from the disk tier"
+    );
+    assert_eq!(
+        reference, spilled,
+        "disk-tier round trips changed simulation bytes"
+    );
+}

@@ -2,7 +2,7 @@
 //! observability hub, and `subscribe_progress` delivers them in order
 //! with a final completion sample — no polling required.
 
-use apr_serve::{JobSpec, ProgressSample, ServeConfig, SimService, TubeScenario};
+use apr_serve::{JobSpec, ProgressSample, ScenarioSpec, ServeConfig, SimService};
 use std::time::Duration;
 
 fn collect_until_complete(
@@ -34,7 +34,7 @@ fn every_slice_streams_a_progress_sample() {
     let sub = service.subscribe_progress(None);
     let id = service
         .submit(JobSpec {
-            scenario: TubeScenario::small(71),
+            scenario: ScenarioSpec::tube_small(71),
             target_steps: 12,
         })
         .expect("admission");
@@ -70,14 +70,14 @@ fn session_filter_drops_other_sessions() {
     let sub = service.subscribe_progress(Some(1));
     let a = service
         .submit(JobSpec {
-            scenario: TubeScenario::small(72),
+            scenario: ScenarioSpec::tube_small(72),
             target_steps: 8,
         })
         .expect("admission");
     assert_eq!(a, 1);
     let _b = service
         .submit(JobSpec {
-            scenario: TubeScenario::small(73),
+            scenario: ScenarioSpec::tube_small(73),
             target_steps: 8,
         })
         .expect("admission");

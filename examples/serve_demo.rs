@@ -15,7 +15,7 @@
 //! cargo run --release --example serve_demo
 //! ```
 
-use apr_suite::serve::{JobSpec, ServeConfig, SimService, TubeScenario};
+use apr_suite::serve::{JobSpec, ScenarioSpec, ServeConfig, SimService};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -26,6 +26,7 @@ fn main() {
         slice_steps: 8,
         max_sessions: 16,
         cache_capacity: 8,
+        park_bytes_cap: usize::MAX,
     };
     println!(
         "serve_demo: 8 sessions on {} workers x {} lanes, {}-step slices",
@@ -43,7 +44,7 @@ fn main() {
         for seed in 0..4u64 {
             let id = service
                 .submit(JobSpec {
-                    scenario: TubeScenario::small(seed),
+                    scenario: ScenarioSpec::tube_small(seed),
                     target_steps: 32,
                 })
                 .expect("admission");

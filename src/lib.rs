@@ -17,6 +17,7 @@ pub use apr_membrane as membrane;
 pub use apr_mesh as mesh;
 pub use apr_parallel as parallel;
 pub use apr_perfmodel as perfmodel;
+pub use apr_scenarios as scenarios;
 pub use apr_serve as serve;
 pub use apr_telemetry as telemetry;
 pub use apr_window as window;
